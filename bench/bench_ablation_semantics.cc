@@ -1,0 +1,91 @@
+// Ablation for Sec. VI-B: node-type semantics vs SLCA semantics. The paper
+// reports SLCA "works equally well on the DBLP dataset (data-centric), but
+// less well on the INEX dataset (document-centric)".
+//
+// Also sweeps the minimal depth threshold d (Sec. V-B): the paper states
+// d = 2 "is usually enough to prune [unpromising candidates] without
+// affecting the suggestion quality"; larger d starts cutting real result
+// types, smaller d admits root-only connections.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/experiment.h"
+
+using namespace xclean;
+using namespace xclean::bench;
+
+int main() {
+  BenchConfig config = BenchConfig::FromEnv();
+  std::vector<Corpus> corpora;
+  corpora.push_back(BuildDblpCorpus(config));
+  corpora.push_back(BuildInexCorpus(config));
+
+  std::printf(
+      "== Ablation (Sec. VI-B / VIII): node-type vs SLCA vs ELCA semantics "
+      "==\n");
+  {
+    TablePrinter table({"query set", "node-type", "SLCA", "ELCA", "nt ms",
+                        "slca ms", "elca ms"});
+    table.PrintHeader();
+    for (const Corpus& corpus : corpora) {
+      for (Perturbation p : {Perturbation::kRand, Perturbation::kRule}) {
+        const QuerySet& set = corpus.set(p);
+        XCleanOptions node_type = MakeXCleanOptions(p);
+        XCleanOptions slca = node_type;
+        slca.semantics = Semantics::kSlca;
+        XCleanOptions elca = node_type;
+        elca.semantics = Semantics::kElca;
+        XClean a(*corpus.index, node_type);
+        XClean b(*corpus.index, slca);
+        XClean c(*corpus.index, elca);
+        ExperimentResult ra = RunExperiment(a, set);
+        ExperimentResult rb = RunExperiment(b, set);
+        ExperimentResult rc = RunExperiment(c, set);
+        table.PrintRow({set.name, TablePrinter::Num(ra.mrr),
+                        TablePrinter::Num(rb.mrr), TablePrinter::Num(rc.mrr),
+                        TablePrinter::Num(ra.avg_seconds * 1e3),
+                        TablePrinter::Num(rb.avg_seconds * 1e3),
+                        TablePrinter::Num(rc.avg_seconds * 1e3)});
+      }
+    }
+  }
+
+  std::printf("\n== Ablation (Sec. V-B): minimal depth threshold d ==\n");
+  {
+    TablePrinter table({"query set", "d=1", "d=2", "d=3", "d=4"});
+    table.PrintHeader();
+    for (const Corpus& corpus : corpora) {
+      for (Perturbation p : {Perturbation::kRand}) {
+        // With d = 1 every candidate pair is "connected" through the root:
+        // the whole document becomes one subtree and the per-subtree
+        // candidate space is the full Cartesian product — the very
+        // explosion the paper's d >= 2 threshold exists to prevent. Keep
+        // the sweep tractable with a narrow variant space and short
+        // queries; the d-trend is unaffected.
+        QuerySet set;
+        set.name = corpus.set(p).name + "*";  // *: len<=3, eps=1 subset
+        for (const EvalQuery& eq : corpus.set(p).queries) {
+          if (eq.dirty.size() <= 3) set.queries.push_back(eq);
+        }
+        std::vector<std::string> row = {set.name};
+        for (uint32_t d : {1u, 2u, 3u, 4u}) {
+          XCleanOptions options = MakeXCleanOptions(p);
+          options.max_ed = 1;
+          options.min_depth = d;
+          XClean cleaner(*corpus.index, options);
+          row.push_back(TablePrinter::Num(RunExperiment(cleaner, set).mrr));
+        }
+        table.PrintRow(row);
+      }
+    }
+  }
+
+  std::printf(
+      "\n(*) d-sweep subset: queries of <= 3 keywords at eps = 1 — d = 1 "
+      "makes\nthe whole document one subtree, whose Cartesian candidate "
+      "space is\nexactly the explosion the paper's threshold prevents.\n"
+      "\npaper shapes: SLCA ~ node-type on the data-centric corpus, worse "
+      "on\nthe document-centric one; d=2 loses nothing vs d=1.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.h"
+#include "data/dblp_gen.h"
+#include "data/inex_gen.h"
+
+namespace xclean::bench {
+
+BenchConfig BenchConfig::FromEnv() {
+  BenchConfig config;
+  const char* small = std::getenv("XCLEAN_BENCH_SMALL");
+  if (small != nullptr && small[0] == '1') {
+    config.dblp_publications = 3000;
+    config.inex_articles = 600;
+    config.queries_per_set = 30;
+  }
+  return config;
+}
+
+namespace {
+
+Corpus FinishCorpus(std::string name, std::unique_ptr<XmlIndex> index,
+                    const BenchConfig& config) {
+  Corpus corpus;
+  corpus.name = name;
+  corpus.index = std::move(index);
+
+  WorkloadOptions wo;
+  wo.num_queries = config.queries_per_set;
+  wo.seed = config.seed;
+  corpus.initial = SampleInitialQueries(*corpus.index, wo);
+  corpus.clean = MakeQuerySet(name + "-CLEAN", *corpus.index, corpus.initial,
+                              Perturbation::kClean, wo);
+  corpus.rand = MakeQuerySet(name + "-RAND", *corpus.index, corpus.initial,
+                             Perturbation::kRand, wo);
+  corpus.rule = MakeQuerySet(name + "-RULE", *corpus.index, corpus.initial,
+                             Perturbation::kRule, wo);
+  return corpus;
+}
+
+}  // namespace
+
+Corpus BuildDblpCorpus(const BenchConfig& config) {
+  Stopwatch watch;
+  DblpGenOptions gen;
+  gen.num_publications = config.dblp_publications;
+  gen.content_typo_rate = config.dblp_typo_rate;
+  gen.seed = config.seed;
+  IndexOptions index_options;
+  index_options.fastss_max_ed = config.fastss_max_ed;
+  auto index = XmlIndex::Build(GenerateDblp(gen), index_options);
+  std::fprintf(stderr, "[bench] DBLP corpus: %u pubs, %u nodes, %zu vocab "
+               "(%.1fs)\n",
+               gen.num_publications, index->tree().size(),
+               index->vocabulary().size(), watch.ElapsedSeconds());
+  return FinishCorpus("DBLP", std::move(index), config);
+}
+
+Corpus BuildInexCorpus(const BenchConfig& config) {
+  Stopwatch watch;
+  InexGenOptions gen;
+  gen.num_articles = config.inex_articles;
+  gen.content_typo_rate = config.inex_typo_rate;
+  gen.seed = config.seed + 1;
+  IndexOptions index_options;
+  index_options.fastss_max_ed = config.fastss_max_ed;
+  auto index = XmlIndex::Build(GenerateInex(gen), index_options);
+  std::fprintf(stderr, "[bench] INEX corpus: %u articles, %u nodes, %zu "
+               "vocab (%.1fs)\n",
+               gen.num_articles, index->tree().size(),
+               index->vocabulary().size(), watch.ElapsedSeconds());
+  return FinishCorpus("INEX", std::move(index), config);
+}
+
+uint32_t EpsilonFor(Perturbation p) {
+  return p == Perturbation::kRule ? 3 : 2;
+}
+
+XCleanOptions MakeXCleanOptions(Perturbation p, size_t gamma) {
+  XCleanOptions options;
+  options.max_ed = EpsilonFor(p);
+  options.beta = 5.0;
+  options.mu = 2000.0;
+  options.reduction = 0.8;
+  options.min_depth = 2;
+  options.gamma = gamma;
+  options.top_k = 10;
+  return options;
+}
+
+Py08Options MakePy08Options(Perturbation p, size_t gamma) {
+  Py08Options options;
+  options.max_ed = EpsilonFor(p);
+  options.gamma = gamma;
+  options.top_k = 10;
+  return options;
+}
+
+std::unique_ptr<LogCorrector> MakeSeProxy(const Corpus& corpus,
+                                          uint64_t seed) {
+  return BuildSeProxy(*corpus.index, corpus.initial, seed);
+}
+
+const char* PerturbationName(Perturbation p) {
+  switch (p) {
+    case Perturbation::kClean:
+      return "CLEAN";
+    case Perturbation::kRand:
+      return "RAND";
+    default:
+      return "RULE";
+  }
+}
+
+}  // namespace xclean::bench

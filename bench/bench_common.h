@@ -1,0 +1,87 @@
+#ifndef XCLEAN_BENCH_BENCH_COMMON_H_
+#define XCLEAN_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/log_correct.h"
+#include "core/py08.h"
+#include "core/xclean.h"
+#include "data/workload.h"
+#include "index/xml_index.h"
+
+namespace xclean::bench {
+
+/// Scale knobs shared by every paper-table bench. The defaults are chosen
+/// so the full bench suite regenerates every table/figure in a few minutes
+/// on a laptop while preserving the statistical regimes the paper's
+/// results depend on (Zipf skew, content-typo traps, deep vs shallow
+/// structure). Set XCLEAN_BENCH_SMALL=1 in the environment for a quick
+/// smoke-scale run.
+struct BenchConfig {
+  uint32_t dblp_publications = 20000;
+  double dblp_typo_rate = 0.02;
+  uint32_t inex_articles = 4000;
+  double inex_typo_rate = 0.01;
+  uint32_t queries_per_set = 100;
+  /// FastSS index radius: 3 so the RULE sets can search their larger
+  /// variant space (Sec. VII-A: RULE misspellings "are distant from the
+  /// correct form, hence we need to explore a larger space of variants").
+  uint32_t fastss_max_ed = 3;
+  uint64_t seed = 20110411;  // ICDE 2011 opening day
+
+  /// Loads defaults, then applies XCLEAN_BENCH_SMALL if set.
+  static BenchConfig FromEnv();
+};
+
+/// One evaluation corpus: the index plus its three query sets.
+struct Corpus {
+  std::string name;  // "DBLP" or "INEX"
+  std::unique_ptr<XmlIndex> index;
+  std::vector<Query> initial;
+  QuerySet clean;
+  QuerySet rand;
+  QuerySet rule;
+
+  const QuerySet& set(Perturbation p) const {
+    switch (p) {
+      case Perturbation::kClean:
+        return clean;
+      case Perturbation::kRand:
+        return rand;
+      default:
+        return rule;
+    }
+  }
+};
+
+/// Builds the DBLP-like corpus and its DBLP-{CLEAN,RAND,RULE} query sets.
+Corpus BuildDblpCorpus(const BenchConfig& config);
+
+/// Builds the INEX-like corpus and its INEX-{CLEAN,RAND,RULE} query sets.
+Corpus BuildInexCorpus(const BenchConfig& config);
+
+/// Edit threshold used per perturbation kind (RULE explores a larger
+/// space, matching the paper's setup and its Table VI slowdown).
+uint32_t EpsilonFor(Perturbation p);
+
+/// Standard algorithm options for a query set (paper defaults: beta=5,
+/// r=0.8, d=2, mu=2000).
+XCleanOptions MakeXCleanOptions(Perturbation p, size_t gamma = 1000);
+Py08Options MakePy08Options(Perturbation p, size_t gamma = 100);
+
+/// Builds the SE-proxy trained on the corpus's clean queries.
+std::unique_ptr<LogCorrector> MakeSeProxy(const Corpus& corpus,
+                                          uint64_t seed);
+
+/// All three perturbations in the paper's reporting order.
+inline constexpr Perturbation kAllPerturbations[] = {
+    Perturbation::kRand, Perturbation::kRule, Perturbation::kClean};
+
+/// Human name of a perturbation ("RAND"/"RULE"/"CLEAN").
+const char* PerturbationName(Perturbation p);
+
+}  // namespace xclean::bench
+
+#endif  // XCLEAN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,54 @@
+// Reproduces Figures 4(a)-4(f): Precision@N (N = 1..10) of XClean, PY08
+// and the SE proxy on every query set.
+//
+// Shape to reproduce (Sec. VII-C):
+//  - XClean's curves are high and nearly flat in N ("most of the correct
+//    suggestions are found at the top of the suggestion list"),
+//  - PY08's curves start low and improve gradually with N,
+//  - the SE proxy is a horizontal line (it returns one suggestion).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/experiment.h"
+
+using namespace xclean;
+using namespace xclean::bench;
+
+namespace {
+
+void PrintSeries(const TablePrinter& table, const ExperimentResult& r) {
+  std::vector<std::string> row = {r.cleaner_name};
+  for (double p : r.precision_at) row.push_back(TablePrinter::Num(p));
+  table.PrintRow(row);
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig config = BenchConfig::FromEnv();
+  std::vector<Corpus> corpora;
+  corpora.push_back(BuildDblpCorpus(config));
+  corpora.push_back(BuildInexCorpus(config));
+
+  const char* figure = "abcdef";
+  int figure_index = 0;
+  for (const Corpus& corpus : corpora) {
+    auto se_proxy = MakeSeProxy(corpus, config.seed + 17);
+    for (Perturbation p : {Perturbation::kRand, Perturbation::kRule,
+                           Perturbation::kClean}) {
+      const QuerySet& set = corpus.set(p);
+      std::printf("\n== Figure 4(%c): Precision@N on %s ==\n",
+                  figure[figure_index++], set.name.c_str());
+      TablePrinter table({"system", "P@1", "P@2", "P@3", "P@4", "P@5", "P@6",
+                          "P@7", "P@8", "P@9", "P@10"});
+      table.PrintHeader();
+      XClean xclean_cleaner(*corpus.index, MakeXCleanOptions(p));
+      Py08Cleaner py08(*corpus.index, MakePy08Options(p));
+      PrintSeries(table, RunExperiment(xclean_cleaner, set));
+      PrintSeries(table, RunExperiment(py08, set));
+      PrintSeries(table, RunExperiment(*se_proxy, set));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,243 @@
+// Micro benchmarks (google-benchmark) for the performance-critical
+// substrate pieces behind Sec. V's claims: FastSS variant generation, the
+// banded edit distance verifier, MergedList skipping, posting-cursor
+// galloping, SLCA computation, tokenization, parsing and index build.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/slca.h"
+#include "core/xclean.h"
+#include "data/dblp_gen.h"
+#include "index/merged_list.h"
+#include "index/xml_index.h"
+#include "text/edit_distance.h"
+#include "text/fastss.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace {
+
+using namespace xclean;
+
+std::vector<std::string> RandomWords(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> words;
+  words.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string w;
+    size_t len = 4 + rng.Uniform(8);
+    for (size_t j = 0; j < len; ++j) {
+      w.push_back(static_cast<char>('a' + rng.Uniform(12)));
+    }
+    words.push_back(std::move(w));
+  }
+  return words;
+}
+
+const XmlIndex& SharedDblpIndex() {
+  static const XmlIndex* index = [] {
+    DblpGenOptions gen;
+    gen.num_publications = 5000;
+    return XmlIndex::Build(GenerateDblp(gen)).release();
+  }();
+  return *index;
+}
+
+void BM_EditDistanceFull(benchmark::State& state) {
+  std::vector<std::string> words = RandomWords(256, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    const std::string& a = words[i % words.size()];
+    const std::string& b = words[(i + 7) % words.size()];
+    benchmark::DoNotOptimize(EditDistance(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_EditDistanceFull);
+
+void BM_EditDistanceBounded(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  std::vector<std::string> words = RandomWords(256, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    const std::string& a = words[i % words.size()];
+    const std::string& b = words[(i + 7) % words.size()];
+    benchmark::DoNotOptimize(EditDistanceBounded(a, b, k));
+    ++i;
+  }
+}
+BENCHMARK(BM_EditDistanceBounded)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_FastSsBuild(benchmark::State& state) {
+  std::vector<std::string> words =
+      RandomWords(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    FastSsIndex index(FastSsIndex::Options{2, 13});
+    index.Build(words);
+    benchmark::DoNotOptimize(index.posting_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FastSsBuild)->Arg(1000)->Arg(10000);
+
+void BM_FastSsFind(benchmark::State& state) {
+  const uint32_t ed = static_cast<uint32_t>(state.range(0));
+  static FastSsIndex* index = [] {
+    auto* idx = new FastSsIndex(FastSsIndex::Options{3, 13});
+    idx->Build(RandomWords(20000, 4));
+    return idx;
+  }();
+  std::vector<std::string> queries = RandomWords(64, 5);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->Find(queries[i % queries.size()], ed));
+    ++i;
+  }
+}
+BENCHMARK(BM_FastSsFind)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_PostingSkipTo(benchmark::State& state) {
+  std::vector<Posting> postings;
+  Rng rng(6);
+  NodeId node = 0;
+  for (int i = 0; i < 1000000; ++i) {
+    node += 1 + static_cast<NodeId>(rng.Uniform(4));
+    postings.push_back(Posting{node, 1});
+  }
+  PostingList list(std::move(postings));
+  Rng probe_rng(7);
+  for (auto _ : state) {
+    PostingCursor cursor(list);
+    // 100 skips of increasing targets across the list.
+    NodeId target = 0;
+    for (int i = 0; i < 100; ++i) {
+      target += node / 100;
+      cursor.SkipTo(target);
+      if (cursor.AtEnd()) break;
+      benchmark::DoNotOptimize(cursor.Get().node);
+    }
+  }
+}
+BENCHMARK(BM_PostingSkipTo);
+
+void BM_MergedListDrainVsSkip(benchmark::State& state) {
+  const bool use_skip = state.range(0) != 0;
+  // 8 member lists, 100k entries each.
+  std::vector<PostingList> lists;
+  Rng rng(8);
+  for (int m = 0; m < 8; ++m) {
+    std::vector<Posting> postings;
+    NodeId node = static_cast<NodeId>(rng.Uniform(37));
+    for (int i = 0; i < 100000; ++i) {
+      node += 1 + static_cast<NodeId>(rng.Uniform(40));
+      postings.push_back(Posting{node, 1});
+    }
+    lists.emplace_back(std::move(postings));
+  }
+  for (auto _ : state) {
+    std::vector<MergedList::Member> members;
+    for (size_t m = 0; m < lists.size(); ++m) {
+      members.push_back(MergedList::Member{static_cast<TokenId>(m),
+                                           PostingCursor(lists[m])});
+    }
+    MergedList merged(std::move(members));
+    uint64_t consumed = 0;
+    if (use_skip) {
+      // Skip in strides (the anchor pattern): read one entry per stride.
+      NodeId target = 0;
+      while (merged.SkipTo(target) != nullptr) {
+        MergedList::Head h = merged.Next();
+        ++consumed;
+        target = h.node + 20000;
+      }
+    } else {
+      while (merged.cur_pos() != nullptr) {
+        merged.Next();
+        ++consumed;
+      }
+    }
+    benchmark::DoNotOptimize(consumed);
+  }
+}
+BENCHMARK(BM_MergedListDrainVsSkip)->Arg(0)->Arg(1);
+
+void BM_Slca(benchmark::State& state) {
+  const XmlIndex& index = SharedDblpIndex();
+  const XmlTree& tree = index.tree();
+  Rng rng(9);
+  std::vector<std::vector<NodeId>> lists(3);
+  for (auto& list : lists) {
+    for (int i = 0; i < 200; ++i) {
+      list.push_back(static_cast<NodeId>(rng.Uniform(tree.size())));
+    }
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSlcas(tree, lists));
+  }
+}
+BENCHMARK(BM_Slca);
+
+void BM_Tokenize(benchmark::State& state) {
+  Tokenizer tokenizer;
+  std::string text;
+  Rng rng(10);
+  auto words = RandomWords(1000, 11);
+  for (const auto& w : words) {
+    text += w;
+    text += rng.Bernoulli(0.2) ? ", " : " ";
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Tokenize(text));
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_ParseXml(benchmark::State& state) {
+  DblpGenOptions gen;
+  gen.num_publications = 1000;
+  std::string xml = WriteXml(GenerateDblp(gen));
+  for (auto _ : state) {
+    Result<XmlTree> tree = ParseXmlString(xml);
+    benchmark::DoNotOptimize(tree.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * xml.size());
+}
+BENCHMARK(BM_ParseXml);
+
+void BM_IndexBuild(benchmark::State& state) {
+  DblpGenOptions gen;
+  gen.num_publications = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    XmlTree tree = GenerateDblp(gen);
+    state.ResumeTiming();
+    auto index = XmlIndex::Build(std::move(tree));
+    benchmark::DoNotOptimize(index->total_tokens());
+  }
+}
+BENCHMARK(BM_IndexBuild)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_XCleanSuggest(benchmark::State& state) {
+  const XmlIndex& index = SharedDblpIndex();
+  XCleanOptions options;
+  options.gamma = 1000;
+  XClean cleaner(index, options);
+  Query query;
+  query.keywords = {"algorithm", "databse"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cleaner.Suggest(query));
+  }
+}
+BENCHMARK(BM_XCleanSuggest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

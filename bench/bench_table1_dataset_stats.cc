@@ -1,0 +1,75 @@
+// Reproduces Table I (dataset statistics) and Table II (query sets with
+// sample queries) of the paper, over the synthetic stand-in corpora.
+//
+// Paper reference values (real DBLP / INEX):
+//   INEX: 5878 MB, 52M nodes, max depth 50, avg depth 5.58
+//   DBLP:  526 MB, 12M nodes, max depth  7, avg depth 3.8
+// Our corpora are laptop-scale, so absolute sizes are smaller; the shape
+// to check is the structural contrast (deep+verbose vs shallow+record).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/experiment.h"
+#include "xml/writer.h"
+
+using namespace xclean;
+using namespace xclean::bench;
+
+namespace {
+
+void PrintCorpusRow(const TablePrinter& table, const Corpus& corpus) {
+  const XmlIndex& index = *corpus.index;
+  WriteOptions wo;
+  wo.indent = false;
+  uint64_t xml_bytes = WriteXml(index.tree(), wo).size();
+  IndexStats stats = index.stats();
+  table.PrintRow({
+      corpus.name,
+      TablePrinter::Num(static_cast<double>(xml_bytes) / (1024.0 * 1024.0)),
+      std::to_string(stats.node_count),
+      std::to_string(stats.max_depth),
+      TablePrinter::Num(stats.avg_depth),
+      std::to_string(stats.vocabulary_size),
+      std::to_string(stats.path_count),
+      TablePrinter::Num(static_cast<double>(index.ApproxMemoryBytes()) /
+                        (1024.0 * 1024.0)),
+  });
+}
+
+void PrintSampleQueries(const Corpus& corpus) {
+  for (Perturbation p : {Perturbation::kClean, Perturbation::kRand,
+                         Perturbation::kRule}) {
+    const QuerySet& set = corpus.set(p);
+    std::printf("  %-12s (%zu queries)  e.g. \"%s\" | \"%s\"\n",
+                set.name.c_str(), set.queries.size(),
+                set.queries[0].dirty.ToString().c_str(),
+                set.queries[1].dirty.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig config = BenchConfig::FromEnv();
+  Corpus dblp = BuildDblpCorpus(config);
+  Corpus inex = BuildInexCorpus(config);
+
+  std::printf("== Table I: dataset statistics ==\n");
+  TablePrinter table(
+      {"dataset", "size(MB)", "#node", "max depth", "avg depth", "vocab",
+       "#types", "index(MB)"});
+  table.PrintHeader();
+  PrintCorpusRow(table, inex);
+  PrintCorpusRow(table, dblp);
+
+  std::printf(
+      "\npaper shape check: INEX-like deeper (max/avg depth) and with a\n"
+      "several-times larger vocabulary than DBLP-like; DBLP-like max depth "
+      "<= 7.\n");
+
+  std::printf("\n== Table II: query sets and sample dirty queries ==\n");
+  PrintSampleQueries(inex);
+  PrintSampleQueries(dblp);
+  return 0;
+}

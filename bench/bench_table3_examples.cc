@@ -1,0 +1,107 @@
+// Reproduces Table III of the paper: qualitative example of PY08's
+// suggestions vs XClean's for the same dirty query, showing the
+// rare-token bias ("PY08 tends to suggest rare tokens ... and does not
+// consider if the suggested query has any result").
+//
+// We pick dirty queries from the DBLP-RULE set where the two systems
+// disagree, and print the top suggestions of each, annotated with whether
+// the suggestion has any result in the database.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+
+using namespace xclean;
+using namespace xclean::bench;
+
+namespace {
+
+/// True if some depth-2 record contains all the suggestion's words.
+bool HasResults(const XmlIndex& index, const Suggestion& s) {
+  const XmlTree& tree = index.tree();
+  std::vector<TokenId> tokens;
+  for (const std::string& w : s.words) {
+    TokenId t = index.vocabulary().Find(w);
+    if (t == kInvalidToken) return false;
+    tokens.push_back(t);
+  }
+  if (tokens.empty()) return false;
+  // Scan the rarest token's postings, check the others per record.
+  size_t rarest = 0;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    if (index.postings(tokens[i]).size() <
+        index.postings(tokens[rarest]).size()) {
+      rarest = i;
+    }
+  }
+  for (const Posting& p : index.postings(tokens[rarest])) {
+    if (tree.depth(p.node) < 2) continue;
+    NodeId record = tree.AncestorAtDepth(p.node, 2);
+    bool all = true;
+    for (TokenId t : tokens) {
+      bool found = false;
+      for (const Posting& q : index.postings(t)) {
+        if (q.node >= record && q.node <= tree.subtree_end(record)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+void PrintSide(const XmlIndex& index, const char* name,
+               const std::vector<Suggestion>& list) {
+  std::printf("  %s:\n", name);
+  if (list.empty()) {
+    std::printf("    (no suggestions)\n");
+    return;
+  }
+  for (size_t i = 0; i < list.size() && i < 3; ++i) {
+    std::printf("    %zu. %-40s [results: %s]\n", i + 1,
+                list[i].ToString().c_str(),
+                HasResults(index, list[i]) ? "yes" : "NO");
+  }
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig config = BenchConfig::FromEnv();
+  Corpus dblp = BuildDblpCorpus(config);
+
+  std::printf("== Table III: example suggestions, PY08 vs XClean ==\n");
+  int shown = 0;
+  for (const EvalQuery& eq : dblp.rule.queries) {
+    if (shown >= 4) break;
+    Perturbation p = Perturbation::kRule;
+    XClean xclean_cleaner(*dblp.index, MakeXCleanOptions(p));
+    Py08Cleaner py08(*dblp.index, MakePy08Options(p));
+    auto sx = xclean_cleaner.Suggest(eq.dirty);
+    auto sp = py08.Suggest(eq.dirty);
+    size_t rank_x = RankOfTruth(sx, eq.truth);
+    size_t rank_p = RankOfTruth(sp, eq.truth);
+    // Interesting rows: XClean finds the truth at the top, PY08 does not.
+    if (rank_x != 1 || rank_p == 1) continue;
+    ++shown;
+    std::printf("\nquery: \"%s\"   (intended: \"%s\")\n",
+                eq.dirty.ToString().c_str(), eq.truth.ToString().c_str());
+    PrintSide(*dblp.index, "PY08", sp);
+    PrintSide(*dblp.index, "XClean", sx);
+  }
+  if (shown == 0) {
+    std::printf("\n(no disagreement found at this scale — rerun without "
+                "XCLEAN_BENCH_SMALL)\n");
+  }
+  std::printf(
+      "\npaper shape: PY08's top suggestions favor rare tokens and often "
+      "have\nno results; XClean's always do.\n");
+  return 0;
+}

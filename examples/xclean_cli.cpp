@@ -1,0 +1,166 @@
+// Command-line front end: the shape of a real deployment (offline index
+// build, online suggestion serving).
+//
+//   xclean_cli index   <corpus.xml> <out.idx>     build & save an index
+//   xclean_cli stats   <file.idx|corpus.xml>      print Table-I statistics
+//   xclean_cli suggest <file.idx|corpus.xml> <query words...>
+//   xclean_cli demo                               end-to-end demo on a
+//                                                 generated corpus
+//
+// Files ending in ".idx" are loaded as saved indexes; anything else is
+// parsed as XML and indexed on the fly.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/xclean.h"
+#include "data/dblp_gen.h"
+#include "index/index_io.h"
+#include "xml/parser.h"
+
+namespace {
+
+using namespace xclean;
+
+int Usage() {
+  std::printf(
+      "xclean_cli — valid spelling suggestions for XML keyword queries\n"
+      "\n"
+      "  xclean_cli index   <corpus.xml> <out.idx>\n"
+      "  xclean_cli stats   <file.idx | corpus.xml>\n"
+      "  xclean_cli suggest <file.idx | corpus.xml> <query words...>\n"
+      "  xclean_cli demo\n");
+  return 0;
+}
+
+std::unique_ptr<XmlIndex> OpenIndex(const std::string& path) {
+  Stopwatch watch;
+  std::unique_ptr<XmlIndex> index;
+  if (EndsWith(path, ".idx")) {
+    Result<std::unique_ptr<XmlIndex>> loaded = LoadIndex(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return nullptr;
+    }
+    index = std::move(loaded).value();
+    std::fprintf(stderr, "loaded index in %.2fs\n", watch.ElapsedSeconds());
+  } else {
+    Result<XmlTree> tree = ParseXmlFile(path);
+    if (!tree.ok()) {
+      std::fprintf(stderr, "error: %s\n", tree.status().ToString().c_str());
+      return nullptr;
+    }
+    index = XmlIndex::Build(std::move(tree).value());
+    std::fprintf(stderr, "parsed + indexed in %.2fs\n",
+                 watch.ElapsedSeconds());
+  }
+  return index;
+}
+
+void PrintStats(const XmlIndex& index) {
+  IndexStats stats = index.stats();
+  std::printf("nodes:             %llu\n",
+              static_cast<unsigned long long>(stats.node_count));
+  std::printf("text nodes:        %llu\n",
+              static_cast<unsigned long long>(stats.text_node_count));
+  std::printf("token occurrences: %llu\n",
+              static_cast<unsigned long long>(stats.token_occurrences));
+  std::printf("vocabulary:        %llu\n",
+              static_cast<unsigned long long>(stats.vocabulary_size));
+  std::printf("label paths:       %llu\n",
+              static_cast<unsigned long long>(stats.path_count));
+  std::printf("max depth:         %u\n", stats.max_depth);
+  std::printf("avg depth:         %.2f\n", stats.avg_depth);
+}
+
+int RunSuggest(XmlIndex& index, const std::string& query_text) {
+  XCleanOptions options;
+  options.gamma = 1000;
+  options.max_ed = std::min(2u, index.options().fastss_max_ed);
+  XClean cleaner(index, options);
+  Query query = ParseQuery(query_text, index.tokenizer());
+  if (query.empty()) {
+    std::printf("query is empty after normalization\n");
+    return 1;
+  }
+  Stopwatch watch;
+  std::vector<Suggestion> suggestions = cleaner.Suggest(query);
+  double ms = watch.ElapsedMillis();
+  if (suggestions.empty()) {
+    std::printf("no suggestions (%.2f ms)\n", ms);
+    return 0;
+  }
+  std::printf("suggestions for \"%s\" (%.2f ms):\n", query.ToString().c_str(),
+              ms);
+  for (size_t i = 0; i < suggestions.size(); ++i) {
+    const Suggestion& s = suggestions[i];
+    std::printf("  %2zu. %-32s  results=%-5u type=%s\n", i + 1,
+                s.ToString().c_str(), s.entity_count,
+                s.result_type == XmlTree::kInvalidPath
+                    ? "-"
+                    : index.tree().PathString(s.result_type).c_str());
+  }
+  return 0;
+}
+
+int RunDemo() {
+  std::printf("building demo corpus (5000 synthetic publications)...\n");
+  DblpGenOptions gen;
+  gen.num_publications = 5000;
+  auto index = XmlIndex::Build(GenerateDblp(gen));
+  PrintStats(*index);
+  std::printf("\n");
+  for (const char* q : {"clustering algoritm", "thompson algoritm"}) {
+    RunSuggest(*index, q);
+    std::printf("\n");
+  }
+  std::printf("try: xclean_cli suggest <your.xml> <query...>\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+
+  if (command == "demo") return RunDemo();
+
+  if (command == "index") {
+    if (argc != 4) return Usage();
+    std::unique_ptr<XmlIndex> index = OpenIndex(argv[2]);
+    if (index == nullptr) return 1;
+    Stopwatch watch;
+    Status s = SaveIndex(*index, argv[3]);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved %s in %.2fs\n", argv[3], watch.ElapsedSeconds());
+    return 0;
+  }
+
+  if (command == "stats") {
+    if (argc != 3) return Usage();
+    std::unique_ptr<XmlIndex> index = OpenIndex(argv[2]);
+    if (index == nullptr) return 1;
+    PrintStats(*index);
+    return 0;
+  }
+
+  if (command == "suggest") {
+    if (argc < 4) return Usage();
+    std::unique_ptr<XmlIndex> index = OpenIndex(argv[2]);
+    if (index == nullptr) return 1;
+    std::vector<std::string> words;
+    for (int i = 3; i < argc; ++i) words.emplace_back(argv[i]);
+    return RunSuggest(*index, Join(words, " "));
+  }
+
+  return Usage();
+}

@@ -1,0 +1,20 @@
+#ifndef XCLEAN_COMMON_CHECK_H_
+#define XCLEAN_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal invariant check. Unlike assert() it is active in all build
+/// types: index and algorithm invariants guard correctness of returned
+/// suggestions, and the cost of the checks we place is negligible next to
+/// the list traversals around them.
+#define XCLEAN_CHECK(cond)                                                 \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "XCLEAN_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // XCLEAN_COMMON_CHECK_H_

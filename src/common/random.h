@@ -1,0 +1,60 @@
+#ifndef XCLEAN_COMMON_RANDOM_H_
+#define XCLEAN_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace xclean {
+
+/// Deterministic 64-bit PRNG (splitmix64 core). Every data generator and
+/// workload builder in this repository takes an explicit seed and draws from
+/// this engine so experiments are reproducible run to run and machine to
+/// machine (std::mt19937 distributions are not portable across standard
+/// library implementations).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next64();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipfian rank in [0, n) with exponent s; rank 0 is the most popular.
+  /// Uses rejection-free inverse-CDF over precomputed weights for small n,
+  /// so construct a ZipfDistribution for hot loops instead.
+  uint64_t Zipf(uint64_t n, double s);
+
+ private:
+  uint64_t state_;
+};
+
+/// Precomputed Zipf sampler: O(log n) per sample via binary search on the
+/// cumulative weight table. Used by the synthetic data generators, where the
+/// same distribution is sampled millions of times.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double s);
+
+  /// Returns a rank in [0, n); rank 0 is the most popular.
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t size() const { return static_cast<uint64_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_COMMON_RANDOM_H_

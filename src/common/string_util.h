@@ -1,0 +1,42 @@
+#ifndef XCLEAN_COMMON_STRING_UTIL_H_
+#define XCLEAN_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xclean {
+
+/// ASCII-only lowercase (the tokenizer normalizes all text through this; the
+/// synthetic corpora are ASCII by construction).
+std::string AsciiLower(std::string_view s);
+
+/// In-place ASCII lowercase.
+void AsciiLowerInPlace(std::string& s);
+
+bool IsAsciiAlpha(char c);
+bool IsAsciiDigit(char c);
+bool IsAsciiAlnum(char c);
+bool IsAsciiSpace(char c);
+
+/// Splits on any whitespace run; no empty pieces are produced.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Splits on a single character delimiter; empty pieces are kept.
+std::vector<std::string> SplitChar(std::string_view s, char delim);
+
+/// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+}  // namespace xclean
+
+#endif  // XCLEAN_COMMON_STRING_UTIL_H_

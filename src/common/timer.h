@@ -1,0 +1,30 @@
+#ifndef XCLEAN_COMMON_TIMER_H_
+#define XCLEAN_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace xclean {
+
+/// Monotonic stopwatch used by the experiment harness to report per-query
+/// latencies. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_COMMON_TIMER_H_

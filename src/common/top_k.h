@@ -1,0 +1,78 @@
+#ifndef XCLEAN_COMMON_TOP_K_H_
+#define XCLEAN_COMMON_TOP_K_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace xclean {
+
+/// Bounded best-k collector. Keeps the k largest items according to Compare
+/// (a strict-weak-order "less": the *smallest* kept item sits at the heap
+/// top and is evicted first). Push is O(log k); Take() returns items in
+/// descending order.
+///
+/// Used for final suggestion ranking and for k-best candidate enumeration in
+/// the PY08 baseline.
+template <typename T, typename Compare = std::less<T>>
+class TopK {
+ public:
+  explicit TopK(size_t k, Compare cmp = Compare()) : k_(k), cmp_(cmp) {
+    XCLEAN_CHECK(k > 0);
+  }
+
+  /// Offers an item; keeps it only if it is among the best k seen so far.
+  void Push(T item) {
+    if (heap_.size() < k_) {
+      heap_.push_back(std::move(item));
+      std::push_heap(heap_.begin(), heap_.end(), Greater());
+      return;
+    }
+    // heap_[0] is the smallest kept item.
+    if (cmp_(heap_[0], item)) {
+      std::pop_heap(heap_.begin(), heap_.end(), Greater());
+      heap_.back() = std::move(item);
+      std::push_heap(heap_.begin(), heap_.end(), Greater());
+    }
+  }
+
+  size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+  /// Smallest currently-kept item. Only valid when full() — callers use it
+  /// to prune work that cannot beat the current k-th best.
+  const T& Worst() const {
+    XCLEAN_CHECK(!heap_.empty());
+    return heap_[0];
+  }
+
+  bool full() const { return heap_.size() == k_; }
+
+  /// Destructive extraction, best first (descending by cmp_: sort_heap with
+  /// the inverted comparator yields ascending-by-inverted = descending).
+  std::vector<T> Take() {
+    std::sort_heap(heap_.begin(), heap_.end(), Greater());
+    std::vector<T> out = std::move(heap_);
+    heap_.clear();
+    return out;
+  }
+
+ private:
+  // Min-heap on cmp_: the comparator handed to the std heap functions must
+  // order the *largest* element last, so we invert cmp_.
+  struct GreaterImpl {
+    const Compare* cmp;
+    bool operator()(const T& a, const T& b) const { return (*cmp)(b, a); }
+  };
+  GreaterImpl Greater() const { return GreaterImpl{&cmp_}; }
+
+  size_t k_;
+  Compare cmp_;
+  std::vector<T> heap_;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_COMMON_TOP_K_H_

@@ -1,0 +1,54 @@
+#include "core/accumulator.h"
+
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+
+namespace xclean {
+
+std::string EncodeCandidate(const std::vector<TokenId>& tokens) {
+  std::string key(tokens.size() * sizeof(TokenId), '\0');
+  std::memcpy(key.data(), tokens.data(), key.size());
+  return key;
+}
+
+std::vector<TokenId> DecodeCandidate(const std::string& key) {
+  XCLEAN_CHECK(key.size() % sizeof(TokenId) == 0);
+  std::vector<TokenId> tokens(key.size() / sizeof(TokenId));
+  std::memcpy(tokens.data(), key.data(), key.size());
+  return tokens;
+}
+
+CandidateState* AccumulatorTable::Find(const std::string& key) {
+  auto it = table_.find(key);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+void AccumulatorTable::EvictLowest() {
+  auto victim = table_.end();
+  double lowest = std::numeric_limits<double>::infinity();
+  for (auto it = table_.begin(); it != table_.end(); ++it) {
+    double estimate = it->second.error_weight * it->second.sum;
+    if (estimate < lowest) {
+      lowest = estimate;
+      victim = it;
+    }
+  }
+  XCLEAN_CHECK(victim != table_.end());
+  table_.erase(victim);
+  ++evictions_;
+}
+
+CandidateState* AccumulatorTable::GetOrCreate(const std::string& key,
+                                              double error_weight) {
+  auto it = table_.find(key);
+  if (it != table_.end()) return &it->second;
+  if (gamma_ != 0 && table_.size() >= gamma_) EvictLowest();
+  CandidateState state;
+  state.error_weight = error_weight;
+  auto [inserted, _] = table_.emplace(key, state);
+  return &inserted->second;
+}
+
+}  // namespace xclean

@@ -1,0 +1,68 @@
+#ifndef XCLEAN_CORE_ACCUMULATOR_H_
+#define XCLEAN_CORE_ACCUMULATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/vocabulary.h"
+#include "xml/tree.h"
+
+namespace xclean {
+
+/// Candidate queries are encoded as byte strings (l * 4 bytes of TokenId)
+/// so they can key hash tables without a custom hasher.
+std::string EncodeCandidate(const std::vector<TokenId>& tokens);
+std::vector<TokenId> DecodeCandidate(const std::string& key);
+
+/// Per-candidate score accumulator state.
+struct CandidateState {
+  /// Σ_j Π_w P(w | D(r_j)) over the entities processed so far (the sum of
+  /// Eq. 8 before the 1/N prior).
+  double sum = 0.0;
+  /// P(Q|C): the error-model weight of this candidate.
+  double error_weight = 0.0;
+  /// Entities that contributed (each contains every keyword of C).
+  uint32_t entity_count = 0;
+};
+
+/// The paper's bounded in-memory accumulator table (Sec. V-D): at most
+/// gamma candidate queries hold score accumulators. When a new candidate
+/// arrives and the table is full, the victim is the candidate whose
+/// estimated final score — error_weight * sum, i.e. P(Q|C) times the
+/// partial P(C|T) mass observed so far (Hoeffding sample-mean estimate) —
+/// is lowest. An evicted candidate that reappears restarts from zero; the
+/// probabilistic argument is that low-partial-score candidates are unlikely
+/// to reach the top-k.
+class AccumulatorTable {
+ public:
+  /// gamma = 0 means unbounded (exact evaluation).
+  explicit AccumulatorTable(size_t gamma) : gamma_(gamma) {}
+
+  /// Accumulator for `key`, creating (and possibly evicting) as needed.
+  /// The returned pointer is invalidated by the next GetOrCreate call.
+  /// `error_weight` is stored on creation.
+  CandidateState* GetOrCreate(const std::string& key, double error_weight);
+
+  /// Accumulator for `key` if present.
+  CandidateState* Find(const std::string& key);
+
+  size_t size() const { return table_.size(); }
+  uint64_t eviction_count() const { return evictions_; }
+
+  const std::unordered_map<std::string, CandidateState>& entries() const {
+    return table_;
+  }
+
+ private:
+  void EvictLowest();
+
+  size_t gamma_;
+  uint64_t evictions_ = 0;
+  std::unordered_map<std::string, CandidateState> table_;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_CORE_ACCUMULATOR_H_

@@ -1,0 +1,136 @@
+#include "core/elca.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace xclean {
+
+namespace {
+
+bool ContainsInRange(const std::vector<NodeId>& list, NodeId lo, NodeId hi) {
+  auto it = std::lower_bound(list.begin(), list.end(), lo);
+  return it != list.end() && *it <= hi;
+}
+
+/// All nodes whose subtree contains at least one witness from every list
+/// ("full" nodes). Candidates are the ancestor chains of the smallest
+/// list's witnesses, as in ComputeSlcas.
+std::unordered_set<NodeId> FullNodes(
+    const XmlTree& tree, const std::vector<std::vector<NodeId>>& lists) {
+  size_t smallest = 0;
+  for (size_t i = 0; i < lists.size(); ++i) {
+    if (lists[i].size() < lists[smallest].size()) smallest = i;
+  }
+  std::unordered_set<NodeId> seen;
+  std::unordered_set<NodeId> full;
+  for (NodeId witness : lists[smallest]) {
+    NodeId cur = witness;
+    for (;;) {
+      if (!seen.insert(cur).second) break;
+      bool all = true;
+      for (size_t i = 0; i < lists.size(); ++i) {
+        if (i == smallest) continue;
+        if (!ContainsInRange(lists[i], cur, tree.subtree_end(cur))) {
+          all = false;
+          break;
+        }
+      }
+      if (all) full.insert(cur);
+      if (cur == tree.root()) break;
+      cur = tree.parent(cur);
+    }
+  }
+  return full;
+}
+
+}  // namespace
+
+std::vector<NodeId> ComputeElcas(
+    const XmlTree& tree, const std::vector<std::vector<NodeId>>& lists) {
+  if (lists.empty()) return {};
+  for (const auto& list : lists) {
+    if (list.empty()) return {};
+  }
+  std::unordered_set<NodeId> full = FullNodes(tree, lists);
+  if (full.empty()) return {};
+
+  // Assign each witness to its lowest full ancestor-or-self and record
+  // which sets reached each full node exclusively.
+  std::unordered_map<NodeId, std::vector<bool>> exclusive;
+  for (size_t i = 0; i < lists.size(); ++i) {
+    for (NodeId witness : lists[i]) {
+      NodeId cur = witness;
+      for (;;) {
+        if (full.count(cur) != 0) {
+          auto [it, created] =
+              exclusive.try_emplace(cur, std::vector<bool>(lists.size()));
+          it->second[i] = true;
+          break;
+        }
+        if (cur == tree.root()) break;
+        cur = tree.parent(cur);
+      }
+    }
+  }
+
+  std::vector<NodeId> out;
+  for (const auto& [node, slots] : exclusive) {
+    bool all = true;
+    for (bool b : slots) all = all && b;
+    if (all) out.push_back(node);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> ComputeElcasBruteForce(
+    const XmlTree& tree, const std::vector<std::vector<NodeId>>& lists) {
+  if (lists.empty()) return {};
+  for (const auto& list : lists) {
+    if (list.empty()) return {};
+  }
+  // Full nodes by direct scan.
+  std::vector<bool> full(tree.size(), false);
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    bool all = true;
+    for (const auto& list : lists) {
+      if (!ContainsInRange(list, v, tree.subtree_end(v))) {
+        all = false;
+        break;
+      }
+    }
+    full[v] = all;
+  }
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    if (!full[v]) continue;
+    bool elca = true;
+    for (const auto& list : lists) {
+      bool has_exclusive_witness = false;
+      for (NodeId w : list) {
+        if (w < v || w > tree.subtree_end(v)) continue;
+        // Check no full node strictly below v on the path to w.
+        bool blocked = false;
+        for (NodeId cur = w; cur != v; cur = tree.parent(cur)) {
+          if (full[cur]) {
+            blocked = true;
+            break;
+          }
+        }
+        if (!blocked) {
+          has_exclusive_witness = true;
+          break;
+        }
+      }
+      if (!has_exclusive_witness) {
+        elca = false;
+        break;
+      }
+    }
+    if (elca) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace xclean

@@ -1,0 +1,37 @@
+#ifndef XCLEAN_CORE_ELCA_H_
+#define XCLEAN_CORE_ELCA_H_
+
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace xclean {
+
+/// Exclusive Lowest Common Ancestors (the ELCA keyword query semantics the
+/// paper cites among the result structures its framework can accommodate,
+/// Sec. VIII): node v is an ELCA of the witness sets iff for every set
+/// there is a witness in v's subtree whose path to v passes through no
+/// other node that itself contains all sets ("exclusive" witnesses — v
+/// answers the query with content not already claimed by a descendant
+/// answer).
+///
+/// Every SLCA is an ELCA, and every ELCA contains all sets; the inclusion
+/// chain SLCA ⊆ ELCA ⊆ {nodes containing all sets} is checked by tests.
+///
+/// `lists` must be sorted ascending and duplicate-free; the result is
+/// sorted ascending.
+///
+/// Algorithm: collect the "full" nodes (containing every set) from the
+/// smallest list's ancestor chains, then assign every witness to its
+/// lowest full ancestor-or-self; the ELCAs are the full nodes assigned a
+/// witness from every set. O(total witnesses * depth).
+std::vector<NodeId> ComputeElcas(const XmlTree& tree,
+                                 const std::vector<std::vector<NodeId>>& lists);
+
+/// Reference oracle for tests: checks the definition directly per node.
+std::vector<NodeId> ComputeElcasBruteForce(
+    const XmlTree& tree, const std::vector<std::vector<NodeId>>& lists);
+
+}  // namespace xclean
+
+#endif  // XCLEAN_CORE_ELCA_H_

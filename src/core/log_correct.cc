@@ -1,0 +1,98 @@
+#include "core/log_correct.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace xclean {
+
+LogCorrector::LogCorrector() : LogCorrector(Options()) {}
+
+LogCorrector::LogCorrector(Options options)
+    : options_(options),
+      fastss_(FastSsIndex::Options{options.max_ed, 13}) {}
+
+void LogCorrector::AddLogQuery(const std::vector<std::string>& words,
+                               uint64_t count) {
+  XCLEAN_CHECK(!frozen_);
+  for (const std::string& word : words) {
+    auto it = word_ids_.find(word);
+    if (it == word_ids_.end()) {
+      uint32_t id = static_cast<uint32_t>(words_.size());
+      words_.push_back(word);
+      popularity_.push_back(count);
+      word_ids_.emplace(word, id);
+    } else {
+      popularity_[it->second] += count;
+    }
+  }
+}
+
+void LogCorrector::AddRewrite(const std::string& misspelling,
+                              const std::string& correction) {
+  XCLEAN_CHECK(!frozen_);
+  rewrites_[misspelling] = correction;
+}
+
+void LogCorrector::Freeze() {
+  XCLEAN_CHECK(!frozen_);
+  frozen_ = true;
+  fastss_.Build(words_);
+}
+
+std::vector<Suggestion> LogCorrector::Suggest(const Query& query) {
+  XCLEAN_CHECK(frozen_);
+  if (query.empty()) return {};
+
+  Suggestion s;
+  s.score = 1.0;
+  s.error_weight = 1.0;
+  bool corrected_all = true;
+  for (const std::string& word : query.keywords) {
+    // 1. Known log word: keep as-is.
+    if (word_ids_.count(word) != 0) {
+      s.words.push_back(word);
+      continue;
+    }
+    // 2. Log-mined rewrite.
+    auto rit = rewrites_.find(word);
+    if (rit != rewrites_.end()) {
+      s.words.push_back(rit->second);
+      continue;
+    }
+    // 3. Popularity-greedy edit-distance correction.
+    std::vector<FastSsIndex::Match> matches =
+        fastss_.Find(word, options_.max_ed);
+    if (matches.empty()) {
+      // The engine has never seen anything like this word: it keeps it and
+      // effectively offers no help on this keyword.
+      s.words.push_back(word);
+      corrected_all = false;
+      continue;
+    }
+    auto channel_score = [&](const FastSsIndex::Match& m) {
+      return static_cast<double>(popularity_[m.word_id]) *
+             std::exp(-options_.distance_decay *
+                      static_cast<double>(m.distance));
+    };
+    std::sort(matches.begin(), matches.end(),
+              [&](const FastSsIndex::Match& a, const FastSsIndex::Match& b) {
+                // Noisy-channel ranking dominated by popularity — the
+                // documented bias — with a weak distance prior.
+                double sa = channel_score(a), sb = channel_score(b);
+                if (sa != sb) return sa > sb;
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return fastss_.word(a.word_id) < fastss_.word(b.word_id);
+              });
+    s.words.push_back(fastss_.word(matches[0].word_id));
+  }
+  if (!corrected_all && s.words == query.keywords) {
+    // Nothing changed and some words were unknown: the engine shows plain
+    // results with no "did you mean".
+    return {};
+  }
+  return {s};
+}
+
+}  // namespace xclean

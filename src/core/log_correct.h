@@ -1,0 +1,74 @@
+#ifndef XCLEAN_CORE_LOG_CORRECT_H_
+#define XCLEAN_CORE_LOG_CORRECT_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query.h"
+#include "text/fastss.h"
+
+namespace xclean {
+
+/// Proxy for the commercial search engines (SE1/SE2) of the paper's
+/// evaluation (Sec. VII-B). The engines could not be reimplemented, but the
+/// paper attributes their behaviour to query-log use: near-perfect on clean
+/// queries (they know which queries are real), better on RULE misspellings
+/// (common human misspellings appear in logs with their corrections) than
+/// on random edits, biased toward popular queries, and returning at most
+/// one suggestion (so their measured MRR is a lower bound).
+///
+/// This corrector reproduces exactly those mechanisms:
+///  - a log vocabulary with popularity counts, built from a query log,
+///  - a learned rewrite table (misspelling -> correction), standing in for
+///    log-mined correction pairs,
+///  - per-word correction: a word in the log vocabulary is kept; otherwise
+///    the rewrite table is consulted; otherwise the most popular log word
+///    within the edit threshold wins (the popularity bias the paper
+///    criticizes: "a rare word in a correct query may be corrected to a
+///    similar word that appears more often in the log"),
+///  - at most one suggestion, with no database access at all.
+class LogCorrector : public QueryCleaner {
+ public:
+  struct Options {
+    uint32_t max_ed = 2;
+    /// Noisy-channel mixing: candidate corrections are ranked by
+    /// popularity * exp(-distance_decay * ed). Small decay = the raw
+    /// popularity bias the paper criticizes; engines in practice mix in a
+    /// weak distance prior.
+    double distance_decay = 1.0;
+    std::string display_name = "SE-proxy";
+  };
+
+  LogCorrector();
+  explicit LogCorrector(Options options);
+
+  /// Registers a logged query with a popularity weight.
+  void AddLogQuery(const std::vector<std::string>& words, uint64_t count);
+
+  /// Registers a log-mined rewrite pair.
+  void AddRewrite(const std::string& misspelling,
+                  const std::string& correction);
+
+  /// Freezes the log (builds the FastSS structure). Must be called after
+  /// the last AddLogQuery/AddRewrite and before Suggest.
+  void Freeze();
+
+  std::vector<Suggestion> Suggest(const Query& query) override;
+  std::string name() const override { return options_.display_name; }
+
+  size_t log_vocabulary_size() const { return words_.size(); }
+
+ private:
+  Options options_;
+  std::vector<std::string> words_;
+  std::vector<uint64_t> popularity_;
+  std::unordered_map<std::string, uint32_t> word_ids_;
+  std::unordered_map<std::string, std::string> rewrites_;
+  FastSsIndex fastss_;
+  bool frozen_ = false;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_CORE_LOG_CORRECT_H_

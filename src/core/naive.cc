@@ -1,0 +1,183 @@
+#include "core/naive.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/elca.h"
+#include "core/slca.h"
+
+namespace xclean {
+
+NaiveCleaner::NaiveCleaner(const XmlIndex& index, XCleanOptions options)
+    : index_(&index),
+      options_(options),
+      variant_gen_(index,
+                   VariantGenOptions{options.max_ed, options.include_soundex}),
+      error_model_(options.beta),
+      language_model_(index, options.mu),
+      type_scorer_(index, options.reduction) {}
+
+void NaiveCleaner::ScoreCandidateNodeType(
+    const std::vector<TokenId>& candidate, Scored& out) {
+  const XmlTree& tree = index_->tree();
+  const size_t l = candidate.size();
+  ResultTypeScorer::Choice choice =
+      type_scorer_.FindResultType(candidate, options_.min_depth);
+  if (choice.path == XmlTree::kInvalidPath) return;
+  out.result_type = choice.path;
+  out.n_entities = tree.path_node_count(choice.path);
+  uint32_t entity_depth = tree.path_depth(choice.path);
+
+  // One full scan of every keyword's inverted list per candidate — the
+  // repeated I/O the XClean pass avoids.
+  std::map<NodeId, std::vector<uint64_t>> entity_counts;
+  for (size_t i = 0; i < l; ++i) {
+    const PostingList& list = index_->postings(candidate[i]);
+    last_postings_read_ += list.size();
+    for (const Posting& p : list) {
+      if (tree.depth(p.node) < entity_depth) continue;
+      NodeId entity = tree.AncestorAtDepth(p.node, entity_depth);
+      if (tree.path_id(entity) != choice.path) continue;
+      auto [it, created] =
+          entity_counts.try_emplace(entity, std::vector<uint64_t>(l, 0));
+      it->second[i] += p.tf;
+    }
+  }
+  for (const auto& [entity, counts] : entity_counts) {
+    bool complete = true;
+    for (size_t i = 0; i < l; ++i) {
+      if (counts[i] == 0) {
+        complete = false;
+        break;
+      }
+    }
+    if (!complete) continue;
+    double prod = 1.0;
+    for (size_t i = 0; i < l; ++i) {
+      prod *= language_model_.ProbInEntity(candidate[i], counts[i], entity);
+    }
+    if (options_.entity_prior) prod *= options_.entity_prior(entity);
+    out.sum += prod;
+    out.entity_count += 1;
+  }
+}
+
+void NaiveCleaner::ScoreCandidateSlca(const std::vector<TokenId>& candidate,
+                                      Scored& out) {
+  const XmlTree& tree = index_->tree();
+  const size_t l = candidate.size();
+  std::vector<std::vector<NodeId>> witness_lists(l);
+  for (size_t i = 0; i < l; ++i) {
+    const PostingList& list = index_->postings(candidate[i]);
+    last_postings_read_ += list.size();
+    witness_lists[i].reserve(list.size());
+    for (const Posting& p : list) witness_lists[i].push_back(p.node);
+  }
+  std::vector<NodeId> slcas = options_.semantics == Semantics::kSlca
+                                  ? ComputeSlcas(tree, witness_lists)
+                                  : ComputeElcas(tree, witness_lists);
+  // The depth-d threshold prunes shallow (root-connected-only) entities in
+  // XClean; the naive scorer applies the same rule for comparability.
+  std::vector<NodeId> kept;
+  for (NodeId e : slcas) {
+    if (tree.depth(e) >= options_.min_depth) kept.push_back(e);
+  }
+  if (kept.empty()) return;
+  out.n_entities = static_cast<double>(kept.size());
+  for (NodeId entity : kept) {
+    NodeId end = tree.subtree_end(entity);
+    double prod = 1.0;
+    for (size_t i = 0; i < l; ++i) {
+      const PostingList& list = index_->postings(candidate[i]);
+      auto it = std::lower_bound(
+          list.begin(), list.end(), entity,
+          [](const Posting& p, NodeId target) { return p.node < target; });
+      uint64_t count = 0;
+      for (; it != list.end() && it->node <= end; ++it) count += it->tf;
+      prod *= language_model_.ProbInEntity(candidate[i], count, entity);
+    }
+    if (options_.entity_prior) prod *= options_.entity_prior(entity);
+    out.sum += prod;
+    out.entity_count += 1;
+  }
+}
+
+std::vector<Suggestion> NaiveCleaner::Suggest(const Query& query) {
+  last_candidates_ = 0;
+  last_postings_read_ = 0;
+  last_query_skipped_ = false;
+  const size_t l = query.size();
+  if (l == 0) return {};
+
+  std::vector<std::vector<Variant>> variants(l);
+  uint64_t space = 1;
+  for (size_t i = 0; i < l; ++i) {
+    variants[i] = variant_gen_.Generate(query.keywords[i]);
+    if (variants[i].empty()) return {};
+    space *= variants[i].size();
+    if (candidate_cap_ != 0 && space > candidate_cap_) {
+      last_query_skipped_ = true;
+      return {};
+    }
+  }
+
+  std::vector<Scored> scored;
+  std::vector<size_t> odometer(l, 0);
+  std::vector<TokenId> candidate(l);
+  for (;;) {
+    double error_weight = 1.0;
+    for (size_t i = 0; i < l; ++i) {
+      candidate[i] = variants[i][odometer[i]].token;
+      error_weight *=
+          error_model_.Weight(variants[i][odometer[i]].distance);
+    }
+    ++last_candidates_;
+
+    Scored s;
+    s.tokens = candidate;
+    s.error_weight = error_weight;
+    if (options_.semantics == Semantics::kNodeType) {
+      ScoreCandidateNodeType(candidate, s);
+    } else {
+      ScoreCandidateSlca(candidate, s);
+    }
+    if (s.entity_count > 0) scored.push_back(std::move(s));
+
+    size_t slot = l;
+    bool done = false;
+    while (slot > 0) {
+      --slot;
+      if (++odometer[slot] < variants[slot].size()) break;
+      odometer[slot] = 0;
+      if (slot == 0) done = true;
+    }
+    if (done) break;
+  }
+
+  std::vector<Suggestion> suggestions;
+  suggestions.reserve(scored.size());
+  for (Scored& s : scored) {
+    Suggestion out;
+    out.words.reserve(s.tokens.size());
+    for (TokenId t : s.tokens) {
+      out.words.push_back(index_->vocabulary().token(t));
+    }
+    out.error_weight = s.error_weight;
+    out.entity_count = s.entity_count;
+    out.result_type = s.result_type;
+    double n = options_.entity_prior ? 1.0 : s.n_entities;
+    out.score = s.error_weight * s.sum / n;
+    suggestions.push_back(std::move(out));
+  }
+  std::sort(suggestions.begin(), suggestions.end(),
+            [](const Suggestion& a, const Suggestion& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.words < b.words;
+            });
+  if (suggestions.size() > options_.top_k) {
+    suggestions.resize(options_.top_k);
+  }
+  return suggestions;
+}
+
+}  // namespace xclean

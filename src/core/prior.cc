@@ -1,0 +1,55 @@
+#include "core/prior.h"
+
+#include "common/check.h"
+#include "core/slca.h"
+
+namespace xclean {
+
+LogEntityPrior::LogEntityPrior(const XmlIndex& index, double floor)
+    : index_(&index), floor_(floor), credit_(index.tree().size(), 0.0) {}
+
+void LogEntityPrior::AddQuery(const Query& query, uint64_t count) {
+  XCLEAN_CHECK(!finalized_);
+  std::vector<std::vector<NodeId>> witness_lists;
+  for (const std::string& word : query.keywords) {
+    TokenId token = index_->vocabulary().Find(word);
+    if (token == kInvalidToken) continue;
+    std::vector<NodeId> nodes;
+    const PostingList& list = index_->postings(token);
+    nodes.reserve(list.size());
+    for (const Posting& p : list) nodes.push_back(p.node);
+    witness_lists.push_back(std::move(nodes));
+  }
+  if (witness_lists.empty()) return;
+  std::vector<NodeId> slcas = ComputeSlcas(index_->tree(), witness_lists);
+  if (slcas.empty()) return;
+  ++logged_queries_;
+  // Split the query's popularity across its answers so broad queries do
+  // not swamp specific ones.
+  double share = static_cast<double>(count) /
+                 static_cast<double>(slcas.size());
+  for (NodeId n : slcas) credit_[n] += share;
+}
+
+void LogEntityPrior::Finalize() {
+  XCLEAN_CHECK(!finalized_);
+  finalized_ = true;
+  const XmlTree& tree = index_->tree();
+  // Reverse-preorder accumulation turns per-node credit into subtree
+  // totals (same trick as the indexer's subtree token counts).
+  for (NodeId n = tree.size(); n-- > 0;) {
+    if (n != tree.root()) credit_[tree.parent(n)] += credit_[n];
+  }
+}
+
+double LogEntityPrior::weight(NodeId node) const {
+  XCLEAN_CHECK(finalized_);
+  return floor_ + credit_[node];
+}
+
+std::function<double(NodeId)> LogEntityPrior::AsFunction() const {
+  XCLEAN_CHECK(finalized_);
+  return [this](NodeId node) { return weight(node); };
+}
+
+}  // namespace xclean

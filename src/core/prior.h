@@ -1,0 +1,65 @@
+#ifndef XCLEAN_CORE_PRIOR_H_
+#define XCLEAN_CORE_PRIOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/query.h"
+#include "index/xml_index.h"
+
+namespace xclean {
+
+/// Non-uniform entity priors P(r_j | T) from a query log — the
+/// generalization Sec. IV-B2 points at: "this can be easily generalized to
+/// non-uniform priors if additional data or domain knowledge is available
+/// (e.g., query logs)".
+///
+/// Each logged query credits the SLCA nodes of its keywords (the parts of
+/// the document users actually asked about); an entity's prior weight is a
+/// floor plus the total credit inside its subtree, so popular regions of
+/// the document lift the candidates they answer. Weights are relative —
+/// XClean's ranking only needs proportionality.
+///
+/// Usage:
+///   LogEntityPrior prior(index);
+///   prior.AddQuery(q1, 120);
+///   prior.AddQuery(q2, 7);
+///   prior.Finalize();
+///   options.entity_prior = prior.AsFunction();   // prior must outlive it
+class LogEntityPrior {
+ public:
+  /// `floor` is the weight of an entity no logged query ever touched;
+  /// it keeps unseen content reachable (a zero floor would make the
+  /// cleaner blind outside the log).
+  explicit LogEntityPrior(const XmlIndex& index, double floor = 1.0);
+
+  /// Records one logged query with its popularity. Keywords that are not
+  /// vocabulary tokens are ignored; a query with no resolvable keywords
+  /// contributes nothing.
+  void AddQuery(const Query& query, uint64_t count);
+
+  /// Aggregates credits into subtree weights. Must be called once, after
+  /// the last AddQuery and before weight()/AsFunction().
+  void Finalize();
+
+  /// floor + total credit under `node`. Requires Finalize().
+  double weight(NodeId node) const;
+
+  /// Adapter for XCleanOptions::entity_prior. The returned function holds
+  /// a pointer to this object, which must outlive it.
+  std::function<double(NodeId)> AsFunction() const;
+
+  uint64_t logged_queries() const { return logged_queries_; }
+
+ private:
+  const XmlIndex* index_;
+  double floor_;
+  std::vector<double> credit_;  // per node; subtree-aggregated by Finalize
+  uint64_t logged_queries_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_CORE_PRIOR_H_

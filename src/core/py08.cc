@@ -1,0 +1,236 @@
+#include "core/py08.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+namespace xclean {
+
+Py08Cleaner::Py08Cleaner(const XmlIndex& index, Py08Options options)
+    : index_(&index),
+      options_(options),
+      variant_gen_(index, VariantGenOptions{options.max_ed, false}) {}
+
+double Py08Cleaner::SpellingSimilarity(std::string_view observed,
+                                       std::string_view intended,
+                                       uint32_t edit_distance) {
+  size_t longer = std::max(observed.size(), intended.size());
+  if (longer == 0) return 1.0;
+  return 1.0 -
+         static_cast<double>(edit_distance) / static_cast<double>(longer);
+}
+
+double Py08Cleaner::ScoreIr(TokenId token) const {
+  // score_IR(w) = max_t count(w,t)/|t| * log(N/df(w)), maximized by a full
+  // scan of w's inverted list ("tuples" = text-bearing XML elements).
+  const PostingList& list = index_->postings(token);
+  last_postings_read_ += list.size();
+  double idf = std::log(static_cast<double>(index_->text_node_count()) /
+                        static_cast<double>(index_->doc_freq(token)));
+  double best = 0.0;
+  for (const Posting& p : list) {
+    double tf_norm = static_cast<double>(p.tf) /
+                     static_cast<double>(index_->node_token_count(p.node));
+    best = std::max(best, tf_norm * idf);
+  }
+  return best;
+}
+
+double Py08Cleaner::ScorePhrasePass(const std::vector<TokenId>& tokens) const {
+  // Drive the intersection from the shortest list, binary-searching the
+  // others; every invocation re-reads the lists (no caching across
+  // segments — this mirrors the original system's per-segment DB probes).
+  size_t driver = 0;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    if (index_->postings(tokens[i]).size() <
+        index_->postings(tokens[driver]).size()) {
+      driver = i;
+    }
+  }
+  const PostingList& driver_list = index_->postings(tokens[driver]);
+  last_postings_read_ += driver_list.size();
+
+  std::vector<double> idf(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    idf[i] = std::log(static_cast<double>(index_->text_node_count()) /
+                      static_cast<double>(index_->doc_freq(tokens[i])));
+  }
+
+  double best = 0.0;
+  for (const Posting& dp : driver_list) {
+    double sum = 0.0;
+    bool all = true;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const PostingList& list = index_->postings(tokens[i]);
+      auto it = std::lower_bound(
+          list.begin(), list.end(), dp.node,
+          [](const Posting& p, NodeId n) { return p.node < n; });
+      ++last_postings_read_;
+      if (it == list.end() || it->node != dp.node) {
+        all = false;
+        break;
+      }
+      sum += static_cast<double>(it->tf) /
+             static_cast<double>(index_->node_token_count(dp.node)) * idf[i];
+    }
+    if (all) best = std::max(best, sum);
+  }
+  return best;
+}
+
+std::vector<Suggestion> Py08Cleaner::Suggest(const Query& query) {
+  last_postings_read_ = 0;
+  const size_t l = query.size();
+  if (l == 0) return {};
+
+  // Variants per keyword, with word-level contributions used to rank
+  // segment instantiations before the expensive phrase passes.
+  struct SlotVariant {
+    TokenId token;
+    double word_score;   // score_IR(w) * f(w)
+    double similarity;   // f(w)
+  };
+  std::vector<std::vector<SlotVariant>> slots(l);
+  for (size_t i = 0; i < l; ++i) {
+    for (const Variant& v : variant_gen_.Generate(query.keywords[i])) {
+      double similarity =
+          SpellingSimilarity(query.keywords[i],
+                             index_->vocabulary().token(v.token), v.distance);
+      slots[i].push_back(
+          SlotVariant{v.token, ScoreIr(v.token) * similarity, similarity});
+    }
+    if (slots[i].empty()) return {};
+    std::sort(slots[i].begin(), slots[i].end(),
+              [](const SlotVariant& a, const SlotVariant& b) {
+                if (a.word_score != b.word_score) {
+                  return a.word_score > b.word_score;
+                }
+                return a.token < b.token;
+              });
+  }
+
+  // Segment candidates for every span [i, j): instantiations of the span's
+  // keywords, scored by a fresh posting pass (multi-word spans require one
+  // element to contain the whole phrase; spans that never co-occur are
+  // dropped, except single words which always stand).
+  const size_t cap = options_.gamma == 0 ? SIZE_MAX : options_.gamma;
+  std::map<std::pair<size_t, size_t>, std::vector<SegmentCandidate>> segments;
+  for (size_t begin = 0; begin < l; ++begin) {
+    size_t max_end = std::min(l, begin + options_.max_segment_len);
+    for (size_t end = begin + 1; end <= max_end; ++end) {
+      std::vector<SegmentCandidate>& out = segments[{begin, end}];
+      // Enumerate instantiations over the (descending-sorted) slot lists
+      // with an odometer — first-slot-major order, so the gamma cap keeps
+      // a good approximation of the top instantiations.
+      std::vector<size_t> odo(end - begin, 0);
+      for (;;) {
+        SegmentCandidate cand;
+        cand.tokens.reserve(end - begin);
+        double word_sum = 0.0;
+        for (size_t i = begin; i < end; ++i) {
+          const SlotVariant& v = slots[i][odo[i - begin]];
+          cand.tokens.push_back(v.token);
+          cand.similarity *= v.similarity;
+          word_sum += v.word_score;
+        }
+        if (end - begin == 1) {
+          cand.score = word_sum;
+        } else {
+          double phrase = ScorePhrasePass(cand.tokens);
+          // Phrase must materialize in some element; weight by the
+          // segment's spelling similarity.
+          cand.score = phrase * cand.similarity;
+        }
+        if (end - begin == 1 || cand.score > 0.0) {
+          out.push_back(std::move(cand));
+        }
+        if (out.size() >= cap) break;
+        // Odometer.
+        size_t slot = end - begin;
+        bool done = false;
+        while (slot > 0) {
+          --slot;
+          if (++odo[slot] < slots[begin + slot].size()) break;
+          odo[slot] = 0;
+          if (slot == 0) done = true;
+        }
+        if (done) break;
+      }
+      std::sort(out.begin(), out.end(),
+                [](const SegmentCandidate& a, const SegmentCandidate& b) {
+                  return a.score > b.score;
+                });
+    }
+  }
+
+  // Left-to-right segmentation DP keeping the top gamma partial queries
+  // per prefix ("top segments computed for each partial query").
+  struct Partial {
+    std::vector<TokenId> tokens;
+    double score = 0.0;
+    double similarity = 1.0;
+  };
+  std::vector<std::vector<Partial>> dp(l + 1);
+  dp[0].push_back(Partial{});
+  for (size_t end = 1; end <= l; ++end) {
+    std::vector<Partial>& bucket = dp[end];
+    for (size_t begin = end < options_.max_segment_len
+                            ? 0
+                            : end - options_.max_segment_len;
+         begin < end; ++begin) {
+      auto seg_it = segments.find({begin, end});
+      if (seg_it == segments.end()) continue;
+      for (const Partial& prefix : dp[begin]) {
+        for (const SegmentCandidate& seg : seg_it->second) {
+          Partial next;
+          next.tokens = prefix.tokens;
+          next.tokens.insert(next.tokens.end(), seg.tokens.begin(),
+                             seg.tokens.end());
+          next.score = prefix.score + seg.score;
+          next.similarity = prefix.similarity * seg.similarity;
+          bucket.push_back(std::move(next));
+        }
+      }
+    }
+    std::sort(bucket.begin(), bucket.end(),
+              [](const Partial& a, const Partial& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.tokens < b.tokens;
+              });
+    // Dedupe identical token sequences reached via different segmentations
+    // (keep the best-scoring route).
+    std::vector<Partial> unique;
+    for (Partial& p : bucket) {
+      bool dup = false;
+      for (const Partial& u : unique) {
+        if (u.tokens == p.tokens) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) unique.push_back(std::move(p));
+      if (unique.size() >= cap) break;
+    }
+    bucket = std::move(unique);
+  }
+
+  std::vector<Suggestion> suggestions;
+  for (const Partial& p : dp[l]) {
+    if (suggestions.size() >= options_.top_k) break;
+    Suggestion s;
+    s.score = p.score;
+    s.error_weight = p.similarity;
+    s.words.reserve(p.tokens.size());
+    for (TokenId t : p.tokens) {
+      s.words.push_back(index_->vocabulary().token(t));
+    }
+    // PY08 performs no connectivity / result check across segments:
+    // result_type stays invalid and entity_count 0 — suggestions may have
+    // empty results.
+    suggestions.push_back(std::move(s));
+  }
+  return suggestions;
+}
+
+}  // namespace xclean

@@ -1,0 +1,20 @@
+#include "core/query.h"
+
+#include "common/string_util.h"
+
+namespace xclean {
+
+std::string Query::ToString() const { return Join(keywords, " "); }
+
+Query ParseQuery(std::string_view text, const Tokenizer& tokenizer) {
+  Query query;
+  for (const std::string& word : SplitWhitespace(text)) {
+    std::string normalized = tokenizer.NormalizeToken(word);
+    if (!normalized.empty()) query.keywords.push_back(std::move(normalized));
+  }
+  return query;
+}
+
+std::string Suggestion::ToString() const { return Join(words, " "); }
+
+}  // namespace xclean

@@ -1,0 +1,70 @@
+#ifndef XCLEAN_CORE_QUERY_H_
+#define XCLEAN_CORE_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/tokenizer.h"
+#include "xml/tree.h"
+
+namespace xclean {
+
+/// A keyword query: an ordered sequence of keywords (Sec. III). Keywords
+/// may or may not be vocabulary tokens — that is the whole point.
+struct Query {
+  std::vector<std::string> keywords;
+
+  bool empty() const { return keywords.empty(); }
+  size_t size() const { return keywords.size(); }
+
+  /// "keyword1 keyword2 ..." rendering.
+  std::string ToString() const;
+
+  bool operator==(const Query& other) const = default;
+};
+
+/// Splits raw user input on whitespace and normalizes each keyword with the
+/// same policy as indexing (lowercase, strip punctuation). Keywords that
+/// normalize to nothing (stopwords, numbers, too short) are dropped, which
+/// mirrors how the indexed corpus was filtered.
+Query ParseQuery(std::string_view text, const Tokenizer& tokenizer);
+
+/// One alternative query suggestion with its diagnostics.
+struct Suggestion {
+  /// The suggested keywords (same arity as the input query, except for
+  /// space-edit suggestions which may merge or split keywords).
+  std::vector<std::string> words;
+  /// Ranking score: P(C|Q,T) up to the constant kappa of Eq. (2). Scores
+  /// are comparable only within one suggestion list.
+  double score = 0.0;
+  /// The inferred result node type p_C (node-type semantics), or
+  /// XmlTree::kInvalidPath when the algorithm has none (baselines, SLCA).
+  PathId result_type = XmlTree::kInvalidPath;
+  /// Number of entities that contributed to the score; > 0 guarantees the
+  /// suggestion has non-empty results.
+  uint32_t entity_count = 0;
+  /// The error-model component P(Q|C) of the score.
+  double error_weight = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Common interface of all query cleaning algorithms (XClean node-type,
+/// XClean SLCA, the naive scorer, PY08, the log-based corrector), so the
+/// experiment harness can run them uniformly.
+class QueryCleaner {
+ public:
+  virtual ~QueryCleaner() = default;
+
+  /// Top-k suggestions, best first. An empty result means the cleaner has
+  /// nothing to offer (e.g. no variant of some keyword exists).
+  virtual std::vector<Suggestion> Suggest(const Query& query) = 0;
+
+  /// Short display name for reports ("XClean", "PY08", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_CORE_QUERY_H_

@@ -1,0 +1,93 @@
+#include "core/slca.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace xclean {
+
+namespace {
+
+/// True iff `list` (sorted) has an element inside [lo, hi].
+bool ContainsInRange(const std::vector<NodeId>& list, NodeId lo, NodeId hi) {
+  auto it = std::lower_bound(list.begin(), list.end(), lo);
+  return it != list.end() && *it <= hi;
+}
+
+/// Drops every node that has a qualifying proper descendant. `sorted` must
+/// be ascending and duplicate-free; qualifying sets are upward closed, so a
+/// node's qualifying descendants (if any) follow it immediately in id order
+/// within its preorder interval.
+std::vector<NodeId> KeepMinimal(const XmlTree& tree,
+                                const std::vector<NodeId>& sorted) {
+  std::vector<NodeId> out;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    NodeId u = sorted[i];
+    bool has_descendant =
+        i + 1 < sorted.size() && sorted[i + 1] <= tree.subtree_end(u);
+    if (!has_descendant) out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<NodeId> ComputeSlcas(
+    const XmlTree& tree, const std::vector<std::vector<NodeId>>& lists) {
+  if (lists.empty()) return {};
+  size_t smallest = 0;
+  for (size_t i = 0; i < lists.size(); ++i) {
+    if (lists[i].empty()) return {};
+    if (lists[i].size() < lists[smallest].size()) smallest = i;
+  }
+
+  // Candidates: ancestor chains of the smallest list's witnesses.
+  std::unordered_set<NodeId> seen;
+  std::vector<NodeId> qualifying;
+  for (NodeId witness : lists[smallest]) {
+    NodeId cur = witness;
+    for (;;) {
+      if (!seen.insert(cur).second) break;  // chain above already visited
+      bool all = true;
+      for (size_t i = 0; i < lists.size(); ++i) {
+        if (i == smallest) continue;
+        if (!ContainsInRange(lists[i], cur, tree.subtree_end(cur))) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        qualifying.push_back(cur);
+        // Ancestors also qualify but can never be minimal; still walk up to
+        // mark them seen so later witnesses stop early.
+      }
+      if (cur == tree.root()) break;
+      cur = tree.parent(cur);
+    }
+  }
+  std::sort(qualifying.begin(), qualifying.end());
+  qualifying.erase(std::unique(qualifying.begin(), qualifying.end()),
+                   qualifying.end());
+  return KeepMinimal(tree, qualifying);
+}
+
+std::vector<NodeId> ComputeSlcasBruteForce(
+    const XmlTree& tree, const std::vector<std::vector<NodeId>>& lists) {
+  if (lists.empty()) return {};
+  for (const auto& list : lists) {
+    if (list.empty()) return {};
+  }
+  std::vector<NodeId> qualifying;
+  for (NodeId n = 0; n < tree.size(); ++n) {
+    bool all = true;
+    for (const auto& list : lists) {
+      if (!ContainsInRange(list, n, tree.subtree_end(n))) {
+        all = false;
+        break;
+      }
+    }
+    if (all) qualifying.push_back(n);
+  }
+  return KeepMinimal(tree, qualifying);
+}
+
+}  // namespace xclean

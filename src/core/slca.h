@@ -1,0 +1,34 @@
+#ifndef XCLEAN_CORE_SLCA_H_
+#define XCLEAN_CORE_SLCA_H_
+
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace xclean {
+
+/// Smallest Lowest Common Ancestors of l witness sets (the SLCA keyword
+/// query semantics, Sec. VI-B): the nodes whose subtree contains at least
+/// one witness from every set, and none of whose proper descendants does.
+///
+/// `lists` must be sorted ascending and duplicate-free; the result is
+/// sorted ascending. Empty input or any empty list yields an empty result.
+///
+/// Algorithm: every qualifying node is an ancestor-or-self of some witness
+/// in the smallest list, so the candidate set is the union of that list's
+/// ancestor chains; containment per list is a binary search against the
+/// candidate's preorder interval, and a final document-order sweep removes
+/// non-minimal (ancestor) nodes. With per-subtree witness lists this is
+/// O(|L_min| * depth * l * log|L|) — exact and cheap at the sizes the
+/// XClean pass produces; the brute-force oracle in tests checks it.
+std::vector<NodeId> ComputeSlcas(const XmlTree& tree,
+                                 const std::vector<std::vector<NodeId>>& lists);
+
+/// Reference implementation used by tests: O(n * l * log) scan of every
+/// tree node. Exposed here so benches can also measure it.
+std::vector<NodeId> ComputeSlcasBruteForce(
+    const XmlTree& tree, const std::vector<std::vector<NodeId>>& lists);
+
+}  // namespace xclean
+
+#endif  // XCLEAN_CORE_SLCA_H_

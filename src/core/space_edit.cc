@@ -1,0 +1,86 @@
+#include "core/space_edit.h"
+
+#include <set>
+
+namespace xclean {
+
+namespace {
+
+/// Neighbors of one segmentation under a single space change.
+std::vector<Query> SingleChanges(const Query& query,
+                                 const Vocabulary& vocabulary,
+                                 size_t min_token_length) {
+  std::vector<Query> out;
+  // Merges (space deletions).
+  for (size_t i = 0; i + 1 < query.keywords.size(); ++i) {
+    std::string merged = query.keywords[i] + query.keywords[i + 1];
+    if (!vocabulary.Contains(merged)) continue;
+    Query next;
+    next.keywords.reserve(query.keywords.size() - 1);
+    for (size_t j = 0; j < query.keywords.size(); ++j) {
+      if (j == i) {
+        next.keywords.push_back(merged);
+        ++j;  // skip the absorbed keyword
+      } else {
+        next.keywords.push_back(query.keywords[j]);
+      }
+    }
+    out.push_back(std::move(next));
+  }
+  // Splits (space insertions).
+  for (size_t i = 0; i < query.keywords.size(); ++i) {
+    const std::string& word = query.keywords[i];
+    if (word.size() < 2 * min_token_length) continue;
+    for (size_t cut = min_token_length;
+         cut + min_token_length <= word.size(); ++cut) {
+      std::string left = word.substr(0, cut);
+      std::string right = word.substr(cut);
+      if (!vocabulary.Contains(left) || !vocabulary.Contains(right)) continue;
+      Query next;
+      next.keywords.reserve(query.keywords.size() + 1);
+      for (size_t j = 0; j < query.keywords.size(); ++j) {
+        if (j == i) {
+          next.keywords.push_back(left);
+          next.keywords.push_back(right);
+        } else {
+          next.keywords.push_back(query.keywords[j]);
+        }
+      }
+      out.push_back(std::move(next));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SpaceEdit> ExpandSpaceEdits(const Query& query,
+                                        const Vocabulary& vocabulary,
+                                        uint32_t tau,
+                                        size_t min_token_length) {
+  std::vector<SpaceEdit> out;
+  std::set<std::vector<std::string>> seen;
+  out.push_back(SpaceEdit{query, 0});
+  seen.insert(query.keywords);
+  // Breadth-first over segmentations: frontier at distance c expands to
+  // c + 1 until tau.
+  size_t frontier_begin = 0;
+  for (uint32_t change = 1; change <= tau; ++change) {
+    size_t frontier_end = out.size();
+    for (size_t i = frontier_begin; i < frontier_end; ++i) {
+      // Copy: out may reallocate while we push.
+      Query base = out[i].query;
+      for (Query& next :
+           SingleChanges(base, vocabulary, min_token_length)) {
+        if (seen.insert(next.keywords).second) {
+          out.push_back(SpaceEdit{std::move(next), change});
+        }
+      }
+    }
+    frontier_begin = frontier_end;
+    if (frontier_begin == out.size()) break;  // no new segmentations
+  }
+  return out;
+}
+
+}  // namespace xclean

@@ -1,0 +1,39 @@
+#ifndef XCLEAN_CORE_SPACE_EDIT_H_
+#define XCLEAN_CORE_SPACE_EDIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "index/vocabulary.h"
+
+namespace xclean {
+
+/// One re-segmentation of the input query obtained by inserting or
+/// deleting spaces (Sec. VI-A), with the number of changes used.
+struct SpaceEdit {
+  Query query;
+  uint32_t changes = 0;
+};
+
+/// Enumerates every re-segmentation of `query` reachable with at most `tau`
+/// space changes (Sec. VI-A):
+///
+///  - deleting the space between two adjacent keywords merges them
+///    ("power point" -> "powerpoint"),
+///  - inserting a space inside a keyword splits it ("databasesystems" ->
+///    "databases systems").
+///
+/// Following the paper, a change is only admitted if every token it creates
+/// is in the vocabulary (most space changes produce invalid tokens, which
+/// keeps the expansion cheap), and pieces shorter than min_token_length are
+/// rejected (they could never have been indexed). The unmodified query is
+/// always included with changes = 0. Results are deduplicated.
+std::vector<SpaceEdit> ExpandSpaceEdits(const Query& query,
+                                        const Vocabulary& vocabulary,
+                                        uint32_t tau,
+                                        size_t min_token_length = 3);
+
+}  // namespace xclean
+
+#endif  // XCLEAN_CORE_SPACE_EDIT_H_

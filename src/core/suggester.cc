@@ -1,0 +1,81 @@
+#include "core/suggester.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/space_edit.h"
+#include "xml/parser.h"
+
+namespace xclean {
+
+XCleanSuggester::XCleanSuggester(std::unique_ptr<XmlIndex> index,
+                                 SuggesterOptions options)
+    : index_(std::move(index)), options_(options) {
+  algorithm_ = std::make_unique<XClean>(*index_, options_.xclean);
+}
+
+Result<XCleanSuggester> XCleanSuggester::FromXmlString(
+    std::string_view xml, SuggesterOptions options,
+    IndexOptions index_options) {
+  Result<XmlTree> tree = ParseXmlString(xml);
+  if (!tree.ok()) return tree.status();
+  XCleanSuggester suggester(
+      XmlIndex::Build(std::move(tree).value(), index_options), options);
+  suggester.index_->set_source_bytes(xml.size());
+  return suggester;
+}
+
+Result<XCleanSuggester> XCleanSuggester::FromXmlFile(
+    const std::string& path, SuggesterOptions options,
+    IndexOptions index_options) {
+  Result<XmlTree> tree = ParseXmlFile(path);
+  if (!tree.ok()) return tree.status();
+  return XCleanSuggester(
+      XmlIndex::Build(std::move(tree).value(), index_options), options);
+}
+
+XCleanSuggester XCleanSuggester::FromTree(XmlTree tree,
+                                          SuggesterOptions options,
+                                          IndexOptions index_options) {
+  return XCleanSuggester(XmlIndex::Build(std::move(tree), index_options),
+                         options);
+}
+
+std::vector<Suggestion> XCleanSuggester::Suggest(std::string_view query_text) {
+  return Suggest(ParseQuery(query_text, index_->tokenizer()));
+}
+
+std::vector<Suggestion> XCleanSuggester::Suggest(const Query& query) {
+  if (options_.space_tau == 0) return algorithm_->Suggest(query);
+
+  // Space-error extension: clean every admissible re-segmentation, penalize
+  // by the number of space changes, and merge (deduplicating by suggestion
+  // words — the same candidate can be reachable from several
+  // segmentations; the best-scoring route wins).
+  std::vector<Suggestion> merged;
+  std::set<std::vector<std::string>> seen;
+  std::vector<SpaceEdit> forms =
+      ExpandSpaceEdits(query, index_->vocabulary(), options_.space_tau,
+                       index_->tokenizer().options().min_token_length);
+  for (const SpaceEdit& form : forms) {
+    double penalty =
+        std::exp(-options_.space_penalty_beta * form.changes);
+    for (Suggestion& s : algorithm_->Suggest(form.query)) {
+      s.score *= penalty;
+      s.error_weight *= penalty;
+      if (seen.insert(s.words).second) merged.push_back(std::move(s));
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Suggestion& a, const Suggestion& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.words < b.words;
+            });
+  if (merged.size() > options_.xclean.top_k) {
+    merged.resize(options_.xclean.top_k);
+  }
+  return merged;
+}
+
+}  // namespace xclean

@@ -1,0 +1,79 @@
+#ifndef XCLEAN_CORE_SUGGESTER_H_
+#define XCLEAN_CORE_SUGGESTER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query.h"
+#include "core/xclean.h"
+#include "index/xml_index.h"
+
+namespace xclean {
+
+/// Facade configuration: the algorithm options plus the space-error
+/// extension.
+struct SuggesterOptions {
+  XCleanOptions xclean;
+  /// Maximum number of space insertions/deletions considered (tau of
+  /// Sec. VI-A); 0 disables re-segmentation.
+  uint32_t space_tau = 0;
+  /// Penalty weight per space change: a re-segmented query's suggestions
+  /// are discounted by exp(-space_penalty_beta * changes), mirroring the
+  /// edit-error model (the paper leaves the relative weighting of error
+  /// types to future work; this default treats a space change like one
+  /// character edit).
+  double space_penalty_beta = 5.0;
+};
+
+/// The top-level public API: owns the index and the algorithm, accepts raw
+/// query strings, and (optionally) folds in the space-error extension.
+///
+///   auto suggester = XCleanSuggester::FromXmlString(xml);
+///   if (!suggester.ok()) { ... }
+///   for (const Suggestion& s : suggester->Suggest("tree icdt")) { ... }
+class XCleanSuggester {
+ public:
+  /// Parses `xml` and builds the index.
+  static Result<XCleanSuggester> FromXmlString(
+      std::string_view xml, SuggesterOptions options = SuggesterOptions(),
+      IndexOptions index_options = IndexOptions());
+
+  /// Reads, parses and indexes an XML file.
+  static Result<XCleanSuggester> FromXmlFile(
+      const std::string& path, SuggesterOptions options = SuggesterOptions(),
+      IndexOptions index_options = IndexOptions());
+
+  /// Builds over an already-parsed tree.
+  static XCleanSuggester FromTree(XmlTree tree,
+                                  SuggesterOptions options = SuggesterOptions(),
+                                  IndexOptions index_options = IndexOptions());
+
+  XCleanSuggester(XCleanSuggester&&) noexcept = default;
+  XCleanSuggester& operator=(XCleanSuggester&&) noexcept = default;
+
+  /// Top-k suggestions for a raw query string. With space_tau > 0, all
+  /// re-segmentations within the budget are cleaned and their suggestion
+  /// lists merged under the space penalty.
+  std::vector<Suggestion> Suggest(std::string_view query_text);
+
+  /// Structured entry point.
+  std::vector<Suggestion> Suggest(const Query& query);
+
+  const XmlIndex& index() const { return *index_; }
+  XClean& algorithm() { return *algorithm_; }
+  const SuggesterOptions& options() const { return options_; }
+
+ private:
+  XCleanSuggester(std::unique_ptr<XmlIndex> index, SuggesterOptions options);
+
+  std::unique_ptr<XmlIndex> index_;
+  std::unique_ptr<XClean> algorithm_;
+  SuggesterOptions options_;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_CORE_SUGGESTER_H_

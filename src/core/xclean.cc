@@ -1,0 +1,314 @@
+#include "core/xclean.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "core/elca.h"
+#include "core/slca.h"
+#include "index/merged_list.h"
+
+namespace xclean {
+
+namespace {
+
+/// Per-subtree occurrence bundle for one keyword slot: the variants seen in
+/// the subtree with their occurrence nodes (document order) and term
+/// frequencies. std::map keeps variant enumeration deterministic.
+struct OccInfo {
+  NodeId node;
+  uint32_t tf;
+};
+using SlotOccurrences = std::map<TokenId, std::vector<OccInfo>>;
+
+/// Sum of tf of `occ` entries whose node lies in [lo, hi]; occ is sorted by
+/// node.
+uint64_t SumTfInRange(const std::vector<OccInfo>& occ, NodeId lo, NodeId hi) {
+  auto it = std::lower_bound(
+      occ.begin(), occ.end(), lo,
+      [](const OccInfo& o, NodeId target) { return o.node < target; });
+  uint64_t sum = 0;
+  for (; it != occ.end() && it->node <= hi; ++it) sum += it->tf;
+  return sum;
+}
+
+}  // namespace
+
+XClean::XClean(const XmlIndex& index, XCleanOptions options)
+    : index_(&index),
+      options_(options),
+      variant_gen_(index,
+                   VariantGenOptions{options.max_ed, options.include_soundex}),
+      error_model_(options.beta),
+      language_model_(index, options.mu),
+      type_scorer_(index, options.reduction) {}
+
+std::string XClean::name() const {
+  switch (options_.semantics) {
+    case Semantics::kNodeType:
+      return "XClean";
+    case Semantics::kSlca:
+      return "XClean-SLCA";
+    default:
+      return "XClean-ELCA";
+  }
+}
+
+std::vector<Suggestion> XClean::Suggest(const Query& query) {
+  return SuggestWithStats(query, &stats_);
+}
+
+std::vector<Suggestion> XClean::SuggestWithStats(const Query& query,
+                                                 XCleanRunStats* stats) const {
+  XCleanRunStats local_stats;
+  XCleanRunStats& run_stats = stats != nullptr ? *stats : local_stats;
+  run_stats = XCleanRunStats{};
+  const size_t l = query.size();
+  if (l == 0) return {};
+
+  // Step 1: variant generation (Sec. V-A). An empty variant list for any
+  // keyword empties the whole Cartesian candidate space.
+  std::vector<std::vector<Variant>> variants(l);
+  std::vector<std::unordered_map<TokenId, uint32_t>> distance(l);
+  for (size_t i = 0; i < l; ++i) {
+    variants[i] = variant_gen_.Generate(query.keywords[i]);
+    if (variants[i].empty()) return {};
+    for (const Variant& v : variants[i]) distance[i][v.token] = v.distance;
+  }
+
+  // Step 2: one MergedList per keyword over its variants' inverted lists.
+  std::vector<MergedList> merged;
+  merged.reserve(l);
+  for (size_t i = 0; i < l; ++i) {
+    std::vector<MergedList::Member> members;
+    members.reserve(variants[i].size());
+    for (const Variant& v : variants[i]) {
+      members.push_back(MergedList::Member{
+          v.token, PostingCursor(index_->postings(v.token))});
+    }
+    merged.emplace_back(std::move(members));
+  }
+
+  const XmlTree& tree = index_->tree();
+  const uint32_t d = options_.min_depth;
+
+  AccumulatorTable accumulators(options_.gamma);
+  // P table: cached best result type per candidate (node-type semantics).
+  std::unordered_map<std::string, ResultTypeScorer::Choice> type_cache;
+  // SLCA semantics: per-candidate total entity count N_C (kept outside the
+  // bounded accumulator table: N_C is part of the normalizer, not a score).
+  std::unordered_map<std::string, uint32_t> slca_entity_totals;
+
+  std::vector<SlotOccurrences> slot_occ(l);
+  std::vector<TokenId> candidate(l);
+
+  // Main anchor loop (Algorithm 1 lines 4-16).
+  for (;;) {
+    // Anchor: the largest current head across the merged lists; nil if any
+    // list is exhausted (no further subtree can contain all keywords).
+    const MergedList::Head* anchor = nullptr;
+    size_t anchor_slot = 0;
+    bool exhausted = false;
+    for (size_t i = 0; i < l; ++i) {
+      const MergedList::Head* h = merged[i].cur_pos();
+      if (h == nullptr) {
+        exhausted = true;
+        break;
+      }
+      if (anchor == nullptr || h->node > anchor->node) {
+        anchor = h;
+        anchor_slot = i;
+      }
+    }
+    if (exhausted || anchor == nullptr) break;
+
+    // An occurrence shallower than d can lie in no depth-d subtree and no
+    // entity of depth >= d; discard it.
+    if (tree.depth(anchor->node) < d) {
+      merged[anchor_slot].Next();
+      continue;
+    }
+
+    // Truncate the anchor's Dewey code to depth d: the target subtree g.
+    NodeId g = tree.AncestorAtDepth(anchor->node, d);
+    NodeId g_end = tree.subtree_end(g);
+    ++run_stats.subtrees_processed;
+
+    // Align all lists to g (discarding everything before it — those nodes
+    // sit in subtrees that cannot contain occurrences of every keyword)
+    // and collect the occurrences inside g's subtree.
+    bool all_slots_present = true;
+    for (size_t i = 0; i < l; ++i) {
+      slot_occ[i].clear();
+      const MergedList::Head* h = merged[i].SkipTo(g);
+      while (h != nullptr && h->node <= g_end) {
+        MergedList::Head head = merged[i].Next();
+        slot_occ[i][head.token].push_back(OccInfo{head.node, head.tf});
+        ++run_stats.occurrences_collected;
+        h = merged[i].cur_pos();
+      }
+      if (slot_occ[i].empty()) all_slots_present = false;
+    }
+    if (!all_slots_present) continue;
+
+    // Enumerate candidate queries from the variants observed in g: the
+    // Cartesian product of the per-slot variant sets, in token order.
+    std::vector<SlotOccurrences::const_iterator> iters(l);
+    for (size_t i = 0; i < l; ++i) iters[i] = slot_occ[i].begin();
+    for (;;) {
+      for (size_t i = 0; i < l; ++i) candidate[i] = iters[i]->first;
+      ++run_stats.candidates_enumerated;
+      std::string key = EncodeCandidate(candidate);
+
+      double error_weight = 1.0;
+      for (size_t i = 0; i < l; ++i) {
+        error_weight *= error_model_.Weight(distance[i][candidate[i]]);
+      }
+
+      if (options_.semantics == Semantics::kNodeType) {
+        // Lazy FindResultType with the P cache (Algorithm 1 lines 12-13).
+        auto cached = type_cache.find(key);
+        if (cached == type_cache.end()) {
+          ++run_stats.result_type_computations;
+          cached = type_cache
+                       .emplace(key, type_scorer_.FindResultType(candidate, d))
+                       .first;
+        }
+        const ResultTypeScorer::Choice& choice = cached->second;
+        if (choice.path != XmlTree::kInvalidPath) {
+          uint32_t entity_depth = tree.path_depth(choice.path);
+          // Group this subtree's occurrences by their entity (the ancestor
+          // at the result type's depth, provided its path matches).
+          std::map<NodeId, std::vector<uint64_t>> entity_counts;
+          for (size_t i = 0; i < l; ++i) {
+            for (const OccInfo& occ : iters[i]->second) {
+              if (tree.depth(occ.node) < entity_depth) continue;
+              NodeId entity = tree.AncestorAtDepth(occ.node, entity_depth);
+              if (tree.path_id(entity) != choice.path) continue;
+              auto [it, created] =
+                  entity_counts.try_emplace(entity, std::vector<uint64_t>(l, 0));
+              it->second[i] += occ.tf;
+            }
+          }
+          for (const auto& [entity, counts] : entity_counts) {
+            // An entity scores only if it contains at least one instance of
+            // every keyword (Algorithm 1 line 14) — this is what guarantees
+            // suggested queries have non-empty results.
+            bool complete = true;
+            for (size_t i = 0; i < l; ++i) {
+              if (counts[i] == 0) {
+                complete = false;
+                break;
+              }
+            }
+            if (!complete) continue;
+            double prod = 1.0;
+            for (size_t i = 0; i < l; ++i) {
+              prod *= language_model_.ProbInEntity(candidate[i], counts[i],
+                                                   entity);
+            }
+            if (options_.entity_prior) prod *= options_.entity_prior(entity);
+            CandidateState* state =
+                accumulators.GetOrCreate(key, error_weight);
+            state->sum += prod;
+            state->entity_count += 1;
+            ++run_stats.entities_scored;
+          }
+        }
+      } else {
+        // LCA-family semantics: the candidate's entities inside this
+        // subtree are the SLCAs (or ELCAs) of its per-slot witness sets.
+        std::vector<std::vector<NodeId>> witness_lists(l);
+        for (size_t i = 0; i < l; ++i) {
+          witness_lists[i].reserve(iters[i]->second.size());
+          for (const OccInfo& occ : iters[i]->second) {
+            witness_lists[i].push_back(occ.node);
+          }
+        }
+        std::vector<NodeId> slcas =
+            options_.semantics == Semantics::kSlca
+                ? ComputeSlcas(tree, witness_lists)
+                : ComputeElcas(tree, witness_lists);
+        // ELCA computation can surface ancestors of g (they contain the
+        // subtree's witnesses); the minimal-depth threshold excludes them,
+        // exactly as it excludes shallow result types. SLCAs are within
+        // the subtree already, so this is a no-op for them.
+        std::erase_if(slcas,
+                      [&](NodeId e) { return tree.depth(e) < d; });
+        if (!slcas.empty()) {
+          slca_entity_totals[key] += static_cast<uint32_t>(slcas.size());
+          for (NodeId entity : slcas) {
+            double prod = 1.0;
+            for (size_t i = 0; i < l; ++i) {
+              uint64_t count = SumTfInRange(iters[i]->second, entity,
+                                            tree.subtree_end(entity));
+              prod *= language_model_.ProbInEntity(candidate[i], count,
+                                                   entity);
+            }
+            if (options_.entity_prior) prod *= options_.entity_prior(entity);
+            CandidateState* state =
+                accumulators.GetOrCreate(key, error_weight);
+            state->sum += prod;
+            state->entity_count += 1;
+            ++run_stats.entities_scored;
+          }
+        }
+      }
+
+      // Advance the Cartesian product (odometer).
+      size_t slot = l;
+      while (slot > 0) {
+        --slot;
+        if (++iters[slot] != slot_occ[slot].end()) break;
+        iters[slot] = slot_occ[slot].begin();
+        if (slot == 0) {
+          slot = SIZE_MAX;
+          break;
+        }
+      }
+      if (slot == SIZE_MAX) break;
+    }
+  }
+
+  run_stats.accumulator_evictions = accumulators.eviction_count();
+  run_stats.accumulators_final = accumulators.size();
+
+  // Final scoring (Eq. 10) and top-k selection.
+  std::vector<Suggestion> suggestions;
+  suggestions.reserve(accumulators.entries().size());
+  for (const auto& [key, state] : accumulators.entries()) {
+    std::vector<TokenId> tokens = DecodeCandidate(key);
+    Suggestion s;
+    s.words.reserve(tokens.size());
+    for (TokenId t : tokens) s.words.push_back(index_->vocabulary().token(t));
+    s.error_weight = state.error_weight;
+    s.entity_count = state.entity_count;
+    double n_entities = 1.0;
+    if (!options_.entity_prior) {
+      if (options_.semantics == Semantics::kNodeType) {
+        const ResultTypeScorer::Choice& choice = type_cache.at(key);
+        s.result_type = choice.path;
+        n_entities = tree.path_node_count(choice.path);
+      } else {
+        n_entities = slca_entity_totals.at(key);
+      }
+    } else if (options_.semantics == Semantics::kNodeType) {
+      s.result_type = type_cache.at(key).path;
+    }
+    s.score = state.error_weight * state.sum / n_entities;
+    suggestions.push_back(std::move(s));
+  }
+
+  std::sort(suggestions.begin(), suggestions.end(),
+            [](const Suggestion& a, const Suggestion& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.words < b.words;
+            });
+  if (suggestions.size() > options_.top_k) {
+    suggestions.resize(options_.top_k);
+  }
+  return suggestions;
+}
+
+}  // namespace xclean

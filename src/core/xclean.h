@@ -1,0 +1,122 @@
+#ifndef XCLEAN_CORE_XCLEAN_H_
+#define XCLEAN_CORE_XCLEAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/accumulator.h"
+#include "core/query.h"
+#include "core/variant_gen.h"
+#include "index/xml_index.h"
+#include "lm/error_model.h"
+#include "lm/language_model.h"
+#include "lm/result_type.h"
+
+namespace xclean {
+
+/// Which XML keyword query semantics defines the entities r_j of Eq. (8).
+enum class Semantics {
+  /// Specific result node type (XReal-style; the paper's main setting,
+  /// Sec. IV-B2): FindResultType picks one label path p_C per candidate and
+  /// every node of that path is an entity (N = #nodes of the path).
+  kNodeType,
+  /// SLCA semantics (Sec. VI-B): the candidate's SLCA nodes are its
+  /// entities (N = #SLCAs of the candidate).
+  kSlca,
+  /// ELCA semantics (Sec. VIII lists it among the result structures the
+  /// framework accommodates): the candidate's exclusive LCAs are its
+  /// entities — a superset of the SLCAs that also credits ancestors with
+  /// their own exclusive witnesses.
+  kElca,
+};
+
+/// All tuning knobs of the XClean algorithm, named after the paper's
+/// symbols. The defaults are the paper's reported best settings.
+struct XCleanOptions {
+  /// Edit distance threshold eps for var_eps(q). Must not exceed the
+  /// index's FastSS radius.
+  uint32_t max_ed = 2;
+  /// Error penalty beta of Eq. (5); beta = 5 is the paper's best (Table IV).
+  double beta = 5.0;
+  /// Dirichlet smoothing mass mu (Eq. for P(w|D); unstated in the paper, we
+  /// use the standard 2000).
+  double mu = 2000.0;
+  /// Depth reduction r of Eq. (7).
+  double reduction = 0.8;
+  /// Minimal depth threshold d (Sec. V-B): result types shallower than this
+  /// are never considered and subtrees are formed by truncating anchors to
+  /// this depth. The paper finds d = 2 usually sufficient.
+  uint32_t min_depth = 2;
+  /// Number of suggestions returned.
+  size_t top_k = 10;
+  /// Maximum number of in-memory score accumulators gamma (Sec. V-D);
+  /// 0 means unbounded (exact evaluation).
+  size_t gamma = 1000;
+  /// Entity semantics.
+  Semantics semantics = Semantics::kNodeType;
+  /// Cognitive-error extension: admit Soundex-equal variants.
+  bool include_soundex = false;
+  /// Optional non-uniform entity prior P(r_j|T) (Sec. IV-B2 notes the
+  /// generalization). When set, each entity's contribution is weighted by
+  /// prior(r_j) and the uniform 1/N factor is dropped.
+  std::function<double(NodeId)> entity_prior;
+};
+
+/// Counters describing the work done by the last Suggest() call; used by
+/// the efficiency benches and the skipping/pruning tests.
+struct XCleanRunStats {
+  uint64_t subtrees_processed = 0;
+  uint64_t occurrences_collected = 0;
+  uint64_t candidates_enumerated = 0;
+  uint64_t entities_scored = 0;
+  uint64_t result_type_computations = 0;
+  uint64_t accumulator_evictions = 0;
+  uint64_t accumulators_final = 0;
+};
+
+/// The XClean algorithm (Algorithm 1): computes the scores of all candidate
+/// queries in a single pass over the merged variant inverted lists, driven
+/// by anchor nodes and depth-d Dewey truncation, with skip-based list
+/// advancement, lazy result-type computation and gamma-bounded
+/// probabilistic accumulator pruning.
+class XClean : public QueryCleaner {
+ public:
+  XClean(const XmlIndex& index, XCleanOptions options = XCleanOptions());
+
+  /// QueryCleaner entry point; records the run's counters in
+  /// last_run_stats() and is therefore NOT safe to call concurrently on
+  /// one instance — concurrent servers use SuggestWithStats.
+  std::vector<Suggestion> Suggest(const Query& query) override;
+  std::string name() const override;
+
+  /// Thread-safe entry point: all state lives on the stack (plus the
+  /// immutable index), so any number of threads may call this on one
+  /// XClean instance concurrently. `stats` (optional) receives the run's
+  /// work counters.
+  std::vector<Suggestion> SuggestWithStats(const Query& query,
+                                           XCleanRunStats* stats) const;
+
+  const XCleanOptions& options() const { return options_; }
+  const XCleanRunStats& last_run_stats() const { return stats_; }
+
+ private:
+  struct SlotOccurrence {
+    NodeId node;
+    uint32_t tf;
+  };
+
+  const XmlIndex* index_;
+  XCleanOptions options_;
+  VariantGenerator variant_gen_;
+  ErrorModel error_model_;
+  LanguageModel language_model_;
+  ResultTypeScorer type_scorer_;
+  XCleanRunStats stats_;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_CORE_XCLEAN_H_

@@ -1,0 +1,138 @@
+#include "data/dblp_gen.h"
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "data/misspell.h"
+#include "data/wordlist.h"
+
+namespace xclean {
+
+namespace {
+
+/// Sample a title: a Zipfian mix of computer-science terms and common
+/// English connective words, e.g. "efficient clustering large graph
+/// streams", with an occasional content typo (see DblpGenOptions).
+std::string SampleTitle(Rng& rng, const ZipfDistribution& cs_zipf,
+                        const ZipfDistribution& en_zipf,
+                        const DblpGenOptions& options) {
+  auto cs = ComputerScienceTerms();
+  auto en = CommonEnglishWords();
+  uint32_t n = static_cast<uint32_t>(rng.UniformInt(
+      options.title_min_words, options.title_max_words));
+  std::vector<std::string> words;
+  words.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    // Titles are ~2/3 technical terms, ~1/3 general vocabulary.
+    std::string word;
+    if (rng.Uniform(3) < 2) {
+      word = std::string(cs[cs_zipf.Sample(rng)]);
+    } else {
+      word = std::string(en[en_zipf.Sample(rng)]);
+    }
+    if (rng.Bernoulli(options.content_typo_rate)) {
+      word = RuleMisspell(word, 1, rng);
+    }
+    words.push_back(std::move(word));
+  }
+  return Join(words, " ");
+}
+
+}  // namespace
+
+XmlTree GenerateDblp(const DblpGenOptions& options) {
+  Rng rng(options.seed);
+
+  auto surnames = Surnames();
+  auto firsts = FirstNames();
+  auto venues = VenueNames();
+
+  // Venue pools: like real DBLP, journal names and conference names are
+  // disjoint (a paper "in OSDI" is never an <article><journal>).
+  size_t venue_split = venues.size() / 2;
+  std::span<const std::string_view> journals = venues.subspan(0, venue_split);
+  std::span<const std::string_view> conferences = venues.subspan(venue_split);
+
+  // Author pool: (first, last) pairs; productivity is Zipfian over the
+  // pool, mirroring real bibliographies.
+  std::vector<std::string> authors;
+  authors.reserve(options.num_authors);
+  for (uint32_t i = 0; i < options.num_authors; ++i) {
+    std::string name = std::string(firsts[rng.Uniform(firsts.size())]) + " " +
+                       std::string(surnames[rng.Uniform(surnames.size())]);
+    authors.push_back(std::move(name));
+  }
+
+  ZipfDistribution author_zipf(options.num_authors, options.zipf_s);
+  ZipfDistribution journal_zipf(journals.size(), options.zipf_s);
+  ZipfDistribution conference_zipf(conferences.size(), options.zipf_s);
+  ZipfDistribution cs_zipf(ComputerScienceTerms().size(), options.zipf_s);
+  ZipfDistribution en_zipf(CommonEnglishWords().size(), options.zipf_s);
+
+  XmlTreeBuilder builder;
+  XCLEAN_CHECK(builder.BeginElement("dblp").ok());
+  for (uint32_t pub = 0; pub < options.num_publications; ++pub) {
+    uint64_t kind = rng.Uniform(10);
+    const char* element = kind < 5   ? "article"
+                          : kind < 9 ? "inproceedings"
+                                     : "phdthesis";
+    bool is_article = kind < 5;
+    std::string venue(is_article
+                          ? journals[journal_zipf.Sample(rng)]
+                          : conferences[conference_zipf.Sample(rng)]);
+    uint64_t year = 1980 + rng.Uniform(30);
+
+    XCLEAN_CHECK(builder.BeginElement(element).ok());
+    XCLEAN_CHECK(
+        builder
+            .AddLeaf("@key", StrFormat("%s/%s/%u", element, venue.c_str(),
+                                       static_cast<unsigned>(pub)))
+            .ok());
+    uint64_t num_authors = 1 + rng.Uniform(3);
+    for (uint64_t a = 0; a < num_authors; ++a) {
+      XCLEAN_CHECK(
+          builder.AddLeaf("author", authors[author_zipf.Sample(rng)]).ok());
+    }
+    XCLEAN_CHECK(
+        builder.AddLeaf("title", SampleTitle(rng, cs_zipf, en_zipf, options))
+            .ok());
+    XCLEAN_CHECK(builder.AddLeaf("year", std::to_string(year)).ok());
+    const char* venue_tag = is_article ? "journal" : "booktitle";
+    XCLEAN_CHECK(builder.AddLeaf(venue_tag, venue).ok());
+    if (rng.Bernoulli(0.7)) {
+      uint64_t first_page = 1 + rng.Uniform(400);
+      XCLEAN_CHECK(builder
+                       .AddLeaf("pages", StrFormat("%u-%u",
+                                                   static_cast<unsigned>(
+                                                       first_page),
+                                                   static_cast<unsigned>(
+                                                       first_page +
+                                                       rng.Uniform(20))))
+                       .ok());
+    }
+    if (rng.Bernoulli(options.cite_probability)) {
+      // Citation block adds the deeper structure real DBLP has
+      // (/dblp/article/citations/cite).
+      XCLEAN_CHECK(builder.BeginElement("citations").ok());
+      uint64_t cites = 1 + rng.Uniform(4);
+      for (uint64_t c = 0; c < cites; ++c) {
+        XCLEAN_CHECK(
+            builder
+                .AddLeaf("cite", SampleTitle(rng, cs_zipf, en_zipf, options))
+                .ok());
+      }
+      XCLEAN_CHECK(builder.EndElement().ok());
+    }
+    XCLEAN_CHECK(builder.EndElement().ok());
+  }
+  XCLEAN_CHECK(builder.EndElement().ok());
+
+  Result<XmlTree> tree = std::move(builder).Finish();
+  XCLEAN_CHECK(tree.ok());
+  return std::move(tree).value();
+}
+
+}  // namespace xclean

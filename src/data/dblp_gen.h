@@ -1,0 +1,50 @@
+#ifndef XCLEAN_DATA_DBLP_GEN_H_
+#define XCLEAN_DATA_DBLP_GEN_H_
+
+#include <cstdint>
+
+#include "xml/tree.h"
+
+namespace xclean {
+
+/// Configuration of the synthetic DBLP-like corpus. The defaults produce a
+/// laptop-scale bibliography whose *structural and statistical profile*
+/// matches the paper's DBLP snapshot (Table I: data-centric, shallow —
+/// max depth 7, avg 3.8 — record-shaped entries under one root):
+///
+///   /dblp/{article|inproceedings|phdthesis}
+///        /@key /author* /title /year /{journal|booktitle}/ pages? /cite*
+///
+/// Author productivity, venue sizes and title terms are Zipf-distributed,
+/// giving the vocabulary the popularity skew real DBLP has (which is what
+/// PY08's rare-token bias feeds on). As in real DBLP, journal names and
+/// conference names are disjoint venue pools, so a (venue, author) pair
+/// concentrates in one publication kind and result-type inference has a
+/// well-defined answer.
+struct DblpGenOptions {
+  uint64_t seed = 42;
+  uint32_t num_publications = 20000;
+  /// Distinct author pool size (names are first+last combinations).
+  uint32_t num_authors = 4000;
+  /// Zipf exponent for author productivity / term popularity.
+  double zipf_s = 1.0;
+  /// Minimum/maximum content words in a title.
+  uint32_t title_min_words = 4;
+  uint32_t title_max_words = 9;
+  /// Probability a publication carries a citation block (adds depth).
+  double cite_probability = 0.15;
+  /// Fraction of title/cite words replaced by a human-style misspelling —
+  /// the *content errors* the paper motivates query cleaning with (its
+  /// "verfication" example): real web-gleaned corpora contain rare
+  /// misspelt hapax tokens sitting close (in edit distance) to legitimate
+  /// words. These are precisely the rare-token traps PY08's max-TF/IDF
+  /// falls for.
+  double content_typo_rate = 0.015;
+};
+
+/// Generates the corpus directly as a tree. Deterministic in the seed.
+XmlTree GenerateDblp(const DblpGenOptions& options = DblpGenOptions());
+
+}  // namespace xclean
+
+#endif  // XCLEAN_DATA_DBLP_GEN_H_

@@ -1,0 +1,138 @@
+#include "data/inex_gen.h"
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "data/misspell.h"
+#include "data/wordlist.h"
+
+namespace xclean {
+
+namespace {
+
+struct GenContext {
+  const InexGenOptions* options;
+  Rng* rng;
+  const std::vector<std::string>* pool;
+  const ZipfDistribution* pool_zipf;
+  /// Per-article topical word subset: indices into pool biasing this
+  /// article's text so its content words genuinely co-occur.
+  std::vector<size_t> topic_words;
+};
+
+std::string SampleWord(GenContext& ctx) {
+  // 40% of words come from the article's topical subset, the rest from the
+  // global Zipfian pool.
+  std::string word;
+  if (!ctx.topic_words.empty() && ctx.rng->Uniform(10) < 4) {
+    word = (*ctx.pool)[ctx.topic_words[ctx.rng->Uniform(
+        ctx.topic_words.size())]];
+  } else {
+    word = (*ctx.pool)[ctx.pool_zipf->Sample(*ctx.rng)];
+  }
+  if (ctx.rng->Bernoulli(ctx.options->content_typo_rate)) {
+    word = RuleMisspell(word, 1, *ctx.rng);
+  }
+  return word;
+}
+
+std::string SampleParagraph(GenContext& ctx) {
+  uint32_t n = static_cast<uint32_t>(
+      ctx.rng->UniformInt(ctx.options->paragraph_words_min,
+                          ctx.options->paragraph_words_max));
+  std::vector<std::string> words;
+  words.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) words.push_back(SampleWord(ctx));
+  return Join(words, " ");
+}
+
+std::string SampleTitleWords(GenContext& ctx, uint32_t count) {
+  std::vector<std::string> words;
+  words.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) words.push_back(SampleWord(ctx));
+  return Join(words, " ");
+}
+
+void EmitSection(XmlTreeBuilder& builder, GenContext& ctx, uint32_t depth) {
+  XCLEAN_CHECK(builder.BeginElement("section").ok());
+  XCLEAN_CHECK(builder.AddLeaf("title", SampleTitleWords(ctx, 2)).ok());
+  uint32_t paragraphs = static_cast<uint32_t>(ctx.rng->UniformInt(
+      ctx.options->paragraphs_min, ctx.options->paragraphs_max));
+  for (uint32_t p = 0; p < paragraphs; ++p) {
+    XCLEAN_CHECK(builder.AddLeaf("p", SampleParagraph(ctx)).ok());
+  }
+  if (ctx.rng->Bernoulli(0.2)) {
+    XCLEAN_CHECK(builder.BeginElement("figure").ok());
+    XCLEAN_CHECK(builder.AddLeaf("caption", SampleTitleWords(ctx, 5)).ok());
+    XCLEAN_CHECK(builder.EndElement().ok());
+  }
+  if (depth < ctx.options->max_section_depth &&
+      ctx.rng->Bernoulli(ctx.options->subsection_probability)) {
+    EmitSection(builder, ctx, depth + 1);
+  }
+  XCLEAN_CHECK(builder.EndElement().ok());
+}
+
+}  // namespace
+
+XmlTree GenerateInex(const InexGenOptions& options) {
+  Rng rng(options.seed);
+  std::vector<std::string> pool =
+      ExpandedWordPool(options.vocabulary_target, options.seed);
+  ZipfDistribution pool_zipf(pool.size(), options.zipf_s);
+  auto topics = WikiTopics();
+
+  GenContext ctx;
+  ctx.options = &options;
+  ctx.rng = &rng;
+  ctx.pool = &pool;
+  ctx.pool_zipf = &pool_zipf;
+
+  XmlTreeBuilder builder;
+  XCLEAN_CHECK(builder.BeginElement("articles").ok());
+  for (uint32_t a = 0; a < options.num_articles; ++a) {
+    // Topical word subset: 12-30 pool words this article reuses heavily.
+    ctx.topic_words.clear();
+    uint64_t topical = 12 + rng.Uniform(19);
+    for (uint64_t t = 0; t < topical; ++t) {
+      ctx.topic_words.push_back(pool_zipf.Sample(rng));
+    }
+
+    XCLEAN_CHECK(builder.BeginElement("article").ok());
+    XCLEAN_CHECK(
+        builder.AddLeaf("@id", std::to_string(a + 100000)).ok());
+    std::string topic(topics[rng.Uniform(topics.size())]);
+    XCLEAN_CHECK(
+        builder.AddLeaf("name", topic + " " + SampleTitleWords(ctx, 2)).ok());
+    XCLEAN_CHECK(builder.BeginElement("categories").ok());
+    uint64_t cats = 1 + rng.Uniform(3);
+    for (uint64_t c = 0; c < cats; ++c) {
+      XCLEAN_CHECK(
+          builder
+              .AddLeaf("category",
+                       std::string(topics[rng.Uniform(topics.size())]))
+              .ok());
+    }
+    XCLEAN_CHECK(builder.EndElement().ok());
+
+    XCLEAN_CHECK(builder.BeginElement("body").ok());
+    XCLEAN_CHECK(builder.AddLeaf("p", SampleParagraph(ctx)).ok());
+    uint32_t sections = static_cast<uint32_t>(
+        rng.UniformInt(options.sections_min, options.sections_max));
+    for (uint32_t s = 0; s < sections; ++s) {
+      EmitSection(builder, ctx, 1);
+    }
+    XCLEAN_CHECK(builder.EndElement().ok());
+    XCLEAN_CHECK(builder.EndElement().ok());
+  }
+  XCLEAN_CHECK(builder.EndElement().ok());
+
+  Result<XmlTree> tree = std::move(builder).Finish();
+  XCLEAN_CHECK(tree.ok());
+  return std::move(tree).value();
+}
+
+}  // namespace xclean

@@ -1,0 +1,51 @@
+#ifndef XCLEAN_DATA_INEX_GEN_H_
+#define XCLEAN_DATA_INEX_GEN_H_
+
+#include <cstdint>
+
+#include "xml/tree.h"
+
+namespace xclean {
+
+/// Configuration of the synthetic INEX/Wikipedia-like corpus. The defaults
+/// produce a document-centric collection matching the profile the paper's
+/// experiments depend on (Table I: deep — max depth tens, avg ~5.6 —
+/// verbose narrative text, a vocabulary several times larger than DBLP's):
+///
+///   /articles/article/{name, categories/category*,
+///                      body/{p*, section/{title, p*, figure/caption,
+///                            section/...}}}
+///
+/// Paragraph text is sampled Zipfian from an expanded English word pool;
+/// each article has a topic that biases its word choices, so related words
+/// co-occur inside articles (keyword queries have meaningful answers).
+struct InexGenOptions {
+  uint64_t seed = 1234;
+  uint32_t num_articles = 1500;
+  /// Target vocabulary size of the expanded word pool (the paper's INEX
+  /// vocabulary is ~6x DBLP's).
+  uint32_t vocabulary_target = 7000;
+  double zipf_s = 1.0;
+  uint32_t sections_min = 2;
+  uint32_t sections_max = 6;
+  uint32_t paragraphs_min = 1;
+  uint32_t paragraphs_max = 4;
+  uint32_t paragraph_words_min = 15;
+  uint32_t paragraph_words_max = 50;
+  /// Probability a section nests a subsection (drives max depth).
+  double subsection_probability = 0.35;
+  /// Maximum nesting of sections.
+  uint32_t max_section_depth = 4;
+  /// Fraction of narrative words replaced by human-style misspellings —
+  /// web-gleaned encyclopedic text contains content errors (the paper's
+  /// motivating "geo-taging" case); they make rare near-miss tokens that
+  /// stress the rare-token bias of TF/IDF-style scoring.
+  double content_typo_rate = 0.01;
+};
+
+/// Generates the corpus. Deterministic in the seed.
+XmlTree GenerateInex(const InexGenOptions& options = InexGenOptions());
+
+}  // namespace xclean
+
+#endif  // XCLEAN_DATA_INEX_GEN_H_

@@ -1,0 +1,225 @@
+#include "data/misspell.h"
+
+#include <array>
+
+#include "common/string_util.h"
+#include "text/keyboard.h"
+
+namespace xclean {
+
+namespace {
+
+// Real common misspellings (Wikipedia-style). Corrections are drawn from
+// the data/wordlist pools so the table applies to the synthetic corpora.
+constexpr MisspellingPair kTable[] = {
+    {"abilty", "ability"},        {"absense", "absence"},
+    {"acadamy", "academy"},       {"acount", "account"},
+    {"accurat", "accurate"},      {"acheive", "achieve"},
+    {"aquire", "acquire"},        {"adress", "address"},
+    {"advanse", "advance"},       {"agianst", "against"},
+    {"agreemnet", "agreement"},   {"alchohol", "alcohol"},
+    {"algoritm", "algorithm"},    {"algorythm", "algorithm"},
+    {"anaylsis", "analysis"},     {"ansewr", "answer"},
+    {"apparant", "apparent"},     {"appearence", "appearance"},
+    {"aproach", "approach"},      {"arcitecture", "architecture"},
+    {"arguement", "argument"},    {"artical", "article"},
+    {"assembley", "assembly"},    {"athority", "authority"},
+    {"attendence", "attendance"}, {"avarage", "average"},
+    {"ballance", "balance"},      {"begining", "beginning"},
+    {"behaviour", "behavior"},    {"beleive", "believe"},
+    {"benifit", "benefit"},       {"betwen", "between"},
+    {"bouddhist", "buddhist"},    {"busness", "business"},
+    {"calender", "calendar"},     {"campain", "campaign"},
+    {"catagory", "category"},     {"cerimony", "ceremony"},
+    {"centre", "center"},         {"champian", "champion"},
+    {"charactor", "character"},   {"chemestry", "chemistry"},
+    {"childrens", "children"},    {"choise", "choice"},
+    {"collegue", "colleague"},    {"comittee", "committee"},
+    {"commerical", "commercial"}, {"commitee", "committee"},
+    {"comunity", "community"},    {"competion", "completion"},
+    {"compleet", "complete"},     {"conferance", "conference"},
+    {"concious", "conscience"},   {"considerd", "considered"},
+    {"consistant", "consistent"}, {"controll", "control"},
+    {"convertion", "convention"}, {"critisism", "criticism"},
+    {"curent", "current"},        {"databse", "database"},
+    {"decison", "decision"},      {"definate", "definite"},
+    {"definately", "definitely"}, {"desicion", "decision"},
+    {"develope", "develop"},      {"diffrence", "difference"},
+    {"dificult", "difficult"},    {"disapear", "disappear"},
+    {"discusion", "discussion"},  {"distrubuted", "distributed"},
+    {"docment", "document"},      {"ecomony", "economy"},
+    {"editon", "edition"},        {"eduction", "education"},
+    {"efficent", "efficient"},    {"embarass", "embarrass"},
+    {"enviroment", "environment"}, {"equipement", "equipment"},
+    {"evalution", "evaluation"},  {"exampel", "example"},
+    {"excelent", "excellent"},    {"exercize", "exercise"},
+    {"existance", "existence"},   {"experiance", "experience"},
+    {"experment", "experiment"},  {"explaination", "explanation"},
+    {"familar", "familiar"},      {"feild", "field"},
+    {"finaly", "finally"},        {"foriegn", "foreign"},
+    {"fucntion", "function"},     {"futher", "further"},
+    {"gaurd", "guard"},           {"goverment", "government"},
+    {"gerat", "great"},           {"garantee", "guarantee"},
+    {"happend", "happened"},      {"heigth", "height"},
+    {"histroy", "history"},       {"hygeine", "hygiene"},
+    {"identiy", "identity"},      {"imediate", "immediate"},
+    {"improvment", "improvement"}, {"independant", "independent"},
+    {"influense", "influence"},   {"infomation", "information"},
+    {"instanse", "instance"},     {"insurence", "insurance"},
+    {"intelligense", "intelligence"}, {"intrest", "interest"},
+    {"interveiw", "interview"},   {"iresistible", "irresistible"},
+    {"jugdment", "judgment"},     {"knowlege", "knowledge"},
+    {"labratory", "laboratory"},  {"langauge", "language"},
+    {"lenght", "length"},         {"libary", "library"},
+    {"licence", "license"},       {"litterature", "literature"},
+    {"mantain", "maintain"},      {"managment", "management"},
+    {"marrige", "marriage"},      {"mathmatics", "mathematics"},
+    {"mesurement", "measurement"}, {"mechine", "machine"},
+    {"memeber", "member"},        {"millenium", "millennium"},
+    {"miniture", "miniature"},    {"minumum", "minimum"},
+    {"mispell", "misspell"},      {"mariage", "marriage"},
+    {"neccessary", "necessary"},  {"negociate", "negotiate"},
+    {"nieghbor", "neighbor"},     {"noticable", "noticeable"},
+    {"occured", "occurred"},      {"occurence", "occurrence"},
+    {"offical", "official"},      {"oppertunity", "opportunity"},
+    {"optimisation", "optimization"}, {"orignal", "original"},
+    {"paralell", "parallel"},     {"parliment", "parliament"},
+    {"partical", "particle"},     {"paticular", "particular"},
+    {"perfomance", "performance"}, {"permanant", "permanent"},
+    {"persistant", "persistent"}, {"personel", "personal"},
+    {"persuation", "persuasion"}, {"philosphy", "philosophy"},
+    {"posession", "possession"},  {"posible", "possible"},
+    {"postion", "position"},      {"potentialy", "potentially"},
+    {"practise", "practice"},     {"precedure", "procedure"},
+    {"prefered", "preferred"},    {"presance", "presence"},
+    {"probabilty", "probability"}, {"probelm", "problem"},
+    {"proccess", "process"},      {"proffesor", "professor"},
+    {"prgram", "program"},        {"progres", "progress"},
+    {"promiss", "promise"},       {"pronounciation", "pronunciation"},
+    {"protocal", "protocol"},     {"pyscology", "psychology"},
+    {"publich", "publish"},       {"qaulity", "quality"},
+    {"quanity", "quantity"},      {"quarentine", "quarantine"},
+    {"questionaire", "questionnaire"}, {"reccomend", "recommend"},
+    {"recieve", "receive"},       {"refrence", "reference"},
+    {"relevent", "relevant"},     {"religous", "religious"},
+    {"rember", "remember"},       {"reptition", "repetition"},
+    {"resarch", "research"},      {"resistence", "resistance"},
+    {"responce", "response"},     {"responsability", "responsibility"},
+    {"restarant", "restaurant"},  {"retreival", "retrieval"},
+    {"rythm", "rhythm"},          {"saftey", "safety"},
+    {"scedule", "schedule"},      {"secratary", "secretary"},
+    {"secuirty", "security"},     {"seperate", "separate"},
+    {"sevice", "service"},        {"signifigant", "significant"},
+    {"similer", "similar"},       {"sincerly", "sincerely"},
+    {"sitution", "situation"},    {"sofware", "software"},
+    {"speach", "speech"},         {"stategy", "strategy"},
+    {"stenght", "strength"},      {"strcture", "structure"},
+    {"studnet", "student"},       {"succes", "success"},
+    {"succesful", "successful"},  {"sucess", "success"},
+    {"suprise", "surprise"},      {"syncronization", "synchronization"},
+    {"sytem", "system"},          {"tecnology", "technology"},
+    {"temperture", "temperature"}, {"tendancy", "tendency"},
+    {"therapee", "therapy"},      {"thoery", "theory"},
+    {"tommorow", "tomorrow"},     {"tounge", "tongue"},
+    {"transfered", "transferred"}, {"truely", "truly"},
+    {"universty", "university"},  {"unkown", "unknown"},
+    {"untill", "until"},          {"usefull", "useful"},
+    {"vaccum", "vacuum"},         {"vegtable", "vegetable"},
+    {"verfication", "verification"}, {"visable", "visible"},
+    {"volum", "volume"},          {"wether", "weather"},
+    {"wierd", "weird"},           {"wellfare", "welfare"},
+    {"wich", "which"},            {"writting", "writing"},
+};
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+}  // namespace
+
+std::vector<MisspellingPair> CommonMisspellings() {
+  return std::vector<MisspellingPair>(std::begin(kTable), std::end(kTable));
+}
+
+const std::unordered_map<std::string, std::vector<std::string>>&
+MisspellingsByCorrection() {
+  static const auto* map = [] {
+    auto* m =
+        new std::unordered_map<std::string, std::vector<std::string>>();
+    for (const MisspellingPair& pair : kTable) {
+      (*m)[std::string(pair.correction)].push_back(
+          std::string(pair.misspelling));
+    }
+    return m;
+  }();
+  return *map;
+}
+
+std::string RuleMisspell(std::string_view word, uint32_t edits, Rng& rng) {
+  std::string out(word);
+  for (uint32_t e = 0; e < edits; ++e) {
+    if (out.size() < 3) break;
+    switch (rng.Uniform(6)) {
+      case 0: {  // double a letter
+        size_t i = rng.Uniform(out.size());
+        out.insert(out.begin() + static_cast<long>(i), out[i]);
+        break;
+      }
+      case 1: {  // drop one of a doubled pair (or any letter)
+        size_t doubled = std::string::npos;
+        for (size_t i = 0; i + 1 < out.size(); ++i) {
+          if (out[i] == out[i + 1]) {
+            doubled = i;
+            break;
+          }
+        }
+        size_t i = doubled != std::string::npos ? doubled
+                                                : rng.Uniform(out.size());
+        out.erase(out.begin() + static_cast<long>(i));
+        break;
+      }
+      case 2: {  // transpose adjacent letters
+        if (out.size() >= 2) {
+          size_t i = rng.Uniform(out.size() - 1);
+          std::swap(out[i], out[i + 1]);
+        }
+        break;
+      }
+      case 3: {  // ie <-> ei
+        size_t pos = out.find("ie");
+        if (pos == std::string::npos) pos = out.find("ei");
+        if (pos != std::string::npos) {
+          std::swap(out[pos], out[pos + 1]);
+        } else {
+          size_t i = rng.Uniform(out.size());
+          out[i] = RandomKeyboardNeighbor(out[i], rng);
+        }
+        break;
+      }
+      case 4: {  // vowel substitution (the classic -ance/-ence family)
+        std::vector<size_t> vowels;
+        for (size_t i = 0; i < out.size(); ++i) {
+          if (IsVowel(out[i])) vowels.push_back(i);
+        }
+        if (!vowels.empty()) {
+          size_t i = vowels[rng.Uniform(vowels.size())];
+          constexpr char kVowels[] = {'a', 'e', 'i', 'o', 'u'};
+          char replacement = out[i];
+          while (replacement == out[i]) {
+            replacement = kVowels[rng.Uniform(5)];
+          }
+          out[i] = replacement;
+        }
+        break;
+      }
+      default: {  // keyboard-adjacent substitution
+        size_t i = rng.Uniform(out.size());
+        out[i] = RandomKeyboardNeighbor(out[i], rng);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xclean

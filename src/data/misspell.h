@@ -1,0 +1,45 @@
+#ifndef XCLEAN_DATA_MISSPELL_H_
+#define XCLEAN_DATA_MISSPELL_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+
+namespace xclean {
+
+/// One entry of the common-misspelling table: a real human misspelling and
+/// its correction, in the spirit of the Wikipedia list the paper's RULE
+/// perturbation draws from.
+struct MisspellingPair {
+  std::string_view misspelling;
+  std::string_view correction;
+};
+
+/// The embedded common-misspelling table (correct words all appear in the
+/// data/wordlist pools, so the table actually fires on the synthetic
+/// corpora).
+std::vector<MisspellingPair> CommonMisspellings();
+
+/// Lookup: correction -> list of known misspellings.
+const std::unordered_map<std::string, std::vector<std::string>>&
+MisspellingsByCorrection();
+
+/// Rule-based human-style misspeller used when a word has no table entry.
+/// Applies one of: letter doubling, doubled-letter dropping, adjacent
+/// transposition, ie<->ei swap, vowel substitution, or keyboard-adjacent
+/// substitution — the error shapes the Wikipedia list is made of. Repeated
+/// application yields edit distances of 2-3, reproducing the property the
+/// paper leans on: RULE misspellings are farther from the correct form than
+/// single RAND edits.
+///
+/// `edits` is the number of rule applications. The result may coincide
+/// with another real word; like the human misspelling list, no vocabulary
+/// exclusion is applied here (workloads can filter).
+std::string RuleMisspell(std::string_view word, uint32_t edits, Rng& rng);
+
+}  // namespace xclean
+
+#endif  // XCLEAN_DATA_MISSPELL_H_

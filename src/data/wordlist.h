@@ -1,0 +1,36 @@
+#ifndef XCLEAN_DATA_WORDLIST_H_
+#define XCLEAN_DATA_WORDLIST_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xclean {
+
+/// Embedded word pools powering the synthetic corpora. All entries are
+/// lowercase ASCII, length >= 3 (they survive the tokenizer unchanged), and
+/// real English so the common-misspelling table in data/misspell applies.
+///
+/// The generators draw from these pools with Zipfian rank distributions, so
+/// the synthetic vocabularies exhibit the popularity skew that both the
+/// rare-token bias of PY08 and the popularity bias of log-based correctors
+/// depend on.
+std::span<const std::string_view> CommonEnglishWords();
+std::span<const std::string_view> ComputerScienceTerms();
+std::span<const std::string_view> Surnames();
+std::span<const std::string_view> FirstNames();
+std::span<const std::string_view> VenueNames();
+std::span<const std::string_view> WikiTopics();
+
+/// Derives a larger vocabulary from the base pools by attaching
+/// morphological suffixes ("ness", "tion", "ing", ...) — the INEX-like
+/// corpus needs a vocabulary several times larger than the DBLP-like one
+/// (the paper reports a 6x ratio) while staying plausible English-shaped.
+/// Deterministic in `seed`. The result contains every base word first.
+std::vector<std::string> ExpandedWordPool(size_t target_size, uint64_t seed);
+
+}  // namespace xclean
+
+#endif  // XCLEAN_DATA_WORDLIST_H_

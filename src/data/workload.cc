@@ -1,0 +1,311 @@
+#include "data/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "data/misspell.h"
+
+namespace xclean {
+
+namespace {
+
+/// Query length with mean ~2.5 over [1, 7] (clamped to the configured
+/// bounds), approximating the paper's INEX topic distribution.
+uint32_t SampleQueryLength(Rng& rng, const WorkloadOptions& options) {
+  // Cumulative weights for lengths 1..7.
+  constexpr double kCdf[] = {0.20, 0.55, 0.80, 0.90, 0.95, 0.98, 1.0};
+  double u = rng.UniformDouble();
+  uint32_t len = 7;
+  for (uint32_t i = 0; i < 7; ++i) {
+    if (u <= kCdf[i]) {
+      len = i + 1;
+      break;
+    }
+  }
+  return std::clamp(len, options.min_len, options.max_len);
+}
+
+/// Distinct tokens in the subtree of `entity`, collected through the
+/// index's inverted data (re-tokenizing node text keeps this independent of
+/// posting layout). Tokens rarer than min_cf (content typos, IDs) are not
+/// query-keyword material.
+std::vector<TokenId> EntityTokens(const XmlIndex& index, NodeId entity,
+                                  uint64_t min_cf) {
+  const XmlTree& tree = index.tree();
+  std::unordered_set<TokenId> seen;
+  std::vector<TokenId> out;
+  for (NodeId n = entity; n <= tree.subtree_end(entity); ++n) {
+    if (!tree.has_text(n)) continue;
+    for (const std::string& token : index.tokenizer().Tokenize(tree.text(n))) {
+      TokenId id = index.vocabulary().Find(token);
+      if (id == kInvalidToken) continue;
+      if (index.collection_freq(id) < min_cf) continue;
+      if (seen.insert(id).second) out.push_back(id);
+    }
+  }
+  return out;
+}
+
+/// Weighted sample without replacement of `count` tokens, weight
+/// 1/sqrt(cf): biases toward informative (rare) tokens the way human
+/// queries pick content words, without making every keyword a hapax.
+std::vector<TokenId> SampleTokens(const XmlIndex& index,
+                                  std::vector<TokenId> candidates,
+                                  uint32_t count, Rng& rng) {
+  std::vector<TokenId> out;
+  while (out.size() < count && !candidates.empty()) {
+    double total = 0.0;
+    std::vector<double> weights(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      weights[i] = 1.0 / std::sqrt(static_cast<double>(
+                             index.collection_freq(candidates[i])));
+      total += weights[i];
+    }
+    double u = rng.UniformDouble() * total;
+    size_t pick = candidates.size() - 1;
+    double acc = 0.0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      acc += weights[i];
+      if (u <= acc) {
+        pick = i;
+        break;
+      }
+    }
+    out.push_back(candidates[pick]);
+    candidates.erase(candidates.begin() + static_cast<long>(pick));
+  }
+  return out;
+}
+
+bool AllAlpha(const std::string& s) {
+  for (char c : s) {
+    if (!IsAsciiAlpha(c)) return false;
+  }
+  return true;
+}
+
+/// One random edit operation (insert / delete / substitute a letter).
+std::string RandomEdit(const std::string& word, Rng& rng) {
+  std::string out = word;
+  switch (rng.Uniform(3)) {
+    case 0: {  // insertion
+      size_t pos = rng.Uniform(out.size() + 1);
+      char c = static_cast<char>('a' + rng.Uniform(26));
+      out.insert(out.begin() + static_cast<long>(pos), c);
+      break;
+    }
+    case 1: {  // deletion
+      out.erase(out.begin() + static_cast<long>(rng.Uniform(out.size())));
+      break;
+    }
+    default: {  // substitution
+      size_t pos = rng.Uniform(out.size());
+      char c = out[pos];
+      while (c == out[pos]) c = static_cast<char>('a' + rng.Uniform(26));
+      out[pos] = c;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Query> SampleInitialQueries(const XmlIndex& index,
+                                        const WorkloadOptions& options) {
+  const XmlTree& tree = index.tree();
+  Rng rng(options.seed);
+
+  // Entities at the requested depth = children chains of the root.
+  std::vector<NodeId> entities;
+  for (NodeId n = 0; n < tree.size(); ++n) {
+    if (tree.depth(n) == options.entity_depth) entities.push_back(n);
+  }
+  XCLEAN_CHECK(!entities.empty());
+
+  std::vector<Query> out;
+  std::unordered_set<std::string> seen;
+  size_t guard = 0;
+  while (out.size() < options.num_queries &&
+         guard < options.num_queries * 100ull) {
+    ++guard;
+    NodeId entity = entities[rng.Uniform(entities.size())];
+    std::vector<TokenId> tokens =
+        EntityTokens(index, entity, options.min_keyword_cf);
+    uint32_t len = SampleQueryLength(rng, options);
+    if (tokens.size() < len) continue;
+    std::vector<TokenId> picked =
+        SampleTokens(index, std::move(tokens), len, rng);
+    Query q;
+    for (TokenId id : picked) {
+      q.keywords.push_back(index.vocabulary().token(id));
+    }
+    if (seen.insert(q.ToString()).second) out.push_back(std::move(q));
+  }
+  XCLEAN_CHECK(out.size() == options.num_queries);
+  return out;
+}
+
+Query PerturbRand(const Query& query, const XmlIndex& index,
+                  const WorkloadOptions& options, Rng& rng) {
+  Query dirty;
+  for (const std::string& word : query.keywords) {
+    // Paper subtlety (2): keep very short tokens intact so enough signal
+    // survives for recovery.
+    if (word.size() <= 4) {
+      dirty.keywords.push_back(word);
+      continue;
+    }
+    std::string perturbed = word;
+    bool accepted = false;
+    for (int attempt = 0; attempt < 50 && !accepted; ++attempt) {
+      perturbed = word;
+      for (uint32_t e = 0; e < options.rand_edits; ++e) {
+        perturbed = RandomEdit(perturbed, rng);
+      }
+      // Paper subtlety (1): the dirty token must leave the vocabulary so
+      // the perturbed query is genuinely dirty. It must also survive query
+      // normalization unchanged.
+      accepted = perturbed.size() >= 3 && AllAlpha(perturbed) &&
+                 !index.vocabulary().Contains(perturbed);
+    }
+    dirty.keywords.push_back(accepted ? perturbed : word);
+  }
+  return dirty;
+}
+
+Query PerturbRule(const Query& query, const XmlIndex& index,
+                  const WorkloadOptions& options, Rng& rng) {
+  const auto& table = MisspellingsByCorrection();
+  Query dirty;
+  for (const std::string& word : query.keywords) {
+    auto it = table.find(word);
+    if (it != table.end()) {
+      // A real human misspelling of this word.
+      const std::vector<std::string>& forms = it->second;
+      dirty.keywords.push_back(forms[rng.Uniform(forms.size())]);
+      continue;
+    }
+    if (word.size() <= 4) {
+      dirty.keywords.push_back(word);
+      continue;
+    }
+    // Fallback: rule-based human-style misspelling; prefer forms outside
+    // the vocabulary (common misspellings are usually non-words).
+    std::string best = word;
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      uint32_t edits = 1 + static_cast<uint32_t>(rng.Uniform(
+                               options.rule_max_edits));
+      std::string misspelt = RuleMisspell(word, edits, rng);
+      if (misspelt.size() < 3 || !AllAlpha(misspelt) || misspelt == word) {
+        continue;
+      }
+      best = misspelt;
+      if (!index.vocabulary().Contains(misspelt)) break;
+    }
+    dirty.keywords.push_back(best);
+  }
+  return dirty;
+}
+
+QuerySet MakeQuerySet(const std::string& name, const XmlIndex& index,
+                      const std::vector<Query>& initial,
+                      Perturbation perturbation,
+                      const WorkloadOptions& options) {
+  Rng rng(options.seed ^ 0xD1CEBA5EULL);
+  QuerySet set;
+  set.name = name;
+  set.queries.reserve(initial.size());
+  for (const Query& clean : initial) {
+    EvalQuery eq;
+    eq.truth = clean;
+    switch (perturbation) {
+      case Perturbation::kClean:
+        eq.dirty = clean;
+        break;
+      case Perturbation::kRand:
+        eq.dirty = PerturbRand(clean, index, options, rng);
+        break;
+      case Perturbation::kRule:
+        eq.dirty = PerturbRule(clean, index, options, rng);
+        break;
+    }
+    set.queries.push_back(std::move(eq));
+  }
+  return set;
+}
+
+std::unique_ptr<LogCorrector> BuildSeProxy(
+    const XmlIndex& index, const std::vector<Query>& clean_queries,
+    uint64_t seed, size_t popular_token_count) {
+  LogCorrector::Options options;
+  // Engines search a wide correction radius (they can afford to: the log
+  // tells them which results are real queries); this reaches the distant
+  // RULE misspellings but also pulls RAND errors toward popular lookalikes.
+  options.max_ed = 3;
+  auto corrector = std::make_unique<LogCorrector>(options);
+  Rng rng(seed);
+
+  // Clean queries enter the log with Zipfian popularity: real logs repeat
+  // popular queries many times.
+  ZipfDistribution zipf(std::max<uint64_t>(clean_queries.size(), 1), 1.0);
+  for (const Query& q : clean_queries) {
+    uint64_t count = 1 + 1000 / (1 + zipf.Sample(rng));
+    corrector->AddLogQuery(q.keywords, count);
+  }
+
+  // The corpus's most frequent tokens also show up in a real log; their
+  // popularity is their collection frequency (this is exactly the
+  // popularity bias the paper criticizes: frequent words attract
+  // corrections).
+  std::vector<TokenId> tokens(index.vocabulary().size());
+  for (TokenId i = 0; i < tokens.size(); ++i) tokens[i] = i;
+  std::sort(tokens.begin(), tokens.end(), [&](TokenId a, TokenId b) {
+    return index.collection_freq(a) > index.collection_freq(b);
+  });
+  if (tokens.size() > popular_token_count) {
+    tokens.resize(popular_token_count);
+  }
+  for (TokenId t : tokens) {
+    corrector->AddLogQuery({index.vocabulary().token(t)},
+                           index.collection_freq(t));
+  }
+
+  // Log-mined rewrite pairs: the common-misspelling table (search engines
+  // learn these from query-reformulation chains).
+  for (const MisspellingPair& pair : CommonMisspellings()) {
+    corrector->AddRewrite(std::string(pair.misspelling),
+                          std::string(pair.correction));
+  }
+
+  // Engines also learn rewrites for misspellings their users *actually
+  // type*: simulate web-scale log mining by generating human-style (rule)
+  // misspellings of every established vocabulary word — the same
+  // generative process the RULE perturbation uses, which is exactly why
+  // the paper observes SEs doing better on RULE than on RAND errors.
+  // Iterate ascending popularity so a collision resolves to the more
+  // popular correction.
+  std::vector<TokenId> rewrite_words(index.vocabulary().size());
+  for (TokenId i = 0; i < rewrite_words.size(); ++i) rewrite_words[i] = i;
+  std::sort(rewrite_words.begin(), rewrite_words.end(),
+            [&](TokenId a, TokenId b) {
+              return index.collection_freq(a) < index.collection_freq(b);
+            });
+  for (TokenId t : rewrite_words) {
+    const std::string& word = index.vocabulary().token(t);
+    if (word.size() <= 4 || index.collection_freq(t) < 3) continue;
+    for (int k = 0; k < 30; ++k) {
+      uint32_t edits = 1 + static_cast<uint32_t>(rng.Uniform(2));
+      std::string misspelt = RuleMisspell(word, edits, rng);
+      if (misspelt != word) corrector->AddRewrite(misspelt, word);
+    }
+  }
+
+  corrector->Freeze();
+  return corrector;
+}
+
+}  // namespace xclean

@@ -1,0 +1,100 @@
+#ifndef XCLEAN_DATA_WORKLOAD_H_
+#define XCLEAN_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/log_correct.h"
+#include "core/query.h"
+#include "index/xml_index.h"
+
+namespace xclean {
+
+/// How dirty queries are derived from initial queries (Sec. VII-A).
+enum class Perturbation {
+  /// The initial query itself (positive query set).
+  kClean,
+  /// RAND: random edit operations per keyword, guaranteed to leave the
+  /// vocabulary, skipping very short tokens (length <= 4).
+  kRand,
+  /// RULE: common human misspellings — the embedded misspelling table when
+  /// it covers the keyword, rule-based human-style misspelling otherwise.
+  /// Tends to larger edit distances than RAND, like the Wikipedia list.
+  kRule,
+};
+
+/// One evaluation query: the dirty query given to the cleaners and the
+/// clean query used as ground truth.
+struct EvalQuery {
+  Query dirty;
+  Query truth;
+};
+
+/// A named set of evaluation queries ("DBLP-RAND", ...).
+struct QuerySet {
+  std::string name;
+  std::vector<EvalQuery> queries;
+};
+
+/// Workload construction knobs.
+struct WorkloadOptions {
+  uint64_t seed = 7;
+  uint32_t num_queries = 100;
+  /// Depth of the nodes queries are sampled from (2 = records/articles
+  /// directly under the root). Each initial query's keywords co-occur in
+  /// one such entity, so initial queries are guaranteed answerable.
+  uint32_t entity_depth = 2;
+  /// Query length bounds; lengths are drawn from a skewed distribution
+  /// with mean ~2.5 like the paper's INEX topic set (1 to 7 keywords).
+  uint32_t min_len = 1;
+  uint32_t max_len = 7;
+  /// RAND: edits injected per (long-enough) keyword.
+  uint32_t rand_edits = 1;
+  /// RULE fallback: maximum rule applications per keyword.
+  uint32_t rule_max_edits = 2;
+  /// Keywords must have at least this collection frequency. Human query
+  /// words are real words, not the corpus's hapax content typos; the
+  /// paper's topics were likewise drawn from INEX titles / ACM citations,
+  /// not from corrupted tokens.
+  uint64_t min_keyword_cf = 3;
+};
+
+/// Samples initial (clean, answerable) queries from the indexed corpus:
+/// picks a random depth-`entity_depth` node and draws distinct tokens from
+/// its subtree, weighted toward informative (rarer) tokens the way a human
+/// picks content words rather than boilerplate.
+std::vector<Query> SampleInitialQueries(const XmlIndex& index,
+                                        const WorkloadOptions& options);
+
+/// Applies the RAND perturbation of Sec. VII-A to one query: random edit
+/// operations per keyword, retried until the keyword leaves the vocabulary
+/// (preserving the paper's two technical subtleties: no perturbation of
+/// tokens of length <= 4, and no accidental clean queries).
+Query PerturbRand(const Query& query, const XmlIndex& index,
+                  const WorkloadOptions& options, Rng& rng);
+
+/// Applies the RULE perturbation: table misspelling when available,
+/// rule-based otherwise; prefers results outside the vocabulary.
+Query PerturbRule(const Query& query, const XmlIndex& index,
+                  const WorkloadOptions& options, Rng& rng);
+
+/// Builds a full named query set from initial queries.
+QuerySet MakeQuerySet(const std::string& name, const XmlIndex& index,
+                      const std::vector<Query>& initial,
+                      Perturbation perturbation,
+                      const WorkloadOptions& options);
+
+/// Builds the search-engine proxy (see core/log_correct.h): its query log
+/// holds the clean query set (Zipf-popular) plus the corpus's most frequent
+/// tokens, and its rewrite table is the common-misspelling list — the
+/// ingredients the paper attributes to SE1/SE2's query-log advantage.
+std::unique_ptr<LogCorrector> BuildSeProxy(
+    const XmlIndex& index, const std::vector<Query>& clean_queries,
+    uint64_t seed, size_t popular_token_count = 2000);
+
+}  // namespace xclean
+
+#endif  // XCLEAN_DATA_WORKLOAD_H_

@@ -1,0 +1,70 @@
+#include "eval/experiment.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace xclean {
+
+ExperimentResult RunExperiment(QueryCleaner& cleaner, const QuerySet& set,
+                               size_t max_precision_n) {
+  ExperimentResult result;
+  result.cleaner_name = cleaner.name();
+  result.query_set_name = set.name;
+  result.query_count = set.queries.size();
+
+  MetricsAccumulator metrics;
+  double total_seconds = 0.0;
+  for (const EvalQuery& eq : set.queries) {
+    Stopwatch watch;
+    std::vector<Suggestion> suggestions = cleaner.Suggest(eq.dirty);
+    total_seconds += watch.ElapsedSeconds();
+    metrics.Add(RankOfTruth(suggestions, eq.truth));
+  }
+
+  result.mrr = metrics.Mrr();
+  result.precision_at.resize(max_precision_n);
+  for (size_t n = 1; n <= max_precision_n; ++n) {
+    result.precision_at[n - 1] = metrics.PrecisionAt(n);
+  }
+  result.avg_seconds =
+      set.queries.empty()
+          ? 0.0
+          : total_seconds / static_cast<double>(set.queries.size());
+  return result;
+}
+
+TablePrinter::TablePrinter(const std::vector<std::string>& headers)
+    : headers_(headers) {
+  widths_.reserve(headers_.size());
+  for (const std::string& h : headers_) {
+    widths_.push_back(h.size() + 2 < 12 ? 12 : h.size() + 2);
+  }
+}
+
+void TablePrinter::PrintHeader() const {
+  std::string line;
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    line += StrFormat("%-*s", static_cast<int>(widths_[i]),
+                      headers_[i].c_str());
+  }
+  std::printf("%s\n", line.c_str());
+  std::printf("%s\n", std::string(line.size(), '-').c_str());
+}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
+  std::string line;
+  for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+    line += StrFormat("%-*s", static_cast<int>(widths_[i]), cells[i].c_str());
+  }
+  std::printf("%s\n", line.c_str());
+  std::fflush(stdout);
+}
+
+std::string TablePrinter::Num(double v) {
+  if (v >= 100.0) return StrFormat("%.1f", v);
+  return StrFormat("%.2f", v);
+}
+
+}  // namespace xclean

@@ -1,0 +1,52 @@
+#ifndef XCLEAN_EVAL_EXPERIMENT_H_
+#define XCLEAN_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "data/workload.h"
+#include "eval/metrics.h"
+
+namespace xclean {
+
+/// Result of running one cleaner over one query set.
+struct ExperimentResult {
+  std::string cleaner_name;
+  std::string query_set_name;
+  double mrr = 0.0;
+  /// precision_at[n-1] = Precision@n for n in 1..10.
+  std::vector<double> precision_at;
+  /// Mean wall-clock seconds per query (suggestion time only; variant and
+  /// index structures are shared and prebuilt, matching the paper's setup).
+  double avg_seconds = 0.0;
+  size_t query_count = 0;
+};
+
+/// Runs `cleaner` over every query in `set`, measuring quality against the
+/// ground truth and per-query latency.
+ExperimentResult RunExperiment(QueryCleaner& cleaner, const QuerySet& set,
+                               size_t max_precision_n = 10);
+
+/// Fixed-width table printing helpers shared by the bench binaries. Rows
+/// are printed immediately (streaming results as benches go).
+class TablePrinter {
+ public:
+  /// Column headers; widths adapt to the header length (min 10 chars).
+  explicit TablePrinter(const std::vector<std::string>& headers);
+
+  void PrintHeader() const;
+  void PrintRow(const std::vector<std::string>& cells) const;
+
+  /// Formats a double with 2-3 significant decimals as the paper's tables
+  /// do ("0.76", "12.24").
+  static std::string Num(double v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<size_t> widths_;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_EVAL_EXPERIMENT_H_

@@ -1,0 +1,39 @@
+#include "eval/metrics.h"
+
+namespace xclean {
+
+size_t RankOfTruth(const std::vector<Suggestion>& suggestions,
+                   const Query& truth) {
+  for (size_t i = 0; i < suggestions.size(); ++i) {
+    if (suggestions[i].words == truth.keywords) return i + 1;
+  }
+  return 0;
+}
+
+double ReciprocalRank(const std::vector<Suggestion>& suggestions,
+                      const Query& truth) {
+  size_t rank = RankOfTruth(suggestions, truth);
+  return rank == 0 ? 0.0 : 1.0 / static_cast<double>(rank);
+}
+
+void MetricsAccumulator::Add(size_t rank) { ranks_.push_back(rank); }
+
+double MetricsAccumulator::Mrr() const {
+  if (ranks_.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t rank : ranks_) {
+    if (rank != 0) sum += 1.0 / static_cast<double>(rank);
+  }
+  return sum / static_cast<double>(ranks_.size());
+}
+
+double MetricsAccumulator::PrecisionAt(size_t n) const {
+  if (ranks_.empty()) return 0.0;
+  size_t hits = 0;
+  for (size_t rank : ranks_) {
+    if (rank != 0 && rank <= n) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(ranks_.size());
+}
+
+}  // namespace xclean

@@ -1,0 +1,40 @@
+#ifndef XCLEAN_EVAL_METRICS_H_
+#define XCLEAN_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/query.h"
+
+namespace xclean {
+
+/// 1-based rank of the ground truth in a suggestion list (match on the
+/// keyword sequence); 0 if absent.
+size_t RankOfTruth(const std::vector<Suggestion>& suggestions,
+                   const Query& truth);
+
+/// Reciprocal rank: 1/rank, or 0 when the truth is absent.
+double ReciprocalRank(const std::vector<Suggestion>& suggestions,
+                      const Query& truth);
+
+/// Aggregates per-query ranks into MRR and Precision@N (Sec. VII-B):
+///
+///   MRR          = (1/|Q|) Σ 1/rank(Q_g)
+///   precision@N  = |{Q : rank(Q_g) <= N}| / |Q|
+class MetricsAccumulator {
+ public:
+  /// Records one query's outcome; rank = 0 means the truth was not
+  /// suggested.
+  void Add(size_t rank);
+
+  double Mrr() const;
+  double PrecisionAt(size_t n) const;
+  size_t query_count() const { return ranks_.size(); }
+
+ private:
+  std::vector<size_t> ranks_;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_EVAL_METRICS_H_

@@ -1,0 +1,365 @@
+#include "index/index_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+#include "text/fastss.h"
+#include "xml/tree.h"
+
+namespace xclean {
+
+namespace {
+
+constexpr char kMagic[6] = {'X', 'C', 'L', 'I', 'D', 'X'};
+constexpr uint32_t kFormatVersion = 1;
+
+uint64_t Fnv1a(const char* data, size_t size, uint64_t h) {
+  for (size_t i = 0; i < size; ++i) {
+    h = (h ^ static_cast<uint8_t>(data[i])) * 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Buffered little-endian writer accumulating the payload so the trailing
+/// checksum can cover all of it.
+class Writer {
+ public:
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Bool(bool v) { U32(v ? 1 : 0); }
+
+  void Str(const std::string& s) {
+    U64(s.size());
+    Raw(s.data(), s.size());
+  }
+
+  void StrVec(const std::vector<std::string>& v) {
+    U64(v.size());
+    for (const std::string& s : v) Str(s);
+  }
+
+  template <typename T>
+  void PodVec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    U64(v.size());
+    Raw(v.data(), v.size() * sizeof(T));
+  }
+
+  void Raw(const void* data, size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked reader over the loaded payload.
+class Reader {
+ public:
+  explicit Reader(std::string payload) : payload_(std::move(payload)) {}
+
+  Status U32(uint32_t& v) { return Raw(&v, sizeof(v)); }
+  Status U64(uint64_t& v) { return Raw(&v, sizeof(v)); }
+  Status F64(double& v) { return Raw(&v, sizeof(v)); }
+  Status Bool(bool& v) {
+    uint32_t raw = 0;
+    Status s = U32(raw);
+    v = raw != 0;
+    return s;
+  }
+
+  Status Str(std::string& s) {
+    uint64_t size = 0;
+    Status st = U64(size);
+    if (!st.ok()) return st;
+    if (size > remaining()) return Truncated();
+    s.assign(payload_.data() + pos_, size);
+    pos_ += size;
+    return Status::Ok();
+  }
+
+  Status StrVec(std::vector<std::string>& v) {
+    uint64_t count = 0;
+    Status st = U64(count);
+    if (!st.ok()) return st;
+    // Each entry needs at least its 8-byte length.
+    if (count > remaining() / 8) return Truncated();
+    v.resize(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      st = Str(v[i]);
+      if (!st.ok()) return st;
+    }
+    return Status::Ok();
+  }
+
+  template <typename T>
+  Status PodVec(std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    Status st = U64(count);
+    if (!st.ok()) return st;
+    if (count > remaining() / sizeof(T)) return Truncated();
+    v.resize(count);
+    return Raw(v.data(), count * sizeof(T));
+  }
+
+  Status Raw(void* out, size_t size) {
+    if (size > remaining()) return Truncated();
+    std::memcpy(out, payload_.data() + pos_, size);
+    pos_ += size;
+    return Status::Ok();
+  }
+
+  size_t remaining() const { return payload_.size() - pos_; }
+
+ private:
+  static Status Truncated() {
+    return Status::ParseError("index file truncated or corrupted");
+  }
+
+  std::string payload_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+/// Private-member access hook (friended by XmlTree, XmlIndex, TypeIndex
+/// and FastSsIndex).
+struct SerializationAccess {
+  static void WriteTree(const XmlTree& tree, Writer& w) {
+    w.PodVec(tree.nodes_);
+    w.PodVec(tree.dewey_pool_);
+    w.StrVec(tree.texts_);
+    w.StrVec(tree.labels_);
+    w.PodVec(tree.path_parents_);
+    w.PodVec(tree.path_labels_);
+    w.PodVec(tree.path_depths_);
+    w.PodVec(tree.path_node_counts_);
+    w.U32(tree.max_depth_);
+    w.U64(tree.depth_sum_);
+  }
+
+  static Status ReadTree(Reader& r, XmlTree& tree) {
+    Status s;
+    if (!(s = r.PodVec(tree.nodes_)).ok()) return s;
+    if (!(s = r.PodVec(tree.dewey_pool_)).ok()) return s;
+    if (!(s = r.StrVec(tree.texts_)).ok()) return s;
+    if (!(s = r.StrVec(tree.labels_)).ok()) return s;
+    if (!(s = r.PodVec(tree.path_parents_)).ok()) return s;
+    if (!(s = r.PodVec(tree.path_labels_)).ok()) return s;
+    if (!(s = r.PodVec(tree.path_depths_)).ok()) return s;
+    if (!(s = r.PodVec(tree.path_node_counts_)).ok()) return s;
+    if (!(s = r.U32(tree.max_depth_)).ok()) return s;
+    if (!(s = r.U64(tree.depth_sum_)).ok()) return s;
+    // Structural sanity: node/dewey/path table cross references.
+    for (const XmlTree::Node& node : tree.nodes_) {
+      if (node.label_id >= tree.labels_.size() ||
+          node.path_id >= tree.path_depths_.size() ||
+          node.subtree_end >= tree.nodes_.size() ||
+          static_cast<uint64_t>(node.dewey_offset) + node.depth >
+              tree.dewey_pool_.size() ||
+          (node.text_id != XmlTree::kNoText &&
+           node.text_id >= tree.texts_.size())) {
+        return Status::ParseError("index file: inconsistent tree tables");
+      }
+    }
+    return Status::Ok();
+  }
+
+  static void WriteIndex(const XmlIndex& index, Writer& w) {
+    WriteTree(index.tree_, w);
+    // Options.
+    const IndexOptions& o = index.options_;
+    w.Bool(o.tokenizer.lowercase);
+    w.U64(o.tokenizer.min_token_length);
+    w.Bool(o.tokenizer.drop_numbers);
+    w.Bool(o.tokenizer.drop_stopwords);
+    w.U32(o.fastss_max_ed);
+    w.U64(o.fastss_partition_min_length);
+    // Vocabulary.
+    w.StrVec(index.vocabulary_.tokens());
+    // Inverted lists.
+    w.U64(index.inverted_lists_.size());
+    for (const PostingList& list : index.inverted_lists_) {
+      w.U64(list.size());
+      w.Raw(list.data(), list.size() * sizeof(Posting));
+    }
+    // Type lists.
+    w.U64(index.type_index_.lists_.size());
+    for (const auto& list : index.type_index_.lists_) w.PodVec(list);
+    // Statistics.
+    w.PodVec(index.cf_);
+    w.PodVec(index.df_);
+    w.PodVec(index.node_tokens_);
+    w.PodVec(index.subtree_tokens_);
+    w.U64(index.total_tokens_);
+    w.U32(index.text_node_count_);
+    w.U64(index.source_bytes_);
+    // FastSS postings (words are the vocabulary, not re-stored).
+    w.PodVec(index.fastss_.postings_);
+    w.Bool(index.fastss_.has_partitioned_);
+  }
+
+  static Result<std::unique_ptr<XmlIndex>> ReadIndex(Reader& r) {
+    XmlTree tree;
+    Status s = ReadTree(r, tree);
+    if (!s.ok()) return s;
+
+    IndexOptions options;
+    uint64_t min_token_length = 0, partition_min_length = 0;
+    if (!(s = r.Bool(options.tokenizer.lowercase)).ok()) return s;
+    if (!(s = r.U64(min_token_length)).ok()) return s;
+    if (!(s = r.Bool(options.tokenizer.drop_numbers)).ok()) return s;
+    if (!(s = r.Bool(options.tokenizer.drop_stopwords)).ok()) return s;
+    if (!(s = r.U32(options.fastss_max_ed)).ok()) return s;
+    if (!(s = r.U64(partition_min_length)).ok()) return s;
+    options.tokenizer.min_token_length = min_token_length;
+    options.fastss_partition_min_length = partition_min_length;
+
+    std::unique_ptr<XmlIndex> index(
+        new XmlIndex(std::move(tree), options));
+
+    std::vector<std::string> tokens;
+    if (!(s = r.StrVec(tokens)).ok()) return s;
+    for (const std::string& token : tokens) {
+      index->vocabulary_.Intern(token);
+    }
+    if (index->vocabulary_.size() != tokens.size()) {
+      return Status::ParseError("index file: duplicate vocabulary tokens");
+    }
+
+    uint64_t list_count = 0;
+    if (!(s = r.U64(list_count)).ok()) return s;
+    if (list_count != tokens.size()) {
+      return Status::ParseError("index file: posting/vocabulary mismatch");
+    }
+    index->inverted_lists_.reserve(list_count);
+    for (uint64_t i = 0; i < list_count; ++i) {
+      std::vector<Posting> postings;
+      if (!(s = r.PodVec(postings)).ok()) return s;
+      for (const Posting& p : postings) {
+        if (p.node >= index->tree_.size()) {
+          return Status::ParseError("index file: posting node out of range");
+        }
+      }
+      index->inverted_lists_.emplace_back(std::move(postings));
+    }
+
+    uint64_t type_count = 0;
+    if (!(s = r.U64(type_count)).ok()) return s;
+    if (type_count != tokens.size()) {
+      return Status::ParseError("index file: type-list count mismatch");
+    }
+    index->type_index_.lists_.resize(type_count);
+    for (uint64_t i = 0; i < type_count; ++i) {
+      if (!(s = r.PodVec(index->type_index_.lists_[i])).ok()) return s;
+    }
+
+    if (!(s = r.PodVec(index->cf_)).ok()) return s;
+    if (!(s = r.PodVec(index->df_)).ok()) return s;
+    if (!(s = r.PodVec(index->node_tokens_)).ok()) return s;
+    if (!(s = r.PodVec(index->subtree_tokens_)).ok()) return s;
+    if (!(s = r.U64(index->total_tokens_)).ok()) return s;
+    if (!(s = r.U32(index->text_node_count_)).ok()) return s;
+    if (!(s = r.U64(index->source_bytes_)).ok()) return s;
+    if (index->cf_.size() != tokens.size() ||
+        index->df_.size() != tokens.size() ||
+        index->node_tokens_.size() != index->tree_.size() ||
+        index->subtree_tokens_.size() != index->tree_.size()) {
+      return Status::ParseError("index file: statistics size mismatch");
+    }
+
+    FastSsIndex::Options fs_options;
+    fs_options.max_ed = options.fastss_max_ed;
+    fs_options.partition_min_length = options.fastss_partition_min_length;
+    FastSsIndex fs(fs_options);
+    fs.words_ = tokens;
+    if (!(s = r.PodVec(fs.postings_)).ok()) return s;
+    if (!(s = r.Bool(fs.has_partitioned_)).ok()) return s;
+    fs.built_ = true;
+    for (const FastSsIndex::Posting& p : fs.postings_) {
+      if (p.word_id >= tokens.size()) {
+        return Status::ParseError("index file: FastSS posting out of range");
+      }
+    }
+    index->fastss_ = std::move(fs);
+
+    if (r.remaining() != 0) {
+      return Status::ParseError("index file: trailing bytes");
+    }
+    return index;
+  }
+};
+
+Status SaveIndex(const XmlIndex& index, std::ostream& out) {
+  Writer writer;
+  SerializationAccess::WriteIndex(index, writer);
+  const std::string& payload = writer.buffer();
+
+  out.write(kMagic, sizeof(kMagic));
+  uint32_t version = kFormatVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  uint64_t size = payload.size();
+  out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  uint64_t checksum = Fnv1a(payload.data(), payload.size(),
+                            14695981039346656037ULL);
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out) return Status::Internal("index write failed");
+  return Status::Ok();
+}
+
+Status SaveIndex(const XmlIndex& index, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  return SaveIndex(index, out);
+}
+
+Result<std::unique_ptr<XmlIndex>> LoadIndex(std::istream& in) {
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("not an XClean index file (bad magic)");
+  }
+  uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kFormatVersion) {
+    return Status::ParseError(
+        StrFormat("unsupported index format version %u", version));
+  }
+  uint64_t size = 0;
+  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  if (!in) return Status::ParseError("index file truncated (no size)");
+  std::string payload(size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(size));
+  if (!in || static_cast<uint64_t>(in.gcount()) != size) {
+    return Status::ParseError("index file truncated (payload)");
+  }
+  uint64_t stored_checksum = 0;
+  in.read(reinterpret_cast<char*>(&stored_checksum), sizeof(stored_checksum));
+  if (!in) return Status::ParseError("index file truncated (checksum)");
+  uint64_t checksum =
+      Fnv1a(payload.data(), payload.size(), 14695981039346656037ULL);
+  if (checksum != stored_checksum) {
+    return Status::ParseError("index file checksum mismatch");
+  }
+
+  Reader reader(std::move(payload));
+  return SerializationAccess::ReadIndex(reader);
+}
+
+Result<std::unique_ptr<XmlIndex>> LoadIndex(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open index file: " + path);
+  return LoadIndex(in);
+}
+
+}  // namespace xclean

@@ -1,0 +1,39 @@
+#ifndef XCLEAN_INDEX_INDEX_IO_H_
+#define XCLEAN_INDEX_INDEX_IO_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "index/xml_index.h"
+
+namespace xclean {
+
+/// Binary index persistence. Indexing a large corpus costs parsing +
+/// tokenization + FastSS construction; a saved index loads in one
+/// sequential read, so a search service can restart without rebuilding
+/// (offline build / online serve, the deployment the paper assumes).
+///
+/// Format: "XCLIDX" magic, a format version, a little-endian payload of
+/// length-prefixed sections (tree, vocabulary, postings, type lists,
+/// statistics, FastSS postings), and a trailing FNV-1a checksum of the
+/// payload. Loads verify magic, version and checksum and never trust
+/// lengths blindly (truncated/corrupted files produce ParseError, not
+/// crashes). The format is an implementation detail and may change between
+/// versions; it is not a cross-machine interchange format (host
+/// endianness).
+Status SaveIndex(const XmlIndex& index, const std::string& path);
+
+/// Serializes to an arbitrary stream (used by tests).
+Status SaveIndex(const XmlIndex& index, std::ostream& out);
+
+/// Loads an index previously written by SaveIndex.
+Result<std::unique_ptr<XmlIndex>> LoadIndex(const std::string& path);
+
+/// Deserializes from an arbitrary stream.
+Result<std::unique_ptr<XmlIndex>> LoadIndex(std::istream& in);
+
+}  // namespace xclean
+
+#endif  // XCLEAN_INDEX_INDEX_IO_H_

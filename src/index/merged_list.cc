@@ -1,0 +1,66 @@
+#include "index/merged_list.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace xclean {
+
+MergedList::MergedList(std::vector<Member> members)
+    : members_(std::move(members)) {
+  heap_.reserve(members_.size());
+  for (uint32_t i = 0; i < members_.size(); ++i) PushMember(i);
+  RefreshHead();
+}
+
+void MergedList::PushMember(uint32_t member) {
+  PostingCursor& cursor = members_[member].cursor;
+  if (cursor.AtEnd()) return;
+  heap_.push_back(
+      HeapEntry{cursor.Get().node, members_[member].token, member});
+  std::push_heap(heap_.begin(), heap_.end(), HeapAfter);
+}
+
+void MergedList::PopTop() {
+  std::pop_heap(heap_.begin(), heap_.end(), HeapAfter);
+  heap_.pop_back();
+}
+
+void MergedList::RefreshHead() {
+  if (heap_.empty()) {
+    exhausted_ = true;
+    return;
+  }
+  const HeapEntry& top = heap_.front();
+  const Posting& p = members_[top.member].cursor.Get();
+  head_ = Head{p.node, p.tf, top.token};
+  exhausted_ = false;
+}
+
+MergedList::Head MergedList::Next() {
+  XCLEAN_CHECK(!exhausted_);
+  Head out = head_;
+  uint32_t member = heap_.front().member;
+  PopTop();
+  members_[member].cursor.Next();
+  PushMember(member);
+  RefreshHead();
+  return out;
+}
+
+const MergedList::Head* MergedList::SkipTo(NodeId target) {
+  if (exhausted_) return nullptr;
+  if (head_.node >= target) return &head_;
+  // Skip inside every member list, then rebuild the heap wholesale: after a
+  // long-distance skip most heads change, so a rebuild (O(m)) beats m
+  // sift-downs.
+  heap_.clear();
+  for (uint32_t i = 0; i < members_.size(); ++i) {
+    members_[i].cursor.SkipTo(target);
+    PushMember(i);
+  }
+  RefreshHead();
+  return cur_pos();
+}
+
+}  // namespace xclean

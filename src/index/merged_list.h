@@ -1,0 +1,74 @@
+#ifndef XCLEAN_INDEX_MERGED_LIST_H_
+#define XCLEAN_INDEX_MERGED_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/postings.h"
+#include "index/vocabulary.h"
+
+namespace xclean {
+
+/// The paper's MergedList abstraction (Sec. V-C): the inverted lists of all
+/// variants of one query keyword, organized as if physically merged into a
+/// single list sorted in document order. Implemented as a min-heap of the
+/// member cursors' heads; skip_to performs a galloping skip inside every
+/// member list and rebuilds the heap.
+///
+/// Each head carries the variant token it came from so the caller can
+/// attribute occurrences to candidate-query slots.
+class MergedList {
+ public:
+  struct Member {
+    TokenId token;
+    PostingCursor cursor;
+  };
+
+  struct Head {
+    NodeId node;
+    uint32_t tf;
+    TokenId token;
+  };
+
+  explicit MergedList(std::vector<Member> members);
+
+  /// Head (first element) of the merged list, or nullptr when exhausted.
+  /// Pointer is invalidated by Next()/SkipTo().
+  const Head* cur_pos() const { return exhausted_ ? nullptr : &head_; }
+
+  /// Returns the head and removes it from the list. Requires cur_pos() to
+  /// be non-null.
+  Head Next();
+
+  /// Discards all entries with node < target and returns the new head (or
+  /// nullptr). Ties across member lists are surfaced in ascending
+  /// (node, token) order for determinism.
+  const Head* SkipTo(NodeId target);
+
+  bool empty() const { return exhausted_; }
+
+ private:
+  struct HeapEntry {
+    NodeId node;
+    TokenId token;
+    uint32_t member;
+  };
+
+  // Min-heap ordered by (node, token).
+  static bool HeapAfter(const HeapEntry& a, const HeapEntry& b) {
+    return a.node > b.node || (a.node == b.node && a.token > b.token);
+  }
+
+  void PushMember(uint32_t member);
+  void PopTop();
+  void RefreshHead();
+
+  std::vector<Member> members_;
+  std::vector<HeapEntry> heap_;
+  Head head_{};
+  bool exhausted_ = true;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_INDEX_MERGED_LIST_H_

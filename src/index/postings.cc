@@ -1,0 +1,22 @@
+#include "index/postings.h"
+
+#include <algorithm>
+
+namespace xclean {
+
+void PostingCursor::SkipTo(NodeId target) {
+  if (AtEnd() || cur_->node >= target) return;
+  // Galloping: double the step until we overshoot, then binary search the
+  // last bracket. Keeps short skips O(1) and long skips logarithmic.
+  size_t step = 1;
+  const Posting* probe = cur_;
+  while (probe + step < end_ && (probe + step)->node < target) {
+    probe += step;
+    step <<= 1;
+  }
+  const Posting* hi = std::min(probe + step, end_);
+  cur_ = std::lower_bound(probe, hi, target,
+                          [](const Posting& p, NodeId t) { return p.node < t; });
+}
+
+}  // namespace xclean

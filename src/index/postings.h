@@ -1,0 +1,74 @@
+#ifndef XCLEAN_INDEX_POSTINGS_H_
+#define XCLEAN_INDEX_POSTINGS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace xclean {
+
+/// One inverted-list entry: the paper's (dewey, label-path, tf) tuple.
+/// Dewey code and label path are recovered from the node id through the
+/// tree in O(1), so the stored entry is just (node, tf). Lists are sorted
+/// by node id, which *is* document order (preorder = Dewey lexicographic
+/// order).
+struct Posting {
+  NodeId node;
+  uint32_t tf;
+};
+
+/// An immutable sorted posting list.
+class PostingList {
+ public:
+  PostingList() = default;
+  explicit PostingList(std::vector<Posting> postings)
+      : postings_(std::move(postings)) {}
+
+  size_t size() const { return postings_.size(); }
+  bool empty() const { return postings_.empty(); }
+  const Posting& operator[](size_t i) const { return postings_[i]; }
+  const Posting* data() const { return postings_.data(); }
+
+  std::vector<Posting>::const_iterator begin() const {
+    return postings_.begin();
+  }
+  std::vector<Posting>::const_iterator end() const { return postings_.end(); }
+
+ private:
+  std::vector<Posting> postings_;
+};
+
+/// Forward cursor over a PostingList with the skip operation that powers
+/// the anchor-driven traversal of Algorithm 1. SkipTo uses exponential
+/// (galloping) search followed by binary search, so a skip over g entries
+/// costs O(log g) comparisons while short skips stay cheap.
+class PostingCursor {
+ public:
+  PostingCursor() : cur_(nullptr), end_(nullptr) {}
+  explicit PostingCursor(const PostingList& list)
+      : cur_(list.data()), end_(list.data() + list.size()) {}
+
+  bool AtEnd() const { return cur_ == end_; }
+
+  /// Current posting; requires !AtEnd().
+  const Posting& Get() const { return *cur_; }
+
+  /// Advances one entry; requires !AtEnd().
+  void Next() { ++cur_; }
+
+  /// Discards all postings with node < target; the cursor ends on the
+  /// first posting with node >= target (or AtEnd).
+  void SkipTo(NodeId target);
+
+  /// Entries remaining including the current one.
+  size_t remaining() const { return static_cast<size_t>(end_ - cur_); }
+
+ private:
+  const Posting* cur_;
+  const Posting* end_;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_INDEX_POSTINGS_H_

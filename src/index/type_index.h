@@ -1,0 +1,44 @@
+#ifndef XCLEAN_INDEX_TYPE_INDEX_H_
+#define XCLEAN_INDEX_TYPE_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/vocabulary.h"
+#include "xml/tree.h"
+
+namespace xclean {
+
+/// One entry of a token's type list: f_w^p = number of nodes whose label
+/// path is `path` and that contain the token w anywhere in their subtree
+/// (Eq. 7 of the paper).
+struct PathFreq {
+  PathId path;
+  uint32_t freq;
+};
+
+/// The index of Sec. V-B: "for each keyword w, returns a list P_w of types
+/// and their f_w^p values". Lists are sorted by PathId so FindResultType can
+/// intersect them with a multi-way merge.
+class TypeIndex {
+ public:
+  TypeIndex() = default;
+
+  /// Type list of a token (empty span for out-of-range tokens).
+  std::span<const PathFreq> list(TokenId token) const {
+    if (token >= lists_.size()) return {};
+    return lists_[token];
+  }
+
+  size_t token_count() const { return lists_.size(); }
+
+ private:
+  friend class XmlIndex;
+  friend struct SerializationAccess;  // index_io.cc
+  std::vector<std::vector<PathFreq>> lists_;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_INDEX_TYPE_INDEX_H_

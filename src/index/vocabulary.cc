@@ -1,0 +1,19 @@
+#include "index/vocabulary.h"
+
+namespace xclean {
+
+TokenId Vocabulary::Intern(std::string_view token) {
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  TokenId id = static_cast<TokenId>(tokens_.size());
+  tokens_.emplace_back(token);
+  ids_.emplace(tokens_.back(), id);
+  return id;
+}
+
+TokenId Vocabulary::Find(std::string_view token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? kInvalidToken : it->second;
+}
+
+}  // namespace xclean

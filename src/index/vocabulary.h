@@ -1,0 +1,62 @@
+#ifndef XCLEAN_INDEX_VOCABULARY_H_
+#define XCLEAN_INDEX_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xclean {
+
+/// Dense token id. Tokens are interned in first-seen order during index
+/// construction.
+using TokenId = uint32_t;
+
+inline constexpr TokenId kInvalidToken = 0xFFFFFFFFu;
+
+/// The token dictionary V of the paper: every distinct token appearing in
+/// the document's text content. Bidirectional string <-> id mapping;
+/// statistics (cf, df) live in XmlIndex.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Id of `token`, interning it if new.
+  TokenId Intern(std::string_view token);
+
+  /// Id of `token` or kInvalidToken if it is not in the vocabulary.
+  TokenId Find(std::string_view token) const;
+
+  bool Contains(std::string_view token) const {
+    return Find(token) != kInvalidToken;
+  }
+
+  const std::string& token(TokenId id) const { return tokens_[id]; }
+  size_t size() const { return tokens_.size(); }
+
+  /// All tokens in id order (used to build the FastSS index).
+  const std::vector<std::string>& tokens() const { return tokens_; }
+
+ private:
+  // Transparent hashing lets Find() take string_view without allocating.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>()(s);
+    }
+  };
+  struct StringEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, TokenId, StringHash, StringEq> ids_;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_INDEX_VOCABULARY_H_

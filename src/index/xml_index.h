@@ -1,0 +1,130 @@
+#ifndef XCLEAN_INDEX_XML_INDEX_H_
+#define XCLEAN_INDEX_XML_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/postings.h"
+#include "index/type_index.h"
+#include "index/vocabulary.h"
+#include "text/fastss.h"
+#include "xml/tokenizer.h"
+#include "xml/tree.h"
+
+namespace xclean {
+
+/// Index construction knobs.
+struct IndexOptions {
+  /// Tokenization policy (paper defaults: drop stopwords, numbers, <3 chars).
+  TokenizerOptions tokenizer;
+  /// Maximum edit distance the FastSS variant index can answer. Workloads
+  /// whose misspellings go further (e.g. RULE) should raise this.
+  uint32_t fastss_max_ed = 2;
+  /// Token length from which FastSS switches to the partitioned layout.
+  size_t fastss_partition_min_length = 13;
+};
+
+/// Summary statistics in the shape of the paper's Table I.
+struct IndexStats {
+  uint64_t node_count = 0;
+  uint64_t text_node_count = 0;   // nodes with direct text (PY08's "tuples")
+  uint64_t token_occurrences = 0; // total indexed token occurrences
+  uint64_t vocabulary_size = 0;
+  uint64_t path_count = 0;        // distinct label paths (node types)
+  uint32_t max_depth = 0;
+  double avg_depth = 0.0;
+  uint64_t xml_bytes = 0;         // size of the serialized source, if known
+};
+
+/// All per-document structures the query-cleaning algorithms need, built in
+/// one pass over the tree (Sec. V-B/V-C):
+///
+///  - vocabulary V and FastSS variant index over it,
+///  - one inverted list per token: sorted (node, tf) postings,
+///  - one type list per token: (path, f_w^p) for FindResultType,
+///  - collection frequency cf(w) and total token count (background language
+///    model P(w|B) = cf(w) / total),
+///  - document frequency df(w) over text-bearing nodes and per-node direct
+///    token counts (the PY08 baseline's TF/IDF ingredients),
+///  - per-node subtree token counts: |D(r)| of the entity virtual document.
+///
+/// The index owns its XmlTree. Immutable after Build.
+class XmlIndex {
+ public:
+  /// Builds the index over `tree` (which it takes ownership of).
+  static std::unique_ptr<XmlIndex> Build(XmlTree tree,
+                                         IndexOptions options = IndexOptions());
+
+  XmlIndex(const XmlIndex&) = delete;
+  XmlIndex& operator=(const XmlIndex&) = delete;
+
+  const XmlTree& tree() const { return tree_; }
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+  const TypeIndex& type_index() const { return type_index_; }
+  const FastSsIndex& fastss() const { return fastss_; }
+  const Tokenizer& tokenizer() const { return tokenizer_; }
+  const IndexOptions& options() const { return options_; }
+
+  const PostingList& postings(TokenId token) const {
+    return inverted_lists_[token];
+  }
+
+  /// Collection frequency of a token (total occurrences).
+  uint64_t collection_freq(TokenId token) const { return cf_[token]; }
+  /// Number of text-bearing nodes containing the token directly.
+  uint32_t doc_freq(TokenId token) const { return df_[token]; }
+  /// Total indexed token occurrences in the document.
+  uint64_t total_tokens() const { return total_tokens_; }
+  /// Number of text-bearing nodes (PY08's N).
+  uint32_t text_node_count() const { return text_node_count_; }
+
+  /// Background unigram probability P(w|B) = cf(w) / total.
+  double BackgroundProb(TokenId token) const {
+    return static_cast<double>(cf_[token]) /
+           static_cast<double>(total_tokens_);
+  }
+
+  /// Tokens directly in node n (the |t| of PY08's tfidf).
+  uint32_t node_token_count(NodeId n) const { return node_tokens_[n]; }
+  /// Tokens in the subtree of n — |D(r)| of the virtual document D(r).
+  uint64_t subtree_token_count(NodeId n) const { return subtree_tokens_[n]; }
+
+  IndexStats stats() const;
+
+  /// Approximate resident bytes of all index structures (tree, postings,
+  /// type lists, statistics vectors, FastSS). The paper's Table I context
+  /// reports index sizes (1.8 GB INEX / 400 MB DBLP); this is our analog.
+  uint64_t ApproxMemoryBytes() const;
+
+  /// Records the byte size of the XML source (for Table I reporting).
+  void set_source_bytes(uint64_t bytes) { source_bytes_ = bytes; }
+
+ private:
+  friend class IndexBuilder;
+  friend struct SerializationAccess;  // index_io.cc
+  XmlIndex(XmlTree tree, IndexOptions options)
+      : tree_(std::move(tree)),
+        options_(options),
+        tokenizer_(options.tokenizer) {}
+
+  XmlTree tree_;
+  IndexOptions options_;
+  Tokenizer tokenizer_;
+  Vocabulary vocabulary_;
+  TypeIndex type_index_;
+  FastSsIndex fastss_;
+  std::vector<PostingList> inverted_lists_;
+  std::vector<uint64_t> cf_;
+  std::vector<uint32_t> df_;
+  std::vector<uint32_t> node_tokens_;
+  std::vector<uint64_t> subtree_tokens_;
+  uint64_t total_tokens_ = 0;
+  uint32_t text_node_count_ = 0;
+  uint64_t source_bytes_ = 0;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_INDEX_XML_INDEX_H_

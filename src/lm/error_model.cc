@@ -1,0 +1,25 @@
+#include "lm/error_model.h"
+
+#include <cmath>
+
+#include "text/edit_distance.h"
+
+namespace xclean {
+
+double ErrorModel::Weight(uint32_t edit_distance) const {
+  return std::exp(-beta_ * static_cast<double>(edit_distance));
+}
+
+double ErrorModel::Weight(std::string_view observed,
+                          std::string_view intended) const {
+  return Weight(EditDistance(observed, intended));
+}
+
+double ErrorModel::QueryWeight(
+    const std::vector<uint32_t>& edit_distances) const {
+  uint64_t total = 0;
+  for (uint32_t d : edit_distances) total += d;
+  return std::exp(-beta_ * static_cast<double>(total));
+}
+
+}  // namespace xclean

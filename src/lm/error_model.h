@@ -1,0 +1,47 @@
+#ifndef XCLEAN_LM_ERROR_MODEL_H_
+#define XCLEAN_LM_ERROR_MODEL_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace xclean {
+
+/// The typographical error model of Sec. IV-B1: the probability of typing
+/// the observed keyword q when the intended token is w decays exponentially
+/// with their edit distance,
+///
+///     P(q | w) ∝ exp(-beta * ed(q, w))                          (Eq. 5)
+///
+/// beta controls how heavily edit errors are penalized; the paper finds
+/// beta = 5 best on almost every query set (Table IV) and uses it
+/// throughout.
+///
+/// We use the unnormalized weight: the per-slot normalizers z, z' of
+/// Eqs. (4)-(5) are shared by every candidate in the same variant list and
+/// therefore never change the ranking of candidate queries (noted in the
+/// paper's derivation; asserted by a test).
+class ErrorModel {
+ public:
+  explicit ErrorModel(double beta = 5.0) : beta_(beta) {}
+
+  double beta() const { return beta_; }
+
+  /// exp(-beta * ed) for a precomputed edit distance.
+  double Weight(uint32_t edit_distance) const;
+
+  /// exp(-beta * ed(observed, intended)).
+  double Weight(std::string_view observed, std::string_view intended) const;
+
+  /// Multi-keyword error term P(Q|C) under the per-keyword independence
+  /// assumption (Eq. 6): the product of per-slot weights, given the slots'
+  /// edit distances.
+  double QueryWeight(const std::vector<uint32_t>& edit_distances) const;
+
+ private:
+  double beta_;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_LM_ERROR_MODEL_H_

@@ -1,0 +1,57 @@
+#ifndef XCLEAN_LM_LANGUAGE_MODEL_H_
+#define XCLEAN_LM_LANGUAGE_MODEL_H_
+
+#include <cstdint>
+
+#include "index/xml_index.h"
+
+namespace xclean {
+
+/// Dirichlet-smoothed unigram language model over entity virtual documents
+/// (Sec. IV-B2):
+///
+///     P(w | D) = (count(w, D) + mu * P(w | B)) / (|D| + mu)
+///
+/// where D = D(r) is the concatenated text of entity r's subtree, B is the
+/// background (whole-collection) model, and mu the smoothing mass. The
+/// paper adopts this "state-of-the-art" estimator from Zhai & Lafferty; it
+/// does not state mu, so we default to the standard mu = 2000.
+///
+/// Numerics: with at most ~7 query keywords, per-entity products stay above
+/// ~1e-60 — comfortably inside double range — so probabilities are plain
+/// doubles (no log-space machinery needed).
+class LanguageModel {
+ public:
+  explicit LanguageModel(const XmlIndex& index, double mu = 2000.0)
+      : index_(&index), mu_(mu) {}
+
+  double mu() const { return mu_; }
+
+  /// P(w|B): background probability of the token.
+  double Background(TokenId token) const {
+    return index_->BackgroundProb(token);
+  }
+
+  /// P(w | D(r)) given count(w, D(r)) and |D(r)| accumulated by the caller.
+  double Prob(TokenId token, uint64_t count_in_doc, uint64_t doc_len) const {
+    return (static_cast<double>(count_in_doc) + mu_ * Background(token)) /
+           (static_cast<double>(doc_len) + mu_);
+  }
+
+  /// P(w | D(r)) for entity rooted at r, with count(w, D(r)) supplied by the
+  /// caller (the XClean pass accumulates it while collecting occurrences;
+  /// |D(r)| is the precomputed subtree token count).
+  double ProbInEntity(TokenId token, uint64_t count_in_entity,
+                      NodeId entity_root) const {
+    return Prob(token, count_in_entity,
+                index_->subtree_token_count(entity_root));
+  }
+
+ private:
+  const XmlIndex* index_;
+  double mu_;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_LM_LANGUAGE_MODEL_H_

@@ -1,0 +1,52 @@
+#ifndef XCLEAN_LM_RESULT_TYPE_H_
+#define XCLEAN_LM_RESULT_TYPE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/xml_index.h"
+
+namespace xclean {
+
+/// Result-type inference for the "specific node type" keyword query
+/// semantics (Sec. IV-B2, following XReal): the desirability of label path
+/// p as the result type of candidate query C is
+///
+///     U(C, p) = log(1 + Π_{w∈C} f_w^p) * r^depth(p)              (Eq. 7)
+///
+/// where f_w^p counts nodes of path p containing w in their subtree and
+/// r < 1 discounts deep paths ("too deep in the tree ... contain little
+/// additional information"). The paper's examples use r = 0.8.
+class ResultTypeScorer {
+ public:
+  explicit ResultTypeScorer(const XmlIndex& index, double r = 0.8)
+      : index_(&index), reduction_(r) {}
+
+  double reduction() const { return reduction_; }
+
+  struct Choice {
+    PathId path = XmlTree::kInvalidPath;
+    double utility = 0.0;
+    /// Π_w f_w^p of the winning path (used in tests / diagnostics).
+    double freq_product = 0.0;
+  };
+
+  /// U(C, p) for an explicit path (0 if some keyword never occurs under p).
+  double Utility(const std::vector<TokenId>& candidate, PathId path) const;
+
+  /// The FindResultType(C) algorithm of Sec. V-B: intersects the keywords'
+  /// type lists by a multi-way merge (lists are PathId-sorted) and returns
+  /// the path maximizing U(C, p) among paths of depth >= min_depth. Ties
+  /// break to the smaller PathId for determinism. Returns kInvalidPath if
+  /// the keywords never co-occur under a qualifying type.
+  Choice FindResultType(const std::vector<TokenId>& candidate,
+                        uint32_t min_depth) const;
+
+ private:
+  const XmlIndex* index_;
+  double reduction_;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_LM_RESULT_TYPE_H_

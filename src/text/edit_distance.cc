@@ -1,0 +1,80 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace xclean {
+
+uint32_t EditDistance(std::string_view s, std::string_view t) {
+  if (s.size() > t.size()) std::swap(s, t);  // s is the shorter string
+  const size_t n = s.size();
+  const size_t m = t.size();
+  if (n == 0) return static_cast<uint32_t>(m);
+
+  std::vector<uint32_t> row(n + 1);
+  for (size_t j = 0; j <= n; ++j) row[j] = static_cast<uint32_t>(j);
+  for (size_t i = 1; i <= m; ++i) {
+    uint32_t diag = row[0];  // D[i-1][j-1]
+    row[0] = static_cast<uint32_t>(i);
+    for (size_t j = 1; j <= n; ++j) {
+      uint32_t up = row[j];  // D[i-1][j]
+      uint32_t cost = (t[i - 1] == s[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j - 1] + 1, up + 1, diag + cost});
+      diag = up;
+    }
+  }
+  return row[n];
+}
+
+uint32_t EditDistanceBounded(std::string_view s, std::string_view t,
+                             uint32_t max_ed) {
+  if (s.size() > t.size()) std::swap(s, t);
+  const size_t n = s.size();
+  const size_t m = t.size();
+  if (m - n > max_ed) return max_ed + 1;
+  if (n == 0) return static_cast<uint32_t>(m);
+  if (max_ed == 0) return s == t ? 0 : 1;
+
+  // Banded DP over the shorter string's axis: only cells with
+  // |i - j| <= max_ed can hold a value <= max_ed. kBig marks cells outside
+  // the band (chosen so adding 1 cannot overflow).
+  constexpr uint32_t kBig = 0x3FFFFFFF;
+  std::vector<uint32_t> row(n + 1, kBig);
+  size_t band = max_ed;
+  for (size_t j = 0; j <= std::min(n, band); ++j) {
+    row[j] = static_cast<uint32_t>(j);
+  }
+  for (size_t i = 1; i <= m; ++i) {
+    size_t lo = i > band ? i - band : 0;
+    size_t hi = std::min(n, i + band);
+    if (lo > n) return max_ed + 1;
+    uint32_t diag = row[lo > 0 ? lo - 1 : 0];  // D[i-1][lo-1]
+    uint32_t left = kBig;                      // D[i][lo-1] (outside band)
+    if (lo == 0) {
+      diag = row[0];
+      row[0] = static_cast<uint32_t>(i);
+      left = row[0];
+      lo = 1;
+    }
+    uint32_t row_min = left;
+    for (size_t j = lo; j <= hi; ++j) {
+      uint32_t up = row[j];  // D[i-1][j]
+      uint32_t cost = (t[i - 1] == s[j - 1]) ? 0 : 1;
+      uint32_t v = std::min({left + 1, up + 1, diag + cost});
+      row[j] = v;
+      left = v;
+      diag = up;
+      row_min = std::min(row_min, v);
+    }
+    if (hi < n) row[hi + 1] = kBig;  // invalidate the cell leaving the band
+    if (row_min > max_ed) return max_ed + 1;
+  }
+  return std::min<uint32_t>(row[n], max_ed + 1);
+}
+
+bool WithinEditDistance(std::string_view s, std::string_view t,
+                        uint32_t max_ed) {
+  return EditDistanceBounded(s, t, max_ed) <= max_ed;
+}
+
+}  // namespace xclean

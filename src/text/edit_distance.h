@@ -1,0 +1,27 @@
+#ifndef XCLEAN_TEXT_EDIT_DISTANCE_H_
+#define XCLEAN_TEXT_EDIT_DISTANCE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace xclean {
+
+/// Levenshtein edit distance (insertions, deletions, substitutions), the
+/// error measure of the paper's typographical model (Sec. III). Full
+/// O(|s|·|t|) dynamic program with a two-row rolling buffer.
+uint32_t EditDistance(std::string_view s, std::string_view t);
+
+/// Thresholded edit distance: returns ed(s, t) if it is <= max_ed, and
+/// max_ed + 1 otherwise. Runs the banded O(max(|s|,|t|) · max_ed) dynamic
+/// program, which is what FastSS candidate verification calls in the hot
+/// path.
+uint32_t EditDistanceBounded(std::string_view s, std::string_view t,
+                             uint32_t max_ed);
+
+/// Convenience predicate: ed(s, t) <= max_ed.
+bool WithinEditDistance(std::string_view s, std::string_view t,
+                        uint32_t max_ed);
+
+}  // namespace xclean
+
+#endif  // XCLEAN_TEXT_EDIT_DISTANCE_H_

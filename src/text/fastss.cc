@@ -1,0 +1,156 @@
+#include "text/fastss.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "text/edit_distance.h"
+
+namespace xclean {
+
+namespace {
+
+/// FNV-1a over a tag byte plus the variant bytes. Collisions are harmless
+/// (verification filters), they only waste one EditDistanceBounded call.
+uint64_t Fnv1a(uint8_t tag, std::string_view s) {
+  uint64_t h = 14695981039346656037ULL;
+  h = (h ^ tag) * 1099511628211ULL;
+  for (char c : s) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Recursively enumerates deletion variants; dedupes via a set (deleting
+/// different positions of repeated characters yields the same string).
+void EnumerateDeletions(const std::string& current, uint32_t remaining,
+                        size_t min_pos,
+                        std::unordered_set<std::string>& out) {
+  out.insert(current);
+  if (remaining == 0 || current.empty()) return;
+  for (size_t i = min_pos; i < current.size(); ++i) {
+    std::string next = current;
+    next.erase(i, 1);
+    // Deleting at position i then at j >= i covers all position subsets
+    // exactly once (combinations, not permutations).
+    EnumerateDeletions(next, remaining - 1, i, out);
+  }
+}
+
+}  // namespace
+
+FastSsIndex::FastSsIndex() : FastSsIndex(Options()) {}
+
+FastSsIndex::FastSsIndex(Options options) : options_(options) {}
+
+std::vector<std::string> FastSsIndex::DeletionNeighborhood(
+    std::string_view word, uint32_t max_deletions) {
+  std::unordered_set<std::string> set;
+  EnumerateDeletions(std::string(word), max_deletions, 0, set);
+  return std::vector<std::string>(set.begin(), set.end());
+}
+
+uint64_t FastSsIndex::HashVariant(Tag tag, std::string_view variant) {
+  return Fnv1a(static_cast<uint8_t>(tag), variant);
+}
+
+void FastSsIndex::EmitNeighborhood(Tag tag, std::string_view piece,
+                                   uint32_t max_deletions, uint32_t word_id) {
+  std::unordered_set<std::string> set;
+  EnumerateDeletions(std::string(piece), max_deletions, 0, set);
+  for (const std::string& variant : set) {
+    postings_.push_back(Posting{HashVariant(tag, variant), word_id});
+  }
+}
+
+void FastSsIndex::Build(const std::vector<std::string>& words) {
+  XCLEAN_CHECK(!built_);
+  built_ = true;
+  words_ = words;
+  const uint32_t k = options_.max_ed;
+  const uint32_t half_k = k / 2;
+  for (uint32_t id = 0; id < words_.size(); ++id) {
+    const std::string& w = words_[id];
+    if (k > 0 && w.size() >= options_.partition_min_length) {
+      // Partitioned representation: floor(k/2)-deletion neighborhoods of
+      // the two halves (left half gets the ceiling of the length split).
+      has_partitioned_ = true;
+      size_t h = (w.size() + 1) / 2;
+      EmitNeighborhood(Tag::kLeft, std::string_view(w).substr(0, h), half_k,
+                       id);
+      EmitNeighborhood(Tag::kRight, std::string_view(w).substr(h), half_k,
+                       id);
+    } else {
+      EmitNeighborhood(Tag::kWhole, w, k, id);
+    }
+  }
+  std::sort(postings_.begin(), postings_.end(),
+            [](const Posting& a, const Posting& b) {
+              return a.hash < b.hash ||
+                     (a.hash == b.hash && a.word_id < b.word_id);
+            });
+}
+
+uint64_t FastSsIndex::ApproxMemoryBytes() const {
+  uint64_t bytes = postings_.capacity() * sizeof(Posting);
+  for (const std::string& w : words_) bytes += sizeof(std::string) + w.size();
+  return bytes;
+}
+
+void FastSsIndex::ProbeHash(uint64_t hash,
+                            std::vector<uint32_t>& candidates) const {
+  auto it = std::lower_bound(
+      postings_.begin(), postings_.end(), hash,
+      [](const Posting& p, uint64_t h) { return p.hash < h; });
+  for (; it != postings_.end() && it->hash == hash; ++it) {
+    candidates.push_back(it->word_id);
+  }
+}
+
+void FastSsIndex::ProbeNeighborhood(Tag tag, std::string_view piece,
+                                    uint32_t max_deletions,
+                                    std::vector<uint32_t>& candidates) const {
+  std::unordered_set<std::string> set;
+  EnumerateDeletions(std::string(piece), max_deletions, 0, set);
+  for (const std::string& variant : set) {
+    ProbeHash(HashVariant(tag, variant), candidates);
+  }
+}
+
+std::vector<FastSsIndex::Match> FastSsIndex::Find(std::string_view query,
+                                                  uint32_t max_ed) const {
+  XCLEAN_CHECK(built_);
+  XCLEAN_CHECK(max_ed <= options_.max_ed);
+
+  std::vector<uint32_t> candidates;
+  // Whole-word probes cover words indexed unpartitioned.
+  ProbeNeighborhood(Tag::kWhole, query, max_ed, candidates);
+
+  if (has_partitioned_ && max_ed > 0) {
+    // Split probes cover partitioned words: for the split induced by the
+    // optimal alignment, one half pair has edit distance <= floor(max_ed/2)
+    // (pigeonhole over the two halves). We try every plausible split point
+    // of the query around its middle.
+    const uint32_t half_k = options_.max_ed / 2;
+    size_t mid = (query.size() + 1) / 2;
+    size_t lo = mid > max_ed + 1 ? mid - max_ed - 1 : 0;
+    size_t hi = std::min(query.size(), mid + max_ed + 1);
+    for (size_t g = lo; g <= hi; ++g) {
+      ProbeNeighborhood(Tag::kLeft, query.substr(0, g), half_k, candidates);
+      ProbeNeighborhood(Tag::kRight, query.substr(g), half_k, candidates);
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::vector<Match> matches;
+  for (uint32_t id : candidates) {
+    uint32_t d = EditDistanceBounded(query, words_[id], max_ed);
+    if (d <= max_ed) matches.push_back(Match{id, d});
+  }
+  return matches;
+}
+
+}  // namespace xclean

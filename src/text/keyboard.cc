@@ -1,0 +1,48 @@
+#include "text/keyboard.h"
+
+namespace xclean {
+
+std::string KeyboardNeighbors(char c) {
+  switch (c) {
+    case 'q': return "wa";
+    case 'w': return "qase";
+    case 'e': return "wsdr";
+    case 'r': return "edft";
+    case 't': return "rfgy";
+    case 'y': return "tghu";
+    case 'u': return "yhji";
+    case 'i': return "ujko";
+    case 'o': return "iklp";
+    case 'p': return "ol";
+    case 'a': return "qwsz";
+    case 's': return "awedxz";
+    case 'd': return "serfcx";
+    case 'f': return "drtgvc";
+    case 'g': return "ftyhbv";
+    case 'h': return "gyujnb";
+    case 'j': return "huikmn";
+    case 'k': return "jiolm";
+    case 'l': return "kop";
+    case 'z': return "asx";
+    case 'x': return "zsdc";
+    case 'c': return "xdfv";
+    case 'v': return "cfgb";
+    case 'b': return "vghn";
+    case 'n': return "bhjm";
+    case 'm': return "njk";
+    default: return "";
+  }
+}
+
+char RandomKeyboardNeighbor(char c, Rng& rng) {
+  std::string neighbors = KeyboardNeighbors(c);
+  if (neighbors.empty()) {
+    for (;;) {
+      char r = static_cast<char>('a' + rng.Uniform(26));
+      if (r != c) return r;
+    }
+  }
+  return neighbors[rng.Uniform(neighbors.size())];
+}
+
+}  // namespace xclean

@@ -1,0 +1,24 @@
+#ifndef XCLEAN_TEXT_KEYBOARD_H_
+#define XCLEAN_TEXT_KEYBOARD_H_
+
+#include <string>
+
+#include "common/random.h"
+
+namespace xclean {
+
+/// QWERTY adjacency used by the synthetic workload generators: real typists
+/// substitute neighbouring keys far more often than random letters, and the
+/// paper's RAND perturbation is meant to model typographical slips.
+///
+/// Returns the neighbouring keys of a lowercase letter ('q' -> "wa", ...).
+/// Empty for non-letters.
+std::string KeyboardNeighbors(char c);
+
+/// A random neighbouring key of `c`; if `c` has no neighbours, a random
+/// lowercase letter different from `c`.
+char RandomKeyboardNeighbor(char c, Rng& rng);
+
+}  // namespace xclean
+
+#endif  // XCLEAN_TEXT_KEYBOARD_H_

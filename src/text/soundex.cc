@@ -1,0 +1,82 @@
+#include "text/soundex.h"
+
+#include "common/string_util.h"
+
+namespace xclean {
+
+namespace {
+
+/// Soundex digit for a lowercase letter; '0' for vowels & ignored letters
+/// (a e i o u y h w).
+char SoundexDigit(char c) {
+  switch (c) {
+    case 'b':
+    case 'f':
+    case 'p':
+    case 'v':
+      return '1';
+    case 'c':
+    case 'g':
+    case 'j':
+    case 'k':
+    case 'q':
+    case 's':
+    case 'x':
+    case 'z':
+      return '2';
+    case 'd':
+    case 't':
+      return '3';
+    case 'l':
+      return '4';
+    case 'm':
+    case 'n':
+      return '5';
+    case 'r':
+      return '6';
+    default:
+      return '0';
+  }
+}
+
+bool IsHw(char c) { return c == 'h' || c == 'w'; }
+
+}  // namespace
+
+std::string Soundex(std::string_view word) {
+  // Find the first alphabetic character.
+  std::string letters;
+  for (char c : word) {
+    if (IsAsciiAlpha(c)) {
+      letters.push_back(
+          c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c);
+    }
+  }
+  if (letters.empty()) return "";
+
+  std::string code;
+  code.push_back(static_cast<char>(letters[0] - 'a' + 'A'));
+  char prev_digit = SoundexDigit(letters[0]);
+  for (size_t i = 1; i < letters.size() && code.size() < 4; ++i) {
+    char c = letters[i];
+    char digit = SoundexDigit(c);
+    if (digit != '0') {
+      // Letters separated by h/w share a code slot; vowels break the run.
+      if (digit != prev_digit) code.push_back(digit);
+      prev_digit = digit;
+    } else if (!IsHw(c)) {
+      prev_digit = '0';  // vowel: reset run so the next digit is emitted
+    }
+    // h/w: keep prev_digit so equal codes across h/w collapse.
+  }
+  while (code.size() < 4) code.push_back('0');
+  return code;
+}
+
+bool SoundexEqual(std::string_view a, std::string_view b) {
+  std::string ca = Soundex(a);
+  if (ca.empty()) return false;
+  return ca == Soundex(b);
+}
+
+}  // namespace xclean

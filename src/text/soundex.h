@@ -1,0 +1,23 @@
+#ifndef XCLEAN_TEXT_SOUNDEX_H_
+#define XCLEAN_TEXT_SOUNDEX_H_
+
+#include <string>
+#include <string_view>
+
+namespace xclean {
+
+/// American Soundex code ("R163" style) of a word. Non-alphabetic
+/// characters are ignored; an empty/non-alphabetic input yields "".
+///
+/// This implements the cognitive-error extension the paper sketches in
+/// Sec. VI-A: defining var(q) by phonetic equivalence instead of (or in
+/// addition to) edit distance. core/variant_gen can union soundex-equal
+/// vocabulary tokens into the variant set.
+std::string Soundex(std::string_view word);
+
+/// True if the two words share a Soundex code (and both have one).
+bool SoundexEqual(std::string_view a, std::string_view b);
+
+}  // namespace xclean
+
+#endif  // XCLEAN_TEXT_SOUNDEX_H_

@@ -1,0 +1,60 @@
+#include "xml/dewey.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace xclean {
+
+int CompareDewey(DeweyView a, DeweyView b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+bool IsDeweyAncestor(DeweyView a, DeweyView b) {
+  if (a.size() >= b.size()) return false;
+  return std::equal(a.begin(), a.end(), b.begin());
+}
+
+bool IsDeweyAncestorOrSelf(DeweyView a, DeweyView b) {
+  if (a.size() > b.size()) return false;
+  return std::equal(a.begin(), a.end(), b.begin());
+}
+
+size_t DeweyCommonPrefix(DeweyView a, DeweyView b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+std::string DeweyToString(DeweyView d) {
+  std::string out;
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(d[i]);
+  }
+  return out;
+}
+
+std::vector<uint32_t> DeweyFromString(const std::string& s) {
+  std::vector<uint32_t> out;
+  if (s.empty()) return out;
+  for (const std::string& piece : SplitChar(s, '.')) {
+    if (piece.empty()) return {};
+    uint64_t v = 0;
+    for (char c : piece) {
+      if (!IsAsciiDigit(c)) return {};
+      v = v * 10 + static_cast<uint64_t>(c - '0');
+      if (v > 0xFFFFFFFFULL) return {};
+    }
+    out.push_back(static_cast<uint32_t>(v));
+  }
+  return out;
+}
+
+}  // namespace xclean

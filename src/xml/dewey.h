@@ -1,0 +1,46 @@
+#ifndef XCLEAN_XML_DEWEY_H_
+#define XCLEAN_XML_DEWEY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace xclean {
+
+/// A Dewey code is the sequence of sibling ordinals on the path from the
+/// tree root to a node (root = [1], its second child = [1,2], ...). The
+/// paper's two partial orders are:
+///
+///   x < y      — document order: lexicographic comparison of the codes.
+///   x `<_AD` y — x is a (strict) ancestor of y: x's code is a proper
+///                prefix of y's code.
+///
+/// XmlTree stores all codes in one pooled array; a DeweyView is a cheap
+/// non-owning window into that pool.
+using DeweyView = std::span<const uint32_t>;
+
+/// Lexicographic comparison giving document order: negative if a < b,
+/// 0 if equal, positive if a > b. A proper prefix sorts before its
+/// extensions (the ancestor precedes its descendants in document order).
+int CompareDewey(DeweyView a, DeweyView b);
+
+/// True iff `a` is a proper prefix of `b` (a is a strict ancestor of b).
+bool IsDeweyAncestor(DeweyView a, DeweyView b);
+
+/// True iff `a` is a prefix of `b`, including a == b.
+bool IsDeweyAncestorOrSelf(DeweyView a, DeweyView b);
+
+/// Number of leading components shared by `a` and `b`. The LCA of the two
+/// nodes is the ancestor at this depth.
+size_t DeweyCommonPrefix(DeweyView a, DeweyView b);
+
+/// Renders "1.2.3" in the paper's dotted notation.
+std::string DeweyToString(DeweyView d);
+
+/// Parses the dotted notation; returns empty on malformed input.
+std::vector<uint32_t> DeweyFromString(const std::string& s);
+
+}  // namespace xclean
+
+#endif  // XCLEAN_XML_DEWEY_H_

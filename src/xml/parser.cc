@@ -1,0 +1,450 @@
+#include "xml/parser.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace xclean {
+
+namespace {
+
+/// Internal cursor over the document with line tracking for diagnostics.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  char Peek() const { return data_[pos_]; }
+  char PeekAt(size_t offset) const {
+    size_t i = pos_ + offset;
+    return i < data_.size() ? data_[i] : '\0';
+  }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  char Advance() {
+    char c = data_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void AdvanceBy(size_t n) {
+    for (size_t i = 0; i < n && !AtEnd(); ++i) Advance();
+  }
+
+  bool ConsumePrefix(std::string_view prefix) {
+    if (remaining() < prefix.size()) return false;
+    if (data_.substr(pos_, prefix.size()) != prefix) return false;
+    AdvanceBy(prefix.size());
+    return true;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && IsAsciiSpace(Peek())) Advance();
+  }
+
+  size_t pos() const { return pos_; }
+  size_t line() const { return line_; }
+  std::string_view Slice(size_t start, size_t end) const {
+    return data_.substr(start, end - start);
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+void AppendUtf8(uint32_t cp, std::string& out) {
+  if (cp <= 0x7F) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp <= 0x7FF) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp <= 0xFFFF) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+bool IsNameStartChar(char c) {
+  return IsAsciiAlpha(c) || c == '_' || c == ':' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || IsAsciiDigit(c) || c == '-' || c == '.';
+}
+
+class Parser {
+ public:
+  Parser(std::string_view xml, const ParseOptions& options,
+         XmlTreeBuilder& builder)
+      : cur_(xml), options_(options), builder_(builder) {}
+
+  Status Run() {
+    Status s = SkipProlog();
+    if (!s.ok()) return s;
+    if (cur_.AtEnd() || cur_.Peek() != '<') {
+      return Err("expected document root element");
+    }
+    s = ParseElement();
+    if (!s.ok()) return s;
+    // Trailing misc: whitespace, comments, PIs.
+    for (;;) {
+      cur_.SkipWhitespace();
+      if (cur_.AtEnd()) break;
+      if (cur_.ConsumePrefix("<!--")) {
+        s = SkipUntil("-->", "unterminated trailing comment");
+        if (!s.ok()) return s;
+      } else if (cur_.ConsumePrefix("<?")) {
+        s = SkipUntil("?>", "unterminated trailing processing instruction");
+        if (!s.ok()) return s;
+      } else {
+        return Err("content after document root element");
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status Err(const std::string& what) {
+    return Status::ParseError(
+        StrFormat("%s at line %zu", what.c_str(), cur_.line()));
+  }
+
+  Status SkipUntil(std::string_view terminator, const char* err) {
+    while (!cur_.AtEnd()) {
+      if (cur_.ConsumePrefix(terminator)) return Status::Ok();
+      cur_.Advance();
+    }
+    return Err(err);
+  }
+
+  Status SkipProlog() {
+    for (;;) {
+      cur_.SkipWhitespace();
+      if (cur_.ConsumePrefix("<?")) {
+        Status s = SkipUntil("?>", "unterminated processing instruction");
+        if (!s.ok()) return s;
+      } else if (cur_.ConsumePrefix("<!--")) {
+        Status s = SkipUntil("-->", "unterminated comment");
+        if (!s.ok()) return s;
+      } else if (cur_.ConsumePrefix("<!DOCTYPE")) {
+        Status s = SkipDoctype();
+        if (!s.ok()) return s;
+      } else {
+        return Status::Ok();
+      }
+    }
+  }
+
+  Status SkipDoctype() {
+    // Skip to the matching '>', tolerating an internal subset in [...].
+    int bracket_depth = 0;
+    while (!cur_.AtEnd()) {
+      char c = cur_.Advance();
+      if (c == '[') {
+        ++bracket_depth;
+      } else if (c == ']') {
+        --bracket_depth;
+      } else if (c == '>' && bracket_depth <= 0) {
+        return Status::Ok();
+      }
+    }
+    return Err("unterminated DOCTYPE");
+  }
+
+  Status ParseName(std::string& out) {
+    if (cur_.AtEnd() || !IsNameStartChar(cur_.Peek())) {
+      return Err("expected a name");
+    }
+    size_t start = cur_.pos();
+    cur_.Advance();
+    while (!cur_.AtEnd() && IsNameChar(cur_.Peek())) cur_.Advance();
+    out.assign(cur_.Slice(start, cur_.pos()));
+    return Status::Ok();
+  }
+
+  /// Decodes &amp; &lt; &gt; &apos; &quot; &#DD; &#xHH; following a consumed
+  /// '&'. Unknown named entities are passed through literally (real corpora
+  /// contain undeclared entities; dropping text would skew statistics).
+  Status DecodeEntity(std::string& out) {
+    size_t start = cur_.pos();
+    std::string name;
+    while (!cur_.AtEnd() && cur_.Peek() != ';' && cur_.Peek() != '<' &&
+           !IsAsciiSpace(cur_.Peek()) && cur_.pos() - start < 12) {
+      name.push_back(cur_.Advance());
+    }
+    if (cur_.AtEnd() || cur_.Peek() != ';') {
+      // Not a well-formed reference: emit literally.
+      out.push_back('&');
+      out.append(name);
+      return Status::Ok();
+    }
+    cur_.Advance();  // ';'
+    if (name == "amp") {
+      out.push_back('&');
+    } else if (name == "lt") {
+      out.push_back('<');
+    } else if (name == "gt") {
+      out.push_back('>');
+    } else if (name == "apos") {
+      out.push_back('\'');
+    } else if (name == "quot") {
+      out.push_back('"');
+    } else if (!name.empty() && name[0] == '#') {
+      uint32_t cp = 0;
+      bool ok = name.size() > 1;
+      if (name.size() > 2 && (name[1] == 'x' || name[1] == 'X')) {
+        for (size_t i = 2; i < name.size() && ok; ++i) {
+          char c = name[i];
+          uint32_t digit;
+          if (IsAsciiDigit(c)) {
+            digit = static_cast<uint32_t>(c - '0');
+          } else if (c >= 'a' && c <= 'f') {
+            digit = static_cast<uint32_t>(c - 'a' + 10);
+          } else if (c >= 'A' && c <= 'F') {
+            digit = static_cast<uint32_t>(c - 'A' + 10);
+          } else {
+            ok = false;
+            break;
+          }
+          cp = cp * 16 + digit;
+        }
+      } else {
+        for (size_t i = 1; i < name.size() && ok; ++i) {
+          if (!IsAsciiDigit(name[i])) {
+            ok = false;
+            break;
+          }
+          cp = cp * 10 + static_cast<uint32_t>(name[i] - '0');
+        }
+      }
+      if (ok && cp > 0 && cp <= 0x10FFFF) {
+        AppendUtf8(cp, out);
+      }  // else: drop the malformed reference
+    } else {
+      // Unknown named entity: keep it readable.
+      out.push_back('&');
+      out.append(name);
+      out.push_back(';');
+    }
+    return Status::Ok();
+  }
+
+  Status ParseAttributes(std::vector<std::pair<std::string, std::string>>&
+                             attributes,
+                         bool& self_closing, bool& closed) {
+    self_closing = false;
+    closed = false;
+    for (;;) {
+      cur_.SkipWhitespace();
+      if (cur_.AtEnd()) return Err("unterminated start tag");
+      char c = cur_.Peek();
+      if (c == '>') {
+        cur_.Advance();
+        closed = true;
+        return Status::Ok();
+      }
+      if (c == '/') {
+        cur_.Advance();
+        if (cur_.AtEnd() || cur_.Peek() != '>') {
+          return Err("expected '>' after '/' in tag");
+        }
+        cur_.Advance();
+        self_closing = true;
+        closed = true;
+        return Status::Ok();
+      }
+      std::string name;
+      Status s = ParseName(name);
+      if (!s.ok()) return s;
+      cur_.SkipWhitespace();
+      if (cur_.AtEnd() || cur_.Peek() != '=') {
+        return Err("expected '=' after attribute name '" + name + "'");
+      }
+      cur_.Advance();
+      cur_.SkipWhitespace();
+      if (cur_.AtEnd() || (cur_.Peek() != '"' && cur_.Peek() != '\'')) {
+        return Err("expected quoted attribute value for '" + name + "'");
+      }
+      char quote = cur_.Advance();
+      std::string value;
+      for (;;) {
+        if (cur_.AtEnd()) return Err("unterminated attribute value");
+        char vc = cur_.Advance();
+        if (vc == quote) break;
+        if (vc == '&') {
+          s = DecodeEntity(value);
+          if (!s.ok()) return s;
+        } else {
+          value.push_back(vc);
+        }
+      }
+      attributes.emplace_back(std::move(name), std::move(value));
+    }
+  }
+
+  Status ParseElement() {
+    // cur_ points at '<'.
+    cur_.Advance();
+    std::string name;
+    Status s = ParseName(name);
+    if (!s.ok()) return s;
+    std::vector<std::pair<std::string, std::string>> attributes;
+    bool self_closing = false, closed = false;
+    s = ParseAttributes(attributes, self_closing, closed);
+    if (!s.ok()) return s;
+    s = builder_.BeginElement(name);
+    if (!s.ok()) return s;
+    if (options_.attributes_as_nodes) {
+      for (auto& [attr_name, attr_value] : attributes) {
+        s = builder_.AddLeaf("@" + attr_name, attr_value);
+        if (!s.ok()) return s;
+      }
+    }
+    if (!self_closing) {
+      s = ParseContent(name);
+      if (!s.ok()) return s;
+    }
+    return builder_.EndElement();
+  }
+
+  Status ParseContent(const std::string& open_name) {
+    std::string text;
+    auto flush_text = [&]() -> Status {
+      bool all_space = true;
+      for (char c : text) {
+        if (!IsAsciiSpace(c)) {
+          all_space = false;
+          break;
+        }
+      }
+      if (!text.empty() && !(options_.skip_whitespace_text && all_space)) {
+        Status s = builder_.AddText(text);
+        if (!s.ok()) return s;
+      }
+      text.clear();
+      return Status::Ok();
+    };
+
+    for (;;) {
+      if (cur_.AtEnd()) {
+        return Err("unexpected end of input inside <" + open_name + ">");
+      }
+      char c = cur_.Peek();
+      if (c == '<') {
+        if (cur_.ConsumePrefix("</")) {
+          Status s = flush_text();
+          if (!s.ok()) return s;
+          std::string close_name;
+          s = ParseName(close_name);
+          if (!s.ok()) return s;
+          cur_.SkipWhitespace();
+          if (cur_.AtEnd() || cur_.Peek() != '>') {
+            return Err("expected '>' in end tag </" + close_name + ">");
+          }
+          cur_.Advance();
+          if (close_name != open_name) {
+            return Err("mismatched end tag: expected </" + open_name +
+                       ">, found </" + close_name + ">");
+          }
+          return Status::Ok();
+        }
+        if (cur_.ConsumePrefix("<!--")) {
+          Status s = SkipUntil("-->", "unterminated comment");
+          if (!s.ok()) return s;
+          continue;
+        }
+        if (cur_.ConsumePrefix("<![CDATA[")) {
+          size_t start = cur_.pos();
+          Status s = SkipUntil("]]>", "unterminated CDATA section");
+          if (!s.ok()) return s;
+          text.append(cur_.Slice(start, cur_.pos() - 3));
+          continue;
+        }
+        if (cur_.ConsumePrefix("<?")) {
+          Status s = SkipUntil("?>", "unterminated processing instruction");
+          if (!s.ok()) return s;
+          continue;
+        }
+        if (cur_.PeekAt(1) == '!') {
+          return Err("unsupported markup declaration in content");
+        }
+        // Child element.
+        Status s = flush_text();
+        if (!s.ok()) return s;
+        s = ParseElement();
+        if (!s.ok()) return s;
+        continue;
+      }
+      cur_.Advance();
+      if (c == '&') {
+        Status s = DecodeEntity(text);
+        if (!s.ok()) return s;
+      } else {
+        text.push_back(c);
+      }
+    }
+  }
+
+  Cursor cur_;
+  const ParseOptions& options_;
+  XmlTreeBuilder& builder_;
+};
+
+}  // namespace
+
+Status ParseXmlInto(std::string_view xml, const ParseOptions& options,
+                    XmlTreeBuilder& builder) {
+  Parser parser(xml, options, builder);
+  return parser.Run();
+}
+
+Result<XmlTree> ParseXmlString(std::string_view xml,
+                               const ParseOptions& options) {
+  XmlTreeBuilder builder;
+  Status s = ParseXmlInto(xml, options, builder);
+  if (!s.ok()) return s;
+  return std::move(builder).Finish();
+}
+
+Result<XmlTree> ParseXmlCollection(const std::vector<std::string>& documents,
+                                   std::string_view root_label,
+                                   const ParseOptions& options) {
+  XmlTreeBuilder builder;
+  Status s = builder.BeginElement(root_label);
+  if (!s.ok()) return s;
+  for (size_t i = 0; i < documents.size(); ++i) {
+    s = ParseXmlInto(documents[i], options, builder);
+    if (!s.ok()) {
+      return Status::ParseError(StrFormat("document %zu: %s", i,
+                                          s.message().c_str()));
+    }
+  }
+  s = builder.EndElement();
+  if (!s.ok()) return s;
+  return std::move(builder).Finish();
+}
+
+Result<XmlTree> ParseXmlFile(const std::string& path,
+                             const ParseOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string contents = buf.str();
+  return ParseXmlString(contents, options);
+}
+
+}  // namespace xclean

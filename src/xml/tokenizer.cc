@@ -1,0 +1,79 @@
+#include "xml/tokenizer.h"
+
+#include <array>
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace xclean {
+
+namespace {
+
+// Small closed-class stopword list; enough to keep glue words out of the
+// vocabulary without suppressing content terms. Sorted for binary search.
+constexpr std::array<std::string_view, 42> kStopwords = {
+    "about", "after", "all",   "also",  "and",   "are",  "been",  "before",
+    "but",   "can",   "could", "did",   "for",   "from", "had",   "has",
+    "have",  "her",   "his",   "how",   "into",  "its",  "more",  "not",
+    "one",   "our",   "out",   "over",  "she",   "that", "the",   "their",
+    "then",  "there", "they",  "this",  "was",   "were", "which", "who",
+    "with",  "you",
+};
+
+bool IsTokenChar(char c) {
+  return IsAsciiAlnum(c) || static_cast<unsigned char>(c) >= 0x80;
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+bool Tokenizer::IsStopword(std::string_view token) {
+  return std::binary_search(kStopwords.begin(), kStopwords.end(), token);
+}
+
+bool Tokenizer::Keep(const std::string& token) const {
+  if (token.size() < options_.min_token_length) return false;
+  if (options_.drop_numbers &&
+      std::all_of(token.begin(), token.end(),
+                  [](char c) { return IsAsciiDigit(c); })) {
+    return false;
+  }
+  if (options_.drop_stopwords && IsStopword(token)) return false;
+  return true;
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && !IsTokenChar(text[i])) ++i;
+    size_t start = i;
+    while (i < text.size() && IsTokenChar(text[i])) ++i;
+    if (i == start) continue;
+    std::string token(text.substr(start, i - start));
+    if (options_.lowercase) AsciiLowerInPlace(token);
+    if (Keep(token)) out.push_back(std::move(token));
+  }
+  return out;
+}
+
+std::string Tokenizer::NormalizeToken(std::string_view word) const {
+  // A query keyword may still carry punctuation (e.g. "geo-tagging,"): run
+  // it through the same splitter and glue the pieces back together so the
+  // result is a single keyword comparable with vocabulary tokens.
+  std::vector<std::string> pieces;
+  size_t i = 0;
+  while (i < word.size()) {
+    while (i < word.size() && !IsTokenChar(word[i])) ++i;
+    size_t start = i;
+    while (i < word.size() && IsTokenChar(word[i])) ++i;
+    if (i > start) pieces.emplace_back(word.substr(start, i - start));
+  }
+  std::string token = Join(pieces, "");
+  if (options_.lowercase) AsciiLowerInPlace(token);
+  if (!Keep(token)) return std::string();
+  return token;
+}
+
+}  // namespace xclean

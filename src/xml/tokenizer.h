@@ -1,0 +1,55 @@
+#ifndef XCLEAN_XML_TOKENIZER_H_
+#define XCLEAN_XML_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace xclean {
+
+/// Tokenization policy. The defaults mirror the paper's indexing rules
+/// (Sec. VII-A): "Stop words, numbers and short tokens (less than three
+/// characters) are not indexed."
+struct TokenizerOptions {
+  /// Lowercase tokens (ASCII).
+  bool lowercase = true;
+  /// Minimum token length kept; shorter tokens are dropped.
+  size_t min_token_length = 3;
+  /// Drop tokens consisting solely of digits.
+  bool drop_numbers = true;
+  /// Drop common English stop words.
+  bool drop_stopwords = true;
+};
+
+/// Splits element text into index/query tokens: contiguous runs of ASCII
+/// alphanumerics (everything else — whitespace and punctuation — is a
+/// separator), then applies the filters above. Bytes >= 0x80 (UTF-8
+/// continuation or lead bytes) are treated as part of a token so that
+/// non-ASCII words survive as opaque tokens rather than being shredded.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = TokenizerOptions());
+
+  /// Tokens of `text`, in order, after filtering.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  /// Applies normalization + filters to a single word. Returns an empty
+  /// string if the word is filtered out. Used for query keywords, where
+  /// splitting already happened on whitespace.
+  std::string NormalizeToken(std::string_view word) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+  /// True if `token` (already lowercased) is in the built-in stopword list.
+  static bool IsStopword(std::string_view token);
+
+ private:
+  bool Keep(const std::string& token) const;
+
+  TokenizerOptions options_;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_XML_TOKENIZER_H_

@@ -1,0 +1,38 @@
+#ifndef XCLEAN_XML_WRITER_H_
+#define XCLEAN_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/tree.h"
+
+namespace xclean {
+
+/// Serialization knobs for WriteXml.
+struct WriteOptions {
+  /// Pretty-print with two-space indentation and one element per line.
+  /// When false, emits a compact single-line document.
+  bool indent = true;
+  /// Emit "@name" children as real XML attributes (inverse of the parser's
+  /// attributes_as_nodes mapping). When false they become <_name> elements.
+  bool attribute_nodes_as_attributes = true;
+};
+
+/// Serializes the subtree rooted at `node` back to XML text. Text content is
+/// entity-escaped, so Parse(Write(tree)) reproduces the tree (round-trip is
+/// exercised by tests). Useful for dumping synthetic corpora and for showing
+/// result entities in the examples.
+std::string WriteXml(const XmlTree& tree, NodeId node,
+                     const WriteOptions& options = WriteOptions());
+
+/// Serializes the whole tree.
+inline std::string WriteXml(const XmlTree& tree,
+                            const WriteOptions& options = WriteOptions()) {
+  return WriteXml(tree, tree.root(), options);
+}
+
+/// Escapes &, <, >, " and ' for use in text or attribute values.
+std::string EscapeXmlText(const std::string& text);
+
+}  // namespace xclean
+
+#endif  // XCLEAN_XML_WRITER_H_

@@ -1,0 +1,80 @@
+#include "core/accumulator.h"
+
+#include <gtest/gtest.h>
+
+namespace xclean {
+namespace {
+
+TEST(CandidateKeyTest, EncodeDecodeRoundTrip) {
+  std::vector<TokenId> tokens = {1, 99999, 0, kInvalidToken};
+  EXPECT_EQ(DecodeCandidate(EncodeCandidate(tokens)), tokens);
+  EXPECT_EQ(DecodeCandidate(EncodeCandidate({})), std::vector<TokenId>{});
+}
+
+TEST(CandidateKeyTest, DistinctCandidatesDistinctKeys) {
+  EXPECT_NE(EncodeCandidate({1, 2}), EncodeCandidate({2, 1}));
+  EXPECT_NE(EncodeCandidate({1}), EncodeCandidate({1, 0}));
+}
+
+TEST(AccumulatorTest, UnboundedNeverEvicts) {
+  AccumulatorTable table(0);
+  for (TokenId i = 0; i < 5000; ++i) {
+    CandidateState* s = table.GetOrCreate(EncodeCandidate({i}), 0.5);
+    s->sum += 1.0;
+  }
+  EXPECT_EQ(table.size(), 5000u);
+  EXPECT_EQ(table.eviction_count(), 0u);
+}
+
+TEST(AccumulatorTest, GetOrCreateReturnsSameState) {
+  AccumulatorTable table(10);
+  CandidateState* a = table.GetOrCreate(EncodeCandidate({1}), 0.5);
+  a->sum = 7.0;
+  CandidateState* b = table.GetOrCreate(EncodeCandidate({1}), 0.9);
+  EXPECT_EQ(b->sum, 7.0);
+  EXPECT_EQ(b->error_weight, 0.5);  // creation-time weight kept
+}
+
+TEST(AccumulatorTest, EvictsLowestEstimate) {
+  AccumulatorTable table(2);
+  CandidateState* a = table.GetOrCreate(EncodeCandidate({1}), 1.0);
+  a->sum = 10.0;  // estimate 10
+  CandidateState* b = table.GetOrCreate(EncodeCandidate({2}), 1.0);
+  b->sum = 0.1;  // estimate 0.1 -> victim
+  table.GetOrCreate(EncodeCandidate({3}), 1.0);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.eviction_count(), 1u);
+  EXPECT_NE(table.Find(EncodeCandidate({1})), nullptr);
+  EXPECT_EQ(table.Find(EncodeCandidate({2})), nullptr);
+  EXPECT_NE(table.Find(EncodeCandidate({3})), nullptr);
+}
+
+TEST(AccumulatorTest, ErrorWeightAffectsEstimate) {
+  AccumulatorTable table(2);
+  // Same sum, but candidate 1's error weight makes it worth less.
+  CandidateState* a = table.GetOrCreate(EncodeCandidate({1}), 0.001);
+  a->sum = 5.0;  // estimate 0.005
+  CandidateState* b = table.GetOrCreate(EncodeCandidate({2}), 1.0);
+  b->sum = 5.0;  // estimate 5
+  table.GetOrCreate(EncodeCandidate({3}), 1.0);
+  EXPECT_EQ(table.Find(EncodeCandidate({1})), nullptr);
+  EXPECT_NE(table.Find(EncodeCandidate({2})), nullptr);
+}
+
+TEST(AccumulatorTest, EvictedCandidateRestartsFromZero) {
+  AccumulatorTable table(1);
+  CandidateState* a = table.GetOrCreate(EncodeCandidate({1}), 1.0);
+  a->sum = 3.0;
+  table.GetOrCreate(EncodeCandidate({2}), 1.0);  // evicts 1
+  CandidateState* again = table.GetOrCreate(EncodeCandidate({1}), 1.0);
+  EXPECT_EQ(again->sum, 0.0);
+  EXPECT_EQ(table.eviction_count(), 2u);
+}
+
+TEST(AccumulatorTest, FindMissReturnsNull) {
+  AccumulatorTable table(4);
+  EXPECT_EQ(table.Find(EncodeCandidate({42})), nullptr);
+}
+
+}  // namespace
+}  // namespace xclean

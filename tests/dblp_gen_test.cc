@@ -1,0 +1,95 @@
+#include "data/dblp_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "index/xml_index.h"
+
+namespace xclean {
+namespace {
+
+DblpGenOptions SmallOptions() {
+  DblpGenOptions o;
+  o.num_publications = 500;
+  o.seed = 17;
+  return o;
+}
+
+TEST(DblpGenTest, DeterministicInSeed) {
+  XmlTree a = GenerateDblp(SmallOptions());
+  XmlTree b = GenerateDblp(SmallOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (NodeId n = 0; n < a.size(); n += 37) {
+    EXPECT_EQ(a.label(n), b.label(n));
+    EXPECT_EQ(a.text(n), b.text(n));
+  }
+  DblpGenOptions other = SmallOptions();
+  other.seed = 18;
+  XmlTree c = GenerateDblp(other);
+  EXPECT_TRUE(c.size() != a.size() || c.text(5) != a.text(5));
+}
+
+TEST(DblpGenTest, StructureIsDataCentric) {
+  XmlTree t = GenerateDblp(SmallOptions());
+  EXPECT_EQ(t.label(0), "dblp");
+  // Depth profile like the paper's DBLP: shallow, max depth <= 7.
+  EXPECT_LE(t.max_depth(), 7u);
+  EXPECT_GE(t.max_depth(), 3u);
+  EXPECT_GT(t.avg_depth(), 2.0);
+  EXPECT_LT(t.avg_depth(), 4.5);
+  // 500 publications directly under the root.
+  uint32_t pubs = 0;
+  for (NodeId c = t.FirstChild(t.root()); c != kInvalidNode;
+       c = t.NextSibling(c)) {
+    ++pubs;
+  }
+  EXPECT_EQ(pubs, 500u);
+}
+
+TEST(DblpGenTest, PublicationsHaveExpectedFields) {
+  XmlTree t = GenerateDblp(SmallOptions());
+  NodeId pub = t.FirstChild(t.root());
+  ASSERT_NE(pub, kInvalidNode);
+  bool has_key = false, has_author = false, has_title = false,
+       has_year = false;
+  for (NodeId c = t.FirstChild(pub); c != kInvalidNode; c = t.NextSibling(c)) {
+    if (t.label(c) == "@key") has_key = true;
+    if (t.label(c) == "author") has_author = true;
+    if (t.label(c) == "title") has_title = true;
+    if (t.label(c) == "year") has_year = true;
+  }
+  EXPECT_TRUE(has_key);
+  EXPECT_TRUE(has_author);
+  EXPECT_TRUE(has_title);
+  EXPECT_TRUE(has_year);
+}
+
+TEST(DblpGenTest, IndexableWithSkewedVocabulary) {
+  auto index = XmlIndex::Build(GenerateDblp(SmallOptions()));
+  IndexStats stats = index->stats();
+  EXPECT_GT(stats.vocabulary_size, 200u);
+  EXPECT_GT(stats.token_occurrences, 3000u);
+  // Zipf skew: the most frequent token dwarfs the median.
+  uint64_t max_cf = 0;
+  std::vector<uint64_t> cfs;
+  for (TokenId tok = 0; tok < index->vocabulary().size(); ++tok) {
+    max_cf = std::max(max_cf, index->collection_freq(tok));
+    cfs.push_back(index->collection_freq(tok));
+  }
+  std::sort(cfs.begin(), cfs.end());
+  EXPECT_GT(max_cf, cfs[cfs.size() / 2] * 20);
+}
+
+TEST(DblpGenTest, CitationBlocksAddDepth) {
+  DblpGenOptions o = SmallOptions();
+  o.cite_probability = 1.0;
+  XmlTree t = GenerateDblp(o);
+  EXPECT_EQ(t.FindPath("/dblp/article/citations/cite") !=
+                XmlTree::kInvalidPath ||
+            t.FindPath("/dblp/inproceedings/citations/cite") !=
+                XmlTree::kInvalidPath,
+            true);
+  EXPECT_EQ(t.max_depth(), 4u);
+}
+
+}  // namespace
+}  // namespace xclean

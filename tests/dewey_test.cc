@@ -1,0 +1,73 @@
+#include "xml/dewey.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xclean {
+namespace {
+
+std::vector<uint32_t> D(std::initializer_list<uint32_t> vals) {
+  return std::vector<uint32_t>(vals);
+}
+
+TEST(DeweyTest, CompareDocumentOrder) {
+  auto a = D({1, 2});
+  auto b = D({1, 3});
+  EXPECT_LT(CompareDewey(a, b), 0);
+  EXPECT_GT(CompareDewey(b, a), 0);
+  EXPECT_EQ(CompareDewey(a, a), 0);
+}
+
+TEST(DeweyTest, AncestorPrecedesDescendant) {
+  auto parent = D({1, 2});
+  auto child = D({1, 2, 1});
+  EXPECT_LT(CompareDewey(parent, child), 0);
+}
+
+TEST(DeweyTest, IsAncestorStrict) {
+  auto a = D({1, 2});
+  auto b = D({1, 2, 3});
+  EXPECT_TRUE(IsDeweyAncestor(a, b));
+  EXPECT_FALSE(IsDeweyAncestor(b, a));
+  EXPECT_FALSE(IsDeweyAncestor(a, a));
+  EXPECT_FALSE(IsDeweyAncestor(D({1, 3}), b));
+}
+
+TEST(DeweyTest, IsAncestorOrSelf) {
+  auto a = D({1, 2});
+  EXPECT_TRUE(IsDeweyAncestorOrSelf(a, a));
+  EXPECT_TRUE(IsDeweyAncestorOrSelf(a, D({1, 2, 9})));
+  EXPECT_FALSE(IsDeweyAncestorOrSelf(D({1, 2, 9}), a));
+}
+
+TEST(DeweyTest, CommonPrefix) {
+  EXPECT_EQ(DeweyCommonPrefix(D({1, 2, 3}), D({1, 2, 7})), 2u);
+  EXPECT_EQ(DeweyCommonPrefix(D({1}), D({1, 5})), 1u);
+  EXPECT_EQ(DeweyCommonPrefix(D({1, 2}), D({1, 2})), 2u);
+  EXPECT_EQ(DeweyCommonPrefix(D({2}), D({3})), 0u);
+}
+
+TEST(DeweyTest, ToStringDotted) {
+  EXPECT_EQ(DeweyToString(D({1, 2, 3})), "1.2.3");
+  EXPECT_EQ(DeweyToString(D({1})), "1");
+  EXPECT_EQ(DeweyToString(DeweyView{}), "");
+}
+
+TEST(DeweyTest, FromStringRoundTrip) {
+  auto codes = {D({1}), D({1, 2}), D({1, 20, 300})};
+  for (const auto& code : codes) {
+    EXPECT_EQ(DeweyFromString(DeweyToString(code)), code);
+  }
+}
+
+TEST(DeweyTest, FromStringRejectsMalformed) {
+  EXPECT_TRUE(DeweyFromString("1..2").empty());
+  EXPECT_TRUE(DeweyFromString("1.a").empty());
+  EXPECT_TRUE(DeweyFromString(".1").empty());
+  EXPECT_TRUE(DeweyFromString("99999999999").empty());  // > uint32
+  EXPECT_TRUE(DeweyFromString("").empty());
+}
+
+}  // namespace
+}  // namespace xclean

@@ -1,0 +1,104 @@
+#include "text/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+
+namespace xclean {
+namespace {
+
+TEST(EditDistanceTest, KnownCases) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(EditDistance("insurance", "instance"), 2u);
+  EXPECT_EQ(EditDistance("tree", "trie"), 1u);
+  EXPECT_EQ(EditDistance("tree", "trees"), 1u);
+  EXPECT_EQ(EditDistance("icdt", "icde"), 1u);
+  EXPECT_EQ(EditDistance("hinrich", "hinrick"), 1u);
+}
+
+TEST(EditDistanceTest, BoundedAgreesWhenWithin) {
+  EXPECT_EQ(EditDistanceBounded("kitten", "sitting", 3), 3u);
+  EXPECT_EQ(EditDistanceBounded("kitten", "sitting", 5), 3u);
+  EXPECT_EQ(EditDistanceBounded("abc", "abc", 0), 0u);
+}
+
+TEST(EditDistanceTest, BoundedCapsWhenBeyond) {
+  EXPECT_EQ(EditDistanceBounded("kitten", "sitting", 2), 3u);  // max_ed + 1
+  EXPECT_EQ(EditDistanceBounded("abc", "xyz", 1), 2u);
+  EXPECT_EQ(EditDistanceBounded("short", "muchlongerstring", 2), 3u);
+}
+
+TEST(EditDistanceTest, WithinPredicate) {
+  EXPECT_TRUE(WithinEditDistance("tree", "trie", 1));
+  EXPECT_FALSE(WithinEditDistance("tree", "icde", 2));
+  EXPECT_TRUE(WithinEditDistance("same", "same", 0));
+}
+
+/// Property sweep: the banded bounded version must agree with the full DP
+/// for every threshold, on random string pairs.
+class EditDistancePropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(EditDistancePropertyTest, BoundedMatchesFullDp) {
+  const uint32_t max_ed = GetParam();
+  Rng rng(1000 + max_ed);
+  for (int round = 0; round < 500; ++round) {
+    auto random_string = [&](size_t max_len) {
+      std::string s;
+      size_t len = rng.Uniform(max_len + 1);
+      for (size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + rng.Uniform(4)));  // small sigma
+      }
+      return s;
+    };
+    std::string a = random_string(12);
+    std::string b = random_string(12);
+    uint32_t full = EditDistance(a, b);
+    uint32_t bounded = EditDistanceBounded(a, b, max_ed);
+    if (full <= max_ed) {
+      EXPECT_EQ(bounded, full) << a << " vs " << b << " k=" << max_ed;
+    } else {
+      EXPECT_EQ(bounded, max_ed + 1) << a << " vs " << b << " k=" << max_ed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, EditDistancePropertyTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 7u));
+
+/// Metric properties on random strings: symmetry, identity, triangle
+/// inequality.
+TEST(EditDistanceTest, MetricProperties) {
+  Rng rng(77);
+  auto random_string = [&](size_t max_len) {
+    std::string s;
+    size_t len = rng.Uniform(max_len + 1);
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + rng.Uniform(3)));
+    }
+    return s;
+  };
+  for (int round = 0; round < 300; ++round) {
+    std::string a = random_string(8);
+    std::string b = random_string(8);
+    std::string c = random_string(8);
+    EXPECT_EQ(EditDistance(a, b), EditDistance(b, a));
+    EXPECT_EQ(EditDistance(a, a), 0u);
+    EXPECT_LE(EditDistance(a, c), EditDistance(a, b) + EditDistance(b, c));
+    // Length difference is a lower bound; max length an upper bound.
+    uint32_t d = EditDistance(a, b);
+    EXPECT_GE(d, static_cast<uint32_t>(
+                     a.size() > b.size() ? a.size() - b.size()
+                                         : b.size() - a.size()));
+    EXPECT_LE(d, static_cast<uint32_t>(std::max(a.size(), b.size())));
+  }
+}
+
+}  // namespace
+}  // namespace xclean

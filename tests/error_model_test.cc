@@ -1,0 +1,62 @@
+#include "lm/error_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace xclean {
+namespace {
+
+TEST(ErrorModelTest, ExactMatchHasWeightOne) {
+  ErrorModel model(5.0);
+  EXPECT_DOUBLE_EQ(model.Weight(0u), 1.0);
+  EXPECT_DOUBLE_EQ(model.Weight("tree", "tree"), 1.0);
+}
+
+TEST(ErrorModelTest, ExponentialDecay) {
+  ErrorModel model(5.0);
+  EXPECT_NEAR(model.Weight(1u), std::exp(-5.0), 1e-15);
+  EXPECT_NEAR(model.Weight(2u), std::exp(-10.0), 1e-15);
+  // Each extra edit multiplies by the same factor.
+  EXPECT_NEAR(model.Weight(2u) / model.Weight(1u),
+              model.Weight(1u) / model.Weight(0u), 1e-15);
+}
+
+TEST(ErrorModelTest, ComputesEditDistance) {
+  ErrorModel model(2.0);
+  EXPECT_NEAR(model.Weight("tree", "trie"), std::exp(-2.0), 1e-15);
+  EXPECT_NEAR(model.Weight("kitten", "sitting"), std::exp(-6.0), 1e-15);
+}
+
+TEST(ErrorModelTest, BetaZeroIsIndifferent) {
+  ErrorModel model(0.0);
+  EXPECT_DOUBLE_EQ(model.Weight(0u), 1.0);
+  EXPECT_DOUBLE_EQ(model.Weight(3u), 1.0);
+}
+
+TEST(ErrorModelTest, QueryWeightIsProductOfSlots) {
+  ErrorModel model(5.0);
+  EXPECT_NEAR(model.QueryWeight({1, 0, 2}),
+              model.Weight(1u) * model.Weight(0u) * model.Weight(2u), 1e-20);
+  EXPECT_DOUBLE_EQ(model.QueryWeight({}), 1.0);
+}
+
+TEST(ErrorModelTest, LargerBetaPenalizesMore) {
+  ErrorModel soft(1.0), hard(10.0);
+  EXPECT_GT(soft.Weight(1u), hard.Weight(1u));
+}
+
+/// The per-slot normalizers of Eqs. (4)-(5) are constant within a slot, so
+/// dropping them never changes the ranking of two candidates that differ
+/// only in this slot's variant: ranking depends only on the weight ratio,
+/// which the unnormalized form preserves.
+TEST(ErrorModelTest, NormalizationIsRankInvariant) {
+  ErrorModel model(5.0);
+  double w1 = model.Weight(1u), w2 = model.Weight(2u);
+  for (double z : {0.1, 1.0, 42.0}) {
+    EXPECT_EQ(w1 / z > w2 / z, w1 > w2);
+  }
+}
+
+}  // namespace
+}  // namespace xclean

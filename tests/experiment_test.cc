@@ -1,0 +1,51 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "core/xclean.h"
+#include "data/dblp_gen.h"
+
+namespace xclean {
+namespace {
+
+TEST(ExperimentTest, RunExperimentComputesMetricsAndTiming) {
+  DblpGenOptions gen;
+  gen.num_publications = 400;
+  gen.seed = 2;
+  auto index = XmlIndex::Build(GenerateDblp(gen));
+
+  WorkloadOptions wo;
+  wo.num_queries = 20;
+  wo.seed = 5;
+  std::vector<Query> initial = SampleInitialQueries(*index, wo);
+  QuerySet set =
+      MakeQuerySet("DBLP-RAND", *index, initial, Perturbation::kRand, wo);
+
+  XCleanOptions options;
+  options.gamma = 1000;
+  XClean cleaner(*index, options);
+  ExperimentResult result = RunExperiment(cleaner, set);
+
+  EXPECT_EQ(result.cleaner_name, "XClean");
+  EXPECT_EQ(result.query_set_name, "DBLP-RAND");
+  EXPECT_EQ(result.query_count, 20u);
+  ASSERT_EQ(result.precision_at.size(), 10u);
+  // MRR bounded by precision@10 (a found truth contributes at most 1).
+  EXPECT_LE(result.mrr, result.precision_at[9] + 1e-12);
+  EXPECT_GE(result.mrr, 0.0);
+  for (size_t n = 1; n < 10; ++n) {
+    EXPECT_LE(result.precision_at[n - 1], result.precision_at[n] + 1e-12);
+  }
+  EXPECT_GT(result.avg_seconds, 0.0);
+  // The whole point: XClean recovers a solid majority of RAND errors.
+  EXPECT_GT(result.mrr, 0.5);
+}
+
+TEST(TablePrinterTest, NumFormatting) {
+  EXPECT_EQ(TablePrinter::Num(0.761234), "0.76");
+  EXPECT_EQ(TablePrinter::Num(12.237), "12.24");
+  EXPECT_EQ(TablePrinter::Num(123.4), "123.4");
+}
+
+}  // namespace
+}  // namespace xclean

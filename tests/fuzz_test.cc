@@ -1,0 +1,158 @@
+// Robustness sweeps: random and mutated inputs must never crash, and
+// well-formed pipelines must maintain their invariants.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/random.h"
+#include "core/xclean.h"
+#include "data/dblp_gen.h"
+#include "index/index_io.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace xclean {
+namespace {
+
+/// Random byte soup: the parser must reject or accept without crashing,
+/// and never accept something that then breaks the tree invariants.
+TEST(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(0xF00D);
+  const char alphabet[] = "<>/=\"' abcdet&;![]-?";
+  for (int round = 0; round < 2000; ++round) {
+    std::string input;
+    size_t len = rng.Uniform(120);
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(alphabet[rng.Uniform(sizeof(alphabet) - 1)]);
+    }
+    Result<XmlTree> tree = ParseXmlString(input);
+    if (tree.ok()) {
+      // Whatever parsed must be internally consistent.
+      const XmlTree& t = tree.value();
+      for (NodeId n = 0; n < t.size(); ++n) {
+        ASSERT_LE(t.subtree_end(n), t.size() - 1);
+        ASSERT_GE(t.subtree_end(n), n);
+        ASSERT_EQ(t.dewey(n).size(), t.depth(n));
+      }
+    }
+  }
+}
+
+/// Mutations of a valid document: flip/delete/insert bytes.
+TEST(ParserFuzzTest, MutatedDocumentsNeverCrash) {
+  const std::string base =
+      "<dblp><article key=\"a&amp;1\"><author>Jane</author>"
+      "<title>trees &#65; <!-- c --> <![CDATA[raw]]></title></article>"
+      "</dblp>";
+  Rng rng(0xBEEF);
+  for (int round = 0; round < 3000; ++round) {
+    std::string mutated = base;
+    size_t mutations = 1 + rng.Uniform(4);
+    for (size_t m = 0; m < mutations; ++m) {
+      if (mutated.empty()) break;
+      size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(32 + rng.Uniform(95));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(32 + rng.Uniform(95)));
+      }
+    }
+    Result<XmlTree> tree = ParseXmlString(mutated);
+    (void)tree;  // either outcome is fine; no crash is the assertion
+  }
+}
+
+/// Round-trip property on random generated trees: Parse(Write(t)) == t.
+TEST(ParserFuzzTest, GeneratedTreesRoundTrip) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    DblpGenOptions gen;
+    gen.num_publications = 40;
+    gen.seed = seed;
+    XmlTree original = GenerateDblp(gen);
+    Result<XmlTree> reparsed = ParseXmlString(WriteXml(original));
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    ASSERT_EQ(original.size(), reparsed->size());
+    for (NodeId n = 0; n < original.size(); ++n) {
+      ASSERT_EQ(original.label(n), reparsed->label(n));
+      ASSERT_EQ(original.text(n), reparsed->text(n));
+      ASSERT_EQ(original.path_id(n), reparsed->path_id(n));
+    }
+  }
+}
+
+/// Index-file fuzz: random corruption of a saved index must never crash
+/// the loader (checksum catches most; header mutations the rest).
+TEST(IndexIoFuzzTest, CorruptedIndexFilesNeverCrash) {
+  DblpGenOptions gen;
+  gen.num_publications = 50;
+  auto index = XmlIndex::Build(GenerateDblp(gen));
+  std::ostringstream out;
+  ASSERT_TRUE(SaveIndex(*index, out).ok());
+  std::string bytes = out.str();
+
+  Rng rng(0xCAFE);
+  for (int round = 0; round < 300; ++round) {
+    std::string corrupted = bytes;
+    size_t mutations = 1 + rng.Uniform(8);
+    for (size_t m = 0; m < mutations; ++m) {
+      size_t pos = rng.Uniform(corrupted.size());
+      corrupted[pos] = static_cast<char>(rng.Uniform(256));
+    }
+    if (rng.Bernoulli(0.3)) {
+      corrupted.resize(rng.Uniform(corrupted.size() + 1));
+    }
+    std::istringstream in(corrupted);
+    Result<std::unique_ptr<XmlIndex>> loaded = LoadIndex(in);
+    (void)loaded;  // no crash is the assertion
+  }
+}
+
+/// Query fuzz against a real index: random garbage queries must never
+/// crash any cleaner, and every returned suggestion must satisfy the
+/// public invariants.
+TEST(SuggestFuzzTest, RandomQueriesKeepInvariants) {
+  DblpGenOptions gen;
+  gen.num_publications = 400;
+  auto index = XmlIndex::Build(GenerateDblp(gen));
+  Rng rng(0xD1CE);
+
+  for (Semantics semantics :
+       {Semantics::kNodeType, Semantics::kSlca, Semantics::kElca}) {
+    XCleanOptions options;
+    options.gamma = 50;
+    options.semantics = semantics;
+    XClean cleaner(*index, options);
+    for (int round = 0; round < 120; ++round) {
+      Query query;
+      size_t words = rng.Uniform(4);
+      for (size_t w = 0; w < words; ++w) {
+        std::string word;
+        size_t len = 1 + rng.Uniform(12);
+        for (size_t i = 0; i < len; ++i) {
+          word.push_back(static_cast<char>('a' + rng.Uniform(26)));
+        }
+        query.keywords.push_back(std::move(word));
+      }
+      std::vector<Suggestion> suggestions = cleaner.Suggest(query);
+      ASSERT_LE(suggestions.size(), options.top_k);
+      for (size_t i = 0; i < suggestions.size(); ++i) {
+        ASSERT_GT(suggestions[i].entity_count, 0u);
+        ASSERT_EQ(suggestions[i].words.size(), query.size());
+        ASSERT_GE(suggestions[i].score, 0.0);
+        if (i > 0) {
+          ASSERT_LE(suggestions[i].score, suggestions[i - 1].score);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xclean

@@ -1,0 +1,178 @@
+#include "index/index_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/xclean.h"
+#include "data/dblp_gen.h"
+#include "xml/parser.h"
+
+namespace xclean {
+namespace {
+
+std::unique_ptr<XmlIndex> BuildSample() {
+  IndexOptions options;
+  options.fastss_max_ed = 2;
+  return XmlIndex::Build(
+      std::move(ParseXmlString(
+                    "<a><c><x>tree</x><x>trie icde</x></c>"
+                    "<d><x>trie</x><x>icde icdt icde</x></d></a>")
+                    .value()),
+      options);
+}
+
+std::string SaveToString(const XmlIndex& index) {
+  std::ostringstream out;
+  EXPECT_TRUE(SaveIndex(index, out).ok());
+  return out.str();
+}
+
+std::unique_ptr<XmlIndex> LoadFromString(const std::string& bytes) {
+  std::istringstream in(bytes);
+  Result<std::unique_ptr<XmlIndex>> r = LoadIndex(in);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(IndexIoTest, RoundTripPreservesStructureAndStats) {
+  auto original = BuildSample();
+  auto loaded = LoadFromString(SaveToString(*original));
+
+  const XmlTree& t1 = original->tree();
+  const XmlTree& t2 = loaded->tree();
+  ASSERT_EQ(t1.size(), t2.size());
+  for (NodeId n = 0; n < t1.size(); ++n) {
+    EXPECT_EQ(t1.label(n), t2.label(n));
+    EXPECT_EQ(t1.text(n), t2.text(n));
+    EXPECT_EQ(t1.depth(n), t2.depth(n));
+    EXPECT_EQ(t1.subtree_end(n), t2.subtree_end(n));
+    EXPECT_EQ(t1.path_id(n), t2.path_id(n));
+    EXPECT_EQ(t1.DeweyString(n), t2.DeweyString(n));
+  }
+
+  ASSERT_EQ(original->vocabulary().size(), loaded->vocabulary().size());
+  for (TokenId tok = 0; tok < original->vocabulary().size(); ++tok) {
+    EXPECT_EQ(original->vocabulary().token(tok),
+              loaded->vocabulary().token(tok));
+    EXPECT_EQ(original->collection_freq(tok), loaded->collection_freq(tok));
+    EXPECT_EQ(original->doc_freq(tok), loaded->doc_freq(tok));
+    const PostingList& l1 = original->postings(tok);
+    const PostingList& l2 = loaded->postings(tok);
+    ASSERT_EQ(l1.size(), l2.size());
+    for (size_t i = 0; i < l1.size(); ++i) {
+      EXPECT_EQ(l1[i].node, l2[i].node);
+      EXPECT_EQ(l1[i].tf, l2[i].tf);
+    }
+    auto tl1 = original->type_index().list(tok);
+    auto tl2 = loaded->type_index().list(tok);
+    ASSERT_EQ(tl1.size(), tl2.size());
+    for (size_t i = 0; i < tl1.size(); ++i) {
+      EXPECT_EQ(tl1[i].path, tl2[i].path);
+      EXPECT_EQ(tl1[i].freq, tl2[i].freq);
+    }
+  }
+  EXPECT_EQ(original->total_tokens(), loaded->total_tokens());
+  EXPECT_EQ(original->text_node_count(), loaded->text_node_count());
+  for (NodeId n = 0; n < t1.size(); ++n) {
+    EXPECT_EQ(original->node_token_count(n), loaded->node_token_count(n));
+    EXPECT_EQ(original->subtree_token_count(n),
+              loaded->subtree_token_count(n));
+  }
+  EXPECT_EQ(original->options().fastss_max_ed,
+            loaded->options().fastss_max_ed);
+}
+
+TEST(IndexIoTest, LoadedIndexGivesIdenticalSuggestions) {
+  auto original = BuildSample();
+  auto loaded = LoadFromString(SaveToString(*original));
+
+  XCleanOptions options;
+  options.max_ed = 1;
+  options.gamma = 0;
+  XClean a(*original, options);
+  XClean b(*loaded, options);
+  Query q;
+  q.keywords = {"tree", "icdt"};
+  auto sa = a.Suggest(q);
+  auto sb = b.Suggest(q);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].words, sb[i].words);
+    EXPECT_DOUBLE_EQ(sa[i].score, sb[i].score);
+  }
+}
+
+TEST(IndexIoTest, RoundTripOnGeneratedCorpus) {
+  DblpGenOptions gen;
+  gen.num_publications = 300;
+  auto original = XmlIndex::Build(GenerateDblp(gen));
+  std::string bytes = SaveToString(*original);
+  auto loaded = LoadFromString(bytes);
+  EXPECT_EQ(original->stats().node_count, loaded->stats().node_count);
+  EXPECT_EQ(original->stats().vocabulary_size,
+            loaded->stats().vocabulary_size);
+  // FastSS works after load (its postings were persisted, not rebuilt).
+  EXPECT_EQ(loaded->fastss().Find("algorithm", 1).size(),
+            original->fastss().Find("algorithm", 1).size());
+}
+
+TEST(IndexIoTest, FileRoundTrip) {
+  auto original = BuildSample();
+  std::string path = testing::TempDir() + "/xclean_index_io_test.idx";
+  ASSERT_TRUE(SaveIndex(*original, path).ok());
+  Result<std::unique_ptr<XmlIndex>> loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->total_tokens(), original->total_tokens());
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, RejectsBadMagic) {
+  std::istringstream in("NOTANINDEXFILE................");
+  Result<std::unique_ptr<XmlIndex>> r = LoadIndex(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("magic"), std::string::npos);
+}
+
+TEST(IndexIoTest, RejectsWrongVersion) {
+  auto original = BuildSample();
+  std::string bytes = SaveToString(*original);
+  bytes[6] = 99;  // version byte
+  std::istringstream in(bytes);
+  Result<std::unique_ptr<XmlIndex>> r = LoadIndex(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("version"), std::string::npos);
+}
+
+TEST(IndexIoTest, RejectsTruncation) {
+  auto original = BuildSample();
+  std::string bytes = SaveToString(*original);
+  for (size_t cut : {bytes.size() - 1, bytes.size() / 2, size_t{10}}) {
+    std::istringstream in(bytes.substr(0, cut));
+    EXPECT_FALSE(LoadIndex(in).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(IndexIoTest, RejectsBitFlips) {
+  auto original = BuildSample();
+  std::string bytes = SaveToString(*original);
+  // Flip a byte in the payload: checksum must catch it.
+  size_t payload_start = 6 + 4 + 8;
+  for (size_t offset : {payload_start, payload_start + 37,
+                        bytes.size() - 9 - 1}) {
+    std::string corrupted = bytes;
+    corrupted[offset] = static_cast<char>(corrupted[offset] ^ 0x5A);
+    std::istringstream in(corrupted);
+    EXPECT_FALSE(LoadIndex(in).ok()) << "flip at " << offset;
+  }
+}
+
+TEST(IndexIoTest, MissingFile) {
+  Result<std::unique_ptr<XmlIndex>> r = LoadIndex("/no/such/file.idx");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace xclean

@@ -1,0 +1,89 @@
+#include "data/inex_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "data/dblp_gen.h"
+#include "index/xml_index.h"
+
+namespace xclean {
+namespace {
+
+InexGenOptions SmallOptions() {
+  InexGenOptions o;
+  o.num_articles = 120;
+  o.vocabulary_target = 3000;
+  o.seed = 23;
+  return o;
+}
+
+TEST(InexGenTest, DeterministicInSeed) {
+  XmlTree a = GenerateInex(SmallOptions());
+  XmlTree b = GenerateInex(SmallOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (NodeId n = 0; n < a.size(); n += 53) {
+    EXPECT_EQ(a.label(n), b.label(n));
+    EXPECT_EQ(a.text(n), b.text(n));
+  }
+}
+
+TEST(InexGenTest, StructureIsDocumentCentric) {
+  XmlTree t = GenerateInex(SmallOptions());
+  EXPECT_EQ(t.label(0), "articles");
+  // Deep narrative nesting: sections inside sections.
+  EXPECT_GE(t.max_depth(), 7u);
+  EXPECT_GT(t.avg_depth(), 4.0);
+  uint32_t articles = 0;
+  for (NodeId c = t.FirstChild(t.root()); c != kInvalidNode;
+       c = t.NextSibling(c)) {
+    EXPECT_EQ(t.label(c), "article");
+    ++articles;
+  }
+  EXPECT_EQ(articles, 120u);
+  EXPECT_NE(t.FindPath("/articles/article/body/section/section"),
+            XmlTree::kInvalidPath);
+}
+
+TEST(InexGenTest, VocabularyMuchLargerThanDblp) {
+  DblpGenOptions dblp;
+  dblp.num_publications = 500;
+  auto dblp_index = XmlIndex::Build(GenerateDblp(dblp));
+  auto inex_index = XmlIndex::Build(GenerateInex(SmallOptions()));
+  // The paper's INEX vocabulary is ~6x DBLP's; ours must be clearly larger.
+  EXPECT_GT(inex_index->stats().vocabulary_size,
+            2 * dblp_index->stats().vocabulary_size);
+}
+
+TEST(InexGenTest, ArticlesAreTopicallyCoherent) {
+  auto index = XmlIndex::Build(GenerateInex(SmallOptions()));
+  const XmlTree& t = index->tree();
+  // Within one article, some non-trivial token repeats several times
+  // (topical reuse) — this is what makes entity language models peaky.
+  NodeId article = t.FirstChild(t.root());
+  ASSERT_NE(article, kInvalidNode);
+  std::unordered_map<std::string, int> counts;
+  for (NodeId n = article; n <= t.subtree_end(article); ++n) {
+    if (!t.has_text(n)) continue;
+    for (const std::string& tok : index->tokenizer().Tokenize(t.text(n))) {
+      ++counts[tok];
+    }
+  }
+  int max_count = 0;
+  for (const auto& [tok, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GE(max_count, 4);
+}
+
+TEST(InexGenTest, RespectsSectionDepthCap) {
+  InexGenOptions o = SmallOptions();
+  o.max_section_depth = 2;
+  o.subsection_probability = 1.0;
+  XmlTree t = GenerateInex(o);
+  // /articles/article/body/section/section is the deepest section chain;
+  // its title/p children bottom out at depth 7.
+  EXPECT_LE(t.max_depth(), 8u);
+}
+
+}  // namespace
+}  // namespace xclean

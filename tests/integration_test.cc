@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/naive.h"
+#include "core/py08.h"
+#include "core/xclean.h"
+#include "data/dblp_gen.h"
+#include "data/inex_gen.h"
+#include "data/workload.h"
+#include "eval/experiment.h"
+
+namespace xclean {
+namespace {
+
+/// End-to-end pipeline over both corpus families: generate, index, build
+/// workloads, run every cleaner, and check the paper's headline orderings
+/// at mini scale. (The bench binaries repeat this at full scale; this test
+/// keeps the pipeline itself from rotting.)
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpGenOptions gen;
+    // Large enough that the corpus carries rare near-miss tokens (content
+    // typos) for PY08's bias to trip on — the mechanism behind Fig. 3.
+    gen.num_publications = 6000;
+    gen.seed = 101;
+    dblp_ = XmlIndex::Build(GenerateDblp(gen)).release();
+
+    InexGenOptions inex;
+    inex.num_articles = 80;
+    inex.vocabulary_target = 2500;
+    inex.seed = 102;
+    inex_ = XmlIndex::Build(GenerateInex(inex)).release();
+  }
+  static void TearDownTestSuite() {
+    delete dblp_;
+    delete inex_;
+  }
+  static const XmlIndex* dblp_;
+  static const XmlIndex* inex_;
+};
+
+const XmlIndex* IntegrationTest::dblp_ = nullptr;
+const XmlIndex* IntegrationTest::inex_ = nullptr;
+
+TEST_F(IntegrationTest, XCleanRecoversRandErrorsOnBothCorpora) {
+  for (const XmlIndex* index : {dblp_, inex_}) {
+    WorkloadOptions wo;
+    wo.num_queries = 25;
+    wo.seed = 1;
+    std::vector<Query> initial = SampleInitialQueries(*index, wo);
+    QuerySet set =
+        MakeQuerySet("RAND", *index, initial, Perturbation::kRand, wo);
+    XCleanOptions options;
+    options.gamma = 1000;
+    XClean cleaner(*index, options);
+    ExperimentResult r = RunExperiment(cleaner, set);
+    EXPECT_GT(r.mrr, 0.5) << "corpus vocab "
+                          << index->stats().vocabulary_size;
+  }
+}
+
+TEST_F(IntegrationTest, XCleanBeatsPy08OnDirtyQueries) {
+  WorkloadOptions wo;
+  wo.num_queries = 30;
+  wo.seed = 2;
+  std::vector<Query> initial = SampleInitialQueries(*dblp_, wo);
+  QuerySet set =
+      MakeQuerySet("RAND", *dblp_, initial, Perturbation::kRand, wo);
+
+  XCleanOptions xo;
+  xo.gamma = 1000;
+  XClean xclean(*dblp_, xo);
+  Py08Cleaner py08(*dblp_, Py08Options{});
+
+  ExperimentResult rx = RunExperiment(xclean, set);
+  ExperimentResult rp = RunExperiment(py08, set);
+  EXPECT_GT(rx.mrr, rp.mrr);
+}
+
+TEST_F(IntegrationTest, CleanQueriesMostlyKeptByXClean) {
+  WorkloadOptions wo;
+  wo.num_queries = 25;
+  wo.seed = 3;
+  std::vector<Query> initial = SampleInitialQueries(*dblp_, wo);
+  QuerySet set =
+      MakeQuerySet("CLEAN", *dblp_, initial, Perturbation::kClean, wo);
+  XCleanOptions options;
+  options.gamma = 1000;
+  XClean cleaner(*dblp_, options);
+  ExperimentResult r = RunExperiment(cleaner, set);
+  EXPECT_GT(r.mrr, 0.6);
+}
+
+TEST_F(IntegrationTest, SeProxyPerfectOnCleanWorseOnRand) {
+  WorkloadOptions wo;
+  wo.num_queries = 30;
+  wo.seed = 4;
+  std::vector<Query> initial = SampleInitialQueries(*dblp_, wo);
+  auto proxy = BuildSeProxy(*dblp_, initial, 99);
+
+  QuerySet clean =
+      MakeQuerySet("CLEAN", *dblp_, initial, Perturbation::kClean, wo);
+  QuerySet rand =
+      MakeQuerySet("RAND", *dblp_, initial, Perturbation::kRand, wo);
+  ExperimentResult rc = RunExperiment(*proxy, clean);
+  ExperimentResult rr = RunExperiment(*proxy, rand);
+  EXPECT_GT(rc.mrr, 0.95);
+  // Never better on dirty queries than on clean ones (strict separation
+  // appears at bench scale; at this corpus size the proxy can ace a small
+  // RAND set).
+  EXPECT_LE(rr.mrr, rc.mrr);
+}
+
+TEST_F(IntegrationTest, EverySuggestionHasResults) {
+  WorkloadOptions wo;
+  wo.num_queries = 15;
+  wo.seed = 5;
+  std::vector<Query> initial = SampleInitialQueries(*inex_, wo);
+  QuerySet set =
+      MakeQuerySet("RULE", *inex_, initial, Perturbation::kRule, wo);
+  XCleanOptions options;
+  options.gamma = 1000;
+  XClean cleaner(*inex_, options);
+  for (const EvalQuery& eq : set.queries) {
+    for (const Suggestion& s : cleaner.Suggest(eq.dirty)) {
+      EXPECT_GT(s.entity_count, 0u) << s.ToString();
+    }
+  }
+}
+
+TEST_F(IntegrationTest, GammaPruningBarelyHurtsQuality) {
+  WorkloadOptions wo;
+  wo.num_queries = 20;
+  wo.seed = 6;
+  std::vector<Query> initial = SampleInitialQueries(*dblp_, wo);
+  QuerySet set =
+      MakeQuerySet("RAND", *dblp_, initial, Perturbation::kRand, wo);
+  XCleanOptions exact;
+  exact.gamma = 0;
+  XCleanOptions bounded;
+  bounded.gamma = 1000;
+  XClean a(*dblp_, exact);
+  XClean b(*dblp_, bounded);
+  ExperimentResult ra = RunExperiment(a, set);
+  ExperimentResult rb = RunExperiment(b, set);
+  EXPECT_NEAR(ra.mrr, rb.mrr, 0.1);
+}
+
+}  // namespace
+}  // namespace xclean

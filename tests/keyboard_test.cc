@@ -1,0 +1,56 @@
+#include "text/keyboard.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace xclean {
+namespace {
+
+TEST(KeyboardTest, NeighborsAreSymmetric) {
+  for (char c = 'a'; c <= 'z'; ++c) {
+    for (char n : KeyboardNeighbors(c)) {
+      EXPECT_NE(KeyboardNeighbors(n).find(c), std::string::npos)
+          << c << " -> " << n << " not symmetric";
+    }
+  }
+}
+
+TEST(KeyboardTest, EveryLetterHasNeighbors) {
+  for (char c = 'a'; c <= 'z'; ++c) {
+    EXPECT_FALSE(KeyboardNeighbors(c).empty()) << c;
+  }
+}
+
+TEST(KeyboardTest, NoSelfNeighbors) {
+  for (char c = 'a'; c <= 'z'; ++c) {
+    EXPECT_EQ(KeyboardNeighbors(c).find(c), std::string::npos) << c;
+  }
+}
+
+TEST(KeyboardTest, NonLettersHaveNone) {
+  EXPECT_TRUE(KeyboardNeighbors('1').empty());
+  EXPECT_TRUE(KeyboardNeighbors(' ').empty());
+  EXPECT_TRUE(KeyboardNeighbors('A').empty());  // lowercase only
+}
+
+TEST(KeyboardTest, RandomNeighborIsValid) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    char c = static_cast<char>('a' + rng.Uniform(26));
+    char n = RandomKeyboardNeighbor(c, rng);
+    EXPECT_NE(KeyboardNeighbors(c).find(n), std::string::npos);
+  }
+}
+
+TEST(KeyboardTest, RandomNeighborOfNonLetterIsDifferentLetter) {
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    char n = RandomKeyboardNeighbor('7', rng);
+    EXPECT_GE(n, 'a');
+    EXPECT_LE(n, 'z');
+  }
+}
+
+}  // namespace
+}  // namespace xclean

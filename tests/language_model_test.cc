@@ -1,0 +1,79 @@
+#include "lm/language_model.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace xclean {
+namespace {
+
+std::unique_ptr<XmlIndex> BuildSample() {
+  return XmlIndex::Build(std::move(
+      ParseXmlString(
+          "<a><c><x>tree</x><x>trie icde</x></c>"
+          "<d><x>trie</x><x>icde icdt icde</x></d></a>")
+          .value()));
+}
+
+TEST(LanguageModelTest, DirichletFormula) {
+  auto index = BuildSample();
+  LanguageModel lm(*index, 2000.0);
+  TokenId icde = index->vocabulary().Find("icde");
+  // P(icde|B) = 3/7.
+  EXPECT_NEAR(lm.Background(icde), 3.0 / 7.0, 1e-12);
+  // Entity d (node 4): count(icde, D) = 2, |D| = 4.
+  double expected = (2.0 + 2000.0 * (3.0 / 7.0)) / (4.0 + 2000.0);
+  EXPECT_NEAR(lm.ProbInEntity(icde, 2, 4), expected, 1e-12);
+  EXPECT_NEAR(lm.Prob(icde, 2, 4), expected, 1e-12);
+}
+
+TEST(LanguageModelTest, SmoothingGivesUnseenTokensMass) {
+  auto index = BuildSample();
+  LanguageModel lm(*index, 2000.0);
+  TokenId tree = index->vocabulary().Find("tree");
+  // tree never occurs in entity d, yet its probability is positive.
+  double p = lm.ProbInEntity(tree, 0, 4);
+  EXPECT_GT(p, 0.0);
+  EXPECT_NEAR(p, 2000.0 * (1.0 / 7.0) / 2004.0, 1e-12);
+}
+
+TEST(LanguageModelTest, ProbabilitiesSumToOneOverVocabulary) {
+  auto index = BuildSample();
+  LanguageModel lm(*index, 500.0);
+  // For any entity, sum over all vocab tokens of P(w|D) = 1 when counts are
+  // the true entity counts (Dirichlet smoothing is a proper distribution).
+  const XmlTree& t = index->tree();
+  for (NodeId entity : {NodeId{1}, NodeId{4}, NodeId{0}}) {
+    double sum = 0.0;
+    for (TokenId w = 0; w < index->vocabulary().size(); ++w) {
+      // True count of w in the entity subtree via postings.
+      uint64_t count = 0;
+      for (const Posting& p : index->postings(w)) {
+        if (p.node >= entity && p.node <= t.subtree_end(entity)) {
+          count += p.tf;
+        }
+      }
+      sum += lm.ProbInEntity(w, count, entity);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "entity " << entity;
+  }
+}
+
+TEST(LanguageModelTest, MoreOccurrencesMoreProbable) {
+  auto index = BuildSample();
+  LanguageModel lm(*index, 2000.0);
+  TokenId icde = index->vocabulary().Find("icde");
+  EXPECT_GT(lm.Prob(icde, 3, 10), lm.Prob(icde, 1, 10));
+}
+
+TEST(LanguageModelTest, SmallerMuTrustsEntityMore) {
+  auto index = BuildSample();
+  LanguageModel strong_prior(*index, 10000.0);
+  LanguageModel weak_prior(*index, 10.0);
+  TokenId icdt = index->vocabulary().Find("icdt");  // rare in background
+  // An entity where icdt is dense: weak prior yields higher probability.
+  EXPECT_GT(weak_prior.Prob(icdt, 3, 4), strong_prior.Prob(icdt, 3, 4));
+}
+
+}  // namespace
+}  // namespace xclean

@@ -1,0 +1,95 @@
+#include "core/log_correct.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+
+namespace xclean {
+namespace {
+
+Query Q(std::vector<std::string> words) {
+  Query q;
+  q.keywords = std::move(words);
+  return q;
+}
+
+LogCorrector BuildCorrector() {
+  LogCorrector c;
+  c.AddLogQuery({"great", "barrier", "reef"}, 500);
+  c.AddLogQuery({"health", "insurance"}, 900);
+  c.AddLogQuery({"instance", "segmentation"}, 3);
+  c.AddRewrite("gerat", "great");
+  c.Freeze();
+  return c;
+}
+
+TEST(LogCorrectorTest, KnownWordsPassThrough) {
+  LogCorrector c = BuildCorrector();
+  auto s = c.Suggest(Q({"great", "barrier", "reef"}));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].words,
+            (std::vector<std::string>{"great", "barrier", "reef"}));
+}
+
+TEST(LogCorrectorTest, RewriteTableFires) {
+  LogCorrector c = BuildCorrector();
+  auto s = c.Suggest(Q({"gerat", "barrier", "reef"}));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].words,
+            (std::vector<std::string>{"great", "barrier", "reef"}));
+}
+
+TEST(LogCorrectorTest, EditFallbackUsed) {
+  LogCorrector c = BuildCorrector();
+  auto s = c.Suggest(Q({"insurancx"}));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].words, (std::vector<std::string>{"insurance"}));
+}
+
+TEST(LogCorrectorTest, PopularityBiasPicksFrequentWord) {
+  LogCorrector c;
+  // "baker" is hugely popular, "bakes" rare; "bakus" is ed 1 from the rare
+  // word but ed 2 from the popular one — popularity wins anyway under the
+  // popularity-first policy (the bias the paper describes).
+  c.AddLogQuery({"baker"}, 1000);
+  c.AddLogQuery({"bakes"}, 2);
+  c.Freeze();
+  auto s = c.Suggest(Q({"bakus"}));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].words, (std::vector<std::string>{"baker"}));
+}
+
+TEST(LogCorrectorTest, UnknownUnmatchableWordMeansNoSuggestion) {
+  LogCorrector c = BuildCorrector();
+  EXPECT_TRUE(c.Suggest(Q({"zzzzzzzzzz"})).empty());
+  EXPECT_TRUE(c.Suggest(Q({})).empty());
+}
+
+TEST(LogCorrectorTest, MixedKnownAndUnknown) {
+  LogCorrector c = BuildCorrector();
+  auto s = c.Suggest(Q({"health", "zzzzzzzzzz"}));
+  // The engine corrects what it can; health is known, the noise word is
+  // kept. Something changed? No — health unchanged, noise unchanged: no
+  // suggestion at all.
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(LogCorrectorTest, AtMostOneSuggestion) {
+  LogCorrector c = BuildCorrector();
+  for (const char* q : {"helth insurance", "gerat reef", "instanse"}) {
+    Query query;
+    for (const auto& w : SplitWhitespace(q)) query.keywords.push_back(w);
+    EXPECT_LE(c.Suggest(query).size(), 1u) << q;
+  }
+}
+
+TEST(LogCorrectorTest, PopularityAccumulatesAcrossQueries) {
+  LogCorrector c;
+  c.AddLogQuery({"shared", "alpha"}, 10);
+  c.AddLogQuery({"shared", "beta"}, 20);
+  c.Freeze();
+  EXPECT_EQ(c.log_vocabulary_size(), 3u);
+}
+
+}  // namespace
+}  // namespace xclean

@@ -1,0 +1,148 @@
+#include "index/merged_list.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace xclean {
+namespace {
+
+struct Flat {
+  NodeId node;
+  TokenId token;
+  bool operator==(const Flat&) const = default;
+};
+
+MergedList Make(const std::vector<PostingList>& lists,
+                std::vector<MergedList::Member>& members_out) {
+  members_out.clear();
+  std::vector<MergedList::Member> members;
+  for (size_t i = 0; i < lists.size(); ++i) {
+    members.push_back(
+        MergedList::Member{static_cast<TokenId>(i), PostingCursor(lists[i])});
+  }
+  return MergedList(std::move(members));
+}
+
+std::vector<Flat> Drain(MergedList& merged) {
+  std::vector<Flat> out;
+  while (merged.cur_pos() != nullptr) {
+    MergedList::Head h = merged.Next();
+    out.push_back(Flat{h.node, h.token});
+  }
+  return out;
+}
+
+PostingList ListOf(std::vector<NodeId> nodes) {
+  std::vector<Posting> postings;
+  for (NodeId n : nodes) postings.push_back(Posting{n, 1});
+  return PostingList(std::move(postings));
+}
+
+TEST(MergedListTest, MergesInDocumentOrder) {
+  std::vector<PostingList> lists = {ListOf({1, 5}), ListOf({2, 3, 9}),
+                                    ListOf({4})};
+  std::vector<MergedList::Member> members;
+  MergedList merged = Make(lists, members);
+  EXPECT_EQ(Drain(merged),
+            (std::vector<Flat>{{1, 0}, {2, 1}, {3, 1}, {4, 2}, {5, 0}, {9, 1}}));
+  EXPECT_TRUE(merged.empty());
+  EXPECT_EQ(merged.cur_pos(), nullptr);
+}
+
+TEST(MergedListTest, TiesOrderedByToken) {
+  std::vector<PostingList> lists = {ListOf({7}), ListOf({7})};
+  std::vector<MergedList::Member> members;
+  MergedList merged = Make(lists, members);
+  EXPECT_EQ(Drain(merged), (std::vector<Flat>{{7, 0}, {7, 1}}));
+}
+
+TEST(MergedListTest, SkipToDiscardsSmaller) {
+  std::vector<PostingList> lists = {ListOf({1, 10, 20}), ListOf({2, 11})};
+  std::vector<MergedList::Member> members;
+  MergedList merged = Make(lists, members);
+  const MergedList::Head* h = merged.SkipTo(10);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->node, 10u);
+  EXPECT_EQ(Drain(merged), (std::vector<Flat>{{10, 0}, {11, 1}, {20, 0}}));
+}
+
+TEST(MergedListTest, SkipToBeyondExhausts) {
+  std::vector<PostingList> lists = {ListOf({1, 2})};
+  std::vector<MergedList::Member> members;
+  MergedList merged = Make(lists, members);
+  EXPECT_EQ(merged.SkipTo(100), nullptr);
+  EXPECT_TRUE(merged.empty());
+}
+
+TEST(MergedListTest, EmptyMembers) {
+  std::vector<PostingList> lists = {ListOf({}), ListOf({})};
+  std::vector<MergedList::Member> members;
+  MergedList merged = Make(lists, members);
+  EXPECT_TRUE(merged.empty());
+  EXPECT_EQ(merged.cur_pos(), nullptr);
+}
+
+TEST(MergedListTest, CarriesTfAndToken) {
+  PostingList list(std::vector<Posting>{{3, 42}});
+  std::vector<MergedList::Member> members;
+  members.push_back(MergedList::Member{99, PostingCursor(list)});
+  MergedList merged(std::move(members));
+  ASSERT_NE(merged.cur_pos(), nullptr);
+  EXPECT_EQ(merged.cur_pos()->tf, 42u);
+  EXPECT_EQ(merged.cur_pos()->token, 99u);
+}
+
+/// Property: interleaving random SkipTo and Next equals the same operations
+/// on an eagerly materialized merged vector.
+TEST(MergedListTest, RandomOpsMatchFlatMerge) {
+  Rng rng(55);
+  for (int round = 0; round < 50; ++round) {
+    size_t k = 1 + rng.Uniform(4);
+    std::vector<PostingList> lists;
+    std::vector<Flat> flat;
+    for (size_t i = 0; i < k; ++i) {
+      std::vector<NodeId> nodes;
+      NodeId cur = 0;
+      size_t n = rng.Uniform(50);
+      for (size_t j = 0; j < n; ++j) {
+        cur += 1 + static_cast<NodeId>(rng.Uniform(5));
+        nodes.push_back(cur);
+        flat.push_back(Flat{cur, static_cast<TokenId>(i)});
+      }
+      lists.push_back(ListOf(nodes));
+    }
+    std::sort(flat.begin(), flat.end(), [](const Flat& a, const Flat& b) {
+      return a.node < b.node || (a.node == b.node && a.token < b.token);
+    });
+
+    std::vector<MergedList::Member> members;
+    MergedList merged = Make(lists, members);
+    size_t pos = 0;
+    for (int op = 0; op < 60; ++op) {
+      if (rng.Bernoulli(0.3)) {
+        NodeId target = static_cast<NodeId>(rng.Uniform(120));
+        merged.SkipTo(target);
+        while (pos < flat.size() && flat[pos].node < target) ++pos;
+      } else if (merged.cur_pos() != nullptr) {
+        MergedList::Head h = merged.Next();
+        ASSERT_LT(pos, flat.size());
+        ASSERT_EQ(h.node, flat[pos].node);
+        ASSERT_EQ(h.token, flat[pos].token);
+        ++pos;
+      }
+      if (merged.cur_pos() == nullptr) {
+        ASSERT_EQ(pos, flat.size());
+      } else {
+        ASSERT_EQ(merged.cur_pos()->node, flat[pos].node);
+        ASSERT_EQ(merged.cur_pos()->token, flat[pos].token);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xclean

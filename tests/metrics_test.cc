@@ -1,0 +1,79 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace xclean {
+namespace {
+
+Suggestion S(std::vector<std::string> words) {
+  Suggestion s;
+  s.words = std::move(words);
+  return s;
+}
+
+Query Q(std::vector<std::string> words) {
+  Query q;
+  q.keywords = std::move(words);
+  return q;
+}
+
+TEST(MetricsTest, RankOfTruth) {
+  std::vector<Suggestion> suggestions = {S({"aaa"}), S({"bbb"}), S({"ccc"})};
+  EXPECT_EQ(RankOfTruth(suggestions, Q({"aaa"})), 1u);
+  EXPECT_EQ(RankOfTruth(suggestions, Q({"ccc"})), 3u);
+  EXPECT_EQ(RankOfTruth(suggestions, Q({"zzz"})), 0u);
+  EXPECT_EQ(RankOfTruth({}, Q({"aaa"})), 0u);
+}
+
+TEST(MetricsTest, ReciprocalRank) {
+  std::vector<Suggestion> suggestions = {S({"aaa"}), S({"bbb"})};
+  EXPECT_DOUBLE_EQ(ReciprocalRank(suggestions, Q({"aaa"})), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(suggestions, Q({"bbb"})), 0.5);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(suggestions, Q({"zzz"})), 0.0);
+}
+
+TEST(MetricsTest, MultiWordMatchIsExact) {
+  std::vector<Suggestion> suggestions = {S({"aaa", "bbb"})};
+  EXPECT_EQ(RankOfTruth(suggestions, Q({"aaa", "bbb"})), 1u);
+  EXPECT_EQ(RankOfTruth(suggestions, Q({"bbb", "aaa"})), 0u);  // order matters
+  EXPECT_EQ(RankOfTruth(suggestions, Q({"aaa"})), 0u);
+}
+
+TEST(MetricsAccumulatorTest, MrrDefinition) {
+  MetricsAccumulator acc;
+  acc.Add(1);  // rr 1
+  acc.Add(2);  // rr 0.5
+  acc.Add(0);  // rr 0
+  acc.Add(4);  // rr 0.25
+  EXPECT_NEAR(acc.Mrr(), (1.0 + 0.5 + 0.0 + 0.25) / 4.0, 1e-12);
+  EXPECT_EQ(acc.query_count(), 4u);
+}
+
+TEST(MetricsAccumulatorTest, PrecisionAtN) {
+  MetricsAccumulator acc;
+  acc.Add(1);
+  acc.Add(3);
+  acc.Add(0);
+  acc.Add(11);
+  EXPECT_DOUBLE_EQ(acc.PrecisionAt(1), 0.25);
+  EXPECT_DOUBLE_EQ(acc.PrecisionAt(3), 0.5);
+  EXPECT_DOUBLE_EQ(acc.PrecisionAt(10), 0.5);
+  EXPECT_DOUBLE_EQ(acc.PrecisionAt(11), 0.75);
+}
+
+TEST(MetricsAccumulatorTest, EmptyIsZero) {
+  MetricsAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.Mrr(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.PrecisionAt(5), 0.0);
+}
+
+TEST(MetricsAccumulatorTest, PrecisionMonotonicInN) {
+  MetricsAccumulator acc;
+  for (size_t rank : {1u, 2u, 5u, 7u, 0u, 3u, 9u}) acc.Add(rank);
+  for (size_t n = 1; n < 12; ++n) {
+    EXPECT_LE(acc.PrecisionAt(n), acc.PrecisionAt(n + 1));
+  }
+}
+
+}  // namespace
+}  // namespace xclean

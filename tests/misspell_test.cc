@@ -1,0 +1,106 @@
+#include "data/misspell.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/string_util.h"
+#include "text/edit_distance.h"
+
+namespace xclean {
+namespace {
+
+TEST(MisspellTableTest, EveryPairIsActuallyDifferent) {
+  for (const MisspellingPair& p : CommonMisspellings()) {
+    EXPECT_NE(p.misspelling, p.correction);
+    EXPECT_GE(EditDistance(p.misspelling, p.correction), 1u);
+  }
+}
+
+TEST(MisspellTableTest, AllLowercaseAlpha) {
+  for (const MisspellingPair& p : CommonMisspellings()) {
+    for (char c : p.misspelling) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << p.misspelling;
+    }
+    for (char c : p.correction) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << p.correction;
+    }
+  }
+}
+
+TEST(MisspellTableTest, MisspellingsSurviveTokenizer) {
+  for (const MisspellingPair& p : CommonMisspellings()) {
+    EXPECT_GE(p.misspelling.size(), 3u) << p.misspelling;
+  }
+}
+
+TEST(MisspellTableTest, EditDistancesSkewLargerThanOne) {
+  // The paper relies on RULE errors being farther than single edits on
+  // average; a solid fraction of the table must have distance >= 2.
+  size_t total = 0, multi = 0;
+  for (const MisspellingPair& p : CommonMisspellings()) {
+    ++total;
+    if (EditDistance(p.misspelling, p.correction) >= 2) ++multi;
+  }
+  EXPECT_GT(multi * 6, total);  // > 16%
+}
+
+TEST(MisspellTableTest, ReverseMapCoversTable) {
+  const auto& by_correction = MisspellingsByCorrection();
+  for (const MisspellingPair& p : CommonMisspellings()) {
+    auto it = by_correction.find(std::string(p.correction));
+    ASSERT_NE(it, by_correction.end());
+    bool found = false;
+    for (const std::string& m : it->second) {
+      if (m == p.misspelling) found = true;
+    }
+    EXPECT_TRUE(found) << p.misspelling;
+  }
+}
+
+TEST(MisspellTableTest, NoDuplicateMisspellings) {
+  std::set<std::string_view> seen;
+  for (const MisspellingPair& p : CommonMisspellings()) {
+    EXPECT_TRUE(seen.insert(p.misspelling).second)
+        << "duplicate misspelling: " << p.misspelling;
+  }
+}
+
+TEST(RuleMisspellTest, ZeroEditsIsIdentity) {
+  Rng rng(1);
+  EXPECT_EQ(RuleMisspell("example", 0, rng), "example");
+}
+
+TEST(RuleMisspellTest, ProducesBoundedEdits) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    std::string out = RuleMisspell("experiment", 1, rng);
+    EXPECT_LE(EditDistance("experiment", out), 2u)
+        << out;  // one rule = at most one ins+del (transposition)
+  }
+}
+
+TEST(RuleMisspellTest, UsuallyChangesTheWord) {
+  Rng rng(3);
+  int changed = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (RuleMisspell("algorithm", 1, rng) != "algorithm") ++changed;
+  }
+  EXPECT_GT(changed, 150);
+}
+
+TEST(RuleMisspellTest, ShortWordsLeftAlone) {
+  Rng rng(4);
+  EXPECT_EQ(RuleMisspell("ab", 3, rng), "ab");
+}
+
+TEST(RuleMisspellTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(RuleMisspell("deterministic", 2, a),
+              RuleMisspell("deterministic", 2, b));
+  }
+}
+
+}  // namespace
+}  // namespace xclean

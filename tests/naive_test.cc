@@ -1,0 +1,71 @@
+#include "core/naive.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace xclean {
+namespace {
+
+Query Q(std::vector<std::string> words) {
+  Query q;
+  q.keywords = std::move(words);
+  return q;
+}
+
+std::unique_ptr<XmlIndex> BuildSample() {
+  return XmlIndex::Build(std::move(
+      ParseXmlString(
+          "<a><c><x>tree</x><x>trie icde</x></c>"
+          "<d><x>trie</x><x>icde icdt icde</x></d></a>")
+          .value()));
+}
+
+TEST(NaiveTest, CountsCandidatesAndPostings) {
+  auto index = BuildSample();
+  XCleanOptions options;
+  options.max_ed = 1;
+  NaiveCleaner naive(*index, options);
+  naive.Suggest(Q({"tree", "icdt"}));
+  // var(tree) = {tree, trie}, var(icdt) = {icdt, icde} -> 4 candidates.
+  EXPECT_EQ(naive.last_candidates(), 4u);
+  EXPECT_GT(naive.last_postings_read(), 0u);
+  EXPECT_FALSE(naive.last_query_skipped());
+}
+
+TEST(NaiveTest, CandidateCapSkipsLargeSpaces) {
+  auto index = BuildSample();
+  XCleanOptions options;
+  options.max_ed = 1;
+  NaiveCleaner naive(*index, options);
+  naive.set_candidate_cap(3);  // below the 4-candidate space
+  EXPECT_TRUE(naive.Suggest(Q({"tree", "icdt"})).empty());
+  EXPECT_TRUE(naive.last_query_skipped());
+
+  naive.set_candidate_cap(4);
+  EXPECT_FALSE(naive.Suggest(Q({"tree", "icdt"})).empty());
+  EXPECT_FALSE(naive.last_query_skipped());
+}
+
+TEST(NaiveTest, RereadsListsPerCandidate) {
+  auto index = BuildSample();
+  XCleanOptions options;
+  options.max_ed = 1;
+  NaiveCleaner naive(*index, options);
+  naive.Suggest(Q({"icdt"}));
+  uint64_t single = naive.last_postings_read();
+  naive.Suggest(Q({"icdt", "icdt"}));
+  // Two slots: every candidate re-scans both slots' lists — the repeated
+  // I/O Sec. V's single-pass design eliminates.
+  EXPECT_GT(naive.last_postings_read(), 2 * single);
+}
+
+TEST(NaiveTest, EmptyQueryAndNoVariants) {
+  auto index = BuildSample();
+  NaiveCleaner naive(*index, XCleanOptions{});
+  EXPECT_TRUE(naive.Suggest(Q({})).empty());
+  EXPECT_TRUE(naive.Suggest(Q({"qqqqqqqq"})).empty());
+}
+
+}  // namespace
+}  // namespace xclean

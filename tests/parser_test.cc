@@ -1,0 +1,184 @@
+#include "xml/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/writer.h"
+
+namespace xclean {
+namespace {
+
+TEST(ParserTest, MinimalDocument) {
+  Result<XmlTree> t = ParseXmlString("<a/>");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->size(), 1u);
+  EXPECT_EQ(t->label(0), "a");
+}
+
+TEST(ParserTest, NestedElementsAndText) {
+  Result<XmlTree> t = ParseXmlString(
+      "<dblp><article><title>On trees</title><year>2011</year></article>"
+      "</dblp>");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->size(), 4u);
+  EXPECT_EQ(t->label(1), "article");
+  EXPECT_EQ(t->text(2), "On trees");
+  EXPECT_EQ(t->text(3), "2011");
+  EXPECT_EQ(t->DeweyString(3), "1.1.2");
+}
+
+TEST(ParserTest, AttributesBecomeNodes) {
+  Result<XmlTree> t =
+      ParseXmlString("<a key='k1' lang=\"en\"><b x='1'/></a>");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  // a, @key, @lang, b, @x
+  ASSERT_EQ(t->size(), 5u);
+  EXPECT_EQ(t->label(1), "@key");
+  EXPECT_EQ(t->text(1), "k1");
+  EXPECT_EQ(t->label(2), "@lang");
+  EXPECT_EQ(t->label(4), "@x");
+  EXPECT_EQ(t->depth(4), 3u);
+}
+
+TEST(ParserTest, AttributesCanBeDropped) {
+  ParseOptions options;
+  options.attributes_as_nodes = false;
+  Result<XmlTree> t = ParseXmlString("<a key='k1'><b/></a>", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->size(), 2u);
+}
+
+TEST(ParserTest, EntityDecoding) {
+  Result<XmlTree> t = ParseXmlString(
+      "<a>&lt;tag&gt; &amp; &quot;quoted&apos; &#65;&#x42;</a>");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->text(0), "<tag> & \"quoted' AB");
+}
+
+TEST(ParserTest, UnknownEntityPassesThrough) {
+  Result<XmlTree> t = ParseXmlString("<a>x &uuml; y</a>");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->text(0), "x &uuml; y");
+}
+
+TEST(ParserTest, NumericEntityUtf8) {
+  Result<XmlTree> t = ParseXmlString("<a>&#252;</a>");  // ü
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->text(0), "\xC3\xBC");
+}
+
+TEST(ParserTest, CdataSection) {
+  Result<XmlTree> t = ParseXmlString("<a><![CDATA[<raw> & text]]></a>");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->text(0), "<raw> & text");
+}
+
+TEST(ParserTest, CommentsAndPisSkipped) {
+  Result<XmlTree> t = ParseXmlString(
+      "<?xml version=\"1.0\"?><!-- top --><a><!-- in -->text<?pi data?></a>"
+      "<!-- after -->");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->text(0), "text");
+}
+
+TEST(ParserTest, DoctypeWithInternalSubsetSkipped) {
+  Result<XmlTree> t = ParseXmlString(
+      "<!DOCTYPE dblp [ <!ELEMENT dblp (article*)> ]><dblp/>");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->label(0), "dblp");
+}
+
+TEST(ParserTest, WhitespaceTextSkippedByDefault) {
+  Result<XmlTree> t = ParseXmlString("<a>\n  <b>x</b>\n</a>");
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE(t->has_text(0));
+  EXPECT_EQ(t->text(1), "x");
+}
+
+TEST(ParserTest, WhitespaceTextKeptWhenAsked) {
+  ParseOptions options;
+  options.skip_whitespace_text = false;
+  Result<XmlTree> t = ParseXmlString("<a> <b>x</b></a>", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->has_text(0));
+}
+
+TEST(ParserTest, MixedContent) {
+  Result<XmlTree> t = ParseXmlString("<a>pre<b>mid</b>post</a>");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->text(0), "pre post");
+  EXPECT_EQ(t->text(1), "mid");
+}
+
+TEST(ParserErrorTest, MismatchedTag) {
+  Result<XmlTree> t = ParseXmlString("<a><b></a></b>");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+  EXPECT_NE(t.status().message().find("mismatched"), std::string::npos);
+}
+
+TEST(ParserErrorTest, UnterminatedConstructs) {
+  EXPECT_FALSE(ParseXmlString("<a>").ok());
+  EXPECT_FALSE(ParseXmlString("<a><!-- comment </a>").ok());
+  EXPECT_FALSE(ParseXmlString("<a><![CDATA[ x </a>").ok());
+  EXPECT_FALSE(ParseXmlString("<a attr='x></a>").ok());
+  EXPECT_FALSE(ParseXmlString("<!DOCTYPE x [ <a/>").ok());
+}
+
+TEST(ParserErrorTest, BadSyntax) {
+  EXPECT_FALSE(ParseXmlString("").ok());
+  EXPECT_FALSE(ParseXmlString("plain text").ok());
+  EXPECT_FALSE(ParseXmlString("<a></a><b></b>").ok());
+  EXPECT_FALSE(ParseXmlString("<a 1bad='x'/>").ok());
+  EXPECT_FALSE(ParseXmlString("<a attr=unquoted/>").ok());
+}
+
+TEST(ParserErrorTest, ReportsLineNumber) {
+  Result<XmlTree> t = ParseXmlString("<a>\n\n<b></c>\n</a>");
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("line 3"), std::string::npos)
+      << t.status().ToString();
+}
+
+TEST(ParserTest, CollectionUnderVirtualRoot) {
+  std::vector<std::string> docs = {"<article><t>one</t></article>",
+                                   "<article><t>two</t></article>"};
+  Result<XmlTree> t = ParseXmlCollection(docs, "collection");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->label(0), "collection");
+  EXPECT_EQ(t->size(), 5u);
+  EXPECT_EQ(t->depth(1), 2u);
+  EXPECT_EQ(t->DeweyString(3), "1.2");
+}
+
+TEST(ParserTest, CollectionReportsFailingDocument) {
+  std::vector<std::string> docs = {"<ok/>", "<broken>"};
+  Result<XmlTree> t = ParseXmlCollection(docs, "root");
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("document 1"), std::string::npos);
+}
+
+TEST(ParserTest, FileNotFound) {
+  Result<XmlTree> t = ParseXmlFile("/nonexistent/path.xml");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ParserTest, RoundTripThroughWriter) {
+  const char* xml =
+      "<dblp><article key=\"a1\"><author>Jane Doe</author>"
+      "<title>Trees &amp; tries</title></article></dblp>";
+  Result<XmlTree> t1 = ParseXmlString(xml);
+  ASSERT_TRUE(t1.ok());
+  std::string serialized = WriteXml(t1.value());
+  Result<XmlTree> t2 = ParseXmlString(serialized);
+  ASSERT_TRUE(t2.ok()) << t2.status().ToString() << "\n" << serialized;
+  ASSERT_EQ(t1->size(), t2->size());
+  for (NodeId n = 0; n < t1->size(); ++n) {
+    EXPECT_EQ(t1->label(n), t2->label(n));
+    EXPECT_EQ(t1->text(n), t2->text(n));
+    EXPECT_EQ(t1->depth(n), t2->depth(n));
+  }
+}
+
+}  // namespace
+}  // namespace xclean

@@ -1,0 +1,95 @@
+#include "index/postings.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace xclean {
+namespace {
+
+PostingList MakeList(std::vector<NodeId> nodes) {
+  std::vector<Posting> postings;
+  for (NodeId n : nodes) postings.push_back(Posting{n, 1});
+  return PostingList(std::move(postings));
+}
+
+TEST(PostingCursorTest, SequentialIteration) {
+  PostingList list = MakeList({1, 5, 9});
+  PostingCursor cursor(list);
+  ASSERT_FALSE(cursor.AtEnd());
+  EXPECT_EQ(cursor.Get().node, 1u);
+  cursor.Next();
+  EXPECT_EQ(cursor.Get().node, 5u);
+  cursor.Next();
+  EXPECT_EQ(cursor.Get().node, 9u);
+  cursor.Next();
+  EXPECT_TRUE(cursor.AtEnd());
+}
+
+TEST(PostingCursorTest, SkipToLandsOnFirstGeq) {
+  PostingList list = MakeList({2, 4, 8, 16, 32});
+  PostingCursor cursor(list);
+  cursor.SkipTo(5);
+  EXPECT_EQ(cursor.Get().node, 8u);
+  cursor.SkipTo(8);  // no-op: already >= target
+  EXPECT_EQ(cursor.Get().node, 8u);
+  cursor.SkipTo(33);
+  EXPECT_TRUE(cursor.AtEnd());
+}
+
+TEST(PostingCursorTest, SkipToPastEverything) {
+  PostingList list = MakeList({1, 2});
+  PostingCursor cursor(list);
+  cursor.SkipTo(1000);
+  EXPECT_TRUE(cursor.AtEnd());
+}
+
+TEST(PostingCursorTest, EmptyList) {
+  PostingList list;
+  PostingCursor cursor(list);
+  EXPECT_TRUE(cursor.AtEnd());
+  cursor.SkipTo(5);  // must not crash
+  EXPECT_TRUE(cursor.AtEnd());
+}
+
+TEST(PostingCursorTest, RemainingCounts) {
+  PostingList list = MakeList({1, 2, 3});
+  PostingCursor cursor(list);
+  EXPECT_EQ(cursor.remaining(), 3u);
+  cursor.Next();
+  EXPECT_EQ(cursor.remaining(), 2u);
+}
+
+/// Property: SkipTo is equivalent to repeated Next until node >= target.
+TEST(PostingCursorTest, SkipToMatchesLinearScan) {
+  Rng rng(21);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<NodeId> nodes;
+    NodeId cur = 0;
+    size_t n = 1 + rng.Uniform(200);
+    for (size_t i = 0; i < n; ++i) {
+      cur += 1 + static_cast<NodeId>(rng.Uniform(10));
+      nodes.push_back(cur);
+    }
+    PostingList list = MakeList(nodes);
+    for (int probe = 0; probe < 20; ++probe) {
+      NodeId target = static_cast<NodeId>(rng.Uniform(cur + 10));
+      PostingCursor skipper(list);
+      // Random pre-advance so skips start mid-list too.
+      size_t pre = rng.Uniform(n);
+      for (size_t i = 0; i < pre && !skipper.AtEnd(); ++i) skipper.Next();
+      PostingCursor scanner = skipper;
+      skipper.SkipTo(target);
+      while (!scanner.AtEnd() && scanner.Get().node < target) scanner.Next();
+      ASSERT_EQ(skipper.AtEnd(), scanner.AtEnd());
+      if (!skipper.AtEnd()) {
+        ASSERT_EQ(skipper.Get().node, scanner.Get().node);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xclean

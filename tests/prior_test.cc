@@ -1,0 +1,140 @@
+#include "core/prior.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/xclean.h"
+#include "xml/parser.h"
+
+namespace xclean {
+namespace {
+
+Query Q(std::vector<std::string> words) {
+  Query q;
+  q.keywords = std::move(words);
+  return q;
+}
+
+/// Two ambiguous corrections: "tree index" answered in section s1, "trees
+/// index" answered in section s2. Without a prior they rank by statistics;
+/// a log full of queries about s1's content flips/locks the ranking.
+std::unique_ptr<XmlIndex> BuildSample() {
+  return XmlIndex::Build(std::move(
+      ParseXmlString(
+          "<root>"
+          "<s1><p>tree index structure</p><p>tree index</p></s1>"
+          "<s2><p>trees index layout</p><p>trees index</p></s2>"
+          "</root>")
+          .value()));
+}
+
+TEST(LogEntityPriorTest, WeightsReflectLoggedPopularity) {
+  auto index = BuildSample();
+  LogEntityPrior prior(*index, 1.0);
+  prior.AddQuery(Q({"tree", "structure"}), 50);
+  prior.Finalize();
+  const XmlTree& t = index->tree();
+  NodeId s1 = t.FindByDewey(DeweyFromString("1.1"));
+  NodeId s2 = t.FindByDewey(DeweyFromString("1.2"));
+  EXPECT_GT(prior.weight(s1), prior.weight(s2));
+  EXPECT_DOUBLE_EQ(prior.weight(s2), 1.0);  // floor only
+  // Root aggregates everything under it.
+  EXPECT_GE(prior.weight(t.root()), prior.weight(s1));
+}
+
+TEST(LogEntityPriorTest, UnknownWordsIgnored) {
+  auto index = BuildSample();
+  LogEntityPrior prior(*index, 1.0);
+  prior.AddQuery(Q({"zzzzz"}), 100);
+  prior.AddQuery(Q({}), 100);
+  prior.Finalize();
+  EXPECT_EQ(prior.logged_queries(), 0u);
+  for (NodeId n = 0; n < index->tree().size(); ++n) {
+    EXPECT_DOUBLE_EQ(prior.weight(n), 1.0);
+  }
+}
+
+TEST(LogEntityPriorTest, PopularityShiftsSuggestionRanking) {
+  auto index = BuildSample();
+
+  // Query "tree index": the exact reading answers in s1, the distance-1
+  // variant "trees index" answers in s2.
+  XCleanOptions base;
+  base.max_ed = 1;
+  base.gamma = 0;
+
+  // Strong log interest in s2's content.
+  LogEntityPrior prior(*index, 1.0);
+  prior.AddQuery(Q({"trees", "layout"}), 1000);
+  prior.Finalize();
+  XCleanOptions with_prior = base;
+  with_prior.entity_prior = prior.AsFunction();
+
+  XClean plain(*index, base);
+  XClean boosted(*index, with_prior);
+  Query dirty = Q({"tree", "index"});
+
+  auto find_rank = [](const std::vector<Suggestion>& s,
+                      const std::vector<std::string>& words) {
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i].words == words) return i + 1;
+    }
+    return size_t{0};
+  };
+  auto sp = plain.Suggest(dirty);
+  auto sb = boosted.Suggest(dirty);
+  size_t plain_rank = find_rank(sp, {"trees", "index"});
+  size_t boosted_rank = find_rank(sb, {"trees", "index"});
+  ASSERT_NE(plain_rank, 0u);
+  ASSERT_NE(boosted_rank, 0u);
+  EXPECT_LE(boosted_rank, plain_rank);
+  EXPECT_EQ(boosted_rank, 1u);  // the log makes s2's reading win
+}
+
+TEST(XCleanThreadSafetyTest, ConcurrentSuggestIsDeterministic) {
+  auto index = BuildSample();
+  XCleanOptions options;
+  options.max_ed = 1;
+  options.gamma = 0;
+  const XClean cleaner(*index, options);
+
+  Query dirty = Q({"tree", "index"});
+  XCleanRunStats reference_stats;
+  std::vector<Suggestion> reference =
+      cleaner.SuggestWithStats(dirty, &reference_stats);
+  ASSERT_FALSE(reference.empty());
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  std::vector<std::thread> threads;
+  std::vector<bool> ok(kThreads, false);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      bool all_match = true;
+      for (int round = 0; round < kRounds; ++round) {
+        XCleanRunStats stats;
+        std::vector<Suggestion> got = cleaner.SuggestWithStats(dirty, &stats);
+        if (got.size() != reference.size()) {
+          all_match = false;
+          break;
+        }
+        for (size_t i = 0; i < got.size(); ++i) {
+          if (got[i].words != reference[i].words ||
+              got[i].score != reference[i].score) {
+            all_match = false;
+          }
+        }
+        if (stats.subtrees_processed != reference_stats.subtrees_processed) {
+          all_match = false;
+        }
+      }
+      ok[t] = all_match;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_TRUE(ok[t]) << "thread " << t;
+}
+
+}  // namespace
+}  // namespace xclean

@@ -1,0 +1,135 @@
+#include "core/py08.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/xclean.h"
+#include "xml/parser.h"
+
+namespace xclean {
+namespace {
+
+Query Q(std::vector<std::string> words) {
+  Query q;
+  q.keywords = std::move(words);
+  return q;
+}
+
+/// The paper's Figure 1 scenario: the user queries "health insurrance";
+/// both "insurance" and "instance" are candidate corrections. "insurance"
+/// co-occurs with "health" inside records; "instance" is rarer and lives
+/// elsewhere. PY08 must prefer the rare disconnected word, XClean the
+/// connected one.
+std::unique_ptr<XmlIndex> BuildBiasCorpus() {
+  std::string xml = "<db>";
+  // Many records about health insurance (popular, connected).
+  for (int i = 0; i < 30; ++i) {
+    xml += "<record><text>health insurance policy coverage</text></record>";
+  }
+  // A single record mentioning "instance" in an unrelated technical note
+  // (rare -> high idf under PY08's max-tfidf scoring).
+  xml += "<record><text>instance</text></record>";
+  // Some filler so df(health) != N.
+  for (int i = 0; i < 10; ++i) {
+    xml += "<record><text>claims processing office</text></record>";
+  }
+  xml += "</db>";
+  Result<XmlTree> tree = ParseXmlString(xml);
+  EXPECT_TRUE(tree.ok());
+  IndexOptions options;
+  options.fastss_max_ed = 3;  // "insurrance" -> "instance" is ed 3
+  return XmlIndex::Build(std::move(tree).value(), options);
+}
+
+TEST(Py08BiasTest, PrefersRareDisconnectedToken) {
+  auto index = BuildBiasCorpus();
+  Py08Options options;
+  options.max_ed = 3;
+  Py08Cleaner py08(*index, options);
+  std::vector<Suggestion> s = py08.Suggest(Q({"health", "insurrance"}));
+  ASSERT_FALSE(s.empty());
+  // Rare-token bias: "instance" (df = 1, tf/|t| = 1) outscores "insurance"
+  // (df = 30, tf/|t| = 1/4) despite the larger edit distance not being
+  // enough to save it, and despite having no connection to "health".
+  EXPECT_EQ(s[0].words, (std::vector<std::string>{"health", "instance"}));
+  EXPECT_EQ(s[0].entity_count, 0u);  // PY08 never checks results
+}
+
+TEST(Py08BiasTest, XCleanResistsTheBias) {
+  auto index = BuildBiasCorpus();
+  XCleanOptions options;
+  options.max_ed = 3;
+  options.gamma = 0;
+  XClean cleaner(*index, options);
+  std::vector<Suggestion> s = cleaner.Suggest(Q({"health", "insurrance"}));
+  ASSERT_FALSE(s.empty());
+  EXPECT_EQ(s[0].words, (std::vector<std::string>{"health", "insurance"}));
+  // And every XClean suggestion is backed by actual results.
+  for (const Suggestion& sg : s) EXPECT_GT(sg.entity_count, 0u);
+}
+
+TEST(Py08Test, ScoreIrIsMaxTfIdf) {
+  auto index = BuildBiasCorpus();
+  Py08Cleaner py08(*index, Py08Options{});
+  TokenId instance = index->vocabulary().Find("instance");
+  TokenId insurance = index->vocabulary().Find("insurance");
+  double n = index->text_node_count();
+  // instance: count 1, |t| = 1, df 1.
+  EXPECT_NEAR(py08.ScoreIr(instance), 1.0 * std::log(n / 1.0), 1e-12);
+  // insurance: count 1, |t| = 4, df 30.
+  EXPECT_NEAR(py08.ScoreIr(insurance), 0.25 * std::log(n / 30.0), 1e-12);
+}
+
+TEST(Py08Test, KBestEnumerationIsSorted) {
+  auto index = BuildBiasCorpus();
+  Py08Options options;
+  options.max_ed = 3;
+  options.top_k = 10;
+  Py08Cleaner py08(*index, options);
+  std::vector<Suggestion> s = py08.Suggest(Q({"health", "insurrance"}));
+  ASSERT_GE(s.size(), 2u);
+  for (size_t i = 1; i < s.size(); ++i) {
+    EXPECT_GE(s[i - 1].score, s[i].score);
+  }
+  // No duplicate candidates.
+  for (size_t i = 0; i < s.size(); ++i) {
+    for (size_t j = i + 1; j < s.size(); ++j) {
+      EXPECT_NE(s[i].words, s[j].words);
+    }
+  }
+}
+
+TEST(Py08Test, GammaCapsVariantsPerSlot) {
+  auto index = BuildBiasCorpus();
+  Py08Options wide;
+  wide.max_ed = 3;
+  wide.gamma = 0;
+  Py08Options narrow = wide;
+  narrow.gamma = 1;
+  Py08Cleaner full(*index, wide);
+  Py08Cleaner capped(*index, narrow);
+  auto s_full = full.Suggest(Q({"health", "insurrance"}));
+  auto s_capped = capped.Suggest(Q({"health", "insurrance"}));
+  // With one segment per keyword only a single combination exists.
+  EXPECT_EQ(s_capped.size(), 1u);
+  EXPECT_GE(s_full.size(), s_capped.size());
+}
+
+TEST(Py08Test, EmptyQueryAndNoVariants) {
+  auto index = BuildBiasCorpus();
+  Py08Cleaner py08(*index, Py08Options{});
+  EXPECT_TRUE(py08.Suggest(Q({})).empty());
+  EXPECT_TRUE(py08.Suggest(Q({"zzzzzzzzz"})).empty());
+}
+
+TEST(Py08Test, CleanKeywordStillRanksByIr) {
+  auto index = BuildBiasCorpus();
+  Py08Cleaner py08(*index, Py08Options{});
+  std::vector<Suggestion> s = py08.Suggest(Q({"health"}));
+  ASSERT_FALSE(s.empty());
+  EXPECT_EQ(s[0].words, (std::vector<std::string>{"health"}));
+}
+
+}  // namespace
+}  // namespace xclean

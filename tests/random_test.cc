@@ -1,0 +1,100 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xclean {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(9);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) ++hits[rng.Uniform(10)];
+  for (int h : hits) EXPECT_GT(h, 700);  // fair-ish: expected 1000 each
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_GT(hits, 2600);
+  EXPECT_LT(hits, 3400);
+}
+
+TEST(ZipfTest, RankZeroMostPopular) {
+  Rng rng(23);
+  ZipfDistribution zipf(100, 1.0);
+  std::vector<int> hits(100, 0);
+  for (int i = 0; i < 50000; ++i) ++hits[zipf.Sample(rng)];
+  // Popularity should decrease (roughly) with rank.
+  EXPECT_GT(hits[0], hits[10]);
+  EXPECT_GT(hits[10], hits[99]);
+  // Rank 0 of an s=1 Zipf over 100 items gets ~19% of the mass.
+  EXPECT_GT(hits[0], 50000 / 10);
+}
+
+TEST(ZipfTest, AllRanksReachable) {
+  Rng rng(29);
+  ZipfDistribution zipf(5, 0.5);
+  std::vector<int> hits(5, 0);
+  for (int i = 0; i < 20000; ++i) ++hits[zipf.Sample(rng)];
+  for (int h : hits) EXPECT_GT(h, 0);
+}
+
+}  // namespace
+}  // namespace xclean

@@ -1,0 +1,113 @@
+#include "lm/result_type.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xml/parser.h"
+
+namespace xclean {
+namespace {
+
+/// A corpus in the shape of the paper's Example 3: candidate "trie icde"
+/// must pick the type with the best log(1 + prod) * r^depth trade-off.
+std::unique_ptr<XmlIndex> BuildExample() {
+  // Counts engineered so that:
+  //   f_trie^{/a/c}   = 2, f_trie^{/a/c/x} = 3,
+  //   f_trie^{/a/d}   = 2, f_trie^{/a/d/x} = 2,
+  //   f_icde^{/a/c}   = 1, f_icde^{/a/c/x} = 1,
+  //   f_icde^{/a/d}   = 2, f_icde^{/a/d/x} = 2.
+  const char* xml =
+      "<a>"
+      "<c><x>trie</x><x>trie trie</x></c>"       // c1: two x with trie
+      "<c><x>trie icde</x></c>"                  // c2: trie + icde
+      "<d><x>trie icde</x></d>"                  // d1
+      "<d><x>trie icde</x></d>"                  // d2
+      "</a>";
+  Result<XmlTree> tree = ParseXmlString(xml);
+  EXPECT_TRUE(tree.ok());
+  return XmlIndex::Build(std::move(tree).value());
+}
+
+TEST(ResultTypeTest, UtilityMatchesFormula) {
+  auto index = BuildExample();
+  const XmlTree& t = index->tree();
+  ResultTypeScorer scorer(*index, 0.8);
+  std::vector<TokenId> candidate = {index->vocabulary().Find("trie"),
+                                    index->vocabulary().Find("icde")};
+
+  PathId p_c = t.FindPath("/a/c");
+  PathId p_cx = t.FindPath("/a/c/x");
+  PathId p_d = t.FindPath("/a/d");
+  PathId p_dx = t.FindPath("/a/d/x");
+
+  EXPECT_NEAR(scorer.Utility(candidate, p_c),
+              std::log1p(2.0 * 1.0) * std::pow(0.8, 2), 1e-12);
+  EXPECT_NEAR(scorer.Utility(candidate, p_cx),
+              std::log1p(3.0 * 1.0) * std::pow(0.8, 3), 1e-12);
+  EXPECT_NEAR(scorer.Utility(candidate, p_d),
+              std::log1p(2.0 * 2.0) * std::pow(0.8, 2), 1e-12);
+  EXPECT_NEAR(scorer.Utility(candidate, p_dx),
+              std::log1p(2.0 * 2.0) * std::pow(0.8, 3), 1e-12);
+}
+
+TEST(ResultTypeTest, FindResultTypePicksPaperWinner) {
+  // As in Example 3: with r = 0.8, U(C, /a/d) is the largest.
+  auto index = BuildExample();
+  ResultTypeScorer scorer(*index, 0.8);
+  std::vector<TokenId> candidate = {index->vocabulary().Find("trie"),
+                                    index->vocabulary().Find("icde")};
+  ResultTypeScorer::Choice choice = scorer.FindResultType(candidate, 2);
+  EXPECT_EQ(choice.path, index->tree().FindPath("/a/d"));
+  EXPECT_NEAR(choice.utility, std::log1p(4.0) * 0.64, 1e-12);
+  EXPECT_NEAR(choice.freq_product, 4.0, 1e-12);
+}
+
+TEST(ResultTypeTest, MinDepthExcludesShallowTypes) {
+  auto index = BuildExample();
+  ResultTypeScorer scorer(*index, 0.8);
+  std::vector<TokenId> candidate = {index->vocabulary().Find("trie"),
+                                    index->vocabulary().Find("icde")};
+  // With min_depth 3 only the leaf types qualify; /a/d/x wins (product 4 at
+  // depth 3 beats /a/c/x's product 3).
+  ResultTypeScorer::Choice choice = scorer.FindResultType(candidate, 3);
+  EXPECT_EQ(choice.path, index->tree().FindPath("/a/d/x"));
+}
+
+TEST(ResultTypeTest, NoCommonTypeReturnsInvalid) {
+  auto index = XmlIndex::Build(
+      std::move(ParseXmlString("<a><b><x>foo</x></b><c><y>bar</y></c></a>")
+                    .value()));
+  ResultTypeScorer scorer(*index, 0.8);
+  std::vector<TokenId> candidate = {index->vocabulary().Find("foo"),
+                                    index->vocabulary().Find("bar")};
+  // foo and bar only co-occur under /a (depth 1) — below min_depth 2.
+  ResultTypeScorer::Choice choice = scorer.FindResultType(candidate, 2);
+  EXPECT_EQ(choice.path, XmlTree::kInvalidPath);
+  // min_depth 1 admits the root type.
+  choice = scorer.FindResultType(candidate, 1);
+  EXPECT_EQ(choice.path, index->tree().FindPath("/a"));
+}
+
+TEST(ResultTypeTest, SingleKeywordCandidate) {
+  auto index = BuildExample();
+  ResultTypeScorer scorer(*index, 0.8);
+  std::vector<TokenId> candidate = {index->vocabulary().Find("trie")};
+  ResultTypeScorer::Choice choice = scorer.FindResultType(candidate, 2);
+  // f_trie: /a/c = 2, /a/c/x = 3, /a/d = 2, /a/d/x = 2.
+  // U(/a/c) = log(3) * 0.64 ≈ 0.703 ; U(/a/c/x) = log(4) * 0.512 ≈ 0.710.
+  EXPECT_EQ(choice.path, index->tree().FindPath("/a/c/x"));
+}
+
+TEST(ResultTypeTest, ReductionFactorShiftsWinner) {
+  auto index = BuildExample();
+  std::vector<TokenId> candidate = {index->vocabulary().Find("trie")};
+  // A harsher depth discount flips the single-keyword winner to the
+  // shallower type.
+  ResultTypeScorer scorer(*index, 0.5);
+  EXPECT_EQ(scorer.FindResultType(candidate, 2).path,
+            index->tree().FindPath("/a/c"));
+}
+
+}  // namespace
+}  // namespace xclean

@@ -1,0 +1,116 @@
+#include "core/slca.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "xml/parser.h"
+
+namespace xclean {
+namespace {
+
+XmlTree Parse(const char* xml) {
+  Result<XmlTree> t = ParseXmlString(xml);
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+TEST(SlcaTest, SingleListIsItsOwnSlcaSet) {
+  XmlTree t = Parse("<a><b><c/><d/></b><e/></a>");
+  // Witnesses at c (2) and e (4): minimal nodes containing a witness are
+  // the witnesses themselves.
+  auto slcas = ComputeSlcas(t, {{2, 4}});
+  EXPECT_EQ(slcas, (std::vector<NodeId>{2, 4}));
+}
+
+TEST(SlcaTest, ClassicTwoListCase) {
+  //        a(0)
+  //    b(1)      e(4)
+  //  c(2) d(3)  f(5) g(6)
+  XmlTree t = Parse("<a><b><c/><d/></b><e><f/><g/></e></a>");
+  // k1 at {c, f}, k2 at {d, g}: SLCAs are b and e.
+  auto slcas = ComputeSlcas(t, {{2, 5}, {3, 6}});
+  EXPECT_EQ(slcas, (std::vector<NodeId>{1, 4}));
+}
+
+TEST(SlcaTest, AncestorRemoval) {
+  XmlTree t = Parse("<a><b><c/><d/></b></a>");
+  // k1 at {b, c}, k2 at {c}: both a-level and b-level qualify but c's
+  // subtree (just c) contains k1 witness c and k2 witness c -> SLCA = {c}.
+  auto slcas = ComputeSlcas(t, {{1, 2}, {2}});
+  EXPECT_EQ(slcas, (std::vector<NodeId>{2}));
+}
+
+TEST(SlcaTest, RootOnlyConnection) {
+  XmlTree t = Parse("<a><b><c/></b><d><e/></d></a>");
+  // k1 under b, k2 under d: only the root contains both.
+  auto slcas = ComputeSlcas(t, {{2}, {4}});
+  EXPECT_EQ(slcas, (std::vector<NodeId>{0}));
+}
+
+TEST(SlcaTest, EmptyInputs) {
+  XmlTree t = Parse("<a><b/></a>");
+  EXPECT_TRUE(ComputeSlcas(t, {}).empty());
+  EXPECT_TRUE(ComputeSlcas(t, {{1}, {}}).empty());
+}
+
+TEST(SlcaTest, WitnessEqualsAncestorOfOtherWitness) {
+  XmlTree t = Parse("<a><b><c/></b></a>");
+  // k1 at {b}, k2 at {c}: subtree(b) holds both -> SLCA = {b}; subtree(c)
+  // lacks k1.
+  auto slcas = ComputeSlcas(t, {{1}, {2}});
+  EXPECT_EQ(slcas, (std::vector<NodeId>{1}));
+}
+
+/// Property: fast algorithm == brute-force oracle on random trees and
+/// random witness sets, across list counts.
+class SlcaPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SlcaPropertyTest, MatchesBruteForce) {
+  const size_t num_lists = GetParam();
+  Rng rng(9000 + num_lists);
+  for (int round = 0; round < 60; ++round) {
+    // Random tree.
+    XmlTreeBuilder b;
+    ASSERT_TRUE(b.BeginElement("r").ok());
+    size_t opens = 1, total = 1;
+    size_t target = 10 + rng.Uniform(80);
+    while (total < target) {
+      if (opens > 1 && rng.Bernoulli(0.45)) {
+        ASSERT_TRUE(b.EndElement().ok());
+        --opens;
+      } else {
+        ASSERT_TRUE(b.BeginElement("n").ok());
+        ++opens;
+        ++total;
+      }
+    }
+    while (opens > 0) {
+      ASSERT_TRUE(b.EndElement().ok());
+      --opens;
+    }
+    Result<XmlTree> tr = std::move(b).Finish();
+    ASSERT_TRUE(tr.ok());
+    const XmlTree& t = tr.value();
+
+    std::vector<std::vector<NodeId>> lists(num_lists);
+    for (auto& list : lists) {
+      size_t n = 1 + rng.Uniform(8);
+      for (size_t i = 0; i < n; ++i) {
+        list.push_back(static_cast<NodeId>(rng.Uniform(t.size())));
+      }
+      std::sort(list.begin(), list.end());
+      list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+    EXPECT_EQ(ComputeSlcas(t, lists), ComputeSlcasBruteForce(t, lists))
+        << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ListCounts, SlcaPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace xclean

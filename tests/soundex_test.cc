@@ -1,0 +1,49 @@
+#include "text/soundex.h"
+
+#include <gtest/gtest.h>
+
+namespace xclean {
+namespace {
+
+TEST(SoundexTest, ClassicExamples) {
+  EXPECT_EQ(Soundex("robert"), "R163");
+  EXPECT_EQ(Soundex("rupert"), "R163");
+  EXPECT_EQ(Soundex("ashcraft"), "A261");  // h collapses neighbors
+  EXPECT_EQ(Soundex("ashcroft"), "A261");
+  EXPECT_EQ(Soundex("tymczak"), "T522");
+  EXPECT_EQ(Soundex("pfister"), "P236");
+  EXPECT_EQ(Soundex("honeyman"), "H555");
+}
+
+TEST(SoundexTest, CaseInsensitive) {
+  EXPECT_EQ(Soundex("Robert"), Soundex("ROBERT"));
+}
+
+TEST(SoundexTest, ShortWordsPadded) {
+  EXPECT_EQ(Soundex("a"), "A000");
+  EXPECT_EQ(Soundex("ab"), "A100");
+}
+
+TEST(SoundexTest, NonAlphaIgnored) {
+  EXPECT_EQ(Soundex("o'brien"), Soundex("obrien"));
+  EXPECT_EQ(Soundex("123"), "");
+  EXPECT_EQ(Soundex(""), "");
+}
+
+TEST(SoundexTest, RepeatHandling) {
+  // Adjacent same-code letters collapse into one digit; vowel-separated
+  // repeats emit again. The initial letter contributes no digit itself but
+  // seeds the run (so "dodd" = D + d(emit 3) + d(collapsed) = D300).
+  EXPECT_EQ(Soundex("dodd"), "D300");
+  EXPECT_EQ(Soundex("dada"), "D300");
+  EXPECT_EQ(Soundex("sasas"), "S220");
+}
+
+TEST(SoundexTest, EqualityHelper) {
+  EXPECT_TRUE(SoundexEqual("smith", "smyth"));
+  EXPECT_FALSE(SoundexEqual("smith", "jones"));
+  EXPECT_FALSE(SoundexEqual("", "jones"));
+}
+
+}  // namespace
+}  // namespace xclean

@@ -1,0 +1,100 @@
+#include "core/space_edit.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace xclean {
+namespace {
+
+Vocabulary MakeVocab(std::vector<std::string> words) {
+  Vocabulary v;
+  for (const auto& w : words) v.Intern(w);
+  return v;
+}
+
+Query Q(std::vector<std::string> words) {
+  Query q;
+  q.keywords = std::move(words);
+  return q;
+}
+
+TEST(SpaceEditTest, OriginalAlwaysIncluded) {
+  Vocabulary v = MakeVocab({"power", "point"});
+  auto edits = ExpandSpaceEdits(Q({"power", "point"}), v, 0);
+  ASSERT_EQ(edits.size(), 1u);
+  EXPECT_EQ(edits[0].changes, 0u);
+  EXPECT_EQ(edits[0].query.keywords,
+            (std::vector<std::string>{"power", "point"}));
+}
+
+TEST(SpaceEditTest, MergeRequiresVocabulary) {
+  Vocabulary with = MakeVocab({"power", "point", "powerpoint"});
+  auto edits = ExpandSpaceEdits(Q({"power", "point"}), with, 1);
+  ASSERT_EQ(edits.size(), 2u);
+  EXPECT_EQ(edits[1].query.keywords,
+            (std::vector<std::string>{"powerpoint"}));
+  EXPECT_EQ(edits[1].changes, 1u);
+
+  Vocabulary without = MakeVocab({"power", "point"});
+  EXPECT_EQ(ExpandSpaceEdits(Q({"power", "point"}), without, 1).size(), 1u);
+}
+
+TEST(SpaceEditTest, SplitRequiresBothPiecesInVocabulary) {
+  Vocabulary v = MakeVocab({"data", "base", "database"});
+  auto edits = ExpandSpaceEdits(Q({"database"}), v, 1);
+  ASSERT_EQ(edits.size(), 2u);
+  EXPECT_EQ(edits[1].query.keywords,
+            (std::vector<std::string>{"data", "base"}));
+
+  Vocabulary missing = MakeVocab({"database", "data"});
+  EXPECT_EQ(ExpandSpaceEdits(Q({"database"}), missing, 1).size(), 1u);
+}
+
+TEST(SpaceEditTest, MinTokenLengthBlocksTinySplits) {
+  Vocabulary v = MakeVocab({"abcdef", "abc", "def", "ab", "cdef"});
+  auto edits = ExpandSpaceEdits(Q({"abcdef"}), v, 1, 3);
+  // Only the 3+3 split qualifies; ab|cdef violates min length 3.
+  ASSERT_EQ(edits.size(), 2u);
+  EXPECT_EQ(edits[1].query.keywords, (std::vector<std::string>{"abc", "def"}));
+}
+
+TEST(SpaceEditTest, TauTwoChains) {
+  Vocabulary v = MakeVocab({"alpha", "beta", "alphabeta", "gamma",
+                            "betagamma"});
+  auto edits = ExpandSpaceEdits(Q({"alpha", "beta", "gamma"}), v, 2);
+  std::set<std::string> seen;
+  for (const SpaceEdit& e : edits) seen.insert(e.query.ToString());
+  EXPECT_TRUE(seen.count("alpha beta gamma"));
+  EXPECT_TRUE(seen.count("alphabeta gamma"));
+  EXPECT_TRUE(seen.count("alpha betagamma"));
+  // Depth-2 change: merge then the other merge is impossible (overlapping);
+  // but merge of alphabeta+gamma would need "alphabetagamma" in vocab.
+  EXPECT_FALSE(seen.count("alphabetagamma"));
+}
+
+TEST(SpaceEditTest, ChangesCountIsBfsDepth) {
+  Vocabulary v = MakeVocab({"aaa", "bbb", "aaabbb", "ccc", "aaabbbccc"});
+  auto edits = ExpandSpaceEdits(Q({"aaa", "bbb", "ccc"}), v, 2);
+  for (const SpaceEdit& e : edits) {
+    if (e.query.keywords == std::vector<std::string>{"aaabbb", "ccc"}) {
+      EXPECT_EQ(e.changes, 1u);
+    }
+    if (e.query.keywords == std::vector<std::string>{"aaabbbccc"}) {
+      EXPECT_EQ(e.changes, 2u);
+    }
+  }
+}
+
+TEST(SpaceEditTest, NoDuplicates) {
+  Vocabulary v = MakeVocab({"data", "base", "database"});
+  auto edits = ExpandSpaceEdits(Q({"data", "base"}), v, 3);
+  std::set<std::string> seen;
+  for (const SpaceEdit& e : edits) {
+    EXPECT_TRUE(seen.insert(e.query.ToString()).second)
+        << "duplicate " << e.query.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace xclean

@@ -1,0 +1,62 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace xclean {
+namespace {
+
+TEST(StringUtilTest, AsciiLower) {
+  EXPECT_EQ(AsciiLower("HeLLo W0rld!"), "hello w0rld!");
+  EXPECT_EQ(AsciiLower(""), "");
+  EXPECT_EQ(AsciiLower("abc"), "abc");
+}
+
+TEST(StringUtilTest, CharClasses) {
+  EXPECT_TRUE(IsAsciiAlpha('a'));
+  EXPECT_TRUE(IsAsciiAlpha('Z'));
+  EXPECT_FALSE(IsAsciiAlpha('1'));
+  EXPECT_TRUE(IsAsciiDigit('0'));
+  EXPECT_FALSE(IsAsciiDigit('a'));
+  EXPECT_TRUE(IsAsciiAlnum('7'));
+  EXPECT_TRUE(IsAsciiSpace('\t'));
+  EXPECT_FALSE(IsAsciiSpace('x'));
+}
+
+TEST(StringUtilTest, SplitWhitespace) {
+  EXPECT_EQ(SplitWhitespace("  a  bb\tccc\n"),
+            (std::vector<std::string>{"a", "bb", "ccc"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_EQ(SplitWhitespace("one"), (std::vector<std::string>{"one"}));
+}
+
+TEST(StringUtilTest, SplitCharKeepsEmptyPieces) {
+  EXPECT_EQ(SplitChar("a.b..c", '.'),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(SplitChar("", '.'), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitChar(".", '.'), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"x"}, ", "), "x");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+}  // namespace
+}  // namespace xclean

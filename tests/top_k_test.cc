@@ -1,0 +1,63 @@
+#include "common/top_k.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace xclean {
+namespace {
+
+TEST(TopKTest, KeepsLargestK) {
+  TopK<int> top(3);
+  for (int v : {5, 1, 9, 3, 7, 2}) top.Push(v);
+  EXPECT_EQ(top.Take(), (std::vector<int>{9, 7, 5}));
+}
+
+TEST(TopKTest, FewerThanK) {
+  TopK<int> top(10);
+  top.Push(2);
+  top.Push(1);
+  EXPECT_EQ(top.Take(), (std::vector<int>{2, 1}));
+}
+
+TEST(TopKTest, WorstReportsKthBest) {
+  TopK<int> top(2);
+  top.Push(5);
+  top.Push(9);
+  ASSERT_TRUE(top.full());
+  EXPECT_EQ(top.Worst(), 5);
+  top.Push(7);
+  EXPECT_EQ(top.Worst(), 7);
+}
+
+TEST(TopKTest, CustomComparatorSmallestK) {
+  auto greater = [](int a, int b) { return a > b; };
+  TopK<int, decltype(greater)> top(2, greater);
+  for (int v : {5, 1, 9, 3}) top.Push(v);
+  EXPECT_EQ(top.Take(), (std::vector<int>{1, 3}));
+}
+
+// Property: TopK(k) over any input equals sort-descending + truncate.
+TEST(TopKTest, MatchesSortTruncateProperty) {
+  Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    size_t k = 1 + rng.Uniform(10);
+    size_t n = rng.Uniform(100);
+    std::vector<int> values;
+    for (size_t i = 0; i < n; ++i) {
+      values.push_back(static_cast<int>(rng.Uniform(50)));
+    }
+    TopK<int> top(k);
+    for (int v : values) top.Push(v);
+    std::vector<int> expected = values;
+    std::sort(expected.rbegin(), expected.rend());
+    if (expected.size() > k) expected.resize(k);
+    EXPECT_EQ(top.Take(), expected) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace xclean

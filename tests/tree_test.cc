@@ -1,0 +1,238 @@
+#include "xml/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace xclean {
+namespace {
+
+/// The running example shape of the paper's Figure 2: a root with c- and
+/// d-typed children holding x leaves.
+XmlTree BuildSample() {
+  XmlTreeBuilder b;
+  EXPECT_TRUE(b.BeginElement("a").ok());
+  EXPECT_TRUE(b.BeginElement("c").ok());
+  EXPECT_TRUE(b.AddLeaf("x", "tree").ok());
+  EXPECT_TRUE(b.AddLeaf("x", "trie icde").ok());
+  EXPECT_TRUE(b.EndElement().ok());
+  EXPECT_TRUE(b.BeginElement("d").ok());
+  EXPECT_TRUE(b.AddLeaf("x", "trie").ok());
+  EXPECT_TRUE(b.AddLeaf("x", "icde icdt").ok());
+  EXPECT_TRUE(b.EndElement().ok());
+  EXPECT_TRUE(b.EndElement().ok());
+  Result<XmlTree> t = std::move(b).Finish();
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+TEST(TreeTest, PreorderIdsAndDepths) {
+  XmlTree t = BuildSample();
+  ASSERT_EQ(t.size(), 7u);
+  EXPECT_EQ(t.root(), 0u);
+  EXPECT_EQ(t.depth(0), 1u);
+  EXPECT_EQ(t.label(0), "a");
+  EXPECT_EQ(t.label(1), "c");
+  EXPECT_EQ(t.depth(1), 2u);
+  EXPECT_EQ(t.label(2), "x");
+  EXPECT_EQ(t.depth(2), 3u);
+  EXPECT_EQ(t.label(4), "d");
+}
+
+TEST(TreeTest, DeweyCodes) {
+  XmlTree t = BuildSample();
+  EXPECT_EQ(t.DeweyString(0), "1");
+  EXPECT_EQ(t.DeweyString(1), "1.1");
+  EXPECT_EQ(t.DeweyString(2), "1.1.1");
+  EXPECT_EQ(t.DeweyString(3), "1.1.2");
+  EXPECT_EQ(t.DeweyString(4), "1.2");
+  EXPECT_EQ(t.DeweyString(6), "1.2.2");
+}
+
+TEST(TreeTest, SubtreeRangesMatchAncestry) {
+  XmlTree t = BuildSample();
+  EXPECT_EQ(t.subtree_end(0), 6u);
+  EXPECT_EQ(t.subtree_end(1), 3u);
+  EXPECT_EQ(t.subtree_end(4), 6u);
+  EXPECT_EQ(t.subtree_end(2), 2u);
+  EXPECT_TRUE(t.IsAncestor(0, 5));
+  EXPECT_TRUE(t.IsAncestor(1, 3));
+  EXPECT_FALSE(t.IsAncestor(1, 4));
+  EXPECT_FALSE(t.IsAncestor(2, 2));
+  EXPECT_TRUE(t.IsAncestorOrSelf(2, 2));
+}
+
+TEST(TreeTest, DocumentOrderMatchesDeweyOrder) {
+  XmlTree t = BuildSample();
+  for (NodeId a = 0; a < t.size(); ++a) {
+    for (NodeId b = 0; b < t.size(); ++b) {
+      int dewey_cmp = CompareDewey(t.dewey(a), t.dewey(b));
+      int id_cmp = a < b ? -1 : (a == b ? 0 : 1);
+      EXPECT_EQ(dewey_cmp < 0, id_cmp < 0) << a << " vs " << b;
+      EXPECT_EQ(dewey_cmp == 0, id_cmp == 0);
+    }
+  }
+}
+
+TEST(TreeTest, AncestryMatchesDeweyPrefix) {
+  XmlTree t = BuildSample();
+  for (NodeId a = 0; a < t.size(); ++a) {
+    for (NodeId b = 0; b < t.size(); ++b) {
+      EXPECT_EQ(t.IsAncestor(a, b), IsDeweyAncestor(t.dewey(a), t.dewey(b)))
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST(TreeTest, AncestorAtDepth) {
+  XmlTree t = BuildSample();
+  EXPECT_EQ(t.AncestorAtDepth(3, 1), 0u);
+  EXPECT_EQ(t.AncestorAtDepth(3, 2), 1u);
+  EXPECT_EQ(t.AncestorAtDepth(3, 3), 3u);
+  EXPECT_EQ(t.AncestorAtDepth(6, 2), 4u);
+}
+
+TEST(TreeTest, Lca) {
+  XmlTree t = BuildSample();
+  EXPECT_EQ(t.Lca(2, 3), 1u);
+  EXPECT_EQ(t.Lca(2, 5), 0u);
+  EXPECT_EQ(t.Lca(5, 6), 4u);
+  EXPECT_EQ(t.Lca(2, 2), 2u);
+  EXPECT_EQ(t.Lca(1, 3), 1u);  // ancestor-descendant pair
+}
+
+TEST(TreeTest, TextAttachment) {
+  XmlTree t = BuildSample();
+  EXPECT_FALSE(t.has_text(0));
+  EXPECT_TRUE(t.has_text(2));
+  EXPECT_EQ(t.text(2), "tree");
+  EXPECT_EQ(t.text(3), "trie icde");
+  EXPECT_EQ(t.text(0), "");
+}
+
+TEST(TreeTest, MixedTextRunsMerge) {
+  XmlTreeBuilder b;
+  ASSERT_TRUE(b.BeginElement("r").ok());
+  ASSERT_TRUE(b.AddText("hello").ok());
+  ASSERT_TRUE(b.AddLeaf("x", "inner").ok());
+  ASSERT_TRUE(b.AddText("world").ok());
+  ASSERT_TRUE(b.EndElement().ok());
+  Result<XmlTree> t = std::move(b).Finish();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->text(0), "hello world");
+}
+
+TEST(TreeTest, ChildIteration) {
+  XmlTree t = BuildSample();
+  EXPECT_EQ(t.FirstChild(0), 1u);
+  EXPECT_EQ(t.NextSibling(1), 4u);
+  EXPECT_EQ(t.NextSibling(4), kInvalidNode);
+  EXPECT_EQ(t.FirstChild(2), kInvalidNode);
+  EXPECT_EQ(t.FirstChild(1), 2u);
+  EXPECT_EQ(t.NextSibling(2), 3u);
+  EXPECT_EQ(t.NextSibling(3), kInvalidNode);
+}
+
+TEST(TreeTest, FindByDewey) {
+  XmlTree t = BuildSample();
+  for (NodeId n = 0; n < t.size(); ++n) {
+    std::vector<uint32_t> code(t.dewey(n).begin(), t.dewey(n).end());
+    EXPECT_EQ(t.FindByDewey(code), n);
+  }
+  EXPECT_EQ(t.FindByDewey(DeweyFromString("1.9")), kInvalidNode);
+  EXPECT_EQ(t.FindByDewey(DeweyFromString("2")), kInvalidNode);
+}
+
+TEST(TreeTest, PathTable) {
+  XmlTree t = BuildSample();
+  // Paths: /a, /a/c, /a/c/x, /a/d, /a/d/x.
+  EXPECT_EQ(t.path_count(), 5u);
+  PathId acx = t.FindPath("/a/c/x");
+  ASSERT_NE(acx, XmlTree::kInvalidPath);
+  EXPECT_EQ(t.path_depth(acx), 3u);
+  EXPECT_EQ(t.path_node_count(acx), 2u);
+  PathId adx = t.FindPath("/a/d/x");
+  ASSERT_NE(adx, XmlTree::kInvalidPath);
+  EXPECT_NE(acx, adx);  // same labels, different types
+  EXPECT_EQ(t.path_id(2), acx);
+  EXPECT_EQ(t.path_id(5), adx);
+  EXPECT_EQ(t.FindPath("/a/x"), XmlTree::kInvalidPath);
+}
+
+TEST(TreeTest, DepthStats) {
+  XmlTree t = BuildSample();
+  EXPECT_EQ(t.max_depth(), 3u);
+  EXPECT_NEAR(t.avg_depth(), (1 + 2 + 3 + 3 + 2 + 3 + 3) / 7.0, 1e-9);
+}
+
+TEST(TreeBuilderTest, RejectsMultipleRoots) {
+  XmlTreeBuilder b;
+  ASSERT_TRUE(b.BeginElement("a").ok());
+  ASSERT_TRUE(b.EndElement().ok());
+  EXPECT_FALSE(b.BeginElement("b").ok());
+}
+
+TEST(TreeBuilderTest, RejectsUnbalanced) {
+  XmlTreeBuilder b;
+  ASSERT_TRUE(b.BeginElement("a").ok());
+  Result<XmlTree> t = std::move(b).Finish();
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(TreeBuilderTest, RejectsEmpty) {
+  XmlTreeBuilder b;
+  Result<XmlTree> t = std::move(b).Finish();
+  EXPECT_FALSE(t.ok());
+  EXPECT_FALSE(XmlTreeBuilder().EndElement().ok());
+}
+
+TEST(TreeBuilderTest, RejectsTextOutsideElement) {
+  XmlTreeBuilder b;
+  EXPECT_FALSE(b.AddText("stray").ok());
+}
+
+/// Property: on random trees, subtree_end-based ancestry agrees with
+/// Dewey-prefix ancestry, and sibling ordinals are dense from 1.
+TEST(TreePropertyTest, RandomTreesConsistent) {
+  Rng rng(31337);
+  for (int round = 0; round < 20; ++round) {
+    XmlTreeBuilder b;
+    ASSERT_TRUE(b.BeginElement("root").ok());
+    size_t opens = 1;
+    size_t total = 1;
+    // Random walk of opens/closes.
+    while (total < 60) {
+      if (opens > 1 && rng.Bernoulli(0.4)) {
+        ASSERT_TRUE(b.EndElement().ok());
+        --opens;
+      } else {
+        ASSERT_TRUE(
+            b.BeginElement(std::string(1, 'a' + rng.Uniform(4))).ok());
+        ++opens;
+        ++total;
+      }
+    }
+    while (opens > 0) {
+      ASSERT_TRUE(b.EndElement().ok());
+      --opens;
+    }
+    Result<XmlTree> result = std::move(b).Finish();
+    ASSERT_TRUE(result.ok());
+    const XmlTree& t = result.value();
+    for (NodeId x = 0; x < t.size(); ++x) {
+      ASSERT_EQ(t.dewey(x).size(), t.depth(x));
+      for (NodeId y = 0; y < t.size(); ++y) {
+        ASSERT_EQ(t.IsAncestor(x, y), IsDeweyAncestor(t.dewey(x), t.dewey(y)));
+      }
+      // Parent-child consistency.
+      if (x != t.root()) {
+        NodeId p = t.parent(x);
+        ASSERT_TRUE(t.IsAncestor(p, x));
+        ASSERT_EQ(t.depth(p) + 1, t.depth(x));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xclean

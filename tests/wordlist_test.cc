@@ -1,0 +1,70 @@
+#include "data/wordlist.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace xclean {
+namespace {
+
+void CheckPool(std::span<const std::string_view> pool, const char* name) {
+  EXPECT_FALSE(pool.empty()) << name;
+  std::set<std::string_view> seen;
+  for (std::string_view w : pool) {
+    EXPECT_GE(w.size(), 3u) << name << ": " << w;
+    for (char c : w) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << name << ": " << w;
+    }
+    EXPECT_TRUE(seen.insert(w).second) << name << " duplicate: " << w;
+  }
+}
+
+TEST(WordlistTest, AllPoolsWellFormed) {
+  CheckPool(CommonEnglishWords(), "english");
+  CheckPool(ComputerScienceTerms(), "cs");
+  CheckPool(Surnames(), "surnames");
+  CheckPool(FirstNames(), "firstnames");
+  CheckPool(VenueNames(), "venues");
+  CheckPool(WikiTopics(), "topics");
+}
+
+TEST(WordlistTest, PoolSizes) {
+  EXPECT_GE(CommonEnglishWords().size(), 500u);
+  EXPECT_GE(ComputerScienceTerms().size(), 180u);
+  EXPECT_GE(Surnames().size(), 120u);
+  EXPECT_GE(FirstNames().size(), 80u);
+  EXPECT_GE(VenueNames().size(), 30u);
+  EXPECT_GE(WikiTopics().size(), 80u);
+}
+
+TEST(ExpandedWordPoolTest, ReachesTargetAndDedupes) {
+  std::vector<std::string> pool = ExpandedWordPool(5000, 11);
+  EXPECT_GE(pool.size(), 5000u);
+  std::set<std::string> seen(pool.begin(), pool.end());
+  EXPECT_EQ(seen.size(), pool.size());
+}
+
+TEST(ExpandedWordPoolTest, ContainsBaseWordsFirst) {
+  std::vector<std::string> pool = ExpandedWordPool(3000, 11);
+  auto base = CommonEnglishWords();
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(pool[i], base[i]);
+  }
+}
+
+TEST(ExpandedWordPoolTest, DeterministicInSeed) {
+  EXPECT_EQ(ExpandedWordPool(4000, 7), ExpandedWordPool(4000, 7));
+  EXPECT_NE(ExpandedWordPool(4000, 7), ExpandedWordPool(4000, 8));
+}
+
+TEST(ExpandedWordPoolTest, DerivedWordsLookEnglish) {
+  for (const std::string& w : ExpandedWordPool(4000, 3)) {
+    EXPECT_GE(w.size(), 3u);
+    for (char c : w) EXPECT_TRUE(c >= 'a' && c <= 'z') << w;
+  }
+}
+
+}  // namespace
+}  // namespace xclean

@@ -1,0 +1,150 @@
+#include "data/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "data/dblp_gen.h"
+#include "text/edit_distance.h"
+
+namespace xclean {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpGenOptions gen;
+    gen.num_publications = 800;
+    gen.seed = 3;
+    index_ = XmlIndex::Build(GenerateDblp(gen)).release();
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    index_ = nullptr;
+  }
+  static const XmlIndex* index_;
+};
+
+const XmlIndex* WorkloadTest::index_ = nullptr;
+
+WorkloadOptions SmallWorkload() {
+  WorkloadOptions o;
+  o.num_queries = 40;
+  o.seed = 9;
+  return o;
+}
+
+TEST_F(WorkloadTest, InitialQueriesAreAnswerableAndClean) {
+  std::vector<Query> queries = SampleInitialQueries(*index_, SmallWorkload());
+  ASSERT_EQ(queries.size(), 40u);
+  for (const Query& q : queries) {
+    EXPECT_GE(q.size(), 1u);
+    EXPECT_LE(q.size(), 7u);
+    for (const std::string& w : q.keywords) {
+      EXPECT_TRUE(index_->vocabulary().Contains(w)) << w;
+    }
+  }
+}
+
+TEST_F(WorkloadTest, InitialQueryLengthsAverageNearPaper) {
+  WorkloadOptions o = SmallWorkload();
+  o.num_queries = 300;
+  std::vector<Query> queries = SampleInitialQueries(*index_, o);
+  double total = 0;
+  for (const Query& q : queries) total += q.size();
+  double avg = total / queries.size();
+  EXPECT_GT(avg, 1.8);
+  EXPECT_LT(avg, 3.3);
+}
+
+TEST_F(WorkloadTest, DeterministicInSeed) {
+  auto a = SampleInitialQueries(*index_, SmallWorkload());
+  auto b = SampleInitialQueries(*index_, SmallWorkload());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST_F(WorkloadTest, RandPerturbationProperties) {
+  WorkloadOptions o = SmallWorkload();
+  std::vector<Query> initial = SampleInitialQueries(*index_, o);
+  Rng rng(42);
+  size_t perturbed_words = 0;
+  for (const Query& clean : initial) {
+    Query dirty = PerturbRand(clean, *index_, o, rng);
+    ASSERT_EQ(dirty.size(), clean.size());
+    for (size_t i = 0; i < clean.size(); ++i) {
+      const std::string& cw = clean.keywords[i];
+      const std::string& dw = dirty.keywords[i];
+      if (cw.size() <= 4) {
+        // Paper subtlety: short tokens are never perturbed.
+        EXPECT_EQ(dw, cw);
+        continue;
+      }
+      if (dw != cw) {
+        ++perturbed_words;
+        // Paper subtlety: dirty tokens leave the vocabulary.
+        EXPECT_FALSE(index_->vocabulary().Contains(dw)) << dw;
+        EXPECT_LE(EditDistance(cw, dw), o.rand_edits);
+      }
+    }
+  }
+  EXPECT_GT(perturbed_words, 20u);
+}
+
+TEST_F(WorkloadTest, RulePerturbationPrefersTableAndRules) {
+  WorkloadOptions o = SmallWorkload();
+  o.num_queries = 120;
+  std::vector<Query> initial = SampleInitialQueries(*index_, o);
+  Rng rng(43);
+  size_t changed = 0;
+  double distance_sum = 0;
+  size_t distance_count = 0;
+  for (const Query& clean : initial) {
+    Query dirty = PerturbRule(clean, *index_, o, rng);
+    ASSERT_EQ(dirty.size(), clean.size());
+    for (size_t i = 0; i < clean.size(); ++i) {
+      if (dirty.keywords[i] != clean.keywords[i]) {
+        ++changed;
+        uint32_t d = EditDistance(clean.keywords[i], dirty.keywords[i]);
+        EXPECT_GE(d, 1u);
+        distance_sum += d;
+        ++distance_count;
+      }
+    }
+  }
+  EXPECT_GT(changed, 50u);
+  // RULE errors skew beyond distance 1 (the paper's observation).
+  EXPECT_GT(distance_sum / distance_count, 1.1);
+}
+
+TEST_F(WorkloadTest, MakeQuerySetShapes) {
+  WorkloadOptions o = SmallWorkload();
+  std::vector<Query> initial = SampleInitialQueries(*index_, o);
+  QuerySet clean = MakeQuerySet("DBLP-CLEAN", *index_, initial,
+                                Perturbation::kClean, o);
+  EXPECT_EQ(clean.name, "DBLP-CLEAN");
+  ASSERT_EQ(clean.queries.size(), initial.size());
+  for (size_t i = 0; i < initial.size(); ++i) {
+    EXPECT_EQ(clean.queries[i].dirty, clean.queries[i].truth);
+    EXPECT_EQ(clean.queries[i].truth, initial[i]);
+  }
+  QuerySet rand =
+      MakeQuerySet("DBLP-RAND", *index_, initial, Perturbation::kRand, o);
+  size_t dirty_count = 0;
+  for (const EvalQuery& eq : rand.queries) {
+    if (eq.dirty != eq.truth) ++dirty_count;
+  }
+  EXPECT_GT(dirty_count, rand.queries.size() / 2);
+}
+
+TEST_F(WorkloadTest, SeProxyKnowsCleanQueriesAndRewrites) {
+  WorkloadOptions o = SmallWorkload();
+  std::vector<Query> initial = SampleInitialQueries(*index_, o);
+  auto proxy = BuildSeProxy(*index_, initial, 77);
+  // Clean query: passes through verbatim.
+  auto s = proxy->Suggest(initial[0]);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].words, initial[0].keywords);
+  EXPECT_GT(proxy->log_vocabulary_size(), 100u);
+}
+
+}  // namespace
+}  // namespace xclean

@@ -1,0 +1,69 @@
+#include "xml/writer.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace xclean {
+namespace {
+
+TEST(WriterTest, EscapesSpecials) {
+  EXPECT_EQ(EscapeXmlText("a<b>&\"'"),
+            "a&lt;b&gt;&amp;&quot;&apos;");
+  EXPECT_EQ(EscapeXmlText("plain"), "plain");
+  EXPECT_EQ(EscapeXmlText(""), "");
+}
+
+TEST(WriterTest, SelfClosingEmpty) {
+  Result<XmlTree> t = ParseXmlString("<a><b/></a>");
+  ASSERT_TRUE(t.ok());
+  WriteOptions options;
+  options.indent = false;
+  EXPECT_EQ(WriteXml(t.value(), options), "<a><b/></a>");
+}
+
+TEST(WriterTest, TextOnOneLine) {
+  Result<XmlTree> t = ParseXmlString("<a><b>x y</b></a>");
+  ASSERT_TRUE(t.ok());
+  std::string out = WriteXml(t.value());
+  EXPECT_NE(out.find("<b>x y</b>"), std::string::npos);
+}
+
+TEST(WriterTest, AttributeNodesAsAttributes) {
+  Result<XmlTree> t = ParseXmlString("<a key=\"k1\"><b>x</b></a>");
+  ASSERT_TRUE(t.ok());
+  WriteOptions options;
+  options.indent = false;
+  EXPECT_EQ(WriteXml(t.value(), options), "<a key=\"k1\"><b>x</b></a>");
+}
+
+TEST(WriterTest, AttributeNodesAsElementsWhenDisabled) {
+  Result<XmlTree> t = ParseXmlString("<a key=\"k1\"/>");
+  ASSERT_TRUE(t.ok());
+  WriteOptions options;
+  options.indent = false;
+  options.attribute_nodes_as_attributes = false;
+  EXPECT_EQ(WriteXml(t.value(), options), "<a><_key>k1</_key></a>");
+}
+
+TEST(WriterTest, SubtreeSerialization) {
+  Result<XmlTree> t = ParseXmlString("<a><b>one</b><c>two</c></a>");
+  ASSERT_TRUE(t.ok());
+  WriteOptions options;
+  options.indent = false;
+  EXPECT_EQ(WriteXml(t.value(), 2, options), "<c>two</c>");
+}
+
+TEST(WriterTest, RoundTripWithEscapes) {
+  const char* xml = "<a note=\"5 &lt; 6\"><t>AT&amp;T rocks</t></a>";
+  Result<XmlTree> t1 = ParseXmlString(xml);
+  ASSERT_TRUE(t1.ok());
+  Result<XmlTree> t2 = ParseXmlString(WriteXml(t1.value()));
+  ASSERT_TRUE(t2.ok());
+  ASSERT_EQ(t1->size(), t2->size());
+  EXPECT_EQ(t2->text(2), "AT&T rocks");
+  EXPECT_EQ(t2->text(1), "5 < 6");
+}
+
+}  // namespace
+}  // namespace xclean

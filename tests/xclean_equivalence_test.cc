@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/naive.h"
+#include "core/xclean.h"
+#include "data/dblp_gen.h"
+#include "xml/parser.h"
+
+namespace xclean {
+namespace {
+
+/// Random small corpora with a deliberately confusable vocabulary (many
+/// words within small edit distances of each other).
+std::unique_ptr<XmlIndex> RandomCorpus(uint64_t seed) {
+  static const char* kWords[] = {"tree",  "trees", "trie",  "tried", "three",
+                                 "icde",  "icdt",  "index", "night", "light",
+                                 "sight", "graph", "grape", "query", "quern"};
+  Rng rng(seed);
+  XmlTreeBuilder b;
+  EXPECT_TRUE(b.BeginElement("root").ok());
+  uint64_t sections = 2 + rng.Uniform(4);
+  for (uint64_t s = 0; s < sections; ++s) {
+    EXPECT_TRUE(b.BeginElement(rng.Bernoulli(0.5) ? "sec" : "chap").ok());
+    uint64_t items = 1 + rng.Uniform(5);
+    for (uint64_t i = 0; i < items; ++i) {
+      EXPECT_TRUE(b.BeginElement("item").ok());
+      uint64_t words = 1 + rng.Uniform(6);
+      std::string text;
+      for (uint64_t w = 0; w < words; ++w) {
+        if (!text.empty()) text += " ";
+        text += kWords[rng.Uniform(std::size(kWords))];
+      }
+      EXPECT_TRUE(b.AddText(text).ok());
+      if (rng.Bernoulli(0.3)) {
+        EXPECT_TRUE(
+            b.AddLeaf("note", kWords[rng.Uniform(std::size(kWords))]).ok());
+      }
+      EXPECT_TRUE(b.EndElement().ok());
+    }
+    EXPECT_TRUE(b.EndElement().ok());
+  }
+  EXPECT_TRUE(b.EndElement().ok());
+  Result<XmlTree> tree = std::move(b).Finish();
+  EXPECT_TRUE(tree.ok());
+  return XmlIndex::Build(std::move(tree).value());
+}
+
+void ExpectSameSuggestions(const std::vector<Suggestion>& a,
+                           const std::vector<Suggestion>& b,
+                           const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].words, b[i].words) << context << " rank " << i;
+    EXPECT_NEAR(a[i].score, b[i].score,
+                1e-12 * (1.0 + std::abs(a[i].score)))
+        << context << " rank " << i;
+    EXPECT_EQ(a[i].entity_count, b[i].entity_count) << context << " rank "
+                                                    << i;
+    EXPECT_EQ(a[i].result_type, b[i].result_type) << context << " rank " << i;
+  }
+}
+
+struct EquivParam {
+  Semantics semantics;
+  uint32_t min_depth;
+};
+
+class EquivalenceTest : public ::testing::TestWithParam<EquivParam> {};
+
+/// Invariant from Sec. V: the single-pass XClean algorithm with unbounded
+/// accumulators computes exactly the same scores as the naive
+/// candidate-at-a-time evaluation.
+TEST_P(EquivalenceTest, XCleanMatchesNaiveOnRandomCorpora) {
+  const EquivParam param = GetParam();
+  static const char* kQueries[] = {"tree icde", "tres",       "grap quer",
+                                   "night",     "trie icdt",  "three light",
+                                   "inde",      "tree query", "sigt grape"};
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    auto index = RandomCorpus(seed);
+    XCleanOptions options;
+    options.max_ed = 2;
+    options.gamma = 0;
+    options.semantics = param.semantics;
+    options.min_depth = param.min_depth;
+    options.top_k = 50;
+    XClean fast(*index, options);
+    NaiveCleaner naive(*index, options);
+    for (const char* q : kQueries) {
+      Query query = ParseQuery(q, index->tokenizer());
+      ExpectSameSuggestions(
+          fast.Suggest(query), naive.Suggest(query),
+          std::string(q) + " seed " + std::to_string(seed));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SemanticsAndDepths, EquivalenceTest,
+    ::testing::Values(EquivParam{Semantics::kNodeType, 2},
+                      EquivParam{Semantics::kNodeType, 3},
+                      EquivParam{Semantics::kSlca, 2},
+                      EquivParam{Semantics::kSlca, 3},
+                      EquivParam{Semantics::kElca, 2},
+                      EquivParam{Semantics::kElca, 3}));
+
+/// The same equivalence on a slice of the realistic DBLP-like generator
+/// output (deeper vocabulary, attributes-as-nodes, citation blocks).
+TEST(EquivalenceDblpTest, MatchesNaiveOnGeneratedData) {
+  DblpGenOptions gen;
+  gen.num_publications = 300;
+  gen.seed = 5;
+  auto index = XmlIndex::Build(GenerateDblp(gen));
+  XCleanOptions options;
+  options.max_ed = 2;
+  options.gamma = 0;
+  options.top_k = 25;
+  XClean fast(*index, options);
+  NaiveCleaner naive(*index, options);
+  for (const char* q :
+       {"algoritm", "tree indexing", "wilson grap", "parralel database",
+        "query optimizaton"}) {
+    Query query = ParseQuery(q, index->tokenizer());
+    ExpectSameSuggestions(fast.Suggest(query), naive.Suggest(query), q);
+  }
+}
+
+/// gamma large enough to hold every candidate must also be exact.
+TEST(EquivalenceGammaTest, LargeGammaIsExact) {
+  auto index = RandomCorpus(3);
+  XCleanOptions exact;
+  exact.max_ed = 2;
+  exact.gamma = 0;
+  exact.top_k = 50;
+  XCleanOptions bounded = exact;
+  bounded.gamma = 100000;
+  XClean a(*index, exact);
+  XClean b(*index, bounded);
+  for (const char* q : {"tree icde", "grap quer", "three light"}) {
+    Query query = ParseQuery(q, index->tokenizer());
+    ExpectSameSuggestions(a.Suggest(query), b.Suggest(query), q);
+  }
+}
+
+}  // namespace
+}  // namespace xclean

@@ -1,0 +1,235 @@
+#include "core/xclean.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xml/parser.h"
+
+namespace xclean {
+namespace {
+
+/// The worked corpus (shape of the paper's Fig. 2 walk-through):
+///   nodes: 0=a 1=c 2=x("tree") 3=x("trie icde") 4=d 5=x("trie")
+///          6=x("icde icdt icde")
+std::unique_ptr<XmlIndex> BuildSample() {
+  return XmlIndex::Build(std::move(
+      ParseXmlString(
+          "<a><c><x>tree</x><x>trie icde</x></c>"
+          "<d><x>trie</x><x>icde icdt icde</x></d></a>")
+          .value()));
+}
+
+XCleanOptions Opts() {
+  XCleanOptions o;
+  o.max_ed = 1;
+  o.beta = 5.0;
+  o.mu = 2000.0;
+  o.reduction = 0.8;
+  o.min_depth = 2;
+  o.gamma = 0;  // exact
+  return o;
+}
+
+Query Q(std::vector<std::string> words) {
+  Query q;
+  q.keywords = std::move(words);
+  return q;
+}
+
+/// Full hand-computed reproduction of the paper's Example 4/5 flow on the
+/// sample tree with query "tree icdt" (eps = 1):
+///  - candidate (tree, icdt) shares only the root type -> pruned by d = 2,
+///  - (tree, icde): best type /a/c, entity c:
+///      P = e^{-5} * [(1+2000/7)/2003] * [(1+6000/7)/2003] / 1
+///  - (trie, icdt): best type /a/d, entity d:
+///      P = e^{-5} * [(1+4000/7)/2004] * [(1+2000/7)/2004] / 1
+///  - (trie, icde): type tie (/a/c vs /a/d) broken to /a/c; only the c
+///      entity scores; error weight e^{-10}.
+TEST(XCleanTest, WorkedExampleScores) {
+  auto index = BuildSample();
+  XClean cleaner(*index, Opts());
+  std::vector<Suggestion> s = cleaner.Suggest(Q({"tree", "icdt"}));
+
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].words, (std::vector<std::string>{"tree", "icde"}));
+  EXPECT_EQ(s[1].words, (std::vector<std::string>{"trie", "icdt"}));
+  EXPECT_EQ(s[2].words, (std::vector<std::string>{"trie", "icde"}));
+
+  const double e5 = std::exp(-5.0);
+  double p_tree_c = (1.0 + 2000.0 / 7.0) / 2003.0;
+  double p_icde_c = (1.0 + 6000.0 / 7.0) / 2003.0;
+  double p_trie_d = (1.0 + 4000.0 / 7.0) / 2004.0;
+  double p_icdt_d = (1.0 + 2000.0 / 7.0) / 2004.0;
+  double p_trie_c = (1.0 + 4000.0 / 7.0) / 2003.0;
+
+  EXPECT_NEAR(s[0].score, e5 * p_tree_c * p_icde_c, 1e-12);
+  EXPECT_NEAR(s[1].score, e5 * p_trie_d * p_icdt_d, 1e-12);
+  EXPECT_NEAR(s[2].score, e5 * e5 * p_trie_c * p_icde_c, 1e-15);
+
+  EXPECT_EQ(s[0].result_type, index->tree().FindPath("/a/c"));
+  EXPECT_EQ(s[1].result_type, index->tree().FindPath("/a/d"));
+  EXPECT_EQ(s[2].result_type, index->tree().FindPath("/a/c"));
+  for (const Suggestion& sg : s) EXPECT_EQ(sg.entity_count, 1u);
+
+  // Input query itself has no connected result: correctly not suggested.
+  for (const Suggestion& sg : s) {
+    EXPECT_NE(sg.words, (std::vector<std::string>{"tree", "icdt"}));
+  }
+}
+
+TEST(XCleanTest, TraversalStats) {
+  auto index = BuildSample();
+  XClean cleaner(*index, Opts());
+  cleaner.Suggest(Q({"tree", "icdt"}));
+  const XCleanRunStats& stats = cleaner.last_run_stats();
+  EXPECT_EQ(stats.subtrees_processed, 2u);  // the c and d subtrees
+  // 4 distinct candidates enumerated ((tree|trie, icde) in c;
+  // (trie, icde|icdt) in d).
+  EXPECT_EQ(stats.candidates_enumerated, 4u);
+  EXPECT_EQ(stats.result_type_computations, 3u);  // (trie,icde) cached
+  EXPECT_EQ(stats.entities_scored, 3u);
+  EXPECT_EQ(stats.accumulator_evictions, 0u);
+  EXPECT_EQ(stats.accumulators_final, 3u);
+}
+
+TEST(XCleanTest, CleanQueryRanksFirst) {
+  auto index = BuildSample();
+  XClean cleaner(*index, Opts());
+  std::vector<Suggestion> s = cleaner.Suggest(Q({"trie", "icde"}));
+  ASSERT_FALSE(s.empty());
+  EXPECT_EQ(s[0].words, (std::vector<std::string>{"trie", "icde"}));
+  EXPECT_DOUBLE_EQ(s[0].error_weight, 1.0);
+}
+
+TEST(XCleanTest, SingleKeywordQuery) {
+  auto index = BuildSample();
+  XClean cleaner(*index, Opts());
+  std::vector<Suggestion> s = cleaner.Suggest(Q({"icdt"}));
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].words, (std::vector<std::string>{"icdt"}));
+  EXPECT_EQ(s[1].words, (std::vector<std::string>{"icde"}));
+  EXPECT_NEAR(s[0].score, (1.0 + 2000.0 / 7.0) / 2004.0, 1e-12);
+}
+
+TEST(XCleanTest, MinDepthThreePrunesShallowEntities) {
+  auto index = BuildSample();
+  XCleanOptions o = Opts();
+  o.min_depth = 3;
+  XClean cleaner(*index, o);
+  std::vector<Suggestion> s = cleaner.Suggest(Q({"tree", "icdt"}));
+  // Only (trie, icde) has a depth-3 entity (the x node "trie icde")
+  // containing both keywords.
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].words, (std::vector<std::string>{"trie", "icde"}));
+  EXPECT_EQ(s[0].result_type, index->tree().FindPath("/a/c/x"));
+}
+
+TEST(XCleanTest, EmptyAndHopelessQueries) {
+  auto index = BuildSample();
+  XClean cleaner(*index, Opts());
+  EXPECT_TRUE(cleaner.Suggest(Q({})).empty());
+  EXPECT_TRUE(cleaner.Suggest(Q({"qqqqqq"})).empty());
+  EXPECT_TRUE(cleaner.Suggest(Q({"tree", "qqqqqq"})).empty());
+}
+
+TEST(XCleanTest, Deterministic) {
+  auto index = BuildSample();
+  XClean cleaner(*index, Opts());
+  auto s1 = cleaner.Suggest(Q({"tree", "icdt"}));
+  auto s2 = cleaner.Suggest(Q({"tree", "icdt"}));
+  ASSERT_EQ(s1.size(), s2.size());
+  for (size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].words, s2[i].words);
+    EXPECT_DOUBLE_EQ(s1[i].score, s2[i].score);
+  }
+}
+
+TEST(XCleanTest, GammaBoundsAccumulators) {
+  auto index = BuildSample();
+  XCleanOptions o = Opts();
+  o.gamma = 1;
+  XClean cleaner(*index, o);
+  std::vector<Suggestion> s = cleaner.Suggest(Q({"tree", "icdt"}));
+  EXPECT_LE(s.size(), 1u);
+  EXPECT_LE(cleaner.last_run_stats().accumulators_final, 1u);
+  EXPECT_GT(cleaner.last_run_stats().accumulator_evictions, 0u);
+}
+
+TEST(XCleanTest, TopKTruncates) {
+  auto index = BuildSample();
+  XCleanOptions o = Opts();
+  o.top_k = 2;
+  XClean cleaner(*index, o);
+  std::vector<Suggestion> s = cleaner.Suggest(Q({"tree", "icdt"}));
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].words, (std::vector<std::string>{"tree", "icde"}));
+}
+
+TEST(XCleanTest, RepeatedKeywordsSupported) {
+  auto index = BuildSample();
+  XClean cleaner(*index, Opts());
+  std::vector<Suggestion> s = cleaner.Suggest(Q({"icde", "icde"}));
+  ASSERT_FALSE(s.empty());
+  EXPECT_EQ(s[0].words, (std::vector<std::string>{"icde", "icde"}));
+}
+
+TEST(XCleanTest, NonUniformPriorReweightsEntities) {
+  auto index = BuildSample();
+  const XmlTree& tree = index->tree();
+  XCleanOptions o = Opts();
+  // Prior that loves the d entity and zeroes everything else: only
+  // candidates answered inside d survive with mass.
+  NodeId d_node = tree.FindByDewey(DeweyFromString("1.2"));
+  o.entity_prior = [d_node](NodeId e) { return e == d_node ? 1.0 : 0.0; };
+  XClean cleaner(*index, o);
+  std::vector<Suggestion> s = cleaner.Suggest(Q({"tree", "icdt"}));
+  ASSERT_FALSE(s.empty());
+  EXPECT_EQ(s[0].words, (std::vector<std::string>{"trie", "icdt"}));
+  // (tree, icde) was only answerable in c: prior zeroes its score.
+  for (const Suggestion& sg : s) {
+    if (sg.words == std::vector<std::string>{"tree", "icde"}) {
+      EXPECT_DOUBLE_EQ(sg.score, 0.0);
+    }
+  }
+}
+
+TEST(XCleanSlcaTest, SlcaEntitiesScoreCandidates) {
+  auto index = BuildSample();
+  XCleanOptions o = Opts();
+  o.semantics = Semantics::kSlca;
+  XClean cleaner(*index, o);
+  std::vector<Suggestion> s = cleaner.Suggest(Q({"tree", "icdt"}));
+  // (tree, icde): SLCA of {2} and {3} is c (node 1). (trie, icdt): SLCA of
+  // {3,5} and {6} is d. (trie, icde): SLCA of {3,5} x {3,6} = {3, d}.
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(cleaner.name(), "XClean-SLCA");
+  for (const Suggestion& sg : s) {
+    EXPECT_GT(sg.entity_count, 0u);
+    EXPECT_EQ(sg.result_type, XmlTree::kInvalidPath);
+  }
+  // The deep exact match (trie, icde) at node 3 benefits from a tiny |D|:
+  // its top SLCA entity probability dwarfs the others, but its error
+  // weight e^{-10} still decides. Just assert score ordering is strict and
+  // deterministic.
+  EXPECT_GE(s[0].score, s[1].score);
+  EXPECT_GE(s[1].score, s[2].score);
+}
+
+TEST(XCleanSlcaTest, SlcaCountsEntitiesPerCandidate) {
+  auto index = BuildSample();
+  XCleanOptions o = Opts();
+  o.semantics = Semantics::kSlca;
+  XClean cleaner(*index, o);
+  std::vector<Suggestion> s = cleaner.Suggest(Q({"trie", "icde"}));
+  // Clean candidate (trie, icde): witnesses {3,5} and {3,6}; SLCAs: node 3
+  // (self-contained) and node 4 (d, from 5+6). Two entities.
+  for (const Suggestion& sg : s) {
+    if (sg.words == std::vector<std::string>{"trie", "icde"}) {
+      EXPECT_EQ(sg.entity_count, 2u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xclean

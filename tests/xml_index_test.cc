@@ -1,0 +1,166 @@
+#include "index/xml_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "xml/parser.h"
+
+namespace xclean {
+namespace {
+
+std::unique_ptr<XmlIndex> BuildFrom(const char* xml,
+                                    IndexOptions options = IndexOptions()) {
+  Result<XmlTree> tree = ParseXmlString(xml);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return XmlIndex::Build(std::move(tree).value(), options);
+}
+
+constexpr char kSample[] =
+    "<a>"
+    "  <c><x>tree</x><x>trie icde</x></c>"
+    "  <d><x>trie</x><x>icde icdt icde</x></d>"
+    "</a>";
+
+TEST(XmlIndexTest, VocabularyAndFrequencies) {
+  auto index = BuildFrom(kSample);
+  const Vocabulary& v = index->vocabulary();
+  EXPECT_EQ(v.size(), 4u);  // tree, trie, icde, icdt
+  TokenId tree = v.Find("tree");
+  TokenId trie = v.Find("trie");
+  TokenId icde = v.Find("icde");
+  TokenId icdt = v.Find("icdt");
+  ASSERT_NE(tree, kInvalidToken);
+  ASSERT_NE(icdt, kInvalidToken);
+  EXPECT_EQ(index->collection_freq(tree), 1u);
+  EXPECT_EQ(index->collection_freq(trie), 2u);
+  EXPECT_EQ(index->collection_freq(icde), 3u);
+  EXPECT_EQ(index->collection_freq(icdt), 1u);
+  EXPECT_EQ(index->total_tokens(), 7u);
+  EXPECT_EQ(index->doc_freq(icde), 2u);  // two x nodes contain it
+  EXPECT_EQ(index->text_node_count(), 4u);
+}
+
+TEST(XmlIndexTest, PostingsSortedWithTf) {
+  auto index = BuildFrom(kSample);
+  TokenId icde = index->vocabulary().Find("icde");
+  const PostingList& list = index->postings(icde);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_LT(list[0].node, list[1].node);
+  EXPECT_EQ(list[0].tf, 1u);
+  EXPECT_EQ(list[1].tf, 2u);  // "icde icdt icde"
+}
+
+TEST(XmlIndexTest, NodeAndSubtreeTokenCounts) {
+  auto index = BuildFrom(kSample);
+  const XmlTree& t = index->tree();
+  // Node layout: 0=a 1=c 2=x 3=x 4=d 5=x 6=x.
+  EXPECT_EQ(index->node_token_count(2), 1u);
+  EXPECT_EQ(index->node_token_count(3), 2u);
+  EXPECT_EQ(index->node_token_count(6), 3u);
+  EXPECT_EQ(index->node_token_count(0), 0u);
+  EXPECT_EQ(index->subtree_token_count(1), 3u);  // c subtree
+  EXPECT_EQ(index->subtree_token_count(4), 4u);  // d subtree
+  EXPECT_EQ(index->subtree_token_count(0), 7u);
+  EXPECT_EQ(index->subtree_token_count(2), 1u);
+  (void)t;
+}
+
+TEST(XmlIndexTest, TypeListsCountDistinctNodesPerPath) {
+  auto index = BuildFrom(kSample);
+  const XmlTree& t = index->tree();
+  TokenId trie = index->vocabulary().Find("trie");
+  PathId root_path = t.FindPath("/a");
+  PathId c_path = t.FindPath("/a/c");
+  PathId cx_path = t.FindPath("/a/c/x");
+  PathId d_path = t.FindPath("/a/d");
+  std::map<PathId, uint32_t> freqs;
+  for (const PathFreq& pf : index->type_index().list(trie)) {
+    freqs[pf.path] = pf.freq;
+  }
+  EXPECT_EQ(freqs[root_path], 1u);
+  EXPECT_EQ(freqs[c_path], 1u);
+  EXPECT_EQ(freqs[cx_path], 1u);
+  EXPECT_EQ(freqs[d_path], 1u);
+
+  TokenId icde = index->vocabulary().Find("icde");
+  freqs.clear();
+  for (const PathFreq& pf : index->type_index().list(icde)) {
+    freqs[pf.path] = pf.freq;
+  }
+  EXPECT_EQ(freqs[root_path], 1u);
+  EXPECT_EQ(freqs[c_path], 1u);
+  EXPECT_EQ(freqs[d_path], 1u);
+  EXPECT_EQ(freqs[cx_path], 1u);
+  EXPECT_EQ(freqs[t.FindPath("/a/d/x")], 1u);
+}
+
+TEST(XmlIndexTest, TypeListCountsMultipleNodesOfSamePath) {
+  // trie appears under two different x nodes of the same path /a/c/x.
+  auto index = BuildFrom("<a><c><x>trie</x><x>trie</x></c></a>");
+  TokenId trie = index->vocabulary().Find("trie");
+  const XmlTree& t = index->tree();
+  PathId cx = t.FindPath("/a/c/x");
+  for (const PathFreq& pf : index->type_index().list(trie)) {
+    if (pf.path == cx) {
+      EXPECT_EQ(pf.freq, 2u);
+    }
+    if (pf.path == t.FindPath("/a/c")) {
+      EXPECT_EQ(pf.freq, 1u);
+    }
+  }
+}
+
+TEST(XmlIndexTest, TypeListDedupesMultipleOccurrencesInOneSubtree) {
+  // Both x leaves contain icde: /a/c must count 1 (one c node), /a/c/x
+  // counts 2.
+  auto index = BuildFrom("<a><c><x>icde</x><x>icde</x></c></a>");
+  TokenId icde = index->vocabulary().Find("icde");
+  const XmlTree& t = index->tree();
+  std::map<PathId, uint32_t> freqs;
+  for (const PathFreq& pf : index->type_index().list(icde)) {
+    freqs[pf.path] = pf.freq;
+  }
+  EXPECT_EQ(freqs[t.FindPath("/a")], 1u);
+  EXPECT_EQ(freqs[t.FindPath("/a/c")], 1u);
+  EXPECT_EQ(freqs[t.FindPath("/a/c/x")], 2u);
+}
+
+TEST(XmlIndexTest, BackgroundProbSumsToOne) {
+  auto index = BuildFrom(kSample);
+  double sum = 0.0;
+  for (TokenId t = 0; t < index->vocabulary().size(); ++t) {
+    sum += index->BackgroundProb(t);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(XmlIndexTest, FastSsBuiltOverVocabulary) {
+  auto index = BuildFrom(kSample);
+  auto matches = index->fastss().Find("tre", 1);
+  // "tree" (1 del... ed("tre","tree")=1) and "trie"? ed("tre","trie")=1.
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST(XmlIndexTest, StatsShape) {
+  auto index = BuildFrom(kSample);
+  IndexStats stats = index->stats();
+  EXPECT_EQ(stats.node_count, 7u);
+  EXPECT_EQ(stats.text_node_count, 4u);
+  EXPECT_EQ(stats.token_occurrences, 7u);
+  EXPECT_EQ(stats.vocabulary_size, 4u);
+  EXPECT_EQ(stats.path_count, 5u);
+  EXPECT_EQ(stats.max_depth, 3u);
+  EXPECT_GT(stats.avg_depth, 1.0);
+}
+
+TEST(XmlIndexTest, TokenizerOptionsRespected) {
+  IndexOptions options;
+  options.tokenizer.min_token_length = 1;
+  options.tokenizer.drop_stopwords = false;
+  auto index = BuildFrom("<a><x>a the ox</x></a>", options);
+  EXPECT_EQ(index->vocabulary().size(), 3u);
+}
+
+}  // namespace
+}  // namespace xclean
