@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_mrr.dir/bench_fig3_mrr.cc.o"
+  "CMakeFiles/bench_fig3_mrr.dir/bench_fig3_mrr.cc.o.d"
+  "bench_fig3_mrr"
+  "bench_fig3_mrr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_mrr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_precision.dir/bench_fig4_precision.cc.o"
+  "CMakeFiles/bench_fig4_precision.dir/bench_fig4_precision.cc.o.d"
+  "bench_fig4_precision"
+  "bench_fig4_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

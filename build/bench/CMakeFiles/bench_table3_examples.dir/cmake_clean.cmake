@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_examples.dir/bench_table3_examples.cc.o"
+  "CMakeFiles/bench_table3_examples.dir/bench_table3_examples.cc.o.d"
+  "bench_table3_examples"
+  "bench_table3_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_beta.dir/bench_table4_beta.cc.o"
+  "CMakeFiles/bench_table4_beta.dir/bench_table4_beta.cc.o.d"
+  "bench_table4_beta"
+  "bench_table4_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

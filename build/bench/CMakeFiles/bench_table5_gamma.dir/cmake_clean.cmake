@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_gamma.dir/bench_table5_gamma.cc.o"
+  "CMakeFiles/bench_table5_gamma.dir/bench_table5_gamma.cc.o.d"
+  "bench_table5_gamma"
+  "bench_table5_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

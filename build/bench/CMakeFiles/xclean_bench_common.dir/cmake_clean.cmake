@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xclean_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/xclean_bench_common.dir/bench_common.cc.o.d"
+  "libxclean_bench_common.a"
+  "libxclean_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xclean_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

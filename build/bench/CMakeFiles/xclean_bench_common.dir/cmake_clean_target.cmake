@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxclean_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bias_demo.dir/bias_demo.cpp.o"
+  "CMakeFiles/bias_demo.dir/bias_demo.cpp.o.d"
+  "bias_demo"
+  "bias_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bias_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xclean_cli.dir/xclean_cli.cpp.o"
+  "CMakeFiles/xclean_cli.dir/xclean_cli.cpp.o.d"
+  "xclean_cli"
+  "xclean_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xclean_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

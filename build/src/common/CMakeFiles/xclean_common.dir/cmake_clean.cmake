@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xclean_common.dir/random.cc.o"
+  "CMakeFiles/xclean_common.dir/random.cc.o.d"
+  "CMakeFiles/xclean_common.dir/status.cc.o"
+  "CMakeFiles/xclean_common.dir/status.cc.o.d"
+  "CMakeFiles/xclean_common.dir/string_util.cc.o"
+  "CMakeFiles/xclean_common.dir/string_util.cc.o.d"
+  "libxclean_common.a"
+  "libxclean_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xclean_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

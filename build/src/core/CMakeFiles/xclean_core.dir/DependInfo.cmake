@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accumulator.cc" "src/core/CMakeFiles/xclean_core.dir/accumulator.cc.o" "gcc" "src/core/CMakeFiles/xclean_core.dir/accumulator.cc.o.d"
+  "/root/repo/src/core/elca.cc" "src/core/CMakeFiles/xclean_core.dir/elca.cc.o" "gcc" "src/core/CMakeFiles/xclean_core.dir/elca.cc.o.d"
+  "/root/repo/src/core/log_correct.cc" "src/core/CMakeFiles/xclean_core.dir/log_correct.cc.o" "gcc" "src/core/CMakeFiles/xclean_core.dir/log_correct.cc.o.d"
+  "/root/repo/src/core/naive.cc" "src/core/CMakeFiles/xclean_core.dir/naive.cc.o" "gcc" "src/core/CMakeFiles/xclean_core.dir/naive.cc.o.d"
+  "/root/repo/src/core/prior.cc" "src/core/CMakeFiles/xclean_core.dir/prior.cc.o" "gcc" "src/core/CMakeFiles/xclean_core.dir/prior.cc.o.d"
+  "/root/repo/src/core/py08.cc" "src/core/CMakeFiles/xclean_core.dir/py08.cc.o" "gcc" "src/core/CMakeFiles/xclean_core.dir/py08.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/core/CMakeFiles/xclean_core.dir/query.cc.o" "gcc" "src/core/CMakeFiles/xclean_core.dir/query.cc.o.d"
+  "/root/repo/src/core/slca.cc" "src/core/CMakeFiles/xclean_core.dir/slca.cc.o" "gcc" "src/core/CMakeFiles/xclean_core.dir/slca.cc.o.d"
+  "/root/repo/src/core/space_edit.cc" "src/core/CMakeFiles/xclean_core.dir/space_edit.cc.o" "gcc" "src/core/CMakeFiles/xclean_core.dir/space_edit.cc.o.d"
+  "/root/repo/src/core/suggester.cc" "src/core/CMakeFiles/xclean_core.dir/suggester.cc.o" "gcc" "src/core/CMakeFiles/xclean_core.dir/suggester.cc.o.d"
+  "/root/repo/src/core/variant_gen.cc" "src/core/CMakeFiles/xclean_core.dir/variant_gen.cc.o" "gcc" "src/core/CMakeFiles/xclean_core.dir/variant_gen.cc.o.d"
+  "/root/repo/src/core/xclean.cc" "src/core/CMakeFiles/xclean_core.dir/xclean.cc.o" "gcc" "src/core/CMakeFiles/xclean_core.dir/xclean.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xclean_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xclean_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/xclean_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/xclean_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/lm/CMakeFiles/xclean_lm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

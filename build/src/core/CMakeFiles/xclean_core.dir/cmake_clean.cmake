@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xclean_core.dir/accumulator.cc.o"
+  "CMakeFiles/xclean_core.dir/accumulator.cc.o.d"
+  "CMakeFiles/xclean_core.dir/elca.cc.o"
+  "CMakeFiles/xclean_core.dir/elca.cc.o.d"
+  "CMakeFiles/xclean_core.dir/log_correct.cc.o"
+  "CMakeFiles/xclean_core.dir/log_correct.cc.o.d"
+  "CMakeFiles/xclean_core.dir/naive.cc.o"
+  "CMakeFiles/xclean_core.dir/naive.cc.o.d"
+  "CMakeFiles/xclean_core.dir/prior.cc.o"
+  "CMakeFiles/xclean_core.dir/prior.cc.o.d"
+  "CMakeFiles/xclean_core.dir/py08.cc.o"
+  "CMakeFiles/xclean_core.dir/py08.cc.o.d"
+  "CMakeFiles/xclean_core.dir/query.cc.o"
+  "CMakeFiles/xclean_core.dir/query.cc.o.d"
+  "CMakeFiles/xclean_core.dir/slca.cc.o"
+  "CMakeFiles/xclean_core.dir/slca.cc.o.d"
+  "CMakeFiles/xclean_core.dir/space_edit.cc.o"
+  "CMakeFiles/xclean_core.dir/space_edit.cc.o.d"
+  "CMakeFiles/xclean_core.dir/suggester.cc.o"
+  "CMakeFiles/xclean_core.dir/suggester.cc.o.d"
+  "CMakeFiles/xclean_core.dir/variant_gen.cc.o"
+  "CMakeFiles/xclean_core.dir/variant_gen.cc.o.d"
+  "CMakeFiles/xclean_core.dir/xclean.cc.o"
+  "CMakeFiles/xclean_core.dir/xclean.cc.o.d"
+  "libxclean_core.a"
+  "libxclean_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xclean_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

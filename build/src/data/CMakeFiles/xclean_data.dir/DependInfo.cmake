@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dblp_gen.cc" "src/data/CMakeFiles/xclean_data.dir/dblp_gen.cc.o" "gcc" "src/data/CMakeFiles/xclean_data.dir/dblp_gen.cc.o.d"
+  "/root/repo/src/data/inex_gen.cc" "src/data/CMakeFiles/xclean_data.dir/inex_gen.cc.o" "gcc" "src/data/CMakeFiles/xclean_data.dir/inex_gen.cc.o.d"
+  "/root/repo/src/data/misspell.cc" "src/data/CMakeFiles/xclean_data.dir/misspell.cc.o" "gcc" "src/data/CMakeFiles/xclean_data.dir/misspell.cc.o.d"
+  "/root/repo/src/data/wordlist.cc" "src/data/CMakeFiles/xclean_data.dir/wordlist.cc.o" "gcc" "src/data/CMakeFiles/xclean_data.dir/wordlist.cc.o.d"
+  "/root/repo/src/data/workload.cc" "src/data/CMakeFiles/xclean_data.dir/workload.cc.o" "gcc" "src/data/CMakeFiles/xclean_data.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xclean_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xclean_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/xclean_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/xclean_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xclean_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lm/CMakeFiles/xclean_lm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

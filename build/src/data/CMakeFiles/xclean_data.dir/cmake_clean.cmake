@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xclean_data.dir/dblp_gen.cc.o"
+  "CMakeFiles/xclean_data.dir/dblp_gen.cc.o.d"
+  "CMakeFiles/xclean_data.dir/inex_gen.cc.o"
+  "CMakeFiles/xclean_data.dir/inex_gen.cc.o.d"
+  "CMakeFiles/xclean_data.dir/misspell.cc.o"
+  "CMakeFiles/xclean_data.dir/misspell.cc.o.d"
+  "CMakeFiles/xclean_data.dir/wordlist.cc.o"
+  "CMakeFiles/xclean_data.dir/wordlist.cc.o.d"
+  "CMakeFiles/xclean_data.dir/workload.cc.o"
+  "CMakeFiles/xclean_data.dir/workload.cc.o.d"
+  "libxclean_data.a"
+  "libxclean_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xclean_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xclean_eval.dir/experiment.cc.o"
+  "CMakeFiles/xclean_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/xclean_eval.dir/metrics.cc.o"
+  "CMakeFiles/xclean_eval.dir/metrics.cc.o.d"
+  "libxclean_eval.a"
+  "libxclean_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xclean_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/index_io.cc" "src/index/CMakeFiles/xclean_index.dir/index_io.cc.o" "gcc" "src/index/CMakeFiles/xclean_index.dir/index_io.cc.o.d"
+  "/root/repo/src/index/merged_list.cc" "src/index/CMakeFiles/xclean_index.dir/merged_list.cc.o" "gcc" "src/index/CMakeFiles/xclean_index.dir/merged_list.cc.o.d"
+  "/root/repo/src/index/postings.cc" "src/index/CMakeFiles/xclean_index.dir/postings.cc.o" "gcc" "src/index/CMakeFiles/xclean_index.dir/postings.cc.o.d"
+  "/root/repo/src/index/vocabulary.cc" "src/index/CMakeFiles/xclean_index.dir/vocabulary.cc.o" "gcc" "src/index/CMakeFiles/xclean_index.dir/vocabulary.cc.o.d"
+  "/root/repo/src/index/xml_index.cc" "src/index/CMakeFiles/xclean_index.dir/xml_index.cc.o" "gcc" "src/index/CMakeFiles/xclean_index.dir/xml_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xclean_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xclean_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/xclean_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

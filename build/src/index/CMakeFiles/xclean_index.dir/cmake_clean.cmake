@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xclean_index.dir/index_io.cc.o"
+  "CMakeFiles/xclean_index.dir/index_io.cc.o.d"
+  "CMakeFiles/xclean_index.dir/merged_list.cc.o"
+  "CMakeFiles/xclean_index.dir/merged_list.cc.o.d"
+  "CMakeFiles/xclean_index.dir/postings.cc.o"
+  "CMakeFiles/xclean_index.dir/postings.cc.o.d"
+  "CMakeFiles/xclean_index.dir/vocabulary.cc.o"
+  "CMakeFiles/xclean_index.dir/vocabulary.cc.o.d"
+  "CMakeFiles/xclean_index.dir/xml_index.cc.o"
+  "CMakeFiles/xclean_index.dir/xml_index.cc.o.d"
+  "libxclean_index.a"
+  "libxclean_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xclean_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lm/error_model.cc" "src/lm/CMakeFiles/xclean_lm.dir/error_model.cc.o" "gcc" "src/lm/CMakeFiles/xclean_lm.dir/error_model.cc.o.d"
+  "/root/repo/src/lm/result_type.cc" "src/lm/CMakeFiles/xclean_lm.dir/result_type.cc.o" "gcc" "src/lm/CMakeFiles/xclean_lm.dir/result_type.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xclean_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/xclean_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/xclean_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xclean_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

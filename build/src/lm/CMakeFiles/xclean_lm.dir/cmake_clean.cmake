@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xclean_lm.dir/error_model.cc.o"
+  "CMakeFiles/xclean_lm.dir/error_model.cc.o.d"
+  "CMakeFiles/xclean_lm.dir/result_type.cc.o"
+  "CMakeFiles/xclean_lm.dir/result_type.cc.o.d"
+  "libxclean_lm.a"
+  "libxclean_lm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xclean_lm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

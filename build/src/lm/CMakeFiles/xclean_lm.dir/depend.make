@@ -1,0 +1,2 @@
+# Empty dependencies file for xclean_lm.
+# This may be replaced when dependencies are built.

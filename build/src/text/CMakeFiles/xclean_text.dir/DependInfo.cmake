@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/edit_distance.cc" "src/text/CMakeFiles/xclean_text.dir/edit_distance.cc.o" "gcc" "src/text/CMakeFiles/xclean_text.dir/edit_distance.cc.o.d"
+  "/root/repo/src/text/fastss.cc" "src/text/CMakeFiles/xclean_text.dir/fastss.cc.o" "gcc" "src/text/CMakeFiles/xclean_text.dir/fastss.cc.o.d"
+  "/root/repo/src/text/keyboard.cc" "src/text/CMakeFiles/xclean_text.dir/keyboard.cc.o" "gcc" "src/text/CMakeFiles/xclean_text.dir/keyboard.cc.o.d"
+  "/root/repo/src/text/soundex.cc" "src/text/CMakeFiles/xclean_text.dir/soundex.cc.o" "gcc" "src/text/CMakeFiles/xclean_text.dir/soundex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xclean_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

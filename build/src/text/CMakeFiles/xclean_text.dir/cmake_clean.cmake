@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xclean_text.dir/edit_distance.cc.o"
+  "CMakeFiles/xclean_text.dir/edit_distance.cc.o.d"
+  "CMakeFiles/xclean_text.dir/fastss.cc.o"
+  "CMakeFiles/xclean_text.dir/fastss.cc.o.d"
+  "CMakeFiles/xclean_text.dir/keyboard.cc.o"
+  "CMakeFiles/xclean_text.dir/keyboard.cc.o.d"
+  "CMakeFiles/xclean_text.dir/soundex.cc.o"
+  "CMakeFiles/xclean_text.dir/soundex.cc.o.d"
+  "libxclean_text.a"
+  "libxclean_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xclean_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xclean_xml.dir/dewey.cc.o"
+  "CMakeFiles/xclean_xml.dir/dewey.cc.o.d"
+  "CMakeFiles/xclean_xml.dir/parser.cc.o"
+  "CMakeFiles/xclean_xml.dir/parser.cc.o.d"
+  "CMakeFiles/xclean_xml.dir/tokenizer.cc.o"
+  "CMakeFiles/xclean_xml.dir/tokenizer.cc.o.d"
+  "CMakeFiles/xclean_xml.dir/tree.cc.o"
+  "CMakeFiles/xclean_xml.dir/tree.cc.o.d"
+  "CMakeFiles/xclean_xml.dir/writer.cc.o"
+  "CMakeFiles/xclean_xml.dir/writer.cc.o.d"
+  "libxclean_xml.a"
+  "libxclean_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xclean_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxclean_xml.a"
+)

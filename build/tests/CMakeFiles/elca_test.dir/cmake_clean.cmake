@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elca_test.dir/elca_test.cc.o"
+  "CMakeFiles/elca_test.dir/elca_test.cc.o.d"
+  "elca_test"
+  "elca_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastss_test.dir/fastss_test.cc.o"
+  "CMakeFiles/fastss_test.dir/fastss_test.cc.o.d"
+  "fastss_test"
+  "fastss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

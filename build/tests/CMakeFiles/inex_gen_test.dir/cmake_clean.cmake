@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inex_gen_test.dir/inex_gen_test.cc.o"
+  "CMakeFiles/inex_gen_test.dir/inex_gen_test.cc.o.d"
+  "inex_gen_test"
+  "inex_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inex_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyboard_test.dir/keyboard_test.cc.o"
+  "CMakeFiles/keyboard_test.dir/keyboard_test.cc.o.d"
+  "keyboard_test"
+  "keyboard_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyboard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/language_model_test.dir/language_model_test.cc.o"
+  "CMakeFiles/language_model_test.dir/language_model_test.cc.o.d"
+  "language_model_test"
+  "language_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/language_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_correct_test.dir/log_correct_test.cc.o"
+  "CMakeFiles/log_correct_test.dir/log_correct_test.cc.o.d"
+  "log_correct_test"
+  "log_correct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_correct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merged_list_test.dir/merged_list_test.cc.o"
+  "CMakeFiles/merged_list_test.dir/merged_list_test.cc.o.d"
+  "merged_list_test"
+  "merged_list_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merged_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

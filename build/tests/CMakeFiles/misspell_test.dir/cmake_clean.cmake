@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misspell_test.dir/misspell_test.cc.o"
+  "CMakeFiles/misspell_test.dir/misspell_test.cc.o.d"
+  "misspell_test"
+  "misspell_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misspell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/py08_test.dir/py08_test.cc.o"
+  "CMakeFiles/py08_test.dir/py08_test.cc.o.d"
+  "py08_test"
+  "py08_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/py08_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

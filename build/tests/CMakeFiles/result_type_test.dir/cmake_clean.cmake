@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/result_type_test.dir/result_type_test.cc.o"
+  "CMakeFiles/result_type_test.dir/result_type_test.cc.o.d"
+  "result_type_test"
+  "result_type_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/result_type_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/slca_test.cc" "tests/CMakeFiles/slca_test.dir/slca_test.cc.o" "gcc" "tests/CMakeFiles/slca_test.dir/slca_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/xclean_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/xclean_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xclean_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lm/CMakeFiles/xclean_lm.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/xclean_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/xclean_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xclean_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xclean_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

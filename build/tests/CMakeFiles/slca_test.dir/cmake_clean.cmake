@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slca_test.dir/slca_test.cc.o"
+  "CMakeFiles/slca_test.dir/slca_test.cc.o.d"
+  "slca_test"
+  "slca_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

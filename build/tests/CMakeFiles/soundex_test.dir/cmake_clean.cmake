@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soundex_test.dir/soundex_test.cc.o"
+  "CMakeFiles/soundex_test.dir/soundex_test.cc.o.d"
+  "soundex_test"
+  "soundex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soundex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_edit_test.dir/space_edit_test.cc.o"
+  "CMakeFiles/space_edit_test.dir/space_edit_test.cc.o.d"
+  "space_edit_test"
+  "space_edit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_edit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

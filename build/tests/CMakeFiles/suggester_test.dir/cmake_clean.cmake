@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suggester_test.dir/suggester_test.cc.o"
+  "CMakeFiles/suggester_test.dir/suggester_test.cc.o.d"
+  "suggester_test"
+  "suggester_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suggester_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

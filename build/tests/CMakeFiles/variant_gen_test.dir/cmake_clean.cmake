@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variant_gen_test.dir/variant_gen_test.cc.o"
+  "CMakeFiles/variant_gen_test.dir/variant_gen_test.cc.o.d"
+  "variant_gen_test"
+  "variant_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variant_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordlist_test.dir/wordlist_test.cc.o"
+  "CMakeFiles/wordlist_test.dir/wordlist_test.cc.o.d"
+  "wordlist_test"
+  "wordlist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/writer_test.dir/writer_test.cc.o"
+  "CMakeFiles/writer_test.dir/writer_test.cc.o.d"
+  "writer_test"
+  "writer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xclean_equivalence_test.dir/xclean_equivalence_test.cc.o"
+  "CMakeFiles/xclean_equivalence_test.dir/xclean_equivalence_test.cc.o.d"
+  "xclean_equivalence_test"
+  "xclean_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xclean_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

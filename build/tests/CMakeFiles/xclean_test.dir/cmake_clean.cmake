@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xclean_test.dir/xclean_test.cc.o"
+  "CMakeFiles/xclean_test.dir/xclean_test.cc.o.d"
+  "xclean_test"
+  "xclean_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xclean_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
