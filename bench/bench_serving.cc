@@ -1,0 +1,231 @@
+// Closed-loop throughput benchmark for the concurrent serving engine
+// (serve/engine.h): 1/2/4/8 threads, with and without the suggestion
+// cache, in two driving modes.
+//
+//   inline: T client threads call ServingEngine::Suggest() synchronously —
+//           each thread issues its next query the moment the previous one
+//           completes (classic closed loop). Measures raw concurrent
+//           serving scalability over the shared immutable snapshot.
+//   pool:   T worker threads; T closed-loop clients go through the bounded
+//           queue via SubmitSuggest and wait for their callback. Adds the
+//           queue/dispatch overhead to every request.
+//
+// The headline number is the warm-cache inline speedup at 4 threads vs 1.
+//
+//   $ ./bench_serving            # full scale (~20k publications)
+//   $ XCLEAN_BENCH_SMALL=1 ./bench_serving
+//
+// Closed-loop means throughput is T / mean-latency; an engine that
+// serializes anywhere (a hot lock, a serial cache) shows up immediately as
+// a flat speedup column.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/suggester.h"
+#include "data/dblp_gen.h"
+#include "data/workload.h"
+#include "serve/engine.h"
+
+namespace xclean::serve {
+namespace {
+
+struct RunResult {
+  double qps = 0.0;
+  double hit_rate = 0.0;
+  MetricsSnapshot metrics;
+};
+
+std::vector<std::string> MakeQueries(const XCleanSuggester& suggester,
+                                     uint32_t count, uint64_t seed) {
+  WorkloadOptions options;
+  options.num_queries = count;
+  options.seed = seed;
+  std::vector<Query> initial =
+      SampleInitialQueries(suggester.index(), options);
+  Rng rng(seed);
+  std::vector<std::string> out;
+  out.reserve(initial.size());
+  for (const Query& q : initial) {
+    out.push_back(PerturbRand(q, suggester.index(), options, rng).ToString());
+  }
+  return out;
+}
+
+EngineOptions MakeEngineOptions(size_t pool_threads, bool cache_on) {
+  EngineOptions options;
+  options.pool.num_threads = pool_threads;
+  options.pool.queue_capacity = 16384;
+  options.cache.capacity = cache_on ? 16384 : 0;
+  return options;
+}
+
+void WarmCache(ServingEngine& engine,
+               const std::vector<std::string>& queries) {
+  for (const std::string& q : queries) engine.Suggest(q);
+}
+
+/// T client threads in a closed loop on the synchronous entry point.
+RunResult RunInline(const std::shared_ptr<const XCleanSuggester>& suggester,
+                    const std::vector<std::string>& queries, size_t threads,
+                    bool cache_on, double seconds) {
+  ServingEngine engine(suggester, MakeEngineOptions(1, cache_on));
+  if (cache_on) WarmCache(engine, queries);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ops{0};
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  Stopwatch watch;
+  for (size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      uint64_t local = 0;
+      for (size_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        engine.Suggest(queries[(t * 31 + i) % queries.size()]);
+        ++local;
+      }
+      ops.fetch_add(local);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& c : clients) c.join();
+  double elapsed = watch.ElapsedSeconds();
+
+  RunResult r;
+  r.metrics = engine.Metrics();
+  r.qps = static_cast<double>(ops.load()) / elapsed;
+  uint64_t looked_up = r.metrics.cache_hits + r.metrics.cache_misses;
+  r.hit_rate = looked_up == 0 ? 0.0
+                              : static_cast<double>(r.metrics.cache_hits) /
+                                    static_cast<double>(looked_up);
+  return r;
+}
+
+/// T workers behind the bounded queue; T closed-loop clients each submit
+/// one request and spin-wait for its callback.
+RunResult RunPool(const std::shared_ptr<const XCleanSuggester>& suggester,
+                  const std::vector<std::string>& queries, size_t threads,
+                  bool cache_on, double seconds) {
+  ServingEngine engine(suggester, MakeEngineOptions(threads, cache_on));
+  if (cache_on) WarmCache(engine, queries);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ops{0};
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  Stopwatch watch;
+  for (size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      uint64_t local = 0;
+      for (size_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        std::atomic<bool> ready{false};
+        Status s = engine.SubmitSuggest(
+            queries[(t * 31 + i) % queries.size()], [&ready](ServeResult) {
+              ready.store(true, std::memory_order_release);
+            });
+        if (!s.ok()) {
+          std::this_thread::yield();  // backpressure: retry
+          continue;
+        }
+        while (!ready.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        ++local;
+      }
+      ops.fetch_add(local);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& c : clients) c.join();
+  double elapsed = watch.ElapsedSeconds();
+  engine.Shutdown();
+
+  RunResult r;
+  r.metrics = engine.Metrics();
+  r.qps = static_cast<double>(ops.load()) / elapsed;
+  uint64_t looked_up = r.metrics.cache_hits + r.metrics.cache_misses;
+  r.hit_rate = looked_up == 0 ? 0.0
+                              : static_cast<double>(r.metrics.cache_hits) /
+                                    static_cast<double>(looked_up);
+  return r;
+}
+
+void PrintRow(const char* mode, size_t threads, bool cache_on,
+              const RunResult& r, double baseline_qps) {
+  std::printf("%-6s %7zu  %-5s %12.0f %8.2fx %7.0f%% %8.3f %8.3f %8.3f\n",
+              mode, threads, cache_on ? "warm" : "off", r.qps,
+              baseline_qps > 0 ? r.qps / baseline_qps : 1.0,
+              r.hit_rate * 100.0, r.metrics.latency_p50_ms,
+              r.metrics.latency_p95_ms, r.metrics.latency_p99_ms);
+}
+
+}  // namespace
+}  // namespace xclean::serve
+
+int main() {
+  using namespace xclean;
+  using namespace xclean::serve;
+
+  bool small = std::getenv("XCLEAN_BENCH_SMALL") != nullptr;
+  DblpGenOptions gen;
+  gen.num_publications = small ? 3000 : 20000;
+  double seconds = small ? 0.5 : 1.5;
+
+  unsigned cores = std::thread::hardware_concurrency();
+  std::printf("hardware concurrency: %u core(s)\n", cores);
+
+  std::printf("building DBLP-like corpus (%u publications)...\n",
+              gen.num_publications);
+  Stopwatch build_watch;
+  auto suggester = std::make_shared<const XCleanSuggester>(
+      XCleanSuggester::FromTree(GenerateDblp(gen)));
+  std::vector<std::string> queries = MakeQueries(*suggester, 256, 20110411);
+  std::printf("built in %.1fs; %zu distinct misspelled queries\n\n",
+              build_watch.ElapsedSeconds(), queries.size());
+
+  std::printf("%-6s %7s  %-5s %12s %9s %8s %8s %8s %8s\n", "mode", "threads",
+              "cache", "qps", "speedup", "hit", "p50ms", "p95ms", "p99ms");
+
+  const size_t kThreadCounts[] = {1, 2, 4, 8};
+  double warm_speedup_at_4 = 0.0;
+  for (bool cache_on : {false, true}) {
+    double inline_base = 0.0;
+    for (size_t threads : kThreadCounts) {
+      RunResult r = RunInline(suggester, queries, threads, cache_on, seconds);
+      if (threads == 1) inline_base = r.qps;
+      if (cache_on && threads == 4 && inline_base > 0.0) {
+        warm_speedup_at_4 = r.qps / inline_base;
+      }
+      PrintRow("inline", threads, cache_on, r, inline_base);
+    }
+    double pool_base = 0.0;
+    for (size_t threads : kThreadCounts) {
+      RunResult r = RunPool(suggester, queries, threads, cache_on, seconds);
+      if (threads == 1) pool_base = r.qps;
+      PrintRow("pool", threads, cache_on, r, pool_base);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("warm-cache inline speedup at 4 threads: %.2fx %s\n",
+              warm_speedup_at_4, warm_speedup_at_4 >= 3.0 ? "(>=3x ok)" : "");
+  if (cores < 4) {
+    std::printf(
+        "note: this machine has %u core(s); closed-loop speedup is bounded "
+        "by min(threads, cores), so parallel scaling cannot show here. The "
+        "engine has no serial section on the hit path (sharded cache locks, "
+        "lock-free metrics, read-only shared snapshot).\n",
+        cores);
+  }
+  return 0;
+}

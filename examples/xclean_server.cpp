@@ -1,0 +1,164 @@
+// Serving-engine demo: stands up the in-process concurrent engine over a
+// generated DBLP-like corpus, replays a misspelled-query workload through
+// the bounded queue from several client threads, hot-swaps the index
+// mid-run, and prints throughput plus the metrics dump.
+//
+//   $ ./xclean_server [publications] [clients] [seconds]
+//   $ ./xclean_server 20000 4 3
+//
+// This is the in-process shape of a spelling-suggestion service: one
+// immutable index snapshot shared by all workers, an LRU cache in front of
+// Algorithm 1, and backpressure instead of unbounded queueing.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/suggester.h"
+#include "data/dblp_gen.h"
+#include "data/workload.h"
+#include "serve/engine.h"
+
+namespace {
+
+using xclean::Query;
+using xclean::Rng;
+using xclean::Stopwatch;
+using xclean::XCleanSuggester;
+
+std::shared_ptr<const XCleanSuggester> BuildCorpus(uint32_t publications,
+                                                   uint64_t seed) {
+  xclean::DblpGenOptions gen;
+  gen.num_publications = publications;
+  gen.seed = seed;
+  return std::make_shared<const XCleanSuggester>(
+      XCleanSuggester::FromTree(xclean::GenerateDblp(gen)));
+}
+
+std::vector<std::string> BuildWorkload(const XCleanSuggester& suggester,
+                                       uint32_t count) {
+  xclean::WorkloadOptions options;
+  options.num_queries = count;
+  std::vector<Query> initial =
+      xclean::SampleInitialQueries(suggester.index(), options);
+  Rng rng(options.seed);
+  std::vector<std::string> queries;
+  queries.reserve(initial.size());
+  for (const Query& q : initial) {
+    queries.push_back(
+        xclean::PerturbRand(q, suggester.index(), options, rng).ToString());
+  }
+  return queries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long publications = argc > 1 ? std::atol(argv[1]) : 20000;
+  long clients = argc > 2 ? std::atol(argv[2]) : 4;
+  double seconds = argc > 3 ? std::atof(argv[3]) : 3.0;
+  if (publications < 100 || clients < 1 || clients > 256 ||
+      seconds <= 0.0) {
+    std::fprintf(stderr,
+                 "usage: %s [publications >= 100] [clients 1..256] "
+                 "[seconds > 0]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  uint32_t num_pubs = static_cast<uint32_t>(publications);
+  size_t num_clients = static_cast<size_t>(clients);
+
+  std::printf("[build] generating + indexing %u publications...\n", num_pubs);
+  Stopwatch build_watch;
+  std::shared_ptr<const XCleanSuggester> index = BuildCorpus(num_pubs, 42);
+  std::vector<std::string> queries = BuildWorkload(*index, 200);
+  std::printf("[build] done in %.1fs (%zu misspelled queries)\n",
+              build_watch.ElapsedSeconds(), queries.size());
+
+  xclean::serve::EngineOptions options;
+  options.pool.num_threads = num_clients;
+  options.pool.queue_capacity = 4096;
+  options.cache.capacity = 8192;
+  options.default_deadline = std::chrono::milliseconds(250);
+  xclean::serve::ServingEngine engine(index, options);
+
+  std::printf("[serve] %zu workers, queue=%zu, cache=%zu, deadline=250ms\n",
+              engine.num_threads(), options.pool.queue_capacity,
+              options.cache.capacity);
+
+  // Show a few suggestions up front so the output is self-explanatory.
+  for (size_t i = 0; i < queries.size() && i < 3; ++i) {
+    xclean::serve::ServeResult r = engine.Suggest(queries[i]);
+    std::printf("[demo]  \"%s\" ->", queries[i].c_str());
+    for (size_t j = 0; j < r.suggestions.size() && j < 2; ++j) {
+      std::printf("  %s", r.suggestions[j].ToString().c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Closed-loop clients driving the engine through the bounded queue.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> served{0};
+  std::atomic<uint64_t> shed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(num_clients);
+  Stopwatch run_watch;
+  for (size_t t = 0; t < num_clients; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        std::atomic<bool> ready{false};
+        xclean::Status s = engine.SubmitSuggest(
+            queries[(t * 131 + i) % queries.size()],
+            [&ready, &served, &shed](xclean::serve::ServeResult r) {
+              if (r.status.ok()) {
+                served.fetch_add(1, std::memory_order_relaxed);
+              } else {
+                shed.fetch_add(1, std::memory_order_relaxed);
+              }
+              ready.store(true, std::memory_order_release);
+            });
+        if (!s.ok()) {  // queue full: back off
+          std::this_thread::yield();
+          continue;
+        }
+        while (!ready.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  // Mid-run, rebuild the corpus (fresh seed — "yesterday's crawl") and
+  // hot-swap it in; in-flight queries finish on the old snapshot.
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(seconds * 0.5));
+  std::printf("[swap]  rebuilding index...\n");
+  std::shared_ptr<const XCleanSuggester> rebuilt =
+      BuildCorpus(num_pubs, 43);
+  engine.SwapIndex(rebuilt);
+  std::printf("[swap]  snapshot v%llu live (old snapshot drains)\n",
+              static_cast<unsigned long long>(engine.snapshot_version()));
+
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(seconds * 0.5));
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  engine.Shutdown();
+  double elapsed = run_watch.ElapsedSeconds();
+
+  xclean::serve::MetricsSnapshot m = engine.Metrics();
+  std::printf("[done]  %.0f qps over %.1fs (%llu served, %llu shed)\n",
+              static_cast<double>(served.load()) / elapsed, elapsed,
+              static_cast<unsigned long long>(served.load()),
+              static_cast<unsigned long long>(shed.load()));
+  std::printf("[stats] %s\n", m.ToString().c_str());
+  return 0;
+}

@@ -18,6 +18,10 @@ enum class StatusCode {
   kOutOfRange,
   kParseError,
   kInternal,
+  /// Transient overload: the caller may retry (serving-engine backpressure).
+  kUnavailable,
+  /// The request's deadline expired before it could be served.
+  kDeadlineExceeded,
 };
 
 /// Lightweight status object. The library does not use exceptions; any
@@ -53,6 +57,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,11 +3,28 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <type_traits>
 
 #include "core/space_edit.h"
 #include "xml/parser.h"
 
 namespace xclean {
+
+// Concurrency contract (relied on by serve/engine.h): a suggester is shared
+// across server threads behind a shared_ptr<const XCleanSuggester>, never
+// copied, and queried only through the const Suggest() overloads.
+static_assert(!std::is_copy_constructible_v<XCleanSuggester> &&
+                  !std::is_copy_assignable_v<XCleanSuggester>,
+              "XCleanSuggester must not be copyable; share one instance");
+static_assert(std::is_nothrow_move_constructible_v<XCleanSuggester>,
+              "XCleanSuggester factories return by value");
+// Fails to compile if either Suggest() overload loses its const qualifier.
+[[maybe_unused]] constexpr auto kConstRawSuggest =
+    static_cast<std::vector<Suggestion> (XCleanSuggester::*)(std::string_view)
+                    const>(&XCleanSuggester::Suggest);
+[[maybe_unused]] constexpr auto kConstQuerySuggest =
+    static_cast<std::vector<Suggestion> (XCleanSuggester::*)(const Query&)
+                    const>(&XCleanSuggester::Suggest);
 
 XCleanSuggester::XCleanSuggester(std::unique_ptr<XmlIndex> index,
                                  SuggesterOptions options)
@@ -42,12 +59,17 @@ XCleanSuggester XCleanSuggester::FromTree(XmlTree tree,
                          options);
 }
 
-std::vector<Suggestion> XCleanSuggester::Suggest(std::string_view query_text) {
+std::vector<Suggestion> XCleanSuggester::Suggest(
+    std::string_view query_text) const {
   return Suggest(ParseQuery(query_text, index_->tokenizer()));
 }
 
-std::vector<Suggestion> XCleanSuggester::Suggest(const Query& query) {
-  if (options_.space_tau == 0) return algorithm_->Suggest(query);
+std::vector<Suggestion> XCleanSuggester::Suggest(const Query& query) const {
+  // Route through the stateless const entry point (no last_run_stats()
+  // recording) so a shared suggester is safe under concurrent callers.
+  if (options_.space_tau == 0) {
+    return algorithm_->SuggestWithStats(query, nullptr);
+  }
 
   // Space-error extension: clean every admissible re-segmentation, penalize
   // by the number of space changes, and merge (deduplicating by suggestion
@@ -61,7 +83,7 @@ std::vector<Suggestion> XCleanSuggester::Suggest(const Query& query) {
   for (const SpaceEdit& form : forms) {
     double penalty =
         std::exp(-options_.space_penalty_beta * form.changes);
-    for (Suggestion& s : algorithm_->Suggest(form.query)) {
+    for (Suggestion& s : algorithm_->SuggestWithStats(form.query, nullptr)) {
       s.score *= penalty;
       s.error_weight *= penalty;
       if (seen.insert(s.words).second) merged.push_back(std::move(s));

@@ -51,19 +51,34 @@ class XCleanSuggester {
                                   SuggesterOptions options = SuggesterOptions(),
                                   IndexOptions index_options = IndexOptions());
 
+  /// Movable (so factories can return by value) but not copyable: the
+  /// suggester owns the index, and concurrent users share one instance
+  /// behind a shared_ptr instead of copying it.
   XCleanSuggester(XCleanSuggester&&) noexcept = default;
   XCleanSuggester& operator=(XCleanSuggester&&) noexcept = default;
+  XCleanSuggester(const XCleanSuggester&) = delete;
+  XCleanSuggester& operator=(const XCleanSuggester&) = delete;
 
   /// Top-k suggestions for a raw query string. With space_tau > 0, all
   /// re-segmentations within the budget are cleaned and their suggestion
   /// lists merged under the space penalty.
-  std::vector<Suggestion> Suggest(std::string_view query_text);
+  ///
+  /// Thread safety: const and touches no mutable state — the index is
+  /// immutable after Build and the algorithm runs entirely on the stack
+  /// (XClean::SuggestWithStats), so any number of threads may call
+  /// Suggest() on one shared instance concurrently. This is the contract
+  /// the serving engine (serve/engine.h) relies on.
+  std::vector<Suggestion> Suggest(std::string_view query_text) const;
 
-  /// Structured entry point.
-  std::vector<Suggestion> Suggest(const Query& query);
+  /// Structured entry point; same thread-safety contract.
+  std::vector<Suggestion> Suggest(const Query& query) const;
 
   const XmlIndex& index() const { return *index_; }
-  XClean& algorithm() { return *algorithm_; }
+  const XClean& algorithm() const { return *algorithm_; }
+  /// Mutable access for the single-threaded experiment harness (needed for
+  /// the stats-recording QueryCleaner::Suggest path); never use this on an
+  /// instance shared across threads.
+  XClean& mutable_algorithm() { return *algorithm_; }
   const SuggesterOptions& options() const { return options_; }
 
  private:

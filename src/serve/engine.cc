@@ -1,0 +1,157 @@
+#include "serve/engine.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+
+namespace xclean::serve {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+constexpr SteadyClock::time_point kNoDeadline = SteadyClock::time_point::max();
+
+}  // namespace
+
+std::string OptionsFingerprint(const SuggesterOptions& options) {
+  const XCleanOptions& x = options.xclean;
+  char buf[192];
+  // entity_prior is a std::function and cannot be fingerprinted by value;
+  // it is pinned per snapshot (options are immutable once a suggester is
+  // built), and the snapshot version in the cache-key prefix disambiguates
+  // across swaps, so flagging its presence suffices.
+  std::snprintf(buf, sizeof(buf),
+                "ed%u,b%.6g,mu%.6g,r%.6g,d%u,k%zu,g%zu,s%d,sx%d,pr%d,"
+                "st%u,sb%.6g",
+                x.max_ed, x.beta, x.mu, x.reduction, x.min_depth, x.top_k,
+                x.gamma, static_cast<int>(x.semantics),
+                x.include_soundex ? 1 : 0, x.entity_prior ? 1 : 0,
+                options.space_tau, options.space_penalty_beta);
+  return buf;
+}
+
+ServingEngine::ServingEngine(std::shared_ptr<const XCleanSuggester> suggester,
+                             EngineOptions options)
+    : options_(options),
+      snapshot_(MakeSnapshot(std::move(suggester), 1)),
+      cache_(options.cache),
+      pool_(options.pool) {
+  XCLEAN_CHECK(snapshot_->suggester != nullptr);
+}
+
+ServingEngine::~ServingEngine() { Shutdown(); }
+
+std::shared_ptr<const ServingEngine::Snapshot> ServingEngine::MakeSnapshot(
+    std::shared_ptr<const XCleanSuggester> suggester, uint64_t version) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->version = version;
+  snap->key_prefix = "v" + std::to_string(version) + "|" +
+                     OptionsFingerprint(suggester->options()) + "|";
+  snap->suggester = std::move(suggester);
+  return snap;
+}
+
+Status ServingEngine::SubmitSuggest(std::string query_text,
+                                    ServeCallback done) {
+  SteadyClock::time_point deadline = kNoDeadline;
+  if (options_.default_deadline.count() > 0) {
+    deadline = SteadyClock::now() + options_.default_deadline;
+  }
+  return SubmitSuggest(std::move(query_text), deadline, std::move(done));
+}
+
+Status ServingEngine::SubmitSuggest(std::string query_text,
+                                    SteadyClock::time_point deadline,
+                                    ServeCallback done) {
+  SteadyClock::time_point enqueued = SteadyClock::now();
+  Status submitted = pool_.TrySubmit(
+      [this, query_text = std::move(query_text), enqueued, deadline,
+       done = std::move(done)] {
+        ServeResult result = Execute(query_text, enqueued, deadline);
+        if (done) done(std::move(result));
+      });
+  if (submitted.ok()) {
+    metrics_.IncrRequests();
+  } else {
+    metrics_.IncrRejected();
+  }
+  return submitted;
+}
+
+ServeResult ServingEngine::Suggest(const std::string& query_text) {
+  metrics_.IncrRequests();
+  SteadyClock::time_point now = SteadyClock::now();
+  SteadyClock::time_point deadline = kNoDeadline;
+  if (options_.default_deadline.count() > 0) {
+    deadline = now + options_.default_deadline;
+  }
+  return Execute(query_text, now, deadline);
+}
+
+ServeResult ServingEngine::Execute(const std::string& query_text,
+                                   SteadyClock::time_point enqueue_time,
+                                   SteadyClock::time_point deadline) {
+  ServeResult result;
+  // Deadline is checked when a worker picks the request up: a request that
+  // sat in the queue past its deadline is answered without paying for
+  // candidate generation — under overload this sheds exactly the work
+  // whose answer nobody is waiting for anymore.
+  if (SteadyClock::now() >= deadline) {
+    metrics_.IncrDeadlineExceeded();
+    result.status = Status::DeadlineExceeded("expired in queue");
+    result.latency_ms = std::chrono::duration<double, std::milli>(
+                            SteadyClock::now() - enqueue_time)
+                            .count();
+    return result;
+  }
+
+  // Pin the snapshot for the whole request: a concurrent SwapIndex cannot
+  // free it (shared_ptr) and cannot change what this request reads.
+  std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
+  result.snapshot_version = snap->version;
+
+  Query query =
+      ParseQuery(query_text, snap->suggester->index().tokenizer());
+  std::string key = snap->key_prefix + query.ToString();
+
+  if (cache_.Get(key, &result.suggestions)) {
+    result.cache_hit = true;
+  } else {
+    result.suggestions = snap->suggester->Suggest(query);
+    cache_.Put(key, result.suggestions);
+  }
+
+  auto elapsed = SteadyClock::now() - enqueue_time;
+  result.latency_ms =
+      std::chrono::duration<double, std::milli>(elapsed).count();
+  metrics_.RecordLatencyMicros(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+          .count()));
+  metrics_.IncrCompleted();
+  return result;
+}
+
+void ServingEngine::SwapIndex(std::shared_ptr<const XCleanSuggester> next) {
+  uint64_t version = version_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::shared_ptr<const Snapshot> snap = MakeSnapshot(std::move(next), version);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_.swap(snap);
+  }
+  // `snap` now holds the old snapshot; if this was its last reference it
+  // is destroyed here, outside the lock, not under it.
+  metrics_.IncrSwaps();
+}
+
+std::shared_ptr<const XCleanSuggester> ServingEngine::snapshot() const {
+  return CurrentSnapshot()->suggester;
+}
+
+MetricsSnapshot ServingEngine::Metrics() const {
+  SuggestionCache::Stats cs = cache_.stats();
+  return metrics_.Snapshot(cs.hits, cs.misses, cs.evictions);
+}
+
+}  // namespace xclean::serve

@@ -1,0 +1,164 @@
+#ifndef XCLEAN_SERVE_ENGINE_H_
+#define XCLEAN_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/suggester.h"
+#include "serve/metrics.h"
+#include "serve/suggestion_cache.h"
+#include "serve/thread_pool.h"
+
+namespace xclean::serve {
+
+struct EngineOptions {
+  /// Worker pool sizing and queue bound (backpressure knob).
+  ThreadPoolOptions pool;
+  /// Suggestion cache sizing; set `cache.capacity = 0` to serve uncached.
+  CacheOptions cache;
+  /// Deadline applied to requests submitted without an explicit one;
+  /// zero means "no deadline".
+  std::chrono::milliseconds default_deadline{0};
+};
+
+/// Outcome of one served request.
+struct ServeResult {
+  Status status;
+  std::vector<Suggestion> suggestions;
+  /// True when the list came out of the suggestion cache.
+  bool cache_hit = false;
+  /// Queue wait + compute time, as observed by the engine.
+  double latency_ms = 0.0;
+  /// Version of the index snapshot that served the request.
+  uint64_t snapshot_version = 0;
+};
+
+using ServeCallback = std::function<void(ServeResult)>;
+
+/// In-process concurrent query-serving engine over an immutable
+/// XCleanSuggester snapshot:
+///
+///   - a fixed-size thread pool with a *bounded* queue: when the queue is
+///     full, SubmitSuggest returns Unavailable immediately (backpressure)
+///     instead of blocking the caller;
+///   - per-request deadlines, checked when a worker picks the request up
+///     (an expired request is answered DeadlineExceeded without paying for
+///     candidate generation);
+///   - a sharded LRU suggestion cache keyed on the normalized query, the
+///     suggester's options fingerprint and the snapshot version — so a
+///     hot-swap can never serve stale suggestions;
+///   - atomically hot-swappable index snapshots: SwapIndex installs a new
+///     suggester while in-flight requests finish on the snapshot they
+///     started with (shared_ptr keeps it alive);
+///   - a metrics registry (counters + latency histogram with p50/p95/p99).
+///
+/// Usage:
+///   auto engine = ServingEngine(std::make_shared<const XCleanSuggester>(
+///       std::move(suggester)));
+///   engine.SubmitSuggest("tree icdt", [](serve::ServeResult r) { ... });
+///   ...
+///   engine.SwapIndex(rebuilt);          // readers migrate atomically
+///   puts(engine.Metrics().ToString().c_str());
+class ServingEngine {
+ public:
+  ServingEngine(std::shared_ptr<const XCleanSuggester> suggester,
+                EngineOptions options = EngineOptions());
+
+  /// Drains queued requests, then joins the workers.
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Asynchronous entry point: enqueue `query_text` and invoke `done`
+  /// (on a worker thread) with the outcome. Returns immediately:
+  /// Ok when accepted, Unavailable when the queue is full (the callback
+  /// is then never invoked). The request inherits
+  /// EngineOptions::default_deadline.
+  Status SubmitSuggest(std::string query_text, ServeCallback done);
+
+  /// Same, with an explicit absolute deadline (steady clock).
+  Status SubmitSuggest(std::string query_text,
+                       std::chrono::steady_clock::time_point deadline,
+                       ServeCallback done);
+
+  /// Synchronous convenience: serves on the calling thread through the
+  /// same cache/metrics path (no queue, so never rejected). Safe to call
+  /// from any number of threads.
+  ServeResult Suggest(const std::string& query_text);
+
+  /// Installs `next` as the serving snapshot. In-flight and queued
+  /// requests that already grabbed the old snapshot complete against it;
+  /// requests picked up afterwards see `next`. Old cache entries die with
+  /// their version key (they stop being hit and age out via LRU).
+  void SwapIndex(std::shared_ptr<const XCleanSuggester> next);
+
+  /// The current snapshot (never null). Callers may hold it for direct,
+  /// engine-free reads; it stays valid across swaps.
+  std::shared_ptr<const XCleanSuggester> snapshot() const;
+  uint64_t snapshot_version() const {
+    return version_.load(std::memory_order_relaxed);
+  }
+
+  /// Counters + latency quantiles, with cache stats folded in.
+  MetricsSnapshot Metrics() const;
+  SuggestionCache::Stats CacheStats() const { return cache_.stats(); }
+
+  /// Stops accepting work and drains the queue. Called by the destructor.
+  void Shutdown() { pool_.Shutdown(); }
+
+  size_t num_threads() const { return pool_.num_threads(); }
+  size_t queue_depth() const { return pool_.queue_depth(); }
+
+ private:
+  /// The unit swapped atomically: the suggester plus everything derived
+  /// from it that must stay consistent with it (version, cache-key prefix).
+  struct Snapshot {
+    std::shared_ptr<const XCleanSuggester> suggester;
+    uint64_t version = 0;
+    /// "v<version>|<options fingerprint>|" — prepended to the normalized
+    /// query to form the cache key.
+    std::string key_prefix;
+  };
+
+  /// Pins the live snapshot. The lock covers only a shared_ptr copy (two
+  /// refcount ops, ~tens of ns); snapshot construction and index builds
+  /// always happen outside it. A mutex-guarded pointer instead of
+  /// std::atomic<std::shared_ptr> because libstdc++-12's _Sp_atomic
+  /// lock-bit protocol is invisible to ThreadSanitizer (false-positive
+  /// races), and the TSan-clean stress test is a hard requirement.
+  std::shared_ptr<const Snapshot> CurrentSnapshot() const {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    return snapshot_;
+  }
+
+  /// The request path shared by sync and async serving.
+  ServeResult Execute(const std::string& query_text,
+                      std::chrono::steady_clock::time_point enqueue_time,
+                      std::chrono::steady_clock::time_point deadline);
+
+  static std::shared_ptr<const Snapshot> MakeSnapshot(
+      std::shared_ptr<const XCleanSuggester> suggester, uint64_t version);
+
+  EngineOptions options_;
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const Snapshot> snapshot_;  ///< guarded by snapshot_mu_
+  std::atomic<uint64_t> version_{1};
+  SuggestionCache cache_;
+  MetricsRegistry metrics_;
+  ThreadPool pool_;  ///< last member: workers die before the rest
+};
+
+/// Stable fingerprint of every option that changes Suggest() output, used
+/// in cache keys; exposed for tests.
+std::string OptionsFingerprint(const SuggesterOptions& options);
+
+}  // namespace xclean::serve
+
+#endif  // XCLEAN_SERVE_ENGINE_H_

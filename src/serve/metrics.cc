@@ -1,0 +1,92 @@
+#include "serve/metrics.h"
+
+#include <cstdio>
+
+namespace xclean::serve {
+
+double LatencyHistogram::MeanMillis() const {
+  uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  uint64_t sum = sum_micros_.load(std::memory_order_relaxed);
+  return static_cast<double>(sum) / static_cast<double>(n) / 1e3;
+}
+
+double LatencyHistogram::QuantileMillis(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Read a racy copy of the buckets; sum first so the target rank is
+  // consistent with the copy.
+  std::array<uint64_t, kBuckets> counts;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cumulative += counts[i];
+    if (cumulative > rank) {
+      // Upper bound of bucket i is 2^i microseconds (bucket 0 is [0,1]).
+      double upper_micros = static_cast<double>(uint64_t{1} << i);
+      return upper_micros / 1e3;
+    }
+  }
+  return static_cast<double>(uint64_t{1} << (kBuckets - 1)) / 1e3;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_micros_.store(0, std::memory_order_relaxed);
+}
+
+std::string MetricsSnapshot::ToString() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "req=%llu done=%llu rej=%llu dead=%llu hit=%llu miss=%llu "
+      "evict=%llu swap=%llu p50=%.2fms p95=%.2fms p99=%.2fms mean=%.2fms",
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(deadline_exceeded),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses),
+      static_cast<unsigned long long>(cache_evictions),
+      static_cast<unsigned long long>(snapshot_swaps), latency_p50_ms,
+      latency_p95_ms, latency_p99_ms, latency_mean_ms);
+  return buf;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot(uint64_t cache_hits,
+                                          uint64_t cache_misses,
+                                          uint64_t cache_evictions) const {
+  MetricsSnapshot s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.snapshot_swaps = swaps_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits;
+  s.cache_misses = cache_misses;
+  s.cache_evictions = cache_evictions;
+  s.latency_count = latency_.count();
+  s.latency_mean_ms = latency_.MeanMillis();
+  s.latency_p50_ms = latency_.QuantileMillis(0.50);
+  s.latency_p95_ms = latency_.QuantileMillis(0.95);
+  s.latency_p99_ms = latency_.QuantileMillis(0.99);
+  return s;
+}
+
+void MetricsRegistry::Reset() {
+  requests_.store(0, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
+  deadline_exceeded_.store(0, std::memory_order_relaxed);
+  swaps_.store(0, std::memory_order_relaxed);
+  latency_.Reset();
+}
+
+}  // namespace xclean::serve

@@ -1,0 +1,110 @@
+#ifndef XCLEAN_SERVE_METRICS_H_
+#define XCLEAN_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace xclean::serve {
+
+/// Lock-free latency histogram with geometric (power-of-two) microsecond
+/// buckets: bucket i counts samples with bit_width(usec) == i, i.e. the
+/// range [2^(i-1), 2^i). 40 buckets cover up to ~18 minutes, far beyond
+/// any request deadline. Recording is a single relaxed fetch_add; quantile
+/// estimates are read from a racy but monotonically-consistent scan (fine
+/// for monitoring).
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+
+  void Record(uint64_t micros) {
+    size_t b = Bucket(micros);
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Mean latency in milliseconds (0 when empty).
+  double MeanMillis() const;
+
+  /// Quantile estimate in milliseconds: the upper bound of the bucket in
+  /// which the q-quantile sample falls (q in [0,1]). Overestimates by at
+  /// most 2x, which is the standard trade-off of log-bucketed histograms.
+  double QuantileMillis(double q) const;
+
+  void Reset();
+
+ private:
+  static size_t Bucket(uint64_t micros) {
+    size_t width = 0;
+    while (micros > 0 && width + 1 < kBuckets) {
+      micros >>= 1;
+      ++width;
+    }
+    return width;
+  }
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_micros_{0};
+};
+
+/// Point-in-time copy of every serving counter, cheap to pass around.
+struct MetricsSnapshot {
+  uint64_t requests = 0;            ///< accepted into the engine
+  uint64_t completed = 0;           ///< produced a suggestion list
+  uint64_t rejected = 0;            ///< backpressure: queue was full
+  uint64_t deadline_exceeded = 0;   ///< expired before a worker picked it up
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t snapshot_swaps = 0;      ///< index hot-swaps
+  uint64_t latency_count = 0;       ///< samples behind the quantiles
+  double latency_mean_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+
+  /// One-line text dump, e.g. for periodic logging:
+  ///   req=1000 done=990 rej=10 dead=0 hit=700 miss=290 evict=12 swap=1
+  ///   p50=0.8ms p95=2.1ms p99=4.5ms mean=1.0ms
+  std::string ToString() const;
+};
+
+/// The serving engine's counters. All increments are relaxed atomics —
+/// metrics never order anything — so the registry adds no contention to
+/// the request path beyond cache-line traffic.
+class MetricsRegistry {
+ public:
+  void IncrRequests() { requests_.fetch_add(1, std::memory_order_relaxed); }
+  void IncrCompleted() { completed_.fetch_add(1, std::memory_order_relaxed); }
+  void IncrRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void IncrDeadlineExceeded() {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void IncrSwaps() { swaps_.fetch_add(1, std::memory_order_relaxed); }
+
+  void RecordLatencyMicros(uint64_t micros) { latency_.Record(micros); }
+
+  /// Cache counters are folded in by the engine at snapshot time (the
+  /// cache keeps its own atomics so it stays usable standalone).
+  MetricsSnapshot Snapshot(uint64_t cache_hits = 0, uint64_t cache_misses = 0,
+                           uint64_t cache_evictions = 0) const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> swaps_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace xclean::serve
+
+#endif  // XCLEAN_SERVE_METRICS_H_

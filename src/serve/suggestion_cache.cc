@@ -1,0 +1,98 @@
+#include "serve/suggestion_cache.h"
+
+#include <algorithm>
+
+namespace xclean::serve {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SuggestionCache::SuggestionCache(CacheOptions options)
+    : capacity_(options.capacity) {
+  size_t shard_count = RoundUpPow2(std::max<size_t>(1, options.shards));
+  // No point in more shards than capacity.
+  if (capacity_ > 0) {
+    while (shard_count > 1 && shard_count > capacity_) shard_count >>= 1;
+  }
+  shard_mask_ = shard_count - 1;
+  per_shard_capacity_ =
+      capacity_ == 0 ? 0 : std::max<size_t>(1, capacity_ / shard_count);
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool SuggestionCache::Get(const std::string& key,
+                          std::vector<Suggestion>* out) {
+  if (capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      if (out != nullptr) *out = it->second->value;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void SuggestionCache::Put(const std::string& key,
+                          std::vector<Suggestion> value) {
+  if (capacity_ == 0) return;
+  Shard& shard = ShardFor(key);
+  uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      it->second->value = std::move(value);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.push_front(Entry{key, std::move(value)});
+      shard.map.emplace(key, shard.lru.begin());
+      while (shard.lru.size() > per_shard_capacity_) {
+        shard.map.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+        ++evicted;
+      }
+    }
+  }
+  if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+}
+
+void SuggestionCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->map.clear();
+  }
+}
+
+SuggestionCache::Stats SuggestionCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.entries += shard->map.size();
+  }
+  return s;
+}
+
+}  // namespace xclean::serve

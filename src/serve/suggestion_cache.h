@@ -1,0 +1,90 @@
+#ifndef XCLEAN_SERVE_SUGGESTION_CACHE_H_
+#define XCLEAN_SERVE_SUGGESTION_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query.h"
+
+namespace xclean::serve {
+
+struct CacheOptions {
+  /// Total number of cached suggestion lists across all shards; 0 disables
+  /// the cache (Get always misses, Put is a no-op).
+  size_t capacity = 8192;
+  /// Number of independently-locked shards; rounded up to a power of two.
+  /// More shards = less lock contention, slightly worse LRU fidelity
+  /// (eviction is per-shard).
+  size_t shards = 16;
+};
+
+/// Sharded LRU cache from a request fingerprint (normalized query text +
+/// options fingerprint + index snapshot version, built by the engine) to a
+/// suggestion list. Each shard is a classic mutex-protected
+/// list+unordered_map LRU; a key is pinned to its shard by hash, so the
+/// shard mutexes never nest and two requests contend only when they hash
+/// to the same shard. Hit/miss/eviction counters are lock-free atomics.
+class SuggestionCache {
+ public:
+  explicit SuggestionCache(CacheOptions options = CacheOptions());
+
+  SuggestionCache(const SuggestionCache&) = delete;
+  SuggestionCache& operator=(const SuggestionCache&) = delete;
+
+  /// Returns true and copies the cached list into `*out` on a hit; the
+  /// entry becomes most-recently-used.
+  bool Get(const std::string& key, std::vector<Suggestion>* out);
+
+  /// Inserts (or refreshes) `key`, evicting the shard's least-recently-used
+  /// entry when the shard is at capacity.
+  void Put(const std::string& key, std::vector<Suggestion> value);
+
+  /// Drops every entry (counters are kept).
+  void Clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+  Stats stats() const;
+
+  size_t capacity() const { return capacity_; }
+  size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::vector<Suggestion> value;
+  };
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> map;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return *shards_[std::hash<std::string>{}(key) & shard_mask_];
+  }
+
+  size_t capacity_;
+  size_t per_shard_capacity_;
+  size_t shard_mask_;
+  /// unique_ptr because Shard (mutex) is immovable and the count is runtime.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace xclean::serve
+
+#endif  // XCLEAN_SERVE_SUGGESTION_CACHE_H_

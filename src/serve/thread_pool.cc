@@ -1,0 +1,77 @@
+#include "serve/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace xclean::serve {
+
+ThreadPool::ThreadPool(ThreadPoolOptions options) : options_(options) {
+  size_t n = options_.num_threads;
+  if (n == 0) {
+    n = std::max(1u, std::thread::hardware_concurrency());
+  }
+  options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Stop(/*drain=*/false); }
+
+Status ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Status::InvalidArgument("thread pool is shut down");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      return Status::Unavailable("request queue full");
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+  return Status::Ok();
+}
+
+void ThreadPool::Shutdown() { Stop(/*drain=*/true); }
+
+void ThreadPool::Stop(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;  // already stopped
+    stopping_ = true;
+    draining_ = drain;
+    if (!drain) queue_.clear();
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stopping_ is necessarily set; with drain semantics the queue is
+        // exhausted, without them it was cleared — either way, exit.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace xclean::serve
