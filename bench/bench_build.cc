@@ -1,0 +1,100 @@
+// Build-throughput benchmarks (google-benchmark): index construction at
+// 1/2/4/8 threads plus snapshot save/load in both format versions, with
+// snapshot sizes reported as counters. The CI bench-smoke job runs this on
+// a tiny corpus (XCLEAN_BENCH_SMALL=1) with --benchmark_format=json and
+// archives the output, so build-throughput and snapshot-size trends are
+// visible across commits.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "data/dblp_gen.h"
+#include "index/index_io.h"
+#include "index/xml_index.h"
+
+namespace {
+
+using namespace xclean;
+
+uint32_t BenchPublications() {
+  return std::getenv("XCLEAN_BENCH_SMALL") != nullptr ? 1500 : 10000;
+}
+
+XmlTree MakeCorpus() {
+  DblpGenOptions gen;
+  gen.num_publications = BenchPublications();
+  return GenerateDblp(gen);
+}
+
+std::unique_ptr<XmlIndex> BuildOnce(size_t threads) {
+  IndexOptions options;
+  options.build_threads = threads;
+  return XmlIndex::Build(MakeCorpus(), options);
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  IndexOptions options;
+  options.build_threads = static_cast<size_t>(state.range(0));
+  uint64_t tokens = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    XmlTree tree = MakeCorpus();  // Build consumes the tree
+    state.ResumeTiming();
+    auto index = XmlIndex::Build(std::move(tree), options);
+    tokens = index->total_tokens();
+    benchmark::DoNotOptimize(index);
+  }
+  state.counters["tokens_per_s"] = benchmark::Counter(
+      static_cast<double>(tokens) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IndexBuild)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_SaveSnapshot(benchmark::State& state) {
+  static std::unique_ptr<XmlIndex> index = BuildOnce(0);
+  IndexSaveOptions save;
+  save.format_version = static_cast<uint32_t>(state.range(0));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream out;
+    benchmark::DoNotOptimize(SaveIndex(*index, out, save));
+    bytes = out.str().size();
+  }
+  state.counters["snapshot_bytes"] =
+      benchmark::Counter(static_cast<double>(bytes));
+}
+BENCHMARK(BM_SaveSnapshot)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_LoadSnapshot(benchmark::State& state) {
+  static std::unique_ptr<XmlIndex> index = BuildOnce(0);
+  IndexSaveOptions save;
+  save.format_version = static_cast<uint32_t>(state.range(0));
+  std::ostringstream out;
+  if (!SaveIndex(*index, out, save).ok()) {
+    state.SkipWithError("save failed");
+    return;
+  }
+  const std::string bytes = out.str();
+  for (auto _ : state) {
+    std::istringstream in(bytes);
+    auto loaded = LoadIndex(in);
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.counters["snapshot_bytes"] =
+      benchmark::Counter(static_cast<double>(bytes.size()));
+}
+BENCHMARK(BM_LoadSnapshot)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -5,11 +5,14 @@
 // extrapolates to the paper's GB-scale setting.
 
 #include <cstdio>
+#include <sstream>
+#include <string>
 
 #include "bench_common.h"
 #include "common/timer.h"
 #include "data/dblp_gen.h"
 #include "eval/experiment.h"
+#include "index/index_io.h"
 
 using namespace xclean;
 using namespace xclean::bench;
@@ -60,5 +63,59 @@ int main() {
       "\nexpected trend: PY08's latency grows with list length faster than\n"
       "XClean's skip-based pass; quality is size-stable for XClean while\n"
       "PY08 degrades as rare trap tokens accumulate.\n");
+
+  // Parallel build scaling on one fixed corpus: wall-clock, speedup over
+  // the serial build, and whether the snapshot stays byte-identical (the
+  // determinism guarantee of the pipeline, asserted here too, not just in
+  // the tests).
+  std::printf("\n== Parallel index build: threads vs wall-clock ==\n");
+  {
+    DblpGenOptions gen;
+    gen.num_publications = small ? 8000 : 40000;
+    gen.content_typo_rate = config.dblp_typo_rate;
+    gen.seed = config.seed;
+    IndexOptions index_options;
+    index_options.fastss_max_ed = config.fastss_max_ed;
+
+    TablePrinter build_table(
+        {"threads", "build s", "speedup", "bytes == serial"});
+    build_table.PrintHeader();
+    double serial_seconds = 0.0;
+    std::string serial_bytes;
+    std::string v1_bytes;
+    for (size_t threads : {1, 2, 4, 8}) {
+      index_options.build_threads = threads;
+      XmlTree tree = GenerateDblp(gen);
+      Stopwatch watch;
+      auto index = XmlIndex::Build(std::move(tree), index_options);
+      double seconds = watch.ElapsedSeconds();
+
+      std::ostringstream snapshot;
+      SaveIndex(*index, snapshot);
+      if (threads == 1) {
+        serial_seconds = seconds;
+        serial_bytes = snapshot.str();
+        std::ostringstream v1;
+        SaveIndex(*index, v1,
+                  IndexSaveOptions{.format_version = kIndexFormatV1});
+        v1_bytes = v1.str();
+      }
+      build_table.PrintRow(
+          {std::to_string(threads), TablePrinter::Num(seconds),
+           TablePrinter::Num(serial_seconds / seconds),
+           snapshot.str() == serial_bytes ? "yes" : "NO (BUG)"});
+    }
+
+    std::printf(
+        "\n== Snapshot size: v1 (raw structs) vs v2 (varint+delta) ==\n");
+    TablePrinter size_table({"format", "bytes", "vs v1"});
+    size_table.PrintHeader();
+    size_table.PrintRow({"v1", std::to_string(v1_bytes.size()),
+                         TablePrinter::Num(1.0)});
+    size_table.PrintRow(
+        {"v2", std::to_string(serial_bytes.size()),
+         TablePrinter::Num(static_cast<double>(serial_bytes.size()) /
+                           static_cast<double>(v1_bytes.size()))});
+  }
   return 0;
 }

@@ -1,0 +1,99 @@
+#include "common/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace xclean {
+
+namespace {
+
+/// Shared state of one ParallelFor call: a dynamic chunk counter plus a
+/// completion latch. Stack-allocated in the caller. The latch counts
+/// *helper-task exits*, not finished chunks: a RunChunks loop only returns
+/// once every chunk has been claimed, so "the caller's own RunChunks
+/// returned and every submitted helper has exited" implies every chunk
+/// body completed — and, crucially, that no helper will touch this state
+/// again (a chunk-count latch can release while a late helper still
+/// performs its empty claim on the dying stack frame).
+struct ForState {
+  size_t n = 0;
+  size_t chunk_size = 0;
+  size_t num_chunks = 0;
+  const std::function<void(size_t, size_t)>* body = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+
+  std::mutex mu;
+  std::condition_variable done;
+  size_t helpers_exited = 0;  // guarded by mu
+
+  /// Claims and runs chunks until none are left.
+  void RunChunks() {
+    for (;;) {
+      size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) break;
+      size_t begin = chunk * chunk_size;
+      size_t end = std::min(n, begin + chunk_size);
+      (*body)(begin, end);
+    }
+  }
+
+  /// Helper-task entry point: drain chunks, then signal exit. The exit
+  /// counter bump is the task's last access to this state.
+  void RunChunksAsHelper() {
+    RunChunks();
+    std::lock_guard<std::mutex> lock(mu);
+    ++helpers_exited;
+    done.notify_all();
+  }
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t, size_t)>& body,
+                 ParallelForOptions options) {
+  if (n == 0) return;
+  const size_t workers = pool != nullptr ? pool->num_threads() : 0;
+  const size_t min_chunk = std::max<size_t>(1, options.min_chunk);
+  if (workers == 0 || n <= min_chunk) {
+    body(0, n);
+    return;
+  }
+
+  ForState state;
+  state.n = n;
+  // The calling thread participates alongside the pool's workers. Aim for a
+  // few chunks per participant (dynamic load balancing), bounded below by
+  // min_chunk so tiny ranges do not get shredded.
+  const size_t participants = workers + 1;
+  size_t target_chunks =
+      std::min((n + min_chunk - 1) / min_chunk,
+               participants * std::max<size_t>(1, options.chunks_per_thread));
+  state.chunk_size = (n + target_chunks - 1) / target_chunks;
+  state.num_chunks = (n + state.chunk_size - 1) / state.chunk_size;
+  state.body = &body;
+
+  // One helper task per worker; each drains chunks until empty. A rejected
+  // submission (pool queue full or shut down) just means fewer helpers —
+  // the calling thread below makes progress regardless.
+  size_t helpers = std::min(workers, state.num_chunks - 1);
+  size_t submitted = 0;
+  for (size_t i = 0; i < helpers; ++i) {
+    if (!pool->TrySubmit([&state] { state.RunChunksAsHelper(); }).ok()) break;
+    ++submitted;
+  }
+
+  state.RunChunks();
+
+  // state is on this stack frame: do not return until the last helper has
+  // made its final access (the helpers_exited bump in RunChunksAsHelper).
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done.wait(lock, [&state, submitted] {
+    return state.helpers_exited == submitted;
+  });
+}
+
+}  // namespace xclean

@@ -1,0 +1,41 @@
+#ifndef XCLEAN_COMMON_PARALLEL_FOR_H_
+#define XCLEAN_COMMON_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/thread_pool.h"
+
+namespace xclean {
+
+struct ParallelForOptions {
+  /// Smallest index range handed to one invocation of the body. Ranges are
+  /// never split finer than this, so per-chunk setup cost stays amortized.
+  size_t min_chunk = 1;
+  /// Upper bound on the number of chunks per worker; more chunks than
+  /// workers gives dynamic load balancing for skewed per-item cost.
+  size_t chunks_per_thread = 4;
+};
+
+/// Runs `body(begin, end)` over a partition of [0, n), scheduling chunks on
+/// `pool`'s workers while the calling thread also consumes chunks. Blocks
+/// until every chunk has finished; afterwards all writes made by the body
+/// happen-before the return (release/acquire via the completion latch).
+///
+/// The body must be safe to run concurrently against itself on disjoint
+/// ranges. Chunk boundaries depend only on (n, options, worker count), and
+/// chunks are claimed dynamically — callers that need deterministic output
+/// must make per-index results independent of execution order (the index
+/// builder writes to disjoint per-index or per-chunk slots and merges in
+/// index order).
+///
+/// `pool == nullptr` (or a single-worker pool, or a range smaller than one
+/// chunk) degrades to a plain serial loop, which keeps the serial build
+/// path and the parallel one on the same code.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t, size_t)>& body,
+                 ParallelForOptions options = ParallelForOptions());
+
+}  // namespace xclean
+
+#endif  // XCLEAN_COMMON_PARALLEL_FOR_H_

@@ -1,9 +1,9 @@
-#include "serve/thread_pool.h"
+#include "common/thread_pool.h"
 
 #include <algorithm>
 #include <utility>
 
-namespace xclean::serve {
+namespace xclean {
 
 ThreadPool::ThreadPool(ThreadPoolOptions options) : options_(options) {
   size_t n = options_.num_threads;
@@ -61,7 +61,8 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) {
         // stopping_ is necessarily set; with drain semantics the queue is
         // exhausted, without them it was cleared — either way, exit.
@@ -74,4 +75,4 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-}  // namespace xclean::serve
+}  // namespace xclean

@@ -1,0 +1,74 @@
+#ifndef XCLEAN_COMMON_THREAD_POOL_H_
+#define XCLEAN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xclean {
+
+struct ThreadPoolOptions {
+  /// Number of worker threads; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  size_t num_threads = 0;
+  /// Maximum number of queued (not yet running) tasks. Submitting beyond
+  /// this is rejected, never blocked — backpressure must reach the caller.
+  size_t queue_capacity = 1024;
+};
+
+/// Fixed-size worker pool over a bounded MPMC task queue (mutex+condvar;
+/// any thread may submit, all workers consume). Tasks are plain
+/// `std::function<void()>`; deadline bookkeeping lives in the serving
+/// engine, which checks expiry inside the task it submits.
+///
+/// Shared by the serving engine (request execution) and the index builder
+/// (ParallelFor over build phases), which is why it lives in common/ and
+/// not serve/.
+class ThreadPool {
+ public:
+  explicit ThreadPool(ThreadPoolOptions options = ThreadPoolOptions());
+
+  /// Joins all workers; queued tasks that have not started are dropped.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution. Returns Unavailable (without blocking)
+  /// when the queue is at capacity, InvalidArgument after Shutdown().
+  Status TrySubmit(std::function<void()> task);
+
+  /// Stops accepting work, runs every task already queued, joins workers.
+  /// Idempotent; also called by the destructor (which instead drops the
+  /// backlog for fast teardown).
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+  size_t queue_capacity() const { return options_.queue_capacity; }
+
+  /// Instantaneous queue depth (monitoring only).
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+  void Stop(bool drain);
+
+  ThreadPoolOptions options_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;  ///< no new submissions
+  bool draining_ = false;  ///< workers finish the backlog before exiting
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_COMMON_THREAD_POOL_H_

@@ -1,0 +1,62 @@
+#ifndef XCLEAN_COMMON_VARINT_H_
+#define XCLEAN_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xclean {
+
+/// LEB128-style varint codec used by the compressed index snapshot format
+/// (index/index_io.cc). Small values — posting-list deltas, term
+/// frequencies, Dewey components — dominate the index payload, so one byte
+/// usually replaces four or eight.
+
+inline void PutVarint64(std::string& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+inline void PutVarint32(std::string& out, uint32_t v) {
+  PutVarint64(out, v);
+}
+
+/// Maps signed deltas to unsigned so small magnitudes of either sign stay
+/// one byte: 0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ...
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Decodes one varint from [p, end). Returns the position past the varint,
+/// or nullptr on truncation / overlong encoding (> 10 bytes).
+inline const char* GetVarint64(const char* p, const char* end, uint64_t* out) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift < 64 && p < end; shift += 7) {
+    uint8_t byte = static_cast<uint8_t>(*p++);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+inline const char* GetVarint32(const char* p, const char* end, uint32_t* out) {
+  uint64_t wide = 0;
+  p = GetVarint64(p, end, &wide);
+  if (p == nullptr || wide > 0xFFFFFFFFull) return nullptr;
+  *out = static_cast<uint32_t>(wide);
+  return p;
+}
+
+}  // namespace xclean
+
+#endif  // XCLEAN_COMMON_VARINT_H_

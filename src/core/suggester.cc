@@ -59,6 +59,11 @@ XCleanSuggester XCleanSuggester::FromTree(XmlTree tree,
                          options);
 }
 
+XCleanSuggester XCleanSuggester::FromIndex(std::unique_ptr<XmlIndex> index,
+                                           SuggesterOptions options) {
+  return XCleanSuggester(std::move(index), options);
+}
+
 std::vector<Suggestion> XCleanSuggester::Suggest(
     std::string_view query_text) const {
   return Suggest(ParseQuery(query_text, index_->tokenizer()));

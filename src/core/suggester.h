@@ -51,6 +51,13 @@ class XCleanSuggester {
                                   SuggesterOptions options = SuggesterOptions(),
                                   IndexOptions index_options = IndexOptions());
 
+  /// Wraps an already-built index — typically one loaded from a snapshot
+  /// file (index/index_io.h), the offline-build / online-serve split the
+  /// serving engine's hot-swap path uses.
+  static XCleanSuggester FromIndex(
+      std::unique_ptr<XmlIndex> index,
+      SuggesterOptions options = SuggesterOptions());
+
   /// Movable (so factories can return by value) but not copyable: the
   /// suggester owns the index, and concurrent users share one instance
   /// behind a shared_ptr instead of copying it.

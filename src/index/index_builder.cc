@@ -1,0 +1,199 @@
+#include "index/index_builder.h"
+
+#include <algorithm>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/parallel_for.h"
+#include "common/thread_pool.h"
+
+namespace xclean {
+
+namespace {
+
+/// Builds the type lists for one token: counts, per label path, the number
+/// of *distinct* nodes of that path whose subtree contains the token.
+///
+/// Postings arrive in document order, so consecutive postings share the
+/// ancestor chain up to their Dewey common prefix: for posting node n with
+/// common-prefix depth L against the previous posting, exactly the
+/// ancestors at depths L+1..depth(n) are newly seen and must be counted
+/// (the shallower ones were counted with an earlier posting).
+std::vector<PathFreq> BuildTypeList(const XmlTree& tree,
+                                    const PostingList& postings) {
+  std::unordered_map<PathId, uint32_t> freq;
+  NodeId prev = kInvalidNode;
+  for (const Posting& p : postings) {
+    uint32_t new_from_depth = 1;
+    if (prev != kInvalidNode) {
+      new_from_depth = static_cast<uint32_t>(DeweyCommonPrefix(
+                           tree.dewey(prev), tree.dewey(p.node))) +
+                       1;
+    }
+    NodeId cur = p.node;
+    std::vector<NodeId> chain;
+    while (tree.depth(cur) >= new_from_depth) {
+      chain.push_back(cur);
+      if (tree.depth(cur) == 1) break;
+      cur = tree.parent(cur);
+    }
+    for (NodeId a : chain) ++freq[tree.path_id(a)];
+    prev = p.node;
+  }
+  std::vector<PathFreq> out;
+  out.reserve(freq.size());
+  for (const auto& [path, f] : freq) out.push_back(PathFreq{path, f});
+  std::sort(out.begin(), out.end(),
+            [](const PathFreq& a, const PathFreq& b) { return a.path < b.path; });
+  return out;
+}
+
+/// One deduplicated (node, token) occurrence. The flat occurrence table is
+/// what the postings shards scan; keeping the node inline avoids a second
+/// per-node offset table.
+struct Occurrence {
+  TokenId token;
+  NodeId node;
+  uint32_t tf;
+};
+
+}  // namespace
+
+std::unique_ptr<XmlIndex> IndexBuilder::Build(XmlTree tree,
+                                              IndexOptions options) {
+  std::unique_ptr<XmlIndex> index(new XmlIndex(std::move(tree), options));
+  const XmlTree& t = index->tree_;
+  const NodeId n = t.size();
+
+  size_t threads = options.build_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in every ParallelFor, so the pool holds
+  // threads-1 helpers; threads == 1 runs the same pipeline serially.
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) {
+    ThreadPoolOptions pool_options;
+    pool_options.num_threads = threads - 1;
+    pool_options.queue_capacity = threads * 8;
+    pool = std::make_unique<ThreadPool>(pool_options);
+  }
+
+  index->node_tokens_.assign(n, 0);
+  index->subtree_tokens_.assign(n, 0);
+
+  // Phase 1: tokenize text-bearing nodes, in parallel over chunks. Output
+  // slot i depends only on node text_nodes[i], so any schedule produces the
+  // same table.
+  const std::vector<NodeId> text_nodes = t.TextNodes();
+  const size_t num_text_nodes = text_nodes.size();
+  std::vector<std::vector<std::string>> tokens_by_node(num_text_nodes);
+  ParallelFor(
+      pool.get(), num_text_nodes,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          index->tokenizer_.TokenizeInto(t.text(text_nodes[i]),
+                                         tokens_by_node[i]);
+        }
+      },
+      ParallelForOptions{.min_chunk = 128});
+
+  // Phase 2 (serial): intern the vocabulary in node order — id assignment
+  // must match a serial build byte for byte — and flatten the per-node
+  // (token, tf) pairs into one occurrence table in node order.
+  std::vector<Occurrence> occurrences;
+  std::unordered_map<TokenId, uint32_t> node_tf;
+  for (size_t i = 0; i < num_text_nodes; ++i) {
+    const std::vector<std::string>& tokens = tokens_by_node[i];
+    if (tokens.empty()) continue;
+    const NodeId node = text_nodes[i];
+    ++index->text_node_count_;
+    node_tf.clear();
+    for (const std::string& token : tokens) {
+      ++node_tf[index->vocabulary_.Intern(token)];
+    }
+    index->node_tokens_[node] = static_cast<uint32_t>(tokens.size());
+    index->total_tokens_ += tokens.size();
+    if (index->vocabulary_.size() > index->cf_.size()) {
+      index->cf_.resize(index->vocabulary_.size(), 0);
+      index->df_.resize(index->vocabulary_.size(), 0);
+    }
+    for (const auto& [id, tf] : node_tf) {
+      occurrences.push_back(Occurrence{id, node, tf});
+      index->cf_[id] += tf;
+      index->df_[id] += 1;
+    }
+    tokens_by_node[i].clear();
+    tokens_by_node[i].shrink_to_fit();
+  }
+  tokens_by_node.clear();
+
+  // Phase 3: sharded postings accumulation. Each shard owns a contiguous
+  // token range and scans the occurrence table once, appending postings
+  // only for its own tokens; within a token, postings arrive in node order
+  // because the table is in node order. df gives exact reserve sizes.
+  const size_t vocab_size = index->vocabulary_.size();
+  std::vector<std::vector<Posting>> lists(vocab_size);
+  ParallelFor(
+      pool.get(), vocab_size,
+      [&](size_t begin, size_t end) {
+        for (size_t token = begin; token < end; ++token) {
+          lists[token].reserve(index->df_[token]);
+        }
+        for (const Occurrence& occ : occurrences) {
+          if (occ.token >= begin && occ.token < end) {
+            lists[occ.token].push_back(Posting{occ.node, occ.tf});
+          }
+        }
+      },
+      // One chunk per participant: every extra chunk costs a full scan of
+      // the occurrence table.
+      ParallelForOptions{.min_chunk = 1, .chunks_per_thread = 1});
+  occurrences.clear();
+  occurrences.shrink_to_fit();
+
+  index->inverted_lists_.reserve(vocab_size);
+  for (std::vector<Posting>& list : lists) {
+    for (size_t i = 1; i < list.size(); ++i) {
+      XCLEAN_CHECK(list[i - 1].node < list[i].node);
+    }
+    index->inverted_lists_.emplace_back(std::move(list));
+  }
+
+  // Phase 4 (serial): subtree token counts by reverse-preorder
+  // accumulation; inherently sequential but O(n) additions.
+  for (NodeId node = n; node-- > 0;) {
+    index->subtree_tokens_[node] += index->node_tokens_[node];
+    if (node != t.root()) {
+      index->subtree_tokens_[t.parent(node)] += index->subtree_tokens_[node];
+    }
+  }
+
+  // Phase 5: type lists, parallel over tokens (each list is a pure function
+  // of that token's posting list).
+  index->type_index_.lists_.resize(vocab_size);
+  ParallelFor(
+      pool.get(), vocab_size,
+      [&](size_t begin, size_t end) {
+        for (size_t token = begin; token < end; ++token) {
+          index->type_index_.lists_[token] =
+              BuildTypeList(t, index->inverted_lists_[token]);
+        }
+      },
+      ParallelForOptions{.min_chunk = 64});
+
+  // Phase 6: FastSS variant index, parallel neighborhood generation per
+  // vocabulary shard with a deterministic merge (text/fastss.cc).
+  FastSsIndex::Options fs_options;
+  fs_options.max_ed = options.fastss_max_ed;
+  fs_options.partition_min_length = options.fastss_partition_min_length;
+  FastSsIndex fs(fs_options);
+  fs.Build(index->vocabulary_.tokens(), pool.get());
+  index->fastss_ = std::move(fs);
+
+  return index;
+}
+
+}  // namespace xclean

@@ -1,0 +1,37 @@
+#ifndef XCLEAN_INDEX_INDEX_BUILDER_H_
+#define XCLEAN_INDEX_INDEX_BUILDER_H_
+
+#include <memory>
+
+#include "index/xml_index.h"
+
+namespace xclean {
+
+/// Pipelined, optionally parallel construction of an XmlIndex
+/// (IndexOptions::build_threads picks the degree). The pipeline:
+///
+///   1. tokenize     — parallel over chunks of text-bearing nodes,
+///   2. intern       — serial scan in node order (vocabulary ids must come
+///                     out in first-seen preorder, exactly as a serial
+///                     build assigns them),
+///   3. postings     — parallel over vocabulary shards: each shard scans
+///                     the flat occurrence table once and appends postings
+///                     for its own token range (node order is preserved
+///                     because the table is in node order),
+///   4. subtree sums — serial reverse-preorder accumulation (O(n)),
+///   5. type lists   — parallel over tokens (independent per token),
+///   6. FastSS       — parallel neighborhood generation per vocabulary
+///                     shard with a deterministic sorted merge.
+///
+/// Every merge point is deterministic, so a build with any thread count
+/// serializes to byte-identical snapshots (asserted by
+/// parallel_build_test). XmlIndex::Build delegates here; this header only
+/// exists so tests and tools can name the builder directly.
+class IndexBuilder {
+ public:
+  static std::unique_ptr<XmlIndex> Build(XmlTree tree, IndexOptions options);
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_INDEX_INDEX_BUILDER_H_

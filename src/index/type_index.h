@@ -35,6 +35,7 @@ class TypeIndex {
 
  private:
   friend class XmlIndex;
+  friend class IndexBuilder;          // index_builder.cc
   friend struct SerializationAccess;  // index_io.cc
   std::vector<std::vector<PathFreq>> lists_;
 };

@@ -1,125 +1,13 @@
 #include "index/xml_index.h"
 
-#include <algorithm>
-#include <unordered_map>
+#include <utility>
 
-#include "common/check.h"
+#include "index/index_builder.h"
 
 namespace xclean {
 
-namespace {
-
-/// Builds the type lists for one token: counts, per label path, the number
-/// of *distinct* nodes of that path whose subtree contains the token.
-///
-/// Postings arrive in document order, so consecutive postings share the
-/// ancestor chain up to their Dewey common prefix: for posting node n with
-/// common-prefix depth L against the previous posting, exactly the
-/// ancestors at depths L+1..depth(n) are newly seen and must be counted
-/// (the shallower ones were counted with an earlier posting).
-std::vector<PathFreq> BuildTypeList(const XmlTree& tree,
-                                    const PostingList& postings) {
-  std::unordered_map<PathId, uint32_t> freq;
-  NodeId prev = kInvalidNode;
-  for (const Posting& p : postings) {
-    uint32_t new_from_depth = 1;
-    if (prev != kInvalidNode) {
-      new_from_depth = static_cast<uint32_t>(
-                           DeweyCommonPrefix(tree.dewey(prev), tree.dewey(p.node))) +
-                       1;
-    }
-    NodeId cur = p.node;
-    std::vector<NodeId> chain;
-    while (tree.depth(cur) >= new_from_depth) {
-      chain.push_back(cur);
-      if (tree.depth(cur) == 1) break;
-      cur = tree.parent(cur);
-    }
-    for (NodeId a : chain) ++freq[tree.path_id(a)];
-    prev = p.node;
-  }
-  std::vector<PathFreq> out;
-  out.reserve(freq.size());
-  for (const auto& [path, f] : freq) out.push_back(PathFreq{path, f});
-  std::sort(out.begin(), out.end(),
-            [](const PathFreq& a, const PathFreq& b) { return a.path < b.path; });
-  return out;
-}
-
-}  // namespace
-
 std::unique_ptr<XmlIndex> XmlIndex::Build(XmlTree tree, IndexOptions options) {
-  std::unique_ptr<XmlIndex> index(new XmlIndex(std::move(tree), options));
-  const XmlTree& t = index->tree_;
-  const NodeId n = t.size();
-
-  index->node_tokens_.assign(n, 0);
-  index->subtree_tokens_.assign(n, 0);
-
-  // Pass 1: tokenize every text-bearing node in preorder; postings appended
-  // per token come out sorted by node id for free.
-  std::vector<std::vector<Posting>> lists;
-  std::unordered_map<TokenId, uint32_t> node_tf;
-  for (NodeId node = 0; node < n; ++node) {
-    if (!t.has_text(node)) continue;
-    std::vector<std::string> tokens = index->tokenizer_.Tokenize(t.text(node));
-    if (tokens.empty()) continue;
-    ++index->text_node_count_;
-    node_tf.clear();
-    for (const std::string& token : tokens) {
-      TokenId id = index->vocabulary_.Intern(token);
-      ++node_tf[id];
-    }
-    index->node_tokens_[node] = static_cast<uint32_t>(tokens.size());
-    index->total_tokens_ += tokens.size();
-    if (index->vocabulary_.size() > lists.size()) {
-      lists.resize(index->vocabulary_.size());
-      index->cf_.resize(index->vocabulary_.size(), 0);
-      index->df_.resize(index->vocabulary_.size(), 0);
-    }
-    for (const auto& [id, tf] : node_tf) {
-      lists[id].push_back(Posting{node, tf});
-      index->cf_[id] += tf;
-      index->df_[id] += 1;
-    }
-  }
-
-  // Postings per token were appended in preorder node order except that
-  // node_tf (an unordered_map) emits one entry per (node, token): each list
-  // receives at most one posting per node, in increasing node order. Verify
-  // the invariant cheaply, then freeze.
-  index->inverted_lists_.reserve(lists.size());
-  for (auto& list : lists) {
-    for (size_t i = 1; i < list.size(); ++i) {
-      XCLEAN_CHECK(list[i - 1].node < list[i].node);
-    }
-    index->inverted_lists_.emplace_back(std::move(list));
-  }
-
-  // Pass 2: subtree token counts by reverse-preorder accumulation.
-  for (NodeId node = n; node-- > 0;) {
-    index->subtree_tokens_[node] += index->node_tokens_[node];
-    if (node != t.root()) {
-      index->subtree_tokens_[t.parent(node)] += index->subtree_tokens_[node];
-    }
-  }
-
-  // Pass 3: type lists (token -> (path, f_w^p)).
-  index->type_index_.lists_.resize(index->inverted_lists_.size());
-  for (TokenId token = 0; token < index->inverted_lists_.size(); ++token) {
-    index->type_index_.lists_[token] =
-        BuildTypeList(t, index->inverted_lists_[token]);
-  }
-
-  // Pass 4: FastSS variant index over the vocabulary.
-  FastSsIndex::Options fs_options;
-  fs_options.max_ed = options.fastss_max_ed;
-  fs_options.partition_min_length = options.fastss_partition_min_length;
-  FastSsIndex fs(fs_options);
-  fs.Build(index->vocabulary_.tokens());
-  index->fastss_ = std::move(fs);
-
-  return index;
+  return IndexBuilder::Build(std::move(tree), options);
 }
 
 uint64_t XmlIndex::ApproxMemoryBytes() const {

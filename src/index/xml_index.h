@@ -24,6 +24,11 @@ struct IndexOptions {
   uint32_t fastss_max_ed = 2;
   /// Token length from which FastSS switches to the partitioned layout.
   size_t fastss_partition_min_length = 13;
+  /// Threads used by Build (0 = hardware concurrency). Any value yields the
+  /// same index — parallel and serial builds serialize to identical bytes —
+  /// so this is purely a build-latency knob and is not persisted in
+  /// snapshots.
+  size_t build_threads = 1;
 };
 
 /// Summary statistics in the shape of the paper's Table I.

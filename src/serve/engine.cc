@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "index/index_io.h"
 
 namespace xclean::serve {
 
@@ -143,6 +144,16 @@ void ServingEngine::SwapIndex(std::shared_ptr<const XCleanSuggester> next) {
   // `snap` now holds the old snapshot; if this was its last reference it
   // is destroyed here, outside the lock, not under it.
   metrics_.IncrSwaps();
+}
+
+Status ServingEngine::SwapIndexFromFile(const std::string& path,
+                                        SuggesterOptions options) {
+  Result<std::unique_ptr<XmlIndex>> index = LoadIndex(path);
+  if (!index.ok()) return index.status();
+  auto suggester = std::make_shared<const XCleanSuggester>(
+      XCleanSuggester::FromIndex(std::move(index).value(), options));
+  SwapIndex(std::move(suggester));
+  return Status::Ok();
 }
 
 std::shared_ptr<const XCleanSuggester> ServingEngine::snapshot() const {

@@ -99,6 +99,16 @@ class ServingEngine {
   /// their version key (they stop being hit and age out via LRU).
   void SwapIndex(std::shared_ptr<const XCleanSuggester> next);
 
+  /// Loads an index snapshot file written by SaveIndex (index/index_io.h)
+  /// and hot-swaps the engine onto it — the offline-build / online-serve
+  /// deployment: a builder process writes the snapshot, the server picks it
+  /// up without restarting or re-indexing. The load and suggester
+  /// construction happen on the calling thread with serving undisturbed;
+  /// on any load error the current snapshot keeps serving and the error is
+  /// returned.
+  Status SwapIndexFromFile(const std::string& path,
+                           SuggesterOptions options = SuggesterOptions());
+
   /// The current snapshot (never null). Callers may hold it for direct,
   /// engine-free reads; it stays valid across swaps.
   std::shared_ptr<const XCleanSuggester> snapshot() const;

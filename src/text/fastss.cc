@@ -1,9 +1,13 @@
 #include "text/fastss.h"
 
 #include <algorithm>
+#include <iterator>
 #include <unordered_set>
+#include <utility>
 
 #include "common/check.h"
+#include "common/parallel_for.h"
+#include "common/thread_pool.h"
 #include "text/edit_distance.h"
 
 namespace xclean {
@@ -55,40 +59,103 @@ uint64_t FastSsIndex::HashVariant(Tag tag, std::string_view variant) {
 }
 
 void FastSsIndex::EmitNeighborhood(Tag tag, std::string_view piece,
-                                   uint32_t max_deletions, uint32_t word_id) {
+                                   uint32_t max_deletions, uint32_t word_id,
+                                   std::vector<Posting>& out) {
   std::unordered_set<std::string> set;
   EnumerateDeletions(std::string(piece), max_deletions, 0, set);
   for (const std::string& variant : set) {
-    postings_.push_back(Posting{HashVariant(tag, variant), word_id});
+    out.push_back(Posting{HashVariant(tag, variant), word_id});
   }
 }
 
+bool FastSsIndex::EmitWord(uint32_t word_id, std::vector<Posting>& out) const {
+  const uint32_t k = options_.max_ed;
+  const std::string& w = words_[word_id];
+  if (k > 0 && w.size() >= options_.partition_min_length) {
+    // Partitioned representation: floor(k/2)-deletion neighborhoods of
+    // the two halves (left half gets the ceiling of the length split).
+    size_t h = (w.size() + 1) / 2;
+    EmitNeighborhood(Tag::kLeft, std::string_view(w).substr(0, h), k / 2,
+                     word_id, out);
+    EmitNeighborhood(Tag::kRight, std::string_view(w).substr(h), k / 2,
+                     word_id, out);
+    return true;
+  }
+  EmitNeighborhood(Tag::kWhole, w, k, word_id, out);
+  return false;
+}
+
 void FastSsIndex::Build(const std::vector<std::string>& words) {
+  Build(words, nullptr);
+}
+
+void FastSsIndex::Build(const std::vector<std::string>& words,
+                        ThreadPool* pool) {
   XCLEAN_CHECK(!built_);
   built_ = true;
   words_ = words;
-  const uint32_t k = options_.max_ed;
-  const uint32_t half_k = k / 2;
-  for (uint32_t id = 0; id < words_.size(); ++id) {
-    const std::string& w = words_[id];
-    if (k > 0 && w.size() >= options_.partition_min_length) {
-      // Partitioned representation: floor(k/2)-deletion neighborhoods of
-      // the two halves (left half gets the ceiling of the length split).
-      has_partitioned_ = true;
-      size_t h = (w.size() + 1) / 2;
-      EmitNeighborhood(Tag::kLeft, std::string_view(w).substr(0, h), half_k,
-                       id);
-      EmitNeighborhood(Tag::kRight, std::string_view(w).substr(h), half_k,
-                       id);
-    } else {
-      EmitNeighborhood(Tag::kWhole, w, k, id);
-    }
+  const size_t word_count = words_.size();
+  if (word_count == 0) return;
+
+  auto less = [](const Posting& a, const Posting& b) {
+    return a.hash < b.hash || (a.hash == b.hash && a.word_id < b.word_id);
+  };
+
+  // Shard the vocabulary into contiguous word-id ranges; each shard emits
+  // its neighborhoods into a private run and sorts it. Shard boundaries
+  // depend only on the participant count, and the runs are merged below
+  // with a total order whose only ties are bit-identical (hash, word_id)
+  // pairs (hash collisions within one word), so the final array is
+  // byte-identical for any thread count — including the serial one.
+  const size_t participants =
+      pool != nullptr ? pool->num_threads() + 1 : 1;
+  const size_t num_shards = std::min(word_count, participants * 4);
+  const size_t shard_size = (word_count + num_shards - 1) / num_shards;
+  std::vector<std::vector<Posting>> runs(num_shards);
+  std::vector<uint8_t> shard_partitioned(num_shards, 0);
+  ParallelFor(
+      pool, num_shards,
+      [&](size_t begin, size_t end) {
+        for (size_t shard = begin; shard < end; ++shard) {
+          const size_t lo = shard * shard_size;
+          const size_t hi = std::min(word_count, lo + shard_size);
+          std::vector<Posting>& out = runs[shard];
+          for (size_t id = lo; id < hi; ++id) {
+            if (EmitWord(static_cast<uint32_t>(id), out)) {
+              shard_partitioned[shard] = 1;
+            }
+          }
+          std::sort(out.begin(), out.end(), less);
+        }
+      },
+      ParallelForOptions{.min_chunk = 1, .chunks_per_thread = 2});
+  for (uint8_t flag : shard_partitioned) {
+    if (flag != 0) has_partitioned_ = true;
   }
-  std::sort(postings_.begin(), postings_.end(),
-            [](const Posting& a, const Posting& b) {
-              return a.hash < b.hash ||
-                     (a.hash == b.hash && a.word_id < b.word_id);
-            });
+
+  // Parallel pairwise merges of the sorted runs (log passes) instead of one
+  // serial global sort, so the merge step scales with the emit step.
+  while (runs.size() > 1) {
+    const size_t pairs = runs.size() / 2;
+    std::vector<std::vector<Posting>> next((runs.size() + 1) / 2);
+    ParallelFor(
+        pool, pairs,
+        [&](size_t begin, size_t end) {
+          for (size_t p = begin; p < end; ++p) {
+            std::vector<Posting>& a = runs[2 * p];
+            std::vector<Posting>& b = runs[2 * p + 1];
+            std::vector<Posting> merged;
+            merged.reserve(a.size() + b.size());
+            std::merge(a.begin(), a.end(), b.begin(), b.end(),
+                       std::back_inserter(merged), less);
+            next[p] = std::move(merged);
+          }
+        },
+        ParallelForOptions{.min_chunk = 1, .chunks_per_thread = 1});
+    if (runs.size() % 2 != 0) next.back() = std::move(runs.back());
+    runs = std::move(next);
+  }
+  postings_ = std::move(runs.front());
 }
 
 uint64_t FastSsIndex::ApproxMemoryBytes() const {

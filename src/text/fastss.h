@@ -8,6 +8,8 @@
 
 namespace xclean {
 
+class ThreadPool;
+
 /// Partitioned FastSS index for approximate string matching under an edit
 /// distance constraint (Sec. V-A of the paper, citing the FastSS family).
 ///
@@ -51,6 +53,13 @@ class FastSsIndex {
   /// Must be called exactly once.
   void Build(const std::vector<std::string>& words);
 
+  /// Same, generating deletion neighborhoods in parallel over contiguous
+  /// vocabulary shards on `pool` (nullptr = serial). The shard outputs are
+  /// merged in word-id order and sorted with a total order whose ties are
+  /// bit-identical entries, so the resulting index — and its serialized
+  /// form — is byte-identical for every thread count.
+  void Build(const std::vector<std::string>& words, ThreadPool* pool);
+
   /// All indexed words within edit distance max_ed of `query`, unordered.
   /// Requires max_ed <= options().max_ed and Build() to have run.
   std::vector<Match> Find(std::string_view query, uint32_t max_ed) const;
@@ -83,8 +92,12 @@ class FastSsIndex {
   enum class Tag : uint8_t { kWhole = 0, kLeft = 1, kRight = 2 };
 
   static uint64_t HashVariant(Tag tag, std::string_view variant);
-  void EmitNeighborhood(Tag tag, std::string_view piece,
-                        uint32_t max_deletions, uint32_t word_id);
+  static void EmitNeighborhood(Tag tag, std::string_view piece,
+                               uint32_t max_deletions, uint32_t word_id,
+                               std::vector<Posting>& out);
+  /// Emits the (possibly partitioned) neighborhood of one word into `out`;
+  /// returns true when the word used the partitioned layout.
+  bool EmitWord(uint32_t word_id, std::vector<Posting>& out) const;
   void ProbeNeighborhood(Tag tag, std::string_view piece,
                          uint32_t max_deletions,
                          std::vector<uint32_t>& candidates) const;

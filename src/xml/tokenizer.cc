@@ -45,6 +45,13 @@ bool Tokenizer::Keep(const std::string& token) const {
 
 std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
   std::vector<std::string> out;
+  TokenizeInto(text, out);
+  return out;
+}
+
+void Tokenizer::TokenizeInto(std::string_view text,
+                             std::vector<std::string>& out) const {
+  out.clear();
   size_t i = 0;
   while (i < text.size()) {
     while (i < text.size() && !IsTokenChar(text[i])) ++i;
@@ -55,7 +62,6 @@ std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
     if (options_.lowercase) AsciiLowerInPlace(token);
     if (Keep(token)) out.push_back(std::move(token));
   }
-  return out;
 }
 
 std::string Tokenizer::NormalizeToken(std::string_view word) const {

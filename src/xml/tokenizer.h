@@ -34,6 +34,11 @@ class Tokenizer {
   /// Tokens of `text`, in order, after filtering.
   std::vector<std::string> Tokenize(std::string_view text) const;
 
+  /// Same, reusing `out`'s capacity (cleared first). The parallel index
+  /// build tokenizes millions of nodes; reusing one vector per worker keeps
+  /// the pass allocation-free in steady state.
+  void TokenizeInto(std::string_view text, std::vector<std::string>& out) const;
+
   /// Applies normalization + filters to a single word. Returns an empty
   /// string if the word is filtered out. Used for query keywords, where
   /// splitting already happened on whitespace.

@@ -1,0 +1,150 @@
+// Tests for the parallel index-construction pipeline: the ParallelFor
+// primitive itself, and the tentpole guarantee that a parallel build is
+// *byte-identical* to a serial one when serialized (any thread count, both
+// snapshot formats). Registered under the `stress` ctest label so the
+// ThreadSanitizer CI job exercises the parallel build paths.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel_for.h"
+#include "common/thread_pool.h"
+#include "core/xclean.h"
+#include "data/dblp_gen.h"
+#include "index/index_io.h"
+#include "index/xml_index.h"
+#include "xml/parser.h"
+
+namespace xclean {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnceSerially) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(nullptr, hits.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnceOnPool) {
+  ThreadPoolOptions po;
+  po.num_threads = 3;
+  ThreadPool pool(po);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(n);
+    ParallelFor(&pool, n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, RespectsMinChunk) {
+  ThreadPoolOptions po;
+  po.num_threads = 3;
+  ThreadPool pool(po);
+  // n <= min_chunk must run as a single chunk on the calling thread.
+  std::atomic<int> calls{0};
+  std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> on_caller{true};
+  ParallelFor(
+      &pool, 50,
+      [&](size_t begin, size_t end) {
+        calls.fetch_add(1);
+        EXPECT_EQ(begin, 0u);
+        EXPECT_EQ(end, 50u);
+        if (std::this_thread::get_id() != caller) on_caller = false;
+      },
+      ParallelForOptions{.min_chunk = 64});
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_TRUE(on_caller.load());
+}
+
+std::string BuildAndSave(uint32_t num_publications, size_t threads,
+                         uint32_t format_version) {
+  DblpGenOptions gen;
+  gen.num_publications = num_publications;
+  IndexOptions options;
+  options.build_threads = threads;
+  auto index = XmlIndex::Build(GenerateDblp(gen), options);
+  std::ostringstream out;
+  EXPECT_TRUE(
+      SaveIndex(*index, out, IndexSaveOptions{.format_version = format_version})
+          .ok());
+  return out.str();
+}
+
+// The acceptance criterion of the parallel build: for every thread count,
+// the serialized snapshot is byte-for-byte the one the serial build writes.
+TEST(ParallelBuildTest, AnyThreadCountSerializesIdenticalBytes) {
+  const std::string serial = BuildAndSave(400, 1, kIndexFormatLatest);
+  for (size_t threads : {size_t{2}, size_t{3}, size_t{8}}) {
+    EXPECT_EQ(BuildAndSave(400, threads, kIndexFormatLatest), serial)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelBuildTest, HardwareConcurrencyAlsoMatches) {
+  // build_threads = 0 resolves to std::thread::hardware_concurrency().
+  EXPECT_EQ(BuildAndSave(150, 0, kIndexFormatLatest),
+            BuildAndSave(150, 1, kIndexFormatLatest));
+}
+
+TEST(ParallelBuildTest, LegacyFormatIsAlsoDeterministic) {
+  EXPECT_EQ(BuildAndSave(150, 8, kIndexFormatV1),
+            BuildAndSave(150, 1, kIndexFormatV1));
+}
+
+TEST(ParallelBuildTest, ParallelBuildAnswersLikeSerialBuild) {
+  DblpGenOptions gen;
+  gen.num_publications = 200;
+  IndexOptions serial_options;
+  serial_options.build_threads = 1;
+  IndexOptions parallel_options;
+  parallel_options.build_threads = 8;
+  auto serial = XmlIndex::Build(GenerateDblp(gen), serial_options);
+  auto parallel = XmlIndex::Build(GenerateDblp(gen), parallel_options);
+
+  XCleanOptions options;
+  options.max_ed = 2;
+  XClean a(*serial, options);
+  XClean b(*parallel, options);
+  Query q;
+  q.keywords = {"algoritm", "tre"};
+  auto sa = a.Suggest(q);
+  auto sb = b.Suggest(q);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].words, sb[i].words);
+    EXPECT_DOUBLE_EQ(sa[i].score, sb[i].score);
+  }
+}
+
+TEST(ParallelBuildTest, EmptyishDocumentsSurviveAnyThreadCount) {
+  // Degenerate inputs: fewer text nodes than threads, empty vocabulary.
+  for (const char* xml :
+       {"<a/>", "<a><b/><c/></a>", "<a><b>tree</b></a>"}) {
+    IndexOptions serial_options;
+    serial_options.build_threads = 1;
+    IndexOptions parallel_options;
+    parallel_options.build_threads = 8;
+    auto t1 = ParseXmlString(xml);
+    auto t2 = ParseXmlString(xml);
+    ASSERT_TRUE(t1.ok() && t2.ok());
+    auto serial = XmlIndex::Build(std::move(t1).value(), serial_options);
+    auto parallel = XmlIndex::Build(std::move(t2).value(), parallel_options);
+    std::ostringstream o1, o2;
+    ASSERT_TRUE(SaveIndex(*serial, o1).ok());
+    ASSERT_TRUE(SaveIndex(*parallel, o2).ok());
+    EXPECT_EQ(o1.str(), o2.str()) << xml;
+  }
+}
+
+}  // namespace
+}  // namespace xclean

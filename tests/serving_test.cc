@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
@@ -23,6 +24,7 @@
 #include "core/suggester.h"
 #include "data/dblp_gen.h"
 #include "data/workload.h"
+#include "index/index_io.h"
 #include "serve/engine.h"
 
 namespace xclean::serve {
@@ -183,6 +185,40 @@ TEST(ServingTest, SwapInvalidatesCachedResults) {
   }
 }
 
+TEST(ServingTest, SwapIndexFromFileHotSwapsASavedSnapshot) {
+  // Offline-build / online-serve: a builder writes a snapshot file, the
+  // running engine swaps onto it without restarting.
+  DblpGenOptions gen;
+  gen.num_publications = 400;
+  gen.seed = 7;
+  auto built = std::make_shared<const XCleanSuggester>(
+      XCleanSuggester::FromTree(GenerateDblp(gen)));
+  std::string path = testing::TempDir() + "/xclean_serving_swap.idx";
+  ASSERT_TRUE(SaveIndex(built->index(), path).ok());
+
+  std::shared_ptr<const XCleanSuggester> initial = BuildSmallDblpSuggester();
+  EngineOptions options;
+  options.pool.num_threads = 1;
+  ServingEngine engine(initial, options);
+  EXPECT_EQ(engine.snapshot_version(), 1u);
+
+  // A bad path must leave the current snapshot serving.
+  Status bad = engine.SwapIndexFromFile("/no/such/snapshot.idx");
+  EXPECT_EQ(bad.code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.snapshot_version(), 1u);
+  EXPECT_EQ(engine.snapshot().get(), initial.get());
+
+  ASSERT_TRUE(engine.SwapIndexFromFile(path).ok());
+  EXPECT_EQ(engine.snapshot_version(), 2u);
+  for (const std::string& q : MakeWorkload(*built, 4)) {
+    ServeResult r = engine.Suggest(q);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(r.snapshot_version, 2u);
+    ExpectSameSuggestions(r.suggestions, built->Suggest(q), q);
+  }
+  std::remove(path.c_str());
+}
+
 TEST(ServingTest, ExpiredDeadlineIsSheddedNotServed) {
   std::shared_ptr<const XCleanSuggester> suggester =
       BuildSmallDblpSuggester();
@@ -216,11 +252,15 @@ TEST(ServingTest, BackpressureRejectsWhenQueueFull) {
   ServingEngine engine(suggester, options);
 
   // Saturate: the single worker plus a queue of one can hold at most a
-  // couple of requests; submitting many fast must hit Unavailable.
+  // couple of requests; submitting many fast must hit Unavailable. Each
+  // query is distinct so every request is a cache miss the worker has to
+  // compute — identical queries become instant cache hits, letting the
+  // worker drain as fast as we submit.
   int rejected = 0;
   for (int i = 0; i < 64; ++i) {
-    Status s = engine.SubmitSuggest("information retrieval systems",
-                                    [](ServeResult) {});
+    Status s = engine.SubmitSuggest(
+        "information retrieval systems " + std::to_string(i),
+        [](ServeResult) {});
     if (!s.ok()) {
       EXPECT_EQ(s.code(), StatusCode::kUnavailable);
       ++rejected;

@@ -1,0 +1,76 @@
+#include "common/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace xclean {
+namespace {
+
+TEST(VarintTest, RoundTrips64) {
+  const std::vector<uint64_t> values = {
+      0,       1,
+      127,     128,
+      300,     16383,
+      16384,   (1ull << 32) - 1,
+      1ull << 32,             (1ull << 56) + 17,
+      std::numeric_limits<uint64_t>::max()};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(buf, v);
+  const char* p = buf.data();
+  const char* end = buf.data() + buf.size();
+  for (uint64_t want : values) {
+    uint64_t got = 0;
+    p = GetVarint64(p, end, &got);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(got, want);
+  }
+  EXPECT_EQ(p, end);
+}
+
+TEST(VarintTest, EncodingLengthMatchesMagnitude) {
+  std::string one, two, ten;
+  PutVarint64(one, 127);
+  PutVarint64(two, 128);
+  PutVarint64(ten, std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(two.size(), 2u);
+  EXPECT_EQ(ten.size(), 10u);
+}
+
+TEST(VarintTest, TruncatedDecodeFails) {
+  std::string buf;
+  PutVarint64(buf, 1ull << 40);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    uint64_t v = 0;
+    EXPECT_EQ(GetVarint64(buf.data(), buf.data() + cut, &v), nullptr)
+        << "cut at " << cut;
+  }
+}
+
+TEST(VarintTest, Get32RejectsWideValues) {
+  std::string buf;
+  PutVarint64(buf, 1ull << 32);
+  uint32_t v = 0;
+  EXPECT_EQ(GetVarint32(buf.data(), buf.data() + buf.size(), &v), nullptr);
+}
+
+TEST(VarintTest, ZigZagRoundTripsSignedDeltas) {
+  const std::vector<int64_t> values = {
+      0, -1, 1, -2, 2, 63, -64, 1000000, -1000000,
+      std::numeric_limits<int64_t>::min(),
+      std::numeric_limits<int64_t>::max()};
+  for (int64_t v : values) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v) << v;
+  }
+  // Small magnitudes of either sign must stay one byte.
+  std::string buf;
+  PutVarint64(buf, ZigZagEncode(-5));
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+}  // namespace
+}  // namespace xclean
