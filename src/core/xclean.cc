@@ -186,8 +186,8 @@ std::vector<Suggestion> XClean::SuggestWithStats(const Query& query,
               if (tree.depth(occ.node) < entity_depth) continue;
               NodeId entity = tree.AncestorAtDepth(occ.node, entity_depth);
               if (tree.path_id(entity) != choice.path) continue;
-              auto [it, created] =
-                  entity_counts.try_emplace(entity, std::vector<uint64_t>(l, 0));
+              auto [it, created] = entity_counts.try_emplace(
+                  entity, std::vector<uint64_t>(l, 0));
               it->second[i] += occ.tf;
             }
           }

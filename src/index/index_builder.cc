@@ -45,8 +45,9 @@ std::vector<PathFreq> BuildTypeList(const XmlTree& tree,
   std::vector<PathFreq> out;
   out.reserve(freq.size());
   for (const auto& [path, f] : freq) out.push_back(PathFreq{path, f});
-  std::sort(out.begin(), out.end(),
-            [](const PathFreq& a, const PathFreq& b) { return a.path < b.path; });
+  std::sort(out.begin(), out.end(), [](const PathFreq& a, const PathFreq& b) {
+    return a.path < b.path;
+  });
   return out;
 }
 

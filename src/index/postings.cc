@@ -15,8 +15,9 @@ void PostingCursor::SkipTo(NodeId target) {
     step <<= 1;
   }
   const Posting* hi = std::min(probe + step, end_);
-  cur_ = std::lower_bound(probe, hi, target,
-                          [](const Posting& p, NodeId t) { return p.node < t; });
+  cur_ = std::lower_bound(
+      probe, hi, target,
+      [](const Posting& p, NodeId t) { return p.node < t; });
 }
 
 }  // namespace xclean

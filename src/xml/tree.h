@@ -59,7 +59,9 @@ class XmlTree {
   uint32_t depth(NodeId n) const { return nodes_[n].depth; }
 
   LabelId label_id(NodeId n) const { return nodes_[n].label_id; }
-  const std::string& label(NodeId n) const { return labels_[nodes_[n].label_id]; }
+  const std::string& label(NodeId n) const {
+    return labels_[nodes_[n].label_id];
+  }
 
   PathId path_id(NodeId n) const { return nodes_[n].path_id; }
 

@@ -47,8 +47,9 @@ TEST(MergedListTest, MergesInDocumentOrder) {
                                     ListOf({4})};
   std::vector<MergedList::Member> members;
   MergedList merged = Make(lists, members);
-  EXPECT_EQ(Drain(merged),
-            (std::vector<Flat>{{1, 0}, {2, 1}, {3, 1}, {4, 2}, {5, 0}, {9, 1}}));
+  std::vector<Flat> expected = {{1, 0}, {2, 1}, {3, 1},
+                                {4, 2}, {5, 0}, {9, 1}};
+  EXPECT_EQ(Drain(merged), expected);
   EXPECT_TRUE(merged.empty());
   EXPECT_EQ(merged.cur_pos(), nullptr);
 }

@@ -197,7 +197,8 @@ TEST(ThreadPoolTest, ShutdownDrainsBacklog) {
   for (int i = 0; i < 500; ++i) {
     ASSERT_TRUE(pool
                     .TrySubmit([&done] {
-                      std::this_thread::sleep_for(std::chrono::microseconds(10));
+                      std::this_thread::sleep_for(
+                          std::chrono::microseconds(10));
                       done.fetch_add(1);
                     })
                     .ok());
