@@ -166,6 +166,58 @@ void BM_MergedListDrainVsSkip(benchmark::State& state) {
 }
 BENCHMARK(BM_MergedListDrainVsSkip)->Arg(0)->Arg(1);
 
+/// Tunes MergedList::SkipTo's lazy-vs-rebuild crossover (the lazy_limit in
+/// merged_list.cc): sweeps the anchor stride — short strides move one or
+/// two members per skip (lazy path wins), long strides leave most members
+/// behind the target (wholesale rebuild wins) — and reports the SkipStats
+/// counters alongside wall time, so a crossover change shows up as a shift
+/// in lazy_advances/rebuilds per skip, not just as noise in ns/op.
+void BM_MergedListSkipTuning(benchmark::State& state) {
+  const NodeId stride = static_cast<NodeId>(state.range(0));
+  // 32 member lists (a RULE-like variant fanout), 20k entries each.
+  std::vector<PostingList> lists;
+  Rng rng(32);
+  for (int m = 0; m < 32; ++m) {
+    std::vector<Posting> postings;
+    NodeId node = static_cast<NodeId>(rng.Uniform(37));
+    for (int i = 0; i < 20000; ++i) {
+      node += 1 + static_cast<NodeId>(rng.Uniform(40));
+      postings.push_back(Posting{node, 1});
+    }
+    lists.emplace_back(std::move(postings));
+  }
+  uint64_t moving_calls = 0, lazy_advances = 0, rebuilds = 0;
+  for (auto _ : state) {
+    MergedList merged;
+    merged.Reset();
+    for (size_t m = 0; m < lists.size(); ++m) {
+      merged.AddMember(static_cast<TokenId>(m), PostingCursor(lists[m]));
+    }
+    merged.Finish();
+    uint64_t consumed = 0;
+    NodeId target = 0;
+    while (merged.SkipTo(target) != nullptr) {
+      MergedList::Head h = merged.Next();
+      ++consumed;
+      target = h.node + stride;
+    }
+    benchmark::DoNotOptimize(consumed);
+    const MergedList::SkipStats& stats = merged.skip_stats();
+    moving_calls += stats.moving_calls;
+    lazy_advances += stats.lazy_advances;
+    rebuilds += stats.rebuilds;
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["moving_calls"] = moving_calls / iters;
+  state.counters["lazy_advances"] = lazy_advances / iters;
+  state.counters["rebuilds"] = rebuilds / iters;
+}
+BENCHMARK(BM_MergedListSkipTuning)
+    ->Arg(1)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(16384);
+
 void BM_Slca(benchmark::State& state) {
   const XmlIndex& index = SharedDblpIndex();
   const XmlTree& tree = index.tree();

@@ -12,6 +12,8 @@
 // passes dominate; at laptop scale the two converge — see EXPERIMENTS.md.
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "bench_common.h"
 #include "core/naive.h"
@@ -19,6 +21,41 @@
 
 using namespace xclean;
 using namespace xclean::bench;
+
+namespace {
+
+/// One Table VI cell triple, kept around so the optional JSON dump (the
+/// XCLEAN_BENCH_JSON env var names the output file) can be written after
+/// the human-readable table. CI archives the file per commit so runtime
+/// trends are diffable across runs without scraping stdout.
+struct Row {
+  std::string set;
+  double xclean_ms;
+  double py08_ms;
+  double naive_ms;
+};
+
+void WriteJson(const char* path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "XCLEAN_BENCH_JSON: cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "  {\"set\": \"%s\", \"xclean_ms\": %.6f, "
+                 "\"py08_ms\": %.6f, \"naive_ms\": %.6f}%s\n",
+                 r.set.c_str(), r.xclean_ms, r.py08_ms, r.naive_ms,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote JSON results to %s\n", path);
+}
+
+}  // namespace
 
 int main() {
   BenchConfig config = BenchConfig::FromEnv();
@@ -31,6 +68,7 @@ int main() {
       "==\n");
   TablePrinter table({"query set", "XClean", "PY08", "Naive(capped)"});
   table.PrintHeader();
+  std::vector<Row> rows;
   for (const Corpus& corpus : corpora) {
     for (Perturbation p : {Perturbation::kRand, Perturbation::kRule,
                            Perturbation::kClean}) {
@@ -49,10 +87,15 @@ int main() {
       table.PrintRow({set.name, TablePrinter::Num(rx.avg_seconds * 1e3),
                       TablePrinter::Num(rp.avg_seconds * 1e3),
                       TablePrinter::Num(rn.avg_seconds * 1e3)});
+      rows.push_back(Row{set.name, rx.avg_seconds * 1e3,
+                         rp.avg_seconds * 1e3, rn.avg_seconds * 1e3});
     }
   }
   std::printf(
       "\npaper shapes: RULE slowest by a wide margin; INEX-like slower "
       "than\nDBLP-like; naive slowest strategy.\n");
+  if (const char* json_path = std::getenv("XCLEAN_BENCH_JSON")) {
+    WriteJson(json_path, rows);
+  }
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "core/accumulator.h"
 
+#include <algorithm>
 #include <cstring>
 #include <limits>
 
@@ -20,35 +21,52 @@ std::vector<TokenId> DecodeCandidate(const std::string& key) {
   return tokens;
 }
 
-CandidateState* AccumulatorTable::Find(const std::string& key) {
-  auto it = table_.find(key);
-  return it == table_.end() ? nullptr : &it->second;
+void AccumulatorTable::EvictLowest() {
+  size_t victim = SIZE_MAX;
+  double lowest = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < map_.entry_count(); ++i) {
+    if (!map_.entry_alive(i)) continue;
+    const CandidateState& state = map_.entry_value(i);
+    double estimate = state.error_weight * state.sum;
+    if (estimate > lowest) continue;
+    if (estimate == lowest && victim != SIZE_MAX) {
+      // Deterministic tie-break: the lexicographically smallest candidate
+      // token sequence loses.
+      const TokenId* a = map_.entry_key(i);
+      const TokenId* b = map_.entry_key(victim);
+      if (!std::lexicographical_compare(a, a + map_.entry_key_len(i), b,
+                                        b + map_.entry_key_len(victim))) {
+        continue;
+      }
+    }
+    lowest = estimate;
+    victim = i;
+  }
+  XCLEAN_CHECK(victim != SIZE_MAX);
+  map_.EraseEntryAt(victim);
+  ++evictions_;
 }
 
-void AccumulatorTable::EvictLowest() {
-  auto victim = table_.end();
-  double lowest = std::numeric_limits<double>::infinity();
-  for (auto it = table_.begin(); it != table_.end(); ++it) {
-    double estimate = it->second.error_weight * it->second.sum;
-    if (estimate < lowest) {
-      lowest = estimate;
-      victim = it;
-    }
-  }
-  XCLEAN_CHECK(victim != table_.end());
-  table_.erase(victim);
-  ++evictions_;
+CandidateState* AccumulatorTable::GetOrCreate(const TokenId* key, size_t len,
+                                              double error_weight) {
+  if (CandidateState* state = map_.Find(key, len)) return state;
+  if (gamma_ != 0 && map_.size() >= gamma_) EvictLowest();
+  bool created = false;
+  CandidateState* state = map_.GetOrCreate(key, len, &created);
+  XCLEAN_CHECK(created);
+  state->error_weight = error_weight;
+  return state;
 }
 
 CandidateState* AccumulatorTable::GetOrCreate(const std::string& key,
                                               double error_weight) {
-  auto it = table_.find(key);
-  if (it != table_.end()) return &it->second;
-  if (gamma_ != 0 && table_.size() >= gamma_) EvictLowest();
-  CandidateState state;
-  state.error_weight = error_weight;
-  auto [inserted, _] = table_.emplace(key, state);
-  return &inserted->second;
+  std::vector<TokenId> tokens = DecodeCandidate(key);
+  return GetOrCreate(tokens.data(), tokens.size(), error_weight);
+}
+
+CandidateState* AccumulatorTable::Find(const std::string& key) {
+  std::vector<TokenId> tokens = DecodeCandidate(key);
+  return Find(tokens.data(), tokens.size());
 }
 
 }  // namespace xclean

@@ -3,16 +3,17 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "core/candidate_map.h"
 #include "index/vocabulary.h"
 #include "xml/tree.h"
 
 namespace xclean {
 
 /// Candidate queries are encoded as byte strings (l * 4 bytes of TokenId)
-/// so they can key hash tables without a custom hasher.
+/// where a string-keyed container is convenient (tests, diagnostics). The
+/// hot path keys tables by the raw TokenId sequence instead.
 std::string EncodeCandidate(const std::vector<TokenId>& tokens);
 std::vector<TokenId> DecodeCandidate(const std::string& key);
 
@@ -32,27 +33,51 @@ struct CandidateState {
 /// arrives and the table is full, the victim is the candidate whose
 /// estimated final score — error_weight * sum, i.e. P(Q|C) times the
 /// partial P(C|T) mass observed so far (Hoeffding sample-mean estimate) —
-/// is lowest. An evicted candidate that reappears restarts from zero; the
-/// probabilistic argument is that low-partial-score candidates are unlikely
-/// to reach the top-k.
+/// is lowest; ties break to the lexicographically smallest candidate token
+/// sequence (pinned by a regression test: the victim choice is part of the
+/// algorithm's observable behavior under gamma pruning). An evicted
+/// candidate that reappears restarts from zero; the probabilistic argument
+/// is that low-partial-score candidates are unlikely to reach the top-k.
+///
+/// Storage is a flat open-addressing table (CandidateMap) whose backing
+/// arrays survive Reset(), so a QueryScratch-owned instance allocates only
+/// while warming up.
 class AccumulatorTable {
  public:
   /// gamma = 0 means unbounded (exact evaluation).
   explicit AccumulatorTable(size_t gamma) : gamma_(gamma) {}
 
-  /// Accumulator for `key`, creating (and possibly evicting) as needed.
-  /// The returned pointer is invalidated by the next GetOrCreate call.
-  /// `error_weight` is stored on creation.
-  CandidateState* GetOrCreate(const std::string& key, double error_weight);
+  /// Drops all entries and the eviction counter but keeps the backing
+  /// storage; `gamma` may change between runs.
+  void Reset(size_t gamma) {
+    gamma_ = gamma;
+    evictions_ = 0;
+    map_.Clear();
+  }
 
-  /// Accumulator for `key` if present.
+  /// Accumulator for the candidate token sequence, creating (and possibly
+  /// evicting) as needed. The returned pointer is invalidated by the next
+  /// GetOrCreate call. `error_weight` is stored on creation.
+  CandidateState* GetOrCreate(const TokenId* key, size_t len,
+                              double error_weight);
+
+  /// Accumulator for the candidate if present.
+  CandidateState* Find(const TokenId* key, size_t len) {
+    return map_.Find(key, len);
+  }
+
+  /// String-keyed conveniences over EncodeCandidate keys (tests and
+  /// non-hot-path callers).
+  CandidateState* GetOrCreate(const std::string& key, double error_weight);
   CandidateState* Find(const std::string& key);
 
-  size_t size() const { return table_.size(); }
+  size_t size() const { return map_.size(); }
   uint64_t eviction_count() const { return evictions_; }
 
-  const std::unordered_map<std::string, CandidateState>& entries() const {
-    return table_;
+  /// Calls fn(key, key_len, state) for every live accumulator.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    map_.ForEach(fn);
   }
 
  private:
@@ -60,7 +85,7 @@ class AccumulatorTable {
 
   size_t gamma_;
   uint64_t evictions_ = 0;
-  std::unordered_map<std::string, CandidateState> table_;
+  CandidateMap<CandidateState> map_;
 };
 
 }  // namespace xclean

@@ -1,0 +1,250 @@
+#ifndef XCLEAN_CORE_CANDIDATE_MAP_H_
+#define XCLEAN_CORE_CANDIDATE_MAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "index/vocabulary.h"
+
+namespace xclean {
+
+/// Deterministic hash of a candidate-query token sequence (splitmix64-style
+/// mixing, seeded by the length). Used by every candidate-keyed table on the
+/// suggestion hot path.
+inline uint64_t HashCandidateTokens(const TokenId* key, size_t len) {
+  uint64_t h = 0x9E3779B97F4A7C15ull + len;
+  for (size_t i = 0; i < len; ++i) {
+    uint64_t x = h ^ (key[i] + 0x9E3779B97F4A7C15ull);
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    h = x;
+  }
+  return h;
+}
+
+/// Open-addressing hash map keyed by candidate-query token sequences,
+/// designed for the zero-steady-state-allocation contract of QueryScratch:
+///
+///   - keys live in one contiguous TokenId pool, entries in one vector, and
+///     the bucket array holds entry indices — three flat allocations total,
+///     all of which Clear() retains;
+///   - erased entries go on a free list and are reused by later inserts of
+///     equal key length (on the hot path every key has the query's length,
+///     so reuse always succeeds and a gamma-bounded table reaches a steady
+///     footprint);
+///   - same-size rehashes (tombstone flushes) refill the existing bucket
+///     array in place instead of allocating a new one.
+///
+/// Value pointers are invalidated by GetOrCreate (entry storage may grow);
+/// keys are stable until Clear(). Iteration via entry indices visits
+/// insertion order with freed slots reused in LIFO order — deterministic for
+/// a deterministic operation sequence, which is all the callers need (final
+/// ranking sorts by a total order).
+template <typename V>
+class CandidateMap {
+ public:
+  CandidateMap() = default;
+  CandidateMap(CandidateMap&&) noexcept = default;
+  CandidateMap& operator=(CandidateMap&&) noexcept = default;
+  CandidateMap(const CandidateMap&) = delete;
+  CandidateMap& operator=(const CandidateMap&) = delete;
+
+  size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+
+  /// Removes every entry but keeps all storage (buckets, entry vector, key
+  /// pool, free list capacity).
+  void Clear() {
+    std::fill(buckets_.begin(), buckets_.end(), kEmpty);
+    entries_.clear();
+    key_pool_.clear();
+    free_.clear();
+    live_ = 0;
+    tombstones_ = 0;
+  }
+
+  V* Find(const TokenId* key, size_t len) {
+    const Entry* e = FindEntry(key, len);
+    return e == nullptr ? nullptr : const_cast<V*>(&e->value);
+  }
+  const V* Find(const TokenId* key, size_t len) const {
+    const Entry* e = FindEntry(key, len);
+    return e == nullptr ? nullptr : &e->value;
+  }
+
+  /// Value for `key`, inserting a default-constructed one if absent.
+  /// `created` (optional) reports whether an insert happened. The returned
+  /// pointer is invalidated by the next GetOrCreate or Clear.
+  V* GetOrCreate(const TokenId* key, size_t len, bool* created = nullptr) {
+    if (buckets_.empty()) buckets_.assign(kInitialBuckets, kEmpty);
+    uint64_t hash = HashCandidateTokens(key, len);
+    size_t mask = buckets_.size() - 1;
+    size_t insert_at = SIZE_MAX;
+    for (size_t i = hash & mask;; i = (i + 1) & mask) {
+      int32_t slot = buckets_[i];
+      if (slot == kEmpty) {
+        if (insert_at == SIZE_MAX) insert_at = i;
+        break;
+      }
+      if (slot == kTombstone) {
+        if (insert_at == SIZE_MAX) insert_at = i;
+        continue;
+      }
+      Entry& e = entries_[slot];
+      if (e.hash == hash && e.key_len == len &&
+          std::equal(key, key + len, key_pool_.data() + e.key_offset)) {
+        if (created != nullptr) *created = false;
+        return &e.value;
+      }
+    }
+    if (created != nullptr) *created = true;
+    if ((live_ + tombstones_ + 1) * 4 >= buckets_.size() * 3) {
+      Rehash();
+      // Rehash flushed tombstones and may have moved everything; re-probe
+      // for the insert position (the key is known absent).
+      mask = buckets_.size() - 1;
+      insert_at = hash & mask;
+      while (buckets_[insert_at] != kEmpty) {
+        insert_at = (insert_at + 1) & mask;
+      }
+    } else if (buckets_[insert_at] == kTombstone) {
+      --tombstones_;
+    }
+    int32_t slot = AllocateEntry(key, len, hash);
+    buckets_[insert_at] = slot;
+    ++live_;
+    return &entries_[slot].value;
+  }
+
+  /// Erases the entry at `entry_index` (which must be alive). Its entry slot
+  /// and key-pool region go on the free list for reuse.
+  void EraseEntryAt(size_t entry_index) {
+    Entry& e = entries_[entry_index];
+    XCLEAN_CHECK(e.alive);
+    size_t mask = buckets_.size() - 1;
+    for (size_t i = e.hash & mask;; i = (i + 1) & mask) {
+      XCLEAN_CHECK(buckets_[i] != kEmpty);
+      if (buckets_[i] == static_cast<int32_t>(entry_index)) {
+        buckets_[i] = kTombstone;
+        break;
+      }
+    }
+    e.alive = false;
+    free_.push_back(static_cast<int32_t>(entry_index));
+    --live_;
+    ++tombstones_;
+  }
+
+  // --- Entry-index access (for iteration without allocating) -------------
+  size_t entry_count() const { return entries_.size(); }
+  bool entry_alive(size_t i) const { return entries_[i].alive; }
+  const TokenId* entry_key(size_t i) const {
+    return key_pool_.data() + entries_[i].key_offset;
+  }
+  size_t entry_key_len(size_t i) const { return entries_[i].key_len; }
+  V& entry_value(size_t i) { return entries_[i].value; }
+  const V& entry_value(size_t i) const { return entries_[i].value; }
+
+  /// Calls fn(key, key_len, value) for every live entry.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].alive) {
+        fn(key_pool_.data() + entries_[i].key_offset, entries_[i].key_len,
+           entries_[i].value);
+      }
+    }
+  }
+
+ private:
+  struct Entry {
+    uint64_t hash = 0;
+    uint32_t key_offset = 0;
+    uint32_t key_len = 0;
+    bool alive = false;
+    V value{};
+  };
+
+  static constexpr int32_t kEmpty = -1;
+  static constexpr int32_t kTombstone = -2;
+  static constexpr size_t kInitialBuckets = 16;
+
+  const Entry* FindEntry(const TokenId* key, size_t len) const {
+    if (buckets_.empty()) return nullptr;
+    uint64_t hash = HashCandidateTokens(key, len);
+    size_t mask = buckets_.size() - 1;
+    for (size_t i = hash & mask;; i = (i + 1) & mask) {
+      int32_t slot = buckets_[i];
+      if (slot == kEmpty) return nullptr;
+      if (slot == kTombstone) continue;
+      const Entry& e = entries_[slot];
+      if (e.hash == hash && e.key_len == len &&
+          std::equal(key, key + len, key_pool_.data() + e.key_offset)) {
+        return &e;
+      }
+    }
+  }
+
+  int32_t AllocateEntry(const TokenId* key, size_t len, uint64_t hash) {
+    // Prefer a freed entry whose key region has the right length (always
+    // the case on the hot path, where all keys share the query length).
+    for (size_t f = free_.size(); f > 0; --f) {
+      int32_t idx = free_[f - 1];
+      Entry& e = entries_[idx];
+      if (e.key_len != len) continue;
+      free_.erase(free_.begin() + (f - 1));
+      std::copy(key, key + len, key_pool_.data() + e.key_offset);
+      e.hash = hash;
+      e.alive = true;
+      e.value = V{};
+      return idx;
+    }
+    Entry e;
+    e.hash = hash;
+    e.key_offset = static_cast<uint32_t>(key_pool_.size());
+    e.key_len = static_cast<uint32_t>(len);
+    e.alive = true;
+    key_pool_.insert(key_pool_.end(), key, key + len);
+    entries_.push_back(std::move(e));
+    return static_cast<int32_t>(entries_.size() - 1);
+  }
+
+  void Rehash() {
+    // Grow when live entries alone approach the load limit; otherwise the
+    // pressure is tombstones (bounded-gamma eviction churn) and an in-place
+    // flush restores headroom without allocating.
+    size_t new_size = (live_ + 1) * 4 >= buckets_.size() * 3
+                          ? buckets_.size() * 2
+                          : buckets_.size();
+    if (new_size != buckets_.size()) {
+      buckets_.assign(new_size, kEmpty);
+    } else {
+      // Tombstone flush: refill the existing array, no allocation.
+      std::fill(buckets_.begin(), buckets_.end(), kEmpty);
+    }
+    tombstones_ = 0;
+    size_t mask = buckets_.size() - 1;
+    for (size_t idx = 0; idx < entries_.size(); ++idx) {
+      if (!entries_[idx].alive) continue;
+      size_t i = entries_[idx].hash & mask;
+      while (buckets_[i] != kEmpty) i = (i + 1) & mask;
+      buckets_[i] = static_cast<int32_t>(idx);
+    }
+  }
+
+  std::vector<int32_t> buckets_;
+  std::vector<Entry> entries_;
+  std::vector<TokenId> key_pool_;
+  std::vector<int32_t> free_;
+  size_t live_ = 0;
+  size_t tombstones_ = 0;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_CORE_CANDIDATE_MAP_H_

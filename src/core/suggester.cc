@@ -72,8 +72,39 @@ std::vector<Suggestion> XCleanSuggester::Suggest(
 std::vector<Suggestion> XCleanSuggester::Suggest(const Query& query) const {
   // Route through the stateless const entry point (no last_run_stats()
   // recording) so a shared suggester is safe under concurrent callers.
+  return Suggest(query, nullptr);
+}
+
+std::vector<std::vector<Suggestion>> XCleanSuggester::SuggestBatch(
+    const std::vector<std::string>& query_texts, QueryScratch* scratch) const {
+  std::vector<Query> queries;
+  queries.reserve(query_texts.size());
+  for (const std::string& text : query_texts) {
+    queries.push_back(ParseQuery(text, index_->tokenizer()));
+  }
+  return SuggestBatch(queries, scratch);
+}
+
+std::vector<std::vector<Suggestion>> XCleanSuggester::SuggestBatch(
+    const std::vector<Query>& queries, QueryScratch* scratch) const {
+  QueryScratch local;
+  QueryScratch& shared = scratch != nullptr ? *scratch : local;
+  std::vector<std::vector<Suggestion>> out;
+  out.reserve(queries.size());
+  for (const Query& query : queries) {
+    out.push_back(Suggest(query, &shared));
+  }
+  return out;
+}
+
+std::vector<Suggestion> XCleanSuggester::Suggest(const Query& query,
+                                                 QueryScratch* scratch) const {
+  QueryScratch local;
+  QueryScratch& arena = scratch != nullptr ? *scratch : local;
   if (options_.space_tau == 0) {
-    return algorithm_->SuggestWithStats(query, nullptr);
+    std::vector<Suggestion> out;
+    algorithm_->SuggestWithScratch(query, arena, &out, nullptr);
+    return out;
   }
 
   // Space-error extension: clean every admissible re-segmentation, penalize
@@ -85,10 +116,12 @@ std::vector<Suggestion> XCleanSuggester::Suggest(const Query& query) const {
   std::vector<SpaceEdit> forms =
       ExpandSpaceEdits(query, index_->vocabulary(), options_.space_tau,
                        index_->tokenizer().options().min_token_length);
+  std::vector<Suggestion> form_out;
   for (const SpaceEdit& form : forms) {
     double penalty =
         std::exp(-options_.space_penalty_beta * form.changes);
-    for (Suggestion& s : algorithm_->SuggestWithStats(form.query, nullptr)) {
+    algorithm_->SuggestWithScratch(form.query, arena, &form_out, nullptr);
+    for (Suggestion& s : form_out) {
       s.score *= penalty;
       s.error_weight *= penalty;
       if (seen.insert(s.words).second) merged.push_back(std::move(s));

@@ -71,14 +71,34 @@ class XCleanSuggester {
   /// lists merged under the space penalty.
   ///
   /// Thread safety: const and touches no mutable state — the index is
-  /// immutable after Build and the algorithm runs entirely on the stack
-  /// (XClean::SuggestWithStats), so any number of threads may call
-  /// Suggest() on one shared instance concurrently. This is the contract
-  /// the serving engine (serve/engine.h) relies on.
+  /// immutable after Build and the algorithm runs on caller-owned scratch
+  /// (a stack-local one here), so any number of threads may call Suggest()
+  /// on one shared instance concurrently. This is the contract the serving
+  /// engine (serve/engine.h) relies on.
   std::vector<Suggestion> Suggest(std::string_view query_text) const;
 
   /// Structured entry point; same thread-safety contract.
   std::vector<Suggestion> Suggest(const Query& query) const;
+
+  /// Structured entry point with a caller-owned scratch arena: repeated
+  /// calls through one scratch reuse its buffers and memo tables, making
+  /// steady-state suggestion allocation-free (core/query_scratch.h).
+  /// `scratch` may be null (a stack-local one is used). Concurrent callers
+  /// must use distinct scratches — the serving engine keeps one per worker
+  /// thread.
+  std::vector<Suggestion> Suggest(const Query& query,
+                                  QueryScratch* scratch) const;
+
+  /// Evaluates a batch of raw query strings (or parsed queries) through one
+  /// shared scratch: the batch costs one arena warm-up total instead of one
+  /// per query, and repeated keywords across the batch hit the variant and
+  /// result-type memos. Results are positional. Same thread-safety contract
+  /// as Suggest(query, scratch).
+  std::vector<std::vector<Suggestion>> SuggestBatch(
+      const std::vector<std::string>& query_texts,
+      QueryScratch* scratch = nullptr) const;
+  std::vector<std::vector<Suggestion>> SuggestBatch(
+      const std::vector<Query>& queries, QueryScratch* scratch = nullptr) const;
 
   const XmlIndex& index() const { return *index_; }
   const XClean& algorithm() const { return *algorithm_; }

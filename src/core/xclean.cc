@@ -1,8 +1,7 @@
 #include "core/xclean.h"
 
 #include <algorithm>
-#include <map>
-#include <unordered_map>
+#include <atomic>
 
 #include "common/check.h"
 #include "core/elca.h"
@@ -13,21 +12,17 @@ namespace xclean {
 
 namespace {
 
-/// Per-subtree occurrence bundle for one keyword slot: the variants seen in
-/// the subtree with their occurrence nodes (document order) and term
-/// frequencies. std::map keeps variant enumeration deterministic.
-struct OccInfo {
-  NodeId node;
-  uint32_t tf;
-};
-using SlotOccurrences = std::map<TokenId, std::vector<OccInfo>>;
+/// Monotonic source of per-instance epochs; 0 is reserved for "unbound"
+/// scratches.
+std::atomic<uint64_t> g_next_epoch{1};
 
 /// Sum of tf of `occ` entries whose node lies in [lo, hi]; occ is sorted by
 /// node.
-uint64_t SumTfInRange(const std::vector<OccInfo>& occ, NodeId lo, NodeId hi) {
+template <typename OccVec>
+uint64_t SumTfInRange(const OccVec& occ, NodeId lo, NodeId hi) {
   auto it = std::lower_bound(
       occ.begin(), occ.end(), lo,
-      [](const OccInfo& o, NodeId target) { return o.node < target; });
+      [](const auto& o, NodeId target) { return o.node < target; });
   uint64_t sum = 0;
   for (; it != occ.end() && it->node <= hi; ++it) sum += it->tf;
   return sum;
@@ -42,7 +37,17 @@ XClean::XClean(const XmlIndex& index, XCleanOptions options)
                    VariantGenOptions{options.max_ed, options.include_soundex}),
       error_model_(options.beta),
       language_model_(index, options.mu),
-      type_scorer_(index, options.reduction) {}
+      type_scorer_(index, options.reduction),
+      epoch_(g_next_epoch.fetch_add(1, std::memory_order_relaxed)),
+      own_scratch_(std::make_unique<QueryScratch>()) {
+  if (options_.lm_stats_cache) {
+    lm_stats_ = std::make_unique<LmStatsCache>(index, options_.mu);
+  }
+  edit_weight_.reserve(options_.max_ed + 1);
+  for (uint32_t d = 0; d <= options_.max_ed; ++d) {
+    edit_weight_.push_back(error_model_.Weight(d));
+  }
+}
 
 std::string XClean::name() const {
   switch (options_.semantics) {
@@ -56,52 +61,267 @@ std::string XClean::name() const {
 }
 
 std::vector<Suggestion> XClean::Suggest(const Query& query) {
-  return SuggestWithStats(query, &stats_);
+  std::vector<Suggestion> out;
+  SuggestWithScratch(query, *own_scratch_, &out, &stats_);
+  return out;
 }
 
 std::vector<Suggestion> XClean::SuggestWithStats(const Query& query,
                                                  XCleanRunStats* stats) const {
+  QueryScratch scratch;
+  std::vector<Suggestion> out;
+  SuggestWithScratch(query, scratch, &out, stats);
+  return out;
+}
+
+std::vector<std::vector<Suggestion>> XClean::SuggestBatch(
+    const std::vector<Query>& queries, QueryScratch* scratch,
+    std::vector<XCleanRunStats>* stats) const {
+  QueryScratch local;
+  QueryScratch& shared = scratch != nullptr ? *scratch : local;
+  if (stats != nullptr) stats->assign(queries.size(), XCleanRunStats{});
+  std::vector<std::vector<Suggestion>> out(queries.size());
+  std::vector<Suggestion> buf;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SuggestWithScratch(queries[i], shared, &buf,
+                       stats != nullptr ? &(*stats)[i] : nullptr);
+    out[i] = buf;
+  }
+  return out;
+}
+
+void XClean::BindScratch(QueryScratch& scratch) const {
+  if (scratch.bound_epoch_ == epoch_) return;
+  // The scratch last served a different instance (other options, or an
+  // index hot-swap rebuilt the algorithm): its memo tables describe the
+  // wrong world. Drop them; the arenas are world-free and stay.
+  scratch.variant_cache_.clear();
+  scratch.type_cache_.Clear();
+  scratch.bound_epoch_ = epoch_;
+}
+
+const std::vector<Variant>& XClean::LookupVariants(
+    QueryScratch& scratch, const std::string& keyword) const {
+  auto it = scratch.variant_cache_.find(keyword);
+  if (it != scratch.variant_cache_.end()) return it->second;
+  if (scratch.variant_cache_.size() >= QueryScratch::kMaxVariantCacheEntries) {
+    scratch.variant_cache_.clear();
+  }
+  return scratch.variant_cache_
+      .emplace(keyword, variant_gen_.Generate(keyword))
+      .first->second;
+}
+
+void XClean::ScoreNodeTypeEntities(QueryScratch& scratch, size_t num_slots,
+                                   const ResultTypeScorer::Choice& choice,
+                                   double error_weight,
+                                   XCleanRunStats& stats) const {
+  const XmlTree& tree = index_->tree();
+  const uint32_t entity_depth = tree.path_depth(choice.path);
+
+  // Attribute each slot's occurrences (for its current variant rank) to
+  // entities at the result type's depth, memoized per (slot, rank, depth)
+  // for the current subtree: candidates in the Cartesian product share
+  // these lists, so the ancestor walk happens once per bucket, not once
+  // per candidate. Buckets are node-ascending and AncestorAtDepth is
+  // monotone, so each list comes out sorted by entity with adjacent
+  // duplicates — a single linear pass aggregates it.
+  auto& lists = scratch.agg_lists_;
+  auto& pos = scratch.agg_pos_;
+  lists.clear();
+  pos.assign(num_slots, 0);
+  for (size_t i = 0; i < num_slots; ++i) {
+    QueryScratch::Slot& slot = scratch.slots_[i];
+    const uint32_t rank = slot.active_ranks[scratch.odometer_[i]];
+    std::vector<QueryScratch::EntityAgg>& agg = slot.agg_by_rank[rank];
+    if (slot.agg_depth[rank] != entity_depth) {
+      agg.clear();
+      // A node inside the last entity's subtree has that entity as its
+      // depth-K ancestor; the range test replaces the parent walk for the
+      // common consecutive-duplicate case.
+      NodeId entity_end = 0;
+      bool have_entity = false;
+      for (const QueryScratch::OccInfo& o : slot.occ_by_rank[rank]) {
+        if (tree.depth(o.node) < entity_depth) continue;
+        if (have_entity && o.node <= entity_end) {
+          agg.back().tf += o.tf;
+          continue;
+        }
+        const NodeId entity = tree.AncestorAtDepth(o.node, entity_depth);
+        entity_end = tree.subtree_end(entity);
+        have_entity = true;
+        agg.push_back(
+            QueryScratch::EntityAgg{entity, tree.path_id(entity), o.tf});
+      }
+      slot.agg_depth[rank] = entity_depth;
+    }
+    if (agg.empty()) return;  // no entity can contain every keyword
+    lists.push_back(&agg);
+  }
+
+  // Sorted l-way intersection of the per-slot entity lists: an entity
+  // scores only if it contains at least one instance of every keyword
+  // (Algorithm 1 line 14) — this is what guarantees suggested queries have
+  // non-empty results — and its label path is the chosen result type.
+  // Ascending entity order and slot-order products keep the accumulator's
+  // floating-point summation identical to the reference evaluation.
+  CandidateState* state = nullptr;
+  NodeId target = (*lists[0])[0].entity;
+  for (;;) {
+    bool all_equal = false;
+    while (!all_equal) {
+      all_equal = true;
+      for (size_t i = 0; i < num_slots; ++i) {
+        const std::vector<QueryScratch::EntityAgg>& list = *lists[i];
+        size_t& p = pos[i];
+        while (p < list.size() && list[p].entity < target) ++p;
+        if (p == list.size()) return;
+        if (list[p].entity > target) {
+          target = list[p].entity;
+          all_equal = false;
+        }
+      }
+    }
+    if ((*lists[0])[pos[0]].path == choice.path) {
+      double prod = 1.0;
+      for (size_t i = 0; i < num_slots; ++i) {
+        prod *= ProbInEntity(scratch.candidate_[i], (*lists[i])[pos[i]].tf,
+                             target);
+      }
+      if (options_.entity_prior) prod *= options_.entity_prior(target);
+      if (state == nullptr) {
+        state = scratch.accumulators_.GetOrCreate(scratch.candidate_.data(),
+                                                  num_slots, error_weight);
+      }
+      state->sum += prod;
+      state->entity_count += 1;
+      ++stats.entities_scored;
+    }
+    for (size_t i = 0; i < num_slots; ++i) ++pos[i];
+    if (pos[0] == lists[0]->size()) return;
+    target = (*lists[0])[pos[0]].entity;
+  }
+}
+
+void XClean::ScoreLcaEntities(QueryScratch& scratch, size_t num_slots,
+                              double error_weight,
+                              XCleanRunStats& stats) const {
+  const XmlTree& tree = index_->tree();
+  const uint32_t d = options_.min_depth;
+
+  // The candidate's entities inside this subtree are the SLCAs (or ELCAs)
+  // of its per-slot witness sets.
+  auto& witness = scratch.witness_lists_;
+  witness.resize(num_slots);
+  for (size_t i = 0; i < num_slots; ++i) {
+    const QueryScratch::Slot& slot = scratch.slots_[i];
+    const uint32_t rank = slot.active_ranks[scratch.odometer_[i]];
+    witness[i].clear();
+    for (const QueryScratch::OccInfo& o : slot.occ_by_rank[rank]) {
+      witness[i].push_back(o.node);
+    }
+  }
+  std::vector<NodeId> slcas = options_.semantics == Semantics::kSlca
+                                  ? ComputeSlcas(tree, witness)
+                                  : ComputeElcas(tree, witness);
+  // ELCA computation can surface ancestors of g (they contain the
+  // subtree's witnesses); the minimal-depth threshold excludes them,
+  // exactly as it excludes shallow result types. SLCAs are within the
+  // subtree already, so this is a no-op for them.
+  std::erase_if(slcas, [&](NodeId e) { return tree.depth(e) < d; });
+  if (slcas.empty()) return;
+
+  // Per-candidate total entity count N_C (kept outside the bounded
+  // accumulator table: N_C is part of the normalizer, not a score).
+  uint32_t* total = scratch.slca_totals_.GetOrCreate(
+      scratch.candidate_.data(), num_slots);
+  *total += static_cast<uint32_t>(slcas.size());
+
+  CandidateState* state = nullptr;
+  for (NodeId entity : slcas) {
+    double prod = 1.0;
+    for (size_t i = 0; i < num_slots; ++i) {
+      const QueryScratch::Slot& slot = scratch.slots_[i];
+      const uint32_t rank = slot.active_ranks[scratch.odometer_[i]];
+      uint64_t count = SumTfInRange(slot.occ_by_rank[rank], entity,
+                                    tree.subtree_end(entity));
+      prod *= ProbInEntity(scratch.candidate_[i], count, entity);
+    }
+    if (options_.entity_prior) prod *= options_.entity_prior(entity);
+    if (state == nullptr) {
+      state = scratch.accumulators_.GetOrCreate(scratch.candidate_.data(),
+                                                num_slots, error_weight);
+    }
+    state->sum += prod;
+    state->entity_count += 1;
+    ++stats.entities_scored;
+  }
+}
+
+void XClean::SuggestWithScratch(const Query& query, QueryScratch& scratch,
+                                std::vector<Suggestion>* out,
+                                XCleanRunStats* stats) const {
   XCleanRunStats local_stats;
   XCleanRunStats& run_stats = stats != nullptr ? *stats : local_stats;
   run_stats = XCleanRunStats{};
-  const size_t l = query.size();
-  if (l == 0) return {};
+  BindScratch(scratch);
 
-  // Step 1: variant generation (Sec. V-A). An empty variant list for any
-  // keyword empties the whole Cartesian candidate space.
-  std::vector<std::vector<Variant>> variants(l);
-  std::vector<std::unordered_map<TokenId, uint32_t>> distance(l);
-  for (size_t i = 0; i < l; ++i) {
-    variants[i] = variant_gen_.Generate(query.keywords[i]);
-    if (variants[i].empty()) return {};
-    for (const Variant& v : variants[i]) distance[i][v.token] = v.distance;
+  const size_t l = query.size();
+  if (l == 0) {
+    out->clear();
+    return;
   }
 
-  // Step 2: one MergedList per keyword over its variants' inverted lists.
-  std::vector<MergedList> merged;
-  merged.reserve(l);
+  // Per-query arena reset (capacity retained) and cross-query memo cap
+  // enforcement.
+  scratch.accumulators_.Reset(options_.gamma);
+  scratch.slca_totals_.Clear();
+  if (scratch.type_cache_.size() > QueryScratch::kMaxTypeCacheEntries) {
+    scratch.type_cache_.Clear();
+  }
+  if (scratch.slots_.size() < l) scratch.slots_.resize(l);
+  scratch.candidate_.assign(l, 0);
+
+  // Step 1 + 2: variant generation (Sec. V-A, memoized across queries) and
+  // one MergedList per keyword over its variants' inverted lists. Variants
+  // are ordered by token so a member's index is both the variant's rank and
+  // its occurrence bucket — and candidate enumeration over ranks is the
+  // deterministic token-order walk the reference evaluation does.
   for (size_t i = 0; i < l; ++i) {
-    std::vector<MergedList::Member> members;
-    members.reserve(variants[i].size());
-    for (const Variant& v : variants[i]) {
-      members.push_back(MergedList::Member{
-          v.token, PostingCursor(index_->postings(v.token))});
+    QueryScratch::Slot& slot = scratch.slots_[i];
+    // Occurrence buckets left over from this slot's previous query.
+    for (uint32_t r : slot.active_ranks) {
+      slot.occ_by_rank[r].clear();
+      slot.agg_depth[r] = QueryScratch::kNoAggDepth;
     }
-    merged.emplace_back(std::move(members));
+    slot.active_ranks.clear();
+    const std::vector<Variant>& vars =
+        LookupVariants(scratch, query.keywords[i]);
+    // An empty variant list for any keyword empties the whole Cartesian
+    // candidate space.
+    if (vars.empty()) {
+      out->clear();
+      return;
+    }
+    slot.variants = vars;
+    std::sort(slot.variants.begin(), slot.variants.end(),
+              [](const Variant& a, const Variant& b) {
+                return a.token < b.token;
+              });
+    slot.merged.Reset();
+    for (const Variant& v : slot.variants) {
+      slot.merged.AddMember(v.token, PostingCursor(index_->postings(v.token)));
+    }
+    slot.merged.Finish();
+    if (slot.occ_by_rank.size() < slot.variants.size()) {
+      slot.occ_by_rank.resize(slot.variants.size());
+      slot.agg_by_rank.resize(slot.variants.size());
+      slot.agg_depth.resize(slot.variants.size(), QueryScratch::kNoAggDepth);
+    }
   }
 
   const XmlTree& tree = index_->tree();
   const uint32_t d = options_.min_depth;
-
-  AccumulatorTable accumulators(options_.gamma);
-  // P table: cached best result type per candidate (node-type semantics).
-  std::unordered_map<std::string, ResultTypeScorer::Choice> type_cache;
-  // SLCA semantics: per-candidate total entity count N_C (kept outside the
-  // bounded accumulator table: N_C is part of the normalizer, not a score).
-  std::unordered_map<std::string, uint32_t> slca_entity_totals;
-
-  std::vector<SlotOccurrences> slot_occ(l);
-  std::vector<TokenId> candidate(l);
 
   // Main anchor loop (Algorithm 1 lines 4-16).
   for (;;) {
@@ -111,7 +331,7 @@ std::vector<Suggestion> XClean::SuggestWithStats(const Query& query,
     size_t anchor_slot = 0;
     bool exhausted = false;
     for (size_t i = 0; i < l; ++i) {
-      const MergedList::Head* h = merged[i].cur_pos();
+      const MergedList::Head* h = scratch.slots_[i].merged.cur_pos();
       if (h == nullptr) {
         exhausted = true;
         break;
@@ -126,7 +346,7 @@ std::vector<Suggestion> XClean::SuggestWithStats(const Query& query,
     // An occurrence shallower than d can lie in no depth-d subtree and no
     // entity of depth >= d; discard it.
     if (tree.depth(anchor->node) < d) {
-      merged[anchor_slot].Next();
+      scratch.slots_[anchor_slot].merged.Next();
       continue;
     }
 
@@ -137,131 +357,71 @@ std::vector<Suggestion> XClean::SuggestWithStats(const Query& query,
 
     // Align all lists to g (discarding everything before it — those nodes
     // sit in subtrees that cannot contain occurrences of every keyword)
-    // and collect the occurrences inside g's subtree.
+    // and collect the occurrences inside g's subtree, bucketed by variant
+    // rank.
     bool all_slots_present = true;
     for (size_t i = 0; i < l; ++i) {
-      slot_occ[i].clear();
-      const MergedList::Head* h = merged[i].SkipTo(g);
-      while (h != nullptr && h->node <= g_end) {
-        MergedList::Head head = merged[i].Next();
-        slot_occ[i][head.token].push_back(OccInfo{head.node, head.tf});
-        ++run_stats.occurrences_collected;
-        h = merged[i].cur_pos();
+      QueryScratch::Slot& slot = scratch.slots_[i];
+      for (uint32_t r : slot.active_ranks) {
+        slot.occ_by_rank[r].clear();
+        slot.agg_depth[r] = QueryScratch::kNoAggDepth;
       }
-      if (slot_occ[i].empty()) all_slots_present = false;
+      slot.active_ranks.clear();
+      slot.merged.SkipTo(g);
+      slot.merged.DrainUpTo(
+          g_end, [&](uint32_t member, NodeId node, uint32_t tf) {
+            std::vector<QueryScratch::OccInfo>& bucket =
+                slot.occ_by_rank[member];
+            if (bucket.empty()) slot.active_ranks.push_back(member);
+            bucket.push_back(QueryScratch::OccInfo{node, tf});
+            ++run_stats.occurrences_collected;
+          });
+      if (slot.active_ranks.empty()) all_slots_present = false;
+      // Ranks arrive in head order (node-major); candidate enumeration
+      // needs them in ascending rank = token order.
+      std::sort(slot.active_ranks.begin(), slot.active_ranks.end());
     }
     if (!all_slots_present) continue;
 
     // Enumerate candidate queries from the variants observed in g: the
-    // Cartesian product of the per-slot variant sets, in token order.
-    std::vector<SlotOccurrences::const_iterator> iters(l);
-    for (size_t i = 0; i < l; ++i) iters[i] = slot_occ[i].begin();
+    // Cartesian product of the per-slot variant sets, in token order
+    // (odometer over the sorted active ranks, last slot fastest).
+    auto& odo = scratch.odometer_;
+    odo.assign(l, 0);
     for (;;) {
-      for (size_t i = 0; i < l; ++i) candidate[i] = iters[i]->first;
-      ++run_stats.candidates_enumerated;
-      std::string key = EncodeCandidate(candidate);
-
       double error_weight = 1.0;
       for (size_t i = 0; i < l; ++i) {
-        error_weight *= error_model_.Weight(distance[i][candidate[i]]);
+        const QueryScratch::Slot& slot = scratch.slots_[i];
+        const Variant& v = slot.variants[slot.active_ranks[odo[i]]];
+        scratch.candidate_[i] = v.token;
+        error_weight *= EditWeight(v.distance);
       }
+      ++run_stats.candidates_enumerated;
 
       if (options_.semantics == Semantics::kNodeType) {
-        // Lazy FindResultType with the P cache (Algorithm 1 lines 12-13).
-        auto cached = type_cache.find(key);
-        if (cached == type_cache.end()) {
+        // Lazy FindResultType with the P cache (Algorithm 1 lines 12-13);
+        // the cache is cross-query, so repeated candidates across a batch
+        // pay the type-list merge once.
+        bool created = false;
+        ResultTypeScorer::Choice* choice = scratch.type_cache_.GetOrCreate(
+            scratch.candidate_.data(), l, &created);
+        if (created) {
           ++run_stats.result_type_computations;
-          cached = type_cache
-                       .emplace(key, type_scorer_.FindResultType(candidate, d))
-                       .first;
+          *choice = type_scorer_.FindResultType(scratch.candidate_, d);
         }
-        const ResultTypeScorer::Choice& choice = cached->second;
-        if (choice.path != XmlTree::kInvalidPath) {
-          uint32_t entity_depth = tree.path_depth(choice.path);
-          // Group this subtree's occurrences by their entity (the ancestor
-          // at the result type's depth, provided its path matches).
-          std::map<NodeId, std::vector<uint64_t>> entity_counts;
-          for (size_t i = 0; i < l; ++i) {
-            for (const OccInfo& occ : iters[i]->second) {
-              if (tree.depth(occ.node) < entity_depth) continue;
-              NodeId entity = tree.AncestorAtDepth(occ.node, entity_depth);
-              if (tree.path_id(entity) != choice.path) continue;
-              auto [it, created] = entity_counts.try_emplace(
-                  entity, std::vector<uint64_t>(l, 0));
-              it->second[i] += occ.tf;
-            }
-          }
-          for (const auto& [entity, counts] : entity_counts) {
-            // An entity scores only if it contains at least one instance of
-            // every keyword (Algorithm 1 line 14) — this is what guarantees
-            // suggested queries have non-empty results.
-            bool complete = true;
-            for (size_t i = 0; i < l; ++i) {
-              if (counts[i] == 0) {
-                complete = false;
-                break;
-              }
-            }
-            if (!complete) continue;
-            double prod = 1.0;
-            for (size_t i = 0; i < l; ++i) {
-              prod *= language_model_.ProbInEntity(candidate[i], counts[i],
-                                                   entity);
-            }
-            if (options_.entity_prior) prod *= options_.entity_prior(entity);
-            CandidateState* state =
-                accumulators.GetOrCreate(key, error_weight);
-            state->sum += prod;
-            state->entity_count += 1;
-            ++run_stats.entities_scored;
-          }
+        if (choice->path != XmlTree::kInvalidPath) {
+          ScoreNodeTypeEntities(scratch, l, *choice, error_weight, run_stats);
         }
       } else {
-        // LCA-family semantics: the candidate's entities inside this
-        // subtree are the SLCAs (or ELCAs) of its per-slot witness sets.
-        std::vector<std::vector<NodeId>> witness_lists(l);
-        for (size_t i = 0; i < l; ++i) {
-          witness_lists[i].reserve(iters[i]->second.size());
-          for (const OccInfo& occ : iters[i]->second) {
-            witness_lists[i].push_back(occ.node);
-          }
-        }
-        std::vector<NodeId> slcas =
-            options_.semantics == Semantics::kSlca
-                ? ComputeSlcas(tree, witness_lists)
-                : ComputeElcas(tree, witness_lists);
-        // ELCA computation can surface ancestors of g (they contain the
-        // subtree's witnesses); the minimal-depth threshold excludes them,
-        // exactly as it excludes shallow result types. SLCAs are within
-        // the subtree already, so this is a no-op for them.
-        std::erase_if(slcas,
-                      [&](NodeId e) { return tree.depth(e) < d; });
-        if (!slcas.empty()) {
-          slca_entity_totals[key] += static_cast<uint32_t>(slcas.size());
-          for (NodeId entity : slcas) {
-            double prod = 1.0;
-            for (size_t i = 0; i < l; ++i) {
-              uint64_t count = SumTfInRange(iters[i]->second, entity,
-                                            tree.subtree_end(entity));
-              prod *= language_model_.ProbInEntity(candidate[i], count,
-                                                   entity);
-            }
-            if (options_.entity_prior) prod *= options_.entity_prior(entity);
-            CandidateState* state =
-                accumulators.GetOrCreate(key, error_weight);
-            state->sum += prod;
-            state->entity_count += 1;
-            ++run_stats.entities_scored;
-          }
-        }
+        ScoreLcaEntities(scratch, l, error_weight, run_stats);
       }
 
       // Advance the Cartesian product (odometer).
       size_t slot = l;
       while (slot > 0) {
         --slot;
-        if (++iters[slot] != slot_occ[slot].end()) break;
-        iters[slot] = slot_occ[slot].begin();
+        if (++odo[slot] < scratch.slots_[slot].active_ranks.size()) break;
+        odo[slot] = 0;
         if (slot == 0) {
           slot = SIZE_MAX;
           break;
@@ -271,44 +431,69 @@ std::vector<Suggestion> XClean::SuggestWithStats(const Query& query,
     }
   }
 
-  run_stats.accumulator_evictions = accumulators.eviction_count();
-  run_stats.accumulators_final = accumulators.size();
+  run_stats.accumulator_evictions = scratch.accumulators_.eviction_count();
+  run_stats.accumulators_final = scratch.accumulators_.size();
 
-  // Final scoring (Eq. 10) and top-k selection.
-  std::vector<Suggestion> suggestions;
-  suggestions.reserve(accumulators.entries().size());
-  for (const auto& [key, state] : accumulators.entries()) {
-    std::vector<TokenId> tokens = DecodeCandidate(key);
-    Suggestion s;
-    s.words.reserve(tokens.size());
-    for (TokenId t : tokens) s.words.push_back(index_->vocabulary().token(t));
-    s.error_weight = state.error_weight;
-    s.entity_count = state.entity_count;
+  // Final scoring (Eq. 10): rank flat entries that point into the
+  // accumulator's key pool, then materialize only the top-k into the
+  // caller's reused output vector.
+  const Vocabulary& vocab = index_->vocabulary();
+  auto& finals = scratch.finals_;
+  finals.clear();
+  scratch.accumulators_.ForEach([&](const TokenId* key, size_t key_len,
+                                    const CandidateState& state) {
+    QueryScratch::FinalEntry e;
+    e.key = key;
+    e.key_len = static_cast<uint32_t>(key_len);
+    e.error_weight = state.error_weight;
+    e.entity_count = state.entity_count;
+    e.result_type = XmlTree::kInvalidPath;
     double n_entities = 1.0;
-    if (!options_.entity_prior) {
-      if (options_.semantics == Semantics::kNodeType) {
-        const ResultTypeScorer::Choice& choice = type_cache.at(key);
-        s.result_type = choice.path;
-        n_entities = tree.path_node_count(choice.path);
-      } else {
-        n_entities = slca_entity_totals.at(key);
+    if (options_.semantics == Semantics::kNodeType) {
+      const ResultTypeScorer::Choice* choice =
+          scratch.type_cache_.Find(key, key_len);
+      XCLEAN_CHECK(choice != nullptr);
+      e.result_type = choice->path;
+      if (!options_.entity_prior) {
+        n_entities = tree.path_node_count(choice->path);
       }
-    } else if (options_.semantics == Semantics::kNodeType) {
-      s.result_type = type_cache.at(key).path;
+    } else if (!options_.entity_prior) {
+      const uint32_t* total = scratch.slca_totals_.Find(key, key_len);
+      XCLEAN_CHECK(total != nullptr);
+      n_entities = *total;
     }
-    s.score = state.error_weight * state.sum / n_entities;
-    suggestions.push_back(std::move(s));
-  }
+    e.score = state.error_weight * state.sum / n_entities;
+    finals.push_back(e);
+  });
 
-  std::sort(suggestions.begin(), suggestions.end(),
-            [](const Suggestion& a, const Suggestion& b) {
+  std::sort(finals.begin(), finals.end(),
+            [&](const QueryScratch::FinalEntry& a,
+                const QueryScratch::FinalEntry& b) {
               if (a.score != b.score) return a.score > b.score;
-              return a.words < b.words;
+              // Lexicographic comparison of the suggested word sequences
+              // (equal TokenIds are equal words, so compare strings only
+              // where ids differ).
+              size_t n = std::min(a.key_len, b.key_len);
+              for (size_t i = 0; i < n; ++i) {
+                if (a.key[i] == b.key[i]) continue;
+                return vocab.token(a.key[i]) < vocab.token(b.key[i]);
+              }
+              return a.key_len < b.key_len;
             });
-  if (suggestions.size() > options_.top_k) {
-    suggestions.resize(options_.top_k);
+
+  const size_t k = std::min(finals.size(), options_.top_k);
+  for (size_t r = 0; r < k; ++r) {
+    const QueryScratch::FinalEntry& e = finals[r];
+    if (out->size() <= r) out->emplace_back();
+    Suggestion& s = (*out)[r];
+    if (s.words.size() != e.key_len) s.words.resize(e.key_len);
+    for (size_t i = 0; i < e.key_len; ++i) s.words[i] = vocab.token(e.key[i]);
+    s.score = e.score;
+    s.error_weight = e.error_weight;
+    s.entity_count = e.entity_count;
+    s.result_type = e.result_type;
   }
-  return suggestions;
+  out->resize(k);
 }
 
 }  // namespace xclean

@@ -9,10 +9,12 @@
 
 #include "core/accumulator.h"
 #include "core/query.h"
+#include "core/query_scratch.h"
 #include "core/variant_gen.h"
 #include "index/xml_index.h"
 #include "lm/error_model.h"
 #include "lm/language_model.h"
+#include "lm/lm_stats_cache.h"
 #include "lm/result_type.h"
 
 namespace xclean {
@@ -59,6 +61,13 @@ struct XCleanOptions {
   Semantics semantics = Semantics::kNodeType;
   /// Cognitive-error extension: admit Soundex-equal variants.
   bool include_soundex = false;
+  /// Precompute the per-token and per-entity Dirichlet terms of Eq. (8)
+  /// once per index (lm/lm_stats_cache.h) instead of recomputing them for
+  /// every scored entity. Costs 8 bytes per vocabulary token plus 8 bytes
+  /// per tree node; scores are bit-identical either way (the cache keeps
+  /// the exact arithmetic of LanguageModel). Disable only to trade the
+  /// memory back on very large trees.
+  bool lm_stats_cache = true;
   /// Optional non-uniform entity prior P(r_j|T) (Sec. IV-B2 notes the
   /// generalization). When set, each entity's contribution is weighted by
   /// prior(r_j) and the uniform 1/N factor is dropped.
@@ -82,39 +91,107 @@ struct XCleanRunStats {
 /// by anchor nodes and depth-d Dewey truncation, with skip-based list
 /// advancement, lazy result-type computation and gamma-bounded
 /// probabilistic accumulator pruning.
+///
+/// All per-query state lives in a QueryScratch arena; entry points differ
+/// only in which scratch they use (a private one for the stats-recording
+/// QueryCleaner path, a caller-provided one for batch/serving reuse, a
+/// stack-local one otherwise).
 class XClean : public QueryCleaner {
  public:
   XClean(const XmlIndex& index, XCleanOptions options = XCleanOptions());
 
   /// QueryCleaner entry point; records the run's counters in
-  /// last_run_stats() and is therefore NOT safe to call concurrently on
-  /// one instance — concurrent servers use SuggestWithStats.
+  /// last_run_stats() and reuses a private scratch across calls, so it is
+  /// NOT safe to call concurrently on one instance — concurrent servers
+  /// use SuggestWithStats or per-thread scratches.
   std::vector<Suggestion> Suggest(const Query& query) override;
   std::string name() const override;
 
-  /// Thread-safe entry point: all state lives on the stack (plus the
-  /// immutable index), so any number of threads may call this on one
+  /// Thread-safe entry point: all mutable state lives on the stack (plus
+  /// the immutable index), so any number of threads may call this on one
   /// XClean instance concurrently. `stats` (optional) receives the run's
   /// work counters.
   std::vector<Suggestion> SuggestWithStats(const Query& query,
                                            XCleanRunStats* stats) const;
 
+  /// The core evaluation: runs Algorithm 1 with all per-query state in
+  /// `scratch` and writes the ranked suggestions into *out (reusing its
+  /// storage; it is resized to the result count). Safe to call from many
+  /// threads concurrently provided each uses its own scratch. A scratch
+  /// previously used with a different XClean instance is re-zeroed
+  /// automatically.
+  void SuggestWithScratch(const Query& query, QueryScratch& scratch,
+                          std::vector<Suggestion>* out,
+                          XCleanRunStats* stats) const;
+
+  /// Evaluates a batch of queries through one shared scratch, so later
+  /// queries reuse the arena storage and memo tables warmed by earlier
+  /// ones. `scratch` may be null (a local one is used); `stats` (optional)
+  /// receives one entry per query.
+  std::vector<std::vector<Suggestion>> SuggestBatch(
+      const std::vector<Query>& queries, QueryScratch* scratch = nullptr,
+      std::vector<XCleanRunStats>* stats = nullptr) const;
+
   const XCleanOptions& options() const { return options_; }
   const XCleanRunStats& last_run_stats() const { return stats_; }
 
+  /// Process-unique id of this instance; QueryScratch uses it to detect
+  /// that it was handed to a different algorithm (e.g. after an index
+  /// hot-swap) and must drop its memo tables.
+  uint64_t epoch() const { return epoch_; }
+
+  /// The LM stats cache, or nullptr when options().lm_stats_cache is off.
+  const LmStatsCache* lm_stats_cache() const { return lm_stats_.get(); }
+
  private:
-  struct SlotOccurrence {
-    NodeId node;
-    uint32_t tf;
-  };
+  /// Re-zeroes `scratch` if it was last used by a different instance.
+  void BindScratch(QueryScratch& scratch) const;
+
+  /// Variants of `keyword` through the scratch's cross-query memo.
+  const std::vector<Variant>& LookupVariants(QueryScratch& scratch,
+                                             const std::string& keyword) const;
+
+  /// P(w | D(r)) through the stats cache when enabled.
+  double ProbInEntity(TokenId token, uint64_t count, NodeId entity) const {
+    return lm_stats_ != nullptr
+               ? lm_stats_->ProbInEntity(token, count, entity)
+               : language_model_.ProbInEntity(token, count, entity);
+  }
+
+  /// exp(-beta * d), precomputed per edit distance (d <= max_ed always;
+  /// Soundex variants enter clamped to max_ed). Same call as
+  /// ErrorModel::Weight, hoisted out of the per-candidate loop.
+  double EditWeight(uint32_t distance) const {
+    return distance < edit_weight_.size() ? edit_weight_[distance]
+                                          : error_model_.Weight(distance);
+  }
+
+  /// Node-type semantics: attribute the current candidate's occurrences to
+  /// entities of the chosen result type and fold complete entities into the
+  /// accumulator.
+  void ScoreNodeTypeEntities(QueryScratch& scratch, size_t num_slots,
+                             const ResultTypeScorer::Choice& choice,
+                             double error_weight,
+                             XCleanRunStats& stats) const;
+
+  /// SLCA/ELCA semantics: compute the candidate's LCA-family entities
+  /// inside the current subtree and fold them into the accumulator.
+  void ScoreLcaEntities(QueryScratch& scratch, size_t num_slots,
+                        double error_weight, XCleanRunStats& stats) const;
 
   const XmlIndex* index_;
   XCleanOptions options_;
   VariantGenerator variant_gen_;
   ErrorModel error_model_;
+  std::vector<double> edit_weight_;
   LanguageModel language_model_;
+  std::unique_ptr<LmStatsCache> lm_stats_;
   ResultTypeScorer type_scorer_;
+  uint64_t epoch_;
   XCleanRunStats stats_;
+  /// Scratch for the stats-recording Suggest() path (single-threaded by
+  /// contract), so the experiment harness gets cross-query arena reuse.
+  std::unique_ptr<QueryScratch> own_scratch_;
 };
 
 }  // namespace xclean

@@ -455,6 +455,7 @@ struct SerializationAccess {
     fs.words_ = tokens;
     if (!(s = r.PodVec(fs.postings_)).ok()) return s;
     if (!(s = r.Bool(fs.has_partitioned_)).ok()) return s;
+    fs.FinalizeBuckets();
     fs.built_ = true;
     for (const FastSsIndex::Posting& p : fs.postings_) {
       if (p.word_id >= tokens.size()) {
@@ -807,6 +808,7 @@ struct SerializationAccess {
     uint32_t has_partitioned = 0;
     if (!(s = r.Var32(has_partitioned)).ok()) return s;
     fs.has_partitioned_ = has_partitioned != 0;
+    fs.FinalizeBuckets();
     fs.built_ = true;
     index.fastss_ = std::move(fs);
     return Status::Ok();

@@ -13,6 +13,28 @@ MergedList::MergedList(std::vector<Member> members)
   RefreshHead();
 }
 
+void MergedList::Reset() {
+  members_.clear();
+  heap_.clear();
+  exhausted_ = true;
+  skip_stats_ = SkipStats{};
+}
+
+void MergedList::AddMember(TokenId token, PostingCursor cursor) {
+  members_.push_back(Member{token, cursor});
+}
+
+void MergedList::Finish() {
+  heap_.clear();
+  for (uint32_t i = 0; i < members_.size(); ++i) {
+    const PostingCursor& cursor = members_[i].cursor;
+    if (cursor.AtEnd()) continue;
+    heap_.push_back(HeapEntry{cursor.Get().node, members_[i].token, i});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), HeapAfter);
+  RefreshHead();
+}
+
 void MergedList::PushMember(uint32_t member) {
   PostingCursor& cursor = members_[member].cursor;
   if (cursor.AtEnd()) return;
@@ -33,7 +55,7 @@ void MergedList::RefreshHead() {
   }
   const HeapEntry& top = heap_.front();
   const Posting& p = members_[top.member].cursor.Get();
-  head_ = Head{p.node, p.tf, top.token};
+  head_ = Head{p.node, p.tf, top.token, top.member};
   exhausted_ = false;
 }
 
@@ -48,16 +70,42 @@ MergedList::Head MergedList::Next() {
   return out;
 }
 
-const MergedList::Head* MergedList::SkipTo(NodeId target) {
-  if (exhausted_) return nullptr;
-  if (head_.node >= target) return &head_;
-  // Skip inside every member list, then rebuild the heap wholesale: after a
-  // long-distance skip most heads change, so a rebuild (O(m)) beats m
-  // sift-downs.
+void MergedList::RebuildAt(NodeId target) {
+  ++skip_stats_.rebuilds;
   heap_.clear();
   for (uint32_t i = 0; i < members_.size(); ++i) {
     members_[i].cursor.SkipTo(target);
-    PushMember(i);
+    if (members_[i].cursor.AtEnd()) continue;
+    heap_.push_back(
+        HeapEntry{members_[i].cursor.Get().node, members_[i].token, i});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), HeapAfter);
+}
+
+const MergedList::Head* MergedList::SkipTo(NodeId target) {
+  if (exhausted_) return nullptr;
+  if (head_.node >= target) return &head_;
+  ++skip_stats_.moving_calls;
+  // Lazy path: replace only the heap entries actually behind the target —
+  // each is one galloping cursor skip plus an O(log m) heap replace. Short
+  // skips (the common case: consecutive anchors land in nearby subtrees)
+  // move one or two members. Once more than half the members turn out to be
+  // behind, fall back to a wholesale rebuild: gallop every cursor and
+  // make_heap in O(m), which beats continuing with per-member sifts. The
+  // crossover is measured by BM_MergedListSkipTuning (bench_micro).
+  const size_t lazy_limit = members_.size() / 2;
+  size_t moved = 0;
+  while (!heap_.empty() && heap_.front().node < target) {
+    if (moved >= lazy_limit) {
+      RebuildAt(target);
+      break;
+    }
+    ++moved;
+    ++skip_stats_.lazy_advances;
+    uint32_t member = heap_.front().member;
+    PopTop();
+    members_[member].cursor.SkipTo(target);
+    PushMember(member);
   }
   RefreshHead();
   return cur_pos();

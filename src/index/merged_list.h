@@ -12,11 +12,17 @@ namespace xclean {
 /// The paper's MergedList abstraction (Sec. V-C): the inverted lists of all
 /// variants of one query keyword, organized as if physically merged into a
 /// single list sorted in document order. Implemented as a min-heap of the
-/// member cursors' heads; skip_to performs a galloping skip inside every
-/// member list and rebuilds the heap.
+/// member cursors' heads; skip_to performs a galloping skip inside member
+/// lists that are behind the target.
 ///
-/// Each head carries the variant token it came from so the caller can
-/// attribute occurrences to candidate-query slots.
+/// Each head carries the variant token it came from, plus the member index
+/// (the variant's rank in insertion order), so the caller can attribute
+/// occurrences to candidate-query slots without a lookup.
+///
+/// Instances are reusable: Reset() + AddMember()* + Finish() rebuilds the
+/// list over new cursors while keeping the member and heap storage — the
+/// QueryScratch arena relies on this to keep steady-state suggestion
+/// allocation-free.
 class MergedList {
  public:
   struct Member {
@@ -28,9 +34,35 @@ class MergedList {
     NodeId node;
     uint32_t tf;
     TokenId token;
+    /// Index of the member list the head came from (AddMember order).
+    uint32_t member;
   };
 
+  /// Per-list counters describing how SkipTo() advanced the heap; the
+  /// crossover between the lazy and rebuild strategies is tuned against
+  /// BM_MergedListSkipTuning in bench/bench_micro.cc.
+  struct SkipStats {
+    /// SkipTo calls that had to move the head.
+    uint64_t moving_calls = 0;
+    /// Members advanced one heap-replace at a time (lazy path).
+    uint64_t lazy_advances = 0;
+    /// Wholesale heap rebuilds (gallop every member, then make_heap).
+    uint64_t rebuilds = 0;
+  };
+
+  /// Empty list; populate with Reset()/AddMember()/Finish().
+  MergedList() = default;
+
   explicit MergedList(std::vector<Member> members);
+
+  /// Drops all members but keeps their storage.
+  void Reset();
+
+  /// Adds a member list. Only valid between Reset() and Finish().
+  void AddMember(TokenId token, PostingCursor cursor);
+
+  /// Heapifies the members added since Reset(); the list is usable after.
+  void Finish();
 
   /// Head (first element) of the merged list, or nullptr when exhausted.
   /// Pointer is invalidated by Next()/SkipTo().
@@ -45,7 +77,32 @@ class MergedList {
   /// (node, token) order for determinism.
   const Head* SkipTo(NodeId target);
 
+  /// Pops and visits every entry with node <= limit, calling
+  /// fn(member, node, tf) for each. Equivalent to draining with Next(),
+  /// but batched per member: a member whose head is within the limit is
+  /// popped once and its cursor walked linearly past the limit — one heap
+  /// pop/push per member instead of per posting. Entries are surfaced in
+  /// per-member node order, NOT global (node, token) order; use Next()
+  /// when global order matters (per-rank occurrence bucketing does not).
+  template <typename Fn>
+  void DrainUpTo(NodeId limit, Fn&& fn) {
+    while (!exhausted_ && head_.node <= limit) {
+      const uint32_t member = heap_.front().member;
+      PostingCursor& cursor = members_[member].cursor;
+      do {
+        const Posting& p = cursor.Get();
+        fn(member, p.node, p.tf);
+        cursor.Next();
+      } while (!cursor.AtEnd() && cursor.Get().node <= limit);
+      PopTop();
+      PushMember(member);
+      RefreshHead();
+    }
+  }
+
   bool empty() const { return exhausted_; }
+  size_t member_count() const { return members_.size(); }
+  const SkipStats& skip_stats() const { return skip_stats_; }
 
  private:
   struct HeapEntry {
@@ -62,11 +119,13 @@ class MergedList {
   void PushMember(uint32_t member);
   void PopTop();
   void RefreshHead();
+  void RebuildAt(NodeId target);
 
   std::vector<Member> members_;
   std::vector<HeapEntry> heap_;
   Head head_{};
   bool exhausted_ = true;
+  SkipStats skip_stats_;
 };
 
 }  // namespace xclean

@@ -1,0 +1,20 @@
+#include "lm/lm_stats_cache.h"
+
+namespace xclean {
+
+LmStatsCache::LmStatsCache(const XmlIndex& index, double mu)
+    : index_(&index), mu_(mu) {
+  const size_t vocab = index.vocabulary().size();
+  smoothing_mass_.resize(vocab);
+  for (size_t t = 0; t < vocab; ++t) {
+    smoothing_mass_[t] = mu * index.BackgroundProb(static_cast<TokenId>(t));
+  }
+  const NodeId nodes = index.tree().size();
+  entity_denom_.resize(nodes);
+  for (NodeId n = 0; n < nodes; ++n) {
+    entity_denom_[n] =
+        static_cast<double>(index.subtree_token_count(n)) + mu;
+  }
+}
+
+}  // namespace xclean

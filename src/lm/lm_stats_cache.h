@@ -1,0 +1,66 @@
+#ifndef XCLEAN_LM_LM_STATS_CACHE_H_
+#define XCLEAN_LM_LM_STATS_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/xml_index.h"
+
+namespace xclean {
+
+/// Precomputed Dirichlet terms of the entity language model (Eq. 8–10):
+/// the naive evaluation recomputes, for every candidate sharing a result
+/// type, the smoothing numerator mu * P(w|B) per token and the denominator
+/// |D(r)| + mu per entity. Both depend only on the (index, mu) pair, so one
+/// pass at construction time materializes them:
+///
+///     smoothing_mass(w)      = mu * P(w|B)
+///     entity_denominator(r)  = |D(r)| + mu
+///
+/// ProbInEntity keeps the exact arithmetic of LanguageModel::Prob —
+/// (count + smoothing_mass) / denominator, same operand order, a division,
+/// not a reciprocal multiply — so cached and uncached scores are
+/// bit-identical (the differential test suite depends on this).
+///
+/// Invalidation: a cache instance is bound to one immutable XmlIndex. The
+/// algorithm (XClean) owns its cache and is itself rebuilt when the serving
+/// engine hot-swaps an index snapshot, so a stale cache can never outlive
+/// its index; index() exposes the binding for checks.
+class LmStatsCache {
+ public:
+  LmStatsCache(const XmlIndex& index, double mu);
+
+  double mu() const { return mu_; }
+  const XmlIndex* index() const { return index_; }
+
+  /// mu * P(w|B): the per-token Dirichlet smoothing mass.
+  double smoothing_mass(TokenId token) const { return smoothing_mass_[token]; }
+
+  /// |D(r)| + mu: the per-entity denominator.
+  double entity_denominator(NodeId entity_root) const {
+    return entity_denom_[entity_root];
+  }
+
+  /// P(w | D(r)); bit-identical to LanguageModel::ProbInEntity.
+  double ProbInEntity(TokenId token, uint64_t count_in_entity,
+                      NodeId entity_root) const {
+    return (static_cast<double>(count_in_entity) + smoothing_mass_[token]) /
+           entity_denom_[entity_root];
+  }
+
+  /// Resident bytes of the two term vectors.
+  uint64_t ApproxMemoryBytes() const {
+    return (smoothing_mass_.capacity() + entity_denom_.capacity()) *
+           sizeof(double);
+  }
+
+ private:
+  const XmlIndex* index_;
+  double mu_;
+  std::vector<double> smoothing_mass_;  // indexed by TokenId
+  std::vector<double> entity_denom_;    // indexed by NodeId
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_LM_LM_STATS_CACHE_H_

@@ -14,6 +14,17 @@ using SteadyClock = std::chrono::steady_clock;
 
 constexpr SteadyClock::time_point kNoDeadline = SteadyClock::time_point::max();
 
+/// Per-worker scratch arena: each serving thread reuses one QueryScratch
+/// across every request it handles, which is what makes steady-state
+/// serving allocation-free in the algorithm. Epoch binding inside the
+/// scratch drops its memo tables automatically when a hot-swap installs a
+/// new suggester, so a long-lived thread can never serve statistics from a
+/// retired index.
+QueryScratch& ThreadScratch() {
+  static thread_local QueryScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
 std::string OptionsFingerprint(const SuggesterOptions& options) {
@@ -91,9 +102,66 @@ ServeResult ServingEngine::Suggest(const std::string& query_text) {
   return Execute(query_text, now, deadline);
 }
 
+std::vector<ServeResult> ServingEngine::SuggestBatch(
+    const std::vector<std::string>& query_texts) {
+  SteadyClock::time_point now = SteadyClock::now();
+  SteadyClock::time_point deadline = kNoDeadline;
+  if (options_.default_deadline.count() > 0) {
+    deadline = now + options_.default_deadline;
+  }
+  // One snapshot pin for the whole batch: every result reports the same
+  // version even if a swap lands mid-batch.
+  std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
+  std::vector<ServeResult> results;
+  results.reserve(query_texts.size());
+  for (const std::string& text : query_texts) {
+    metrics_.IncrRequests();
+    results.push_back(ExecuteOnSnapshot(snap, text, now, deadline));
+  }
+  return results;
+}
+
+Status ServingEngine::SubmitSuggestBatch(std::vector<std::string> query_texts,
+                                         BatchServeCallback done) {
+  SteadyClock::time_point enqueued = SteadyClock::now();
+  SteadyClock::time_point deadline = kNoDeadline;
+  if (options_.default_deadline.count() > 0) {
+    deadline = enqueued + options_.default_deadline;
+  }
+  const size_t batch_size = query_texts.size();
+  Status submitted = pool_.TrySubmit(
+      [this, queries = std::move(query_texts), enqueued, deadline,
+       done = std::move(done)] {
+        std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
+        std::vector<ServeResult> results;
+        results.reserve(queries.size());
+        for (const std::string& text : queries) {
+          results.push_back(ExecuteOnSnapshot(snap, text, enqueued, deadline));
+        }
+        if (done) done(std::move(results));
+      });
+  for (size_t i = 0; i < batch_size; ++i) {
+    if (submitted.ok()) {
+      metrics_.IncrRequests();
+    } else {
+      metrics_.IncrRejected();
+    }
+  }
+  return submitted;
+}
+
 ServeResult ServingEngine::Execute(const std::string& query_text,
                                    SteadyClock::time_point enqueue_time,
                                    SteadyClock::time_point deadline) {
+  // Pin the snapshot for the whole request: a concurrent SwapIndex cannot
+  // free it (shared_ptr) and cannot change what this request reads.
+  return ExecuteOnSnapshot(CurrentSnapshot(), query_text, enqueue_time,
+                           deadline);
+}
+
+ServeResult ServingEngine::ExecuteOnSnapshot(
+    const std::shared_ptr<const Snapshot>& snap, const std::string& query_text,
+    SteadyClock::time_point enqueue_time, SteadyClock::time_point deadline) {
   ServeResult result;
   // Deadline is checked when a worker picks the request up: a request that
   // sat in the queue past its deadline is answered without paying for
@@ -108,9 +176,6 @@ ServeResult ServingEngine::Execute(const std::string& query_text,
     return result;
   }
 
-  // Pin the snapshot for the whole request: a concurrent SwapIndex cannot
-  // free it (shared_ptr) and cannot change what this request reads.
-  std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
   result.snapshot_version = snap->version;
 
   Query query =
@@ -120,7 +185,7 @@ ServeResult ServingEngine::Execute(const std::string& query_text,
   if (cache_.Get(key, &result.suggestions)) {
     result.cache_hit = true;
   } else {
-    result.suggestions = snap->suggester->Suggest(query);
+    result.suggestions = snap->suggester->Suggest(query, &ThreadScratch());
     cache_.Put(key, result.suggestions);
   }
 

@@ -40,6 +40,7 @@ struct ServeResult {
 };
 
 using ServeCallback = std::function<void(ServeResult)>;
+using BatchServeCallback = std::function<void(std::vector<ServeResult>)>;
 
 /// In-process concurrent query-serving engine over an immutable
 /// XCleanSuggester snapshot:
@@ -92,6 +93,23 @@ class ServingEngine {
   /// same cache/metrics path (no queue, so never rejected). Safe to call
   /// from any number of threads.
   ServeResult Suggest(const std::string& query_text);
+
+  /// Synchronous batch entry point: pins ONE snapshot for the whole batch
+  /// (all results carry the same snapshot_version) and serves every query
+  /// through the calling thread's scratch arena, so the batch pays one
+  /// warm-up instead of one per query. Each query still goes through the
+  /// cache/metrics path individually. Results are positional.
+  std::vector<ServeResult> SuggestBatch(
+      const std::vector<std::string>& query_texts);
+
+  /// Asynchronous batch: enqueues the whole batch as one pool task (one
+  /// queue slot, one snapshot pin, one scratch warm-up) and invokes `done`
+  /// (on a worker thread) with the positional results. Returns Unavailable
+  /// when the queue is full — the batch is all-or-nothing. Every query in
+  /// the batch inherits EngineOptions::default_deadline, measured from
+  /// submission.
+  Status SubmitSuggestBatch(std::vector<std::string> query_texts,
+                            BatchServeCallback done);
 
   /// Installs `next` as the serving snapshot. In-flight and queued
   /// requests that already grabbed the old snapshot complete against it;
@@ -148,10 +166,19 @@ class ServingEngine {
     return snapshot_;
   }
 
-  /// The request path shared by sync and async serving.
+  /// The request path shared by sync and async serving: pins the current
+  /// snapshot and delegates.
   ServeResult Execute(const std::string& query_text,
                       std::chrono::steady_clock::time_point enqueue_time,
                       std::chrono::steady_clock::time_point deadline);
+
+  /// Serves one query against an already-pinned snapshot; batch entry
+  /// points pin once and call this per query.
+  ServeResult ExecuteOnSnapshot(
+      const std::shared_ptr<const Snapshot>& snap,
+      const std::string& query_text,
+      std::chrono::steady_clock::time_point enqueue_time,
+      std::chrono::steady_clock::time_point deadline);
 
   static std::shared_ptr<const Snapshot> MakeSnapshot(
       std::shared_ptr<const XCleanSuggester> suggester, uint64_t version);

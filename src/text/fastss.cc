@@ -41,6 +41,27 @@ void EnumerateDeletions(const std::string& current, uint32_t remaining,
   }
 }
 
+/// Query-side variant of EnumerateDeletions that never materializes the
+/// variants: FNV-1a is prefix-incremental, so a keep/delete branch per
+/// character folds each surviving byte into the running hash. Appends the
+/// hash of every variant with at most `remaining` deletions (each variant
+/// exactly once; repeated characters yield duplicate hashes, deduped by
+/// the caller — equivalent to string dedup because probes are by hash).
+void EnumerateDeletionHashes(std::string_view s, size_t pos,
+                             uint32_t remaining, uint64_t hash,
+                             std::vector<uint64_t>& out) {
+  if (pos == s.size()) {
+    out.push_back(hash);
+    return;
+  }
+  EnumerateDeletionHashes(
+      s, pos + 1, remaining,
+      (hash ^ static_cast<uint8_t>(s[pos])) * 1099511628211ULL, out);
+  if (remaining > 0) {
+    EnumerateDeletionHashes(s, pos + 1, remaining - 1, hash, out);
+  }
+}
+
 }  // namespace
 
 FastSsIndex::FastSsIndex() : FastSsIndex(Options()) {}
@@ -95,7 +116,10 @@ void FastSsIndex::Build(const std::vector<std::string>& words,
   built_ = true;
   words_ = words;
   const size_t word_count = words_.size();
-  if (word_count == 0) return;
+  if (word_count == 0) {
+    FinalizeBuckets();
+    return;
+  }
 
   auto less = [](const Posting& a, const Posting& b) {
     return a.hash < b.hash || (a.hash == b.hash && a.word_id < b.word_id);
@@ -156,6 +180,18 @@ void FastSsIndex::Build(const std::vector<std::string>& words,
     runs = std::move(next);
   }
   postings_ = std::move(runs.front());
+  FinalizeBuckets();
+}
+
+void FastSsIndex::FinalizeBuckets() {
+  XCLEAN_CHECK(postings_.size() <= UINT32_MAX);
+  bucket_start_.assign(kNumBuckets + 1, 0);
+  for (const Posting& p : postings_) {
+    ++bucket_start_[(p.hash >> (64 - kBucketBits)) + 1];
+  }
+  for (size_t b = 1; b <= kNumBuckets; ++b) {
+    bucket_start_[b] += bucket_start_[b - 1];
+  }
 }
 
 uint64_t FastSsIndex::ApproxMemoryBytes() const {
@@ -166,10 +202,13 @@ uint64_t FastSsIndex::ApproxMemoryBytes() const {
 
 void FastSsIndex::ProbeHash(uint64_t hash,
                             std::vector<uint32_t>& candidates) const {
+  const size_t bucket = hash >> (64 - kBucketBits);
+  const auto begin = postings_.begin() + bucket_start_[bucket];
+  const auto end = postings_.begin() + bucket_start_[bucket + 1];
   auto it = std::lower_bound(
-      postings_.begin(), postings_.end(), hash,
+      begin, end, hash,
       [](const Posting& p, uint64_t h) { return p.hash < h; });
-  for (; it != postings_.end() && it->hash == hash; ++it) {
+  for (; it != end && it->hash == hash; ++it) {
     candidates.push_back(it->word_id);
   }
 }
@@ -177,10 +216,17 @@ void FastSsIndex::ProbeHash(uint64_t hash,
 void FastSsIndex::ProbeNeighborhood(Tag tag, std::string_view piece,
                                     uint32_t max_deletions,
                                     std::vector<uint32_t>& candidates) const {
-  std::unordered_set<std::string> set;
-  EnumerateDeletions(std::string(piece), max_deletions, 0, set);
-  for (const std::string& variant : set) {
-    ProbeHash(HashVariant(tag, variant), candidates);
+  // Hash-identical to hashing each materialized deletion variant with
+  // HashVariant, minus the per-variant string and set-node allocations.
+  std::vector<uint64_t> hashes;
+  const uint64_t seed =
+      (14695981039346656037ULL ^ static_cast<uint8_t>(tag)) *
+      1099511628211ULL;
+  EnumerateDeletionHashes(piece, 0, max_deletions, seed, hashes);
+  std::sort(hashes.begin(), hashes.end());
+  hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+  for (uint64_t hash : hashes) {
+    ProbeHash(hash, candidates);
   }
 }
 

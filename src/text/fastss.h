@@ -103,9 +103,20 @@ class FastSsIndex {
                          std::vector<uint32_t>& candidates) const;
   void ProbeHash(uint64_t hash, std::vector<uint32_t>& candidates) const;
 
+  /// Bucket directory over the top kBucketBits hash bits: probes binary-
+  /// search one bucket instead of the whole posting array. Rebuilt (not
+  /// serialized) after Build() and after deserialization.
+  void FinalizeBuckets();
+
+  static constexpr uint32_t kBucketBits = 16;
+  static constexpr size_t kNumBuckets = size_t{1} << kBucketBits;
+
   Options options_;
   std::vector<std::string> words_;
   std::vector<Posting> postings_;
+  /// bucket_start_[b] = first posting whose hash's top bits are >= b;
+  /// size kNumBuckets + 1 (empty until FinalizeBuckets runs).
+  std::vector<uint32_t> bucket_start_;
   bool built_ = false;
   bool has_partitioned_ = false;
 };

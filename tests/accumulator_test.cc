@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace xclean {
 namespace {
 
@@ -74,6 +76,46 @@ TEST(AccumulatorTest, EvictedCandidateRestartsFromZero) {
 TEST(AccumulatorTest, FindMissReturnsNull) {
   AccumulatorTable table(4);
   EXPECT_EQ(table.Find(EncodeCandidate({42})), nullptr);
+}
+
+/// Regression test pinning the documented eviction rule: the victim is the
+/// entry with the lowest estimate (error_weight * sum), and among tied
+/// estimates the lexicographically smallest token sequence loses. The
+/// bounded evaluation is heuristic, but it must be deterministic — the
+/// differential harness relies on run-to-run reproducibility.
+TEST(AccumulatorTest, EqualEstimateTieBreaksOnLexSmallestKey) {
+  AccumulatorTable table(3);
+  // Insert in an order where neither "first inserted" nor "last inserted"
+  // matches the documented victim, so any drift from the rule fails.
+  for (const std::vector<TokenId>& key :
+       {std::vector<TokenId>{7, 1}, {2, 9}, {2, 3}}) {
+    CandidateState* s = table.GetOrCreate(EncodeCandidate(key), 0.5);
+    s->sum = 4.0;  // identical estimate 2.0 for all three
+  }
+  table.GetOrCreate(EncodeCandidate({8, 8}), 1.0);
+  EXPECT_EQ(table.eviction_count(), 1u);
+  // {2, 3} is lexicographically smallest among the tie -> evicted.
+  EXPECT_EQ(table.Find(EncodeCandidate({2, 3})), nullptr);
+  EXPECT_NE(table.Find(EncodeCandidate({2, 9})), nullptr);
+  EXPECT_NE(table.Find(EncodeCandidate({7, 1})), nullptr);
+  EXPECT_NE(table.Find(EncodeCandidate({8, 8})), nullptr);
+}
+
+TEST(AccumulatorTest, TieBreakIsInsertionOrderIndependent) {
+  std::vector<std::vector<TokenId>> keys = {{5}, {3}, {4}};
+  std::sort(keys.begin(), keys.end());
+  do {
+    AccumulatorTable table(3);
+    for (const std::vector<TokenId>& key : keys) {
+      CandidateState* s = table.GetOrCreate(EncodeCandidate(key), 1.0);
+      s->sum = 1.0;
+    }
+    table.GetOrCreate(EncodeCandidate({9}), 1.0);
+    EXPECT_EQ(table.Find(EncodeCandidate({3})), nullptr)
+        << "insertion order changed the victim";
+    EXPECT_NE(table.Find(EncodeCandidate({4})), nullptr);
+    EXPECT_NE(table.Find(EncodeCandidate({5})), nullptr);
+  } while (std::next_permutation(keys.begin(), keys.end()));
 }
 
 }  // namespace

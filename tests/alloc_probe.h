@@ -1,0 +1,128 @@
+#ifndef XCLEAN_TESTS_ALLOC_PROBE_H_
+#define XCLEAN_TESTS_ALLOC_PROBE_H_
+
+// Allocation-counting probe: replaces the global operator new/delete with
+// malloc/free wrappers that bump an atomic counter on every allocation.
+// Replacement operators are program-wide, so include this header from
+// exactly ONE translation unit of a test binary (the replacement is
+// link-time; two definitions would collide).
+//
+// Usage:
+//   {
+//     xclean::testing::AllocProbe probe;
+//     ... code under test ...
+//     EXPECT_EQ(probe.allocations(), 0u);
+//   }
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace xclean::testing {
+
+inline std::atomic<uint64_t> g_allocation_count{0};
+
+/// Samples the global allocation counter; allocations() reports how many
+/// operator-new calls happened since construction (on any thread — the
+/// tests that use this run the probed region single-threaded).
+class AllocProbe {
+ public:
+  AllocProbe()
+      : start_(g_allocation_count.load(std::memory_order_relaxed)) {}
+
+  uint64_t allocations() const {
+    return g_allocation_count.load(std::memory_order_relaxed) - start_;
+  }
+
+ private:
+  uint64_t start_;
+};
+
+inline void* CountedAlloc(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+inline void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = align;
+  // aligned_alloc requires size to be a multiple of the alignment.
+  size = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, size);
+}
+
+}  // namespace xclean::testing
+
+void* operator new(std::size_t size) {
+  void* p = xclean::testing::CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = xclean::testing::CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return xclean::testing::CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return xclean::testing::CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = xclean::testing::CountedAlignedAlloc(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = xclean::testing::CountedAlignedAlloc(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return xclean::testing::CountedAlignedAlloc(size,
+                                              static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return xclean::testing::CountedAlignedAlloc(size,
+                                              static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // XCLEAN_TESTS_ALLOC_PROBE_H_

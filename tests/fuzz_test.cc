@@ -154,5 +154,98 @@ TEST(SuggestFuzzTest, RandomQueriesKeepInvariants) {
   }
 }
 
+/// Batch-path fuzz: SuggestBatch through one shared scratch must agree with
+/// independent per-query evaluation — the scratch's arenas and memo tables
+/// must never let one query's state leak into the next.
+TEST(SuggestFuzzTest, BatchMatchesIndividualSuggest) {
+  DblpGenOptions gen;
+  gen.num_publications = 300;
+  auto index = XmlIndex::Build(GenerateDblp(gen));
+  Rng rng(0xBA7C4);
+  XCleanOptions options;
+  options.gamma = 50;
+  XClean cleaner(*index, options);
+
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Query> batch;
+    size_t n = 1 + rng.Uniform(8);
+    for (size_t q = 0; q < n; ++q) {
+      Query query;
+      size_t words = rng.Uniform(3);
+      for (size_t w = 0; w < words; ++w) {
+        std::string word;
+        size_t len = 1 + rng.Uniform(10);
+        for (size_t i = 0; i < len; ++i) {
+          word.push_back(static_cast<char>('a' + rng.Uniform(26)));
+        }
+        query.keywords.push_back(std::move(word));
+      }
+      batch.push_back(std::move(query));
+    }
+
+    QueryScratch scratch;
+    std::vector<XCleanRunStats> stats;
+    std::vector<std::vector<Suggestion>> got =
+        cleaner.SuggestBatch(batch, &scratch, &stats);
+    ASSERT_EQ(got.size(), batch.size());
+    ASSERT_EQ(stats.size(), batch.size());
+    for (size_t q = 0; q < batch.size(); ++q) {
+      std::vector<Suggestion> solo = cleaner.SuggestWithStats(batch[q],
+                                                              nullptr);
+      ASSERT_EQ(got[q].size(), solo.size()) << "query " << q;
+      for (size_t i = 0; i < solo.size(); ++i) {
+        EXPECT_EQ(got[q][i].words, solo[i].words) << "query " << q;
+        // Bit-identical scores: the scratch changes where state lives, not
+        // one floating-point operation.
+        EXPECT_EQ(got[q][i].score, solo[i].score) << "query " << q;
+        EXPECT_EQ(got[q][i].entity_count, solo[i].entity_count);
+        EXPECT_EQ(got[q][i].result_type, solo[i].result_type);
+      }
+    }
+  }
+}
+
+/// Scratch-reuse fuzz: the same query pushed twice through one scratch must
+/// come out bit-identical — warmed memo tables and recycled arenas may not
+/// perturb a single floating-point operation.
+TEST(SuggestFuzzTest, ScratchReuseIsBitIdentical) {
+  DblpGenOptions gen;
+  gen.num_publications = 300;
+  auto index = XmlIndex::Build(GenerateDblp(gen));
+  Rng rng(0x5C4A7);
+
+  for (Semantics semantics :
+       {Semantics::kNodeType, Semantics::kSlca, Semantics::kElca}) {
+    XCleanOptions options;
+    options.gamma = 50;
+    options.semantics = semantics;
+    XClean cleaner(*index, options);
+    QueryScratch scratch;
+    std::vector<Suggestion> first, second;
+    for (int round = 0; round < 40; ++round) {
+      Query query;
+      size_t words = 1 + rng.Uniform(3);
+      for (size_t w = 0; w < words; ++w) {
+        std::string word;
+        size_t len = 1 + rng.Uniform(10);
+        for (size_t i = 0; i < len; ++i) {
+          word.push_back(static_cast<char>('a' + rng.Uniform(26)));
+        }
+        query.keywords.push_back(std::move(word));
+      }
+      cleaner.SuggestWithScratch(query, scratch, &first, nullptr);
+      cleaner.SuggestWithScratch(query, scratch, &second, nullptr);
+      ASSERT_EQ(first.size(), second.size());
+      for (size_t i = 0; i < first.size(); ++i) {
+        ASSERT_EQ(first[i].words, second[i].words);
+        ASSERT_EQ(first[i].score, second[i].score);
+        ASSERT_EQ(first[i].error_weight, second[i].error_weight);
+        ASSERT_EQ(first[i].entity_count, second[i].entity_count);
+        ASSERT_EQ(first[i].result_type, second[i].result_type);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace xclean
