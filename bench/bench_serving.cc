@@ -160,6 +160,121 @@ RunResult RunPool(const std::shared_ptr<const XCleanSuggester>& suggester,
   return r;
 }
 
+/// Overload resilience run: an open-loop driver offers ~4x the measured
+/// serving capacity with a tight per-request deadline. Unlike the closed
+/// loops above, arrivals do NOT wait for completions — exactly the regime
+/// where an engine without admission control grows an unbounded queue and
+/// serves every request late. Verifies the three overload guarantees:
+///
+///   1. accepted requests stay fast: served p99 within the deadline
+///      (2x bucket resolution of the log histogram);
+///   2. overload is shed, not queued: rejections/sheds absorb the excess
+///      while the queue stays within its hard bound;
+///   3. cancellation holds inside the algorithm: no request ever spends
+///      more than 2x its deadline inside Suggest.
+void RunOverload(const std::shared_ptr<const XCleanSuggester>& suggester,
+                 const std::vector<std::string>& queries, bool small) {
+  // Measure single-worker capacity first (closed loop, cache off).
+  RunResult cap = RunInline(suggester, queries, 1, false, small ? 0.3 : 0.8);
+  const double capacity_qps = cap.qps;
+  const double offered_qps = 4.0 * capacity_qps;
+  const double deadline_ms = small ? 20.0 : 10.0;
+  const double seconds = small ? 1.0 : 2.0;
+
+  EngineOptions options;
+  options.pool.num_threads = 1;
+  options.pool.queue_capacity = 64;
+  options.cache.capacity = 0;  // every accepted request computes
+  options.default_deadline =
+      std::chrono::milliseconds(static_cast<int64_t>(deadline_ms));
+  ServingEngine engine(suggester, options);
+
+  std::atomic<uint64_t> done_ok{0};
+  std::atomic<uint64_t> done_truncated{0};
+  std::atomic<uint64_t> done_deadline{0};
+  std::atomic<uint64_t> done_shed{0};
+  std::atomic<uint64_t> max_compute_us{0};
+  auto on_done = [&](ServeResult r) {
+    uint64_t us = static_cast<uint64_t>(r.compute_ms * 1000.0);
+    uint64_t prev = max_compute_us.load(std::memory_order_relaxed);
+    while (us > prev &&
+           !max_compute_us.compare_exchange_weak(prev, us)) {
+    }
+    if (r.status.ok()) {
+      done_ok.fetch_add(1);
+      if (r.truncated) done_truncated.fetch_add(1);
+    } else if (r.status.code() == StatusCode::kDeadlineExceeded) {
+      done_deadline.fetch_add(1);
+    } else {
+      done_shed.fetch_add(1);
+    }
+  };
+
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(1.0 / offered_qps));
+  uint64_t submitted = 0;
+  uint64_t rejected_at_submit = 0;
+  size_t max_queue_depth = 0;
+  const auto start = std::chrono::steady_clock::now();
+  auto next_arrival = start;
+  for (size_t i = 0;
+       std::chrono::steady_clock::now() - start <
+       std::chrono::duration<double>(seconds);
+       ++i) {
+    Status s = engine.SubmitSuggest(queries[i % queries.size()], on_done);
+    ++submitted;
+    if (!s.ok()) ++rejected_at_submit;
+    if (engine.queue_depth() > max_queue_depth) {
+      max_queue_depth = engine.queue_depth();
+    }
+    next_arrival += interval;
+    std::this_thread::sleep_until(next_arrival);
+  }
+  engine.Shutdown();
+
+  MetricsSnapshot m = engine.Metrics();
+  const double max_compute_ms =
+      static_cast<double>(max_compute_us.load()) / 1000.0;
+  const uint64_t shed_total =
+      rejected_at_submit + m.shed_overload + m.deadline_exceeded;
+
+  std::printf("capacity %.0f qps, offered %.0f qps (4.0x) for %.1fs, "
+              "deadline %.0fms\n",
+              capacity_qps, offered_qps, seconds, deadline_ms);
+  std::printf("submitted %llu: served %llu (%llu truncated), "
+              "deadline-exceeded %llu, rejected %llu, shed %llu\n",
+              static_cast<unsigned long long>(submitted),
+              static_cast<unsigned long long>(done_ok.load()),
+              static_cast<unsigned long long>(done_truncated.load()),
+              static_cast<unsigned long long>(m.deadline_exceeded),
+              static_cast<unsigned long long>(rejected_at_submit),
+              static_cast<unsigned long long>(m.shed_overload));
+  std::printf("tiers full/reduced/cache_only/shed = "
+              "%llu/%llu/%llu/%llu, controller p95 %.2fms\n",
+              static_cast<unsigned long long>(m.tier_requests[0]),
+              static_cast<unsigned long long>(m.tier_requests[1]),
+              static_cast<unsigned long long>(m.tier_requests[2]),
+              static_cast<unsigned long long>(m.tier_requests[3]),
+              m.overload_p95_ms);
+
+  const bool p99_ok = m.latency_p99_ms <= 2.0 * deadline_ms;
+  const bool queue_ok =
+      max_queue_depth <= options.pool.queue_capacity && shed_total > 0;
+  const bool compute_ok = max_compute_ms <= 2.0 * deadline_ms;
+  std::printf("[%s] served p99 %.2fms vs %.0fms deadline "
+              "(log-bucket resolution 2x)\n",
+              p99_ok ? "PASS" : "FAIL", m.latency_p99_ms, deadline_ms);
+  std::printf("[%s] overload shed, queue bounded: max depth %zu <= %zu, "
+              "%llu requests shed\n",
+              queue_ok ? "PASS" : "FAIL", max_queue_depth,
+              options.pool.queue_capacity,
+              static_cast<unsigned long long>(shed_total));
+  std::printf("[%s] max time inside Suggest %.2fms <= 2x deadline %.0fms\n",
+              compute_ok ? "PASS" : "FAIL", max_compute_ms,
+              2.0 * deadline_ms);
+}
+
 void PrintRow(const char* mode, size_t threads, bool cache_on,
               const RunResult& r, double baseline_qps) {
   std::printf("%-6s %7zu  %-5s %12.0f %8.2fx %7.0f%% %8.3f %8.3f %8.3f\n",
@@ -216,6 +331,10 @@ int main() {
     }
     std::printf("\n");
   }
+
+  std::printf("== overload run: open-loop at 4x capacity ==\n");
+  RunOverload(suggester, queries, small);
+  std::printf("\n");
 
   std::printf("warm-cache inline speedup at 4 threads: %.2fx %s\n",
               warm_speedup_at_4, warm_speedup_at_4 >= 3.0 ? "(>=3x ok)" : "");

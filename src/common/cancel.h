@@ -1,0 +1,169 @@
+#ifndef XCLEAN_COMMON_CANCEL_H_
+#define XCLEAN_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace xclean {
+
+/// Why a budgeted query stopped early (CancelToken::cause()).
+enum class CancelCause : uint8_t {
+  kNone = 0,        ///< not cancelled
+  kDeadline,        ///< wall-clock deadline passed mid-algorithm
+  kPostings,        ///< posting-drain budget exhausted
+  kCandidates,      ///< candidate-enumeration budget exhausted
+  kExternal,        ///< external cancel flag raised (shutdown, client gone)
+};
+
+inline const char* CancelCauseName(CancelCause cause) {
+  switch (cause) {
+    case CancelCause::kNone:
+      return "none";
+    case CancelCause::kDeadline:
+      return "deadline";
+    case CancelCause::kPostings:
+      return "postings";
+    case CancelCause::kCandidates:
+      return "candidates";
+    default:
+      return "external";
+  }
+}
+
+/// Work and walltime limits for one query evaluation. Every limit is
+/// optional; a default-constructed budget is unlimited and costs nothing on
+/// the hot path. The units are the algorithm's own work counters, so limits
+/// degrade quality deterministically and independently of machine speed:
+/// `max_postings` bounds the merged-list postings drained (plus
+/// skip-advances and per-entity scoring steps, which are charged in the
+/// same currency), `max_candidates` bounds the Cartesian candidates
+/// enumerated.
+struct QueryBudget {
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  uint64_t max_postings = 0;    ///< 0 = unlimited
+  uint64_t max_candidates = 0;  ///< 0 = unlimited
+  /// Optional external kill switch (e.g. engine shutdown); polled at the
+  /// same amortized interval as the deadline. Must outlive the query.
+  const std::atomic<bool>* external_cancel = nullptr;
+
+  bool unlimited() const {
+    return deadline == std::chrono::steady_clock::time_point::max() &&
+           max_postings == 0 && max_candidates == 0 &&
+           external_cancel == nullptr;
+  }
+};
+
+/// Per-query cooperative cancellation token: the algorithm charges work
+/// units as it goes and checks the wall clock only every kClockCheckStride
+/// units, so the hot path pays one integer add + compare per charge and an
+/// occasional steady_clock read — and nothing allocates, preserving the
+/// zero-steady-state-allocation contract of the scratch arena.
+///
+/// A token is single-query, single-thread state (like QueryScratch): create
+/// one per request on the stack, pass it down, inspect cancelled()/cause()
+/// afterwards. An unlimited token never cancels; with one attached, scores
+/// are bit-identical to running without a token (cancellation changes when
+/// the algorithm *stops*, never what it computes).
+class CancelToken {
+ public:
+  /// Work units between wall-clock/external-flag polls. Small enough that a
+  /// query overshoots its deadline by microseconds, large enough that
+  /// steady_clock::now() disappears from profiles.
+  static constexpr uint64_t kClockCheckStride = 512;
+
+  /// Unlimited token: every Charge* returns false forever.
+  CancelToken() = default;
+
+  explicit CancelToken(const QueryBudget& budget)
+      : deadline_(budget.deadline),
+        max_postings_(budget.max_postings),
+        max_candidates_(budget.max_candidates),
+        external_(budget.external_cancel),
+        timed_(budget.deadline !=
+                   std::chrono::steady_clock::time_point::max() ||
+               budget.external_cancel != nullptr) {}
+
+  /// Charges `n` posting-equivalent work units. Returns true when the query
+  /// is (now or already) cancelled; the caller should unwind to a safe
+  /// point and let partial results surface.
+  bool ChargePostings(uint64_t n) {
+    if (cause_ != CancelCause::kNone) return true;
+    postings_ += n;
+    if (max_postings_ != 0 && postings_ > max_postings_) {
+      cause_ = CancelCause::kPostings;
+      return true;
+    }
+    return TickClock(n);
+  }
+
+  /// Charges one enumerated candidate. Candidates fan out into per-entity
+  /// scoring work, so they weigh kCandidateWeight posting-equivalents
+  /// against the clock stride.
+  bool ChargeCandidate() {
+    if (cause_ != CancelCause::kNone) return true;
+    candidates_ += 1;
+    if (max_candidates_ != 0 && candidates_ > max_candidates_) {
+      cause_ = CancelCause::kCandidates;
+      return true;
+    }
+    return TickClock(kCandidateWeight);
+  }
+
+  /// Forces a deadline/external poll regardless of the stride (used at
+  /// loop boundaries where overshooting matters).
+  bool CheckNow() {
+    if (cause_ != CancelCause::kNone) return true;
+    if (!timed_) return false;
+    until_check_ = kClockCheckStride;
+    return PollTimedSources();
+  }
+
+  bool cancelled() const { return cause_ != CancelCause::kNone; }
+  CancelCause cause() const { return cause_; }
+  uint64_t postings_charged() const { return postings_; }
+  uint64_t candidates_charged() const { return candidates_; }
+
+ private:
+  static constexpr uint64_t kCandidateWeight = 16;
+
+  bool TickClock(uint64_t weight) {
+    if (!timed_) return false;
+    if (until_check_ > weight) {
+      until_check_ -= weight;
+      return false;
+    }
+    until_check_ = kClockCheckStride;
+    return PollTimedSources();
+  }
+
+  bool PollTimedSources() {
+    if (external_ != nullptr &&
+        external_->load(std::memory_order_relaxed)) {
+      cause_ = CancelCause::kExternal;
+      return true;
+    }
+    if (deadline_ != std::chrono::steady_clock::time_point::max() &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      cause_ = CancelCause::kDeadline;
+      return true;
+    }
+    return false;
+  }
+
+  std::chrono::steady_clock::time_point deadline_ =
+      std::chrono::steady_clock::time_point::max();
+  uint64_t max_postings_ = 0;
+  uint64_t max_candidates_ = 0;
+  const std::atomic<bool>* external_ = nullptr;
+  bool timed_ = false;
+  uint64_t postings_ = 0;
+  uint64_t candidates_ = 0;
+  uint64_t until_check_ = kClockCheckStride;
+  CancelCause cause_ = CancelCause::kNone;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_COMMON_CANCEL_H_

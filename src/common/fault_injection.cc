@@ -1,0 +1,124 @@
+#include "common/fault_injection.h"
+
+#if defined(XCLEAN_FAULT_INJECTION) && XCLEAN_FAULT_INJECTION
+
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+namespace xclean::fault {
+
+namespace {
+
+struct Point {
+  Status status;  ///< kOk = no status armed
+  std::chrono::milliseconds delay{0};
+  std::function<void()> callback;
+  /// Remaining hits before the point disarms itself; -1 = unlimited.
+  int remaining = -1;
+  uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Point> points;
+};
+
+Registry& TheRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all threads
+  return *registry;
+}
+
+void Arm(const std::string& point, Point armed) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto [it, created] = r.points.try_emplace(point);
+  armed.hits = it->second.hits;  // keep the count across re-arms
+  it->second = std::move(armed);
+  if (created) {
+    internal::g_armed_points.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<int> g_armed_points{0};
+
+Status Hit(const char* point) {
+  Point fired;
+  {
+    Registry& r = TheRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.points.find(point);
+    if (it == r.points.end()) return Status::Ok();
+    Point& p = it->second;
+    if (p.remaining == 0) return Status::Ok();
+    ++p.hits;
+    if (p.remaining > 0) --p.remaining;
+    fired = p;  // copy: the action runs outside the lock
+  }
+  if (fired.delay.count() > 0) std::this_thread::sleep_for(fired.delay);
+  if (fired.callback) fired.callback();
+  return fired.status;
+}
+
+}  // namespace internal
+
+void ArmStatus(const std::string& point, Status status, int times) {
+  Point p;
+  p.status = std::move(status);
+  p.remaining = times;
+  Arm(point, std::move(p));
+}
+
+void ArmDelay(const std::string& point, std::chrono::milliseconds delay,
+              int times) {
+  Point p;
+  p.delay = delay;
+  p.remaining = times;
+  Arm(point, std::move(p));
+}
+
+void ArmCallback(const std::string& point, std::function<void()> callback,
+                 int times) {
+  Point p;
+  p.callback = std::move(callback);
+  p.remaining = times;
+  Arm(point, std::move(p));
+}
+
+void Disarm(const std::string& point) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(point);
+  if (it == r.points.end()) return;
+  // Neutralize the point but keep the entry so HitCount survives a
+  // Disarm (only DisarmAll zeroes counts). The entry stays counted in
+  // g_armed_points; Hit() sees remaining == 0 and passes through.
+  const uint64_t hits = it->second.hits;
+  it->second = Point{};
+  it->second.remaining = 0;
+  it->second.hits = hits;
+}
+
+void DisarmAll() {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  internal::g_armed_points.fetch_sub(static_cast<int>(r.points.size()),
+                                     std::memory_order_relaxed);
+  r.points.clear();
+}
+
+uint64_t HitCount(const std::string& point) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(point);
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+}  // namespace xclean::fault
+
+#endif  // XCLEAN_FAULT_INJECTION

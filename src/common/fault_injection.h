@@ -1,0 +1,116 @@
+#ifndef XCLEAN_COMMON_FAULT_INJECTION_H_
+#define XCLEAN_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace xclean::fault {
+
+/// Deterministic fault-injection registry. Production code marks *named
+/// injection points* (snapshot load, cache lookup, worker dispatch, the
+/// core anchor loop); tests arm a point with an action and the next N hits
+/// of that point perform it:
+///
+///   fault::ArmStatus("index_io.load", Status::ParseError("injected"), 2);
+///   fault::ArmDelay("xclean.anchor", std::chrono::milliseconds(5));
+///   fault::ArmCallback("xclean.anchor", [&] { engine.SwapIndex(next); }, 1);
+///   ...
+///   fault::DisarmAll();
+///
+/// Cost model: when nothing is armed, a hit is a single relaxed atomic load
+/// (no lock, no allocation — the core-loop point stays on the zero-alloc
+/// hot path). When the build is configured with -DXCLEAN_FAULT_INJECTION=OFF
+/// (release deployments), every hit compiles to nothing and the Arm*
+/// functions become no-ops; call Enabled() in tests and skip.
+///
+/// Concurrency: Arm*/Disarm* may race hits from any thread; actions are
+/// copied out under the registry lock and executed outside it, so an
+/// injected callback may itself arm points or touch the engine.
+
+#if defined(XCLEAN_FAULT_INJECTION) && XCLEAN_FAULT_INJECTION
+
+/// True when injection points are compiled in.
+constexpr bool Enabled() { return true; }
+
+/// Arms `point` to return `status` from its next `times` hits (-1 = until
+/// disarmed). Only points hit through XCLEAN_FAULT_STATUS propagate the
+/// status; void points (XCLEAN_FAULT_HIT) ignore it.
+void ArmStatus(const std::string& point, Status status, int times = -1);
+
+/// Arms `point` to sleep for `delay` on each of its next `times` hits.
+void ArmDelay(const std::string& point, std::chrono::milliseconds delay,
+              int times = -1);
+
+/// Arms `point` to invoke `callback` on each of its next `times` hits.
+void ArmCallback(const std::string& point, std::function<void()> callback,
+                 int times = -1);
+
+void Disarm(const std::string& point);
+void DisarmAll();
+
+/// Times `point` was hit while armed (disarming keeps the count; DisarmAll
+/// zeroes everything).
+uint64_t HitCount(const std::string& point);
+
+namespace internal {
+extern std::atomic<int> g_armed_points;
+Status Hit(const char* point);
+}  // namespace internal
+
+/// Fast-path guard, inlined at every injection point.
+inline bool AnyArmed() {
+  return internal::g_armed_points.load(std::memory_order_relaxed) > 0;
+}
+
+/// Void injection point: executes an armed delay/callback, discards any
+/// armed status.
+#define XCLEAN_FAULT_HIT(point)                                      \
+  do {                                                               \
+    if (::xclean::fault::AnyArmed()) {                               \
+      (void)::xclean::fault::internal::Hit(point);                   \
+    }                                                                \
+  } while (0)
+
+/// Status injection point: executes an armed delay/callback and, when a
+/// status is armed, returns it from the enclosing function (which must
+/// return Status or Result<T>).
+#define XCLEAN_FAULT_STATUS(point)                                   \
+  do {                                                               \
+    if (::xclean::fault::AnyArmed()) {                               \
+      ::xclean::Status fault_status =                                \
+          ::xclean::fault::internal::Hit(point);                     \
+      if (!fault_status.ok()) return fault_status;                   \
+    }                                                                \
+  } while (0)
+
+#else  // !XCLEAN_FAULT_INJECTION
+
+constexpr bool Enabled() { return false; }
+
+inline void ArmStatus(const std::string&, Status, int = -1) {}
+inline void ArmDelay(const std::string&, std::chrono::milliseconds,
+                     int = -1) {}
+inline void ArmCallback(const std::string&, std::function<void()>,
+                        int = -1) {}
+inline void Disarm(const std::string&) {}
+inline void DisarmAll() {}
+inline uint64_t HitCount(const std::string&) { return 0; }
+constexpr bool AnyArmed() { return false; }
+
+#define XCLEAN_FAULT_HIT(point) \
+  do {                          \
+  } while (0)
+#define XCLEAN_FAULT_STATUS(point) \
+  do {                             \
+  } while (0)
+
+#endif  // XCLEAN_FAULT_INJECTION
+
+}  // namespace xclean::fault
+
+#endif  // XCLEAN_COMMON_FAULT_INJECTION_H_

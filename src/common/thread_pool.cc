@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/fault_injection.h"
+
 namespace xclean {
 
 ThreadPool::ThreadPool(ThreadPoolOptions options) : options_(options) {
@@ -20,30 +22,68 @@ ThreadPool::ThreadPool(ThreadPoolOptions options) : options_(options) {
 ThreadPool::~ThreadPool() { Stop(/*drain=*/false); }
 
 Status ThreadPool::TrySubmit(std::function<void()> task) {
+  return TrySubmit(std::move(task),
+                   std::chrono::steady_clock::time_point::max(), nullptr);
+}
+
+Status ThreadPool::TrySubmit(std::function<void()> task,
+                             std::chrono::steady_clock::time_point deadline,
+                             std::function<void()> on_expired) {
+  // Expired-entry callbacks collected under the lock, run after it: the
+  // queue slots are released before any on_expired observes its request.
+  std::vector<std::function<void()>> expired;
+  Status status = Status::Ok();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       return Status::InvalidArgument("thread pool is shut down");
     }
     if (queue_.size() >= options_.queue_capacity) {
-      return Status::Unavailable("request queue full");
+      // Sweep entries that expired while queued — their slots are dead
+      // weight; reclaiming them here keeps a burst of doomed requests from
+      // pinning the queue at capacity until a worker happens by.
+      const auto now = std::chrono::steady_clock::now();
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        if (it->deadline <= now) {
+          ++expired_evictions_;
+          if (it->on_expired) expired.push_back(std::move(it->on_expired));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
     }
-    queue_.push_back(std::move(task));
+    if (queue_.size() >= options_.queue_capacity) {
+      status = Status::Unavailable("request queue full");
+    } else {
+      queue_.push_back(
+          Entry{std::move(task), deadline, std::move(on_expired)});
+    }
   }
-  work_available_.notify_one();
-  return Status::Ok();
+  if (status.ok()) work_available_.notify_one();
+  for (std::function<void()>& fn : expired) fn();
+  return status;
 }
 
 void ThreadPool::Shutdown() { Stop(/*drain=*/true); }
 
 void ThreadPool::Stop(bool drain) {
+  std::vector<std::function<void()>> dropped;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_ && workers_.empty()) return;  // already stopped
     stopping_ = true;
     draining_ = drain;
-    if (!drain) queue_.clear();
+    if (!drain) {
+      // Fast teardown drops queued tasks, but their expiry callbacks still
+      // fire (outside the lock) so no waiter is left dangling.
+      for (Entry& e : queue_) {
+        if (e.on_expired) dropped.push_back(std::move(e.on_expired));
+      }
+      queue_.clear();
+    }
   }
+  for (std::function<void()>& fn : dropped) fn();
   work_available_.notify_all();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
@@ -56,9 +96,14 @@ size_t ThreadPool::queue_depth() const {
   return queue_.size();
 }
 
+uint64_t ThreadPool::expired_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return expired_evictions_;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Entry entry;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(lock,
@@ -68,10 +113,21 @@ void ThreadPool::WorkerLoop() {
         // exhausted, without them it was cleared — either way, exit.
         return;
       }
-      task = std::move(queue_.front());
+      entry = std::move(queue_.front());
       queue_.pop_front();
+      // Popping released the slot; expiry handling below runs unlocked.
+      if (entry.on_expired &&
+          entry.deadline <= std::chrono::steady_clock::now()) {
+        ++expired_evictions_;
+        entry.task = nullptr;
+      }
     }
-    task();
+    XCLEAN_FAULT_HIT("thread_pool.run");
+    if (entry.task) {
+      entry.task();
+    } else if (entry.on_expired) {
+      entry.on_expired();
+    }
   }
 }
 

@@ -1,8 +1,10 @@
 #ifndef XCLEAN_COMMON_THREAD_POOL_H_
 #define XCLEAN_COMMON_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -44,6 +46,20 @@ class ThreadPool {
   /// when the queue is at capacity, InvalidArgument after Shutdown().
   Status TrySubmit(std::function<void()> task);
 
+  /// Deadline-aware submission. An entry still queued when its deadline
+  /// passes is *evicted*: its queue slot is released first, then
+  /// `on_expired` runs (instead of `task`, never both). Eviction happens
+  /// at two points — a worker that pops an expired entry runs on_expired
+  /// directly, and a full-queue TrySubmit sweeps expired entries out to
+  /// make room before rejecting, so one stuck burst of doomed requests
+  /// cannot pin the queue at capacity. on_expired must not block; it runs
+  /// on a worker or on the submitting thread (after the slot is freed),
+  /// never under the queue lock. Entries dropped by a non-draining
+  /// shutdown also get their on_expired called.
+  Status TrySubmit(std::function<void()> task,
+                   std::chrono::steady_clock::time_point deadline,
+                   std::function<void()> on_expired);
+
   /// Stops accepting work, runs every task already queued, joins workers.
   /// Idempotent; also called by the destructor (which instead drops the
   /// backlog for fast teardown).
@@ -55,7 +71,19 @@ class ThreadPool {
   /// Instantaneous queue depth (monitoring only).
   size_t queue_depth() const;
 
+  /// Entries whose deadline passed while queued (evicted by a worker, a
+  /// full-queue sweep, or shutdown). Monitoring only.
+  uint64_t expired_evictions() const;
+
  private:
+  struct Entry {
+    std::function<void()> task;
+    /// max() = no deadline.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+    std::function<void()> on_expired;
+  };
+
   void WorkerLoop();
   void Stop(bool drain);
 
@@ -64,9 +92,10 @@ class ThreadPool {
 
   mutable std::mutex mu_;
   std::condition_variable work_available_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Entry> queue_;
   bool stopping_ = false;  ///< no new submissions
   bool draining_ = false;  ///< workers finish the backlog before exiting
+  uint64_t expired_evictions_ = 0;
 };
 
 }  // namespace xclean

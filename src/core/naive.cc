@@ -18,7 +18,7 @@ NaiveCleaner::NaiveCleaner(const XmlIndex& index, XCleanOptions options)
       type_scorer_(index, options.reduction) {}
 
 void NaiveCleaner::ScoreCandidateNodeType(
-    const std::vector<TokenId>& candidate, Scored& out) {
+    const std::vector<TokenId>& candidate, Scored& out, CancelToken* cancel) {
   const XmlTree& tree = index_->tree();
   const size_t l = candidate.size();
   ResultTypeScorer::Choice choice =
@@ -34,6 +34,9 @@ void NaiveCleaner::ScoreCandidateNodeType(
   for (size_t i = 0; i < l; ++i) {
     const PostingList& list = index_->postings(candidate[i]);
     last_postings_read_ += list.size();
+    // Abandon the half-scanned candidate outright: a partially counted
+    // entity map would score entities with missing keywords.
+    if (cancel != nullptr && cancel->ChargePostings(list.size())) return;
     for (const Posting& p : list) {
       if (tree.depth(p.node) < entity_depth) continue;
       NodeId entity = tree.AncestorAtDepth(p.node, entity_depth);
@@ -63,13 +66,14 @@ void NaiveCleaner::ScoreCandidateNodeType(
 }
 
 void NaiveCleaner::ScoreCandidateSlca(const std::vector<TokenId>& candidate,
-                                      Scored& out) {
+                                      Scored& out, CancelToken* cancel) {
   const XmlTree& tree = index_->tree();
   const size_t l = candidate.size();
   std::vector<std::vector<NodeId>> witness_lists(l);
   for (size_t i = 0; i < l; ++i) {
     const PostingList& list = index_->postings(candidate[i]);
     last_postings_read_ += list.size();
+    if (cancel != nullptr && cancel->ChargePostings(list.size())) return;
     witness_lists[i].reserve(list.size());
     for (const Posting& p : list) witness_lists[i].push_back(p.node);
   }
@@ -85,6 +89,7 @@ void NaiveCleaner::ScoreCandidateSlca(const std::vector<TokenId>& candidate,
   if (kept.empty()) return;
   out.n_entities = static_cast<double>(kept.size());
   for (NodeId entity : kept) {
+    if (cancel != nullptr && cancel->ChargePostings(1)) return;
     NodeId end = tree.subtree_end(entity);
     double prod = 1.0;
     for (size_t i = 0; i < l; ++i) {
@@ -103,9 +108,15 @@ void NaiveCleaner::ScoreCandidateSlca(const std::vector<TokenId>& candidate,
 }
 
 std::vector<Suggestion> NaiveCleaner::Suggest(const Query& query) {
+  return SuggestWithBudget(query, nullptr);
+}
+
+std::vector<Suggestion> NaiveCleaner::SuggestWithBudget(const Query& query,
+                                                        CancelToken* cancel) {
   last_candidates_ = 0;
   last_postings_read_ = 0;
   last_query_skipped_ = false;
+  last_truncated_ = false;
   const size_t l = query.size();
   if (l == 0) return {};
 
@@ -125,6 +136,10 @@ std::vector<Suggestion> NaiveCleaner::Suggest(const Query& query) {
   std::vector<size_t> odometer(l, 0);
   std::vector<TokenId> candidate(l);
   for (;;) {
+    if (cancel != nullptr && cancel->ChargeCandidate()) {
+      last_truncated_ = true;
+      break;
+    }
     double error_weight = 1.0;
     for (size_t i = 0; i < l; ++i) {
       candidate[i] = variants[i][odometer[i]].token;
@@ -137,11 +152,15 @@ std::vector<Suggestion> NaiveCleaner::Suggest(const Query& query) {
     s.tokens = candidate;
     s.error_weight = error_weight;
     if (options_.semantics == Semantics::kNodeType) {
-      ScoreCandidateNodeType(candidate, s);
+      ScoreCandidateNodeType(candidate, s, cancel);
     } else {
-      ScoreCandidateSlca(candidate, s);
+      ScoreCandidateSlca(candidate, s, cancel);
     }
     if (s.entity_count > 0) scored.push_back(std::move(s));
+    if (cancel != nullptr && cancel->cancelled()) {
+      last_truncated_ = true;
+      break;
+    }
 
     size_t slot = l;
     bool done = false;

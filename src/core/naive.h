@@ -26,10 +26,21 @@ class NaiveCleaner : public QueryCleaner {
   std::vector<Suggestion> Suggest(const Query& query) override;
   std::string name() const override { return "Naive"; }
 
+  /// Budgeted evaluation: charges one candidate per Cartesian entry and one
+  /// posting per entry scanned; when `cancel` trips, the candidates scored
+  /// so far are ranked and returned with last_truncated() set. An unlimited
+  /// token gives results identical to Suggest(). The naive scorer exists as
+  /// the differential oracle, so its budget hooks mirror XClean's — the
+  /// oracle must survive the same adversarial queries the serving path does.
+  std::vector<Suggestion> SuggestWithBudget(const Query& query,
+                                            CancelToken* cancel);
+
   /// Candidates actually scored by the last Suggest call.
   uint64_t last_candidates() const { return last_candidates_; }
   /// Posting entries read by the last Suggest call (the repeated-I/O cost).
   uint64_t last_postings_read() const { return last_postings_read_; }
+  /// True when the last call was stopped early by its CancelToken.
+  bool last_truncated() const { return last_truncated_; }
 
   /// Safety valve for benchmarks: queries whose Cartesian candidate space
   /// exceeds this are skipped (Suggest returns empty and
@@ -49,8 +60,9 @@ class NaiveCleaner : public QueryCleaner {
   };
 
   void ScoreCandidateNodeType(const std::vector<TokenId>& candidate,
-                              Scored& out);
-  void ScoreCandidateSlca(const std::vector<TokenId>& candidate, Scored& out);
+                              Scored& out, CancelToken* cancel);
+  void ScoreCandidateSlca(const std::vector<TokenId>& candidate, Scored& out,
+                          CancelToken* cancel);
 
   const XmlIndex* index_;
   XCleanOptions options_;
@@ -62,6 +74,7 @@ class NaiveCleaner : public QueryCleaner {
   uint64_t last_postings_read_ = 0;
   uint64_t candidate_cap_ = 0;
   bool last_query_skipped_ = false;
+  bool last_truncated_ = false;
 };
 
 }  // namespace xclean

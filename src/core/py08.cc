@@ -80,7 +80,13 @@ double Py08Cleaner::ScorePhrasePass(const std::vector<TokenId>& tokens) const {
 }
 
 std::vector<Suggestion> Py08Cleaner::Suggest(const Query& query) {
+  return SuggestWithBudget(query, nullptr);
+}
+
+std::vector<Suggestion> Py08Cleaner::SuggestWithBudget(const Query& query,
+                                                       CancelToken* cancel) {
   last_postings_read_ = 0;
+  last_truncated_ = false;
   const size_t l = query.size();
   if (l == 0) return {};
 
@@ -94,6 +100,14 @@ std::vector<Suggestion> Py08Cleaner::Suggest(const Query& query) {
   std::vector<std::vector<SlotVariant>> slots(l);
   for (size_t i = 0; i < l; ++i) {
     for (const Variant& v : variant_gen_.Generate(query.keywords[i])) {
+      // Without every slot's variant list there is nothing sensible to
+      // segment, so a budget tripped this early yields a truncated-empty
+      // result (each ScoreIr call below is a full posting scan).
+      if (cancel != nullptr &&
+          cancel->ChargePostings(index_->postings(v.token).size())) {
+        last_truncated_ = true;
+        return {};
+      }
       double similarity =
           SpellingSimilarity(query.keywords[i],
                              index_->vocabulary().token(v.token), v.distance);
@@ -116,15 +130,21 @@ std::vector<Suggestion> Py08Cleaner::Suggest(const Query& query) {
   // dropped, except single words which always stand).
   const size_t cap = options_.gamma == 0 ? SIZE_MAX : options_.gamma;
   std::map<std::pair<size_t, size_t>, std::vector<SegmentCandidate>> segments;
-  for (size_t begin = 0; begin < l; ++begin) {
+  for (size_t begin = 0; begin < l && !last_truncated_; ++begin) {
     size_t max_end = std::min(l, begin + options_.max_segment_len);
-    for (size_t end = begin + 1; end <= max_end; ++end) {
+    for (size_t end = begin + 1; end <= max_end && !last_truncated_; ++end) {
       std::vector<SegmentCandidate>& out = segments[{begin, end}];
       // Enumerate instantiations over the (descending-sorted) slot lists
       // with an odometer — first-slot-major order, so the gamma cap keeps
       // a good approximation of the top instantiations.
       std::vector<size_t> odo(end - begin, 0);
       for (;;) {
+        if (cancel != nullptr && cancel->ChargeCandidate()) {
+          // Keep the instantiations scored so far; the DP below makes the
+          // best of the partial segment table.
+          last_truncated_ = true;
+          break;
+        }
         SegmentCandidate cand;
         cand.tokens.reserve(end - begin);
         double word_sum = 0.0;
@@ -137,7 +157,11 @@ std::vector<Suggestion> Py08Cleaner::Suggest(const Query& query) {
         if (end - begin == 1) {
           cand.score = word_sum;
         } else {
+          const uint64_t before = last_postings_read_;
           double phrase = ScorePhrasePass(cand.tokens);
+          if (cancel != nullptr) {
+            cancel->ChargePostings(last_postings_read_ - before);
+          }
           // Phrase must materialize in some element; weight by the
           // segment's spelling similarity.
           cand.score = phrase * cand.similarity;

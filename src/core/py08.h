@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cancel.h"
 #include "core/query.h"
 #include "core/variant_gen.h"
 #include "index/xml_index.h"
@@ -61,11 +62,21 @@ class Py08Cleaner : public QueryCleaner {
   std::vector<Suggestion> Suggest(const Query& query) override;
   std::string name() const override { return "PY08"; }
 
+  /// Budgeted evaluation: every posting pass (score_IR scans, phrase
+  /// passes) and segment instantiation is charged to `cancel`; when it
+  /// trips, enumeration stops and the segmentation DP runs over whatever
+  /// segments were scored (possibly yielding no full-length suggestion),
+  /// with last_truncated() set.
+  std::vector<Suggestion> SuggestWithBudget(const Query& query,
+                                            CancelToken* cancel);
+
   const Py08Options& options() const { return options_; }
 
   /// Posting entries read by the last Suggest call (the repeated-pass I/O
   /// cost driving Table VI).
   uint64_t last_postings_read() const { return last_postings_read_; }
+  /// True when the last call was stopped early by its CancelToken.
+  bool last_truncated() const { return last_truncated_; }
 
   /// max_t tfidf(w, t): exposed for tests of the bias analysis.
   double ScoreIr(TokenId token) const;
@@ -92,6 +103,7 @@ class Py08Cleaner : public QueryCleaner {
   Py08Options options_;
   VariantGenerator variant_gen_;
   mutable uint64_t last_postings_read_ = 0;
+  bool last_truncated_ = false;
 };
 
 }  // namespace xclean

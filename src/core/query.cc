@@ -15,6 +15,24 @@ Query ParseQuery(std::string_view text, const Tokenizer& tokenizer) {
   return query;
 }
 
+Result<Query> ParseQueryBounded(std::string_view text,
+                                const Tokenizer& tokenizer,
+                                const QueryParseLimits& limits) {
+  if (text.size() > limits.max_bytes) {
+    return Status::InvalidArgument(
+        "query of " + std::to_string(text.size()) + " bytes exceeds the " +
+        std::to_string(limits.max_bytes) + "-byte input limit");
+  }
+  Query query = ParseQuery(text, tokenizer);
+  if (query.size() > limits.max_keywords) {
+    return Status::InvalidArgument(
+        "query has " + std::to_string(query.size()) +
+        " keywords, over the limit of " +
+        std::to_string(limits.max_keywords));
+  }
+  return query;
+}
+
 std::string Suggestion::ToString() const { return Join(words, " "); }
 
 }  // namespace xclean

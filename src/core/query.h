@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "xml/tokenizer.h"
 #include "xml/tree.h"
 
@@ -29,6 +30,25 @@ struct Query {
 /// normalize to nothing (stopwords, numbers, too short) are dropped, which
 /// mirrors how the indexed corpus was filtered.
 Query ParseQuery(std::string_view text, const Tokenizer& tokenizer);
+
+/// Input bounds for ParseQueryBounded. The candidate space of Algorithm 1
+/// is a Cartesian product over keywords, so its size is exponential in the
+/// keyword count — unbounded input is an invitation to wedge a worker. The
+/// defaults are generous for human-typed keyword queries (the paper's
+/// workloads are 2-4 keywords).
+struct QueryParseLimits {
+  /// Maximum raw input length in bytes (checked before any work).
+  size_t max_bytes = 4096;
+  /// Maximum keywords surviving normalization.
+  size_t max_keywords = 12;
+};
+
+/// ParseQuery with input bounds: returns InvalidArgument when `text`
+/// exceeds max_bytes or normalizes to more than max_keywords keywords,
+/// instead of handing an adversarial Cartesian product to the algorithm.
+Result<Query> ParseQueryBounded(std::string_view text,
+                                const Tokenizer& tokenizer,
+                                const QueryParseLimits& limits);
 
 /// One alternative query suggestion with its diagnostics.
 struct Suggestion {

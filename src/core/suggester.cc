@@ -76,36 +76,67 @@ std::vector<Suggestion> XCleanSuggester::Suggest(const Query& query) const {
 }
 
 std::vector<std::vector<Suggestion>> XCleanSuggester::SuggestBatch(
-    const std::vector<std::string>& query_texts, QueryScratch* scratch) const {
+    const std::vector<std::string>& query_texts, QueryScratch* scratch,
+    CancelToken* cancel, const QueryTuning* tuning) const {
   std::vector<Query> queries;
   queries.reserve(query_texts.size());
   for (const std::string& text : query_texts) {
     queries.push_back(ParseQuery(text, index_->tokenizer()));
   }
-  return SuggestBatch(queries, scratch);
+  return SuggestBatch(queries, scratch, cancel, tuning);
 }
 
 std::vector<std::vector<Suggestion>> XCleanSuggester::SuggestBatch(
-    const std::vector<Query>& queries, QueryScratch* scratch) const {
+    const std::vector<Query>& queries, QueryScratch* scratch,
+    CancelToken* cancel, const QueryTuning* tuning) const {
   QueryScratch local;
   QueryScratch& shared = scratch != nullptr ? *scratch : local;
   std::vector<std::vector<Suggestion>> out;
   out.reserve(queries.size());
   for (const Query& query : queries) {
-    out.push_back(Suggest(query, &shared));
+    if (cancel != nullptr && cancel->cancelled()) {
+      // Batch budget exhausted on an earlier query: the rest come back
+      // empty rather than unbudgeted.
+      out.emplace_back();
+      continue;
+    }
+    out.push_back(Suggest(query, &shared, cancel, tuning));
   }
   return out;
 }
 
-std::vector<Suggestion> XCleanSuggester::Suggest(const Query& query,
-                                                 QueryScratch* scratch) const {
+namespace {
+
+/// Sums the work counters of `from` into `into` (the space-error path runs
+/// the algorithm once per re-segmentation but reports one stats block).
+void AccumulateStats(const XCleanRunStats& from, XCleanRunStats* into) {
+  if (into == nullptr) return;
+  into->subtrees_processed += from.subtrees_processed;
+  into->occurrences_collected += from.occurrences_collected;
+  into->candidates_enumerated += from.candidates_enumerated;
+  into->entities_scored += from.entities_scored;
+  into->result_type_computations += from.result_type_computations;
+  into->accumulator_evictions += from.accumulator_evictions;
+  into->accumulators_final += from.accumulators_final;
+  if (from.truncated) {
+    into->truncated = true;
+    into->cancel_cause = from.cancel_cause;
+  }
+}
+
+}  // namespace
+
+std::vector<Suggestion> XCleanSuggester::Suggest(
+    const Query& query, QueryScratch* scratch, CancelToken* cancel,
+    const QueryTuning* tuning, XCleanRunStats* stats) const {
   QueryScratch local;
   QueryScratch& arena = scratch != nullptr ? *scratch : local;
   if (options_.space_tau == 0) {
     std::vector<Suggestion> out;
-    algorithm_->SuggestWithScratch(query, arena, &out, nullptr);
+    algorithm_->SuggestWithScratch(query, arena, &out, stats, cancel, tuning);
     return out;
   }
+  if (stats != nullptr) *stats = XCleanRunStats{};
 
   // Space-error extension: clean every admissible re-segmentation, penalize
   // by the number of space changes, and merge (deduplicating by suggestion
@@ -117,10 +148,14 @@ std::vector<Suggestion> XCleanSuggester::Suggest(const Query& query,
       ExpandSpaceEdits(query, index_->vocabulary(), options_.space_tau,
                        index_->tokenizer().options().min_token_length);
   std::vector<Suggestion> form_out;
+  XCleanRunStats form_stats;
   for (const SpaceEdit& form : forms) {
+    if (cancel != nullptr && cancel->cancelled()) break;
     double penalty =
         std::exp(-options_.space_penalty_beta * form.changes);
-    algorithm_->SuggestWithScratch(form.query, arena, &form_out, nullptr);
+    algorithm_->SuggestWithScratch(form.query, arena, &form_out, &form_stats,
+                                   cancel, tuning);
+    AccumulateStats(form_stats, stats);
     for (Suggestion& s : form_out) {
       s.score *= penalty;
       s.error_weight *= penalty;
@@ -132,9 +167,9 @@ std::vector<Suggestion> XCleanSuggester::Suggest(const Query& query,
               if (a.score != b.score) return a.score > b.score;
               return a.words < b.words;
             });
-  if (merged.size() > options_.xclean.top_k) {
-    merged.resize(options_.xclean.top_k);
-  }
+  size_t top_k = options_.xclean.top_k;
+  if (tuning != nullptr) top_k = std::min(top_k, tuning->top_k);
+  if (merged.size() > top_k) merged.resize(top_k);
   return merged;
 }
 

@@ -86,19 +86,33 @@ class XCleanSuggester {
   /// `scratch` may be null (a stack-local one is used). Concurrent callers
   /// must use distinct scratches — the serving engine keeps one per worker
   /// thread.
-  std::vector<Suggestion> Suggest(const Query& query,
-                                  QueryScratch* scratch) const;
+  ///
+  /// `cancel` (optional) threads a per-request budget into the algorithm
+  /// (see XClean::SuggestWithScratch): when it trips, the best-effort
+  /// partial top-k accumulated so far is returned and stats->truncated is
+  /// set. With space_tau > 0, one token covers all re-segmentations.
+  /// `tuning` (optional) caps max_ed/gamma/top_k for this request only
+  /// (the serving engine's degraded tiers). `stats` (optional) receives
+  /// the run counters, summed across re-segmentations.
+  std::vector<Suggestion> Suggest(const Query& query, QueryScratch* scratch,
+                                  CancelToken* cancel = nullptr,
+                                  const QueryTuning* tuning = nullptr,
+                                  XCleanRunStats* stats = nullptr) const;
 
   /// Evaluates a batch of raw query strings (or parsed queries) through one
   /// shared scratch: the batch costs one arena warm-up total instead of one
   /// per query, and repeated keywords across the batch hit the variant and
   /// result-type memos. Results are positional. Same thread-safety contract
-  /// as Suggest(query, scratch).
+  /// as Suggest(query, scratch). `cancel` (optional) covers the whole
+  /// batch: once tripped, remaining queries return empty.
   std::vector<std::vector<Suggestion>> SuggestBatch(
       const std::vector<std::string>& query_texts,
-      QueryScratch* scratch = nullptr) const;
+      QueryScratch* scratch = nullptr, CancelToken* cancel = nullptr,
+      const QueryTuning* tuning = nullptr) const;
   std::vector<std::vector<Suggestion>> SuggestBatch(
-      const std::vector<Query>& queries, QueryScratch* scratch = nullptr) const;
+      const std::vector<Query>& queries, QueryScratch* scratch = nullptr,
+      CancelToken* cancel = nullptr,
+      const QueryTuning* tuning = nullptr) const;
 
   const XmlIndex& index() const { return *index_; }
   const XClean& algorithm() const { return *algorithm_; }

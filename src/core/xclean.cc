@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "core/elca.h"
 #include "core/slca.h"
 #include "index/merged_list.h"
@@ -76,15 +77,26 @@ std::vector<Suggestion> XClean::SuggestWithStats(const Query& query,
 
 std::vector<std::vector<Suggestion>> XClean::SuggestBatch(
     const std::vector<Query>& queries, QueryScratch* scratch,
-    std::vector<XCleanRunStats>* stats) const {
+    std::vector<XCleanRunStats>* stats, CancelToken* cancel,
+    const QueryTuning* tuning) const {
   QueryScratch local;
   QueryScratch& shared = scratch != nullptr ? *scratch : local;
   if (stats != nullptr) stats->assign(queries.size(), XCleanRunStats{});
   std::vector<std::vector<Suggestion>> out(queries.size());
   std::vector<Suggestion> buf;
   for (size_t i = 0; i < queries.size(); ++i) {
-    SuggestWithScratch(queries[i], shared, &buf,
-                       stats != nullptr ? &(*stats)[i] : nullptr);
+    XCleanRunStats* query_stats = stats != nullptr ? &(*stats)[i] : nullptr;
+    if (cancel != nullptr && cancel->cancelled()) {
+      // The batch budget tripped on an earlier query: the rest are
+      // explicitly truncated-empty rather than silently skipped.
+      if (query_stats != nullptr) {
+        query_stats->truncated = true;
+        query_stats->cancel_cause = cancel->cause();
+      }
+      out[i].clear();
+      continue;
+    }
+    SuggestWithScratch(queries[i], shared, &buf, query_stats, cancel, tuning);
     out[i] = buf;
   }
   return out;
@@ -114,8 +126,8 @@ const std::vector<Variant>& XClean::LookupVariants(
 
 void XClean::ScoreNodeTypeEntities(QueryScratch& scratch, size_t num_slots,
                                    const ResultTypeScorer::Choice& choice,
-                                   double error_weight,
-                                   XCleanRunStats& stats) const {
+                                   double error_weight, XCleanRunStats& stats,
+                                   CancelToken* cancel) const {
   const XmlTree& tree = index_->tree();
   const uint32_t entity_depth = tree.path_depth(choice.path);
 
@@ -168,6 +180,11 @@ void XClean::ScoreNodeTypeEntities(QueryScratch& scratch, size_t num_slots,
   CandidateState* state = nullptr;
   NodeId target = (*lists[0])[0].entity;
   for (;;) {
+    // One charge per intersection round bounds the candidate x occurrence
+    // re-walk this loop performs across the Cartesian product; stopping
+    // between rounds leaves the accumulator with a partial (underestimated)
+    // sum, which is exactly the best-effort contract.
+    if (cancel != nullptr && cancel->ChargePostings(1)) return;
     bool all_equal = false;
     while (!all_equal) {
       all_equal = true;
@@ -204,8 +221,8 @@ void XClean::ScoreNodeTypeEntities(QueryScratch& scratch, size_t num_slots,
 }
 
 void XClean::ScoreLcaEntities(QueryScratch& scratch, size_t num_slots,
-                              double error_weight,
-                              XCleanRunStats& stats) const {
+                              double error_weight, XCleanRunStats& stats,
+                              CancelToken* cancel) const {
   const XmlTree& tree = index_->tree();
   const uint32_t d = options_.min_depth;
 
@@ -239,6 +256,9 @@ void XClean::ScoreLcaEntities(QueryScratch& scratch, size_t num_slots,
 
   CandidateState* state = nullptr;
   for (NodeId entity : slcas) {
+    // Each entity rescans the slot occurrence lists (SumTfInRange below);
+    // charge it like a posting so LCA scoring honours the budget too.
+    if (cancel != nullptr && cancel->ChargePostings(1)) return;
     double prod = 1.0;
     for (size_t i = 0; i < num_slots; ++i) {
       const QueryScratch::Slot& slot = scratch.slots_[i];
@@ -260,11 +280,28 @@ void XClean::ScoreLcaEntities(QueryScratch& scratch, size_t num_slots,
 
 void XClean::SuggestWithScratch(const Query& query, QueryScratch& scratch,
                                 std::vector<Suggestion>* out,
-                                XCleanRunStats* stats) const {
+                                XCleanRunStats* stats, CancelToken* cancel,
+                                const QueryTuning* tuning) const {
   XCleanRunStats local_stats;
   XCleanRunStats& run_stats = stats != nullptr ? *stats : local_stats;
   run_stats = XCleanRunStats{};
   BindScratch(scratch);
+
+  // Effective knobs for this query: the instance's options, optionally
+  // capped by the per-query tuning (degraded tiers shrink the variant set,
+  // the accumulator bound and the result count; they never widen them).
+  uint32_t eff_max_ed = options_.max_ed;
+  size_t eff_gamma = options_.gamma;
+  size_t eff_top_k = options_.top_k;
+  if (tuning != nullptr) {
+    eff_max_ed = std::min(eff_max_ed, tuning->max_ed);
+    if (tuning->gamma != SIZE_MAX) {
+      // gamma == 0 means unbounded, so min() alone would keep it widest.
+      eff_gamma =
+          eff_gamma == 0 ? tuning->gamma : std::min(eff_gamma, tuning->gamma);
+    }
+    eff_top_k = std::min(eff_top_k, tuning->top_k);
+  }
 
   const size_t l = query.size();
   if (l == 0) {
@@ -274,7 +311,7 @@ void XClean::SuggestWithScratch(const Query& query, QueryScratch& scratch,
 
   // Per-query arena reset (capacity retained) and cross-query memo cap
   // enforcement.
-  scratch.accumulators_.Reset(options_.gamma);
+  scratch.accumulators_.Reset(eff_gamma);
   scratch.slca_totals_.Clear();
   if (scratch.type_cache_.size() > QueryScratch::kMaxTypeCacheEntries) {
     scratch.type_cache_.Clear();
@@ -304,6 +341,18 @@ void XClean::SuggestWithScratch(const Query& query, QueryScratch& scratch,
       return;
     }
     slot.variants = vars;
+    if (eff_max_ed < options_.max_ed) {
+      // Degraded tier: drop far variants for this query only. The memoized
+      // `vars` stays full-width for the next full-tier query, and erase_if
+      // keeps the slot vector's capacity, so this stays allocation-free.
+      std::erase_if(slot.variants, [eff_max_ed](const Variant& v) {
+        return v.distance > eff_max_ed;
+      });
+      if (slot.variants.empty()) {
+        out->clear();
+        return;
+      }
+    }
     std::sort(slot.variants.begin(), slot.variants.end(),
               [](const Variant& a, const Variant& b) {
                 return a.token < b.token;
@@ -325,6 +374,8 @@ void XClean::SuggestWithScratch(const Query& query, QueryScratch& scratch,
 
   // Main anchor loop (Algorithm 1 lines 4-16).
   for (;;) {
+    XCLEAN_FAULT_HIT("xclean.anchor");
+    if (cancel != nullptr && cancel->cancelled()) break;
     // Anchor: the largest current head across the merged lists; nil if any
     // list is exhausted (no further subtree can contain all keywords).
     const MergedList::Head* anchor = nullptr;
@@ -367,20 +418,26 @@ void XClean::SuggestWithScratch(const Query& query, QueryScratch& scratch,
         slot.agg_depth[r] = QueryScratch::kNoAggDepth;
       }
       slot.active_ranks.clear();
-      slot.merged.SkipTo(g);
+      slot.merged.SkipTo(g, cancel);
       slot.merged.DrainUpTo(
-          g_end, [&](uint32_t member, NodeId node, uint32_t tf) {
+          g_end,
+          [&](uint32_t member, NodeId node, uint32_t tf) {
             std::vector<QueryScratch::OccInfo>& bucket =
                 slot.occ_by_rank[member];
             if (bucket.empty()) slot.active_ranks.push_back(member);
             bucket.push_back(QueryScratch::OccInfo{node, tf});
             ++run_stats.occurrences_collected;
-          });
+          },
+          cancel);
       if (slot.active_ranks.empty()) all_slots_present = false;
       // Ranks arrive in head order (node-major); candidate enumeration
       // needs them in ascending rank = token order.
       std::sort(slot.active_ranks.begin(), slot.active_ranks.end());
     }
+    // A cancelled drain collected only part of the subtree's occurrences;
+    // scoring it would attribute wrong counts, so drop the subtree and
+    // surface what earlier subtrees accumulated.
+    if (cancel != nullptr && cancel->cancelled()) break;
     if (!all_slots_present) continue;
 
     // Enumerate candidate queries from the variants observed in g: the
@@ -389,6 +446,7 @@ void XClean::SuggestWithScratch(const Query& query, QueryScratch& scratch,
     auto& odo = scratch.odometer_;
     odo.assign(l, 0);
     for (;;) {
+      if (cancel != nullptr && cancel->ChargeCandidate()) break;
       double error_weight = 1.0;
       for (size_t i = 0; i < l; ++i) {
         const QueryScratch::Slot& slot = scratch.slots_[i];
@@ -410,10 +468,11 @@ void XClean::SuggestWithScratch(const Query& query, QueryScratch& scratch,
           *choice = type_scorer_.FindResultType(scratch.candidate_, d);
         }
         if (choice->path != XmlTree::kInvalidPath) {
-          ScoreNodeTypeEntities(scratch, l, *choice, error_weight, run_stats);
+          ScoreNodeTypeEntities(scratch, l, *choice, error_weight, run_stats,
+                                cancel);
         }
       } else {
-        ScoreLcaEntities(scratch, l, error_weight, run_stats);
+        ScoreLcaEntities(scratch, l, error_weight, run_stats, cancel);
       }
 
       // Advance the Cartesian product (odometer).
@@ -433,6 +492,10 @@ void XClean::SuggestWithScratch(const Query& query, QueryScratch& scratch,
 
   run_stats.accumulator_evictions = scratch.accumulators_.eviction_count();
   run_stats.accumulators_final = scratch.accumulators_.size();
+  if (cancel != nullptr && cancel->cancelled()) {
+    run_stats.truncated = true;
+    run_stats.cancel_cause = cancel->cause();
+  }
 
   // Final scoring (Eq. 10): rank flat entries that point into the
   // accumulator's key pool, then materialize only the top-k into the
@@ -481,7 +544,7 @@ void XClean::SuggestWithScratch(const Query& query, QueryScratch& scratch,
               return a.key_len < b.key_len;
             });
 
-  const size_t k = std::min(finals.size(), options_.top_k);
+  const size_t k = std::min(finals.size(), eff_top_k);
   for (size_t r = 0; r < k; ++r) {
     const QueryScratch::FinalEntry& e = finals[r];
     if (out->size() <= r) out->emplace_back();

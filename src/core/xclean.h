@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "core/accumulator.h"
 #include "core/query.h"
 #include "core/query_scratch.h"
@@ -74,6 +75,29 @@ struct XCleanOptions {
   std::function<double(NodeId)> entity_prior;
 };
 
+/// Per-query degradation overrides: an overloaded server tightens the
+/// paper's quality knobs for one request without rebuilding the algorithm
+/// (each XClean instance is immutable and shared across threads). Every
+/// field is a *cap* against the instance's XCleanOptions — the effective
+/// value is min(option, tuning) — so tuning can only cheapen a query,
+/// never widen it past what the index supports (e.g. max_ed stays within
+/// the FastSS radius). Sentinel values mean "no override"; a
+/// default-constructed QueryTuning changes nothing.
+struct QueryTuning {
+  /// Cap on XCleanOptions::max_ed (variants with larger edit distance are
+  /// skipped). UINT32_MAX = no override.
+  uint32_t max_ed = UINT32_MAX;
+  /// Cap on the accumulator bound gamma. Applies even when the instance
+  /// runs unbounded (options.gamma == 0). SIZE_MAX = no override.
+  size_t gamma = SIZE_MAX;
+  /// Cap on the suggestions returned. SIZE_MAX = no override.
+  size_t top_k = SIZE_MAX;
+
+  bool no_override() const {
+    return max_ed == UINT32_MAX && gamma == SIZE_MAX && top_k == SIZE_MAX;
+  }
+};
+
 /// Counters describing the work done by the last Suggest() call; used by
 /// the efficiency benches and the skipping/pruning tests.
 struct XCleanRunStats {
@@ -84,6 +108,12 @@ struct XCleanRunStats {
   uint64_t result_type_computations = 0;
   uint64_t accumulator_evictions = 0;
   uint64_t accumulators_final = 0;
+  /// True when a CancelToken stopped the run before the merged-list pass
+  /// completed: the returned suggestions are a best-effort partial top-k
+  /// (every score is an underestimate of the full evaluation).
+  bool truncated = false;
+  /// Which budget tripped when truncated is set.
+  CancelCause cancel_cause = CancelCause::kNone;
 };
 
 /// The XClean algorithm (Algorithm 1): computes the scores of all candidate
@@ -120,17 +150,32 @@ class XClean : public QueryCleaner {
   /// threads concurrently provided each uses its own scratch. A scratch
   /// previously used with a different XClean instance is re-zeroed
   /// automatically.
+  ///
+  /// `cancel` (optional) makes the run cooperatively cancellable: work is
+  /// charged inside the merged-list drains, skips, candidate enumeration
+  /// and entity scoring, and when the token trips the anchor loop unwinds
+  /// and the accumulators gathered so far are ranked into a partial top-k
+  /// (stats->truncated = true). An attached-but-unlimited token produces
+  /// bit-identical scores to running without one — cancellation changes
+  /// when the algorithm stops, never what it computes. `tuning` (optional)
+  /// caps max_ed/gamma/top_k for this query only (graceful degradation
+  /// under load); both hooks keep the steady state allocation-free.
   void SuggestWithScratch(const Query& query, QueryScratch& scratch,
-                          std::vector<Suggestion>* out,
-                          XCleanRunStats* stats) const;
+                          std::vector<Suggestion>* out, XCleanRunStats* stats,
+                          CancelToken* cancel = nullptr,
+                          const QueryTuning* tuning = nullptr) const;
 
   /// Evaluates a batch of queries through one shared scratch, so later
   /// queries reuse the arena storage and memo tables warmed by earlier
   /// ones. `scratch` may be null (a local one is used); `stats` (optional)
-  /// receives one entry per query.
+  /// receives one entry per query. `cancel` (optional) covers the whole
+  /// batch: once it trips, the current query surfaces its partial top-k
+  /// and the remaining queries return empty, truncated results.
   std::vector<std::vector<Suggestion>> SuggestBatch(
       const std::vector<Query>& queries, QueryScratch* scratch = nullptr,
-      std::vector<XCleanRunStats>* stats = nullptr) const;
+      std::vector<XCleanRunStats>* stats = nullptr,
+      CancelToken* cancel = nullptr,
+      const QueryTuning* tuning = nullptr) const;
 
   const XCleanOptions& options() const { return options_; }
   const XCleanRunStats& last_run_stats() const { return stats_; }
@@ -171,13 +216,14 @@ class XClean : public QueryCleaner {
   /// accumulator.
   void ScoreNodeTypeEntities(QueryScratch& scratch, size_t num_slots,
                              const ResultTypeScorer::Choice& choice,
-                             double error_weight,
-                             XCleanRunStats& stats) const;
+                             double error_weight, XCleanRunStats& stats,
+                             CancelToken* cancel) const;
 
   /// SLCA/ELCA semantics: compute the candidate's LCA-family entities
   /// inside the current subtree and fold them into the accumulator.
   void ScoreLcaEntities(QueryScratch& scratch, size_t num_slots,
-                        double error_weight, XCleanRunStats& stats) const;
+                        double error_weight, XCleanRunStats& stats,
+                        CancelToken* cancel) const;
 
   const XmlIndex* index_;
   XCleanOptions options_;

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "common/varint.h"
 #include "text/fastss.h"
@@ -1033,6 +1034,7 @@ Result<std::unique_ptr<XmlIndex>> LoadIndex(std::istream& in) {
 }
 
 Result<std::unique_ptr<XmlIndex>> LoadIndex(const std::string& path) {
+  XCLEAN_FAULT_STATUS("index_io.load");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open index file: " + path);
   return LoadIndex(in);

@@ -111,4 +111,18 @@ const MergedList::Head* MergedList::SkipTo(NodeId target) {
   return cur_pos();
 }
 
+const MergedList::Head* MergedList::SkipTo(NodeId target,
+                                           CancelToken* cancel) {
+  if (cancel == nullptr) return SkipTo(target);
+  const uint64_t lazy_before = skip_stats_.lazy_advances;
+  const uint64_t rebuilds_before = skip_stats_.rebuilds;
+  const Head* head = SkipTo(target);
+  // A rebuild gallops every member cursor; bill it as one unit per member.
+  const uint64_t work =
+      (skip_stats_.lazy_advances - lazy_before) +
+      (skip_stats_.rebuilds - rebuilds_before) * members_.size();
+  if (work > 0) cancel->ChargePostings(work);
+  return head;
+}
+
 }  // namespace xclean

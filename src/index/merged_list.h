@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.h"
 #include "index/postings.h"
 #include "index/vocabulary.h"
 
@@ -77,6 +78,12 @@ class MergedList {
   /// (node, token) order for determinism.
   const Head* SkipTo(NodeId target);
 
+  /// SkipTo that charges its advancement work (lazy advances, rebuild
+  /// gallops) to `cancel`. The skip always completes — it is O(m log m)
+  /// bounded — so the heap invariant holds either way; the caller checks
+  /// cancel->cancelled() before starting the next unbounded phase.
+  const Head* SkipTo(NodeId target, CancelToken* cancel);
+
   /// Pops and visits every entry with node <= limit, calling
   /// fn(member, node, tf) for each. Equivalent to draining with Next(),
   /// but batched per member: a member whose head is within the limit is
@@ -84,19 +91,30 @@ class MergedList {
   /// pop/push per member instead of per posting. Entries are surfaced in
   /// per-member node order, NOT global (node, token) order; use Next()
   /// when global order matters (per-rank occurrence bucketing does not).
+  ///
+  /// When `cancel` is set, one posting is charged per visited entry; on
+  /// cancellation the drain stops after the current posting with the heap
+  /// invariant restored (the remaining entries stay in the list), so a
+  /// later SkipTo/DrainUpTo on the same list is still valid.
   template <typename Fn>
-  void DrainUpTo(NodeId limit, Fn&& fn) {
+  void DrainUpTo(NodeId limit, Fn&& fn, CancelToken* cancel = nullptr) {
     while (!exhausted_ && head_.node <= limit) {
       const uint32_t member = heap_.front().member;
       PostingCursor& cursor = members_[member].cursor;
+      bool stop = false;
       do {
         const Posting& p = cursor.Get();
         fn(member, p.node, p.tf);
         cursor.Next();
+        if (cancel != nullptr && cancel->ChargePostings(1)) {
+          stop = true;
+          break;
+        }
       } while (!cursor.AtEnd() && cursor.Get().node <= limit);
       PopTop();
       PushMember(member);
       RefreshHead();
+      if (stop) return;
     }
   }
 

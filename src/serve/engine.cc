@@ -1,9 +1,15 @@
 #include "serve/engine.h"
 
 #include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <thread>
 #include <utility>
 
+#include "common/cancel.h"
 #include "common/check.h"
+#include "common/fault_injection.h"
+#include "core/query.h"
 #include "index/index_io.h"
 
 namespace xclean::serve {
@@ -13,6 +19,21 @@ namespace {
 using SteadyClock = std::chrono::steady_clock;
 
 constexpr SteadyClock::time_point kNoDeadline = SteadyClock::time_point::max();
+
+double MillisSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - start)
+      .count();
+}
+
+/// The engine's controller thresholds are expressed relative to the
+/// default deadline; fill that in unless the caller already set it.
+OverloadControllerOptions ResolveOverloadOptions(const EngineOptions& o) {
+  OverloadControllerOptions r = o.overload;
+  if (r.deadline_ms <= 0.0 && o.default_deadline.count() > 0) {
+    r.deadline_ms = static_cast<double>(o.default_deadline.count());
+  }
+  return r;
+}
 
 /// Per-worker scratch arena: each serving thread reuses one QueryScratch
 /// across every request it handles, which is what makes steady-state
@@ -49,6 +70,7 @@ ServingEngine::ServingEngine(std::shared_ptr<const XCleanSuggester> suggester,
     : options_(options),
       snapshot_(MakeSnapshot(std::move(suggester), 1)),
       cache_(options.cache),
+      overload_(ResolveOverloadOptions(options)),
       pool_(options.pool) {
   XCLEAN_CHECK(snapshot_->suggester != nullptr);
 }
@@ -78,11 +100,24 @@ Status ServingEngine::SubmitSuggest(std::string query_text,
                                     SteadyClock::time_point deadline,
                                     ServeCallback done) {
   SteadyClock::time_point enqueued = SteadyClock::now();
+  // The callback is shared between the task and the expiry path: exactly
+  // one of them runs (the pool guarantees it), but both need to own it.
+  auto cb = std::make_shared<ServeCallback>(std::move(done));
   Status submitted = pool_.TrySubmit(
-      [this, query_text = std::move(query_text), enqueued, deadline,
-       done = std::move(done)] {
+      [this, query_text = std::move(query_text), enqueued, deadline, cb] {
         ServeResult result = Execute(query_text, enqueued, deadline);
-        if (done) done(std::move(result));
+        if (*cb) (*cb)(std::move(result));
+      },
+      deadline,
+      [this, enqueued, cb] {
+        // Evicted from the queue past its deadline: the queue slot was
+        // already released, so this answer never blocks an admissible
+        // request behind it.
+        metrics_.IncrDeadlineExceeded();
+        ServeResult result;
+        result.status = Status::DeadlineExceeded("expired in queue");
+        result.latency_ms = MillisSince(enqueued);
+        if (*cb) (*cb)(std::move(result));
       });
   if (submitted.ok()) {
     metrics_.IncrRequests();
@@ -129,16 +164,27 @@ Status ServingEngine::SubmitSuggestBatch(std::vector<std::string> query_texts,
     deadline = enqueued + options_.default_deadline;
   }
   const size_t batch_size = query_texts.size();
+  auto cb = std::make_shared<BatchServeCallback>(std::move(done));
   Status submitted = pool_.TrySubmit(
-      [this, queries = std::move(query_texts), enqueued, deadline,
-       done = std::move(done)] {
+      [this, queries = std::move(query_texts), enqueued, deadline, cb] {
         std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
         std::vector<ServeResult> results;
         results.reserve(queries.size());
         for (const std::string& text : queries) {
           results.push_back(ExecuteOnSnapshot(snap, text, enqueued, deadline));
         }
-        if (done) done(std::move(results));
+        if (*cb) (*cb)(std::move(results));
+      },
+      deadline,
+      [this, enqueued, batch_size, cb] {
+        ServeResult expired;
+        expired.status = Status::DeadlineExceeded("expired in queue");
+        expired.latency_ms = MillisSince(enqueued);
+        std::vector<ServeResult> results(batch_size, expired);
+        for (size_t i = 0; i < batch_size; ++i) {
+          metrics_.IncrDeadlineExceeded();
+        }
+        if (*cb) (*cb)(std::move(results));
       });
   for (size_t i = 0; i < batch_size; ++i) {
     if (submitted.ok()) {
@@ -178,15 +224,83 @@ ServeResult ServingEngine::ExecuteOnSnapshot(
 
   result.snapshot_version = snap->version;
 
-  Query query =
-      ParseQuery(query_text, snap->suggester->index().tokenizer());
-  std::string key = snap->key_prefix + query.ToString();
+  // Admission: one walk of the degradation ladder per request. Everything
+  // below the shed tier still produces an answer; the tiers only shrink
+  // how much work that answer is allowed to cost.
+  const ServiceTier tier =
+      overload_.Evaluate(pool_.queue_depth(), pool_.queue_capacity());
+  result.tier = tier;
+  if (tier == ServiceTier::kShed) {
+    metrics_.IncrShedOverload();
+    result.status = Status::Unavailable("overloaded: shedding all requests");
+    result.latency_ms = MillisSince(enqueue_time);
+    return result;
+  }
 
-  if (cache_.Get(key, &result.suggestions)) {
+  // Input bounds come before tokenization of a pathological payload can
+  // cost anything: a megabyte of "query" is an error, not a workload.
+  Result<Query> parsed = ParseQueryBounded(
+      query_text, snap->suggester->index().tokenizer(), options_.query_limits);
+  if (!parsed.ok()) {
+    metrics_.IncrInvalidArgument();
+    result.status = parsed.status();
+    result.latency_ms = MillisSince(enqueue_time);
+    return result;
+  }
+  const Query& query = parsed.value();
+
+  // Tier-aware cache keys: reduced-tier answers are cached under a "t1|"
+  // prefix so they can never masquerade as full-quality answers once the
+  // engine recovers. Degraded tiers may read full-tier entries (a better
+  // answer for free), never the other way around.
+  const std::string full_key = snap->key_prefix + query.ToString();
+  const std::string reduced_key = "t1|" + full_key;
+
+  XCLEAN_FAULT_HIT("serve.cache.lookup");
+  bool hit = cache_.Get(full_key, &result.suggestions);
+  if (!hit && tier != ServiceTier::kFull) {
+    hit = cache_.Get(reduced_key, &result.suggestions);
+  }
+  if (hit) {
     result.cache_hit = true;
+  } else if (tier == ServiceTier::kCacheOnly) {
+    metrics_.IncrShedOverload();
+    result.status = Status::Unavailable("overloaded: serving cache hits only");
+    result.latency_ms = MillisSince(enqueue_time);
+    return result;
   } else {
-    result.suggestions = snap->suggester->Suggest(query, &ThreadScratch());
-    cache_.Put(key, result.suggestions);
+    QueryBudget budget;
+    budget.deadline = deadline;
+    budget.max_postings = options_.max_postings_per_query;
+    budget.max_candidates = options_.max_candidates_per_query;
+    CancelToken token(budget);
+    const QueryTuning* tuning = tier == ServiceTier::kReduced
+                                    ? &overload_.options().reduced_tuning
+                                    : nullptr;
+    XCleanRunStats run_stats;
+    const SteadyClock::time_point compute_start = SteadyClock::now();
+    result.suggestions = snap->suggester->Suggest(query, &ThreadScratch(),
+                                                  &token, tuning, &run_stats);
+    result.compute_ms = MillisSince(compute_start);
+    if (run_stats.truncated) {
+      // The in-algorithm budget tripped. A partial top-k is still an
+      // answer (marked so the caller knows); an empty one is not.
+      metrics_.IncrTruncated();
+      result.truncated = true;
+      if (result.suggestions.empty()) {
+        metrics_.IncrDeadlineExceeded();
+        result.status = Status::DeadlineExceeded(
+            std::string("budget exhausted mid-query: ") +
+            CancelCauseName(run_stats.cancel_cause));
+        result.latency_ms = MillisSince(enqueue_time);
+        overload_.RecordLatency(result.latency_ms);
+        return result;
+      }
+      // Truncated lists are never cached: they would freeze a degraded
+      // answer past the overload that caused it.
+    } else {
+      cache_.Put(tuning ? reduced_key : full_key, result.suggestions);
+    }
   }
 
   auto elapsed = SteadyClock::now() - enqueue_time;
@@ -196,6 +310,7 @@ ServeResult ServingEngine::ExecuteOnSnapshot(
       std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
           .count()));
   metrics_.IncrCompleted();
+  overload_.RecordLatency(result.latency_ms);
   return result;
 }
 
@@ -213,12 +328,62 @@ void ServingEngine::SwapIndex(std::shared_ptr<const XCleanSuggester> next) {
 
 Status ServingEngine::SwapIndexFromFile(const std::string& path,
                                         SuggesterOptions options) {
-  Result<std::unique_ptr<XmlIndex>> index = LoadIndex(path);
-  if (!index.ok()) return index.status();
-  auto suggester = std::make_shared<const XCleanSuggester>(
-      XCleanSuggester::FromIndex(std::move(index).value(), options));
-  SwapIndex(std::move(suggester));
-  return Status::Ok();
+  namespace fs = std::filesystem;
+  // Identity of the file as published right now; a re-published snapshot
+  // (different size or mtime) clears any quarantine on the path.
+  std::error_code size_ec, mtime_ec;
+  const std::uintmax_t file_size = fs::file_size(path, size_ec);
+  const fs::file_time_type mtime = fs::last_write_time(path, mtime_ec);
+  const bool stat_ok = !size_ec && !mtime_ec;
+
+  if (stat_ok) {
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    auto it = quarantine_.find(path);
+    if (it != quarantine_.end()) {
+      if (it->second.file_size == file_size && it->second.mtime == mtime) {
+        return Status::Unavailable(
+            "snapshot file quarantined after repeated load failures "
+            "(republish to clear): " +
+            path);
+      }
+      quarantine_.erase(it);
+    }
+  }
+
+  const int attempts =
+      options_.swap_load_attempts < 1 ? 1 : options_.swap_load_attempts;
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff: a snapshot caught mid-publish often becomes
+      // readable a few milliseconds later.
+      std::this_thread::sleep_for(options_.swap_retry_backoff *
+                                  (1 << (attempt - 1)));
+    }
+    Result<std::unique_ptr<XmlIndex>> index = LoadIndex(path);
+    if (index.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(quarantine_mu_);
+        quarantine_.erase(path);
+      }
+      auto suggester = std::make_shared<const XCleanSuggester>(
+          XCleanSuggester::FromIndex(std::move(index).value(), options));
+      SwapIndex(std::move(suggester));
+      return Status::Ok();
+    }
+    last = index.status();
+    // A missing file is an operator error, not a torn write: retrying or
+    // quarantining it would only mask the misconfiguration.
+    if (last.code() == StatusCode::kNotFound) return last;
+  }
+
+  if (stat_ok) {
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    quarantine_[path] = QuarantineEntry{file_size, mtime};
+  }
+  // The previous snapshot keeps serving; the caller learns why the swap
+  // did not happen.
+  return last;
 }
 
 std::shared_ptr<const XCleanSuggester> ServingEngine::snapshot() const {
@@ -227,7 +392,11 @@ std::shared_ptr<const XCleanSuggester> ServingEngine::snapshot() const {
 
 MetricsSnapshot ServingEngine::Metrics() const {
   SuggestionCache::Stats cs = cache_.stats();
-  return metrics_.Snapshot(cs.hits, cs.misses, cs.evictions);
+  MetricsSnapshot s = metrics_.Snapshot(cs.hits, cs.misses, cs.evictions);
+  s.tier_requests = overload_.tier_requests();
+  s.current_tier = static_cast<int>(overload_.current_tier());
+  s.overload_p95_ms = overload_.p95_ms();
+  return s;
 }
 
 }  // namespace xclean::serve

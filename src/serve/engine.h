@@ -4,7 +4,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +14,7 @@
 #include "common/status.h"
 #include "core/suggester.h"
 #include "serve/metrics.h"
+#include "serve/overload.h"
 #include "serve/suggestion_cache.h"
 #include "serve/thread_pool.h"
 
@@ -25,6 +28,23 @@ struct EngineOptions {
   /// Deadline applied to requests submitted without an explicit one;
   /// zero means "no deadline".
   std::chrono::milliseconds default_deadline{0};
+  /// Input bounds enforced on every request before any candidate work
+  /// (oversized input answers InvalidArgument).
+  QueryParseLimits query_limits;
+  /// Per-request in-algorithm work caps, charged alongside the deadline
+  /// through the CancelToken (0 = unlimited). Machine-speed independent:
+  /// they bound postings drained and Cartesian candidates scored.
+  uint64_t max_postings_per_query = 0;
+  uint64_t max_candidates_per_query = 0;
+  /// Degradation-ladder thresholds; deadline_ms is derived from
+  /// default_deadline when left 0.
+  OverloadControllerOptions overload;
+  /// SwapIndexFromFile: attempts per call (transient read/parse errors are
+  /// retried with exponential backoff starting at swap_retry_backoff); a
+  /// file still corrupt after the last attempt is quarantined until its
+  /// size/mtime changes. NotFound never retries or quarantines.
+  int swap_load_attempts = 3;
+  std::chrono::milliseconds swap_retry_backoff{10};
 };
 
 /// Outcome of one served request.
@@ -35,8 +55,18 @@ struct ServeResult {
   bool cache_hit = false;
   /// Queue wait + compute time, as observed by the engine.
   double latency_ms = 0.0;
+  /// Time spent inside Suggest() proper (0 for cache hits and non-served
+  /// outcomes). The overload bench asserts compute_ms never exceeds 2x the
+  /// request deadline — the cancellation guarantee.
+  double compute_ms = 0.0;
   /// Version of the index snapshot that served the request.
   uint64_t snapshot_version = 0;
+  /// True when the suggestions are a best-effort partial top-k (the
+  /// in-algorithm budget tripped mid-evaluation). Never set on cache hits;
+  /// truncated lists are not cached.
+  bool truncated = false;
+  /// Degradation tier the request was admitted at.
+  ServiceTier tier = ServiceTier::kFull;
 };
 
 using ServeCallback = std::function<void(ServeResult)>;
@@ -134,9 +164,13 @@ class ServingEngine {
     return version_.load(std::memory_order_relaxed);
   }
 
-  /// Counters + latency quantiles, with cache stats folded in.
+  /// Counters + latency quantiles, with cache stats and degradation-ladder
+  /// state folded in.
   MetricsSnapshot Metrics() const;
   SuggestionCache::Stats CacheStats() const { return cache_.stats(); }
+
+  /// The degradation tier currently in effect (see serve/overload.h).
+  ServiceTier current_tier() const { return overload_.current_tier(); }
 
   /// Stops accepting work and drains the queue. Called by the destructor.
   void Shutdown() { pool_.Shutdown(); }
@@ -183,12 +217,24 @@ class ServingEngine {
   static std::shared_ptr<const Snapshot> MakeSnapshot(
       std::shared_ptr<const XCleanSuggester> suggester, uint64_t version);
 
+  /// Identity of a snapshot file that failed to load after every retry.
+  /// While the file on disk still matches, further SwapIndexFromFile calls
+  /// fail fast instead of re-reading a known-bad file; any change to the
+  /// file (a re-published snapshot) clears the quarantine.
+  struct QuarantineEntry {
+    std::uintmax_t file_size = 0;
+    std::filesystem::file_time_type mtime;
+  };
+
   EngineOptions options_;
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const Snapshot> snapshot_;  ///< guarded by snapshot_mu_
   std::atomic<uint64_t> version_{1};
   SuggestionCache cache_;
   MetricsRegistry metrics_;
+  OverloadController overload_;
+  mutable std::mutex quarantine_mu_;
+  std::map<std::string, QuarantineEntry> quarantine_;  ///< by path
   ThreadPool pool_;  ///< last member: workers die before the rest
 };
 

@@ -43,20 +43,32 @@ void LatencyHistogram::Reset() {
 }
 
 std::string MetricsSnapshot::ToString() const {
-  char buf[320];
+  static const char* kTierNames[4] = {"full", "reduced", "cache_only",
+                                      "shed"};
+  const char* tier_name =
+      kTierNames[current_tier < 0 || current_tier > 3 ? 3 : current_tier];
+  char buf[512];
   std::snprintf(
       buf, sizeof(buf),
-      "req=%llu done=%llu rej=%llu dead=%llu hit=%llu miss=%llu "
-      "evict=%llu swap=%llu p50=%.2fms p95=%.2fms p99=%.2fms mean=%.2fms",
+      "req=%llu done=%llu rej=%llu dead=%llu shed=%llu trunc=%llu "
+      "inval=%llu hit=%llu miss=%llu evict=%llu swap=%llu p50=%.2fms "
+      "p95=%.2fms p99=%.2fms mean=%.2fms tier=%s tiers=%llu/%llu/%llu/%llu",
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(completed),
       static_cast<unsigned long long>(rejected),
       static_cast<unsigned long long>(deadline_exceeded),
+      static_cast<unsigned long long>(shed_overload),
+      static_cast<unsigned long long>(truncated_results),
+      static_cast<unsigned long long>(invalid_arguments),
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses),
       static_cast<unsigned long long>(cache_evictions),
       static_cast<unsigned long long>(snapshot_swaps), latency_p50_ms,
-      latency_p95_ms, latency_p99_ms, latency_mean_ms);
+      latency_p95_ms, latency_p99_ms, latency_mean_ms, tier_name,
+      static_cast<unsigned long long>(tier_requests[0]),
+      static_cast<unsigned long long>(tier_requests[1]),
+      static_cast<unsigned long long>(tier_requests[2]),
+      static_cast<unsigned long long>(tier_requests[3]));
   return buf;
 }
 
@@ -68,6 +80,9 @@ MetricsSnapshot MetricsRegistry::Snapshot(uint64_t cache_hits,
   s.completed = completed_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.shed_overload = shed_overload_.load(std::memory_order_relaxed);
+  s.truncated_results = truncated_.load(std::memory_order_relaxed);
+  s.invalid_arguments = invalid_.load(std::memory_order_relaxed);
   s.snapshot_swaps = swaps_.load(std::memory_order_relaxed);
   s.cache_hits = cache_hits;
   s.cache_misses = cache_misses;
@@ -85,6 +100,9 @@ void MetricsRegistry::Reset() {
   completed_.store(0, std::memory_order_relaxed);
   rejected_.store(0, std::memory_order_relaxed);
   deadline_exceeded_.store(0, std::memory_order_relaxed);
+  shed_overload_.store(0, std::memory_order_relaxed);
+  truncated_.store(0, std::memory_order_relaxed);
+  invalid_.store(0, std::memory_order_relaxed);
   swaps_.store(0, std::memory_order_relaxed);
   latency_.Reset();
 }

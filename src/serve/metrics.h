@@ -57,7 +57,10 @@ struct MetricsSnapshot {
   uint64_t requests = 0;            ///< accepted into the engine
   uint64_t completed = 0;           ///< produced a suggestion list
   uint64_t rejected = 0;            ///< backpressure: queue was full
-  uint64_t deadline_exceeded = 0;   ///< expired before a worker picked it up
+  uint64_t deadline_exceeded = 0;   ///< expired in queue or mid-algorithm
+  uint64_t shed_overload = 0;       ///< shed by the degradation ladder
+  uint64_t truncated_results = 0;   ///< served a partial (budgeted) top-k
+  uint64_t invalid_arguments = 0;   ///< rejected by input bounds
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
@@ -68,9 +71,18 @@ struct MetricsSnapshot {
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
 
+  /// Degradation-ladder state, folded in by the engine at snapshot time
+  /// (the controller keeps its own atomics): requests admitted per tier
+  /// (0=full 1=reduced 2=cache_only 3=shed), the tier in effect now, and
+  /// the controller's own p95 EWMA estimate.
+  std::array<uint64_t, 4> tier_requests{};
+  int current_tier = 0;
+  double overload_p95_ms = 0.0;
+
   /// One-line text dump, e.g. for periodic logging:
-  ///   req=1000 done=990 rej=10 dead=0 hit=700 miss=290 evict=12 swap=1
-  ///   p50=0.8ms p95=2.1ms p99=4.5ms mean=1.0ms
+  ///   req=1000 done=990 rej=10 dead=0 shed=0 trunc=0 inval=0 hit=700
+  ///   miss=290 evict=12 swap=1 p50=0.8ms p95=2.1ms p99=4.5ms mean=1.0ms
+  ///   tier=full tiers=990/0/0/0
   std::string ToString() const;
 };
 
@@ -84,6 +96,15 @@ class MetricsRegistry {
   void IncrRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
   void IncrDeadlineExceeded() {
     deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void IncrShedOverload() {
+    shed_overload_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void IncrTruncated() {
+    truncated_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void IncrInvalidArgument() {
+    invalid_.fetch_add(1, std::memory_order_relaxed);
   }
   void IncrSwaps() { swaps_.fetch_add(1, std::memory_order_relaxed); }
 
@@ -101,6 +122,9 @@ class MetricsRegistry {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> shed_overload_{0};
+  std::atomic<uint64_t> truncated_{0};
+  std::atomic<uint64_t> invalid_{0};
   std::atomic<uint64_t> swaps_{0};
   LatencyHistogram latency_;
 };

@@ -1,0 +1,102 @@
+#include "serve/overload.h"
+
+#include <bit>
+#include <chrono>
+
+namespace xclean {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+OverloadController::OverloadController(OverloadControllerOptions options)
+    : options_(options), p95_bits_(std::bit_cast<uint64_t>(0.0)) {}
+
+double OverloadController::p95_ms() const {
+  return std::bit_cast<double>(p95_bits_.load(std::memory_order_relaxed));
+}
+
+void OverloadController::RecordLatency(double latency_ms) {
+  // Stochastic quantile estimation: step up by alpha on a sample above the
+  // estimate, down by alpha/19 on one below. At equilibrium the up and
+  // down drifts cancel when 5% of samples land above — i.e. the estimate
+  // sits at the p95. A racing update may be lost; the next sample re-pulls
+  // the estimate, which is all monitoring needs.
+  const double est = p95_ms();
+  double next;
+  if (latency_ms > est) {
+    next = est + options_.ewma_alpha * (latency_ms - est);
+  } else {
+    next = est - (options_.ewma_alpha / 19.0) * (est - latency_ms);
+  }
+  p95_bits_.store(std::bit_cast<uint64_t>(next), std::memory_order_relaxed);
+}
+
+ServiceTier OverloadController::Evaluate(size_t queue_depth,
+                                         size_t queue_capacity) {
+  int tier;
+  if (options_.forced_tier >= 0) {
+    tier = options_.forced_tier > 3 ? 3 : options_.forced_tier;
+    tier_.store(tier, std::memory_order_relaxed);
+  } else {
+    const double fill =
+        queue_capacity == 0
+            ? 0.0
+            : static_cast<double>(queue_depth) /
+                  static_cast<double>(queue_capacity);
+    const double latency_ratio =
+        options_.deadline_ms > 0.0 ? p95_ms() / options_.deadline_ms : 0.0;
+
+    int pressure = static_cast<int>(ServiceTier::kFull);
+    if (fill >= options_.shed_fill) {
+      pressure = static_cast<int>(ServiceTier::kShed);
+    } else if (fill >= options_.cache_only_fill ||
+               (options_.cache_only_latency > 0.0 &&
+                latency_ratio >= options_.cache_only_latency)) {
+      pressure = static_cast<int>(ServiceTier::kCacheOnly);
+    } else if (fill >= options_.reduce_fill ||
+               (options_.reduce_latency > 0.0 &&
+                latency_ratio >= options_.reduce_latency)) {
+      pressure = static_cast<int>(ServiceTier::kReduced);
+    }
+
+    tier = tier_.load(std::memory_order_relaxed);
+    const int64_t now = NowNs();
+    if (pressure > tier) {
+      // Escalate immediately: overload compounds while you hesitate.
+      tier_.store(pressure, std::memory_order_relaxed);
+      last_change_ns_.store(now, std::memory_order_relaxed);
+      tier = pressure;
+    } else if (pressure < tier) {
+      // Step down ONE level after a calm hold period, re-entering load
+      // gradually instead of slamming back to full service (which would
+      // re-trigger the overload that degraded us).
+      const int64_t hold_ns =
+          static_cast<int64_t>(options_.step_down_hold_ms) * 1000000;
+      if (now - last_change_ns_.load(std::memory_order_relaxed) >= hold_ns) {
+        --tier;
+        tier_.store(tier, std::memory_order_relaxed);
+        last_change_ns_.store(now, std::memory_order_relaxed);
+      }
+    }
+  }
+  tier_requests_[static_cast<size_t>(tier)].fetch_add(
+      1, std::memory_order_relaxed);
+  return static_cast<ServiceTier>(tier);
+}
+
+std::array<uint64_t, 4> OverloadController::tier_requests() const {
+  std::array<uint64_t, 4> out;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = tier_requests_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace xclean

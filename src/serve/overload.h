@@ -1,0 +1,127 @@
+#ifndef XCLEAN_SERVE_OVERLOAD_H_
+#define XCLEAN_SERVE_OVERLOAD_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "core/xclean.h"
+
+namespace xclean {
+
+/// The degradation ladder, in order of increasing pressure. Each step
+/// trades suggestion quality for latency headroom, following the paper's
+/// own knobs (epsilon/gamma/top-k, Sec. V) rather than failing outright —
+/// the staged-degradation philosophy of SEDA-style overload control.
+enum class ServiceTier : int {
+  /// Normal service: full options, full budget.
+  kFull = 0,
+  /// Reduced quality: per-query caps on max_ed/gamma/top_k (see
+  /// OverloadOptions::reduced_tuning) shrink the candidate space.
+  kReduced = 1,
+  /// Cache hits only; misses are shed with Unavailable instead of running
+  /// the algorithm.
+  kCacheOnly = 2,
+  /// Everything is shed with Unavailable.
+  kShed = 3,
+};
+
+inline const char* TierName(ServiceTier tier) {
+  switch (tier) {
+    case ServiceTier::kFull:
+      return "full";
+    case ServiceTier::kReduced:
+      return "reduced";
+    case ServiceTier::kCacheOnly:
+      return "cache_only";
+    default:
+      return "shed";
+  }
+}
+
+/// Knobs of the overload controller. Pressure is measured two ways — queue
+/// fill (queued requests / capacity) and a p95-latency estimate relative to
+/// the default deadline — and the ladder escalates on whichever trips
+/// first. Queue fill reacts within one request to a burst; the latency
+/// estimate catches the slow-poison case where few-but-pathological
+/// queries stretch service times before any queue forms.
+struct OverloadControllerOptions {
+  /// Queue-fill fractions at which each tier engages.
+  double reduce_fill = 0.50;
+  double cache_only_fill = 0.75;
+  double shed_fill = 0.95;
+
+  /// p95 latency as a fraction of the default deadline at which the tiers
+  /// engage (0 disables latency-based escalation for that tier). kShed is
+  /// deliberately queue-only: high latency with an empty queue means slow
+  /// queries, not more offered load than capacity.
+  double reduce_latency = 0.60;
+  double cache_only_latency = 0.90;
+
+  /// The deadline (ms) the latency fractions are relative to; the engine
+  /// fills this in from its default_deadline. 0 disables latency-based
+  /// escalation entirely.
+  double deadline_ms = 0.0;
+
+  /// Asymmetric EWMA step for the p95 estimator: the estimate moves up by
+  /// `ewma_alpha` of the gap on a sample above it and down by
+  /// `ewma_alpha / 19` on one below, so it converges on the quantile with
+  /// 19:1 asymmetry (p95) while staying O(1) and lock-free.
+  double ewma_alpha = 0.05;
+
+  /// Hysteresis: escalation is immediate, but stepping DOWN one tier
+  /// requires the measured pressure to have stayed below the current tier
+  /// for this long. Prevents flapping at a threshold boundary.
+  uint64_t step_down_hold_ms = 250;
+
+  /// Per-query caps applied in the kReduced tier.
+  QueryTuning reduced_tuning{/*max_ed=*/1, /*gamma=*/256, /*top_k=*/5};
+
+  /// Test backdoor: >= 0 pins the controller to that tier (0..3).
+  int forced_tier = -1;
+};
+
+/// Walks the degradation ladder from queue-depth and latency signals.
+/// All state is relaxed atomics: Evaluate() and RecordLatency() are called
+/// on every request from every worker, and a lost update costs at most one
+/// request served at a neighbouring tier — monitoring-grade accuracy, by
+/// design, in exchange for staying off the request-path locks.
+class OverloadController {
+ public:
+  explicit OverloadController(
+      OverloadControllerOptions options = OverloadControllerOptions());
+
+  /// Re-evaluates the tier from the instantaneous queue fill and the p95
+  /// estimate, applies hysteresis, counts the request against the
+  /// resulting tier, and returns it. Called once per request at admission.
+  ServiceTier Evaluate(size_t queue_depth, size_t queue_capacity);
+
+  /// Feeds one completed request's total latency into the p95 estimator.
+  void RecordLatency(double latency_ms);
+
+  ServiceTier current_tier() const {
+    return static_cast<ServiceTier>(tier_.load(std::memory_order_relaxed));
+  }
+
+  /// Current p95-latency estimate (ms).
+  double p95_ms() const;
+
+  /// Requests admitted at each tier (indexed by ServiceTier).
+  std::array<uint64_t, 4> tier_requests() const;
+
+  const OverloadControllerOptions& options() const { return options_; }
+
+ private:
+  OverloadControllerOptions options_;
+  std::atomic<int> tier_{0};
+  /// steady_clock nanoseconds of the last tier change (for hysteresis).
+  std::atomic<int64_t> last_change_ns_{0};
+  /// Bit pattern of the p95 EWMA double (atomic<double> is not lock-free
+  /// everywhere; the bit-cast dance is).
+  std::atomic<uint64_t> p95_bits_;
+  std::array<std::atomic<uint64_t>, 4> tier_requests_{};
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_SERVE_OVERLOAD_H_

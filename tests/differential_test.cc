@@ -198,6 +198,46 @@ TEST_P(DifferentialTest, BoundedGammaIsSubsetWithUnderestimatedScores) {
   }
 }
 
+/// An attached-but-unlimited CancelToken must be bit-identical to no token
+/// at all, against the naive oracle and across every semantics: the budget
+/// checks may change when the algorithm stops, never one floating-point
+/// operation of what it computes.
+TEST_P(DifferentialTest, UnlimitedBudgetEqualsNaiveOracleBitIdentically) {
+  const Semantics semantics = GetParam();
+  const uint64_t base = BaseSeed();
+  for (uint64_t round = 0; round < 3; ++round) {
+    const uint64_t seed = base + 300 + round;
+    auto index = RandomCorpus(seed);
+    XCleanOptions options;
+    options.gamma = 0;
+    options.semantics = semantics;
+    options.top_k = 100;
+    XClean fast(*index, options);
+    NaiveCleaner oracle(*index, options);
+    QueryScratch scratch;
+    std::vector<Suggestion> budgeted, bare;
+    for (const Query& query : DirtyQueries(*index, seed)) {
+      CancelToken unlimited;
+      XCleanRunStats stats;
+      fast.SuggestWithScratch(query, scratch, &budgeted, &stats, &unlimited);
+      const std::string context =
+          query.ToString() + " seed " + std::to_string(seed);
+      EXPECT_FALSE(stats.truncated) << context;
+      ExpectSameSuggestions(budgeted, oracle.Suggest(query), 1e-9, context);
+
+      // And exactly equal — not merely within tolerance — to the same run
+      // without a token.
+      fast.SuggestWithScratch(query, scratch, &bare, nullptr);
+      ASSERT_EQ(budgeted.size(), bare.size()) << context;
+      for (size_t i = 0; i < budgeted.size(); ++i) {
+        EXPECT_EQ(budgeted[i].words, bare[i].words) << context;
+        EXPECT_EQ(budgeted[i].score, bare[i].score) << context;
+        EXPECT_EQ(budgeted[i].entity_count, bare[i].entity_count) << context;
+      }
+    }
+  }
+}
+
 /// gamma large enough to hold every candidate is exact end-to-end, across
 /// every semantics and seed — the "subset-ordered prefix" property's
 /// degenerate (and strongest) case.

@@ -6,7 +6,9 @@
 #include <sstream>
 #include <string>
 
+#include "common/cancel.h"
 #include "common/random.h"
+#include "core/query.h"
 #include "core/xclean.h"
 #include "data/dblp_gen.h"
 #include "index/index_io.h"
@@ -242,6 +244,107 @@ TEST(SuggestFuzzTest, ScratchReuseIsBitIdentical) {
         ASSERT_EQ(first[i].error_weight, second[i].error_weight);
         ASSERT_EQ(first[i].entity_count, second[i].entity_count);
         ASSERT_EQ(first[i].result_type, second[i].result_type);
+      }
+    }
+  }
+}
+
+/// Bounded-parse fuzz: arbitrary byte soup through ParseQueryBounded must
+/// never crash, every rejection must be InvalidArgument, and every
+/// accepted parse must agree with the unbounded parser and respect the
+/// configured limits.
+TEST(QueryFuzzTest, BoundedParseNeverCrashesAndEnforcesLimits) {
+  DblpGenOptions gen;
+  gen.num_publications = 50;
+  auto index = XmlIndex::Build(GenerateDblp(gen));
+  const Tokenizer& tokenizer = index->tokenizer();
+  QueryParseLimits limits;
+  limits.max_bytes = 48;
+  limits.max_keywords = 3;
+
+  Rng rng(0xB0B5);
+  const char alphabet[] = "abcdefgh   ZY.,!-<>&;0123456789\t\n";
+  for (int round = 0; round < 4000; ++round) {
+    std::string input;
+    size_t len = rng.Uniform(96);  // half the rounds exceed max_bytes
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(alphabet[rng.Uniform(sizeof(alphabet) - 1)]);
+    }
+    Result<Query> bounded = ParseQueryBounded(input, tokenizer, limits);
+    if (input.size() > limits.max_bytes) {
+      ASSERT_FALSE(bounded.ok());
+      ASSERT_EQ(bounded.status().code(), StatusCode::kInvalidArgument);
+      continue;
+    }
+    Query reference = ParseQuery(input, tokenizer);
+    if (reference.size() > limits.max_keywords) {
+      ASSERT_FALSE(bounded.ok());
+      ASSERT_EQ(bounded.status().code(), StatusCode::kInvalidArgument);
+    } else {
+      ASSERT_TRUE(bounded.ok()) << bounded.status().ToString();
+      ASSERT_EQ(bounded.value(), reference);
+      ASSERT_LE(bounded.value().size(), limits.max_keywords);
+    }
+  }
+}
+
+/// Budget fuzz: random work budgets attached to random queries must never
+/// crash, every result list must keep the public invariants, and a token
+/// with an unlimited budget must be bit-identical to no token at all —
+/// cancellation changes when the algorithm stops, never what it computes.
+TEST(SuggestFuzzTest, RandomBudgetsKeepInvariants) {
+  DblpGenOptions gen;
+  gen.num_publications = 300;
+  auto index = XmlIndex::Build(GenerateDblp(gen));
+  Rng rng(0xB4D6E7);
+
+  for (Semantics semantics :
+       {Semantics::kNodeType, Semantics::kSlca, Semantics::kElca}) {
+    XCleanOptions options;
+    options.gamma = 50;
+    options.semantics = semantics;
+    XClean cleaner(*index, options);
+    QueryScratch scratch;
+    for (int round = 0; round < 60; ++round) {
+      Query query;
+      size_t words = 1 + rng.Uniform(3);
+      for (size_t w = 0; w < words; ++w) {
+        std::string word;
+        size_t len = 1 + rng.Uniform(10);
+        for (size_t i = 0; i < len; ++i) {
+          word.push_back(static_cast<char>('a' + rng.Uniform(26)));
+        }
+        query.keywords.push_back(std::move(word));
+      }
+
+      QueryBudget budget;
+      budget.max_postings = rng.Uniform(2000);    // 0 = unlimited
+      budget.max_candidates = rng.Uniform(50);    // 0 = unlimited
+      CancelToken token(budget);
+      std::vector<Suggestion> budgeted;
+      XCleanRunStats stats;
+      cleaner.SuggestWithScratch(query, scratch, &budgeted, &stats, &token);
+      ASSERT_LE(budgeted.size(), options.top_k);
+      for (size_t i = 0; i < budgeted.size(); ++i) {
+        ASSERT_GT(budgeted[i].entity_count, 0u);
+        ASSERT_EQ(budgeted[i].words.size(), query.size());
+        if (i > 0) ASSERT_LE(budgeted[i].score, budgeted[i - 1].score);
+      }
+      if (!stats.truncated) {
+        ASSERT_EQ(stats.cancel_cause, CancelCause::kNone);
+      }
+
+      // Unlimited budget == no budget, bit for bit.
+      CancelToken unlimited;
+      std::vector<Suggestion> with_token, without_token;
+      cleaner.SuggestWithScratch(query, scratch, &with_token, nullptr,
+                                 &unlimited);
+      cleaner.SuggestWithScratch(query, scratch, &without_token, nullptr);
+      ASSERT_EQ(with_token.size(), without_token.size());
+      for (size_t i = 0; i < with_token.size(); ++i) {
+        ASSERT_EQ(with_token[i].words, without_token[i].words);
+        ASSERT_EQ(with_token[i].score, without_token[i].score);
+        ASSERT_EQ(with_token[i].entity_count, without_token[i].entity_count);
       }
     }
   }

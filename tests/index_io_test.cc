@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "core/xclean.h"
@@ -267,6 +268,33 @@ TEST(IndexIoTest, V2IsAtLeast30PercentSmallerThanV1) {
   EXPECT_EQ(index->stats().node_count, loaded->stats().node_count);
   EXPECT_EQ(index->stats().vocabulary_size, loaded->stats().vocabulary_size);
   EXPECT_EQ(index->total_tokens(), loaded->total_tokens());
+}
+
+// Damaged files rejected through the path-based entry point — the one
+// ServingEngine::SwapIndexFromFile depends on. A truncated copy (torn
+// write) and a bit-flipped copy (disk corruption) must both come back
+// non-OK, and the intact bytes must load again afterwards.
+TEST(IndexIoTest, FileBasedTruncationAndCorruptionAreRejected) {
+  auto original = BuildSample();
+  std::string good = SaveToString(*original);
+  std::string path = testing::TempDir() + "/xclean_index_io_damage.idx";
+  auto write_file = [&](const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+
+  write_file(good.substr(0, good.size() / 2));
+  EXPECT_FALSE(LoadIndex(path).ok());
+
+  std::string corrupted = good;
+  corrupted[good.size() - 10] =
+      static_cast<char>(corrupted[good.size() - 10] ^ 0x5A);
+  write_file(corrupted);
+  EXPECT_FALSE(LoadIndex(path).ok());
+
+  write_file(good);
+  EXPECT_TRUE(LoadIndex(path).ok());
+  std::remove(path.c_str());
 }
 
 // A v2 load followed by a save must reproduce the exact input bytes (the

@@ -181,6 +181,79 @@ TEST(ThreadPoolTest, RejectsWhenQueueFull) {
   pool.Shutdown();
 }
 
+TEST(ThreadPoolTest, ExpiredEntriesReleaseTheirQueueSlots) {
+  ThreadPoolOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 2;
+  ThreadPool pool(options);
+
+  // Block the single worker, then wait for the blocker to leave the queue.
+  std::atomic<bool> release{false};
+  ASSERT_TRUE(pool.TrySubmit([&release] {
+                    while (!release.load()) std::this_thread::yield();
+                  })
+                  .ok());
+  while (pool.queue_depth() != 0) std::this_thread::yield();
+
+  // Fill every slot with entries already past their deadline.
+  auto expired = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  std::atomic<int> expired_cbs{0};
+  std::atomic<int> dead_tasks_ran{0};
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(pool.TrySubmit(
+                        [&dead_tasks_ran] { dead_tasks_ran.fetch_add(1); },
+                        expired,
+                        [&expired_cbs] { expired_cbs.fetch_add(1); })
+                    .ok());
+  }
+  ASSERT_EQ(pool.queue_depth(), 2u);
+
+  // The queue is nominally full, but both occupants are dead: a new
+  // submission must sweep them out and take a freed slot instead of
+  // being rejected. This is the slot-accounting regression — an expired
+  // entry gives its slot back *before* its expiry callback runs.
+  std::atomic<int> live_ran{0};
+  ASSERT_TRUE(pool.TrySubmit([&live_ran] { live_ran.fetch_add(1); }).ok());
+  EXPECT_EQ(pool.expired_evictions(), 2u);
+  EXPECT_EQ(expired_cbs.load(), 2);
+
+  release.store(true);
+  pool.Shutdown();
+  EXPECT_EQ(live_ran.load(), 1);
+  // The dead entries' tasks must never have executed.
+  EXPECT_EQ(dead_tasks_ran.load(), 0);
+}
+
+TEST(ThreadPoolTest, WorkerSideExpiryRunsCallbackNotTask) {
+  ThreadPoolOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 8;
+  ThreadPool pool(options);
+
+  std::atomic<bool> release{false};
+  ASSERT_TRUE(pool.TrySubmit([&release] {
+                    while (!release.load()) std::this_thread::yield();
+                  })
+                  .ok());
+  while (pool.queue_depth() != 0) std::this_thread::yield();
+
+  // Expires while waiting behind the blocker; the worker (not a sweep)
+  // discovers it at pickup.
+  std::atomic<int> ran{0};
+  std::atomic<int> expired_cbs{0};
+  ASSERT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); },
+                             std::chrono::steady_clock::now() +
+                                 std::chrono::milliseconds(1),
+                             [&expired_cbs] { expired_cbs.fetch_add(1); })
+                  .ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  release.store(true);
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(expired_cbs.load(), 1);
+  EXPECT_EQ(pool.expired_evictions(), 1u);
+}
+
 TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
   ThreadPool pool(ThreadPoolOptions{.num_threads = 1, .queue_capacity = 4});
   pool.Shutdown();

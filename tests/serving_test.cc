@@ -15,6 +15,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <thread>
@@ -241,6 +243,207 @@ TEST(ServingTest, ExpiredDeadlineIsSheddedNotServed) {
   EXPECT_EQ(callbacks.load(), 1);
   EXPECT_TRUE(got_deadline_status.load());
   EXPECT_EQ(engine.Metrics().deadline_exceeded, 1u);
+}
+
+TEST(ServingTest, ExpiredRequestsDoNotPinQueueSlots) {
+  // Regression: a request that dies in the queue must hand its slot back
+  // the moment it is evicted, so a flood of already-doomed requests can
+  // never wedge the queue against live traffic.
+  std::shared_ptr<const XCleanSuggester> suggester =
+      BuildSmallDblpSuggester();
+  EngineOptions options;
+  options.pool.num_threads = 1;
+  options.pool.queue_capacity = 4;
+  ServingEngine engine(suggester, options);
+
+  // Block the single worker: its `done` callback runs on the worker
+  // thread, so parking there keeps the queue under our control.
+  std::atomic<bool> release{false};
+  ASSERT_TRUE(engine
+                  .SubmitSuggest("blocker query",
+                                 [&release](ServeResult) {
+                                   while (!release.load()) {
+                                     std::this_thread::yield();
+                                   }
+                                 })
+                  .ok());
+  while (engine.queue_depth() != 0) std::this_thread::yield();
+
+  // 16x the queue capacity, all expired on arrival: every submission must
+  // be accepted (evicting a dead predecessor), and every one must resolve
+  // to DeadlineExceeded.
+  auto expired =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  std::atomic<int> deadline_cbs{0};
+  int accepted = 0;
+  for (int i = 0; i < 64; ++i) {
+    Status s = engine.SubmitSuggest(
+        "flood query " + std::to_string(i), expired, [&](ServeResult r) {
+          EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+          deadline_cbs.fetch_add(1);
+        });
+    if (s.ok()) ++accepted;
+  }
+  // Before the slot-accounting fix only `queue_capacity` of these fit.
+  EXPECT_GT(accepted, 4);
+
+  release.store(true);
+  engine.Shutdown();
+  EXPECT_EQ(deadline_cbs.load(), accepted);
+  EXPECT_EQ(engine.Metrics().deadline_exceeded,
+            static_cast<uint64_t>(accepted));
+}
+
+TEST(ServingTest, CorruptSnapshotFileNeverUnseatsTheServingSnapshot) {
+  auto built = BuildSmallDblpSuggester();
+  std::string path = testing::TempDir() + "/xclean_serving_corrupt.idx";
+  ASSERT_TRUE(SaveIndex(built->index(), path).ok());
+  std::string good;
+  {
+    std::ifstream in(path, std::ios::binary);
+    good.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  auto write_file = [&](const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+
+  std::shared_ptr<const XCleanSuggester> initial = BuildSmallDblpSuggester();
+  EngineOptions options;
+  options.pool.num_threads = 1;
+  options.swap_load_attempts = 2;
+  options.swap_retry_backoff = std::chrono::milliseconds(1);
+  ServingEngine engine(initial, options);
+  std::vector<std::string> queries = MakeWorkload(*initial, 2);
+
+  // Truncated file (torn write): swap fails, previous snapshot serves on.
+  write_file(good.substr(0, good.size() / 2));
+  Status truncated = engine.SwapIndexFromFile(path);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.snapshot_version(), 1u);
+  EXPECT_EQ(engine.snapshot().get(), initial.get());
+  EXPECT_TRUE(engine.Suggest(queries[0]).status.ok());
+
+  // Checksum-corrupt file: same guarantee. Writing new bytes changed the
+  // file's identity, so the earlier failure's quarantine does not apply.
+  std::string corrupted = good;
+  corrupted[good.size() - 10] =
+      static_cast<char>(corrupted[good.size() - 10] ^ 0x5A);
+  write_file(corrupted);
+  Status corrupt = engine.SwapIndexFromFile(path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(engine.snapshot_version(), 1u);
+
+  // Same bytes again: quarantined, failed fast with Unavailable.
+  Status quarantined = engine.SwapIndexFromFile(path);
+  ASSERT_FALSE(quarantined.ok());
+  EXPECT_EQ(quarantined.code(), StatusCode::kUnavailable);
+
+  // Republished intact snapshot loads and swaps.
+  write_file(good);
+  ASSERT_TRUE(engine.SwapIndexFromFile(path).ok());
+  EXPECT_EQ(engine.snapshot_version(), 2u);
+  EXPECT_TRUE(engine.Suggest(queries[1]).status.ok());
+  std::remove(path.c_str());
+}
+
+TEST(ServingTest, OversizedQueryIsRejectedAsInvalidArgument) {
+  std::shared_ptr<const XCleanSuggester> suggester =
+      BuildSmallDblpSuggester();
+  EngineOptions options;
+  options.pool.num_threads = 1;
+  options.query_limits.max_bytes = 64;
+  options.query_limits.max_keywords = 4;
+  ServingEngine engine(suggester, options);
+
+  ServeResult big = engine.Suggest(std::string(1000, 'a'));
+  EXPECT_EQ(big.status.code(), StatusCode::kInvalidArgument);
+  // Six keywords that all survive normalization (single letters would be
+  // dropped by the tokenizer before the limit is checked).
+  ServeResult wide = engine.Suggest("alpha beta gamma delta epsilon zeta");
+  EXPECT_EQ(wide.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.Metrics().invalid_arguments, 2u);
+  EXPECT_EQ(engine.Metrics().completed, 0u);
+  // A conforming query still serves.
+  EXPECT_TRUE(engine.Suggest("information retrieval").status.ok());
+}
+
+TEST(ServingTest, TightBudgetMarksTruncationInsteadOfOverrunning) {
+  std::shared_ptr<const XCleanSuggester> suggester =
+      BuildSmallDblpSuggester();
+  EngineOptions options;
+  options.pool.num_threads = 1;
+  options.cache.capacity = 0;  // force real computation
+  options.max_candidates_per_query = 1;
+  ServingEngine engine(suggester, options);
+
+  // Misspelled corpus queries span far more than one candidate; the
+  // budget must trip on some of them and the result must say so — either
+  // a partial top-k marked truncated or an honest DeadlineExceeded,
+  // never a silently complete answer.
+  int truncated_count = 0;
+  for (const std::string& q : MakeWorkload(*suggester, 8)) {
+    ServeResult r = engine.Suggest(q);
+    EXPECT_TRUE(r.status.ok() ||
+                r.status.code() == StatusCode::kDeadlineExceeded)
+        << r.status.ToString();
+    if (r.truncated) ++truncated_count;
+  }
+  EXPECT_GT(truncated_count, 0);
+  MetricsSnapshot m = engine.Metrics();
+  EXPECT_EQ(m.truncated_results, static_cast<uint64_t>(truncated_count));
+}
+
+TEST(ServingTest, CancellationRacingHotSwapIsSafe) {
+  // TSan target: worker threads cancel mid-algorithm (tight deadline +
+  // tiny work budget) while another thread hot-swaps the index under
+  // them. Every outcome must be one of the documented statuses and
+  // nothing may crash or race.
+  std::shared_ptr<const XCleanSuggester> primary = BuildSmallDblpSuggester();
+  std::shared_ptr<const XCleanSuggester> rebuilt = BuildSmallDblpSuggester();
+  std::vector<std::string> queries = MakeWorkload(*primary, 16);
+
+  EngineOptions options;
+  options.pool.num_threads = 4;
+  options.cache.capacity = 0;  // every request computes (and can cancel)
+  options.default_deadline = std::chrono::milliseconds(2);
+  options.max_candidates_per_query = 64;
+  ServingEngine engine(primary, options);
+
+  std::atomic<bool> stop{false};
+  std::thread swapper([&] {
+    int i = 0;
+    while (!stop.load()) {
+      engine.SwapIndex((++i % 2) != 0 ? rebuilt : primary);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string& query =
+            queries[static_cast<size_t>(t * 131 + i) % queries.size()];
+        ServeResult r = engine.Suggest(query);
+        bool acceptable =
+            r.status.ok() ||
+            r.status.code() == StatusCode::kDeadlineExceeded ||
+            r.status.code() == StatusCode::kUnavailable;
+        EXPECT_TRUE(acceptable) << r.status.ToString();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  stop.store(true);
+  swapper.join();
+  engine.Shutdown();
+  EXPECT_GT(engine.Metrics().requests, 0u);
 }
 
 TEST(ServingTest, BackpressureRejectsWhenQueueFull) {

@@ -98,6 +98,41 @@ TEST(ZeroAllocTest, GammaEvictionChurnDoesNotAllocate) {
   EXPECT_EQ(probe.allocations(), 0u);
 }
 
+/// A CancelToken on the hot path must not cost an allocation: budget
+/// bookkeeping is a couple of integers on the stack, and a token whose
+/// budget never trips leaves the steady-state zero-alloc contract intact.
+TEST(ZeroAllocTest, SuggestWithBudgetAttachedDoesNotAllocate) {
+  auto index = Corpus();
+  XCleanOptions options;
+  options.semantics = Semantics::kNodeType;
+  XClean algorithm(*index, options);
+  std::vector<Query> queries = TestQueries(*index);
+
+  QueryScratch scratch;
+  std::vector<std::vector<Suggestion>> outs(queries.size());
+  QueryBudget budget;
+  budget.max_postings = 1000000000;  // attached but never trips
+  budget.max_candidates = 1000000000;
+
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      CancelToken token(budget);
+      algorithm.SuggestWithScratch(queries[i], scratch, &outs[i], nullptr,
+                                   &token);
+    }
+  }
+
+  testing::AllocProbe probe;
+  for (int pass = 0; pass < 5; ++pass) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      CancelToken token(budget);
+      algorithm.SuggestWithScratch(queries[i], scratch, &outs[i], nullptr,
+                                   &token);
+    }
+  }
+  EXPECT_EQ(probe.allocations(), 0u);
+}
+
 /// Sanity-check the probe itself: a heap allocation in the probed region
 /// must be observed (guards against the replacement operators silently not
 /// linking in).
