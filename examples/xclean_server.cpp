@@ -8,10 +8,14 @@
 //
 // This is the in-process shape of a spelling-suggestion service: one
 // immutable index snapshot shared by all workers, an LRU cache in front of
-// Algorithm 1, and backpressure instead of unbounded queueing.
+// Algorithm 1, and backpressure instead of unbounded queueing. SIGINT /
+// SIGTERM trigger a graceful drain: clients stop submitting, in-flight
+// queries finish through ServingEngine::Shutdown(), and the final metrics
+// are printed before exit.
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -58,6 +62,29 @@ std::vector<std::string> BuildWorkload(const XCleanSuggester& suggester,
   return queries;
 }
 
+/// Set by the SIGINT/SIGTERM handler. sig_atomic_t + volatile is the only
+/// state a signal handler may touch portably; everything else (stopping
+/// clients, draining the engine) happens on the main thread when it
+/// notices the flag.
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+void HandleShutdownSignal(int signal) { g_shutdown_signal = signal; }
+
+/// Sleeps up to `seconds`, returning early (false) when a shutdown signal
+/// arrives. Polls in small increments: signal handlers cannot wake a
+/// sleeping thread portably, and 20ms of shutdown latency is invisible.
+bool SleepUnlessSignalled(double seconds) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (g_shutdown_signal != 0) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return g_shutdown_signal == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -75,6 +102,9 @@ int main(int argc, char** argv) {
 
   uint32_t num_pubs = static_cast<uint32_t>(publications);
   size_t num_clients = static_cast<size_t>(clients);
+
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
 
   std::printf("[build] generating + indexing %u publications...\n", num_pubs);
   Stopwatch build_watch;
@@ -137,18 +167,26 @@ int main(int argc, char** argv) {
   }
 
   // Mid-run, rebuild the corpus (fresh seed — "yesterday's crawl") and
-  // hot-swap it in; in-flight queries finish on the old snapshot.
-  std::this_thread::sleep_for(
-      std::chrono::duration<double>(seconds * 0.5));
-  std::printf("[swap]  rebuilding index...\n");
-  std::shared_ptr<const XCleanSuggester> rebuilt =
-      BuildCorpus(num_pubs, 43);
-  engine.SwapIndex(rebuilt);
-  std::printf("[swap]  snapshot v%llu live (old snapshot drains)\n",
-              static_cast<unsigned long long>(engine.snapshot_version()));
+  // hot-swap it in; in-flight queries finish on the old snapshot. A
+  // shutdown signal skips straight to the drain.
+  if (SleepUnlessSignalled(seconds * 0.5)) {
+    std::printf("[swap]  rebuilding index...\n");
+    std::shared_ptr<const XCleanSuggester> rebuilt =
+        BuildCorpus(num_pubs, 43);
+    engine.SwapIndex(rebuilt);
+    std::printf("[swap]  snapshot v%llu live (old snapshot drains)\n",
+                static_cast<unsigned long long>(engine.snapshot_version()));
+    SleepUnlessSignalled(seconds * 0.5);
+  }
 
-  std::this_thread::sleep_for(
-      std::chrono::duration<double>(seconds * 0.5));
+  // Graceful drain, signalled or not: stop the clients first so nothing
+  // new enters the queue, then let Shutdown() finish every query already
+  // accepted. The metrics always print — an operator killing the service
+  // still gets its final counters.
+  if (g_shutdown_signal != 0) {
+    std::printf("[drain] caught signal %d, draining in-flight queries...\n",
+                static_cast<int>(g_shutdown_signal));
+  }
   stop.store(true);
   for (auto& th : threads) th.join();
   engine.Shutdown();

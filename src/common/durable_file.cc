@@ -1,0 +1,247 @@
+#include "common/durable_file.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/fault_injection.h"
+#include "common/string_util.h"
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace xclean {
+
+namespace {
+
+Status ErrnoStatus(const char* op, const std::string& path) {
+  return Status::Internal(
+      StrFormat("%s failed for '%s': %s", op, path.c_str(),
+                std::strerror(errno)));
+}
+
+/// Unique temp-file suffix: pid + a process-wide counter. Two publishers
+/// racing on the same path get distinct temp files; the losing rename still
+/// installs a complete payload.
+std::string TempPathFor(const std::string& path) {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+#if defined(_WIN32)
+  const unsigned long pid = 0;
+#else
+  const unsigned long pid = static_cast<unsigned long>(::getpid());
+#endif
+  return StrFormat("%s.tmp.%lu.%llu", path.c_str(), pid,
+                   static_cast<unsigned long long>(n));
+}
+
+#if !defined(_WIN32)
+
+Status WriteAll(int fd, std::string_view contents, const std::string& path) {
+  const char* p = contents.data();
+  size_t left = contents.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path);
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+
+uint64_t Fnv1a(const void* data, size_t size, uint64_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h = (h ^ p[i]) * 1099511628211ULL;
+  }
+  return h;
+}
+
+Status SyncDirectory(const std::string& dir) {
+#if defined(_WIN32)
+  (void)dir;
+  return Status::Ok();
+#else
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::Ok();  // best effort: not all FS allow this
+  Status s = Status::Ok();
+  if (::fsync(fd) != 0 && errno != EINVAL && errno != ENOTSUP) {
+    s = ErrnoStatus("fsync(dir)", dir);
+  }
+  ::close(fd);
+  return s;
+#endif
+}
+
+namespace {
+
+/// Funnels an injection point through a normal Status return, so
+/// AtomicWriteFile can clean up (close + unlink the temp file) on an
+/// injected failure instead of early-returning past the cleanup. A crash
+/// callback armed on the point still kills the process at the named stage.
+Status HitFaultPoint(const char* point) {
+  XCLEAN_FAULT_STATUS(point);
+  (void)point;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents,
+                       DurableWriteOptions options) {
+  const std::string tmp = TempPathFor(path);
+  Status s = HitFaultPoint("durable.open_tmp");
+  if (!s.ok()) return s;
+#if defined(_WIN32)
+  // Portability fallback: atomic rename without fsync.
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return ErrnoStatus("open", tmp);
+  s = HitFaultPoint("durable.write");
+  const size_t written =
+      s.ok() ? std::fwrite(contents.data(), 1, contents.size(), f) : 0;
+  std::fclose(f);
+  if (written != contents.size()) {
+    std::remove(tmp.c_str());
+    return s.ok() ? ErrnoStatus("write", tmp) : s;
+  }
+  s = HitFaultPoint("durable.rename");
+  if (!s.ok()) {
+    std::remove(tmp.c_str());
+    return s;
+  }
+  std::remove(path.c_str());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return ErrnoStatus("rename", path);
+  }
+  return Status::Ok();
+#else
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return ErrnoStatus("open", tmp);
+
+  // From here on, any failure must leave no temp litter behind.
+  auto fail = [&](Status st) {
+    if (fd >= 0) ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  };
+
+  if (!(s = HitFaultPoint("durable.write")).ok()) return fail(s);
+  if (!(s = WriteAll(fd, contents, tmp)).ok()) return fail(s);
+  if (options.sync) {
+    if (!(s = HitFaultPoint("durable.sync")).ok()) return fail(s);
+    if (::fsync(fd) != 0) return fail(ErrnoStatus("fsync", tmp));
+  }
+  if (::close(fd) != 0) {
+    fd = -1;
+    return fail(ErrnoStatus("close", tmp));
+  }
+  fd = -1;
+
+  if (!(s = HitFaultPoint("durable.rename")).ok()) return fail(s);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return fail(ErrnoStatus("rename", path));
+  }
+  if (options.sync) {
+    // Past the rename the publish is visible; a sync_dir failure reports
+    // "durability unknown" but must not delete anything.
+    if (!(s = HitFaultPoint("durable.sync_dir")).ok()) return s;
+    const std::string parent =
+        std::filesystem::path(path).parent_path().string();
+    return SyncDirectory(parent.empty() ? "." : parent);
+  }
+  return Status::Ok();
+#endif
+}
+
+Status AppendDurable(const std::string& path, std::string_view record,
+                     DurableWriteOptions options) {
+  XCLEAN_FAULT_STATUS("durable.append");
+#if defined(_WIN32)
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return ErrnoStatus("open", path);
+  const size_t written = std::fwrite(record.data(), 1, record.size(), f);
+  std::fclose(f);
+  if (written != record.size()) return ErrnoStatus("append", path);
+  return Status::Ok();
+#else
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return ErrnoStatus("open", path);
+  Status s = WriteAll(fd, record, path);
+  if (s.ok() && options.sync) {
+    s = HitFaultPoint("durable.sync");
+    if (s.ok() && ::fsync(fd) != 0) s = ErrnoStatus("fsync", path);
+  }
+  ::close(fd);
+  return s;
+#endif
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open file: " + path);
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) return Status::Internal("read failed for: " + path);
+  return out;
+}
+
+Result<uint64_t> HashFileContents(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open file: " + path);
+  uint64_t h = kFnvOffsetBasis;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    h = Fnv1a(buf, n, h);
+  }
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) return Status::Internal("read failed for: " + path);
+  return h;
+}
+
+Status VerifyFileChecksum(const std::string& path, uint64_t expected_bytes,
+                          uint64_t expected_checksum) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::NotFound("cannot stat file: " + path);
+  if (size != expected_bytes) {
+    return Status::ParseError(
+        StrFormat("file '%s': size %llu, expected %llu", path.c_str(),
+                  static_cast<unsigned long long>(size),
+                  static_cast<unsigned long long>(expected_bytes)));
+  }
+  Result<uint64_t> hash = HashFileContents(path);
+  if (!hash.ok()) return hash.status();
+  if (hash.value() != expected_checksum) {
+    return Status::ParseError(
+        StrFormat("file '%s': content checksum mismatch", path.c_str()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace xclean

@@ -1,0 +1,83 @@
+#ifndef XCLEAN_COMMON_DURABLE_FILE_H_
+#define XCLEAN_COMMON_DURABLE_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace xclean {
+
+/// Crash-safe file primitives shared by every on-disk writer (index
+/// snapshots, the snapshot manifest). The contract all of them build on:
+///
+///   - AtomicWriteFile never leaves `path` in a torn state. The payload
+///     goes to a unique `<path>.tmp.<nonce>` sibling, is optionally
+///     fsync'd, and is renamed into place; readers observe either the old
+///     bytes or the new bytes, never a mix. The parent directory is
+///     fsync'd after the rename so the new name itself survives a crash.
+///   - AppendDurable appends one blob with O_APPEND and optionally fsyncs;
+///     a crash mid-append can tear only the *tail* of the file, which is
+///     why journal readers must tolerate (discard) a torn final record.
+///   - Fsync is best-effort where the platform lacks it; the injection
+///     points below let tests simulate the failures and crashes the real
+///     syscalls produce.
+///
+/// Fault-injection points (common/fault_injection.h), in hit order:
+///   durable.open_tmp   before creating the temp file
+///   durable.write      before writing the payload
+///   durable.sync       before fsync of the written file
+///   durable.rename     before renaming the temp file into place
+///   durable.sync_dir   before fsync of the parent directory
+///   durable.append     before an AppendDurable write
+/// A test that arms a crash callback (e.g. _exit) on one of these gets a
+/// process death at a named stage of a publish — the crash harness's
+/// kill schedules.
+
+/// FNV-1a offset basis; seed for Fnv1a chains.
+inline constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ULL;
+
+/// Incremental FNV-1a over `size` bytes, chained through `seed`.
+uint64_t Fnv1a(const void* data, size_t size,
+               uint64_t seed = kFnvOffsetBasis);
+
+struct DurableWriteOptions {
+  /// fsync the file (and, for AtomicWriteFile, its parent directory) so the
+  /// bytes survive power loss, not just process death. Off still gives
+  /// atomicity via rename; publishers that need durability keep it on.
+  bool sync = true;
+};
+
+/// Atomically replaces `path` with `contents` (write temp + rename).
+Status AtomicWriteFile(const std::string& path, std::string_view contents,
+                       DurableWriteOptions options = DurableWriteOptions());
+
+/// Appends `record` to `path` (creating it if missing), then fsyncs when
+/// `options.sync`. One call is one write(2): a crash tears at most the
+/// final record.
+Status AppendDurable(const std::string& path, std::string_view record,
+                     DurableWriteOptions options = DurableWriteOptions());
+
+/// Reads the whole file.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Streaming FNV-1a of a file's contents — the content identity used by
+/// the manifest (publish-time checksum) and the serving engine's snapshot
+/// quarantine. Reads the file once in bounded chunks.
+Result<uint64_t> HashFileContents(const std::string& path);
+
+/// Checksum-verified read: confirms the file is exactly `expected_bytes`
+/// long and hashes to `expected_checksum` before any parser touches it.
+/// ParseError on mismatch (with which of the two checks failed).
+Status VerifyFileChecksum(const std::string& path, uint64_t expected_bytes,
+                          uint64_t expected_checksum);
+
+/// Best-effort fsync of a directory (needed after rename/unlink for the
+/// entry itself to be durable). No-op success on platforms where
+/// directories cannot be opened.
+Status SyncDirectory(const std::string& dir);
+
+}  // namespace xclean
+
+#endif  // XCLEAN_COMMON_DURABLE_FILE_H_

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/durable_file.h"
 #include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "common/varint.h"
@@ -992,9 +993,15 @@ Status SaveIndex(const XmlIndex& index, std::ostream& out,
 
 Status SaveIndex(const XmlIndex& index, const std::string& path,
                  IndexSaveOptions options) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::NotFound("cannot open for writing: " + path);
-  return SaveIndex(index, out, options);
+  // Never truncate the live path in place: a crash or full disk mid-write
+  // must not destroy the only copy a server can reload. Serialize fully,
+  // then publish atomically (temp + rename, common/durable_file.h).
+  std::ostringstream out;
+  Status s = SaveIndex(index, out, options);
+  if (!s.ok()) return s;
+  DurableWriteOptions durable;
+  durable.sync = options.sync;
+  return AtomicWriteFile(path, out.str(), durable);
 }
 
 Result<std::unique_ptr<XmlIndex>> LoadIndex(std::istream& in) {

@@ -44,8 +44,16 @@ inline constexpr uint32_t kIndexFormatLatest = 2;
 struct IndexSaveOptions {
   /// Format version to write; loading supports every version ever written.
   uint32_t format_version = kIndexFormatLatest;
+  /// fsync the snapshot file and its directory after the atomic rename so
+  /// the publish survives power loss, not just process death. Off keeps
+  /// saves cheap for tests and scratch files; the manifest publisher
+  /// (index/manifest.h) turns it on.
+  bool sync = false;
 };
 
+/// Writes atomically: the payload lands in `<path>.tmp.<nonce>` and is
+/// renamed into place, so a crash or full disk mid-write can never tear an
+/// existing snapshot at `path` (common/durable_file.h).
 Status SaveIndex(const XmlIndex& index, const std::string& path,
                  IndexSaveOptions options = IndexSaveOptions());
 

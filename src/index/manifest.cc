@@ -1,0 +1,303 @@
+#include "index/manifest.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/string_util.h"
+
+namespace xclean {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr uint64_t kManifestVersion = 1;
+
+std::string ManifestPath(const std::string& dir) {
+  return (fs::path(dir) / kManifestName).string();
+}
+
+std::string SnapshotFileName(uint64_t generation) {
+  return StrFormat("snap-%06llu.idx",
+                   static_cast<unsigned long long>(generation));
+}
+
+/// One journal line: `<body> #<fnv64-of-body, 16 hex digits>\n`.
+std::string SealRecord(const std::string& body) {
+  return StrFormat("%s #%016llx\n", body.c_str(),
+                   static_cast<unsigned long long>(
+                       Fnv1a(body.data(), body.size())));
+}
+
+/// Splits a sealed line back into its body, verifying the trailing
+/// checksum. False = torn or corrupted.
+bool UnsealRecord(std::string_view line, std::string& body) {
+  const size_t mark = line.rfind(" #");
+  if (mark == std::string_view::npos) return false;
+  const std::string_view crc = line.substr(mark + 2);
+  if (crc.size() != 16) return false;
+  uint64_t stored = 0;
+  for (char c : crc) {
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+    stored = (stored << 4) | digit;
+  }
+  if (Fnv1a(line.data(), mark) != stored) return false;
+  body.assign(line.substr(0, mark));
+  return true;
+}
+
+bool ParseU64(const std::string& s, uint64_t& out, int base = 10) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, base);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  out = static_cast<uint64_t>(v);
+  return true;
+}
+
+Status ManifestError(const std::string& what) {
+  return Status::ParseError("snapshot manifest: " + what);
+}
+
+/// Applies one verified record body to the replay state. Unknown verbs are
+/// an error: the journal is local and versioned, so an unrecognized record
+/// means a newer writer — refusing beats silently dropping a retirement.
+Status ApplyRecord(const std::string& body, ManifestState& state) {
+  const std::vector<std::string> f = SplitChar(body, ' ');
+  if (f.empty()) return ManifestError("empty record");
+  if (f[0] == "version") {
+    uint64_t v = 0;
+    if (f.size() != 2 || !ParseU64(f[1], v)) {
+      return ManifestError("malformed version record");
+    }
+    if (v != kManifestVersion) {
+      return ManifestError(StrFormat("unsupported journal version %llu",
+                                     static_cast<unsigned long long>(v)));
+    }
+    return Status::Ok();
+  }
+  if (f[0] == "publish") {
+    ManifestEntry e;
+    if (f.size() != 5 || !ParseU64(f[1], e.generation) ||
+        !ParseU64(f[3], e.bytes) || !ParseU64(f[4], e.checksum, 16)) {
+      return ManifestError("malformed publish record");
+    }
+    e.file = f[2];
+    if (!state.live.empty() &&
+        e.generation <= state.live.back().generation) {
+      return ManifestError("non-increasing publish generation");
+    }
+    if (e.generation >= state.next_generation) {
+      state.next_generation = e.generation + 1;
+    }
+    state.live.push_back(std::move(e));
+    return Status::Ok();
+  }
+  if (f[0] == "retire") {
+    uint64_t generation = 0;
+    if (f.size() != 2 || !ParseU64(f[1], generation)) {
+      return ManifestError("malformed retire record");
+    }
+    for (size_t i = 0; i < state.live.size(); ++i) {
+      if (state.live[i].generation == generation) {
+        state.live.erase(state.live.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+    // Retiring an unknown generation is tolerated: a crash between the
+    // RETIRE append and the unlink may be retried by an operator script.
+    if (generation >= state.next_generation) {
+      state.next_generation = generation + 1;
+    }
+    return Status::Ok();
+  }
+  return ManifestError("unknown record '" + f[0] + "'");
+}
+
+}  // namespace
+
+Result<ManifestState> ReplayManifest(const std::string& dir) {
+  XCLEAN_FAULT_STATUS("manifest.replay");
+  ManifestState state;
+  Result<std::string> contents = ReadFileToString(ManifestPath(dir));
+  if (!contents.ok()) {
+    if (contents.status().code() == StatusCode::kNotFound) {
+      return state;  // fresh directory
+    }
+    return contents.status();
+  }
+  const std::string& data = contents.value();
+
+  size_t pos = 0;
+  while (pos < data.size()) {
+    const size_t nl = data.find('\n', pos);
+    if (nl == std::string::npos) {
+      // No terminating newline: a torn final append. Discard the tail.
+      state.torn_bytes = data.size() - pos;
+      return state;
+    }
+    std::string body;
+    if (!UnsealRecord(std::string_view(data).substr(pos, nl - pos), body)) {
+      // A record that fails its checksum poisons everything after it:
+      // the journal is append-only, so later records were written after
+      // the corruption and cannot be ordered against it safely.
+      state.torn_bytes = data.size() - pos;
+      return state;
+    }
+    Status s = ApplyRecord(body, state);
+    if (!s.ok()) return s;
+    ++state.records;
+    pos = nl + 1;
+  }
+  return state;
+}
+
+SnapshotLifecycle::SnapshotLifecycle(std::string dir)
+    : dir_(std::move(dir)) {}
+
+Status SnapshotLifecycle::Open() {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return Status::Internal("cannot create snapshot directory: " + dir_);
+  }
+  Result<ManifestState> replayed = ReplayManifest(dir_);
+  if (!replayed.ok()) return replayed.status();
+  state_ = std::move(replayed).value();
+  const bool fresh = state_.records == 0 && state_.torn_bytes == 0;
+  open_ = true;
+  if (fresh) {
+    return AppendRecord(StrFormat("version %llu",
+                                  static_cast<unsigned long long>(
+                                      kManifestVersion)),
+                        /*sync=*/true);
+  }
+  return Status::Ok();
+}
+
+Status SnapshotLifecycle::AppendRecord(const std::string& body, bool sync) {
+  DurableWriteOptions d;
+  d.sync = sync;
+  Status s = AppendDurable(ManifestPath(dir_), SealRecord(body), d);
+  if (s.ok()) ++state_.records;
+  return s;
+}
+
+Result<PublishedSnapshot> SnapshotLifecycle::Publish(const XmlIndex& index,
+                                                     PublishOptions options) {
+  XCLEAN_FAULT_STATUS("manifest.publish");
+  if (!open_) {
+    Status s = Open();
+    if (!s.ok()) return s;
+  }
+
+  PublishedSnapshot out;
+  out.generation = state_.next_generation;
+  const std::string file = SnapshotFileName(out.generation);
+  out.path = (fs::path(dir_) / file).string();
+
+  std::ostringstream payload_stream;
+  Status s = SaveIndex(index, payload_stream, options.save);
+  if (!s.ok()) return s;
+  const std::string payload = payload_stream.str();
+  out.bytes = payload.size();
+  out.checksum = Fnv1a(payload.data(), payload.size());
+
+  // File first, journal second: the PUBLISH record is the commit point,
+  // and it must never reference bytes that could still be torn.
+  DurableWriteOptions d;
+  d.sync = options.sync;
+  s = AtomicWriteFile(out.path, payload, d);
+  if (!s.ok()) return s;
+
+  s = AppendRecord(
+      StrFormat("publish %llu %s %llu %016llx",
+                static_cast<unsigned long long>(out.generation), file.c_str(),
+                static_cast<unsigned long long>(out.bytes),
+                static_cast<unsigned long long>(out.checksum)),
+      options.sync);
+  if (!s.ok()) return s;
+
+  ManifestEntry e;
+  e.generation = out.generation;
+  e.file = file;
+  e.bytes = out.bytes;
+  e.checksum = out.checksum;
+  state_.live.push_back(std::move(e));
+  state_.next_generation = out.generation + 1;
+  return out;
+}
+
+Status SnapshotLifecycle::RetireOldGenerations(size_t keep_latest) {
+  XCLEAN_FAULT_STATUS("manifest.retire");
+  if (!open_) {
+    Status s = Open();
+    if (!s.ok()) return s;
+  }
+  if (keep_latest < 1) keep_latest = 1;
+  if (state_.live.size() <= keep_latest) return Status::Ok();
+
+  const size_t retire_count = state_.live.size() - keep_latest;
+  for (size_t i = 0; i < retire_count; ++i) {
+    // Always the oldest first; the journal entry lands before the unlink
+    // so recovery never tries a generation whose file may be half-gone.
+    const ManifestEntry entry = state_.live.front();
+    Status s = AppendRecord(
+        StrFormat("retire %llu",
+                  static_cast<unsigned long long>(entry.generation)),
+        /*sync=*/true);
+    if (!s.ok()) return s;
+    state_.live.erase(state_.live.begin());
+    std::error_code ec;
+    fs::remove(fs::path(dir_) / entry.file, ec);
+    // A failed unlink leaves an orphan file, not an inconsistency.
+  }
+  return SyncDirectory(dir_);
+}
+
+Result<RecoveredSnapshot> RecoverLatestSnapshot(const std::string& dir) {
+  XCLEAN_FAULT_STATUS("manifest.recover");
+  Result<ManifestState> replayed = ReplayManifest(dir);
+  if (!replayed.ok()) return replayed.status();
+  const ManifestState& state = replayed.value();
+
+  RecoveredSnapshot out;
+  for (auto it = state.live.rbegin(); it != state.live.rend(); ++it) {
+    const std::string path = (fs::path(dir) / it->file).string();
+    // Cheap whole-file identity check first, then the per-section checks
+    // inside LoadIndex — a file can hash correctly yet still fail to load
+    // only if the publisher recorded garbage, which also counts as a bad
+    // generation.
+    Status verified = VerifyFileChecksum(path, it->bytes, it->checksum);
+    if (verified.ok()) {
+      Result<std::unique_ptr<XmlIndex>> index = LoadIndex(path);
+      if (index.ok()) {
+        out.generation = it->generation;
+        out.path = path;
+        out.index = std::move(index).value();
+        return out;
+      }
+    }
+    ++out.generations_skipped;
+  }
+  return Status::NotFound(
+      StrFormat("no recoverable snapshot generation in '%s' "
+                "(%zu live entries, %llu failed verification)",
+                dir.c_str(), state.live.size(),
+                static_cast<unsigned long long>(out.generations_skipped)));
+}
+
+}  // namespace xclean

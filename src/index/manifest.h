@@ -1,0 +1,148 @@
+#ifndef XCLEAN_INDEX_MANIFEST_H_
+#define XCLEAN_INDEX_MANIFEST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/durable_file.h"
+#include "common/status.h"
+#include "index/index_io.h"
+#include "index/xml_index.h"
+
+namespace xclean {
+
+/// Durable snapshot lifecycle for a directory of index snapshots.
+///
+/// A snapshot directory contains numbered snapshot files plus one
+/// append-only journal, `MANIFEST`:
+///
+///   dir/
+///     MANIFEST            append-only recovery journal
+///     snap-000001.idx     generation 1 (retired, about to be deleted)
+///     snap-000002.idx     generation 2 (live)
+///
+/// Each journal record is one line, `<body> #<fnv64 of body, hex>`:
+///
+///   version 1
+///   publish <generation> <file> <bytes> <fnv64-of-file, hex>
+///   retire <generation>
+///
+/// The per-record checksum makes every torn or corrupted tail detectable:
+/// replay stops at the first record that fails its checksum and discards
+/// it and everything after it (append-only means nothing after a torn
+/// record can be trusted). Because a PUBLISH record is appended only
+/// *after* its snapshot file is fully written, renamed into place and
+/// (optionally) fsync'd, replay never references a file that was not
+/// completely published.
+///
+/// The recovery invariant, enforced by tests/crash_recovery_test.cc under
+/// randomized torn-write and process-kill schedules: RecoverLatestSnapshot
+/// always yields a checksum-valid index equal to the newest published
+/// generation or a previous one — never a mix of two generations, never an
+/// unloadable state (unless every generation was destroyed, which reports
+/// NotFound rather than returning garbage).
+
+/// One live (published, not retired) generation from the journal.
+struct ManifestEntry {
+  uint64_t generation = 0;
+  std::string file;      ///< basename within the snapshot directory
+  uint64_t bytes = 0;    ///< snapshot file size at publish time
+  uint64_t checksum = 0; ///< FNV-1a of the whole snapshot file
+};
+
+/// Journal replay result.
+struct ManifestState {
+  /// Live generations, ascending; the last entry is the newest.
+  std::vector<ManifestEntry> live;
+  /// One past the largest generation ever journalled (retired included),
+  /// so a recovered publisher never reuses a generation number.
+  uint64_t next_generation = 1;
+  /// Valid records replayed.
+  uint64_t records = 0;
+  /// Trailing journal bytes discarded as torn/corrupt (0 on clean replay).
+  uint64_t torn_bytes = 0;
+};
+
+/// Replays `dir`/MANIFEST. A missing journal is an empty state, not an
+/// error (a fresh directory); a journal written by a newer format version
+/// is an error (never guess at records we cannot interpret).
+Result<ManifestState> ReplayManifest(const std::string& dir);
+
+struct PublishOptions {
+  /// Format options for the snapshot file itself.
+  IndexSaveOptions save;
+  /// fsync file + directory + journal record (full crash durability).
+  /// Benchmarks may turn it off to measure the pure atomic-publish cost.
+  bool sync = true;
+};
+
+/// Outcome of SnapshotLifecycle::Publish.
+struct PublishedSnapshot {
+  uint64_t generation = 0;
+  std::string path;  ///< full path to the published snapshot file
+  uint64_t bytes = 0;
+  uint64_t checksum = 0;
+};
+
+/// What RecoverLatestSnapshot loaded.
+struct RecoveredSnapshot {
+  uint64_t generation = 0;
+  std::string path;
+  std::unique_ptr<XmlIndex> index;
+  /// Newer live generations that failed verification and were skipped
+  /// (0 = the newest published generation recovered intact).
+  uint64_t generations_skipped = 0;
+};
+
+/// Publisher-side handle on a snapshot directory: replay once, then
+/// publish and retire generations against the in-memory state. One
+/// process should own a directory's lifecycle at a time (concurrent
+/// publishers would race generation numbers); recovery is safe from any
+/// process at any time.
+class SnapshotLifecycle {
+ public:
+  explicit SnapshotLifecycle(std::string dir);
+
+  /// Creates the directory if needed and replays the journal. Publish and
+  /// RetireOldGenerations call it implicitly on first use.
+  Status Open();
+
+  /// Serializes `index`, atomically writes it as the next generation's
+  /// snapshot file, then appends a durable PUBLISH record. The journal
+  /// references the file only once the file is complete on disk, so a
+  /// crash anywhere in between leaves the previous generation live.
+  Result<PublishedSnapshot> Publish(
+      const XmlIndex& index, PublishOptions options = PublishOptions());
+
+  /// Retires every live generation except the newest `keep_latest`:
+  /// appends RETIRE records, then deletes the files. Call only after the
+  /// generation you intend to keep is live (e.g. after the serving engine
+  /// swapped onto it) — the journal entry lands before the unlink, so a
+  /// crash in between orphans a file but never resurrects a retired
+  /// generation.
+  Status RetireOldGenerations(size_t keep_latest = 1);
+
+  /// State as of the last Open/Publish/Retire (journal not re-read).
+  const ManifestState& state() const { return state_; }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  Status AppendRecord(const std::string& body, bool sync);
+
+  std::string dir_;
+  ManifestState state_;
+  bool open_ = false;
+};
+
+/// Startup recovery: replays the journal and loads the newest live
+/// generation whose file passes the size + content-checksum check and the
+/// per-section checks inside LoadIndex, falling back one generation at a
+/// time. NotFound when no generation is recoverable.
+Result<RecoveredSnapshot> RecoverLatestSnapshot(const std::string& dir);
+
+}  // namespace xclean
+
+#endif  // XCLEAN_INDEX_MANIFEST_H_

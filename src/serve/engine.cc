@@ -1,16 +1,16 @@
 #include "serve/engine.h"
 
 #include <cstdio>
-#include <filesystem>
-#include <system_error>
 #include <thread>
 #include <utility>
 
 #include "common/cancel.h"
 #include "common/check.h"
+#include "common/durable_file.h"
 #include "common/fault_injection.h"
 #include "core/query.h"
 #include "index/index_io.h"
+#include "index/manifest.h"
 
 namespace xclean::serve {
 
@@ -328,19 +328,18 @@ void ServingEngine::SwapIndex(std::shared_ptr<const XCleanSuggester> next) {
 
 Status ServingEngine::SwapIndexFromFile(const std::string& path,
                                         SuggesterOptions options) {
-  namespace fs = std::filesystem;
-  // Identity of the file as published right now; a re-published snapshot
-  // (different size or mtime) clears any quarantine on the path.
-  std::error_code size_ec, mtime_ec;
-  const std::uintmax_t file_size = fs::file_size(path, size_ec);
-  const fs::file_time_type mtime = fs::last_write_time(path, mtime_ec);
-  const bool stat_ok = !size_ec && !mtime_ec;
+  // Identity of the file as published right now: a whole-file content
+  // checksum. Size/mtime would miss an in-place rewrite landing within
+  // the filesystem's timestamp granularity at the same length; hashing
+  // the bytes cannot, and a swap is about to read the whole file anyway.
+  const Result<uint64_t> content_hash = HashFileContents(path);
+  const bool hash_ok = content_hash.ok();
 
-  if (stat_ok) {
+  if (hash_ok) {
     std::lock_guard<std::mutex> lock(quarantine_mu_);
     auto it = quarantine_.find(path);
     if (it != quarantine_.end()) {
-      if (it->second.file_size == file_size && it->second.mtime == mtime) {
+      if (it->second.checksum == content_hash.value()) {
         return Status::Unavailable(
             "snapshot file quarantined after repeated load failures "
             "(republish to clear): " +
@@ -377,13 +376,27 @@ Status ServingEngine::SwapIndexFromFile(const std::string& path,
     if (last.code() == StatusCode::kNotFound) return last;
   }
 
-  if (stat_ok) {
+  if (hash_ok) {
+    // Keyed on the content observed at entry: if the file was republished
+    // mid-retry the stale key simply never matches again, so the next call
+    // re-reads instead of fast-failing — safe in both directions.
     std::lock_guard<std::mutex> lock(quarantine_mu_);
-    quarantine_[path] = QuarantineEntry{file_size, mtime};
+    quarantine_[path] = QuarantineEntry{content_hash.value()};
   }
   // The previous snapshot keeps serving; the caller learns why the swap
   // did not happen.
   return last;
+}
+
+Result<uint64_t> ServingEngine::RecoverFrom(const std::string& dir,
+                                            SuggesterOptions options) {
+  Result<RecoveredSnapshot> recovered = RecoverLatestSnapshot(dir);
+  if (!recovered.ok()) return recovered.status();
+  auto suggester = std::make_shared<const XCleanSuggester>(
+      XCleanSuggester::FromIndex(std::move(recovered.value().index),
+                                 options));
+  SwapIndex(std::move(suggester));
+  return recovered.value().generation;
 }
 
 std::shared_ptr<const XCleanSuggester> ServingEngine::snapshot() const {

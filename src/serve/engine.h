@@ -4,7 +4,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <filesystem>
 #include <functional>
 #include <map>
 #include <memory>
@@ -42,7 +41,8 @@ struct EngineOptions {
   /// SwapIndexFromFile: attempts per call (transient read/parse errors are
   /// retried with exponential backoff starting at swap_retry_backoff); a
   /// file still corrupt after the last attempt is quarantined until its
-  /// size/mtime changes. NotFound never retries or quarantines.
+  /// *content* changes (whole-file checksum — size/mtime would miss a
+  /// same-second in-place rewrite). NotFound never retries or quarantines.
   int swap_load_attempts = 3;
   std::chrono::milliseconds swap_retry_backoff{10};
 };
@@ -157,6 +157,17 @@ class ServingEngine {
   Status SwapIndexFromFile(const std::string& path,
                            SuggesterOptions options = SuggesterOptions());
 
+  /// Startup/restart recovery against a durable snapshot directory
+  /// (index/manifest.h): replays the recovery journal, loads the newest
+  /// generation that passes checksum verification (falling back one
+  /// generation at a time past torn or corrupt files), and hot-swaps the
+  /// engine onto it. Returns the recovered generation. The caller decides
+  /// when to retire older generations — only after this returned Ok, so a
+  /// fallback target always exists (SnapshotLifecycle::
+  /// RetireOldGenerations).
+  Result<uint64_t> RecoverFrom(const std::string& dir,
+                               SuggesterOptions options = SuggesterOptions());
+
   /// The current snapshot (never null). Callers may hold it for direct,
   /// engine-free reads; it stays valid across swaps.
   std::shared_ptr<const XCleanSuggester> snapshot() const;
@@ -218,12 +229,12 @@ class ServingEngine {
       std::shared_ptr<const XCleanSuggester> suggester, uint64_t version);
 
   /// Identity of a snapshot file that failed to load after every retry.
-  /// While the file on disk still matches, further SwapIndexFromFile calls
-  /// fail fast instead of re-reading a known-bad file; any change to the
-  /// file (a re-published snapshot) clears the quarantine.
+  /// While the file's contents still hash the same, further
+  /// SwapIndexFromFile calls fail fast instead of re-parsing a known-bad
+  /// file; any content change (a re-published snapshot, even one landing
+  /// within the same second at the same size) clears the quarantine.
   struct QuarantineEntry {
-    std::uintmax_t file_size = 0;
-    std::filesystem::file_time_type mtime;
+    uint64_t checksum = 0;
   };
 
   EngineOptions options_;

@@ -114,6 +114,8 @@ class Parser {
     return Status::Ok();
   }
 
+  const ParseStats& stats() const { return stats_; }
+
  private:
   Status Err(const std::string& what) {
     return Status::ParseError(
@@ -185,6 +187,7 @@ class Parser {
     }
     if (cur_.AtEnd() || cur_.Peek() != ';') {
       // Not a well-formed reference: emit literally.
+      ++stats_.unterminated_refs;
       out.push_back('&');
       out.append(name);
       return Status::Ok();
@@ -230,9 +233,13 @@ class Parser {
       }
       if (ok && cp > 0 && cp <= 0x10FFFF) {
         AppendUtf8(cp, out);
-      }  // else: drop the malformed reference
+      } else {
+        // Drop the malformed reference, but count the loss.
+        ++stats_.malformed_char_refs;
+      }
     } else {
       // Unknown named entity: keep it readable.
+      ++stats_.unknown_entities;
       out.push_back('&');
       out.append(name);
       out.push_back(';');
@@ -399,32 +406,39 @@ class Parser {
   Cursor cur_;
   const ParseOptions& options_;
   XmlTreeBuilder& builder_;
+  ParseStats stats_;
 };
 
 }  // namespace
 
 Status ParseXmlInto(std::string_view xml, const ParseOptions& options,
-                    XmlTreeBuilder& builder) {
+                    XmlTreeBuilder& builder, ParseStats* stats) {
   Parser parser(xml, options, builder);
-  return parser.Run();
+  Status s = parser.Run();
+  // Counters accumulate even on error: the counts up to the failure point
+  // are real losses the caller may want to report alongside the error.
+  if (stats != nullptr) stats->Add(parser.stats());
+  return s;
 }
 
 Result<XmlTree> ParseXmlString(std::string_view xml,
-                               const ParseOptions& options) {
+                               const ParseOptions& options,
+                               ParseStats* stats) {
   XmlTreeBuilder builder;
-  Status s = ParseXmlInto(xml, options, builder);
+  Status s = ParseXmlInto(xml, options, builder, stats);
   if (!s.ok()) return s;
   return std::move(builder).Finish();
 }
 
 Result<XmlTree> ParseXmlCollection(const std::vector<std::string>& documents,
                                    std::string_view root_label,
-                                   const ParseOptions& options) {
+                                   const ParseOptions& options,
+                                   ParseStats* stats) {
   XmlTreeBuilder builder;
   Status s = builder.BeginElement(root_label);
   if (!s.ok()) return s;
   for (size_t i = 0; i < documents.size(); ++i) {
-    s = ParseXmlInto(documents[i], options, builder);
+    s = ParseXmlInto(documents[i], options, builder, stats);
     if (!s.ok()) {
       return Status::ParseError(StrFormat("document %zu: %s", i,
                                           s.message().c_str()));
@@ -436,7 +450,7 @@ Result<XmlTree> ParseXmlCollection(const std::vector<std::string>& documents,
 }
 
 Result<XmlTree> ParseXmlFile(const std::string& path,
-                             const ParseOptions& options) {
+                             const ParseOptions& options, ParseStats* stats) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::NotFound("cannot open file: " + path);
@@ -444,7 +458,7 @@ Result<XmlTree> ParseXmlFile(const std::string& path,
   std::ostringstream buf;
   buf << in.rdbuf();
   std::string contents = buf.str();
-  return ParseXmlString(contents, options);
+  return ParseXmlString(contents, options, stats);
 }
 
 }  // namespace xclean

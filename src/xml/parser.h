@@ -10,6 +10,28 @@
 
 namespace xclean {
 
+/// Counters for content the parser repaired or dropped rather than
+/// rejecting the document. Real corpora are messy; silently discarding a
+/// malformed character reference is the right recovery for indexing, but
+/// the loss must be observable — a corpus whose counters jump between
+/// crawls is a corpus whose text statistics shifted.
+struct ParseStats {
+  /// `&#...;` references that failed to decode (bad digits, code point 0,
+  /// beyond U+10FFFF). The reference is dropped from the text.
+  uint64_t malformed_char_refs = 0;
+  /// Named entities outside the predefined five (`&amp;` etc.), passed
+  /// through literally as `&name;`.
+  uint64_t unknown_entities = 0;
+  /// `&` runs with no terminating `;`, emitted literally.
+  uint64_t unterminated_refs = 0;
+
+  void Add(const ParseStats& other) {
+    malformed_char_refs += other.malformed_char_refs;
+    unknown_entities += other.unknown_entities;
+    unterminated_refs += other.unterminated_refs;
+  }
+};
+
 /// Parser behaviour knobs.
 struct ParseOptions {
   /// Represent attributes as child element nodes labeled "@name" whose text
@@ -35,26 +57,30 @@ struct ParseOptions {
 /// stray markup) are reported as ParseError with a line number. There is no
 /// DTD validation.
 ///
-/// Parses one document into an XmlTree.
+/// Parses one document into an XmlTree. When `stats` is non-null, repair
+/// counters are accumulated into it (never reset — callers aggregate
+/// across documents).
 Result<XmlTree> ParseXmlString(std::string_view xml,
-                               const ParseOptions& options = ParseOptions());
+                               const ParseOptions& options = ParseOptions(),
+                               ParseStats* stats = nullptr);
 
 /// Parses a collection of documents and joins them under a virtual root
 /// element (the paper's construction for INEX: "We form a single XML
 /// document by adding a virtual root").
 Result<XmlTree> ParseXmlCollection(
     const std::vector<std::string>& documents, std::string_view root_label,
-    const ParseOptions& options = ParseOptions());
+    const ParseOptions& options = ParseOptions(), ParseStats* stats = nullptr);
 
 /// Reads and parses a file.
 Result<XmlTree> ParseXmlFile(const std::string& path,
-                             const ParseOptions& options = ParseOptions());
+                             const ParseOptions& options = ParseOptions(),
+                             ParseStats* stats = nullptr);
 
 /// Lower-level interface used by ParseXmlString/ParseXmlCollection: streams
 /// one document's events into an existing builder (so collections build one
 /// tree). The builder must be positioned where the document root may begin.
 Status ParseXmlInto(std::string_view xml, const ParseOptions& options,
-                    XmlTreeBuilder& builder);
+                    XmlTreeBuilder& builder, ParseStats* stats = nullptr);
 
 }  // namespace xclean
 

@@ -67,6 +67,36 @@ TEST(DeweyTest, FromStringRejectsMalformed) {
   EXPECT_TRUE(DeweyFromString(".1").empty());
   EXPECT_TRUE(DeweyFromString("99999999999").empty());  // > uint32
   EXPECT_TRUE(DeweyFromString("").empty());
+  // The full malformed-input contract: trailing separators, signs,
+  // whitespace and embedded garbage all reject — never a partial parse.
+  EXPECT_TRUE(DeweyFromString("1.").empty());
+  EXPECT_TRUE(DeweyFromString(".").empty());
+  EXPECT_TRUE(DeweyFromString("+1").empty());
+  EXPECT_TRUE(DeweyFromString("-1").empty());
+  EXPECT_TRUE(DeweyFromString(" 1").empty());
+  EXPECT_TRUE(DeweyFromString("1 ").empty());
+  EXPECT_TRUE(DeweyFromString("1. 2").empty());
+  EXPECT_TRUE(DeweyFromString("1.2x").empty());
+  EXPECT_TRUE(DeweyFromString("0x1").empty());
+}
+
+TEST(DeweyTest, FromStringComponentBoundaries) {
+  // Largest representable component round-trips; one past it rejects
+  // outright instead of wrapping.
+  EXPECT_EQ(DeweyFromString("4294967295"), D({4294967295u}));
+  EXPECT_EQ(DeweyFromString("1.4294967295.2"), D({1, 4294967295u, 2}));
+  EXPECT_TRUE(DeweyFromString("4294967296").empty());
+  EXPECT_TRUE(DeweyFromString("1.4294967296").empty());
+}
+
+TEST(DeweyTest, MalformedPathIsDistinguishableFromRoot) {
+  // A malformed path parses to the empty vector; the root parses to {1}.
+  // The two must never be conflated: empty compares before everything,
+  // renders as "", and is an ancestor of everything only vacuously.
+  EXPECT_EQ(DeweyFromString("1"), D({1}));
+  EXPECT_NE(DeweyFromString("1"), DeweyFromString("1.a"));
+  EXPECT_EQ(DeweyToString(DeweyFromString("bogus")), "");
+  EXPECT_LT(CompareDewey(DeweyFromString("bogus"), D({1})), 0);
 }
 
 }  // namespace

@@ -1,0 +1,135 @@
+// common/durable_file.h: atomic replace, durable append, checksum-verified
+// reads, and the no-temp-litter guarantee every publisher builds on.
+
+#include "common/durable_file.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/fault_injection.h"
+
+namespace xclean {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+/// Temp files are `<path>.tmp.<nonce>` siblings; count how many linger.
+size_t TempLitterCount(const std::string& path) {
+  const std::string prefix = fs::path(path).filename().string() + ".tmp.";
+  size_t count = 0;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(path).parent_path())) {
+    if (entry.path().filename().string().rfind(prefix, 0) == 0) ++count;
+  }
+  return count;
+}
+
+TEST(DurableFileTest, AtomicWriteCreatesAndReplaces) {
+  const std::string path = TempPath("durable_basic.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "first").ok());
+  Result<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "first");
+
+  // Replace: readers of `path` can only ever observe old or new bytes.
+  ASSERT_TRUE(AtomicWriteFile(path, "second, longer payload").ok());
+  read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "second, longer payload");
+  EXPECT_EQ(TempLitterCount(path), 0u);
+  fs::remove(path);
+}
+
+TEST(DurableFileTest, AtomicWriteWithoutSyncStillAtomic) {
+  const std::string path = TempPath("durable_nosync.bin");
+  DurableWriteOptions options;
+  options.sync = false;
+  ASSERT_TRUE(AtomicWriteFile(path, "payload", options).ok());
+  Result<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "payload");
+  EXPECT_EQ(TempLitterCount(path), 0u);
+  fs::remove(path);
+}
+
+TEST(DurableFileTest, AppendDurableAppendsWholeRecords) {
+  const std::string path = TempPath("durable_append.log");
+  fs::remove(path);
+  ASSERT_TRUE(AppendDurable(path, "one\n").ok());
+  ASSERT_TRUE(AppendDurable(path, "two\n").ok());
+  Result<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "one\ntwo\n");
+  fs::remove(path);
+}
+
+TEST(DurableFileTest, HashMatchesInMemoryFnv) {
+  const std::string path = TempPath("durable_hash.bin");
+  const std::string payload = "the quick brown fox";
+  ASSERT_TRUE(AtomicWriteFile(path, payload).ok());
+  Result<uint64_t> h = HashFileContents(path);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value(), Fnv1a(payload.data(), payload.size()));
+  fs::remove(path);
+}
+
+TEST(DurableFileTest, VerifyChecksumCatchesSizeAndContentLies) {
+  const std::string path = TempPath("durable_verify.bin");
+  const std::string payload = "snapshot payload bytes";
+  const uint64_t checksum = Fnv1a(payload.data(), payload.size());
+  ASSERT_TRUE(AtomicWriteFile(path, payload).ok());
+
+  EXPECT_TRUE(VerifyFileChecksum(path, payload.size(), checksum).ok());
+  // Wrong length reported before any hashing.
+  Status wrong_size = VerifyFileChecksum(path, payload.size() + 1, checksum);
+  ASSERT_FALSE(wrong_size.ok());
+  EXPECT_EQ(wrong_size.code(), StatusCode::kParseError);
+  // Right length, wrong bytes.
+  Status wrong_sum = VerifyFileChecksum(path, payload.size(), checksum ^ 1);
+  ASSERT_FALSE(wrong_sum.ok());
+  EXPECT_EQ(wrong_sum.code(), StatusCode::kParseError);
+  // Missing file is NotFound, not ParseError.
+  EXPECT_EQ(VerifyFileChecksum(path + ".gone", 1, 1).code(),
+            StatusCode::kNotFound);
+  fs::remove(path);
+}
+
+TEST(DurableFileTest, FailedWriteLeavesTargetAndDirectoryClean) {
+  if (!fault::Enabled()) {
+    GTEST_SKIP() << "built with XCLEAN_FAULT_INJECTION=OFF";
+  }
+  fault::DisarmAll();
+  const std::string path = TempPath("durable_failed.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "survives").ok());
+
+  // An injected failure at any stage before the rename must leave the
+  // existing file untouched and no temp litter behind.
+  for (const char* point :
+       {"durable.open_tmp", "durable.write", "durable.sync",
+        "durable.rename"}) {
+    fault::ArmStatus(point, Status::Internal("injected disk full"), 1);
+    Status s = AtomicWriteFile(path, "never visible");
+    ASSERT_FALSE(s.ok()) << point;
+    Result<std::string> read = ReadFileToString(path);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.value(), "survives") << point;
+    EXPECT_EQ(TempLitterCount(path), 0u) << point;
+  }
+  fault::DisarmAll();
+  fs::remove(path);
+}
+
+TEST(DurableFileTest, SyncDirectoryIsBestEffort) {
+  EXPECT_TRUE(SyncDirectory(testing::TempDir()).ok());
+  // A bogus directory degrades to a no-op, never an error.
+  EXPECT_TRUE(SyncDirectory("/no/such/dir/anywhere").ok());
+}
+
+}  // namespace
+}  // namespace xclean

@@ -158,14 +158,19 @@ TEST_F(FaultInjectionTest, PersistentLoadFailureQuarantinesTheFile) {
   EXPECT_NE(quarantined.message().find("quarantine"), std::string::npos);
   EXPECT_EQ(fault::HitCount("index_io.load"), 2u);
 
-  // Republishing the snapshot (its size/mtime change) clears the
-  // quarantine; with the fault disarmed the swap goes through.
+  // Quarantine identity is the file's *content* checksum. Re-saving the
+  // identical index reproduces identical bytes (serialization is
+  // byte-stable), so the quarantine stays in force even with the fault
+  // disarmed — same bytes, same verdict, no wasted re-parse.
   fault::DisarmAll();
-  {
-    std::ofstream out(path, std::ios::binary | std::ios::app);
-    out << '\n';  // perturb the identity; the loader never sees this file
-  }
   EXPECT_TRUE(SaveIndex(next->index(), path).ok());
+  Status same_bytes = engine.SwapIndexFromFile(path);
+  ASSERT_FALSE(same_bytes.ok());
+  EXPECT_EQ(same_bytes.code(), StatusCode::kUnavailable);
+
+  // Republishing *different* content clears it and the swap goes through.
+  auto fixed = BuildSuggester(3);
+  EXPECT_TRUE(SaveIndex(fixed->index(), path).ok());
   EXPECT_TRUE(engine.SwapIndexFromFile(path).ok());
   EXPECT_EQ(engine.snapshot_version(), 2u);
   std::remove(path.c_str());

@@ -1,0 +1,234 @@
+// index/manifest.h: journal replay, torn-tail discard, publish/retire
+// lifecycle, and generation-fallback recovery.
+
+#include "index/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "common/durable_file.h"
+#include "data/dblp_gen.h"
+#include "index/xml_index.h"
+
+namespace xclean {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::unique_ptr<XmlIndex> BuildIndex(uint64_t seed, uint32_t pubs = 120) {
+  DblpGenOptions gen;
+  gen.num_publications = pubs;
+  gen.seed = seed;
+  return XmlIndex::Build(GenerateDblp(gen), IndexOptions());
+}
+
+/// Fresh scratch directory per test.
+class ManifestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/manifest_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string ManifestPath() const { return dir_ + "/MANIFEST"; }
+
+  std::string dir_;
+};
+
+TEST_F(ManifestTest, EmptyDirectoryIsEmptyState) {
+  Result<ManifestState> state = ReplayManifest(dir_);
+  ASSERT_TRUE(state.ok());
+  EXPECT_TRUE(state.value().live.empty());
+  EXPECT_EQ(state.value().next_generation, 1u);
+  EXPECT_EQ(state.value().torn_bytes, 0u);
+}
+
+TEST_F(ManifestTest, PublishJournalsAndReplayAgrees) {
+  SnapshotLifecycle lifecycle(dir_);
+  auto index = BuildIndex(1);
+
+  PublishOptions options;
+  options.sync = false;  // keep the test fast; atomicity is unaffected
+  Result<PublishedSnapshot> p1 = lifecycle.Publish(*index, options);
+  ASSERT_TRUE(p1.ok()) << p1.status().ToString();
+  EXPECT_EQ(p1.value().generation, 1u);
+  EXPECT_TRUE(fs::exists(p1.value().path));
+
+  Result<PublishedSnapshot> p2 = lifecycle.Publish(*index, options);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2.value().generation, 2u);
+
+  // A second handle replays to the same state.
+  Result<ManifestState> replayed = ReplayManifest(dir_);
+  ASSERT_TRUE(replayed.ok());
+  ASSERT_EQ(replayed.value().live.size(), 2u);
+  EXPECT_EQ(replayed.value().live[0].generation, 1u);
+  EXPECT_EQ(replayed.value().live[1].generation, 2u);
+  EXPECT_EQ(replayed.value().live[1].checksum, p2.value().checksum);
+  EXPECT_EQ(replayed.value().next_generation, 3u);
+  EXPECT_EQ(replayed.value().torn_bytes, 0u);
+}
+
+TEST_F(ManifestTest, RetireKeepsNewestAndDeletesFiles) {
+  SnapshotLifecycle lifecycle(dir_);
+  auto index = BuildIndex(1);
+  PublishOptions options;
+  options.sync = false;
+  std::string first_path;
+  for (int i = 0; i < 3; ++i) {
+    Result<PublishedSnapshot> p = lifecycle.Publish(*index, options);
+    ASSERT_TRUE(p.ok());
+    if (i == 0) first_path = p.value().path;
+  }
+
+  ASSERT_TRUE(lifecycle.RetireOldGenerations(/*keep_latest=*/1).ok());
+  EXPECT_EQ(lifecycle.state().live.size(), 1u);
+  EXPECT_EQ(lifecycle.state().live[0].generation, 3u);
+  EXPECT_FALSE(fs::exists(first_path));
+
+  // Replay sees the retirements; generation numbers are never reused.
+  Result<ManifestState> replayed = ReplayManifest(dir_);
+  ASSERT_TRUE(replayed.ok());
+  ASSERT_EQ(replayed.value().live.size(), 1u);
+  EXPECT_EQ(replayed.value().live[0].generation, 3u);
+  EXPECT_EQ(replayed.value().next_generation, 4u);
+
+  SnapshotLifecycle reopened(dir_);
+  ASSERT_TRUE(reopened.Open().ok());
+  Result<PublishedSnapshot> next = reopened.Publish(*index, options);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value().generation, 4u);
+}
+
+TEST_F(ManifestTest, TornTailIsDiscardedNotFatal) {
+  SnapshotLifecycle lifecycle(dir_);
+  auto index = BuildIndex(1);
+  PublishOptions options;
+  options.sync = false;
+  ASSERT_TRUE(lifecycle.Publish(*index, options).ok());
+  ASSERT_TRUE(lifecycle.Publish(*index, options).ok());
+
+  // Tear the journal mid-final-record: replay must fall back to the state
+  // as of the last intact record (generation 1 live only).
+  Result<std::string> journal = ReadFileToString(ManifestPath());
+  ASSERT_TRUE(journal.ok());
+  const std::string& bytes = journal.value();
+  const size_t cut = bytes.size() - 7;  // inside the last record's checksum
+  {
+    std::ofstream out(ManifestPath(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(cut));
+  }
+  Result<ManifestState> replayed = ReplayManifest(dir_);
+  ASSERT_TRUE(replayed.ok());
+  ASSERT_EQ(replayed.value().live.size(), 1u);
+  EXPECT_EQ(replayed.value().live[0].generation, 1u);
+  EXPECT_GT(replayed.value().torn_bytes, 0u);
+}
+
+TEST_F(ManifestTest, RecoverLoadsNewestGeneration) {
+  SnapshotLifecycle lifecycle(dir_);
+  auto gen1 = BuildIndex(1);
+  auto gen2 = BuildIndex(2, 150);
+  PublishOptions options;
+  options.sync = false;
+  ASSERT_TRUE(lifecycle.Publish(*gen1, options).ok());
+  ASSERT_TRUE(lifecycle.Publish(*gen2, options).ok());
+
+  Result<RecoveredSnapshot> recovered = RecoverLatestSnapshot(dir_);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().generation, 2u);
+  EXPECT_EQ(recovered.value().generations_skipped, 0u);
+  EXPECT_EQ(recovered.value().index->total_tokens(), gen2->total_tokens());
+}
+
+TEST_F(ManifestTest, RecoverFallsBackPastCorruptNewestGeneration) {
+  SnapshotLifecycle lifecycle(dir_);
+  auto gen1 = BuildIndex(1);
+  auto gen2 = BuildIndex(2, 150);
+  PublishOptions options;
+  options.sync = false;
+  Result<PublishedSnapshot> p1 = lifecycle.Publish(*gen1, options);
+  ASSERT_TRUE(p1.ok());
+  Result<PublishedSnapshot> p2 = lifecycle.Publish(*gen2, options);
+  ASSERT_TRUE(p2.ok());
+
+  // Corrupt generation 2's file in place (size preserved): the content
+  // checksum recorded at publish time catches it and recovery falls back.
+  {
+    std::fstream f(p2.value().path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(p2.value().bytes / 2));
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(static_cast<std::streamoff>(p2.value().bytes / 2));
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  Result<RecoveredSnapshot> recovered = RecoverLatestSnapshot(dir_);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().generation, 1u);
+  EXPECT_EQ(recovered.value().generations_skipped, 1u);
+  EXPECT_EQ(recovered.value().index->total_tokens(), gen1->total_tokens());
+
+  // Destroy generation 1 as well: nothing recoverable -> NotFound.
+  fs::remove(p1.value().path);
+  Result<RecoveredSnapshot> none = RecoverLatestSnapshot(dir_);
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ManifestTest, MidJournalCorruptionPoisonsOnlyTheTail) {
+  SnapshotLifecycle lifecycle(dir_);
+  auto index = BuildIndex(1);
+  PublishOptions options;
+  options.sync = false;
+  ASSERT_TRUE(lifecycle.Publish(*index, options).ok());
+  const size_t after_gen1 = fs::file_size(ManifestPath());
+  ASSERT_TRUE(lifecycle.Publish(*index, options).ok());
+
+  // Flip one byte inside generation 2's record: that record and anything
+  // after it are discarded; generation 1 survives.
+  Result<std::string> journal = ReadFileToString(ManifestPath());
+  ASSERT_TRUE(journal.ok());
+  std::string bytes = journal.value();
+  bytes[after_gen1 + 3] = static_cast<char>(bytes[after_gen1 + 3] ^ 0x01);
+  {
+    std::ofstream out(ManifestPath(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  Result<ManifestState> replayed = ReplayManifest(dir_);
+  ASSERT_TRUE(replayed.ok());
+  ASSERT_EQ(replayed.value().live.size(), 1u);
+  EXPECT_EQ(replayed.value().live[0].generation, 1u);
+}
+
+TEST_F(ManifestTest, UnsupportedJournalVersionRefusesToGuess) {
+  fs::create_directories(dir_);
+  const std::string body = "version 99";
+  const std::string line =
+      body + " #" +
+      [&] {
+        char buf[17];
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(
+                          Fnv1a(body.data(), body.size())));
+        return std::string(buf);
+      }() +
+      "\n";
+  {
+    std::ofstream out(ManifestPath(), std::ios::binary);
+    out << line;
+  }
+  Result<ManifestState> replayed = ReplayManifest(dir_);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace xclean

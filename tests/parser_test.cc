@@ -60,6 +60,43 @@ TEST(ParserTest, UnknownEntityPassesThrough) {
   EXPECT_EQ(t->text(0), "x &uuml; y");
 }
 
+TEST(ParserTest, MalformedReferencesAreCountedNotSilent) {
+  // Three malformed character references (bad hex digits, code point zero,
+  // beyond U+10FFFF) are dropped from the text; the valid `&#65;` decodes;
+  // the unknown entity passes through; the bare `&` run is emitted
+  // literally. Every repair shows up in ParseStats.
+  ParseStats stats;
+  Result<XmlTree> t = ParseXmlString(
+      "<a>&#xZZ; &#0; &#1114112; &#65; &uuml; a&b c</a>", ParseOptions(),
+      &stats);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->text(0), "   A &uuml; a&b c");
+  EXPECT_EQ(stats.malformed_char_refs, 3u);
+  EXPECT_EQ(stats.unknown_entities, 1u);
+  EXPECT_EQ(stats.unterminated_refs, 1u);
+}
+
+TEST(ParserTest, CleanDocumentCountsNothing) {
+  ParseStats stats;
+  Result<XmlTree> t = ParseXmlString(
+      "<a attr='&#65;&amp;'>&lt;clean&gt; &#x42;</a>", ParseOptions(),
+      &stats);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(stats.malformed_char_refs, 0u);
+  EXPECT_EQ(stats.unknown_entities, 0u);
+  EXPECT_EQ(stats.unterminated_refs, 0u);
+}
+
+TEST(ParserTest, StatsAccumulateAcrossCollectionDocuments) {
+  ParseStats stats;
+  Result<XmlTree> t = ParseXmlCollection(
+      {"<d>&#xZZ;x</d>", "<d>&#0;y</d>", "<d>&nbsp;z</d>"}, "root",
+      ParseOptions(), &stats);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(stats.malformed_char_refs, 2u);
+  EXPECT_EQ(stats.unknown_entities, 1u);
+}
+
 TEST(ParserTest, NumericEntityUtf8) {
   Result<XmlTree> t = ParseXmlString("<a>&#252;</a>");  // ü
   ASSERT_TRUE(t.ok());

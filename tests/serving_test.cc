@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <memory>
@@ -346,6 +347,46 @@ TEST(ServingTest, CorruptSnapshotFileNeverUnseatsTheServingSnapshot) {
   ASSERT_TRUE(engine.SwapIndexFromFile(path).ok());
   EXPECT_EQ(engine.snapshot_version(), 2u);
   EXPECT_TRUE(engine.Suggest(queries[1]).status.ok());
+  std::remove(path.c_str());
+}
+
+// Regression: quarantine identity is the file's content checksum, not
+// (size, mtime). A corrupt snapshot rewritten *in place* with different
+// corrupt bytes of the same length — and, forced here, the same mtime, as
+// happens for real within one filesystem-timestamp granule — must be
+// re-examined, not fast-failed off the stale quarantine entry.
+TEST(ServingTest, QuarantineSeesSameSizeSameMtimeRewrites) {
+  namespace fs = std::filesystem;
+  std::shared_ptr<const XCleanSuggester> initial = BuildSmallDblpSuggester();
+  EngineOptions options;
+  options.pool.num_threads = 1;
+  options.swap_load_attempts = 1;
+  ServingEngine engine(initial, options);
+
+  const std::string path =
+      testing::TempDir() + "/xclean_serving_rewrite.idx";
+  auto write_file = [&](const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+
+  write_file(std::string(4096, 'A'));
+  const fs::file_time_type pinned_mtime = fs::last_write_time(path);
+  Status first = engine.SwapIndexFromFile(path);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.code(), StatusCode::kParseError);  // bad magic
+  Status quarantined = engine.SwapIndexFromFile(path);
+  ASSERT_FALSE(quarantined.ok());
+  EXPECT_EQ(quarantined.code(), StatusCode::kUnavailable);
+
+  // In-place rewrite: same size, same (pinned) mtime, different bytes. A
+  // (size, mtime) key cannot tell the two files apart; the content key
+  // must — the engine re-reads and reports the file's own parse failure.
+  write_file(std::string(4096, 'B'));
+  fs::last_write_time(path, pinned_mtime);
+  Status second = engine.SwapIndexFromFile(path);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), StatusCode::kParseError);
   std::remove(path.c_str());
 }
 
