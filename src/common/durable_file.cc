@@ -11,6 +11,7 @@
 
 #if defined(_WIN32)
 #include <io.h>
+#include <windows.h>
 #else
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -34,7 +35,8 @@ std::string TempPathFor(const std::string& path) {
   static std::atomic<uint64_t> counter{0};
   const uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
 #if defined(_WIN32)
-  const unsigned long pid = 0;
+  const unsigned long pid =
+      static_cast<unsigned long>(::GetCurrentProcessId());
 #else
   const unsigned long pid = static_cast<unsigned long>(::getpid());
 #endif
@@ -124,10 +126,16 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents,
     std::remove(tmp.c_str());
     return s;
   }
-  std::remove(path.c_str());
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  // MoveFileEx replaces the target in one step; a remove-then-rename pair
+  // would leave a window where `path` holds neither the old bytes nor the
+  // new ones, breaking the old-or-new contract above.
+  if (::MoveFileExA(tmp.c_str(), path.c_str(),
+                    MOVEFILE_REPLACE_EXISTING | MOVEFILE_WRITE_THROUGH) ==
+      0) {
     std::remove(tmp.c_str());
-    return ErrnoStatus("rename", path);
+    return Status::Internal(
+        StrFormat("MoveFileEx failed for '%s' (error %lu)", path.c_str(),
+                  static_cast<unsigned long>(::GetLastError())));
   }
   return Status::Ok();
 #else
@@ -188,6 +196,33 @@ Status AppendDurable(const std::string& path, std::string_view record,
   if (s.ok() && options.sync) {
     s = HitFaultPoint("durable.sync");
     if (s.ok() && ::fsync(fd) != 0) s = ErrnoStatus("fsync", path);
+  }
+  ::close(fd);
+  return s;
+#endif
+}
+
+Status TruncateFile(const std::string& path, uint64_t size,
+                    DurableWriteOptions options) {
+  XCLEAN_FAULT_STATUS("durable.truncate");
+#if defined(_WIN32)
+  std::error_code ec;
+  std::filesystem::resize_file(path, size, ec);
+  if (ec) {
+    return Status::Internal(
+        StrFormat("resize_file failed for '%s': %s", path.c_str(),
+                  ec.message().c_str()));
+  }
+  (void)options;
+  return Status::Ok();
+#else
+  int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open", path);
+  Status s = Status::Ok();
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    s = ErrnoStatus("ftruncate", path);
+  } else if (options.sync && ::fsync(fd) != 0) {
+    s = ErrnoStatus("fsync", path);
   }
   ::close(fd);
   return s;

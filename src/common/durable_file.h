@@ -31,6 +31,7 @@ namespace xclean {
 ///   durable.rename     before renaming the temp file into place
 ///   durable.sync_dir   before fsync of the parent directory
 ///   durable.append     before an AppendDurable write
+///   durable.truncate   before a TruncateFile shrink
 /// A test that arms a crash callback (e.g. _exit) on one of these gets a
 /// process death at a named stage of a publish — the crash harness's
 /// kill schedules.
@@ -58,6 +59,14 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents,
 /// final record.
 Status AppendDurable(const std::string& path, std::string_view record,
                      DurableWriteOptions options = DurableWriteOptions());
+
+/// Truncates `path` to `size` bytes, then fsyncs when `options.sync`.
+/// Journal owners use this to cut a torn tail back to the last valid
+/// record before appending again — AppendDurable's O_APPEND would
+/// otherwise concatenate every new record onto bytes no reader can get
+/// past.
+Status TruncateFile(const std::string& path, uint64_t size,
+                    DurableWriteOptions options = DurableWriteOptions());
 
 /// Reads the whole file.
 Result<std::string> ReadFileToString(const std::string& path);

@@ -146,6 +146,7 @@ Result<ManifestState> ReplayManifest(const std::string& dir) {
     const size_t nl = data.find('\n', pos);
     if (nl == std::string::npos) {
       // No terminating newline: a torn final append. Discard the tail.
+      state.valid_bytes = pos;
       state.torn_bytes = data.size() - pos;
       return state;
     }
@@ -154,6 +155,7 @@ Result<ManifestState> ReplayManifest(const std::string& dir) {
       // A record that fails its checksum poisons everything after it:
       // the journal is append-only, so later records were written after
       // the corruption and cannot be ordered against it safely.
+      state.valid_bytes = pos;
       state.torn_bytes = data.size() - pos;
       return state;
     }
@@ -162,6 +164,7 @@ Result<ManifestState> ReplayManifest(const std::string& dir) {
     ++state.records;
     pos = nl + 1;
   }
+  state.valid_bytes = pos;
   return state;
 }
 
@@ -177,9 +180,21 @@ Status SnapshotLifecycle::Open() {
   Result<ManifestState> replayed = ReplayManifest(dir_);
   if (!replayed.ok()) return replayed.status();
   state_ = std::move(replayed).value();
-  const bool fresh = state_.records == 0 && state_.torn_bytes == 0;
+  if (state_.torn_bytes > 0) {
+    // Repair the tail before accepting appends. Appends use O_APPEND, so
+    // a corrupt tail left in place would have every future record
+    // concatenated after bytes replay can never get past — publishes made
+    // after a crash would be invisible to recovery, while retirements
+    // (trusting this in-memory state) still delete the old files that
+    // recovery *can* see.
+    Status s = TruncateFile(ManifestPath(dir_), state_.valid_bytes);
+    if (!s.ok()) return s;
+    state_.torn_bytes = 0;
+  }
   open_ = true;
-  if (fresh) {
+  if (state_.records == 0) {
+    // Fresh journal — or one whose tail repair removed even the version
+    // record; either way the next record must be the version header.
     return AppendRecord(StrFormat("version %llu",
                                   static_cast<unsigned long long>(
                                       kManifestVersion)),
@@ -192,7 +207,15 @@ Status SnapshotLifecycle::AppendRecord(const std::string& body, bool sync) {
   DurableWriteOptions d;
   d.sync = sync;
   Status s = AppendDurable(ManifestPath(dir_), SealRecord(body), d);
-  if (s.ok()) ++state_.records;
+  if (s.ok()) {
+    ++state_.records;
+  } else {
+    // The append may have left partial bytes in the journal, so the file
+    // and this in-memory state can no longer be assumed to agree. Force
+    // the next operation back through Open(), which replays the journal
+    // and truncates any torn tail before appending again.
+    open_ = false;
+  }
   return s;
 }
 

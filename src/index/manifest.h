@@ -61,6 +61,10 @@ struct ManifestState {
   uint64_t next_generation = 1;
   /// Valid records replayed.
   uint64_t records = 0;
+  /// Bytes of the journal that replayed cleanly; the file is
+  /// `valid_bytes + torn_bytes` long. SnapshotLifecycle::Open truncates
+  /// the journal back to this prefix when torn_bytes > 0.
+  uint64_t valid_bytes = 0;
   /// Trailing journal bytes discarded as torn/corrupt (0 on clean replay).
   uint64_t torn_bytes = 0;
 };
@@ -105,8 +109,14 @@ class SnapshotLifecycle {
  public:
   explicit SnapshotLifecycle(std::string dir);
 
-  /// Creates the directory if needed and replays the journal. Publish and
-  /// RetireOldGenerations call it implicitly on first use.
+  /// Creates the directory if needed and replays the journal. When replay
+  /// finds a torn/corrupt tail, Open truncates the journal back to the
+  /// valid prefix (fsync'd) before accepting appends — appends go through
+  /// O_APPEND, so a tail left in place would poison every future record:
+  /// replay stops at the first bad checksum, making post-restart publishes
+  /// permanently invisible to recovery. Publish and RetireOldGenerations
+  /// call Open implicitly on first use, and re-run it after any failed
+  /// journal append (the file and in-memory state may have diverged).
   Status Open();
 
   /// Serializes `index`, atomically writes it as the next generation's

@@ -328,25 +328,34 @@ void ServingEngine::SwapIndex(std::shared_ptr<const XCleanSuggester> next) {
 
 Status ServingEngine::SwapIndexFromFile(const std::string& path,
                                         SuggesterOptions options) {
-  // Identity of the file as published right now: a whole-file content
-  // checksum. Size/mtime would miss an in-place rewrite landing within
-  // the filesystem's timestamp granularity at the same length; hashing
-  // the bytes cannot, and a swap is about to read the whole file anyway.
-  const Result<uint64_t> content_hash = HashFileContents(path);
-  const bool hash_ok = content_hash.ok();
-
-  if (hash_ok) {
+  // Quarantine identity is a whole-file content checksum: size/mtime
+  // would miss an in-place rewrite landing within the filesystem's
+  // timestamp granularity at the same length. Hashing costs a full read
+  // of the file, though, so it runs only when an entry exists for this
+  // path — the common path (no prior failure) pays nothing extra.
+  bool was_quarantined = false;
+  uint64_t quarantined_checksum = 0;
+  {
     std::lock_guard<std::mutex> lock(quarantine_mu_);
     auto it = quarantine_.find(path);
     if (it != quarantine_.end()) {
-      if (it->second.checksum == content_hash.value()) {
-        return Status::Unavailable(
-            "snapshot file quarantined after repeated load failures "
-            "(republish to clear): " +
-            path);
-      }
-      quarantine_.erase(it);
+      was_quarantined = true;
+      quarantined_checksum = it->second.checksum;
     }
+  }
+  if (was_quarantined) {
+    const Result<uint64_t> content_hash = HashFileContents(path);
+    if (content_hash.ok() &&
+        content_hash.value() == quarantined_checksum) {
+      return Status::Unavailable(
+          "snapshot file quarantined after repeated load failures "
+          "(republish to clear): " +
+          path);
+    }
+    // Different bytes (or unreadable): the entry no longer describes the
+    // file on disk, so drop it and re-examine.
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    quarantine_.erase(path);
   }
 
   const int attempts =
@@ -376,10 +385,13 @@ Status ServingEngine::SwapIndexFromFile(const std::string& path,
     if (last.code() == StatusCode::kNotFound) return last;
   }
 
-  if (hash_ok) {
-    // Keyed on the content observed at entry: if the file was republished
-    // mid-retry the stale key simply never matches again, so the next call
-    // re-reads instead of fast-failing — safe in both directions.
+  // Key the quarantine on the bytes present right after the final failed
+  // attempt — the closest observable stand-in for the content that failed
+  // to load. If the file is republished between the failure and this hash
+  // the stale key simply never matches again, so the next call re-reads
+  // instead of fast-failing — safe in both directions.
+  const Result<uint64_t> content_hash = HashFileContents(path);
+  if (content_hash.ok()) {
     std::lock_guard<std::mutex> lock(quarantine_mu_);
     quarantine_[path] = QuarantineEntry{content_hash.value()};
   }

@@ -232,7 +232,10 @@ class ServingEngine {
   /// While the file's contents still hash the same, further
   /// SwapIndexFromFile calls fail fast instead of re-parsing a known-bad
   /// file; any content change (a re-published snapshot, even one landing
-  /// within the same second at the same size) clears the quarantine.
+  /// within the same second at the same size) clears the quarantine. The
+  /// hash is computed lazily — only when an entry exists for the path, or
+  /// when inserting one after the final failed attempt — so successful
+  /// swaps never pay the extra whole-file read.
   struct QuarantineEntry {
     uint64_t checksum = 0;
   };

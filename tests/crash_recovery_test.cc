@@ -5,7 +5,10 @@
 //      section boundary (plus seeded random offsets), truncate the journal
 //      at every byte offset, and flip random bits — after each schedule,
 //      recovery must yield a checksum-valid index equal to the previous or
-//      the newest generation, never a mix, never an unloadable state.
+//      the newest generation, never a mix, never an unloadable state. A
+//      second journal sweep restarts the publisher on each torn tail,
+//      publishes and retires, and asserts the new generation recovers
+//      (Open's tail repair: post-restart records must stay replayable).
 //   2. Process-kill tests: a forked child arms a crash callback at a named
 //      durability stage (temp-file open, write, fsync, rename, directory
 //      sync, journal append) and publishes; the parent reaps it and
@@ -220,6 +223,49 @@ TEST_F(CrashRecoveryTest, TornManifestSweepKeepsEveryIntactGeneration) {
   Result<RecoveredSnapshot> r = RecoverLatestSnapshot(dir_);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().generation, 2u);
+}
+
+// The publisher restarts on a torn journal, publishes a new generation,
+// and retires the old ones — the full post-crash roll. Open() must cut
+// the corrupt tail back to the valid prefix first: appends go through
+// O_APPEND, so a tail left in place would make every post-restart record
+// invisible to replay, and the retire pass (trusting in-memory state)
+// would then delete the only generations recovery could still see,
+// leaving a perfectly valid new snapshot on disk that recovery reports
+// as NotFound.
+TEST_F(CrashRecoveryTest, RepublishAfterTornManifestTailStaysRecoverable) {
+  Result<std::string> journal = ReadFileToString(ManifestPath());
+  ASSERT_TRUE(journal.ok());
+  const std::string manifest_bytes = journal.value();
+  auto gen3_index = BuildIndex(33, 130);
+  PublishOptions options;
+  options.sync = false;
+
+  for (size_t cut = 0; cut <= manifest_bytes.size(); ++cut) {
+    const std::string schedule = "manifest cut " + std::to_string(cut);
+    // Restore the two published generations, then tear the journal at
+    // `cut` — the directory a crashed publisher leaves behind.
+    WriteBytes(gen1_.path, gen1_bytes_);
+    WriteBytes(gen2_.path, gen2_bytes_);
+    WriteBytes(ManifestPath(),
+               std::string_view(manifest_bytes).substr(0, cut));
+
+    SnapshotLifecycle lifecycle(dir_);
+    ASSERT_TRUE(lifecycle.Open().ok()) << schedule;
+    Result<PublishedSnapshot> p = lifecycle.Publish(*gen3_index, options);
+    ASSERT_TRUE(p.ok()) << schedule << ": " << p.status().ToString();
+    ASSERT_TRUE(lifecycle.RetireOldGenerations(/*keep_latest=*/1).ok())
+        << schedule;
+
+    // Only the fresh publish survives retirement, so recovery must find
+    // it — clean replay, no skipped generations, published bytes intact.
+    Result<RecoveredSnapshot> r = RecoverLatestSnapshot(dir_);
+    ASSERT_TRUE(r.ok()) << schedule << ": " << r.status().ToString();
+    EXPECT_EQ(r.value().generation, p.value().generation) << schedule;
+    EXPECT_EQ(r.value().generations_skipped, 0u) << schedule;
+    EXPECT_EQ(r.value().index->total_tokens(), gen3_index->total_tokens())
+        << schedule;
+  }
 }
 
 #if !defined(_WIN32)

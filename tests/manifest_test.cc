@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/durable_file.h"
+#include "common/fault_injection.h"
 #include "data/dblp_gen.h"
 #include "index/xml_index.h"
 
@@ -34,7 +35,10 @@ class ManifestTest : public ::testing::Test {
            ::testing::UnitTest::GetInstance()->current_test_info()->name();
     fs::remove_all(dir_);
   }
-  void TearDown() override { fs::remove_all(dir_); }
+  void TearDown() override {
+    fault::DisarmAll();
+    fs::remove_all(dir_);
+  }
 
   std::string ManifestPath() const { return dir_ + "/MANIFEST"; }
 
@@ -129,6 +133,82 @@ TEST_F(ManifestTest, TornTailIsDiscardedNotFatal) {
   ASSERT_EQ(replayed.value().live.size(), 1u);
   EXPECT_EQ(replayed.value().live[0].generation, 1u);
   EXPECT_GT(replayed.value().torn_bytes, 0u);
+  EXPECT_EQ(replayed.value().valid_bytes + replayed.value().torn_bytes,
+            cut);
+}
+
+TEST_F(ManifestTest, OpenTruncatesTornTailSoRepublishIsReplayable) {
+  SnapshotLifecycle lifecycle(dir_);
+  auto index = BuildIndex(1);
+  PublishOptions options;
+  options.sync = false;
+  ASSERT_TRUE(lifecycle.Publish(*index, options).ok());
+  ASSERT_TRUE(lifecycle.Publish(*index, options).ok());
+
+  // Tear the journal mid-final-record, as a crash mid-append would.
+  Result<std::string> journal = ReadFileToString(ManifestPath());
+  ASSERT_TRUE(journal.ok());
+  const std::string& bytes = journal.value();
+  {
+    std::ofstream out(ManifestPath(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 7));
+  }
+  Result<ManifestState> torn = ReplayManifest(dir_);
+  ASSERT_TRUE(torn.ok());
+  const uint64_t valid_prefix = torn.value().valid_bytes;
+  ASSERT_GT(torn.value().torn_bytes, 0u);
+
+  // A restarted publisher must cut the corrupt tail back to the valid
+  // prefix: with O_APPEND, records appended after it would otherwise be
+  // unreachable by replay forever.
+  SnapshotLifecycle reopened(dir_);
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(reopened.state().torn_bytes, 0u);
+  EXPECT_EQ(static_cast<uint64_t>(fs::file_size(ManifestPath())),
+            valid_prefix);
+
+  Result<PublishedSnapshot> p = reopened.Publish(*index, options);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p.value().generation, 2u);  // torn publish never committed
+
+  Result<ManifestState> replayed = ReplayManifest(dir_);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().torn_bytes, 0u);
+  ASSERT_EQ(replayed.value().live.size(), 2u);
+  EXPECT_EQ(replayed.value().live[1].generation, 2u);
+}
+
+TEST_F(ManifestTest, FailedJournalAppendForcesReopenBeforeNextPublish) {
+  if (!fault::Enabled()) {
+    GTEST_SKIP() << "built with XCLEAN_FAULT_INJECTION=OFF";
+  }
+  SnapshotLifecycle lifecycle(dir_);
+  auto index = BuildIndex(1);
+  PublishOptions options;
+  options.sync = false;
+  ASSERT_TRUE(lifecycle.Publish(*index, options).ok());
+
+  // The snapshot file lands but its journal append fails: the publish
+  // must not commit, and the handle may no longer trust its in-memory
+  // view of the journal.
+  fault::ArmStatus("durable.append", Status::Internal("injected"), 1);
+  Result<PublishedSnapshot> failed = lifecycle.Publish(*index, options);
+  ASSERT_FALSE(failed.ok());
+  fault::DisarmAll();
+
+  // The retry re-opens (replay + tail repair) and commits cleanly with
+  // the generation number the journal actually supports.
+  Result<PublishedSnapshot> retried = lifecycle.Publish(*index, options);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(retried.value().generation, 2u);
+
+  Result<ManifestState> replayed = ReplayManifest(dir_);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().torn_bytes, 0u);
+  ASSERT_EQ(replayed.value().live.size(), 2u);
+  EXPECT_EQ(replayed.value().live.back().generation, 2u);
+  EXPECT_EQ(replayed.value().next_generation,
+            lifecycle.state().next_generation);
 }
 
 TEST_F(ManifestTest, RecoverLoadsNewestGeneration) {
