@@ -17,6 +17,7 @@
 #include <string>
 
 #include "data/dblp_gen.h"
+#include "delta/live_index.h"
 #include "index/index_io.h"
 #include "index/manifest.h"
 #include "index/xml_index.h"
@@ -176,6 +177,53 @@ void BM_RecoverLatestSnapshot(benchmark::State& state) {
   std::filesystem::remove_all(dir);
 }
 BENCHMARK(BM_RecoverLatestSnapshot)->Unit(benchmark::kMillisecond);
+
+/// Incremental-indexing compaction: fold `arg` freshly added documents over
+/// the dblp base generation into a new durable generation (journal publish,
+/// no fsync — the protocol cost, comparable to BM_PublishSnapshot arg 0).
+/// The publish_ms counter splits the journal/write share out of the total
+/// merge cost, from the subsystem's own last_publish_micros counter.
+void BM_LiveCompactPublish(benchmark::State& state) {
+  static std::shared_ptr<const XmlIndex> base = BuildOnce(0);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "bench_live_compact").string();
+  std::filesystem::remove_all(dir);
+  SnapshotLifecycle lifecycle(dir);
+  const int adds = static_cast<int>(state.range(0));
+  double publish_ms = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    delta::LiveIndex live(base, delta::LiveIndexOptions());
+    for (int i = 0; i < adds; ++i) {
+      std::string doc = "<article><title>live doc " + std::to_string(i) +
+                        " incremental</title><year>2026</year></article>";
+      if (!live.Add(doc).ok()) {
+        state.SkipWithError("add failed");
+        break;
+      }
+    }
+    state.ResumeTiming();
+    Result<uint64_t> gen = live.Compact(&lifecycle, /*sync=*/false);
+    if (!gen.ok()) {
+      state.SkipWithError(gen.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(gen);
+    state.PauseTiming();
+    publish_ms =
+        static_cast<double>(live.counters().last_publish_micros) / 1e3;
+    if (!lifecycle.RetireOldGenerations(1).ok()) {
+      state.SkipWithError("retire failed");
+    }
+    state.ResumeTiming();
+  }
+  state.counters["publish_ms"] = benchmark::Counter(publish_ms);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_LiveCompactPublish)
+    ->Arg(10)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,12 @@
+#include "core/query_scratch.h"
+
+#include <atomic>
+
+namespace xclean {
+
+uint64_t QueryScratch::NextEpoch() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace xclean

@@ -15,6 +15,10 @@
 
 namespace xclean {
 
+namespace delta {
+class LayeredXClean;
+}  // namespace delta
+
 /// Reusable per-query arena for the XClean hot path: owns the merged-list
 /// heads and heap storage, the per-slot occurrence buffers, the candidate
 /// key buffer, and the AccumulatorTable backing store, plus two cross-query
@@ -55,8 +59,16 @@ class QueryScratch {
   static constexpr size_t kMaxVariantCacheEntries = 8192;
   static constexpr size_t kMaxTypeCacheEntries = 1u << 17;
 
+  /// Process-unique epoch source shared by every algorithm that binds
+  /// scratches (XClean and delta::LayeredXClean). A single counter
+  /// guarantees two algorithm instances can never collide on an epoch, so
+  /// a scratch handed from one to the other always detects the change and
+  /// drops its memo tables. 0 is reserved for "unbound".
+  static uint64_t NextEpoch();
+
  private:
   friend class XClean;
+  friend class delta::LayeredXClean;
 
   /// One occurrence of a variant inside the current subtree.
   struct OccInfo {

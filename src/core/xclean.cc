@@ -1,7 +1,6 @@
 #include "core/xclean.h"
 
 #include <algorithm>
-#include <atomic>
 
 #include "common/check.h"
 #include "common/fault_injection.h"
@@ -12,10 +11,6 @@
 namespace xclean {
 
 namespace {
-
-/// Monotonic source of per-instance epochs; 0 is reserved for "unbound"
-/// scratches.
-std::atomic<uint64_t> g_next_epoch{1};
 
 /// Sum of tf of `occ` entries whose node lies in [lo, hi]; occ is sorted by
 /// node.
@@ -39,7 +34,7 @@ XClean::XClean(const XmlIndex& index, XCleanOptions options)
       error_model_(options.beta),
       language_model_(index, options.mu),
       type_scorer_(index, options.reduction),
-      epoch_(g_next_epoch.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(QueryScratch::NextEpoch()),
       own_scratch_(std::make_unique<QueryScratch>()) {
   if (options_.lm_stats_cache) {
     lm_stats_ = std::make_unique<LmStatsCache>(index, options_.mu);

@@ -1,0 +1,80 @@
+#include "delta/delta_index.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "delta/layer.h"
+
+namespace xclean::delta {
+
+DeltaIndex::DeltaIndex(std::string root_label, IndexOptions options)
+    : root_label_(std::move(root_label)), options_(options) {}
+
+Result<size_t> DeltaIndex::Add(std::string_view document_xml) {
+  Result<XmlTree> tree = ParseXmlString(document_xml);
+  if (!tree.ok()) return tree.status();
+  const size_t ordinal = docs_.size();
+  docs_.push_back(std::make_unique<XmlTree>(std::move(tree).value()));
+  live_docs_ += 1;
+  Status s = Rebuild();
+  if (!s.ok()) {
+    docs_.back().reset();
+    live_docs_ -= 1;
+    return s;
+  }
+  return ordinal;
+}
+
+Status DeltaIndex::Remove(size_t ordinal) {
+  if (ordinal >= docs_.size()) {
+    return Status::NotFound("no such memtable ordinal");
+  }
+  if (docs_[ordinal] == nullptr) return Status::Ok();
+  docs_[ordinal].reset();
+  live_docs_ -= 1;
+  return Rebuild();
+}
+
+Status DeltaIndex::ReplayInto(XmlTreeBuilder& builder) const {
+  for (const std::unique_ptr<XmlTree>& doc : docs_) {
+    if (doc == nullptr) continue;
+    Status s = ReplaySubtree(*doc, doc->root(), builder);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status DeltaIndex::Rebuild() {
+  if (live_docs_ == 0) {
+    built_ = BuiltLayer{};
+    built_.doc_nodes.assign(docs_.size(), kInvalidNode);
+    return Status::Ok();
+  }
+  XmlTreeBuilder builder;
+  Status s = builder.BeginElement(root_label_);
+  if (!s.ok()) return s;
+  s = ReplayInto(builder);
+  if (!s.ok()) return s;
+  s = builder.EndElement();
+  if (!s.ok()) return s;
+  Result<XmlTree> tree = std::move(builder).Finish();
+  if (!tree.ok()) return tree.status();
+  BuiltLayer next;
+  next.index = XmlIndex::Build(std::move(tree).value(), options_);
+  // Documents are the root's children, in the order ReplayInto emitted the
+  // live ordinals.
+  next.doc_nodes.assign(docs_.size(), kInvalidNode);
+  const XmlTree& t = next.index->tree();
+  NodeId doc = t.FirstChild(t.root());
+  for (size_t i = 0; i < docs_.size(); ++i) {
+    if (docs_[i] == nullptr) continue;
+    XCLEAN_CHECK(doc != kInvalidNode);
+    next.doc_nodes[i] = doc;
+    doc = t.NextSibling(doc);
+  }
+  XCLEAN_CHECK(doc == kInvalidNode);
+  built_ = std::move(next);
+  return Status::Ok();
+}
+
+}  // namespace xclean::delta

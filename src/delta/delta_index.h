@@ -1,0 +1,75 @@
+#ifndef XCLEAN_DELTA_DELTA_INDEX_H_
+#define XCLEAN_DELTA_DELTA_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/xml_index.h"
+#include "xml/parser.h"
+
+namespace xclean::delta {
+
+/// A built memtable generation: the index over the memtable's live
+/// documents (null when the memtable is empty) plus, per accepted ordinal,
+/// the document's root node in that index (kInvalidNode for documents
+/// removed before the build).
+struct BuiltLayer {
+  std::shared_ptr<const XmlIndex> index;
+  std::vector<NodeId> doc_nodes;  // indexed by ordinal
+};
+
+/// The mutable write head of the LSM stack: documents parsed and staged as
+/// trees, indexed eagerly after every mutation so a just-added document is
+/// queryable the moment Add() returns. Removal before a freeze simply drops
+/// the staged tree (no tombstone — the memtable is rebuilt without it);
+/// tombstones only exist for frozen and base layers, whose indexes are
+/// immutable.
+///
+/// The eager rebuild makes Add O(memtable size). That is the memtable
+/// contract: it stays small because LiveIndex freezes and compacts it; the
+/// base generation — where almost all documents live — is never rebuilt on
+/// the write path.
+///
+/// Thread safety: none; LiveIndex serializes access under its mutex.
+class DeltaIndex {
+ public:
+  DeltaIndex(std::string root_label, IndexOptions options);
+
+  /// Parses one XML document and stages it. Returns the document's ordinal
+  /// (dense, never reused) or the parse error. The memtable index is
+  /// rebuilt before returning.
+  Result<size_t> Add(std::string_view document_xml);
+
+  /// Drops a staged document by ordinal; no-op if already removed.
+  /// Rebuilds the memtable index.
+  Status Remove(size_t ordinal);
+
+  /// Number of staged (live) documents.
+  size_t live_docs() const { return live_docs_; }
+  size_t total_ordinals() const { return docs_.size(); }
+
+  /// The current built generation; `index` is null when no live documents
+  /// are staged. The returned snapshot is immutable — a later Add/Remove
+  /// builds a new one.
+  const BuiltLayer& built() const { return built_; }
+
+  /// Replays every staged document (in ordinal order) into `builder` —
+  /// used by compaction to fold the memtable into the next base generation.
+  Status ReplayInto(XmlTreeBuilder& builder) const;
+
+ private:
+  Status Rebuild();
+
+  std::string root_label_;
+  IndexOptions options_;
+  std::vector<std::unique_ptr<XmlTree>> docs_;  // null = removed
+  size_t live_docs_ = 0;
+  BuiltLayer built_;
+};
+
+}  // namespace xclean::delta
+
+#endif  // XCLEAN_DELTA_DELTA_INDEX_H_

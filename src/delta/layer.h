@@ -1,0 +1,92 @@
+#ifndef XCLEAN_DELTA_LAYER_H_
+#define XCLEAN_DELTA_LAYER_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "index/xml_index.h"
+
+namespace xclean::delta {
+
+/// Exact collection statistics of one tombstoned document, computed at
+/// deletion time by re-walking its subtree in the host layer. Subtracting
+/// these from the layer totals reproduces, integer for integer, the counts
+/// a from-scratch rebuild over the remaining live documents would produce —
+/// the merged background model and the merged type lists stay exact rather
+/// than approximate (the layered-equals-rebuild oracle in
+/// tests/differential_test.cc depends on this).
+struct DeadDocStats {
+  /// One (token, path) containment loss: the number of nodes with label
+  /// path `path` inside the dead document whose subtree contains `token`.
+  struct TypeFreq {
+    TokenId token;
+    PathId path;
+    uint32_t freq;
+  };
+
+  /// Total token occurrences in the dead subtree.
+  uint64_t total_tokens = 0;
+  /// Collection-frequency losses, sorted by token.
+  std::vector<std::pair<TokenId, uint64_t>> cf;
+  /// Containment losses, sorted by (token, path). The host layer's *root*
+  /// path is deliberately absent: merged root-path entries are stale anyway
+  /// (each layer contributes its own root containment count) and the root's
+  /// depth 1 sits below every admissible min_depth, so FindResultType never
+  /// reads them.
+  std::vector<TypeFreq> type_freqs;
+};
+
+/// One tombstoned document: the preorder range of its subtree in the host
+/// layer, plus the statistics it removes.
+struct Tombstone {
+  NodeId begin = kInvalidNode;  // the document's root node
+  NodeId end = kInvalidNode;    // subtree_end(begin), inclusive
+  DeadDocStats stats;
+};
+
+/// One immutable index generation plus the tombstones logged against it.
+/// Documents are depth-2 subtrees (children of the layer root), so a
+/// tombstone range always covers a whole document and live nodes never have
+/// dead descendants — which is what keeps per-layer subtree token counts
+/// (the entity denominators) valid without any rewriting.
+struct Layer {
+  std::shared_ptr<const XmlIndex> index;
+  /// Sorted by begin; ranges are disjoint.
+  std::vector<Tombstone> tombstones;
+
+  /// True if node n lies inside some tombstoned document.
+  bool IsDead(NodeId n) const;
+};
+
+/// An ordered stack of layers: layer 0 is the base generation, later layers
+/// are frozen deltas, the last may be the just-built memtable. The logical
+/// collection is the concatenation, in layer order, of every live document —
+/// exactly the tree JoinLiveTree() materializes.
+struct LayerSet {
+  std::vector<Layer> layers;
+};
+
+/// Statistics removed by tombstoning `doc` (a depth-2 document root) in
+/// `index`: walks the subtree, tokenizes every text node with the index's
+/// own tokenizer and attributes containment along the ancestor chain up to
+/// and including the document root (the layer root is excluded, see
+/// DeadDocStats::type_freqs).
+DeadDocStats ComputeDeadDocStats(const XmlIndex& index, NodeId doc);
+
+/// Replays the subtree rooted at n into `builder` (labels, text,
+/// children — depth-first, preserving preorder).
+Status ReplaySubtree(const XmlTree& tree, NodeId n, XmlTreeBuilder& builder);
+
+/// Materializes the layer set's live collection as one tree: the base
+/// layer's root label (and any root text), then every live document of
+/// every layer in layer order. Compaction rebuilds the next base generation
+/// from this tree, and the differential oracle rebuilds it from scratch to
+/// prove the layered read path equivalent.
+Result<XmlTree> JoinLiveTree(const LayerSet& set);
+
+}  // namespace xclean::delta
+
+#endif  // XCLEAN_DELTA_LAYER_H_

@@ -1,0 +1,115 @@
+#ifndef XCLEAN_DELTA_LAYERED_XCLEAN_H_
+#define XCLEAN_DELTA_LAYERED_XCLEAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "core/query.h"
+#include "core/query_scratch.h"
+#include "core/variant_gen.h"
+#include "core/xclean.h"
+#include "delta/layer.h"
+#include "delta/merged_stats.h"
+#include "lm/error_model.h"
+
+namespace xclean::delta {
+
+/// Algorithm 1 over a layer stack: one sequential anchor-loop pass per
+/// layer into a single set of cross-layer accumulators, scoring exactly
+/// what XClean would score over a from-scratch rebuild of the live
+/// documents (tests/differential_test.cc, DeltaLayersEqualFullRebuild).
+///
+/// Why per-layer passes compose exactly: documents are depth-2 subtrees
+/// and min_depth >= 2, so every depth-d subtree, entity, SLCA and ELCA
+/// lies within one document — hence within one layer — and the joined
+/// rebuild processes subtrees in (layer, preorder) order, which is
+/// precisely the order the sequential passes produce. Per-candidate
+/// partial sums therefore accumulate in the same floating-point order;
+/// candidate keys are global tokens, result types come from the merged
+/// type lists (global PathIds == rebuild PathIds), and the background
+/// model is the merged live collection — so scores, tie breaks and
+/// result types all match the rebuild bit for bit.
+///
+/// Tombstones are honoured at the subtree level: a depth-d subtree inside
+/// a dead document is skipped wholesale (its occurrences never surface),
+/// which is exactly the granularity at which deletions remove content.
+///
+/// Restrictions (enforced at construction): min_depth >= 2 and no
+/// entity_prior — both are prerequisites of the layer-locality argument.
+/// Unlike XClean, the layered pass has no zero-allocation contract.
+class LayeredXClean {
+ public:
+  LayeredXClean(std::shared_ptr<const LayerSet> layers,
+                std::shared_ptr<const MergedStats> stats,
+                XCleanOptions options);
+
+  /// Mirrors XClean::SuggestWithScratch: all per-query state in `scratch`
+  /// (re-zeroed automatically if it last served another algorithm), ranked
+  /// suggestions into *out, optional cooperative cancellation and per-query
+  /// degradation caps.
+  void SuggestWithScratch(const Query& query, QueryScratch& scratch,
+                          std::vector<Suggestion>* out, XCleanRunStats* stats,
+                          CancelToken* cancel = nullptr,
+                          const QueryTuning* tuning = nullptr) const;
+
+  const XCleanOptions& options() const { return options_; }
+  const MergedStats& merged_stats() const { return *stats_; }
+  size_t layer_count() const { return layers_->layers.size(); }
+
+  /// Process-unique id (shared counter with XClean via
+  /// QueryScratch::NextEpoch), so thread-local scratches detect hand-offs
+  /// between base and layered algorithms and drop their memo tables.
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  void BindScratch(QueryScratch& scratch) const;
+
+  /// Variants of `keyword` in layer `li`'s vocabulary, memoized in the
+  /// scratch under a layer-qualified key.
+  const std::vector<Variant>& LookupVariants(QueryScratch& scratch, size_t li,
+                                             const std::string& keyword) const;
+
+  double ProbInEntity(size_t li, TokenId global_token, uint64_t count,
+                      NodeId entity) const {
+    return stats_->lm(li).ProbInEntity(global_token, count, entity);
+  }
+
+  double EditWeight(uint32_t distance) const {
+    return distance < edit_weight_.size() ? edit_weight_[distance]
+                                          : error_model_.Weight(distance);
+  }
+
+  /// One full anchor-loop pass over layer `li` (Algorithm 1 lines 4-16),
+  /// folding into the cross-layer accumulators in `scratch`.
+  void ProcessLayer(size_t li, size_t num_slots, QueryScratch& scratch,
+                    const Query& query, uint32_t eff_max_ed,
+                    XCleanRunStats& run_stats, CancelToken* cancel) const;
+
+  void ScoreNodeTypeEntities(size_t li, QueryScratch& scratch,
+                             size_t num_slots,
+                             const ResultTypeScorer::Choice& choice,
+                             double error_weight, XCleanRunStats& stats,
+                             CancelToken* cancel) const;
+
+  void ScoreLcaEntities(size_t li, QueryScratch& scratch, size_t num_slots,
+                        double error_weight, XCleanRunStats& stats,
+                        CancelToken* cancel) const;
+
+  std::shared_ptr<const LayerSet> layers_;
+  std::shared_ptr<const MergedStats> stats_;
+  XCleanOptions options_;
+  /// One generator per layer (FastSS is per-index); the union of per-layer
+  /// variant sets equals the rebuild's variant set — edit distance is a
+  /// string property, and every rebuild token lives in some layer.
+  std::vector<std::unique_ptr<VariantGenerator>> variant_gen_;
+  ErrorModel error_model_;
+  std::vector<double> edit_weight_;
+  uint64_t epoch_;
+};
+
+}  // namespace xclean::delta
+
+#endif  // XCLEAN_DELTA_LAYERED_XCLEAN_H_

@@ -17,4 +17,16 @@ LmStatsCache::LmStatsCache(const XmlIndex& index, double mu)
   }
 }
 
+LmStatsCache::LmStatsCache(const XmlIndex& index, double mu,
+                           std::vector<double> global_smoothing_mass)
+    : index_(&index), mu_(mu),
+      smoothing_mass_(std::move(global_smoothing_mass)) {
+  const NodeId nodes = index.tree().size();
+  entity_denom_.resize(nodes);
+  for (NodeId n = 0; n < nodes; ++n) {
+    entity_denom_[n] =
+        static_cast<double>(index.subtree_token_count(n)) + mu;
+  }
+}
+
 }  // namespace xclean

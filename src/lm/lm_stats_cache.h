@@ -30,6 +30,18 @@ class LmStatsCache {
  public:
   LmStatsCache(const XmlIndex& index, double mu);
 
+  /// Layered-index variant (delta/merged_stats.cc): entity denominators are
+  /// computed from `index` exactly as above, but the smoothing-mass vector
+  /// is supplied by the caller — indexed by a *global* (cross-layer) token
+  /// id and derived from the merged live collection statistics, so every
+  /// layer of an LSM stack smooths against the same background model a
+  /// full rebuild would produce. Invalidation contract: the vector describes
+  /// one immutable layer-set snapshot; any layer change (add, tombstone,
+  /// compaction) must rebuild the merged stats and with them every one of
+  /// these caches — delta::MergedStats owns that lifecycle.
+  LmStatsCache(const XmlIndex& index, double mu,
+               std::vector<double> global_smoothing_mass);
+
   double mu() const { return mu_; }
   const XmlIndex* index() const { return index_; }
 

@@ -75,15 +75,22 @@ ServingEngine::ServingEngine(std::shared_ptr<const XCleanSuggester> suggester,
   XCLEAN_CHECK(snapshot_->suggester != nullptr);
 }
 
-ServingEngine::~ServingEngine() { Shutdown(); }
+ServingEngine::~ServingEngine() {
+  // Any background compaction still references the live stack and the
+  // lifecycle; drain it before members start dying.
+  WaitForLiveCompaction();
+  Shutdown();
+}
 
 std::shared_ptr<const ServingEngine::Snapshot> ServingEngine::MakeSnapshot(
-    std::shared_ptr<const XCleanSuggester> suggester, uint64_t version) {
+    std::shared_ptr<const XCleanSuggester> suggester, uint64_t version,
+    std::shared_ptr<delta::LiveIndex> live) {
   auto snap = std::make_shared<Snapshot>();
   snap->version = version;
   snap->key_prefix = "v" + std::to_string(version) + "|" +
                      OptionsFingerprint(suggester->options()) + "|";
   snap->suggester = std::move(suggester);
+  snap->live = std::move(live);
   return snap;
 }
 
@@ -249,11 +256,23 @@ ServeResult ServingEngine::ExecuteOnSnapshot(
   }
   const Query& query = parsed.value();
 
+  // With live updates on, pin one delta read snapshot for the whole
+  // request and fold its mutation sequence into the cache key: a cached
+  // answer can then never predate a visible Add/Delete (the key simply
+  // stops matching), and the request reads one frozen layer stack even if
+  // writers install successors mid-flight.
+  std::shared_ptr<const delta::LiveSnapshot> live_snap;
+  if (snap->live != nullptr) live_snap = snap->live->snapshot();
+
   // Tier-aware cache keys: reduced-tier answers are cached under a "t1|"
   // prefix so they can never masquerade as full-quality answers once the
   // engine recovers. Degraded tiers may read full-tier entries (a better
   // answer for free), never the other way around.
-  const std::string full_key = snap->key_prefix + query.ToString();
+  std::string full_key = snap->key_prefix;
+  if (live_snap != nullptr) {
+    full_key += "q" + std::to_string(live_snap->sequence()) + "|";
+  }
+  full_key += query.ToString();
   const std::string reduced_key = "t1|" + full_key;
 
   XCLEAN_FAULT_HIT("serve.cache.lookup");
@@ -279,8 +298,12 @@ ServeResult ServingEngine::ExecuteOnSnapshot(
                                     : nullptr;
     XCleanRunStats run_stats;
     const SteadyClock::time_point compute_start = SteadyClock::now();
-    result.suggestions = snap->suggester->Suggest(query, &ThreadScratch(),
-                                                  &token, tuning, &run_stats);
+    result.suggestions =
+        live_snap != nullptr
+            ? live_snap->Suggest(query, &ThreadScratch(), &token, tuning,
+                                 &run_stats)
+            : snap->suggester->Suggest(query, &ThreadScratch(), &token,
+                                       tuning, &run_stats);
     result.compute_ms = MillisSince(compute_start);
     if (run_stats.truncated) {
       // The in-algorithm budget tripped. A partial top-k is still an
@@ -317,12 +340,22 @@ ServeResult ServingEngine::ExecuteOnSnapshot(
 void ServingEngine::SwapIndex(std::shared_ptr<const XCleanSuggester> next) {
   uint64_t version = version_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::shared_ptr<const Snapshot> snap = MakeSnapshot(std::move(next), version);
+  std::shared_ptr<delta::LiveIndex> old_live;
   {
+    // A delta stack is layered over one specific base index: swapping the
+    // base detaches it. Documents added since EnableLiveUpdates live only
+    // in the stack, so a caller who wants them must compact into a durable
+    // generation (or swap onto the compacted index) first.
+    std::lock_guard<std::mutex> live_lock(live_mu_);
+    old_live = std::move(live_);
+    lifecycle_.reset();  // in-flight compactions hold their own reference
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     snapshot_.swap(snap);
   }
   // `snap` now holds the old snapshot; if this was its last reference it
-  // is destroyed here, outside the lock, not under it.
+  // is destroyed here, outside the lock, not under it. A detached live
+  // stack stays alive while older snapshots pin it and dies inert.
+  if (old_live != nullptr) old_live->WaitForCompaction();
   metrics_.IncrSwaps();
 }
 
@@ -411,6 +444,137 @@ Result<uint64_t> ServingEngine::RecoverFrom(const std::string& dir,
   return recovered.value().generation;
 }
 
+Status ServingEngine::EnableLiveUpdates(size_t compact_after_docs,
+                                        const std::string& snapshot_dir) {
+  std::lock_guard<std::mutex> live_lock(live_mu_);
+  if (live_ != nullptr) {
+    return Status::InvalidArgument("live updates already enabled");
+  }
+  std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
+  const SuggesterOptions& so = snap->suggester->options();
+  // The layered read path is exact only under these preconditions (see
+  // delta/layered_xclean.h); refuse configurations it cannot reproduce.
+  if (so.space_tau != 0) {
+    return Status::InvalidArgument(
+        "live updates require space_tau == 0 (space-edit segmentation is "
+        "not layered)");
+  }
+  if (so.xclean.entity_prior) {
+    return Status::InvalidArgument(
+        "live updates do not support a custom entity_prior");
+  }
+  if (so.xclean.min_depth < 2) {
+    return Status::InvalidArgument("live updates require min_depth >= 2");
+  }
+  std::shared_ptr<SnapshotLifecycle> lifecycle;
+  if (!snapshot_dir.empty()) {
+    lifecycle = std::make_shared<SnapshotLifecycle>(snapshot_dir);
+    Status opened = lifecycle->Open();
+    if (!opened.ok()) return opened;
+  }
+  delta::LiveIndexOptions lopts;
+  lopts.xclean = so.xclean;
+  lopts.compact_after_docs = compact_after_docs;
+  auto live = std::make_shared<delta::LiveIndex>(
+      snap->suggester->index(), snap->suggester, std::move(lopts));
+  const uint64_t version =
+      version_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::shared_ptr<const Snapshot> next =
+      MakeSnapshot(snap->suggester, version, live);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    if (snapshot_->suggester != snap->suggester) {
+      // A concurrent SwapIndex landed between the read above and now; the
+      // stack we built belongs to a retired base.
+      return Status::Unavailable("index swapped during EnableLiveUpdates");
+    }
+    snapshot_.swap(next);
+  }
+  live_ = std::move(live);
+  lifecycle_ = std::move(lifecycle);
+  return Status::Ok();
+}
+
+Result<delta::DocId> ServingEngine::AddDocument(
+    std::string_view document_xml) {
+  std::shared_ptr<delta::LiveIndex> live;
+  std::shared_ptr<SnapshotLifecycle> lifecycle;
+  {
+    std::lock_guard<std::mutex> live_lock(live_mu_);
+    live = live_;
+    lifecycle = lifecycle_;
+  }
+  if (live == nullptr) {
+    return Status::InvalidArgument("live updates not enabled");
+  }
+  Result<delta::DocId> id = live->Add(document_xml);
+  if (!id.ok()) return id;
+  const size_t threshold = live->options().compact_after_docs;
+  if (threshold > 0 && !live->compacting() &&
+      live->counters().memtable_docs >= threshold) {
+    // Best effort: Unavailable just means a compaction is already running
+    // and will pick this document up.
+    (void)live->CompactInBackground(lifecycle.get(),
+                                    [lifecycle](Result<uint64_t>) {});
+  }
+  return id;
+}
+
+Status ServingEngine::DeleteDocument(delta::DocId id) {
+  std::shared_ptr<delta::LiveIndex> live;
+  {
+    std::lock_guard<std::mutex> live_lock(live_mu_);
+    live = live_;
+  }
+  if (live == nullptr) {
+    return Status::InvalidArgument("live updates not enabled");
+  }
+  return live->Delete(id);
+}
+
+Result<uint64_t> ServingEngine::CompactLive(bool sync) {
+  std::shared_ptr<delta::LiveIndex> live;
+  std::shared_ptr<SnapshotLifecycle> lifecycle;
+  {
+    std::lock_guard<std::mutex> live_lock(live_mu_);
+    live = live_;
+    lifecycle = lifecycle_;
+  }
+  if (live == nullptr) {
+    return Status::InvalidArgument("live updates not enabled");
+  }
+  return live->Compact(lifecycle.get(), sync);
+}
+
+Status ServingEngine::CompactLiveInBackground() {
+  std::shared_ptr<delta::LiveIndex> live;
+  std::shared_ptr<SnapshotLifecycle> lifecycle;
+  {
+    std::lock_guard<std::mutex> live_lock(live_mu_);
+    live = live_;
+    lifecycle = lifecycle_;
+  }
+  if (live == nullptr) {
+    return Status::InvalidArgument("live updates not enabled");
+  }
+  return live->CompactInBackground(lifecycle.get(),
+                                   [lifecycle](Result<uint64_t>) {});
+}
+
+void ServingEngine::WaitForLiveCompaction() {
+  std::shared_ptr<delta::LiveIndex> live;
+  {
+    std::lock_guard<std::mutex> live_lock(live_mu_);
+    live = live_;
+  }
+  if (live != nullptr) live->WaitForCompaction();
+}
+
+std::shared_ptr<delta::LiveIndex> ServingEngine::live_index() const {
+  std::lock_guard<std::mutex> live_lock(live_mu_);
+  return live_;
+}
+
 std::shared_ptr<const XCleanSuggester> ServingEngine::snapshot() const {
   return CurrentSnapshot()->suggester;
 }
@@ -421,6 +585,18 @@ MetricsSnapshot ServingEngine::Metrics() const {
   s.tier_requests = overload_.tier_requests();
   s.current_tier = static_cast<int>(overload_.current_tier());
   s.overload_p95_ms = overload_.p95_ms();
+  std::shared_ptr<delta::LiveIndex> live = live_index();
+  if (live != nullptr) {
+    const delta::LiveCounters lc = live->counters();
+    s.live_enabled = true;
+    s.live_adds = lc.adds;
+    s.live_deletes = lc.deletes;
+    s.live_compactions = lc.compactions;
+    s.live_docs = lc.live_docs;
+    s.delta_layers = lc.layer_count;
+    s.last_compact_ms = static_cast<double>(lc.last_compact_micros) / 1e3;
+    s.last_publish_ms = static_cast<double>(lc.last_publish_micros) / 1e3;
+  }
   return s;
 }
 

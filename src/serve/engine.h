@@ -8,14 +8,17 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/suggester.h"
+#include "delta/live_index.h"
+#include "index/manifest.h"
 #include "serve/metrics.h"
 #include "serve/overload.h"
 #include "serve/suggestion_cache.h"
-#include "serve/thread_pool.h"
 
 namespace xclean::serve {
 
@@ -87,7 +90,10 @@ using BatchServeCallback = std::function<void(std::vector<ServeResult>)>;
 ///   - atomically hot-swappable index snapshots: SwapIndex installs a new
 ///     suggester while in-flight requests finish on the snapshot they
 ///     started with (shared_ptr keeps it alive);
-///   - a metrics registry (counters + latency histogram with p50/p95/p99).
+///   - a metrics registry (counters + latency histogram with p50/p95/p99);
+///   - optional incremental indexing (EnableLiveUpdates): a delta stack
+///     (src/delta/) layered over the snapshot so documents can be added and
+///     deleted online, with crash-safe background compaction.
 ///
 /// Usage:
 ///   auto engine = ServingEngine(std::make_shared<const XCleanSuggester>(
@@ -168,6 +174,53 @@ class ServingEngine {
   Result<uint64_t> RecoverFrom(const std::string& dir,
                                SuggesterOptions options = SuggesterOptions());
 
+  /// Turns on incremental indexing (src/delta/): an LSM-style delta stack
+  /// is layered over the current snapshot's index, and AddDocument /
+  /// DeleteDocument / CompactLive become available. Queries are then served
+  /// through the layered read path (delta::LiveSnapshot), whose scores are
+  /// provably identical to a from-scratch rebuild over the live documents
+  /// (tests/differential_test.cc). A document is visible to every Suggest
+  /// issued after AddDocument returns; the suggestion cache keys on the
+  /// live mutation sequence, so it can never serve a pre-mutation answer.
+  ///
+  /// `compact_after_docs` > 0 arms auto-compaction: when the memtable
+  /// reaches that many documents after an Add, a background compaction
+  /// folds the stack into the next base generation. `snapshot_dir`, when
+  /// non-empty, makes every compaction durably publish the new generation
+  /// through the crash-safe MANIFEST journal (index/manifest.h).
+  ///
+  /// Preconditions (InvalidArgument otherwise): the layered read path
+  /// requires space_tau == 0, no entity_prior and min_depth >= 2.
+  /// InvalidArgument when already enabled. SwapIndex / SwapIndexFromFile
+  /// / RecoverFrom disable live updates (the delta stack belongs to the
+  /// index it was layered over).
+  Status EnableLiveUpdates(size_t compact_after_docs = 0,
+                           const std::string& snapshot_dir = "");
+
+  /// Parses and indexes one XML document into the live delta stack. On Ok
+  /// the document is served by every subsequent Suggest. InvalidArgument
+  /// unless EnableLiveUpdates was called.
+  Result<delta::DocId> AddDocument(std::string_view document_xml);
+
+  /// Deletes a live document by the id AddDocument returned (base-index
+  /// documents cannot be addressed). Idempotent.
+  Status DeleteDocument(delta::DocId id);
+
+  /// Synchronously folds the delta stack into the next base generation
+  /// (durably published when EnableLiveUpdates was given a snapshot_dir;
+  /// the returned value is then the published generation, else 0). Queries
+  /// keep serving throughout.
+  Result<uint64_t> CompactLive(bool sync = true);
+
+  /// Starts a background compaction; Unavailable if one is running.
+  Status CompactLiveInBackground();
+
+  /// Joins any in-flight background compaction.
+  void WaitForLiveCompaction();
+
+  /// The live delta stack, or null when live updates are not enabled.
+  std::shared_ptr<delta::LiveIndex> live_index() const;
+
   /// The current snapshot (never null). Callers may hold it for direct,
   /// engine-free reads; it stays valid across swaps.
   std::shared_ptr<const XCleanSuggester> snapshot() const;
@@ -194,6 +247,10 @@ class ServingEngine {
   /// from it that must stay consistent with it (version, cache-key prefix).
   struct Snapshot {
     std::shared_ptr<const XCleanSuggester> suggester;
+    /// Live delta stack layered over `suggester`'s index; null unless
+    /// EnableLiveUpdates installed one. When set, requests are served
+    /// through live->snapshot() and cache keys gain the mutation sequence.
+    std::shared_ptr<delta::LiveIndex> live;
     uint64_t version = 0;
     /// "v<version>|<options fingerprint>|" — prepended to the normalized
     /// query to form the cache key.
@@ -226,7 +283,8 @@ class ServingEngine {
       std::chrono::steady_clock::time_point deadline);
 
   static std::shared_ptr<const Snapshot> MakeSnapshot(
-      std::shared_ptr<const XCleanSuggester> suggester, uint64_t version);
+      std::shared_ptr<const XCleanSuggester> suggester, uint64_t version,
+      std::shared_ptr<delta::LiveIndex> live = nullptr);
 
   /// Identity of a snapshot file that failed to load after every retry.
   /// While the file's contents still hash the same, further
@@ -249,6 +307,19 @@ class ServingEngine {
   OverloadController overload_;
   mutable std::mutex quarantine_mu_;
   std::map<std::string, QuarantineEntry> quarantine_;  ///< by path
+
+  /// Live-update state. `live_mu_` guards the two pointers below and is
+  /// acquired before snapshot_mu_ when both are needed. Operations copy the
+  /// shared_ptrs out and release the lock before touching the LiveIndex
+  /// (which serializes internally), so mutations never block readers here.
+  /// Background compactions capture the lifecycle shared_ptr in their done
+  /// callback, keeping the journal handle alive for as long as the
+  /// compactor thread may use it — even across a SwapIndex that detaches
+  /// the live stack mid-flight.
+  mutable std::mutex live_mu_;
+  std::shared_ptr<delta::LiveIndex> live_;        ///< guarded by live_mu_
+  std::shared_ptr<SnapshotLifecycle> lifecycle_;  ///< guarded by live_mu_
+
   ThreadPool pool_;  ///< last member: workers die before the rest
 };
 

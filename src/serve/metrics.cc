@@ -69,7 +69,20 @@ std::string MetricsSnapshot::ToString() const {
       static_cast<unsigned long long>(tier_requests[1]),
       static_cast<unsigned long long>(tier_requests[2]),
       static_cast<unsigned long long>(tier_requests[3]));
-  return buf;
+  std::string out = buf;
+  if (live_enabled) {
+    std::snprintf(buf, sizeof(buf),
+                  " live=%llu/%llu/%llu live_docs=%llu layers=%llu "
+                  "compact=%.2fms publish=%.2fms",
+                  static_cast<unsigned long long>(live_adds),
+                  static_cast<unsigned long long>(live_deletes),
+                  static_cast<unsigned long long>(live_compactions),
+                  static_cast<unsigned long long>(live_docs),
+                  static_cast<unsigned long long>(delta_layers),
+                  last_compact_ms, last_publish_ms);
+    out += buf;
+  }
+  return out;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot(uint64_t cache_hits,

@@ -79,10 +79,25 @@ struct MetricsSnapshot {
   int current_tier = 0;
   double overload_p95_ms = 0.0;
 
+  /// Incremental-indexing state, folded in by the engine at snapshot time
+  /// from the live delta stack's own counters (delta/live_index.h); all
+  /// zero unless EnableLiveUpdates is on.
+  bool live_enabled = false;
+  uint64_t live_adds = 0;
+  uint64_t live_deletes = 0;
+  uint64_t live_compactions = 0;
+  uint64_t live_docs = 0;     ///< documents served (base + deltas - dead)
+  uint64_t delta_layers = 0;  ///< base + frozen deltas + built memtable
+  double last_compact_ms = 0.0;  ///< wall time of the last compaction
+  double last_publish_ms = 0.0;  ///< durable-publish share of the above
+
   /// One-line text dump, e.g. for periodic logging:
   ///   req=1000 done=990 rej=10 dead=0 shed=0 trunc=0 inval=0 hit=700
   ///   miss=290 evict=12 swap=1 p50=0.8ms p95=2.1ms p99=4.5ms mean=1.0ms
   ///   tier=full tiers=990/0/0/0
+  /// With live updates enabled, a live section is appended:
+  ///   ... live=52/3/2 live_docs=250 layers=1 compact=18.40ms
+  ///   publish=6.10ms  (adds/deletes/compactions)
   std::string ToString() const;
 };
 

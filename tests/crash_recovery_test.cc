@@ -35,6 +35,7 @@
 #include "common/random.h"
 #include "core/suggester.h"
 #include "data/dblp_gen.h"
+#include "delta/live_index.h"
 #include "index/index_io.h"
 #include "index/manifest.h"
 #include "serve/engine.h"
@@ -362,6 +363,84 @@ TEST_F(KillTest, KilledAtSyncStagesRecoversPreviousGeneration) {
     ASSERT_TRUE(WIFEXITED(wait_status)) << point;
     ASSERT_EQ(WEXITSTATUS(wait_status), kCrashExit) << point;
     CheckPostCrash(point, /*expect_gen3=*/false);
+  }
+}
+
+/// The incremental-indexing compactor (delta/live_index.h) publishes its
+/// merged generation through the same journal, so a compactor killed at
+/// any durability stage must leave the directory recoverable to the
+/// previous generation or the freshly compacted one — never a mix. The
+/// compacted generation is recognizable by a marker token that exists only
+/// in the document added live before the compaction.
+TEST_F(KillTest, CompactorKilledMidPublishLeavesOldOrNewGeneration) {
+  if (!fault::Enabled()) {
+    GTEST_SKIP() << "built with XCLEAN_FAULT_INJECTION=OFF";
+  }
+  constexpr const char* kMarker = "zyzzyva";
+  ASSERT_FALSE(gen2_index_->vocabulary().Contains(kMarker));
+  Result<std::string> manifest = ReadFileToString(ManifestPath());
+  ASSERT_TRUE(manifest.ok());
+  const std::string manifest_bytes = manifest.value();
+
+  // nullptr = no fault: the child completes the compaction (including the
+  // journal commit), then dies — generation 3 must recover.
+  for (const char* point : {"durable.open_tmp", "durable.write",
+                            "durable.rename", "durable.append",
+                            static_cast<const char*>(nullptr)}) {
+    const std::string schedule =
+        std::string("compactor killed at ") + (point ? point : "(none)");
+    // Restore the directory to its two-generation state: both snapshot
+    // files and the journal, which the previous iteration's child may
+    // have extended.
+    WriteBytes(gen1_.path, gen1_bytes_);
+    WriteBytes(gen2_.path, gen2_bytes_);
+    WriteBytes(ManifestPath(), manifest_bytes);
+
+    const pid_t pid = fork();
+    if (pid == 0) {
+      if (point != nullptr) {
+        fault::ArmCallback(point, [] { _exit(kCrashExit); }, 1);
+      }
+      // Child: layer a live stack over generation 2, add one marker
+      // document, compact straight through the journal, then die.
+      delta::LiveIndexOptions lopts;
+      delta::LiveIndex live(
+          std::shared_ptr<const XmlIndex>(std::move(gen2_index_)), lopts);
+      Result<delta::DocId> id = live.Add(
+          "<article><title>zyzzyva paper</title></article>");
+      if (!id.ok()) _exit(1);
+      SnapshotLifecycle lifecycle(dir_);
+      Result<uint64_t> gen = live.Compact(&lifecycle, /*sync=*/false);
+      if (!gen.ok()) _exit(1);
+      _exit(point == nullptr ? kCrashExit : 0);
+    }
+    int wait_status = 0;
+    ASSERT_EQ(::waitpid(pid, &wait_status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(wait_status)) << schedule;
+    ASSERT_EQ(WEXITSTATUS(wait_status), kCrashExit)
+        << schedule << ": crash point never fired in the child";
+
+    Result<RecoveredSnapshot> r = RecoverLatestSnapshot(dir_);
+    ASSERT_TRUE(r.ok()) << schedule << ": " << r.status().ToString();
+    ASSERT_TRUE(r.value().generation == 2 || r.value().generation == 3)
+        << schedule;
+    if (r.value().generation == 3) {
+      // The committed compaction: the merged index carries the live
+      // document, whole.
+      EXPECT_TRUE(r.value().index->vocabulary().Contains(kMarker))
+          << schedule;
+    } else {
+      // The previous generation, byte-identical — no partial merge ever
+      // becomes visible.
+      Result<std::string> on_disk = ReadFileToString(r.value().path);
+      ASSERT_TRUE(on_disk.ok()) << schedule;
+      EXPECT_EQ(on_disk.value(), gen2_bytes_) << schedule;
+      EXPECT_FALSE(r.value().index->vocabulary().Contains(kMarker))
+          << schedule;
+    }
+    if (point == nullptr) {
+      EXPECT_EQ(r.value().generation, 3u) << schedule;
+    }
   }
 }
 

@@ -10,6 +10,9 @@
 #include "core/query_scratch.h"
 #include "core/xclean.h"
 #include "data/workload.h"
+#include "delta/layer.h"
+#include "delta/live_index.h"
+#include "xml/parser.h"
 #include "xml/tree.h"
 
 namespace xclean {
@@ -257,6 +260,121 @@ TEST_P(DifferentialTest, LargeGammaEqualsUnbounded) {
     ExpectSameSuggestions(bounded.SuggestWithStats(query, nullptr),
                           exact.SuggestWithStats(query, nullptr), 1e-12,
                           query.ToString());
+  }
+}
+
+/// One random document for the incremental-indexing oracle: documents are
+/// depth-2 children of the live root, with the same confusable vocabulary
+/// RandomCorpus uses so dirty queries hit overlapping variant sets across
+/// layers.
+std::string RandomDocumentXml(Rng& rng) {
+  static const char* kWords[] = {
+      "tree",  "trees", "trie",   "tried", "three", "icde",  "icdt",
+      "index", "night", "light",  "sight", "graph", "grape", "query",
+      "quern", "table", "cable",  "fable", "joins", "coins", "merge",
+      "serge", "parse", "sparse", "terse"};
+  const char* doc_tag = rng.Bernoulli(0.7) ? "paper" : "book";
+  std::string xml = std::string("<") + doc_tag + ">";
+  uint64_t fields = 1 + rng.Uniform(3);
+  for (uint64_t f = 0; f < fields; ++f) {
+    const char* tag = rng.Bernoulli(0.5) ? "title" : "abstract";
+    xml += "<";
+    xml += tag;
+    xml += ">";
+    uint64_t words = 1 + rng.Uniform(7);
+    for (uint64_t w = 0; w < words; ++w) {
+      if (w > 0) xml += " ";
+      const char* word = kWords[rng.Uniform(std::size(kWords))];
+      xml += word;
+      if (rng.Bernoulli(0.15)) {
+        xml += " ";
+        xml += word;  // repeats drive tf > 1
+      }
+    }
+    xml += "</";
+    xml += tag;
+    xml += ">";
+  }
+  xml += std::string("</") + doc_tag + ">";
+  return xml;
+}
+
+/// Incremental-indexing oracle (delta/layered_xclean.h's exactness claim,
+/// checked end to end): under a random schedule of adds, tombstone deletes
+/// and compactions, the layered read path must score every query
+/// identically to an index rebuilt from scratch over exactly the live
+/// documents. Both the single-generation fast path and the layered path
+/// must come under test.
+TEST(DeltaDifferentialTest, DeltaLayersEqualFullRebuild) {
+  const uint64_t base_seed = BaseSeed();
+  const Semantics all[] = {Semantics::kNodeType, Semantics::kSlca,
+                           Semantics::kElca};
+  for (const Semantics semantics : all) {
+    const uint64_t seed =
+        base_seed + 400 + static_cast<uint64_t>(semantics) * 17;
+    Rng rng(seed);
+
+    std::vector<std::string> base_docs;
+    for (int i = 0; i < 6; ++i) base_docs.push_back(RandomDocumentXml(rng));
+    Result<XmlTree> base_tree = ParseXmlCollection(base_docs, "corpus");
+    ASSERT_TRUE(base_tree.ok()) << base_tree.status().ToString();
+    std::shared_ptr<const XmlIndex> base =
+        XmlIndex::Build(std::move(base_tree).value());
+
+    delta::LiveIndexOptions lopts;
+    lopts.xclean.gamma = 0;  // the oracle contract requires exact scoring
+    lopts.xclean.semantics = semantics;
+    lopts.xclean.top_k = 50;
+    delta::LiveIndex live(base, lopts);
+
+    std::vector<delta::DocId> known;
+    for (delta::DocId d = 0; d < live.base_doc_count(); ++d) {
+      known.push_back(d);
+    }
+
+    size_t fast_checks = 0;
+    size_t layered_checks = 0;
+    auto check = [&](uint64_t tag) {
+      std::shared_ptr<const delta::LiveSnapshot> snap = live.snapshot();
+      Result<XmlTree> joined = delta::JoinLiveTree(snap->layers());
+      ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+      std::unique_ptr<XmlIndex> rebuilt =
+          XmlIndex::Build(std::move(joined).value(), base->options());
+      XClean oracle(*rebuilt, lopts.xclean);
+      if (snap->fast_path()) {
+        ++fast_checks;
+      } else {
+        ++layered_checks;
+      }
+      QueryScratch scratch;
+      for (const Query& query : DirtyQueries(*rebuilt, seed + tag)) {
+        ExpectSameSuggestions(snap->Suggest(query, &scratch),
+                              oracle.SuggestWithStats(query, nullptr), 1e-9,
+                              query.ToString() + " seed " +
+                                  std::to_string(seed) + " op " +
+                                  std::to_string(tag));
+      }
+    };
+
+    check(0);  // pristine stack: the single-generation fast path
+    const int kOps = 40;
+    for (int op = 1; op <= kOps; ++op) {
+      const uint64_t dice = rng.Uniform(100);
+      if (dice < 55) {
+        Result<delta::DocId> id = live.Add(RandomDocumentXml(rng));
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        known.push_back(id.value());
+      } else if (dice < 85) {
+        // May hit an already-deleted id: Delete is idempotent.
+        ASSERT_TRUE(live.Delete(known[rng.Uniform(known.size())]).ok());
+      } else {
+        Result<uint64_t> gen = live.Compact();
+        ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+      }
+      if (op % 5 == 0 || op == kOps) check(static_cast<uint64_t>(op));
+    }
+    EXPECT_GT(fast_checks, 0u);
+    EXPECT_GT(layered_checks, 0u);
   }
 }
 

@@ -9,9 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "serve/metrics.h"
 #include "serve/suggestion_cache.h"
-#include "serve/thread_pool.h"
 
 namespace xclean::serve {
 namespace {
