@@ -3,9 +3,12 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <string>
+
 #include "common/timer.h"
 #include "data/dblp_gen.h"
 #include "data/inex_gen.h"
+#include "index/index_io.h"
 
 namespace xclean::bench {
 
@@ -41,6 +44,48 @@ Corpus FinishCorpus(std::string name, std::unique_ptr<XmlIndex> index,
   return corpus;
 }
 
+/// Generated corpora are deterministic functions of their scale knobs, so
+/// the built index can be cached on disk as an index_io snapshot: when
+/// XCLEAN_BENCH_CORPUS_DIR is set, BuildCorpusIndex loads the snapshot if
+/// present and saves it after the first build. CI wires the directory to
+/// actions/cache so the perf-trajectory and bench-smoke jobs skip the
+/// multi-minute index construction on warm runs. The cache key encodes
+/// every knob that shapes the index; changing scales or the snapshot
+/// format version simply misses and rebuilds.
+std::string CorpusCachePath(const std::string& name, uint32_t scale,
+                            double typo_rate, const BenchConfig& config) {
+  const char* dir = std::getenv("XCLEAN_BENCH_CORPUS_DIR");
+  if (dir == nullptr || dir[0] == '\0') return {};
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s/%s-%u-%.4f-%u-%llu.xci", dir,
+                name.c_str(), scale, typo_rate, config.fastss_max_ed,
+                static_cast<unsigned long long>(config.seed));
+  return buf;
+}
+
+template <typename TreeFn>
+std::unique_ptr<XmlIndex> BuildCorpusIndex(const std::string& cache_path,
+                                           TreeFn make_tree,
+                                           const BenchConfig& config) {
+  if (!cache_path.empty()) {
+    Result<std::unique_ptr<XmlIndex>> cached = LoadIndex(cache_path);
+    if (cached.ok()) {
+      std::fprintf(stderr, "[bench] corpus cache hit: %s\n",
+                   cache_path.c_str());
+      return std::move(cached).value();
+    }
+  }
+  IndexOptions index_options;
+  index_options.fastss_max_ed = config.fastss_max_ed;
+  auto index = XmlIndex::Build(make_tree(), index_options);
+  if (!cache_path.empty()) {
+    Status saved = SaveIndex(*index, cache_path);
+    std::fprintf(stderr, "[bench] corpus cache %s: %s\n",
+                 saved.ok() ? "saved" : "save failed", cache_path.c_str());
+  }
+  return index;
+}
+
 }  // namespace
 
 Corpus BuildDblpCorpus(const BenchConfig& config) {
@@ -49,9 +94,10 @@ Corpus BuildDblpCorpus(const BenchConfig& config) {
   gen.num_publications = config.dblp_publications;
   gen.content_typo_rate = config.dblp_typo_rate;
   gen.seed = config.seed;
-  IndexOptions index_options;
-  index_options.fastss_max_ed = config.fastss_max_ed;
-  auto index = XmlIndex::Build(GenerateDblp(gen), index_options);
+  auto index = BuildCorpusIndex(
+      CorpusCachePath("DBLP", gen.num_publications, gen.content_typo_rate,
+                      config),
+      [&] { return GenerateDblp(gen); }, config);
   std::fprintf(stderr, "[bench] DBLP corpus: %u pubs, %u nodes, %zu vocab "
                "(%.1fs)\n",
                gen.num_publications, index->tree().size(),
@@ -65,9 +111,10 @@ Corpus BuildInexCorpus(const BenchConfig& config) {
   gen.num_articles = config.inex_articles;
   gen.content_typo_rate = config.inex_typo_rate;
   gen.seed = config.seed + 1;
-  IndexOptions index_options;
-  index_options.fastss_max_ed = config.fastss_max_ed;
-  auto index = XmlIndex::Build(GenerateInex(gen), index_options);
+  auto index = BuildCorpusIndex(
+      CorpusCachePath("INEX", gen.num_articles, gen.content_typo_rate,
+                      config),
+      [&] { return GenerateInex(gen); }, config);
   std::fprintf(stderr, "[bench] INEX corpus: %u articles, %u nodes, %zu "
                "vocab (%.1fs)\n",
                gen.num_articles, index->tree().size(),

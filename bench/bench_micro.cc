@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/simd.h"
+#include "common/varint.h"
 #include "core/slca.h"
 #include "core/xclean.h"
 #include "data/dblp_gen.h"
@@ -23,6 +25,14 @@
 namespace {
 
 using namespace xclean;
+
+/// Kernel benches take a trailing "simd" argument: 0 pins the scalar tier,
+/// 1 runs the best tier the CPU supports. The pair makes the scalar-vs-
+/// vector ratio a first-class number in BENCH_micro.json instead of
+/// something to eyeball across machines.
+simd::Level LevelForArg(int64_t arg) {
+  return arg == 0 ? simd::Level::kScalar : simd::DetectedLevel();
+}
 
 std::vector<std::string> RandomWords(size_t count, uint64_t seed) {
   Rng rng(seed);
@@ -49,31 +59,86 @@ const XmlIndex& SharedDblpIndex() {
 }
 
 void BM_EditDistanceFull(benchmark::State& state) {
+  simd::ScopedLevel scoped(LevelForArg(state.range(0)));
   std::vector<std::string> words = RandomWords(256, 1);
   size_t i = 0;
+  int64_t bytes = 0;
+  int64_t cells = 0;
   for (auto _ : state) {
     const std::string& a = words[i % words.size()];
     const std::string& b = words[(i + 7) % words.size()];
     benchmark::DoNotOptimize(EditDistance(a, b));
+    bytes += static_cast<int64_t>(a.size() + b.size());
+    cells += static_cast<int64_t>(a.size() * b.size());
     ++i;
   }
+  // bytes/s: input characters consumed; comparisons/s: DP cells the scalar
+  // algorithm would evaluate — the bit-parallel tier's advantage shows up
+  // as a higher cell rate at identical outputs.
+  state.SetBytesProcessed(bytes);
+  state.counters["comparisons"] =
+      benchmark::Counter(static_cast<double>(cells),
+                         benchmark::Counter::kIsRate);
+  state.SetLabel(simd::LevelName(simd::ActiveLevel()));
 }
-BENCHMARK(BM_EditDistanceFull);
+BENCHMARK(BM_EditDistanceFull)->ArgName("simd")->Arg(0)->Arg(1);
 
 void BM_EditDistanceBounded(benchmark::State& state) {
   const uint32_t k = static_cast<uint32_t>(state.range(0));
+  simd::ScopedLevel scoped(LevelForArg(state.range(1)));
   std::vector<std::string> words = RandomWords(256, 2);
   size_t i = 0;
+  int64_t bytes = 0;
+  int64_t cells = 0;
   for (auto _ : state) {
     const std::string& a = words[i % words.size()];
     const std::string& b = words[(i + 7) % words.size()];
     benchmark::DoNotOptimize(EditDistanceBounded(a, b, k));
+    bytes += static_cast<int64_t>(a.size() + b.size());
+    cells += static_cast<int64_t>(a.size() * b.size());
     ++i;
   }
+  state.SetBytesProcessed(bytes);
+  state.counters["comparisons"] =
+      benchmark::Counter(static_cast<double>(cells),
+                         benchmark::Counter::kIsRate);
+  state.SetLabel(simd::LevelName(simd::ActiveLevel()));
 }
-BENCHMARK(BM_EditDistanceBounded)->Arg(1)->Arg(2)->Arg(3);
+BENCHMARK(BM_EditDistanceBounded)
+    ->ArgNames({"k", "simd"})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({3, 0})
+    ->Args({3, 1});
+
+void BM_VarintGroupDecode(benchmark::State& state) {
+  simd::ScopedLevel scoped(LevelForArg(state.range(0)));
+  // Posting-delta-like stream: overwhelmingly one-byte varints with the
+  // occasional wide value, the regime the vector group decoder targets.
+  Rng rng(12);
+  constexpr size_t kCount = 65536;
+  std::string buf;
+  for (size_t i = 0; i < kCount; ++i) {
+    PutVarint32(buf, static_cast<uint32_t>(rng.Bernoulli(0.05)
+                                               ? rng.Uniform(1u << 20)
+                                               : rng.Uniform(120)));
+  }
+  std::vector<uint32_t> out(kCount);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GetVarint32Group(
+        buf.data(), buf.data() + buf.size(), out.data(), kCount));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() *
+                                               buf.size()));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kCount));
+  state.SetLabel(simd::LevelName(simd::ActiveLevel()));
+}
+BENCHMARK(BM_VarintGroupDecode)->ArgName("simd")->Arg(0)->Arg(1);
 
 void BM_FastSsBuild(benchmark::State& state) {
+  simd::ScopedLevel scoped(LevelForArg(state.range(1)));
   std::vector<std::string> words =
       RandomWords(static_cast<size_t>(state.range(0)), 3);
   for (auto _ : state) {
@@ -82,11 +147,18 @@ void BM_FastSsBuild(benchmark::State& state) {
     benchmark::DoNotOptimize(index.posting_count());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(simd::LevelName(simd::ActiveLevel()));
 }
-BENCHMARK(BM_FastSsBuild)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_FastSsBuild)
+    ->ArgNames({"words", "simd"})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1});
 
 void BM_FastSsFind(benchmark::State& state) {
   const uint32_t ed = static_cast<uint32_t>(state.range(0));
+  simd::ScopedLevel scoped(LevelForArg(state.range(1)));
   static FastSsIndex* index = [] {
     auto* idx = new FastSsIndex(FastSsIndex::Options{3, 13});
     idx->Build(RandomWords(20000, 4));
@@ -98,10 +170,19 @@ void BM_FastSsFind(benchmark::State& state) {
     benchmark::DoNotOptimize(index->Find(queries[i % queries.size()], ed));
     ++i;
   }
+  state.SetLabel(simd::LevelName(simd::ActiveLevel()));
 }
-BENCHMARK(BM_FastSsFind)->Arg(1)->Arg(2)->Arg(3);
+BENCHMARK(BM_FastSsFind)
+    ->ArgNames({"ed", "simd"})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({3, 0})
+    ->Args({3, 1});
 
 void BM_PostingSkipTo(benchmark::State& state) {
+  simd::ScopedLevel scoped(LevelForArg(state.range(0)));
   std::vector<Posting> postings;
   Rng rng(6);
   NodeId node = 0;
@@ -122,8 +203,9 @@ void BM_PostingSkipTo(benchmark::State& state) {
       benchmark::DoNotOptimize(cursor.Get().node);
     }
   }
+  state.SetLabel(simd::LevelName(simd::ActiveLevel()));
 }
-BENCHMARK(BM_PostingSkipTo);
+BENCHMARK(BM_PostingSkipTo)->ArgName("simd")->Arg(0)->Arg(1);
 
 void BM_MergedListDrainVsSkip(benchmark::State& state) {
   const bool use_skip = state.range(0) != 0;
@@ -278,6 +360,7 @@ void BM_IndexBuild(benchmark::State& state) {
 BENCHMARK(BM_IndexBuild)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
 
 void BM_XCleanSuggest(benchmark::State& state) {
+  simd::ScopedLevel scoped(LevelForArg(state.range(0)));
   const XmlIndex& index = SharedDblpIndex();
   XCleanOptions options;
   options.gamma = 1000;
@@ -287,8 +370,9 @@ void BM_XCleanSuggest(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(cleaner.Suggest(query));
   }
+  state.SetLabel(simd::LevelName(simd::ActiveLevel()));
 }
-BENCHMARK(BM_XCleanSuggest);
+BENCHMARK(BM_XCleanSuggest)->ArgName("simd")->Arg(0)->Arg(1);
 
 }  // namespace
 

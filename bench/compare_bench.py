@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Compare two benchmark JSON files and flag perf regressions.
+
+Understands both result formats this repo produces:
+  * google-benchmark JSON (an object with a "benchmarks" list), as written
+    by bench_micro/bench_build with --benchmark_out=..., and
+  * the Table VI runtime dump (a list of {"set", "xclean_ms", "py08_ms",
+    "naive_ms"} rows) written via the XCLEAN_BENCH_JSON env var.
+
+Every metric is normalised to nanoseconds (lower is better). A metric
+regresses when BOTH hold:
+  current > baseline * (1 + --rel-tolerance)     # relative, noise-aware
+  current - baseline > --abs-floor-ns            # absolute floor
+
+The dual threshold keeps sub-microsecond kernels from tripping on
+scheduler jitter while still catching a 2x regression on a 10 us bench.
+Added or removed benchmarks are reported but never fail the run (they are
+expected whenever a PR adds or retires a bench); use --enforce to turn
+regressions into a non-zero exit for CI gating.
+
+Usage:
+  compare_bench.py --baseline BENCH_micro.json --current out.json \
+      [--rel-tolerance 0.35] [--abs-floor-ns 100000] [--enforce] \
+      [--report report.md]
+"""
+
+import argparse
+import json
+import sys
+
+_UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_metrics(path):
+    """Returns {metric_name: value_ns} for either supported format."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read benchmark JSON {path}: {e}")
+    metrics = {}
+    if isinstance(data, dict) and "benchmarks" in data:
+        for bench in data["benchmarks"]:
+            # Skip aggregate rows (mean/median/stddev of repetitions): the
+            # iteration rows are what single-repetition CI runs produce.
+            if bench.get("run_type", "iteration") != "iteration":
+                continue
+            scale = _UNIT_TO_NS.get(bench.get("time_unit", "ns"), 1.0)
+            metrics[bench["name"]] = bench["real_time"] * scale
+    elif isinstance(data, list):
+        for row in data:
+            name = row.get("set", "?")
+            for key, value in row.items():
+                if key == "set" or not isinstance(value, (int, float)):
+                    continue
+                scale = 1e6 if key.endswith("_ms") else 1.0
+                metrics["%s/%s" % (name, key)] = value * scale
+    else:
+        raise ValueError("%s: unrecognised benchmark JSON shape" % path)
+    return metrics
+
+
+def fmt_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return "%.3f %s" % (ns / scale, unit)
+    return "%.0f ns" % ns
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Flag perf regressions between two benchmark JSONs.")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON")
+    parser.add_argument("--current", required=True,
+                        help="freshly measured JSON")
+    parser.add_argument("--rel-tolerance", type=float, default=0.35,
+                        help="relative slowdown tolerated before flagging "
+                             "(default 0.35 = 35%%, sized for shared CI "
+                             "runners)")
+    parser.add_argument("--abs-floor-ns", type=float, default=100000,
+                        help="absolute slowdown (ns) a metric must also "
+                             "exceed (default 100000 = 0.1 ms)")
+    parser.add_argument("--enforce", action="store_true",
+                        help="exit 1 when any metric regresses")
+    parser.add_argument("--report", default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args()
+
+    baseline = load_metrics(args.baseline)
+    current = load_metrics(args.current)
+
+    regressions, improvements, stable = [], [], []
+    for name in sorted(set(baseline) & set(current)):
+        base, cur = baseline[name], current[name]
+        ratio = cur / base if base > 0 else float("inf")
+        line = "%-60s %12s -> %12s  (%+.1f%%)" % (
+            name, fmt_ns(base), fmt_ns(cur), (ratio - 1.0) * 100.0)
+        if cur > base * (1.0 + args.rel_tolerance) and \
+                cur - base > args.abs_floor_ns:
+            regressions.append(line)
+        elif cur < base * (1.0 - args.rel_tolerance) and \
+                base - cur > args.abs_floor_ns:
+            improvements.append(line)
+        else:
+            stable.append(line)
+
+    added = sorted(set(current) - set(baseline))
+    removed = sorted(set(baseline) - set(current))
+
+    out = []
+    out.append("# Benchmark comparison")
+    out.append("baseline: %s" % args.baseline)
+    out.append("current:  %s" % args.current)
+    out.append("thresholds: rel > %.0f%% AND abs > %s" %
+               (args.rel_tolerance * 100.0, fmt_ns(args.abs_floor_ns)))
+    out.append("")
+    for title, lines in (("REGRESSIONS", regressions),
+                         ("improvements", improvements),
+                         ("stable", stable)):
+        out.append("## %s (%d)" % (title, len(lines)))
+        out.extend(lines or ["(none)"])
+        out.append("")
+    if added:
+        out.append("## added (not compared): %s" % ", ".join(added))
+    if removed:
+        out.append("## removed (not compared): %s" % ", ".join(removed))
+
+    report = "\n".join(out) + "\n"
+    sys.stdout.write(report)
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write(report)
+
+    if regressions and args.enforce:
+        sys.stderr.write(
+            "FAIL: %d benchmark(s) regressed beyond the noise envelope. "
+            "If the slowdown is intentional (e.g. a correctness fix), "
+            "refresh the committed baseline in the same PR and explain "
+            "why in the PR description.\n" % len(regressions))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

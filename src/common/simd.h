@@ -1,0 +1,105 @@
+#ifndef XCLEAN_COMMON_SIMD_H_
+#define XCLEAN_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace xclean::simd {
+
+/// Instruction-set capability tiers for the hot-path kernels. Every kernel
+/// has a portable scalar implementation that is always compiled and always
+/// selectable; the vector tiers are picked at runtime from CPUID (x86-64)
+/// or unconditionally (NEON is baseline on aarch64). The dispatch contract
+/// is strict: for identical inputs, every tier produces bit-identical
+/// outputs (edit distances, decoded postings, cursor positions, hashes) —
+/// the `kernels`-labelled differential tests pin this.
+enum class Level : uint8_t {
+  kScalar = 0,
+  kSse42 = 1,  // x86-64: SSE4.2 (implies SSE4.1 widening loads)
+  kAvx2 = 2,   // x86-64: AVX2
+  kNeon = 3,   // aarch64: Advanced SIMD (baseline)
+};
+
+/// Human-readable tier name ("scalar", "sse4.2", "avx2", "neon").
+const char* LevelName(Level level);
+
+/// Best tier the running CPU supports, ignoring any override. Computed
+/// once per process.
+Level DetectedLevel();
+
+/// Tier the kernels dispatch on: DetectedLevel() unless the
+/// XCLEAN_FORCE_SCALAR environment variable is set (to anything but "0"),
+/// or a ScopedLevel override is active. One relaxed atomic load.
+Level ActiveLevel();
+
+/// True when XCLEAN_FORCE_SCALAR demotes the process to the scalar tier —
+/// the CI `kernels-scalar` leg runs the full suite this way so the
+/// fallback path cannot rot on machines without AVX2/NEON.
+bool ForceScalarFromEnv();
+
+/// RAII override of ActiveLevel() for differential tests and scalar-vs-
+/// vector benchmarks. Levels above DetectedLevel() are clamped. Not
+/// thread-safe against concurrent kernel dispatch by design: tests and
+/// benches install it before spawning work.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(Level level);
+  ~ScopedLevel();
+
+  ScopedLevel(const ScopedLevel&) = delete;
+  ScopedLevel& operator=(const ScopedLevel&) = delete;
+
+ private:
+  Level previous_;
+};
+
+// --- Kernel primitives ----------------------------------------------------
+//
+// Shared low-level routines the per-module kernels (text/edit_distance,
+// common/varint, text/fastss, index/postings) dispatch to. Each takes the
+// tier explicitly so callers resolve ActiveLevel() once per operation, and
+// each has the scalar twin inlined as its `level == kScalar` branch.
+
+/// Decodes `count` LEB128 varint32 values from [p, end) into out[0..count).
+/// Returns the position past the last varint, or nullptr on truncation /
+/// overlong encoding / 32-bit overflow — exactly the scalar codec's
+/// contract. The vector tiers accelerate runs of one-byte varints (the
+/// dominant case for posting deltas) by widening 8 or 16 bytes at a time;
+/// multi-byte varints fall through to the scalar decoder mid-stream.
+const char* DecodeVarint32Group(Level level, const char* p, const char* end,
+                                uint32_t* out, size_t count);
+
+/// Counts the leading records of a sorted 8-byte-stride array whose
+/// leading uint32 key is < target, scanning at most `size` records from
+/// `base`; layout matches index::Posting {uint32 node, uint32 tf}. A
+/// bounded-window scan for probes a branch predictor cannot learn;
+/// PostingCursor::SkipTo deliberately does NOT use it — its repeated skip
+/// sequences predict well enough that a branchy binary search measured
+/// ~3x faster than any narrow-then-window-scan finish.
+size_t CountKeysBelowStride8(Level level, const void* base, size_t size,
+                             uint32_t target);
+
+/// Lower-bound position of `needle` in a sorted 16-byte-stride array whose
+/// leading field is a uint64 key: the number of records with key < needle.
+/// Layout matches FastSsIndex::Posting {uint64 hash, uint32 word_id}. The
+/// scalar tier binary searches; the AVX2 tier binary-narrows to one window
+/// and finishes it gather-comparing 4 keys per step. Both return the same
+/// (unique) position.
+size_t LowerBoundKey64Stride16(Level level, const void* base, size_t size,
+                               uint64_t needle);
+
+/// Four independent FNV-1a chains advanced in lockstep, all starting from
+/// `seed`: out[i] is bit-identical to folding in[i]'s bytes one at a time
+/// with the scalar hash. Lanes may have different lengths. Every tier runs
+/// four interleaved scalar chains — batching is the optimization (it
+/// breaks the per-hash multiply latency chain; the superscalar core
+/// pipelines the four independent multiplies), whereas a true AVX2 lane
+/// version measured slower: no 64-bit lane multiply exists below AVX-512DQ
+/// and the 32-bit emulation triples the serial per-byte latency.
+void Fnv1aBatch4(Level level, uint64_t seed, const std::string_view in[4],
+                 uint64_t out[4]);
+
+}  // namespace xclean::simd
+
+#endif  // XCLEAN_COMMON_SIMD_H_

@@ -1,0 +1,12 @@
+#include "common/varint.h"
+
+#include "common/simd.h"
+
+namespace xclean {
+
+const char* GetVarint32Group(const char* p, const char* end, uint32_t* out,
+                             size_t count) {
+  return simd::DecodeVarint32Group(simd::ActiveLevel(), p, end, out, count);
+}
+
+}  // namespace xclean

@@ -57,6 +57,27 @@ inline const char* GetVarint32(const char* p, const char* end, uint32_t* out) {
   return p;
 }
 
+/// Scalar twin of GetVarint32Group: one GetVarint32 per element. Exported
+/// so differential tests can pin group == elementwise decoding.
+inline const char* GetVarint32GroupScalar(const char* p, const char* end,
+                                          uint32_t* out, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    p = GetVarint32(p, end, out + i);
+    if (p == nullptr) return nullptr;
+  }
+  return p;
+}
+
+/// Decodes `count` varint32 values from [p, end) into out[0..count).
+/// Returns the position past the last varint, or nullptr on truncation /
+/// overlong encoding / 32-bit overflow. Runtime-dispatched (common/simd.h)
+/// block decoder: runs of one-byte varints — the dominant case for
+/// delta-encoded posting streams — decode 8 or 16 values per vector step;
+/// multi-byte varints fall back to the scalar codec mid-stream. Output is
+/// byte-identical to GetVarint32GroupScalar for every input.
+const char* GetVarint32Group(const char* p, const char* end, uint32_t* out,
+                             size_t count);
+
 }  // namespace xclean
 
 #endif  // XCLEAN_COMMON_VARINT_H_

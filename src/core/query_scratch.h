@@ -90,6 +90,34 @@ class QueryScratch {
   /// Sentinel for Slot::agg_depth: the rank's aggregation is stale.
   static constexpr uint32_t kNoAggDepth = 0xFFFFFFFFu;
 
+  /// First index >= p with list[index].entity >= target (or list.size()).
+  /// Short linear probe for the common 0-2-entry advance, then galloping +
+  /// binary search — same result as the plain linear scan the l-way
+  /// intersection loops used to run, but logarithmic when a candidate's
+  /// lists are far apart (large subtrees, RULE variant fanouts).
+  static size_t AdvanceAgg(const std::vector<EntityAgg>& list, size_t p,
+                           NodeId target) {
+    const size_t n = list.size();
+    for (size_t probe = 0; probe < 4; ++probe, ++p) {
+      if (p >= n || list[p].entity >= target) return p;
+    }
+    size_t step = 4;
+    while (p + step < n && list[p + step].entity < target) {
+      p += step;
+      step <<= 1;
+    }
+    size_t hi = p + step < n ? p + step : n;
+    while (p < hi) {
+      const size_t mid = p + (hi - p) / 2;
+      if (list[mid].entity < target) {
+        p = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return p;
+  }
+
   /// Per-keyword-slot state: the variant list (sorted by token; index =
   /// the variant's rank and its MergedList member id), the merged list, and
   /// the current subtree's occurrences bucketed by rank. `active_ranks`

@@ -186,7 +186,7 @@ void XClean::ScoreNodeTypeEntities(QueryScratch& scratch, size_t num_slots,
       for (size_t i = 0; i < num_slots; ++i) {
         const std::vector<QueryScratch::EntityAgg>& list = *lists[i];
         size_t& p = pos[i];
-        while (p < list.size() && list[p].entity < target) ++p;
+        p = QueryScratch::AdvanceAgg(list, p, target);
         if (p == list.size()) return;
         if (list[p].entity > target) {
           target = list[p].entity;

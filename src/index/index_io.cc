@@ -166,6 +166,18 @@ class Reader {
     return s;
   }
 
+  /// Block-decodes `count` varint32 values via the SIMD-dispatched group
+  /// codec (runs of one-byte varints widen 8/16 at a time — the common
+  /// case for the delta+tf posting streams).
+  Status Var32Group(uint32_t* out, size_t count) {
+    const char* p =
+        GetVarint32Group(payload_.data() + pos_,
+                         payload_.data() + payload_.size(), out, count);
+    if (p == nullptr) return Truncated();
+    pos_ = static_cast<size_t>(p - payload_.data());
+    return Status::Ok();
+  }
+
   Status Str(std::string& s) {
     uint64_t size = 0;
     Status st = U64(size);
@@ -660,6 +672,9 @@ struct SerializationAccess {
       return Status::ParseError("index file: posting/vocabulary mismatch");
     }
     index.inverted_lists_.reserve(list_count);
+    // Interleaved (delta, tf) varint pairs block-decoded per list; the
+    // scratch buffer is reused across lists.
+    std::vector<uint32_t> decoded;
     for (uint64_t i = 0; i < list_count; ++i) {
       uint64_t size = 0;
       if (!(s = r.Var64(size)).ok()) return s;
@@ -667,13 +682,14 @@ struct SerializationAccess {
       if (size > r.remaining()) {
         return SectionError(Section::kPostings, "truncated");
       }
+      decoded.resize(size * 2);
+      if (!(s = r.Var32Group(decoded.data(), size * 2)).ok()) return s;
       std::vector<Posting> postings;
       postings.reserve(size);
       uint64_t node = 0;
       for (uint64_t j = 0; j < size; ++j) {
-        uint32_t delta = 0, tf = 0;
-        if (!(s = r.Var32(delta)).ok()) return s;
-        if (!(s = r.Var32(tf)).ok()) return s;
+        const uint32_t delta = decoded[2 * j];
+        const uint32_t tf = decoded[2 * j + 1];
         if (j > 0 && delta == 0) {
           return SectionError(Section::kPostings, "non-increasing node ids");
         }
@@ -711,6 +727,7 @@ struct SerializationAccess {
     }
     index.type_index_.lists_.resize(type_count);
     const uint64_t path_count = index.tree_.path_count();
+    std::vector<uint32_t> decoded;
     for (uint64_t i = 0; i < type_count; ++i) {
       uint64_t size = 0;
       if (!(s = r.Var64(size)).ok()) return s;
@@ -719,11 +736,12 @@ struct SerializationAccess {
       }
       std::vector<PathFreq>& list = index.type_index_.lists_[i];
       list.reserve(size);
+      decoded.resize(size * 2);
+      if (!(s = r.Var32Group(decoded.data(), size * 2)).ok()) return s;
       uint64_t path = 0;
       for (uint64_t j = 0; j < size; ++j) {
-        uint32_t delta = 0, freq = 0;
-        if (!(s = r.Var32(delta)).ok()) return s;
-        if (!(s = r.Var32(freq)).ok()) return s;
+        const uint32_t delta = decoded[2 * j];
+        const uint32_t freq = decoded[2 * j + 1];
         if (j > 0 && delta == 0) {
           return SectionError(Section::kTypeLists, "non-increasing paths");
         }

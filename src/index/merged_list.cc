@@ -87,8 +87,9 @@ const MergedList::Head* MergedList::SkipTo(NodeId target) {
   if (head_.node >= target) return &head_;
   ++skip_stats_.moving_calls;
   // Lazy path: replace only the heap entries actually behind the target —
-  // each is one galloping cursor skip plus an O(log m) heap replace. Short
-  // skips (the common case: consecutive anchors land in nearby subtrees)
+  // each is one cursor skip (galloping + binary search, see
+  // PostingCursor::SkipTo) plus an O(log m) heap replace. Short skips
+  // (the common case: consecutive anchors land in nearby subtrees)
   // move one or two members. Once more than half the members turn out to be
   // behind, fall back to a wholesale rebuild: gallop every cursor and
   // make_heap in O(m), which beats continuing with per-member sifts. The

@@ -3,9 +3,68 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/simd.h"
+
 namespace xclean {
 
-uint32_t EditDistance(std::string_view s, std::string_view t) {
+namespace {
+
+/// Myers' bit-parallel edit distance (Hyyrö's formulation): the DP column
+/// is encoded as vertical-positive/negative bit vectors, so one text
+/// character costs ~15 word operations instead of |s| cell updates.
+/// Requires 1 <= |s| <= 64 and |s| <= |t|. With `cap` != UINT32_MAX the
+/// scan exits as soon as the score cannot fall back to cap even if every
+/// remaining character decrements it (early-exit banding), returning
+/// cap + 1; otherwise the exact distance is returned (callers clamp).
+///
+/// The Peq table is thread_local and cleaned after use (only the pattern's
+/// characters were touched), keeping the hot path allocation-free without
+/// paying a 2 KiB memset per call.
+uint32_t MyersEditDistance(std::string_view s, std::string_view t,
+                           uint32_t cap) {
+  const size_t n = s.size();
+  const size_t m = t.size();
+  thread_local uint64_t peq[256];  // zero outside calls
+  for (size_t j = 0; j < n; ++j) {
+    peq[static_cast<uint8_t>(s[j])] |= uint64_t{1} << j;
+  }
+  uint64_t vp = ~uint64_t{0};
+  uint64_t vn = 0;
+  uint32_t score = static_cast<uint32_t>(n);
+  const uint64_t top = uint64_t{1} << (n - 1);
+  bool exceeded = false;
+  for (size_t i = 0; i < m; ++i) {
+    const uint64_t pm = peq[static_cast<uint8_t>(t[i])];
+    const uint64_t x = pm | vn;
+    const uint64_t d0 = ((vp + (x & vp)) ^ vp) | x;
+    const uint64_t hn = vp & d0;
+    const uint64_t hp = vn | ~(vp | d0);
+    if (hp & top) {
+      ++score;
+    } else if (hn & top) {
+      --score;
+    }
+    const uint64_t y = (hp << 1) | 1;
+    vn = y & d0;
+    vp = (hn << 1) | ~(y | d0);
+    // score == ed(s, t[0..i]); each remaining character can lower the
+    // final distance by at most 1.
+    if (cap != UINT32_MAX &&
+        score > cap + static_cast<uint32_t>(m - 1 - i)) {
+      exceeded = true;
+      break;
+    }
+  }
+  for (size_t j = 0; j < n; ++j) {
+    peq[static_cast<uint8_t>(s[j])] = 0;
+  }
+  if (exceeded) return cap + 1;
+  return score;
+}
+
+}  // namespace
+
+uint32_t EditDistanceScalar(std::string_view s, std::string_view t) {
   if (s.size() > t.size()) std::swap(s, t);  // s is the shorter string
   const size_t n = s.size();
   const size_t m = t.size();
@@ -26,8 +85,17 @@ uint32_t EditDistance(std::string_view s, std::string_view t) {
   return row[n];
 }
 
-uint32_t EditDistanceBounded(std::string_view s, std::string_view t,
-                             uint32_t max_ed) {
+uint32_t EditDistance(std::string_view s, std::string_view t) {
+  if (s.size() > t.size()) std::swap(s, t);
+  if (!s.empty() && s.size() <= 64 &&
+      simd::ActiveLevel() != simd::Level::kScalar) {
+    return MyersEditDistance(s, t, UINT32_MAX);
+  }
+  return EditDistanceScalar(s, t);
+}
+
+uint32_t EditDistanceBoundedScalar(std::string_view s, std::string_view t,
+                                   uint32_t max_ed) {
   if (s.size() > t.size()) std::swap(s, t);
   const size_t n = s.size();
   const size_t m = t.size();
@@ -70,6 +138,22 @@ uint32_t EditDistanceBounded(std::string_view s, std::string_view t,
     if (row_min > max_ed) return max_ed + 1;
   }
   return std::min<uint32_t>(row[n], max_ed + 1);
+}
+
+uint32_t EditDistanceBounded(std::string_view s, std::string_view t,
+                             uint32_t max_ed) {
+  if (s.size() > t.size()) std::swap(s, t);
+  const size_t n = s.size();
+  if (t.size() - n > max_ed) return max_ed + 1;
+  if (n == 0) return static_cast<uint32_t>(t.size());
+  if (max_ed == 0) return s == t ? 0 : 1;
+  if (n <= 64 && simd::ActiveLevel() != simd::Level::kScalar) {
+    // UINT32_MAX means "no cap" inside MyersEditDistance; every real
+    // max_ed below it gets the early-exit band.
+    const uint32_t cap = max_ed >= UINT32_MAX - 1 ? UINT32_MAX - 2 : max_ed;
+    return std::min(MyersEditDistance(s, t, cap), cap + 1);
+  }
+  return EditDistanceBoundedScalar(s, t, max_ed);
 }
 
 bool WithinEditDistance(std::string_view s, std::string_view t,

@@ -7,20 +7,31 @@
 namespace xclean {
 
 /// Levenshtein edit distance (insertions, deletions, substitutions), the
-/// error measure of the paper's typographical model (Sec. III). Full
-/// O(|s|·|t|) dynamic program with a two-row rolling buffer.
+/// error measure of the paper's typographical model (Sec. III). Dispatches
+/// on the common/simd.h capability tier: patterns up to 64 characters run
+/// Myers' bit-parallel algorithm (one 64-bit word per text character);
+/// longer patterns — and the XCLEAN_FORCE_SCALAR tier — run the rolling
+/// two-row dynamic program. Both paths return identical distances (pinned
+/// by the `kernels` differential tests).
 uint32_t EditDistance(std::string_view s, std::string_view t);
 
 /// Thresholded edit distance: returns ed(s, t) if it is <= max_ed, and
-/// max_ed + 1 otherwise. Runs the banded O(max(|s|,|t|) · max_ed) dynamic
-/// program, which is what FastSS candidate verification calls in the hot
-/// path.
+/// max_ed + 1 otherwise. This is the FastSS candidate-verification hot
+/// path. The bit-parallel tier adds early-exit banding (stop as soon as
+/// even max-decrements per remaining character cannot reach max_ed); the
+/// scalar tier runs the banded O(max(|s|,|t|) * max_ed) dynamic program.
 uint32_t EditDistanceBounded(std::string_view s, std::string_view t,
                              uint32_t max_ed);
 
 /// Convenience predicate: ed(s, t) <= max_ed.
 bool WithinEditDistance(std::string_view s, std::string_view t,
                         uint32_t max_ed);
+
+/// Scalar twins, exported so the differential tests and benches can pin
+/// bit-parallel == scalar without toggling the global dispatch level.
+uint32_t EditDistanceScalar(std::string_view s, std::string_view t);
+uint32_t EditDistanceBoundedScalar(std::string_view s, std::string_view t,
+                                   uint32_t max_ed);
 
 }  // namespace xclean
 

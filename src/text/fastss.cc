@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/parallel_for.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "text/edit_distance.h"
 
@@ -14,11 +15,16 @@ namespace xclean {
 
 namespace {
 
+/// Seed shared by every variant hash of one tag: FNV offset with the tag
+/// byte folded in. Hash(tag, s) == fold s's bytes into TagSeed(tag).
+uint64_t TagSeed(uint8_t tag) {
+  return (14695981039346656037ULL ^ tag) * 1099511628211ULL;
+}
+
 /// FNV-1a over a tag byte plus the variant bytes. Collisions are harmless
 /// (verification filters), they only waste one EditDistanceBounded call.
 uint64_t Fnv1a(uint8_t tag, std::string_view s) {
-  uint64_t h = 14695981039346656037ULL;
-  h = (h ^ tag) * 1099511628211ULL;
+  uint64_t h = TagSeed(tag);
   for (char c : s) {
     h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
   }
@@ -84,8 +90,27 @@ void FastSsIndex::EmitNeighborhood(Tag tag, std::string_view piece,
                                    std::vector<Posting>& out) {
   std::unordered_set<std::string> set;
   EnumerateDeletions(std::string(piece), max_deletions, 0, set);
-  for (const std::string& variant : set) {
-    out.push_back(Posting{HashVariant(tag, variant), word_id});
+  // Hash four independent variants per step (Fnv1aBatch4 is bit-identical
+  // to HashVariant per lane); the interleaved chains hide the per-byte
+  // multiply latency. Deletion variants are short, so the gain is modest —
+  // the batch runs on every tier (the kernel is plain interleaved scalar
+  // code everywhere; see Fnv1aBatch4) to keep scalar and vector builds on
+  // one code path. Posting order within the word is irrelevant — Build
+  // sorts the whole run afterwards.
+  const uint64_t seed = TagSeed(static_cast<uint8_t>(tag));
+  const simd::Level level = simd::ActiveLevel();
+  auto it = set.begin();
+  size_t left = set.size();
+  while (left >= 4) {
+    std::string_view batch[4];
+    for (int l = 0; l < 4; ++l) batch[l] = *it++;
+    uint64_t hashes[4];
+    simd::Fnv1aBatch4(level, seed, batch, hashes);
+    for (int l = 0; l < 4; ++l) out.push_back(Posting{hashes[l], word_id});
+    left -= 4;
+  }
+  for (; it != set.end(); ++it) {
+    out.push_back(Posting{HashVariant(tag, *it), word_id});
   }
 }
 
@@ -202,12 +227,25 @@ uint64_t FastSsIndex::ApproxMemoryBytes() const {
 
 void FastSsIndex::ProbeHash(uint64_t hash,
                             std::vector<uint32_t>& candidates) const {
+  static_assert(sizeof(Posting) == 16,
+                "Posting must be a 16-byte (hash, word_id) record");
   const size_t bucket = hash >> (64 - kBucketBits);
-  const auto begin = postings_.begin() + bucket_start_[bucket];
-  const auto end = postings_.begin() + bucket_start_[bucket + 1];
-  auto it = std::lower_bound(
-      begin, end, hash,
-      [](const Posting& p, uint64_t h) { return p.hash < h; });
+  const Posting* begin = postings_.data() + bucket_start_[bucket];
+  const Posting* end = postings_.data() + bucket_start_[bucket + 1];
+  const size_t size = static_cast<size_t>(end - begin);
+  const simd::Level level = simd::ActiveLevel();
+  const Posting* it;
+  // Buckets are short (postings spread over 2^16 buckets), so the vector
+  // lower bound usually finishes in its final window scan; degenerate
+  // buckets stay logarithmic via the kernel's internal binary narrowing.
+  // Both paths land on the identical lower-bound position.
+  if (level != simd::Level::kScalar) {
+    it = begin + simd::LowerBoundKey64Stride16(level, begin, size, hash);
+  } else {
+    it = std::lower_bound(
+        begin, end, hash,
+        [](const Posting& p, uint64_t h) { return p.hash < h; });
+  }
   for (; it != end && it->hash == hash; ++it) {
     candidates.push_back(it->word_id);
   }
