@@ -1,0 +1,211 @@
+// Scatter-gather overhead benchmark: coordinator fan-out over N in-process
+// shards vs the unsharded single-index evaluation, on the same DBLP-like
+// corpus and the same misspelled queries.
+//
+//   $ ./bench_shard              # full scale (~20k publications)
+//   $ XCLEAN_BENCH_SMALL=1 ./bench_shard
+//
+// Three numbers per shard count N:
+//
+//   scatter: end-to-end Coordinator::Suggest latency — threaded fan-out,
+//            gather, merge. The headline serving-topology cost.
+//   serial:  sum of the N ShardServer::Evaluate calls run back to back on
+//            one thread. N times the per-shard work minus all concurrency;
+//            scatter below serial is the fan-out's parallel win.
+//   merge:   Coordinator::Merge alone on pre-computed healthy outcomes —
+//            the pure coordination tax (accumulator fold + renormalise +
+//            rank), the part that cannot be parallelised away.
+//
+// gamma = 0 (unbounded accumulators) so every configuration computes the
+// same exact scores as the unsharded oracle and the comparison is work for
+// work; each run cross-checks the top suggestion against the oracle's.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/xclean.h"
+#include "data/dblp_gen.h"
+#include "data/workload.h"
+#include "index/xml_index.h"
+#include "shard/coordinator.h"
+#include "shard/shard_server.h"
+#include "shard/sharded_corpus.h"
+
+namespace xclean::shard {
+namespace {
+
+constexpr uint64_t kSeed = 20110411;
+constexpr uint64_t kGeneration = 1;
+
+XCleanOptions BenchOptions() {
+  XCleanOptions options;
+  options.gamma = 0;  // exactness precondition; see header comment
+  return options;
+}
+
+std::vector<Query> MakeQueries(const XmlIndex& index, uint32_t count) {
+  WorkloadOptions wl;
+  wl.num_queries = count;
+  wl.seed = kSeed;
+  std::vector<Query> initial = SampleInitialQueries(index, wl);
+  Rng rng(kSeed);
+  std::vector<Query> out;
+  out.reserve(initial.size());
+  for (const Query& q : initial) {
+    out.push_back(PerturbRand(q, index, wl, rng));
+  }
+  return out;
+}
+
+struct ShardFleet {
+  ShardedCorpus corpus;
+  std::vector<std::unique_ptr<ShardServer>> servers;
+  std::vector<ShardBackend*> backends;
+  std::unique_ptr<Coordinator> coordinator;
+};
+
+ShardFleet MakeFleet(const XmlTree& corpus, size_t num_shards) {
+  ShardedCorpusOptions options;
+  options.num_shards = num_shards;
+  options.xclean = BenchOptions();
+  Result<ShardedCorpus> built =
+      BuildShardedCorpus(corpus, options, kGeneration);
+  if (!built.ok()) {
+    std::fprintf(stderr, "BuildShardedCorpus(%zu): %s\n", num_shards,
+                 built.status().ToString().c_str());
+    std::exit(1);
+  }
+  ShardFleet fleet;
+  fleet.corpus = std::move(built).value();
+  for (uint32_t s = 0; s < fleet.corpus.num_shards(); ++s) {
+    fleet.servers.push_back(
+        std::make_unique<ShardServer>(s, fleet.corpus.engine, kGeneration));
+    fleet.backends.push_back(fleet.servers.back().get());
+  }
+  CoordinatorOptions copts;
+  copts.fanout_timeout = std::chrono::milliseconds(5000);
+  fleet.coordinator = std::make_unique<Coordinator>(
+      fleet.backends, fleet.corpus.stats, BenchOptions(), copts);
+  return fleet;
+}
+
+double MeanMs(double total_ms, size_t count) {
+  return count == 0 ? 0.0 : total_ms / static_cast<double>(count);
+}
+
+}  // namespace
+}  // namespace xclean::shard
+
+int main() {
+  using namespace xclean;
+  using namespace xclean::shard;
+
+  const bool small = std::getenv("XCLEAN_BENCH_SMALL") != nullptr;
+  DblpGenOptions gen;
+  gen.num_publications = small ? 3000 : 20000;
+  const int rounds = small ? 3 : 10;
+
+  std::printf("building DBLP-like corpus (%u publications)...\n",
+              gen.num_publications);
+  Stopwatch build_watch;
+  const XmlTree corpus = GenerateDblp(gen);
+  std::unique_ptr<XmlIndex> oracle_index =
+      XmlIndex::Build(GenerateDblp(gen), IndexOptions());
+  XClean oracle(*oracle_index, BenchOptions());
+  const std::vector<Query> queries = MakeQueries(*oracle_index, 64);
+  std::printf("built in %.1fs; %zu misspelled queries, %d rounds each\n\n",
+              build_watch.ElapsedSeconds(), queries.size(), rounds);
+
+  // Unsharded baseline: the single-index evaluation every topology is
+  // measured against.
+  std::vector<std::vector<Suggestion>> oracle_answers;
+  oracle_answers.reserve(queries.size());
+  double oracle_ms = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      Stopwatch watch;
+      std::vector<Suggestion> got = oracle.Suggest(queries[i]);
+      oracle_ms += watch.ElapsedSeconds() * 1000.0;
+      if (r == 0) oracle_answers.push_back(std::move(got));
+    }
+  }
+  const double oracle_mean = MeanMs(oracle_ms, queries.size() * rounds);
+  std::printf("%7s %12s %12s %12s %10s\n", "shards", "scatter-ms", "serial-ms",
+              "merge-ms", "vs-oracle");
+  std::printf("%7s %12.3f %12s %12s %10s\n", "1 (un)", oracle_mean, "-", "-",
+              "1.00x");
+
+  for (size_t num_shards : {2, 4, 8}) {
+    ShardFleet fleet = MakeFleet(corpus, num_shards);
+
+    // End-to-end threaded fan-out, with a top-1 cross-check per query.
+    double scatter_ms = 0.0;
+    size_t mismatches = 0;
+    for (int r = 0; r < rounds; ++r) {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        Stopwatch watch;
+        CoordinatorResult result =
+            fleet.coordinator->Suggest(queries[i], kGeneration);
+        scatter_ms += watch.ElapsedSeconds() * 1000.0;
+        const std::vector<Suggestion>& want = oracle_answers[i];
+        const bool top_matches =
+            result.suggestions.empty()
+                ? want.empty()
+                : !want.empty() &&
+                      result.suggestions[0].words == want[0].words;
+        if (!result.status.ok() || result.truncated || !top_matches) {
+          ++mismatches;
+        }
+      }
+    }
+
+    // The same legs, serially on this thread, then the merge alone.
+    double serial_ms = 0.0;
+    double merge_ms = 0.0;
+    for (int r = 0; r < rounds; ++r) {
+      for (const Query& query : queries) {
+        std::vector<ShardOutcome> outcomes(num_shards);
+        Stopwatch serial_watch;
+        for (size_t s = 0; s < num_shards; ++s) {
+          ShardRequest request;
+          request.query = query;
+          outcomes[s] = {ShardOutcomeKind::kOk,
+                         fleet.backends[s]->Evaluate(request)};
+        }
+        serial_ms += serial_watch.ElapsedSeconds() * 1000.0;
+        Stopwatch merge_watch;
+        CoordinatorResult merged = Coordinator::Merge(
+            *fleet.corpus.stats, BenchOptions(),
+            fleet.coordinator->options(), kGeneration, outcomes);
+        merge_ms += merge_watch.ElapsedSeconds() * 1000.0;
+        if (!merged.status.ok()) ++mismatches;
+      }
+    }
+
+    const double scatter_mean = MeanMs(scatter_ms, queries.size() * rounds);
+    std::printf("%7zu %12.3f %12.3f %12.3f %9.2fx%s\n", num_shards,
+                scatter_mean, MeanMs(serial_ms, queries.size() * rounds),
+                MeanMs(merge_ms, queries.size() * rounds),
+                oracle_mean > 0 ? scatter_mean / oracle_mean : 0.0,
+                mismatches ? "  [MISMATCH]" : "");
+    if (mismatches) {
+      std::fprintf(stderr,
+                   "%zu of %zu scatter-gather answers disagreed with the "
+                   "unsharded oracle's top suggestion\n",
+                   mismatches, queries.size() * static_cast<size_t>(rounds));
+      return 1;
+    }
+  }
+
+  std::printf(
+      "\nscatter = threaded fan-out end to end; serial = the N per-shard\n"
+      "evaluations back to back on one thread; merge = accumulator fold +\n"
+      "renormalise + rank only. scatter/serial gap is the parallel win,\n"
+      "merge is the coordination tax.\n");
+  return 0;
+}

@@ -14,14 +14,18 @@ regresses when BOTH hold:
 
 The dual threshold keeps sub-microsecond kernels from tripping on
 scheduler jitter while still catching a 2x regression on a 10 us bench.
-Added or removed benchmarks are reported but never fail the run (they are
-expected whenever a PR adds or retires a bench); use --enforce to turn
-regressions into a non-zero exit for CI gating.
+Added benchmarks are reported but never fail the run (they are expected
+whenever a PR adds a bench). A baseline key MISSING from the current run
+is a hard failure under --enforce: a silently vanished benchmark is
+indistinguishable from an unboundedly regressed one (a renamed or crashed
+bench would otherwise pass CI forever). Retiring a bench deliberately
+means either refreshing the committed baseline in the same PR or naming
+the key in --allow-missing.
 
 Usage:
   compare_bench.py --baseline BENCH_micro.json --current out.json \
       [--rel-tolerance 0.35] [--abs-floor-ns 100000] [--enforce] \
-      [--report report.md]
+      [--allow-missing name ...] [--report report.md]
 """
 
 import argparse
@@ -82,7 +86,13 @@ def main():
                         help="absolute slowdown (ns) a metric must also "
                              "exceed (default 100000 = 0.1 ms)")
     parser.add_argument("--enforce", action="store_true",
-                        help="exit 1 when any metric regresses")
+                        help="exit 1 when any metric regresses or a "
+                             "baseline key is missing from the current run")
+    parser.add_argument("--allow-missing", nargs="*", default=[],
+                        metavar="NAME",
+                        help="baseline keys that may be absent from the "
+                             "current run without failing --enforce "
+                             "(deliberately retired benches)")
     parser.add_argument("--report", default=None,
                         help="also write the report to this file")
     args = parser.parse_args()
@@ -107,6 +117,9 @@ def main():
 
     added = sorted(set(current) - set(baseline))
     removed = sorted(set(baseline) - set(current))
+    allowed = set(args.allow_missing)
+    unknown_allowed = sorted(allowed - set(baseline))
+    missing = [name for name in removed if name not in allowed]
 
     out = []
     out.append("# Benchmark comparison")
@@ -124,7 +137,10 @@ def main():
     if added:
         out.append("## added (not compared): %s" % ", ".join(added))
     if removed:
-        out.append("## removed (not compared): %s" % ", ".join(removed))
+        out.append("## MISSING from current run: %s" % ", ".join(removed))
+        if allowed & set(removed):
+            out.append("   allowlisted: %s" %
+                       ", ".join(sorted(allowed & set(removed))))
 
     report = "\n".join(out) + "\n"
     sys.stdout.write(report)
@@ -132,14 +148,30 @@ def main():
         with open(args.report, "w") as f:
             f.write(report)
 
+    failed = False
+    if unknown_allowed:
+        # A typo'd allowlist entry would silently re-open the hole this
+        # check closes; reject names the baseline has never heard of.
+        sys.stderr.write(
+            "FAIL: --allow-missing names not present in the baseline: %s\n"
+            % ", ".join(unknown_allowed))
+        failed = True
     if regressions and args.enforce:
         sys.stderr.write(
             "FAIL: %d benchmark(s) regressed beyond the noise envelope. "
             "If the slowdown is intentional (e.g. a correctness fix), "
             "refresh the committed baseline in the same PR and explain "
             "why in the PR description.\n" % len(regressions))
-        return 1
-    return 0
+        failed = True
+    if missing and args.enforce:
+        sys.stderr.write(
+            "FAIL: %d baseline benchmark(s) missing from the current run: "
+            "%s. A vanished bench hides any regression it would have "
+            "caught; refresh the baseline or name the key in "
+            "--allow-missing if the retirement is deliberate.\n"
+            % (len(missing), ", ".join(missing)))
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

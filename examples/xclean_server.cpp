@@ -30,6 +30,9 @@
 #include "data/dblp_gen.h"
 #include "data/workload.h"
 #include "serve/engine.h"
+#include "shard/coordinator.h"
+#include "shard/shard_server.h"
+#include "shard/sharded_corpus.h"
 
 namespace {
 
@@ -61,6 +64,65 @@ std::vector<std::string> BuildWorkload(const XCleanSuggester& suggester,
         xclean::PerturbRand(q, suggester.index(), options, rng).ToString());
   }
   return queries;
+}
+
+/// Scatter-gather demo: the same corpus range-partitioned into 4 shards
+/// behind a coordinator. One query fans out healthy (exact merge — for
+/// gamma = 0 the scores equal an unsharded evaluation's), then a snapshot
+/// swap lands on one shard mid-fleet and the repeated query shows the
+/// degradation contract: the stale leg is dropped, the answer is served
+/// partial and flagged, and no ranking ever mixes two generations.
+void DemoScatterGather(uint32_t publications, uint64_t seed,
+                       const std::string& query_text) {
+  namespace shard = xclean::shard;
+  xclean::DblpGenOptions gen;
+  gen.num_publications = publications;
+  gen.seed = seed;
+  const xclean::XmlTree corpus = xclean::GenerateDblp(gen);
+
+  shard::ShardedCorpusOptions options;
+  options.num_shards = 4;
+  options.xclean.gamma = 0;  // exact scatter-gather merge (DESIGN.md §10)
+  xclean::Result<shard::ShardedCorpus> built =
+      shard::BuildShardedCorpus(corpus, options);
+  if (!built.ok()) {
+    std::printf("[shard] unavailable: %s\n",
+                built.status().ToString().c_str());
+    return;
+  }
+  const shard::ShardedCorpus& sharded = built.value();
+
+  std::vector<std::unique_ptr<shard::ShardServer>> servers;
+  std::vector<shard::ShardBackend*> backends;
+  for (uint32_t s = 0; s < sharded.num_shards(); ++s) {
+    servers.push_back(std::make_unique<shard::ShardServer>(
+        s, sharded.engine, sharded.generation));
+    backends.push_back(servers.back().get());
+  }
+  shard::Coordinator coordinator(backends, sharded.stats, options.xclean,
+                                 shard::CoordinatorOptions());
+
+  // Default tokenizer options match the default-built shard indexes.
+  const Query query = xclean::ParseQuery(query_text, xclean::Tokenizer());
+  shard::CoordinatorResult result =
+      coordinator.Suggest(query, sharded.generation);
+  std::printf("[shard] \"%s\" over %zu shards ->", query_text.c_str(),
+              sharded.num_shards());
+  for (size_t j = 0; j < result.suggestions.size() && j < 2; ++j) {
+    std::printf("  %s", result.suggestions[j].ToString().c_str());
+  }
+  std::printf("  (ok=%u%s)\n", result.shards_ok,
+              result.truncated ? ", truncated" : ", exact merge");
+
+  // "Yesterday's crawl" lands on shard 2 while the rest of the fleet
+  // still serves the old generation.
+  servers[2]->PublishGeneration(sharded.generation + 1);
+  result = coordinator.Suggest(query, sharded.generation);
+  std::printf(
+      "[shard] after a swap on shard 2: ok=%u stale=%u truncated=%s — "
+      "partial, never mixed-generation\n",
+      result.shards_ok, result.shards_stale,
+      result.truncated ? "true" : "false");
 }
 
 /// Set by the SIGINT/SIGTERM handler. sig_atomic_t + volatile is the only
@@ -166,6 +228,10 @@ int main(int argc, char** argv) {
     std::printf("[live]  live updates unavailable: %s\n",
                 live_status.ToString().c_str());
   }
+
+  // Scatter-gather topology on a small slice of the corpus: healthy
+  // exact merge, then per-shard degradation after a mid-fleet swap.
+  DemoScatterGather(std::min<uint32_t>(num_pubs, 2000), 42, queries[0]);
 
   // Closed-loop clients driving the engine through the bounded queue.
   std::atomic<bool> stop{false};

@@ -28,6 +28,33 @@ struct CandidateState {
   uint32_t entity_count = 0;
 };
 
+/// One candidate's accumulator state exported from a partial evaluation —
+/// the unit a scatter-gather coordinator merges. Because P(C|T) is a sum
+/// over entities (Eq. 8) and every entity lives in exactly one shard,
+/// per-shard partials combine by plain addition of `sum`, `entity_count`
+/// and `lca_total`; `error_weight` and `result_type` are functions of the
+/// candidate and the *global* statistics, so equal across shards. The
+/// normalizer N is applied only after the merge: the global path node
+/// count for node-type semantics, Σ lca_total for SLCA/ELCA.
+struct PartialCandidate {
+  /// Candidate token sequence in the global vocabulary
+  /// (delta::MergedStats ids).
+  std::vector<TokenId> tokens;
+  /// P(Q|C); identical on every shard (a string property of C and Q).
+  double error_weight = 0.0;
+  /// This shard's share of Σ_j Π_w P(w | D(r_j)).
+  double sum = 0.0;
+  /// Entities of this shard that contributed.
+  uint32_t entity_count = 0;
+  /// This shard's contribution to the SLCA/ELCA normalizer N (0 under
+  /// node-type semantics, where N is the global path node count).
+  uint32_t lca_total = 0;
+  /// Globally-chosen result type (node-type semantics only). Shards share
+  /// the merged type lists, so every shard reports the same choice for the
+  /// same candidate.
+  PathId result_type = XmlTree::kInvalidPath;
+};
+
 /// The paper's bounded in-memory accumulator table (Sec. V-D): at most
 /// gamma candidate queries hold score accumulators. When a new candidate
 /// arrives and the table is full, the victim is the candidate whose
@@ -64,6 +91,20 @@ class AccumulatorTable {
   /// Accumulator for the candidate if present.
   CandidateState* Find(const TokenId* key, size_t len) {
     return map_.Find(key, len);
+  }
+
+  /// Folds one exported partial into the table: gets-or-creates the
+  /// candidate's accumulator and adds the partial's probability mass and
+  /// entity count. Partials must be merged in a deterministic order (the
+  /// coordinator merges shards in ascending shard id) so the floating-point
+  /// summation is reproducible run to run. Returns the merged state.
+  CandidateState* MergePartial(const TokenId* key, size_t len,
+                               double error_weight, double sum,
+                               uint32_t entity_count) {
+    CandidateState* state = GetOrCreate(key, len, error_weight);
+    state->sum += sum;
+    state->entity_count += entity_count;
+    return state;
   }
 
   /// String-keyed conveniences over EncodeCandidate keys (tests and

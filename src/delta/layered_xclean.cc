@@ -481,4 +481,78 @@ void LayeredXClean::SuggestWithScratch(const Query& query,
   out->resize(k);
 }
 
+void LayeredXClean::CollectLayerPartials(const Query& query, size_t layer,
+                                         QueryScratch& scratch,
+                                         std::vector<PartialCandidate>* out,
+                                         XCleanRunStats* stats,
+                                         CancelToken* cancel,
+                                         const QueryTuning* tuning) const {
+  XCLEAN_CHECK(layer < layers_->layers.size());
+  XCleanRunStats local_stats;
+  XCleanRunStats& run_stats = stats != nullptr ? *stats : local_stats;
+  run_stats = XCleanRunStats{};
+  BindScratch(scratch);
+
+  uint32_t eff_max_ed = options_.max_ed;
+  size_t eff_gamma = options_.gamma;
+  if (tuning != nullptr) {
+    eff_max_ed = std::min(eff_max_ed, tuning->max_ed);
+    if (tuning->gamma != SIZE_MAX) {
+      eff_gamma =
+          eff_gamma == 0 ? tuning->gamma : std::min(eff_gamma, tuning->gamma);
+    }
+  }
+
+  out->clear();
+  const size_t l = query.size();
+  if (l == 0) return;
+
+  scratch.accumulators_.Reset(eff_gamma);
+  scratch.slca_totals_.Clear();
+  if (scratch.type_cache_.size() > QueryScratch::kMaxTypeCacheEntries) {
+    scratch.type_cache_.Clear();
+  }
+  if (scratch.slots_.size() < l) scratch.slots_.resize(l);
+  scratch.candidate_.assign(l, 0);
+
+  ProcessLayer(layer, l, scratch, query, eff_max_ed, run_stats, cancel);
+
+  run_stats.accumulator_evictions = scratch.accumulators_.eviction_count();
+  run_stats.accumulators_final = scratch.accumulators_.size();
+  if (cancel != nullptr && cancel->cancelled()) {
+    run_stats.truncated = true;
+    run_stats.cancel_cause = cancel->cause();
+  }
+
+  out->reserve(scratch.accumulators_.size());
+  scratch.accumulators_.ForEach([&](const TokenId* key, size_t key_len,
+                                    const CandidateState& state) {
+    PartialCandidate p;
+    p.tokens.assign(key, key + key_len);
+    p.error_weight = state.error_weight;
+    p.sum = state.sum;
+    p.entity_count = state.entity_count;
+    if (options_.semantics == Semantics::kNodeType) {
+      const ResultTypeScorer::Choice* choice =
+          scratch.type_cache_.Find(key, key_len);
+      XCLEAN_CHECK(choice != nullptr);
+      p.result_type = choice->path;
+    } else {
+      const uint32_t* total = scratch.slca_totals_.Find(key, key_len);
+      XCLEAN_CHECK(total != nullptr);
+      p.lca_total = *total;
+    }
+    out->push_back(std::move(p));
+  });
+
+  // Canonical export order: global token ids ascending, so identical shard
+  // content yields an identical partial list regardless of the accumulator
+  // table's internal layout, and the coordinator's shard-major merge order
+  // is fully determined by (shard id, candidate key).
+  std::sort(out->begin(), out->end(),
+            [](const PartialCandidate& a, const PartialCandidate& b) {
+              return a.tokens < b.tokens;
+            });
+}
+
 }  // namespace xclean::delta

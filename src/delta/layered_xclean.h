@@ -55,6 +55,23 @@ class LayeredXClean {
                           CancelToken* cancel = nullptr,
                           const QueryTuning* tuning = nullptr) const;
 
+  /// Scatter phase of scatter-gather serving: runs Algorithm 1 over layer
+  /// `layer` ONLY and exports the resulting accumulators as partials keyed
+  /// by global tokens, in canonical (token-id ascending) order. Because the
+  /// merged statistics are global, a coordinator that adds the `sum`,
+  /// `entity_count` and `lca_total` fields across layers and renormalises
+  /// once recovers exactly the scores SuggestWithScratch would compute over
+  /// the full layer set (same real-valued sum; floating-point grouping
+  /// differs, see shard/coordinator.h). Honors the same cancellation and
+  /// tuning contract as SuggestWithScratch; a cancelled pass exports
+  /// whatever accumulated and sets stats->truncated.
+  void CollectLayerPartials(const Query& query, size_t layer,
+                            QueryScratch& scratch,
+                            std::vector<PartialCandidate>* out,
+                            XCleanRunStats* stats,
+                            CancelToken* cancel = nullptr,
+                            const QueryTuning* tuning = nullptr) const;
+
   const XCleanOptions& options() const { return options_; }
   const MergedStats& merged_stats() const { return *stats_; }
   size_t layer_count() const { return layers_->layers.size(); }

@@ -1,0 +1,125 @@
+#include "index/shard_manifest.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "common/durable_file.h"
+
+namespace xclean {
+
+namespace {
+
+/// Appends `body` as one checksummed record line, mirroring the snapshot
+/// MANIFEST's `<body> #<fnv64>` convention.
+void AppendRecord(std::string& out, const std::string& body) {
+  char sum[32];
+  std::snprintf(sum, sizeof(sum), " #%016" PRIx64,
+                Fnv1a(body.data(), body.size()));
+  out += body;
+  out += sum;
+  out += '\n';
+}
+
+/// Splits `line` into body and checksum, verifying the checksum. Returns
+/// false on any malformation.
+bool ParseRecord(const std::string& line, std::string* body) {
+  size_t hash = line.rfind(" #");
+  if (hash == std::string::npos || line.size() - hash != 2 + 16) return false;
+  uint64_t want = 0;
+  if (std::sscanf(line.c_str() + hash + 2, "%16" SCNx64, &want) != 1) {
+    return false;
+  }
+  *body = line.substr(0, hash);
+  return Fnv1a(body->data(), body->size()) == want;
+}
+
+std::string ManifestPath(const std::string& dir) { return dir + "/SHARDSET"; }
+
+}  // namespace
+
+Status SaveShardSetManifest(const std::string& dir,
+                            const ShardSetManifest& manifest) {
+  std::string contents;
+  {
+    char head[96];
+    std::snprintf(head, sizeof(head), "shardset 1 %" PRIu64 " %zu",
+                  manifest.generation, manifest.shards.size());
+    AppendRecord(contents, head);
+  }
+  for (const ShardManifestEntry& e : manifest.shards) {
+    if (e.file.find_first_of(" \n") != std::string::npos) {
+      return Status::InvalidArgument("shard snapshot filename '" + e.file +
+                                     "' contains whitespace");
+    }
+    std::ostringstream body;
+    body << "shard " << e.shard_id << ' ' << e.doc_begin << ' ' << e.doc_end
+         << ' ' << e.file << ' ' << e.bytes << ' ';
+    char sum[24];
+    std::snprintf(sum, sizeof(sum), "%016" PRIx64, e.checksum);
+    body << sum;
+    AppendRecord(contents, body.str());
+  }
+  return AtomicWriteFile(ManifestPath(dir), contents);
+}
+
+Result<ShardSetManifest> LoadShardSetManifest(const std::string& dir) {
+  Result<std::string> contents = ReadFileToString(ManifestPath(dir));
+  if (!contents.ok()) return contents.status();
+
+  ShardSetManifest manifest;
+  std::istringstream in(contents.value());
+  std::string line, body;
+  size_t declared_shards = 0;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!ParseRecord(line, &body)) {
+      return Status::ParseError("SHARDSET: corrupt record: " + line);
+    }
+    std::istringstream fields(body);
+    std::string kind;
+    fields >> kind;
+    if (!have_header) {
+      uint32_t version = 0;
+      if (kind != "shardset" ||
+          !(fields >> version >> manifest.generation >> declared_shards) ||
+          version != 1) {
+        return Status::ParseError("SHARDSET: bad header: " + body);
+      }
+      have_header = true;
+      continue;
+    }
+    ShardManifestEntry e;
+    std::string sum_hex;
+    if (kind != "shard" ||
+        !(fields >> e.shard_id >> e.doc_begin >> e.doc_end >> e.file >>
+          e.bytes >> sum_hex) ||
+        std::sscanf(sum_hex.c_str(), "%16" SCNx64, &e.checksum) != 1) {
+      return Status::ParseError("SHARDSET: bad shard record: " + body);
+    }
+    manifest.shards.push_back(std::move(e));
+  }
+  if (!have_header) return Status::ParseError("SHARDSET: missing header");
+  if (manifest.shards.size() != declared_shards) {
+    return Status::ParseError("SHARDSET: header declares " +
+                              std::to_string(declared_shards) +
+                              " shards, found " +
+                              std::to_string(manifest.shards.size()));
+  }
+  // Ranges must tile [0, total) in shard-id order: the partition is the
+  // inverse of the layer-order join, so a gap or overlap would silently
+  // drop or double-count documents.
+  for (size_t i = 0; i < manifest.shards.size(); ++i) {
+    const ShardManifestEntry& e = manifest.shards[i];
+    if (e.shard_id != i || e.doc_begin > e.doc_end ||
+        (i > 0 && e.doc_begin != manifest.shards[i - 1].doc_end)) {
+      return Status::ParseError("SHARDSET: shard " + std::to_string(i) +
+                                " range is out of order or non-contiguous");
+    }
+  }
+  return manifest;
+}
+
+}  // namespace xclean

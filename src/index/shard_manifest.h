@@ -1,0 +1,53 @@
+#ifndef XCLEAN_INDEX_SHARD_MANIFEST_H_
+#define XCLEAN_INDEX_SHARD_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xclean {
+
+/// One shard's slice of a range-partitioned corpus: the contiguous run of
+/// document ordinals [doc_begin, doc_end) it owns (documents are the
+/// depth-2 children of the corpus root, numbered in document order), plus
+/// the snapshot file its index was persisted to. An empty range
+/// (doc_begin == doc_end) is legal — a corpus with fewer documents than
+/// shards leaves the tail shards empty, and they still serve (zero
+/// partials) so the topology never depends on corpus size.
+struct ShardManifestEntry {
+  uint32_t shard_id = 0;
+  uint32_t doc_begin = 0;
+  uint32_t doc_end = 0;
+  std::string file;       ///< basename within the shard-set directory
+  uint64_t bytes = 0;     ///< snapshot size at write time
+  uint64_t checksum = 0;  ///< FNV-1a of the snapshot file
+};
+
+/// The shard-set manifest: which generation this partitioning belongs to
+/// and where each shard's snapshot lives. Written atomically as one
+/// checksummed file (`SHARDSET`), in the same line-per-record,
+/// `<body> #<fnv64>` format as the snapshot MANIFEST journal — torn or
+/// bit-flipped files are detected, never half-parsed:
+///
+///   shardset 1 <generation> <num_shards> #<fnv64>
+///   shard <id> <doc_begin> <doc_end> <file> <bytes> <fnv64-of-file> #<fnv64>
+struct ShardSetManifest {
+  uint64_t generation = 0;
+  std::vector<ShardManifestEntry> shards;
+};
+
+/// Serializes and atomically writes `manifest` to `<dir>/SHARDSET`.
+Status SaveShardSetManifest(const std::string& dir,
+                            const ShardSetManifest& manifest);
+
+/// Loads and verifies `<dir>/SHARDSET`. ParseError on any checksum or
+/// structural violation (wrong shard count, ids out of order, overlapping
+/// or non-contiguous document ranges) — a manifest that fails any of these
+/// must not be served from.
+Result<ShardSetManifest> LoadShardSetManifest(const std::string& dir);
+
+}  // namespace xclean
+
+#endif  // XCLEAN_INDEX_SHARD_MANIFEST_H_

@@ -356,6 +356,11 @@ void ServingEngine::SwapIndex(std::shared_ptr<const XCleanSuggester> next) {
   // is destroyed here, outside the lock, not under it. A detached live
   // stack stays alive while older snapshots pin it and dies inert.
   if (old_live != nullptr) old_live->WaitForCompaction();
+  // The p95 estimate measured the old index; against the new one it is
+  // stale load signal that would keep the degradation ladder escalated
+  // (or, swapping slow-for-fast, admit overload) for the ~19/alpha samples
+  // the asymmetric EWMA needs to converge. Start the estimator fresh.
+  overload_.ResetLatencySignal();
   metrics_.IncrSwaps();
 }
 

@@ -38,6 +38,11 @@ void OverloadController::RecordLatency(double latency_ms) {
   p95_bits_.store(std::bit_cast<uint64_t>(next), std::memory_order_relaxed);
 }
 
+void OverloadController::ResetLatencySignal() {
+  p95_bits_.store(std::bit_cast<uint64_t>(0.0), std::memory_order_relaxed);
+  last_change_ns_.store(NowNs(), std::memory_order_relaxed);
+}
+
 ServiceTier OverloadController::Evaluate(size_t queue_depth,
                                          size_t queue_capacity) {
   int tier;

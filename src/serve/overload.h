@@ -99,6 +99,16 @@ class OverloadController {
   /// Feeds one completed request's total latency into the p95 estimator.
   void RecordLatency(double latency_ms);
 
+  /// Zeroes the p95 estimate (and its hysteresis clock). Called on index
+  /// swap: the estimate characterizes query cost against the *old* index,
+  /// and carrying it across the swap feeds stale pressure into the ladder
+  /// — a slow-index p95 could pin a freshly swapped fast index at kReduced
+  /// until the asymmetric EWMA decays, which takes ~19 samples per alpha
+  /// step down. The tier itself is left alone; with the latency signal
+  /// cleared, the next Evaluate() steps it down through the normal
+  /// hysteresis path if queue pressure agrees.
+  void ResetLatencySignal();
+
   ServiceTier current_tier() const {
     return static_cast<ServiceTier>(tier_.load(std::memory_order_relaxed));
   }

@@ -1,0 +1,130 @@
+#ifndef XCLEAN_SHARD_COORDINATOR_H_
+#define XCLEAN_SHARD_COORDINATOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/query.h"
+#include "core/xclean.h"
+#include "delta/merged_stats.h"
+#include "shard/shard_server.h"
+
+namespace xclean::shard {
+
+/// How one fan-out leg concluded, as seen from the coordinator.
+enum class ShardOutcomeKind : uint8_t {
+  /// The shard answered within the deadline; `response` is populated
+  /// (its status may still be an error — shed, injected fault).
+  kOk = 0,
+  /// No answer by the fan-out deadline (slow or hung shard).
+  kTimeout,
+  /// The leg could not be dispatched (pool saturated) or the transport
+  /// failed outright (crashed shard).
+  kError,
+};
+
+struct ShardOutcome {
+  ShardOutcomeKind kind = ShardOutcomeKind::kError;
+  ShardResponse response;
+};
+
+struct CoordinatorOptions {
+  /// Suggestions returned after the merge.
+  size_t top_k = 10;
+  /// Wall-clock budget for the whole fan-out; shards silent past it are
+  /// treated as kTimeout and the answer is served partial.
+  std::chrono::milliseconds fanout_timeout{100};
+  /// Fewer healthy (ok, generation-matching) shards than this fails the
+  /// query with Unavailable instead of serving a partial answer. 1 keeps a
+  /// mostly-dead fleet limping; require num_shards for all-or-nothing.
+  size_t min_healthy_shards = 1;
+};
+
+/// The merged answer plus its provenance: exactly which degradations, if
+/// any, it absorbed. `truncated == false` is a strong claim — every shard
+/// answered in full at the expected generation, so the scores equal an
+/// unsharded evaluation's (same real-valued sums; see Merge for the
+/// floating-point caveat).
+struct CoordinatorResult {
+  Status status;
+  std::vector<Suggestion> suggestions;
+  /// True when any shard's contribution is missing or partial: the
+  /// suggestions underestimate (never fabricate) candidate scores.
+  bool truncated = false;
+  /// The generation every merged partial was computed against.
+  uint64_t generation = 0;
+  uint32_t shards_ok = 0;         ///< merged in full
+  uint32_t shards_truncated = 0;  ///< merged, but partial (deadline/tier)
+  uint32_t shards_stale = 0;      ///< dropped: wrong generation
+  uint32_t shards_failed = 0;     ///< dropped: timeout/error/shed
+};
+
+/// Scatter-gather front end over N shard backends.
+///
+/// Scoring correctness (the exact-renormalisation argument, DESIGN.md
+/// §10): P(C|T) = err(C) * Σ_j Π_w P(w|D(r_j)) / N where the sum ranges
+/// over entities. Every entity lies in exactly one shard (documents are
+/// depth-2 subtrees, min_depth >= 2) and each term depends only on
+/// shard-local postings plus the global statistics every shard shares, so
+/// the per-shard partial sums — and the SLCA/ELCA normalizer counts —
+/// combine by plain addition, after which one renormalisation by the
+/// *global* N yields the unsharded score. The combination is exact in
+/// real arithmetic; in floats the shard-major addition order can differ
+/// from the unsharded entity order by ulps, which is why the differential
+/// tests compare scores to 1e-9 while integer fields (entity counts,
+/// result types, normalizers, the suggestion words themselves) must match
+/// exactly. Pruning caveat: a shard running gamma-bounded accumulator
+/// eviction prunes on *local* partial scores, which need not match the
+/// global eviction choice — exactness claims therefore hold for gamma = 0
+/// (unbounded), the configuration the differential oracle pins.
+///
+/// Degradation policy: a slow, crashed, shed or stale shard never stalls
+/// or poisons the answer — its contribution is dropped (or merged partial,
+/// if it truncated itself), the result is marked `truncated`, and per-kind
+/// counters say why. Generation consistency is absolute: partials are
+/// merged only from responses matching `expected_generation`, so a
+/// mid-query snapshot swap can delay or degrade an answer but never mix
+/// two corpus versions in one ranking.
+class Coordinator {
+ public:
+  /// Backends are borrowed and must outlive the coordinator; backend i
+  /// must serve shard i of the sharded corpus `stats` was built from.
+  Coordinator(std::vector<ShardBackend*> shards,
+              std::shared_ptr<const delta::MergedStats> stats,
+              XCleanOptions xclean, CoordinatorOptions options);
+
+  /// Fans `query` out to every shard (bounded pool, one leg per shard),
+  /// gathers responses until all arrive or the fan-out deadline passes,
+  /// and merges. Thread-safe.
+  CoordinatorResult Suggest(const Query& query, uint64_t expected_generation);
+
+  /// The gather half, exposed as a pure function of the outcome vector so
+  /// the deterministic simulation harness can drive it directly with
+  /// scripted outcomes — everything the fan-out's concurrency can produce
+  /// is representable as an outcome vector, and Merge's output depends on
+  /// nothing else. outcomes[i] is shard i's; merged in shard-id order, so
+  /// the floating-point result is reproducible run to run.
+  static CoordinatorResult Merge(const delta::MergedStats& stats,
+                                 const XCleanOptions& xclean,
+                                 const CoordinatorOptions& options,
+                                 uint64_t expected_generation,
+                                 const std::vector<ShardOutcome>& outcomes);
+
+  const CoordinatorOptions& options() const { return options_; }
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  std::vector<ShardBackend*> shards_;
+  std::shared_ptr<const delta::MergedStats> stats_;
+  XCleanOptions xclean_;
+  CoordinatorOptions options_;
+  ThreadPool pool_;
+};
+
+}  // namespace xclean::shard
+
+#endif  // XCLEAN_SHARD_COORDINATOR_H_

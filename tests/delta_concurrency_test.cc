@@ -1,0 +1,171 @@
+/// TSan-targeted stress: live writers (AddDocument / DeleteDocument /
+/// CompactLive) interleaved with readers (SuggestBatch) on one
+/// ServingEngine, across all three entity semantics. The assertions are
+/// deliberately weak — every operation must succeed or fail with a
+/// defined status, and tokens added-and-never-deleted must be suggestable
+/// once the dust settles; the real subject is the interleaving itself
+/// under `ctest -L stress` in the XCLEAN_SANITIZE=thread build, where any
+/// data race between the delta stack's mutation path and the layered read
+/// path is a hard failure.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/suggester.h"
+#include "index/xml_index.h"
+#include "serve/engine.h"
+#include "xml/parser.h"
+
+namespace xclean {
+namespace {
+
+constexpr const char* kBaseXml =
+    "<corpus>"
+    "<article><title>database systems</title></article>"
+    "<article><title>query languages</title></article>"
+    "<article><title>index structures</title></article>"
+    "<article><title>spelling correction</title></article>"
+    "</corpus>";
+
+/// Alphabetic unique token (the tokenizer drops numbers): writer w's i-th
+/// document carries "live<w as a-z><i in a-z base-26>".
+std::string UniqueToken(size_t writer, size_t i) {
+  std::string token = "live";
+  token += static_cast<char>('a' + writer);
+  token += static_cast<char>('a' + i / 26);
+  token += static_cast<char>('a' + i % 26);
+  return token;
+}
+
+std::unique_ptr<serve::ServingEngine> MakeEngine(Semantics semantics) {
+  Result<XmlTree> tree = ParseXmlString(kBaseXml);
+  EXPECT_TRUE(tree.ok());
+  SuggesterOptions sopts;
+  sopts.xclean.gamma = 0;
+  sopts.xclean.semantics = semantics;
+  serve::EngineOptions eopts;
+  eopts.pool.num_threads = 2;
+  auto suggester = std::make_shared<const XCleanSuggester>(
+      XCleanSuggester::FromIndex(
+          XmlIndex::Build(std::move(tree).value(), IndexOptions()), sopts));
+  return std::make_unique<serve::ServingEngine>(std::move(suggester), eopts);
+}
+
+class DeltaConcurrencyTest : public ::testing::TestWithParam<Semantics> {};
+
+TEST_P(DeltaConcurrencyTest, WritersCompactionAndBatchReadersInterleave) {
+  constexpr size_t kWriters = 3;
+  constexpr size_t kReaders = 3;
+  constexpr size_t kDocsPerWriter = 24;
+  constexpr size_t kBatchesPerReader = 20;
+
+  std::unique_ptr<serve::ServingEngine> engine_ptr = MakeEngine(GetParam());
+  serve::ServingEngine& engine = *engine_ptr;
+  ASSERT_TRUE(engine.EnableLiveUpdates().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> adds{0}, deletes{0}, compactions{0}, served{0};
+  std::vector<std::thread> threads;
+
+  // Writers: add a uniquely-tokened document, delete every third one of
+  // their own immediately after — exercising memtable insert, tombstone
+  // write and the mutation-sequence bump under reader fire.
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (size_t i = 0; i < kDocsPerWriter; ++i) {
+        const std::string xml = "<article><title>" + UniqueToken(w, i) +
+                                " concurrent</title></article>";
+        Result<delta::DocId> id = engine.AddDocument(xml);
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        adds.fetch_add(1, std::memory_order_relaxed);
+        if (i % 3 == 2) {
+          ASSERT_TRUE(engine.DeleteDocument(id.value()).ok());
+          deletes.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // One compactor folding the stack while writers grow it and readers
+  // traverse it. Sync compactions chain the generations back to back.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      Result<uint64_t> gen = engine.CompactLive(/*sync=*/true);
+      ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+      compactions.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+
+  // Readers: batches mixing base-corpus misspellings with live tokens, so
+  // every batch crosses the base index and whatever delta layers exist at
+  // that instant. A batch pins one snapshot; acceptance of the batch is
+  // all we may assert about content mid-flight.
+  for (size_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      for (size_t b = 0; b < kBatchesPerReader; ++b) {
+        const std::vector<std::string> batch = {
+            "databse", "quer langage",
+            UniqueToken(r % kWriters, b % kDocsPerWriter), "indx"};
+        std::vector<serve::ServeResult> results = engine.SuggestBatch(batch);
+        ASSERT_EQ(results.size(), batch.size());
+        for (const serve::ServeResult& result : results) {
+          ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+          served.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (size_t t = 0; t < kWriters; ++t) threads[t].join();
+  stop.store(true, std::memory_order_release);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(adds.load(), kWriters * kDocsPerWriter);
+  EXPECT_EQ(served.load(), kReaders * kBatchesPerReader * 4);
+  EXPECT_GE(compactions.load(), 1u);
+
+  // Settled-state checks: a kept token suggests, a deleted one does not,
+  // and one more compaction over the quiesced stack changes neither.
+  auto suggests = [&](const std::string& text, const std::string& word) {
+    serve::ServeResult result = engine.Suggest(text);
+    EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+    for (const Suggestion& s : result.suggestions) {
+      for (const std::string& w : s.words) {
+        if (w == word) return true;
+      }
+    }
+    return false;
+  };
+  const std::string kept = UniqueToken(0, 0);      // i % 3 != 2: never deleted
+  const std::string deleted = UniqueToken(0, 2);   // i % 3 == 2: deleted
+  EXPECT_TRUE(suggests(kept, kept));
+  EXPECT_FALSE(suggests(deleted, deleted));
+  ASSERT_TRUE(engine.CompactLive(/*sync=*/true).ok());
+  EXPECT_TRUE(suggests(kept, kept));
+  EXPECT_FALSE(suggests(deleted, deleted));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSemantics, DeltaConcurrencyTest,
+                         ::testing::Values(Semantics::kNodeType,
+                                           Semantics::kSlca,
+                                           Semantics::kElca),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Semantics::kNodeType:
+                               return "NodeType";
+                             case Semantics::kSlca:
+                               return "Slca";
+                             default:
+                               return "Elca";
+                           }
+                         });
+
+}  // namespace
+}  // namespace xclean

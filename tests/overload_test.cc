@@ -88,6 +88,30 @@ TEST(OverloadControllerTest, P95EstimatorConvergesNearTheQuantile) {
   EXPECT_LT(controller.p95_ms(), 200.0);
 }
 
+TEST(OverloadControllerTest, ResetLatencySignalZeroesTheEstimate) {
+  OverloadControllerOptions options;
+  options.deadline_ms = 100.0;
+  OverloadController controller(options);
+  for (int i = 0; i < 2000; ++i) controller.RecordLatency(95.0);
+  ASSERT_GT(controller.p95_ms(), 0.0);
+  ASSERT_EQ(controller.Evaluate(0, 1000), ServiceTier::kCacheOnly);
+
+  // An index swap invalidates the latency history: without the reset the
+  // asymmetric EWMA needs ~19 samples per alpha step to walk back down,
+  // pinning a fast new index at a degraded tier on stale evidence.
+  controller.ResetLatencySignal();
+  EXPECT_EQ(controller.p95_ms(), 0.0);
+  // With the signal cleared (and no queue pressure), the tier recovers
+  // through the normal hold-period hysteresis instead of being held down
+  // by the dead index's p95.
+  std::this_thread::sleep_for(std::chrono::milliseconds(
+      OverloadControllerOptions().step_down_hold_ms + 50));
+  EXPECT_EQ(controller.Evaluate(0, 1000), ServiceTier::kReduced);
+  std::this_thread::sleep_for(std::chrono::milliseconds(
+      OverloadControllerOptions().step_down_hold_ms + 50));
+  EXPECT_EQ(controller.Evaluate(0, 1000), ServiceTier::kFull);
+}
+
 TEST(OverloadControllerTest, ForcedTierPinsTheLadder) {
   OverloadControllerOptions options;
   options.forced_tier = static_cast<int>(ServiceTier::kCacheOnly);
@@ -111,6 +135,26 @@ std::shared_ptr<const XCleanSuggester> BuildSuggester() {
   gen.num_publications = 400;
   return std::make_shared<const XCleanSuggester>(
       XCleanSuggester::FromTree(GenerateDblp(gen)));
+}
+
+TEST(OverloadServingTest, SwapIndexResetsTheLatencySignal) {
+  auto suggester = BuildSuggester();
+  serve::EngineOptions options;
+  options.pool.num_threads = 1;
+  serve::ServingEngine engine(suggester, options);
+
+  // Accumulate a nonzero p95 estimate against the current index.
+  for (int i = 0; i < 50; ++i) {
+    serve::ServeResult r = engine.Suggest("informaton retreival");
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  }
+  ASSERT_GT(engine.Metrics().overload_p95_ms, 0.0);
+
+  // Regression: the estimate characterizes the *old* index's query cost
+  // and must not survive the hot swap as phantom pressure on the new one.
+  engine.SwapIndex(suggester);
+  EXPECT_EQ(engine.Metrics().overload_p95_ms, 0.0);
+  EXPECT_EQ(engine.Metrics().snapshot_swaps, 1u);
 }
 
 TEST(OverloadServingTest, ShedTierAnswersUnavailable) {

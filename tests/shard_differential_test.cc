@@ -1,0 +1,196 @@
+/// Differential oracle for scatter-gather serving: a healthy coordinator
+/// over N shards must rank exactly like one XClean over the unsharded
+/// corpus, for every semantics and every shard count — the acceptance bar
+/// of the sharding work. Scores are compared at 1e-9 relative tolerance
+/// (shard-major float addition order differs from the entity fold by
+/// ulps); words, entity counts and result types must match exactly.
+/// gamma is pinned to 0: bounded-accumulator eviction decides on local
+/// partial scores, so the exactness contract is the unbounded
+/// configuration's (shard/coordinator.h).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/query_scratch.h"
+#include "core/xclean.h"
+#include "index/xml_index.h"
+#include "shard/coordinator.h"
+#include "shard/shard_server.h"
+#include "shard/sharded_corpus.h"
+#include "tests/shard_testutil.h"
+
+namespace xclean::shard {
+namespace {
+
+using shardtest::DirtyQueries;
+using shardtest::ExpectSameSuggestions;
+using shardtest::RandomCorpusTree;
+using shardtest::SemanticsName;
+using shardtest::ShardBaseSeed;
+
+constexpr uint64_t kGeneration = 5;
+
+XCleanOptions ExactOptions(Semantics semantics) {
+  XCleanOptions options;
+  options.gamma = 0;
+  options.semantics = semantics;
+  return options;
+}
+
+/// All-healthy outcome vector: every shard evaluated synchronously with no
+/// deadline and no pressure, as the fan-out would deliver on a quiet fleet.
+std::vector<ShardOutcome> HealthyOutcomes(std::vector<ShardServer*>& servers,
+                                          const Query& query) {
+  std::vector<ShardOutcome> outcomes;
+  for (ShardServer* server : servers) {
+    ShardRequest request;
+    request.query = query;
+    outcomes.push_back({ShardOutcomeKind::kOk, server->Evaluate(request)});
+  }
+  return outcomes;
+}
+
+class ShardDifferentialTest : public ::testing::TestWithParam<Semantics> {};
+
+/// The headline claim: Merge over healthy per-shard partials == unsharded
+/// XClean, across 3 corpora x 4 shard counts x ~24 dirty queries per
+/// semantics (>> 100 query-cases per semantics instantiation).
+TEST_P(ShardDifferentialTest, HealthyCoordinatorEqualsUnshardedOracle) {
+  const Semantics semantics = GetParam();
+  const uint64_t base = ShardBaseSeed();
+  const XCleanOptions options = ExactOptions(semantics);
+  CoordinatorOptions copts;
+  copts.top_k = options.top_k;
+
+  for (uint64_t round = 0; round < 3; ++round) {
+    const uint64_t seed = base + 500 + round;
+    // Same seed, two independent builds: one indexed whole (the oracle),
+    // one partitioned (the system under test).
+    auto oracle_index = XmlIndex::Build(RandomCorpusTree(seed));
+    XClean oracle(*oracle_index, options);
+    const std::vector<Query> queries = DirtyQueries(*oracle_index, seed);
+
+    for (size_t num_shards : {1u, 2u, 4u, 7u}) {
+      ShardedCorpusOptions sopts;
+      sopts.num_shards = num_shards;
+      sopts.xclean = options;
+      Result<ShardedCorpus> corpus =
+          BuildShardedCorpus(RandomCorpusTree(seed), sopts, kGeneration);
+      ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+
+      std::vector<std::unique_ptr<ShardServer>> servers;
+      std::vector<ShardServer*> backends;
+      for (uint32_t s = 0; s < num_shards; ++s) {
+        servers.push_back(std::make_unique<ShardServer>(s, corpus->engine,
+                                                        kGeneration));
+        backends.push_back(servers.back().get());
+      }
+
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        const std::string context =
+            std::string(SemanticsName(semantics)) + " seed " +
+            std::to_string(seed) + " shards " + std::to_string(num_shards) +
+            " query " + std::to_string(qi);
+        CoordinatorResult merged = Coordinator::Merge(
+            *corpus->stats, options, copts, kGeneration,
+            HealthyOutcomes(backends, queries[qi]));
+        ASSERT_TRUE(merged.status.ok()) << context;
+        EXPECT_FALSE(merged.truncated) << context;
+        EXPECT_EQ(merged.generation, kGeneration) << context;
+        EXPECT_EQ(merged.shards_ok, num_shards) << context;
+        EXPECT_EQ(merged.shards_failed + merged.shards_stale +
+                      merged.shards_truncated,
+                  0u)
+            << context;
+        ExpectSameSuggestions(merged.suggestions,
+                              oracle.Suggest(queries[qi]), 1e-9, context);
+      }
+    }
+  }
+}
+
+/// The threaded fan-out path (real ThreadPool, deadlines armed) must agree
+/// with the same oracle — Suggest() is Merge() plus concurrency, and on a
+/// healthy fleet the concurrency must be invisible.
+TEST_P(ShardDifferentialTest, ThreadedFanoutMatchesOracle) {
+  const Semantics semantics = GetParam();
+  const uint64_t seed = ShardBaseSeed() + 900;
+  const XCleanOptions options = ExactOptions(semantics);
+
+  auto oracle_index = XmlIndex::Build(RandomCorpusTree(seed));
+  XClean oracle(*oracle_index, options);
+
+  ShardedCorpusOptions sopts;
+  sopts.num_shards = 4;
+  sopts.xclean = options;
+  Result<ShardedCorpus> corpus =
+      BuildShardedCorpus(RandomCorpusTree(seed), sopts, kGeneration);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+
+  std::vector<std::unique_ptr<ShardServer>> servers;
+  std::vector<ShardBackend*> backends;
+  for (uint32_t s = 0; s < sopts.num_shards; ++s) {
+    servers.push_back(
+        std::make_unique<ShardServer>(s, corpus->engine, kGeneration));
+    backends.push_back(servers.back().get());
+  }
+  CoordinatorOptions copts;
+  copts.top_k = options.top_k;
+  copts.fanout_timeout = std::chrono::milliseconds(5000);  // CI headroom
+  Coordinator coordinator(backends, corpus->stats, options, copts);
+
+  const std::vector<Query> queries = DirtyQueries(*oracle_index, seed);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const std::string context = std::string(SemanticsName(semantics)) +
+                                " threaded query " + std::to_string(qi);
+    CoordinatorResult got = coordinator.Suggest(queries[qi], kGeneration);
+    ASSERT_TRUE(got.status.ok()) << context;
+    EXPECT_FALSE(got.truncated) << context;
+    ExpectSameSuggestions(got.suggestions, oracle.Suggest(queries[qi]), 1e-9,
+                          context);
+  }
+}
+
+/// Stronger sequential claim backing the tolerance choice above: the
+/// layered engine the shards share, run over ALL its layers in one
+/// sequential pass, reproduces the unsharded scores essentially exactly —
+/// the 1e-9 budget is spent on merge *order*, not on the shard split.
+TEST_P(ShardDifferentialTest, SequentialLayeredPassMatchesOracleTightly) {
+  const Semantics semantics = GetParam();
+  const uint64_t seed = ShardBaseSeed() + 1300;
+  const XCleanOptions options = ExactOptions(semantics);
+
+  auto oracle_index = XmlIndex::Build(RandomCorpusTree(seed));
+  XClean oracle(*oracle_index, options);
+
+  ShardedCorpusOptions sopts;
+  sopts.num_shards = 4;
+  sopts.xclean = options;
+  Result<ShardedCorpus> corpus =
+      BuildShardedCorpus(RandomCorpusTree(seed), sopts, kGeneration);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+
+  QueryScratch scratch;
+  for (const Query& query : DirtyQueries(*oracle_index, seed)) {
+    std::vector<Suggestion> layered;
+    XCleanRunStats stats;
+    corpus->engine->SuggestWithScratch(query, scratch, &layered, &stats);
+    ExpectSameSuggestions(layered, oracle.Suggest(query), 1e-12,
+                          std::string(SemanticsName(semantics)) +
+                              " sequential layered pass");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSemantics, ShardDifferentialTest,
+                         ::testing::Values(Semantics::kNodeType,
+                                           Semantics::kSlca,
+                                           Semantics::kElca),
+                         [](const auto& info) {
+                           return shardtest::SemanticsName(info.param);
+                         });
+
+}  // namespace
+}  // namespace xclean::shard

@@ -1,0 +1,135 @@
+#ifndef XCLEAN_TESTS_SHARD_TESTUTIL_H_
+#define XCLEAN_TESTS_SHARD_TESTUTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/query.h"
+#include "data/workload.h"
+#include "index/xml_index.h"
+#include "xml/tree.h"
+
+namespace xclean::shardtest {
+
+/// Base seed for every shard test and the simulation harness. A failing
+/// seed printed by a CI run replays locally via
+///   XCLEAN_SHARD_SEED=<seed> ctest -R shard_sim_test
+inline uint64_t ShardBaseSeed() {
+  const char* env = std::getenv("XCLEAN_SHARD_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 20110411ull;
+}
+
+/// Random corpora with confusable vocabulary and irregular structure (the
+/// differential_test.cc generator, returning the tree so callers can both
+/// shard it and index it whole). Deterministic in `seed`: calling twice
+/// with the same seed yields structurally identical trees, which is how
+/// the sharded and unsharded builds of one corpus are obtained.
+inline XmlTree RandomCorpusTree(uint64_t seed) {
+  static const char* kWords[] = {
+      "tree",  "trees", "trie",   "tried", "three", "icde",  "icdt",
+      "index", "night", "light",  "sight", "graph", "grape", "query",
+      "quern", "table", "cable",  "fable", "joins", "coins", "merge",
+      "serge", "parse", "sparse", "terse"};
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  XmlTreeBuilder b;
+  EXPECT_TRUE(b.BeginElement("corpus").ok());
+  uint64_t sections = 2 + rng.Uniform(4);
+  for (uint64_t s = 0; s < sections; ++s) {
+    EXPECT_TRUE(
+        b.BeginElement(rng.Bernoulli(0.5) ? "journal" : "proceedings").ok());
+    uint64_t records = 2 + rng.Uniform(6);
+    for (uint64_t r = 0; r < records; ++r) {
+      EXPECT_TRUE(b.BeginElement(rng.Bernoulli(0.7) ? "paper" : "book").ok());
+      uint64_t fields = 1 + rng.Uniform(3);
+      for (uint64_t f = 0; f < fields; ++f) {
+        std::string text;
+        uint64_t words = 1 + rng.Uniform(7);
+        for (uint64_t w = 0; w < words; ++w) {
+          if (!text.empty()) text += " ";
+          text += kWords[rng.Uniform(std::size(kWords))];
+          if (rng.Bernoulli(0.15)) {
+            text += " ";
+            text += text.substr(text.find_last_of(' ') + 1);
+          }
+        }
+        EXPECT_TRUE(
+            b.AddLeaf(rng.Bernoulli(0.5) ? "title" : "abstract", text).ok());
+      }
+      if (rng.Bernoulli(0.3)) {
+        EXPECT_TRUE(b.BeginElement("citations").ok());
+        EXPECT_TRUE(
+            b.AddLeaf("cite", kWords[rng.Uniform(std::size(kWords))]).ok());
+        EXPECT_TRUE(b.EndElement().ok());
+      }
+      EXPECT_TRUE(b.EndElement().ok());
+    }
+    EXPECT_TRUE(b.EndElement().ok());
+  }
+  EXPECT_TRUE(b.EndElement().ok());
+  Result<XmlTree> tree = std::move(b).Finish();
+  EXPECT_TRUE(tree.ok());
+  return std::move(tree).value();
+}
+
+/// Dirty queries sampled from the corpus itself and perturbed with the
+/// workload generator's RAND/RULE channels — answerable ground truth with
+/// realistic misspellings.
+inline std::vector<Query> DirtyQueries(const XmlIndex& index, uint64_t seed) {
+  WorkloadOptions wopts;
+  wopts.seed = seed;
+  wopts.num_queries = 8;
+  wopts.max_len = 3;
+  wopts.min_keyword_cf = 1;
+  Rng rng(seed);
+  std::vector<Query> out;
+  for (const Query& clean : SampleInitialQueries(index, wopts)) {
+    out.push_back(clean);
+    out.push_back(PerturbRand(clean, index, wopts, rng));
+    out.push_back(PerturbRule(clean, index, wopts, rng));
+  }
+  return out;
+}
+
+/// Same-ranking assertion as the differential oracle: words, entity count
+/// and result type exactly; scores within a relative tolerance (shard-
+/// major merge order differs from the entity fold by ulps).
+inline void ExpectSameSuggestions(const std::vector<Suggestion>& got,
+                                  const std::vector<Suggestion>& want,
+                                  double tolerance,
+                                  const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].words, want[i].words) << context << " rank " << i;
+    EXPECT_NEAR(got[i].score, want[i].score,
+                tolerance * (1.0 + std::abs(want[i].score)))
+        << context << " rank " << i;
+    EXPECT_EQ(got[i].entity_count, want[i].entity_count)
+        << context << " rank " << i;
+    EXPECT_EQ(got[i].result_type, want[i].result_type)
+        << context << " rank " << i;
+  }
+}
+
+inline const char* SemanticsName(Semantics s) {
+  switch (s) {
+    case Semantics::kNodeType:
+      return "NodeType";
+    case Semantics::kSlca:
+      return "Slca";
+    default:
+      return "Elca";
+  }
+}
+
+}  // namespace xclean::shardtest
+
+#endif  // XCLEAN_TESTS_SHARD_TESTUTIL_H_
