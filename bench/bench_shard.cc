@@ -20,19 +20,24 @@
 // same exact scores as the unsharded oracle and the comparison is work for
 // work; each run cross-checks the top suggestion against the oracle's.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/xclean.h"
 #include "data/dblp_gen.h"
 #include "data/workload.h"
 #include "index/xml_index.h"
 #include "shard/coordinator.h"
+#include "shard/replica_set.h"
 #include "shard/shard_server.h"
 #include "shard/sharded_corpus.h"
 
@@ -96,6 +101,116 @@ ShardFleet MakeFleet(const XmlTree& corpus, size_t num_shards) {
 
 double MeanMs(double total_ms, size_t count) {
   return count == 0 ? 0.0 : total_ms / static_cast<double>(count);
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+/// A replica whose transport occasionally stalls: every `period`-th call
+/// sleeps `delay` (watching the hedged-loser kill switch) before
+/// delegating — the deterministic stand-in for the straggling machine
+/// hedging exists to route around.
+class StragglerBackend : public ShardBackend {
+ public:
+  StragglerBackend(uint32_t shard_id,
+                   std::shared_ptr<const delta::LayeredXClean> engine,
+                   std::chrono::milliseconds delay, uint32_t period)
+      : delay_(delay), period_(period), server_(shard_id, engine, kGeneration) {}
+
+  ShardResponse Evaluate(const ShardRequest& request) override {
+    if (++calls_ % period_ == 0) {
+      const auto step = std::chrono::milliseconds(1);
+      for (auto waited = std::chrono::milliseconds(0); waited < delay_;
+           waited += step) {
+        if (request.external_cancel != nullptr &&
+            request.external_cancel->load(std::memory_order_acquire)) {
+          break;  // hedge already won; stop stalling and answer cheap
+        }
+        std::this_thread::sleep_for(step);
+      }
+    }
+    return server_.Evaluate(request);
+  }
+
+ private:
+  const std::chrono::milliseconds delay_;
+  const uint32_t period_;
+  uint32_t calls_ = 0;
+  ShardServer server_;
+};
+
+/// Latency distribution of the coordinator over straggler-primary replica
+/// sets, hedged vs unhedged. Same backends, same queries; the only
+/// difference is whether the ReplicaSets get a hedge pool.
+struct HedgeResult {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t hedges = 0;
+  uint64_t hedge_wins = 0;
+};
+
+HedgeResult RunHedgeLeg(const ShardedCorpus& sharded,
+                        const std::vector<Query>& queries, int rounds,
+                        bool hedged) {
+  ThreadPoolOptions popts;
+  popts.num_threads = 2 * sharded.num_shards();
+  ThreadPool hedge_pool(popts);
+
+  std::vector<std::unique_ptr<StragglerBackend>> primaries;
+  std::vector<std::unique_ptr<ShardServer>> siblings;
+  std::vector<std::unique_ptr<ReplicaSet>> sets;
+  std::vector<ShardBackend*> backends;
+  for (uint32_t s = 0; s < sharded.num_shards(); ++s) {
+    primaries.push_back(std::make_unique<StragglerBackend>(
+        s, sharded.engine, std::chrono::milliseconds(25), /*period=*/13));
+    siblings.push_back(
+        std::make_unique<ShardServer>(s, sharded.engine, kGeneration));
+    ReplicaSetOptions ropts;
+    if (hedged) {
+      ropts.hedge_pool = &hedge_pool;
+      ropts.hedge_rate_cap = 1.0;  // price the mechanism, not the budget
+      ropts.hedge_delay_floor = std::chrono::milliseconds(2);
+      ropts.hedge_delay_cap = std::chrono::milliseconds(10);
+    }
+    sets.push_back(std::make_unique<ReplicaSet>(
+        s,
+        std::vector<ShardBackend*>{primaries.back().get(),
+                                   siblings.back().get()},
+        ropts));
+    backends.push_back(sets.back().get());
+  }
+  CoordinatorOptions copts;
+  copts.fanout_timeout = std::chrono::milliseconds(5000);
+  Coordinator coordinator(backends, sharded.stats, BenchOptions(), copts);
+
+  std::vector<double> samples;
+  samples.reserve(queries.size() * static_cast<size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    for (const Query& query : queries) {
+      Stopwatch watch;
+      CoordinatorResult result = coordinator.Suggest(query, kGeneration);
+      samples.push_back(watch.ElapsedSeconds() * 1000.0);
+      if (!result.status.ok()) {
+        std::fprintf(stderr, "hedge leg failed: %s\n",
+                     result.status.ToString().c_str());
+        std::exit(1);
+      }
+    }
+  }
+  HedgeResult out;
+  out.p50_ms = Percentile(samples, 0.50);
+  out.p99_ms = Percentile(samples, 0.99);
+  for (const auto& set : sets) {
+    const ReplicaSetStats stats = set->stats();
+    out.hedges += stats.hedges;
+    out.hedge_wins += stats.hedge_wins;
+  }
+  return out;
 }
 
 }  // namespace
@@ -207,5 +322,48 @@ int main() {
       "evaluations back to back on one thread; merge = accumulator fold +\n"
       "renormalise + rank only. scatter/serial gap is the parallel win,\n"
       "merge is the coordination tax.\n");
+
+  // Tail latency with a straggling primary on every shard (1 in 13 calls
+  // stalls 25ms): hedging fires a sibling attempt after a small delay and
+  // the first usable answer wins, so the p99 collapses toward the healthy
+  // path while the p50 (no straggle, no hedge needed) stays put.
+  {
+    const size_t num_shards = 4;
+    ShardFleet fleet = MakeFleet(corpus, num_shards);  // reuses the build
+    const HedgeResult unhedged =
+        RunHedgeLeg(fleet.corpus, queries, rounds, /*hedged=*/false);
+    const HedgeResult hedged =
+        RunHedgeLeg(fleet.corpus, queries, rounds, /*hedged=*/true);
+    std::printf(
+        "\nstraggler tail (%zu shards, 2 replicas each, 1/13 legs stall "
+        "25ms):\n", num_shards);
+    std::printf("%10s %10s %10s %10s %12s\n", "", "p50-ms", "p99-ms",
+                "hedges", "hedge-wins");
+    std::printf("%10s %10.3f %10.3f %10s %12s\n", "unhedged", unhedged.p50_ms,
+                unhedged.p99_ms, "-", "-");
+    std::printf("%10s %10.3f %10.3f %10llu %12llu\n", "hedged", hedged.p50_ms,
+                hedged.p99_ms,
+                static_cast<unsigned long long>(hedged.hedges),
+                static_cast<unsigned long long>(hedged.hedge_wins));
+    if (const char* json_path = std::getenv("XCLEAN_BENCH_JSON")) {
+      std::FILE* f = std::fopen(json_path, "w");
+      if (f != nullptr) {
+        std::fprintf(
+            f,
+            "[\n  {\"bench\": \"shard_hedge\", "
+            "\"unhedged_p50_ms\": %.6f, \"unhedged_p99_ms\": %.6f, "
+            "\"hedged_p50_ms\": %.6f, \"hedged_p99_ms\": %.6f, "
+            "\"hedges\": %llu, \"hedge_wins\": %llu}\n]\n",
+            unhedged.p50_ms, unhedged.p99_ms, hedged.p50_ms, hedged.p99_ms,
+            static_cast<unsigned long long>(hedged.hedges),
+            static_cast<unsigned long long>(hedged.hedge_wins));
+        std::fclose(f);
+        std::printf("wrote JSON results to %s\n", json_path);
+      } else {
+        std::fprintf(stderr, "XCLEAN_BENCH_JSON: cannot open %s\n",
+                     json_path);
+      }
+    }
+  }
   return 0;
 }

@@ -31,6 +31,7 @@
 #include "data/workload.h"
 #include "serve/engine.h"
 #include "shard/coordinator.h"
+#include "shard/replica_set.h"
 #include "shard/shard_server.h"
 #include "shard/sharded_corpus.h"
 
@@ -123,6 +124,99 @@ void DemoScatterGather(uint32_t publications, uint64_t seed,
       "partial, never mixed-generation\n",
       result.shards_ok, result.shards_stale,
       result.truncated ? "true" : "false");
+
+  // An expired-on-arrival request is refused at admission (no evaluation
+  // work) and lands in the dedicated `refused` counter, not in `shed`.
+  shard::ShardRequest dead;
+  dead.query = query;
+  dead.expected_generation = sharded.generation;
+  dead.deadline = std::chrono::steady_clock::now() -
+                  std::chrono::milliseconds(1);
+  (void)servers[0]->Evaluate(dead);
+  for (const auto& server : servers) {
+    const shard::ShardServerStats stats = server->stats();
+    std::printf(
+        "[shard] shard %u drops: requests=%llu shed=%llu refused=%llu "
+        "truncated=%llu stale_risk=%llu\n",
+        server->shard_id(), static_cast<unsigned long long>(stats.requests),
+        static_cast<unsigned long long>(stats.shed),
+        static_cast<unsigned long long>(stats.refused),
+        static_cast<unsigned long long>(stats.truncated),
+        static_cast<unsigned long long>(stats.stale_risk));
+  }
+}
+
+/// A transport that is simply gone — connection refused, every time.
+class DownBackend : public xclean::shard::ShardBackend {
+ public:
+  xclean::shard::ShardResponse Evaluate(
+      const xclean::shard::ShardRequest&) override {
+    xclean::shard::ShardResponse response;
+    response.status = xclean::Status::Unavailable("replica transport down");
+    return response;
+  }
+};
+
+/// Replication demo: every shard served by a two-replica set whose primary
+/// (index 0 — the router's first pick) is down. Retries route each leg to
+/// the healthy sibling, the answer stays exact, and after enough legs the
+/// dead primaries' circuit breakers open, so later legs skip them without
+/// burning an attempt.
+void DemoReplicaFailover(uint32_t publications, uint64_t seed,
+                         const std::string& query_text) {
+  namespace shard = xclean::shard;
+  xclean::DblpGenOptions gen;
+  gen.num_publications = publications;
+  gen.seed = seed;
+
+  shard::ShardedCorpusOptions options;
+  options.num_shards = 4;
+  options.xclean.gamma = 0;
+  xclean::Result<shard::ShardedCorpus> built =
+      shard::BuildShardedCorpus(xclean::GenerateDblp(gen), options);
+  if (!built.ok()) {
+    std::printf("[replica] unavailable: %s\n",
+                built.status().ToString().c_str());
+    return;
+  }
+  const shard::ShardedCorpus& sharded = built.value();
+
+  std::vector<std::unique_ptr<DownBackend>> down;
+  std::vector<std::unique_ptr<shard::ShardServer>> healthy;
+  std::vector<std::unique_ptr<shard::ReplicaSet>> sets;
+  std::vector<shard::ShardBackend*> backends;
+  for (uint32_t s = 0; s < sharded.num_shards(); ++s) {
+    down.push_back(std::make_unique<DownBackend>());
+    healthy.push_back(std::make_unique<shard::ShardServer>(
+        s, sharded.engine, sharded.generation));
+    sets.push_back(std::make_unique<shard::ReplicaSet>(
+        s,
+        std::vector<shard::ShardBackend*>{down.back().get(),
+                                          healthy.back().get()},
+        shard::ReplicaSetOptions()));
+    backends.push_back(sets.back().get());
+  }
+  shard::Coordinator coordinator(backends, sharded.stats, options.xclean,
+                                 shard::CoordinatorOptions());
+
+  const Query query = xclean::ParseQuery(query_text, xclean::Tokenizer());
+  shard::CoordinatorResult result;
+  for (int leg = 0; leg < 6; ++leg) {
+    result = coordinator.Suggest(query, sharded.generation);
+  }
+  const shard::ReplicaSetStats stats = sets[0]->stats();
+  std::printf(
+      "[replica] dead primary on every shard: ok=%u truncated=%s after "
+      "%llu legs (shard 0: attempts=%llu retries=%llu, primary breaker %s "
+      "after %llu failures)\n",
+      result.shards_ok, result.truncated ? "true" : "false",
+      static_cast<unsigned long long>(stats.legs),
+      static_cast<unsigned long long>(stats.attempts),
+      static_cast<unsigned long long>(stats.retries),
+      stats.replicas[0].breaker_state == shard::BreakerState::kOpen
+          ? "open"
+          : "closed",
+      static_cast<unsigned long long>(stats.replicas[0].transport_errors));
 }
 
 /// Set by the SIGINT/SIGTERM handler. sig_atomic_t + volatile is the only
@@ -232,6 +326,9 @@ int main(int argc, char** argv) {
   // Scatter-gather topology on a small slice of the corpus: healthy
   // exact merge, then per-shard degradation after a mid-fleet swap.
   DemoScatterGather(std::min<uint32_t>(num_pubs, 2000), 42, queries[0]);
+
+  // Replication: dead primaries everywhere, exact answers anyway.
+  DemoReplicaFailover(std::min<uint32_t>(num_pubs, 2000), 42, queries[0]);
 
   // Closed-loop clients driving the engine through the bounded queue.
   std::atomic<bool> stop{false};

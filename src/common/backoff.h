@@ -1,0 +1,63 @@
+#ifndef XCLEAN_COMMON_BACKOFF_H_
+#define XCLEAN_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace xclean {
+
+/// Capped exponential backoff with decorrelating jitter. Used for
+/// transport-class retries (replica failover, snapshot-swap reload): the
+/// exponential growth keeps a persistent failure from turning into a retry
+/// storm, the cap bounds worst-case added latency, and the jitter
+/// de-synchronizes clients that failed together.
+struct BackoffOptions {
+  std::chrono::nanoseconds initial = std::chrono::milliseconds(2);
+  std::chrono::nanoseconds cap = std::chrono::milliseconds(50);
+  double multiplier = 2.0;
+  /// Fraction of each delay randomized away: the k-th delay is drawn
+  /// uniformly from [(1 - jitter) * base_k, base_k]. 0 is fully
+  /// deterministic, 1 is full jitter.
+  double jitter = 0.5;
+};
+
+/// One retry sequence's backoff state. Deterministic in (options, seed):
+/// the same seed replays the same delays, which is what lets the replica
+/// simulation harness assert exact virtual-time trajectories. Not
+/// thread-safe — one instance per retry loop, like the Rng it wraps.
+class Backoff {
+ public:
+  explicit Backoff(const BackoffOptions& options, uint64_t seed)
+      : options_(options),
+        rng_(seed),
+        base_ns_(static_cast<double>(options.initial.count())) {}
+
+  /// Returns the next delay and advances the exponential state.
+  std::chrono::nanoseconds Next() {
+    const double jitter = std::clamp(options_.jitter, 0.0, 1.0);
+    const double scale = 1.0 - jitter * rng_.UniformDouble();
+    const auto delay = std::chrono::nanoseconds(
+        static_cast<int64_t>(base_ns_ * scale));
+    base_ns_ = std::min(base_ns_ * std::max(options_.multiplier, 1.0),
+                        static_cast<double>(options_.cap.count()));
+    return delay;
+  }
+
+  /// Restarts the exponential sequence (the jitter stream keeps advancing,
+  /// so delays stay decorrelated across resets).
+  void Reset() {
+    base_ns_ = static_cast<double>(options_.initial.count());
+  }
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  double base_ns_;
+};
+
+}  // namespace xclean
+
+#endif  // XCLEAN_COMMON_BACKOFF_H_

@@ -1,0 +1,105 @@
+#ifndef XCLEAN_COMMON_CLOCK_H_
+#define XCLEAN_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace xclean {
+
+/// Injectable time source for every component whose behaviour depends on
+/// elapsed time rather than on a wall-clock date: overload hysteresis,
+/// retry backoff, hedge timers, circuit-breaker cooldowns. Production code
+/// runs on RealClock; tests inject a ManualClock and advance virtual time
+/// explicitly, so "wait 250 ms" assertions cost nanoseconds and replay
+/// deterministically under sanitizers.
+///
+/// The domain is steady_clock time_points so deadlines interoperate with
+/// the existing QueryBudget/CancelToken machinery unchanged.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  virtual std::chrono::steady_clock::time_point Now() const = 0;
+
+  /// Blocks (RealClock) or advances virtual time (ManualClock) by `d`.
+  /// Non-positive durations return immediately.
+  virtual void SleepFor(std::chrono::nanoseconds d) = 0;
+};
+
+/// The process-wide monotonic clock. Stateless; one shared instance.
+class RealClock final : public Clock {
+ public:
+  static RealClock* Get() {
+    static RealClock clock;
+    return &clock;
+  }
+
+  std::chrono::steady_clock::time_point Now() const override {
+    return std::chrono::steady_clock::now();
+  }
+
+  void SleepFor(std::chrono::nanoseconds d) override {
+    if (d > std::chrono::nanoseconds::zero()) std::this_thread::sleep_for(d);
+  }
+};
+
+/// Virtual time for tests: Now() returns an explicitly-advanced instant and
+/// SleepFor() advances it instead of blocking. Thread-safe (atomic), so
+/// threaded tests may read while one thread advances.
+///
+/// The clock is anchored at the real steady_clock at construction and only
+/// ever moves forward, so virtual time is always >= real time. That keeps
+/// mixed-clock code safe: a deadline computed in virtual time lies in the
+/// real future, and components still polling the real clock (CancelToken's
+/// amortized deadline checks) can never fire it spuriously — determinism
+/// needs only the *deltas*, which are fully virtual.
+class ManualClock final : public Clock {
+ public:
+  ManualClock()
+      : now_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count()) {}
+
+  std::chrono::steady_clock::time_point Now() const override {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::nanoseconds(now_ns_.load(std::memory_order_acquire)));
+  }
+
+  void SleepFor(std::chrono::nanoseconds d) override { Advance(d); }
+
+  void Advance(std::chrono::nanoseconds d) {
+    if (d > std::chrono::nanoseconds::zero()) {
+      now_ns_.fetch_add(d.count(), std::memory_order_acq_rel);
+    }
+  }
+
+  /// Moves the clock to `t` if that is forward; never rewinds.
+  void AdvanceTo(std::chrono::steady_clock::time_point t) {
+    const int64_t target =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            t.time_since_epoch())
+            .count();
+    int64_t cur = now_ns_.load(std::memory_order_acquire);
+    while (cur < target && !now_ns_.compare_exchange_weak(
+                               cur, target, std::memory_order_acq_rel)) {
+    }
+  }
+
+ private:
+  std::atomic<int64_t> now_ns_;
+};
+
+/// Null-object resolution: options structs default their clock pointer to
+/// nullptr, meaning "the real clock".
+inline Clock* ResolveClock(Clock* clock) {
+  return clock != nullptr ? clock : RealClock::Get();
+}
+inline const Clock* ResolveClock(const Clock* clock) {
+  return clock != nullptr ? clock : RealClock::Get();
+}
+
+}  // namespace xclean
+
+#endif  // XCLEAN_COMMON_CLOCK_H_

@@ -5,18 +5,16 @@
 
 namespace xclean {
 
-namespace {
+OverloadController::OverloadController(OverloadControllerOptions options)
+    : options_(options),
+      clock_(ResolveClock(options.clock)),
+      p95_bits_(std::bit_cast<uint64_t>(0.0)) {}
 
-int64_t NowNs() {
+int64_t OverloadController::NowNs() const {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
+             clock_->Now().time_since_epoch())
       .count();
 }
-
-}  // namespace
-
-OverloadController::OverloadController(OverloadControllerOptions options)
-    : options_(options), p95_bits_(std::bit_cast<uint64_t>(0.0)) {}
 
 double OverloadController::p95_ms() const {
   return std::bit_cast<double>(p95_bits_.load(std::memory_order_relaxed));

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/clock.h"
 #include "core/xclean.h"
 
 namespace xclean {
@@ -79,6 +80,11 @@ struct OverloadControllerOptions {
 
   /// Test backdoor: >= 0 pins the controller to that tier (0..3).
   int forced_tier = -1;
+
+  /// Time source for the hysteresis hold and latency measurement (null =
+  /// the real steady clock). Tests inject a ManualClock so step-down-hold
+  /// assertions advance virtual time instead of sleeping.
+  const Clock* clock = nullptr;
 };
 
 /// Walks the degradation ladder from queue-depth and latency signals.
@@ -121,8 +127,16 @@ class OverloadController {
 
   const OverloadControllerOptions& options() const { return options_; }
 
+  /// The resolved time source (options().clock or the real clock). Shared
+  /// with callers that must measure time consistently with the ladder's
+  /// hysteresis (ShardServer's admission deadline check).
+  const Clock& clock() const { return *clock_; }
+
  private:
+  int64_t NowNs() const;
+
   OverloadControllerOptions options_;
+  const Clock* clock_;
   std::atomic<int> tier_{0};
   /// steady_clock nanoseconds of the last tier change (for hysteresis).
   std::atomic<int64_t> last_change_ns_{0};

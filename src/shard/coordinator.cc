@@ -61,6 +61,7 @@ CoordinatorResult Coordinator::Suggest(const Query& query,
   request.deadline = deadline;
   request.queue_depth = pool_.queue_depth();
   request.queue_capacity = pool_.queue_capacity();
+  request.expected_generation = expected_generation;
 
   auto state = std::make_shared<FanoutState>(n);
   for (size_t i = 0; i < n; ++i) {
@@ -196,7 +197,12 @@ CoordinatorResult Coordinator::Merge(const delta::MergedStats& stats,
       XCLEAN_CHECK(total != nullptr);
       n_entities = *total;
     }
-    e.score = state.error_weight * state.sum / n_entities;
+    // A node type (or LCA normalizer) with zero global count can reach the
+    // merge — e.g. every matching entity was tombstoned in a delta layer
+    // while the type itself survives in the statistics broadcast. Score it
+    // zero instead of dividing into inf/nan, which would poison the sort.
+    e.score =
+        n_entities > 0.0 ? state.error_weight * state.sum / n_entities : 0.0;
     finals.push_back(e);
   });
 

@@ -1,0 +1,693 @@
+#include "shard/replica_set.h"
+
+#include <algorithm>
+#include <bit>
+#include <condition_variable>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace xclean::shard {
+
+namespace {
+
+/// Asymmetric p95 EWMA step, same estimator as the overload ladder's.
+constexpr double kP95Alpha = 0.05;
+
+/// How much a fallback of each class is worth: a truncated partial at the
+/// expected generation beats a polite refusal beats a stale answer beats
+/// nothing. (Refusal over stale: both contribute no mergeable candidates —
+/// the coordinator drops stale responses wholesale — but the refusal is
+/// honest about the expected generation.)
+int FallbackRank(AttemptClass cls) {
+  switch (cls) {
+    case AttemptClass::kUsablePartial:
+      return 3;
+    case AttemptClass::kRefused:
+      return 2;
+    case AttemptClass::kStale:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+
+bool CircuitBreaker::WouldAllow(
+    std::chrono::steady_clock::time_point now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      return now - opened_at_ >= options_.open_cooldown;
+    default:
+      return !probe_in_flight_;
+  }
+}
+
+bool CircuitBreaker::Allow(std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now - opened_at_ < options_.open_cooldown) return false;
+      state_ = BreakerState::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;
+    default:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+}
+
+void CircuitBreaker::OnSuccess(std::chrono::steady_clock::time_point now,
+                               double latency_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_ewma_ += options_.latency_alpha * (latency_ms - latency_ewma_);
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe came back: the replica has recovered. Forget the failure
+    // history — it describes the outage, not the recovered replica.
+    state_ = BreakerState::kClosed;
+    probe_in_flight_ = false;
+    error_ewma_ = 0.0;
+    samples_ = 0;
+    return;
+  }
+  error_ewma_ += options_.error_alpha * (0.0 - error_ewma_);
+  ++samples_;
+  if (state_ == BreakerState::kClosed && options_.trip_latency_ms > 0.0 &&
+      samples_ >= options_.min_samples &&
+      latency_ewma_ >= options_.trip_latency_ms) {
+    TripLocked(now);
+  }
+}
+
+void CircuitBreaker::OnFailure(std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kHalfOpen) {
+    // Probe failed: straight back to open, cooldown restarts.
+    probe_in_flight_ = false;
+    TripLocked(now);
+    return;
+  }
+  if (state_ == BreakerState::kOpen) return;  // late loser; already open
+  error_ewma_ += options_.error_alpha * (1.0 - error_ewma_);
+  ++samples_;
+  if (samples_ >= options_.min_samples &&
+      error_ewma_ >= options_.trip_error_rate) {
+    TripLocked(now);
+  }
+}
+
+void CircuitBreaker::TripLocked(std::chrono::steady_clock::time_point now) {
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  probe_in_flight_ = false;
+  ++opens_;
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+double CircuitBreaker::error_rate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_ewma_;
+}
+
+double CircuitBreaker::latency_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latency_ewma_;
+}
+
+uint64_t CircuitBreaker::opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opens_;
+}
+
+// ---------------------------------------------------------------------------
+// Classification
+
+AttemptClass ClassifyAttempt(const ShardResponse& response,
+                             uint64_t expected_generation) {
+  if (!response.status.ok()) {
+    if (response.tier == ServiceTier::kShed ||
+        response.tier == ServiceTier::kCacheOnly) {
+      return AttemptClass::kShed;
+    }
+    return AttemptClass::kTransport;
+  }
+  if (response.truncated &&
+      (response.cancel_cause == CancelCause::kDeadline ||
+       response.cancel_cause == CancelCause::kExternal) &&
+      response.partials.empty()) {
+    return AttemptClass::kRefused;
+  }
+  if (expected_generation != 0 &&
+      response.generation != expected_generation) {
+    return AttemptClass::kStale;
+  }
+  if (response.truncated &&
+      (response.cancel_cause == CancelCause::kDeadline ||
+       response.cancel_cause == CancelCause::kExternal)) {
+    return AttemptClass::kUsablePartial;
+  }
+  return AttemptClass::kUsable;
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaSet
+
+struct ReplicaSet::Replica {
+  Replica(ShardBackend* b, const CircuitBreakerOptions& breaker_options)
+      : backend(b), breaker(breaker_options) {}
+
+  ShardBackend* backend;
+  CircuitBreaker breaker;
+  std::atomic<uint64_t> attempts{0};
+  std::atomic<uint64_t> successes{0};
+  std::atomic<uint64_t> transport_errors{0};
+  std::atomic<uint64_t> sheds{0};
+  std::atomic<uint64_t> stale{0};
+  std::atomic<uint64_t> refusals{0};
+  std::atomic<uint64_t> last_generation{0};
+};
+
+/// Shared state of one hedged leg. Held by shared_ptr so a loser that
+/// completes after the winner returned writes into live storage.
+struct ReplicaSet::LegState {
+  std::mutex mu;
+  std::condition_variable cv;
+  ShardResponse responses[2];
+  bool done[2] = {false, false};
+  std::atomic<bool> cancel[2] = {{false}, {false}};
+};
+
+/// State of one leg's sequential routing loop (fresh per leg; also seeded
+/// from a hedged pair's leftovers for the continuation path).
+struct ReplicaSet::SeqState {
+  SeqState(size_t num_replicas, uint32_t retries, uint32_t failovers,
+           uint32_t attempts, const BackoffOptions& backoff_options,
+           uint64_t backoff_seed)
+      : tried(num_replicas, false),
+        retries_left(retries),
+        failovers_left(failovers),
+        attempts_left(attempts),
+        backoff(backoff_options, backoff_seed) {}
+
+  std::vector<bool> tried;
+  uint32_t retries_left;
+  uint32_t failovers_left;
+  uint32_t attempts_left;
+  Backoff backoff;
+  /// Class of the previous completed attempt; the next attempt is charged
+  /// to the budget this class names.
+  AttemptClass prev = AttemptClass::kNone;
+  ShardResponse fallback;
+  int fallback_rank = 0;
+
+  size_t untried() const {
+    size_t n = 0;
+    for (bool t : tried) {
+      if (!t) ++n;
+    }
+    return n;
+  }
+  void KeepFallback(ShardResponse response, AttemptClass cls) {
+    const int rank = FallbackRank(cls);
+    if (rank > fallback_rank) {
+      fallback = std::move(response);
+      fallback_rank = rank;
+    }
+  }
+};
+
+ReplicaSet::ReplicaSet(uint32_t shard_id, std::vector<ShardBackend*> replicas,
+                       ReplicaSetOptions options)
+    : shard_id_(shard_id),
+      options_(options),
+      clock_(ResolveClock(options.clock)),
+      p95_bits_(std::bit_cast<uint64_t>(0.0)) {
+  XCLEAN_CHECK(!replicas.empty());
+  replicas_.reserve(replicas.size());
+  for (ShardBackend* backend : replicas) {
+    XCLEAN_CHECK(backend != nullptr);
+    replicas_.push_back(std::make_unique<Replica>(backend, options_.breaker));
+  }
+}
+
+ReplicaSet::~ReplicaSet() {
+  // A hedged loser may still be running on the pool after its leg already
+  // returned (first usable answer wins; the loser is cancelled, not
+  // joined). Those tasks touch this object's counters and breakers, so
+  // destruction must wait for the last of them to finish.
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [&] { return inflight_pool_tasks_ == 0; });
+}
+
+std::chrono::nanoseconds ReplicaSet::HedgeDelay() const {
+  const double p95_ms =
+      std::bit_cast<double>(p95_bits_.load(std::memory_order_relaxed));
+  const auto derived = std::chrono::nanoseconds(
+      static_cast<int64_t>(p95_ms * options_.hedge_p95_factor * 1e6));
+  return std::clamp(
+      derived,
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          options_.hedge_delay_floor),
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          options_.hedge_delay_cap));
+}
+
+void ReplicaSet::RecordUsableLatency(double latency_ms) {
+  const double est =
+      std::bit_cast<double>(p95_bits_.load(std::memory_order_relaxed));
+  double next;
+  if (latency_ms > est) {
+    next = est + kP95Alpha * (latency_ms - est);
+  } else {
+    next = est - (kP95Alpha / 19.0) * (est - latency_ms);
+  }
+  p95_bits_.store(std::bit_cast<uint64_t>(next), std::memory_order_relaxed);
+}
+
+bool ReplicaSet::TryReserveHedge() {
+  if (options_.hedge_rate_cap <= 0.0) return false;
+  uint64_t h = hedges_.load(std::memory_order_relaxed);
+  const uint64_t legs = legs_.load(std::memory_order_relaxed);
+  while (static_cast<double>(h) <
+         options_.hedge_rate_cap * static_cast<double>(legs) + 1.0) {
+    if (hedges_.compare_exchange_weak(h, h + 1,
+                                      std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int ReplicaSet::SelectReplica(const std::vector<bool>& tried,
+                              bool allow_tried, uint64_t expected_generation,
+                              std::chrono::steady_clock::time_point now) {
+  // Deterministic ranking: fresh-generation before known-stale, untried
+  // before tried, then replica index. Breaker-inadmissible replicas are
+  // skipped entirely; a half-open probe ranks like a closed replica, so a
+  // cooled-down breaker gets its probe at the next selection that reaches
+  // it (rather than never, which ranking probes below healthy siblings
+  // would cause). Allow() races with concurrent legs over the single
+  // half-open probe, so the loser of that race rescans without the loser
+  // replica.
+  uint64_t excluded = 0;
+  XCLEAN_CHECK(replicas_.size() <= 64);
+  while (true) {
+    int best = -1;
+    int best_key = 0;
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if ((excluded >> i) & 1) continue;
+      if (tried[i] && !allow_tried) continue;
+      Replica& replica = *replicas_[i];
+      if (!replica.breaker.WouldAllow(now)) continue;
+      int key = 0;
+      const uint64_t last_gen =
+          replica.last_generation.load(std::memory_order_relaxed);
+      if (expected_generation != 0 && last_gen != 0 &&
+          last_gen != expected_generation) {
+        key += 4;  // known stale: last resort
+      }
+      if (tried[i]) key += 2;  // prefer fresh targets even when retrying
+      if (best < 0 || key < best_key) {
+        best = static_cast<int>(i);
+        best_key = key;
+      }
+    }
+    if (best < 0) return -1;
+    if (replicas_[best]->breaker.Allow(now)) return best;
+    excluded |= uint64_t{1} << best;
+  }
+}
+
+ShardResponse ReplicaSet::Attempt(size_t replica_index,
+                                  const ShardRequest& request,
+                                  std::chrono::steady_clock::time_point
+                                      deadline,
+                                  const std::atomic<bool>* external_cancel) {
+  attempts_.fetch_add(1, std::memory_order_relaxed);
+  Replica& replica = *replicas_[replica_index];
+  replica.attempts.fetch_add(1, std::memory_order_relaxed);
+  ShardRequest sub = request;
+  sub.deadline = deadline;
+  if (external_cancel != nullptr) sub.external_cancel = external_cancel;
+  return replica.backend->Evaluate(sub);
+}
+
+void ReplicaSet::Account(size_t replica_index, const ShardResponse& response,
+                         AttemptClass cls,
+                         std::chrono::steady_clock::time_point now,
+                         double latency_ms, bool overall_expired) {
+  Replica& replica = *replicas_[replica_index];
+  if (response.status.ok()) {
+    replica.last_generation.store(response.generation,
+                                  std::memory_order_relaxed);
+  }
+  switch (cls) {
+    case AttemptClass::kUsable:
+      replica.successes.fetch_add(1, std::memory_order_relaxed);
+      replica.breaker.OnSuccess(now, latency_ms);
+      RecordUsableLatency(latency_ms);
+      break;
+    case AttemptClass::kUsablePartial:
+      // Alive and honest, just slow/cut — a success for the breaker, but
+      // its latency (== the slice it was given) must not feed the p95.
+      replica.successes.fetch_add(1, std::memory_order_relaxed);
+      replica.breaker.OnSuccess(now, latency_ms);
+      break;
+    case AttemptClass::kStale:
+      // The replica is healthy, merely behind on snapshots; staleness is
+      // routed around via last_generation, not punished via the breaker.
+      replica.stale.fetch_add(1, std::memory_order_relaxed);
+      replica.breaker.OnSuccess(now, latency_ms);
+      break;
+    case AttemptClass::kRefused:
+      replica.refusals.fetch_add(1, std::memory_order_relaxed);
+      // A refusal while the overall deadline still had room means the
+      // replica burned its whole slice — a slow-replica signal. A refusal
+      // of an already-dead request says nothing about the replica.
+      if (!overall_expired) replica.breaker.OnFailure(now);
+      break;
+    case AttemptClass::kShed:
+      // Load, not fault: tripping the breaker on sheds would amplify an
+      // overload into an outage.
+      replica.sheds.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case AttemptClass::kTransport:
+      replica.transport_errors.fetch_add(1, std::memory_order_relaxed);
+      replica.breaker.OnFailure(now);
+      break;
+    case AttemptClass::kNone:
+      break;
+  }
+}
+
+ShardResponse ReplicaSet::RunLoop(const ShardRequest& request, SeqState& st) {
+  const uint64_t expected = request.expected_generation;
+  while (true) {
+    // Charge the continuation to the budget the previous failure names.
+    // The very first attempt (prev == kNone) is free.
+    if (st.prev == AttemptClass::kTransport) {
+      if (st.retries_left == 0) break;
+      --st.retries_left;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      auto delay = st.backoff.Next();
+      const auto remaining = request.deadline - clock_->Now();
+      if (remaining <= std::chrono::nanoseconds::zero()) break;
+      if (delay > remaining) {
+        delay =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(remaining);
+      }
+      clock_->SleepFor(delay);
+    } else if (st.prev != AttemptClass::kNone) {
+      // Failover classes: shed / stale / refusal / truncated partial.
+      // No backoff — the sibling is presumed healthy and the clock is
+      // already running against the caller's deadline.
+      if (st.failovers_left == 0) break;
+      --st.failovers_left;
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (st.attempts_left == 0) break;
+
+    const auto now = clock_->Now();
+    // A request that is dead on arrival still makes one attempt, so the
+    // primary can refuse it politely (and count it); once any attempt has
+    // run, an expired deadline ends the leg.
+    if (st.prev != AttemptClass::kNone && now >= request.deadline) break;
+
+    int idx = SelectReplica(st.tried, /*allow_tried=*/false, expected, now);
+    if (idx < 0 && st.prev == AttemptClass::kTransport) {
+      // Nothing fresh left: a transport retry may re-send to an already-
+      // tried replica (the classic single-replica retry).
+      idx = SelectReplica(st.tried, /*allow_tried=*/true, expected, now);
+    }
+    if (idx < 0) break;
+    st.tried[idx] = true;
+    --st.attempts_left;
+
+    // Backup-request pacing: while failover budget and a fresh sibling
+    // remain, this attempt gets only a hedge-delay slice of the deadline —
+    // a slow replica burns one slice, not the whole budget, and the
+    // sibling still has room to answer in full. The last resort runs with
+    // whatever deadline remains.
+    auto attempt_deadline = request.deadline;
+    if (st.failovers_left > 0 && st.untried() > 0) {
+      const auto slice = now + HedgeDelay();
+      if (slice < attempt_deadline) attempt_deadline = slice;
+    }
+
+    ShardResponse response =
+        Attempt(idx, request, attempt_deadline, /*external_cancel=*/nullptr);
+    const auto after = clock_->Now();
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(after - now).count();
+    const AttemptClass cls = ClassifyAttempt(response, expected);
+    Account(idx, response, cls, after, latency_ms,
+            /*overall_expired=*/after >= request.deadline);
+
+    if (cls == AttemptClass::kUsable) return response;
+    st.KeepFallback(std::move(response), cls);
+    st.prev = cls;
+  }
+
+  if (st.fallback_rank > 0) {
+    if (st.fallback_rank == FallbackRank(AttemptClass::kStale)) {
+      stale_served_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return st.fallback;
+  }
+  exhausted_.fetch_add(1, std::memory_order_relaxed);
+  ShardResponse out;
+  out.shard_id = shard_id_;
+  out.status = Status::Unavailable("replica set exhausted for shard " +
+                                   std::to_string(shard_id_));
+  return out;
+}
+
+ShardResponse ReplicaSet::Evaluate(const ShardRequest& request) {
+  const uint64_t leg = legs_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.hedge_pool != nullptr) return EvaluateHedged(request, leg);
+  SeqState st(replicas_.size(), options_.max_retries, options_.max_failovers,
+              max_attempts_per_leg(), options_.backoff,
+              options_.seed ^ (leg * 0x9E3779B97F4A7C15ull));
+  return RunLoop(request, st);
+}
+
+ShardResponse ReplicaSet::EvaluateHedged(const ShardRequest& request,
+                                         uint64_t leg) {
+  const uint64_t expected = request.expected_generation;
+  SeqState st(replicas_.size(), options_.max_retries, options_.max_failovers,
+              max_attempts_per_leg(), options_.backoff,
+              options_.seed ^ (leg * 0x9E3779B97F4A7C15ull));
+
+  const auto start = clock_->Now();
+  const int primary = SelectReplica(st.tried, /*allow_tried=*/false,
+                                    expected, start);
+  if (primary < 0) return RunLoop(request, st);
+  st.tried[primary] = true;
+  --st.attempts_left;
+
+  auto state = std::make_shared<LegState>();
+  auto submit = [&](int slot, int replica_index) {
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      ++inflight_pool_tasks_;
+    }
+    const bool submitted =
+        options_.hedge_pool
+            ->TrySubmit([this, state, request, slot, replica_index,
+                         expected] {
+              const auto begin = clock_->Now();
+              ShardResponse response =
+                  Attempt(static_cast<size_t>(replica_index), request,
+                          request.deadline, &state->cancel[slot]);
+              const auto end = clock_->Now();
+              const AttemptClass cls = ClassifyAttempt(response, expected);
+              Account(static_cast<size_t>(replica_index), response, cls, end,
+                      std::chrono::duration<double, std::milli>(end - begin)
+                          .count(),
+                      /*overall_expired=*/end >= request.deadline);
+              {
+                std::lock_guard<std::mutex> lock(state->mu);
+                state->responses[slot] = std::move(response);
+                state->done[slot] = true;
+                state->cv.notify_all();
+              }
+              // Last touch of `this`: release the destructor drain while
+              // still holding drain_mu_, so the notify can't race object
+              // teardown.
+              std::lock_guard<std::mutex> lock(drain_mu_);
+              --inflight_pool_tasks_;
+              drain_cv_.notify_all();
+            })
+            .ok();
+    if (!submitted) {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      --inflight_pool_tasks_;
+      drain_cv_.notify_all();
+    }
+    return submitted;
+  };
+
+  // Pool saturated: run the whole leg inline instead of hedging. The
+  // attempt slot reserved for the primary is handed back first.
+  if (!submit(0, primary)) {
+    st.tried[primary] = false;
+    ++st.attempts_left;
+    return RunLoop(request, st);
+  }
+
+  // Phase 1: give the primary one hedge delay to answer.
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait_for(
+        lock,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(HedgeDelay()),
+        [&] { return state->done[0]; });
+  }
+
+  // Phase 2: primary still out — fire the hedge if the rate cap and a
+  // fresh, admissible sibling allow. The hedge is charged to the failover
+  // budget, so threading never exceeds the sequential attempt bound.
+  bool have_hedge = false;
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    const bool primary_done = state->done[0];
+    lock.unlock();
+    if (!primary_done && st.failovers_left > 0 && st.attempts_left > 0) {
+      const auto now = clock_->Now();
+      if (now < request.deadline) {
+        const int sibling =
+            SelectReplica(st.tried, /*allow_tried=*/false, expected, now);
+        if (sibling >= 0) {
+          if (TryReserveHedge()) {
+            st.tried[sibling] = true;
+            --st.attempts_left;
+            --st.failovers_left;
+            if (submit(1, sibling)) {
+              have_hedge = true;
+            } else {
+              st.tried[sibling] = false;
+              ++st.attempts_left;
+              ++st.failovers_left;
+            }
+          } else {
+            hedge_suppressed_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    }
+  }
+
+  // Phase 3: first usable answer wins; the loser is cancelled through its
+  // external-cancel hook and its late write lands in shared state.
+  int winner = -1;
+  bool consumed[2] = {false, false};
+  bool timed_out = false;
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    while (true) {
+      for (int slot = 0; slot < 2; ++slot) {
+        if (slot == 1 && !have_hedge) continue;
+        if (!state->done[slot] || consumed[slot]) continue;
+        consumed[slot] = true;
+        const AttemptClass cls =
+            ClassifyAttempt(state->responses[slot], expected);
+        if (cls == AttemptClass::kUsable) {
+          winner = slot;
+          break;
+        }
+        st.KeepFallback(state->responses[slot], cls);
+        st.prev = cls;
+      }
+      if (winner >= 0 || timed_out) break;
+      const bool all_done = state->done[0] && (!have_hedge || state->done[1]);
+      if (all_done) break;
+      const auto waker = [&] {
+        return (state->done[0] && !consumed[0]) ||
+               (have_hedge && state->done[1] && !consumed[1]);
+      };
+      if (request.deadline ==
+          std::chrono::steady_clock::time_point::max()) {
+        state->cv.wait(lock, waker);
+      } else if (!state->cv.wait_until(lock, request.deadline, waker)) {
+        timed_out = true;
+      }
+    }
+    // Cancel whatever is still in flight: the loser of a won race, or
+    // both on timeout.
+    for (int slot = 0; slot < 2; ++slot) {
+      if (slot == 1 && !have_hedge) continue;
+      if (slot == winner || state->done[slot]) continue;
+      state->cancel[slot].store(true, std::memory_order_release);
+      losers_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (winner >= 0) {
+    if (winner == 1) hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(state->mu);
+    return state->responses[winner];
+  }
+  if (timed_out) {
+    // Nothing usable and the deadline has passed; RunLoop's own deadline
+    // check will fall through to the best fallback immediately.
+    st.prev = st.prev == AttemptClass::kNone ? AttemptClass::kRefused
+                                             : st.prev;
+  }
+  // Continuation: neither the primary nor the hedge produced a usable
+  // answer. Budgets and tried-marks already reflect both attempts, so the
+  // sequential loop picks up exactly where the hedged pair left off.
+  return RunLoop(request, st);
+}
+
+BreakerState ReplicaSet::breaker_state(size_t replica) const {
+  XCLEAN_CHECK(replica < replicas_.size());
+  return replicas_[replica]->breaker.state();
+}
+
+ReplicaSetStats ReplicaSet::stats() const {
+  ReplicaSetStats s;
+  s.legs = legs_.load(std::memory_order_relaxed);
+  s.attempts = attempts_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.failovers = failovers_.load(std::memory_order_relaxed);
+  s.hedges = hedges_.load(std::memory_order_relaxed);
+  s.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
+  s.losers_cancelled = losers_cancelled_.load(std::memory_order_relaxed);
+  s.hedge_suppressed = hedge_suppressed_.load(std::memory_order_relaxed);
+  s.stale_served = stale_served_.load(std::memory_order_relaxed);
+  s.exhausted = exhausted_.load(std::memory_order_relaxed);
+  s.p95_ms = std::bit_cast<double>(p95_bits_.load(std::memory_order_relaxed));
+  s.replicas.reserve(replicas_.size());
+  for (const auto& replica : replicas_) {
+    ReplicaStats r;
+    r.attempts = replica->attempts.load(std::memory_order_relaxed);
+    r.successes = replica->successes.load(std::memory_order_relaxed);
+    r.transport_errors =
+        replica->transport_errors.load(std::memory_order_relaxed);
+    r.sheds = replica->sheds.load(std::memory_order_relaxed);
+    r.stale = replica->stale.load(std::memory_order_relaxed);
+    r.refusals = replica->refusals.load(std::memory_order_relaxed);
+    r.breaker_opens = replica->breaker.opens();
+    r.breaker_state = replica->breaker.state();
+    r.last_generation =
+        replica->last_generation.load(std::memory_order_relaxed);
+    s.replicas.push_back(r);
+  }
+  return s;
+}
+
+}  // namespace xclean::shard

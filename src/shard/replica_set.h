@@ -1,0 +1,312 @@
+#ifndef XCLEAN_SHARD_REPLICA_SET_H_
+#define XCLEAN_SHARD_REPLICA_SET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/clock.h"
+#include "common/thread_pool.h"
+#include "shard/shard_server.h"
+
+namespace xclean::shard {
+
+/// Circuit-breaker state machine, classic three-state form.
+enum class BreakerState : uint8_t {
+  kClosed = 0,  ///< normal: requests flow, failures feed the error EWMA
+  kOpen,        ///< tripped: requests rejected until the cooldown elapses
+  kHalfOpen,    ///< cooled down: exactly one probe in flight decides
+};
+
+inline const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    default:
+      return "half_open";
+  }
+}
+
+struct CircuitBreakerOptions {
+  /// EWMA step for the error-rate estimate (1 on failure, 0 on success).
+  double error_alpha = 0.2;
+  /// Error-rate estimate at which a closed breaker trips open.
+  double trip_error_rate = 0.5;
+  /// Samples required before the estimates are trusted to trip (a single
+  /// failure after construction would otherwise open a healthy replica).
+  uint32_t min_samples = 4;
+  /// EWMA step for the success-latency estimate (ms).
+  double latency_alpha = 0.1;
+  /// Latency estimate (ms) at which a closed breaker trips; 0 disables
+  /// latency-based tripping (errors usually arrive first).
+  double trip_latency_ms = 0.0;
+  /// How long an open breaker rejects before offering a half-open probe.
+  std::chrono::milliseconds open_cooldown{200};
+};
+
+/// Per-replica circuit breaker driven by error/latency EWMAs. All time
+/// flows through caller-supplied `now` instants (from the injected Clock),
+/// so transitions are exactly reproducible under virtual time — the
+/// breaker itself never reads a clock. Internally mutexed: it sits on the
+/// per-attempt path (per leg, not per posting), where a mutex is noise.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerOptions options = {})
+      : options_(options) {}
+
+  /// Whether an attempt *would* be admitted now, without consuming the
+  /// half-open probe. Used to rank replicas before committing to one.
+  bool WouldAllow(std::chrono::steady_clock::time_point now) const;
+
+  /// Admits or rejects an attempt. An open breaker past its cooldown
+  /// transitions to half-open and grants the single probe; a half-open
+  /// breaker with a probe already in flight rejects.
+  bool Allow(std::chrono::steady_clock::time_point now);
+
+  void OnSuccess(std::chrono::steady_clock::time_point now,
+                 double latency_ms);
+  void OnFailure(std::chrono::steady_clock::time_point now);
+
+  BreakerState state() const;
+  double error_rate() const;
+  double latency_ms() const;
+  /// Times the breaker transitioned closed/half-open -> open.
+  uint64_t opens() const;
+
+ private:
+  void TripLocked(std::chrono::steady_clock::time_point now);
+
+  const CircuitBreakerOptions options_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  double error_ewma_ = 0.0;
+  double latency_ewma_ = 0.0;
+  uint32_t samples_ = 0;
+  bool probe_in_flight_ = false;
+  std::chrono::steady_clock::time_point opened_at_{};
+  uint64_t opens_ = 0;
+};
+
+/// Monitoring counters for one replica inside a ReplicaSet.
+struct ReplicaStats {
+  uint64_t attempts = 0;
+  uint64_t successes = 0;
+  uint64_t transport_errors = 0;
+  uint64_t sheds = 0;
+  uint64_t stale = 0;     ///< answered at a non-expected generation
+  uint64_t refusals = 0;  ///< deadline refusals (expired / timed out empty)
+  uint64_t breaker_opens = 0;
+  BreakerState breaker_state = BreakerState::kClosed;
+  uint64_t last_generation = 0;  ///< generation of the last answer seen
+};
+
+/// Monitoring counters for the whole set. attempts - legs = extra sends
+/// (retries + failovers + hedges), the quantity the budgets bound.
+struct ReplicaSetStats {
+  uint64_t legs = 0;      ///< Evaluate() calls
+  uint64_t attempts = 0;  ///< backend Evaluate() calls across all replicas
+  uint64_t retries = 0;   ///< transport-class re-sends (backoff applied)
+  uint64_t failovers = 0;  ///< shed/stale/refusal switches to a sibling
+  uint64_t hedges = 0;     ///< speculative second sends (threaded mode)
+  uint64_t hedge_wins = 0;  ///< hedged send answered first and usably
+  uint64_t losers_cancelled = 0;  ///< CancelToken fired at a hedge loser
+  uint64_t hedge_suppressed = 0;  ///< hedge wanted but rate cap said no
+  uint64_t stale_served = 0;  ///< stale fallback returned (last resort)
+  uint64_t exhausted = 0;  ///< legs that ran out of budget/replicas
+  double p95_ms = 0.0;     ///< usable-attempt latency estimate
+  std::vector<ReplicaStats> replicas;
+};
+
+struct ReplicaSetOptions {
+  /// Transport-class re-sends allowed per leg (errors only — ladder sheds
+  /// and deadline expiries never consume this, per the no-retry-storms
+  /// contract). Each retry sleeps a capped-exponential jittered backoff.
+  uint32_t max_retries = 2;
+  /// Failovers allowed per leg: switches to a *different, untried* replica
+  /// after a shed, stale answer, or deadline refusal. No backoff — the
+  /// sibling is presumed healthy and the clock is already running.
+  uint32_t max_failovers = 2;
+  BackoffOptions backoff;
+
+  /// Hedge delay = clamp(p95 * hedge_p95_factor, floor, cap). Also the
+  /// per-attempt time slice in sequential mode (see Evaluate).
+  std::chrono::milliseconds hedge_delay_floor{2};
+  std::chrono::milliseconds hedge_delay_cap{50};
+  double hedge_p95_factor = 1.0;
+  /// Global cap on hedged sends as a fraction of legs; hedging is a
+  /// tail-latency tool and must stay a small surcharge (The Tail at Scale
+  /// uses ~5%), never a 2x load amplifier under stress.
+  double hedge_rate_cap = 0.05;
+
+  CircuitBreakerOptions breaker;
+
+  /// Time source for backoff sleeps, hedge delays, breaker cooldowns and
+  /// deadline math. Null = real clock; tests inject ManualClock.
+  Clock* clock = nullptr;
+
+  /// Worker pool for hedged (speculative parallel) sends. Null disables
+  /// threading: Evaluate runs attempts sequentially with per-attempt time
+  /// slices — the deterministic "backup request" equivalent the simulation
+  /// harness drives under virtual time. The pool is borrowed and must
+  /// outlive the set.
+  ThreadPool* hedge_pool = nullptr;
+
+  /// Seed for backoff jitter (mixed with a per-leg counter so concurrent
+  /// legs draw decorrelated delays, deterministically).
+  uint64_t seed = 0x5851F42D4C957F2Dull;
+};
+
+/// How the routing layer classifies one backend attempt. Determines which
+/// budget (if any) pays for another attempt and what the fallback is worth.
+enum class AttemptClass : uint8_t {
+  kNone = 0,  ///< sentinel: no attempt yet
+  /// Full (or reduced-tier) answer at the expected generation: return it.
+  kUsable,
+  /// Truncated by deadline/cancel but with partials: mergeable, yet a
+  /// sibling may still produce a full answer — failover-class.
+  kUsablePartial,
+  /// Answered at the wrong generation: kept only as the last-resort
+  /// fallback (the coordinator will drop it, exactly as today) —
+  /// failover-class, never retried in place.
+  kStale,
+  /// Deadline refusal (expired on arrival or timed out empty): failover-
+  /// class; never retried in place, never backed off.
+  kRefused,
+  /// Ladder shed (kShed/kCacheOnly): failover-class; NEVER retried at the
+  /// same replica — re-sending to an overloaded server is how overload
+  /// spreads.
+  kShed,
+  /// Transport-class failure (crash, injected fault, unreachable): the
+  /// only class that retries, with backoff, against the retry budget.
+  kTransport,
+};
+
+/// Pure classification of a response against the expected generation.
+AttemptClass ClassifyAttempt(const ShardResponse& response,
+                             uint64_t expected_generation);
+
+/// N replicas of one shard behind the ShardBackend interface, so the
+/// replication layer slots between Coordinator and ShardServer without the
+/// coordinator changing shape — Coordinator::Merge stays a pure function
+/// of one outcome per shard, and everything here only improves the odds
+/// that the outcome is a full, fresh answer.
+///
+/// Routing policy per leg (DESIGN.md §11):
+///   selection  prefer fresh over known-stale replicas, closed breakers
+///              over half-open, skip open ones; ties break by replica
+///              index so routing is deterministic.
+///   retry      transport-class failures only, capped-exponential jittered
+///              backoff, at most max_retries re-sends per leg.
+///   failover   sheds / stale answers / deadline refusals switch to an
+///              untried sibling (no backoff), at most max_failovers.
+///   hedging    threaded mode fires a second replica after the p95-derived
+///              hedge delay and takes the first usable answer, cancelling
+///              the loser through its ShardRequest::external_cancel;
+///              sequential mode gets the same effect by capping each
+///              non-final attempt's deadline at now + hedge delay.
+///   fallback   when the budget runs out, the best partial seen is
+///              returned (truncated partial beats stale beats nothing) —
+///              never less than the set could honestly answer.
+///
+/// Total backend sends per leg <= max_attempts_per_leg(), always.
+///
+/// Thread-safe: concurrent Evaluate() calls share the breakers, counters
+/// and the p95 estimate, nothing else.
+class ReplicaSet final : public ShardBackend {
+ public:
+  /// Replicas are borrowed and must outlive the set; each must serve the
+  /// same shard id of the same corpus (possibly at different generations —
+  /// that is the point).
+  ReplicaSet(uint32_t shard_id, std::vector<ShardBackend*> replicas,
+             ReplicaSetOptions options = {});
+  ~ReplicaSet() override;
+
+  ShardResponse Evaluate(const ShardRequest& request) override;
+
+  /// Hard bound on backend sends per leg: the first attempt plus the retry
+  /// and failover budgets (a hedge consumes a failover slot, so threading
+  /// cannot exceed the sequential bound).
+  uint32_t max_attempts_per_leg() const {
+    return 1 + options_.max_retries + options_.max_failovers;
+  }
+
+  /// Current hedge delay: clamp(p95 * factor, floor, cap).
+  std::chrono::nanoseconds HedgeDelay() const;
+
+  uint32_t shard_id() const { return shard_id_; }
+  size_t num_replicas() const { return replicas_.size(); }
+  BreakerState breaker_state(size_t replica) const;
+  ReplicaSetStats stats() const;
+
+ private:
+  struct Replica;
+  struct LegState;
+  struct SeqState;
+
+  ShardResponse EvaluateHedged(const ShardRequest& request, uint64_t leg);
+
+  /// The sequential routing loop (also the continuation path after a
+  /// hedged pair produced nothing usable). Consumes/updates `st`.
+  ShardResponse RunLoop(const ShardRequest& request, SeqState& st);
+
+  /// Picks the most attractive admissible replica (see routing policy),
+  /// consuming the breaker admission of the winner. Returns -1 when no
+  /// replica is admissible. `allow_tried` re-admits already-tried replicas
+  /// (retry path, once nothing fresh remains).
+  int SelectReplica(const std::vector<bool>& tried, bool allow_tried,
+                    uint64_t expected_generation,
+                    std::chrono::steady_clock::time_point now);
+
+  /// One backend send (attempt counters only; classification-dependent
+  /// accounting happens in Account). `external_cancel` overrides the
+  /// request's own hook when non-null (the hedged-loser kill switch).
+  ShardResponse Attempt(size_t replica_index, const ShardRequest& request,
+                        std::chrono::steady_clock::time_point deadline,
+                        const std::atomic<bool>* external_cancel);
+
+  /// Breaker + per-replica counter updates for one classified attempt.
+  /// `overall_expired` suppresses the breaker failure mark for refusals of
+  /// requests that were already dead overall (not the replica's fault).
+  void Account(size_t replica_index, const ShardResponse& response,
+               AttemptClass cls, std::chrono::steady_clock::time_point now,
+               double latency_ms, bool overall_expired);
+
+  void RecordUsableLatency(double latency_ms);
+  bool TryReserveHedge();
+
+  const uint32_t shard_id_;
+  ReplicaSetOptions options_;
+  Clock* clock_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+
+  std::atomic<uint64_t> legs_{0};
+  std::atomic<uint64_t> attempts_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> hedges_{0};
+  std::atomic<uint64_t> hedge_wins_{0};
+  std::atomic<uint64_t> losers_cancelled_{0};
+  std::atomic<uint64_t> hedge_suppressed_{0};
+  std::atomic<uint64_t> stale_served_{0};
+  std::atomic<uint64_t> exhausted_{0};
+  /// p95 of usable-attempt latency, same asymmetric-EWMA estimator as the
+  /// overload ladder's (bit-cast atomic double).
+  std::atomic<uint64_t> p95_bits_;
+
+  /// Hedge tasks still running on the pool (a cancelled loser outlives its
+  /// leg). The destructor drains this to zero before members die.
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  size_t inflight_pool_tasks_ = 0;  // guarded by drain_mu_
+};
+
+}  // namespace xclean::shard
+
+#endif  // XCLEAN_SHARD_REPLICA_SET_H_

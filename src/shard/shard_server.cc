@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/clock.h"
 #include "common/fault_injection.h"
 
 namespace xclean::shard {
@@ -62,9 +63,11 @@ ShardResponse ShardServer::Evaluate(const ShardRequest& request) {
   // below, but its amortized clock checks — every kClockCheckStride work
   // units — can let a small shard run to completion; a completed answer is
   // simply correct. An answer we never started is not, so it must carry
-  // the truncated flag.)
-  if (request.deadline <= std::chrono::steady_clock::now()) {
-    truncated_.fetch_add(1, std::memory_order_relaxed);
+  // the truncated flag.) Counted as `refused`, not `truncated`: the caller
+  // distinguishes "shard was too slow" from "request arrived dead".
+  const Clock& clock = overload_.clock();
+  if (request.deadline <= clock.Now()) {
+    refused_.fetch_add(1, std::memory_order_relaxed);
     response.truncated = true;
     response.cancel_cause = CancelCause::kDeadline;
     return response;
@@ -83,21 +86,20 @@ ShardResponse ShardServer::Evaluate(const ShardRequest& request) {
 
   QueryBudget budget;
   budget.deadline = request.deadline;
+  budget.external_cancel = request.external_cancel;
   CancelToken cancel(budget);
   const QueryTuning* tuning = response.tier == ServiceTier::kReduced
                                   ? &overload_.options().reduced_tuning
                                   : nullptr;
 
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = clock.Now();
   std::unique_ptr<QueryScratch> scratch = AcquireScratch();
   engine_->CollectLayerPartials(request.query, shard_id_, *scratch,
                                 &response.partials, &response.run_stats,
                                 &cancel, tuning);
   ReleaseScratch(std::move(scratch));
   overload_.RecordLatency(
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start)
-          .count());
+      std::chrono::duration<double, std::milli>(clock.Now() - start).count());
 
   response.truncated =
       response.run_stats.truncated || response.tier == ServiceTier::kReduced;
@@ -124,6 +126,7 @@ ShardServerStats ShardServer::stats() const {
   ShardServerStats s;
   s.requests = requests_.load(std::memory_order_relaxed);
   s.shed = shed_.load(std::memory_order_relaxed);
+  s.refused = refused_.load(std::memory_order_relaxed);
   s.truncated = truncated_.load(std::memory_order_relaxed);
   s.stale_risk = stale_risk_.load(std::memory_order_relaxed);
   return s;

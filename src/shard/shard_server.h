@@ -33,6 +33,16 @@ struct ShardRequest {
   /// a real deployment).
   size_t queue_depth = 0;
   size_t queue_capacity = 1;
+  /// Generation the coordinator will merge against. The shard itself
+  /// evaluates whatever snapshot it holds (the response carries its actual
+  /// generation); this field exists for the routing layer between
+  /// coordinator and shard — ReplicaSet prefers replicas whose published
+  /// generation matches it. 0 means "no expectation".
+  uint64_t expected_generation = 0;
+  /// Optional external kill switch, wired into the evaluation's
+  /// QueryBudget: raising it cancels the leg cooperatively mid-algorithm.
+  /// This is how a hedged leg's loser is cancelled. Must outlive the call.
+  const std::atomic<bool>* external_cancel = nullptr;
 };
 
 /// A shard's answer: its partial accumulators plus everything the
@@ -71,6 +81,7 @@ class ShardBackend {
 struct ShardServerStats {
   uint64_t requests = 0;
   uint64_t shed = 0;
+  uint64_t refused = 0;  ///< expired-on-arrival: never started evaluating
   uint64_t truncated = 0;
   uint64_t stale_risk = 0;  ///< evaluations overlapped by a generation swap
 };
@@ -138,6 +149,7 @@ class ShardServer final : public ShardBackend {
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> refused_{0};
   std::atomic<uint64_t> truncated_{0};
   std::atomic<uint64_t> stale_risk_{0};
 };

@@ -1,0 +1,254 @@
+// Edge-case coverage for Coordinator::Merge, the pure gather half of
+// scatter-gather: duplicate legs (Merge is a plain fold over the outcome
+// vector — deduplication is the routing layer's job), legs with empty
+// partials, and normalizer renormalisation when a candidate's entity
+// denominator is zero (an all-zero LCA total, or a node type whose global
+// node count is zero) — scores must come out finite zero, never inf/nan.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/accumulator.h"
+#include "delta/layer.h"
+#include "delta/merged_stats.h"
+#include "index/xml_index.h"
+#include "shard/coordinator.h"
+#include "shard/shard_server.h"
+#include "shard/sharded_corpus.h"
+#include "tests/shard_testutil.h"
+#include "xml/parser.h"
+
+namespace xclean::shardtest {
+namespace {
+
+using shard::BuildShardedCorpus;
+using shard::Coordinator;
+using shard::CoordinatorOptions;
+using shard::CoordinatorResult;
+using shard::ShardedCorpus;
+using shard::ShardedCorpusOptions;
+using shard::ShardOutcome;
+using shard::ShardOutcomeKind;
+using shard::ShardServer;
+
+constexpr uint64_t kGeneration = 17;
+
+XCleanOptions MergeOptions(Semantics semantics) {
+  XCleanOptions options;
+  options.gamma = 0;
+  options.semantics = semantics;
+  options.top_k = 50;
+  return options;
+}
+
+CoordinatorOptions MergeCoordinatorOptions() {
+  CoordinatorOptions copts;
+  copts.top_k = 50;
+  return copts;
+}
+
+ShardedCorpus BuildCorpus(Semantics semantics, size_t num_shards) {
+  ShardedCorpusOptions sopts;
+  sopts.num_shards = num_shards;
+  sopts.xclean = MergeOptions(semantics);
+  Result<ShardedCorpus> corpus = BuildShardedCorpus(
+      RandomCorpusTree(ShardBaseSeed() + 901), sopts, kGeneration);
+  EXPECT_TRUE(corpus.ok()) << corpus.status().ToString();
+  return std::move(corpus).value();
+}
+
+Query CorpusQuery() {
+  // A deterministic dirty query over the same corpus seed.
+  std::unique_ptr<XmlIndex> index =
+      XmlIndex::Build(RandomCorpusTree(ShardBaseSeed() + 901));
+  std::vector<Query> queries = DirtyQueries(*index, ShardBaseSeed() + 901);
+  EXPECT_FALSE(queries.empty());
+  return queries[1];  // the RAND-perturbed variant of the first clean query
+}
+
+std::vector<ShardOutcome> HealthyOutcomes(const ShardedCorpus& corpus,
+                                          const Query& query) {
+  std::vector<ShardOutcome> outcomes;
+  for (uint32_t s = 0; s < corpus.num_shards(); ++s) {
+    ShardServer server(s, corpus.engine, kGeneration);
+    shard::ShardRequest request;
+    request.query = query;
+    request.expected_generation = kGeneration;
+    outcomes.push_back({ShardOutcomeKind::kOk, server.Evaluate(request)});
+  }
+  return outcomes;
+}
+
+std::string JoinWords(const std::vector<std::string>& words) {
+  std::string out;
+  for (const std::string& w : words) {
+    if (!out.empty()) out += " ";
+    out += w;
+  }
+  return out;
+}
+
+const Suggestion* FindByWords(const std::vector<Suggestion>& suggestions,
+                              const std::vector<std::string>& words) {
+  for (const Suggestion& s : suggestions) {
+    if (s.words == words) return &s;
+  }
+  return nullptr;
+}
+
+// Merge is a pure additive fold: the same leg appearing at two positions
+// of the outcome vector contributes twice — entity counts and (node-type
+// semantics, global normalizer) scores double. This is deliberate: Merge
+// trusts the routing layer (ReplicaSet) to deliver exactly one response
+// per shard, and stays a pure function of the vector it is handed.
+TEST(CoordinatorMergeTest, DuplicateGenerationLegsAddTwice) {
+  const ShardedCorpus corpus = BuildCorpus(Semantics::kNodeType, 2);
+  const Query query = CorpusQuery();
+  const std::vector<ShardOutcome> outcomes = HealthyOutcomes(corpus, query);
+
+  const XCleanOptions xclean = MergeOptions(Semantics::kNodeType);
+  const CoordinatorOptions copts = MergeCoordinatorOptions();
+  const CoordinatorResult single = Coordinator::Merge(
+      *corpus.stats, xclean, copts, kGeneration, {outcomes[0]});
+  ASSERT_TRUE(single.status.ok());
+  ASSERT_FALSE(single.suggestions.empty());
+
+  const CoordinatorResult doubled = Coordinator::Merge(
+      *corpus.stats, xclean, copts, kGeneration, {outcomes[0], outcomes[0]});
+  ASSERT_TRUE(doubled.status.ok());
+  EXPECT_EQ(doubled.shards_ok, 2u);
+  EXPECT_FALSE(doubled.truncated);
+  for (const Suggestion& want : single.suggestions) {
+    const Suggestion* got = FindByWords(doubled.suggestions, want.words);
+    ASSERT_NE(got, nullptr) << JoinWords(want.words);
+    EXPECT_EQ(got->entity_count, 2 * want.entity_count);
+    EXPECT_NEAR(got->score, 2.0 * want.score,
+                1e-12 * (1.0 + std::abs(want.score)));
+  }
+}
+
+// A leg that answered cleanly but found nothing (its shard simply holds no
+// matching entities) is a healthy contribution of zero mass: it counts
+// shards_ok, leaves truncated false, and changes no byte of the ranking.
+TEST(CoordinatorMergeTest, EmptyPartialLegsMergeCleanly) {
+  const ShardedCorpus corpus = BuildCorpus(Semantics::kSlca, 2);
+  const Query query = CorpusQuery();
+  std::vector<ShardOutcome> outcomes = HealthyOutcomes(corpus, query);
+
+  const XCleanOptions xclean = MergeOptions(Semantics::kSlca);
+  const CoordinatorOptions copts = MergeCoordinatorOptions();
+  const CoordinatorResult base = Coordinator::Merge(
+      *corpus.stats, xclean, copts, kGeneration, outcomes);
+  ASSERT_TRUE(base.status.ok());
+
+  ShardOutcome empty;
+  empty.kind = ShardOutcomeKind::kOk;
+  empty.response.status = Status::Ok();
+  empty.response.shard_id = 2;
+  empty.response.generation = kGeneration;
+  outcomes.push_back(std::move(empty));
+
+  const CoordinatorResult with_empty = Coordinator::Merge(
+      *corpus.stats, xclean, copts, kGeneration, outcomes);
+  ASSERT_TRUE(with_empty.status.ok());
+  EXPECT_EQ(with_empty.shards_ok, base.shards_ok + 1);
+  EXPECT_FALSE(with_empty.truncated);
+  ExpectSameSuggestions(with_empty.suggestions, base.suggestions,
+                        /*tolerance=*/0.0, "empty leg appended");
+
+  // All-empty vector: a well-formed nothing, not an error.
+  const CoordinatorResult nothing = Coordinator::Merge(
+      *corpus.stats, xclean, copts, kGeneration,
+      {outcomes.back(), outcomes.back()});
+  ASSERT_TRUE(nothing.status.ok());
+  EXPECT_TRUE(nothing.suggestions.empty());
+  EXPECT_EQ(nothing.shards_ok, 2u);
+}
+
+// SLCA/ELCA normalizers are summed across shards; if every shard reports
+// zero (all witnessing LCAs died behind tombstones between statistics
+// broadcast and evaluation), the score must renormalise to finite zero.
+TEST(CoordinatorMergeTest, ZeroLcaTotalRenormalisesToFiniteZero) {
+  const ShardedCorpus corpus = BuildCorpus(Semantics::kElca, 2);
+  const Query query = CorpusQuery();
+  std::vector<ShardOutcome> outcomes = HealthyOutcomes(corpus, query);
+  for (ShardOutcome& outcome : outcomes) {
+    for (PartialCandidate& partial : outcome.response.partials) {
+      partial.lca_total = 0;
+    }
+  }
+  const CoordinatorResult result = Coordinator::Merge(
+      *corpus.stats, MergeOptions(Semantics::kElca),
+      MergeCoordinatorOptions(), kGeneration, outcomes);
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_FALSE(result.suggestions.empty());
+  for (const Suggestion& s : result.suggestions) {
+    EXPECT_TRUE(std::isfinite(s.score)) << JoinWords(s.words);
+    EXPECT_EQ(s.score, 0.0) << JoinWords(s.words);
+  }
+}
+
+// Node-type semantics divide by the *global* path node count. A global
+// path with zero count survives in the statistics when a later layer's
+// root label diverges from the base's: the root path is interned so the
+// table stays closed under parents, but later-layer roots are never
+// counted (they fold into the one joined root). A candidate typed at such
+// a path must score finite zero, not divide into inf/nan.
+TEST(CoordinatorMergeTest, ZeroNodeCountTypeRenormalisesToFiniteZero) {
+  Result<XmlTree> base_tree = ParseXmlString(
+      "<dblp>"
+      "<article><title>keyword search</title></article>"
+      "<book><title>database systems</title></book>"
+      "</dblp>");
+  ASSERT_TRUE(base_tree.ok()) << base_tree.status().ToString();
+  Result<XmlTree> delta_tree = ParseXmlString(
+      "<addendum>"
+      "<article><title>spelling suggestions</title></article>"
+      "</addendum>");
+  ASSERT_TRUE(delta_tree.ok()) << delta_tree.status().ToString();
+
+  delta::LayerSet set;
+  set.layers.push_back({XmlIndex::Build(std::move(base_tree).value()), {}});
+  set.layers.push_back({XmlIndex::Build(std::move(delta_tree).value()), {}});
+  std::shared_ptr<const delta::MergedStats> stats =
+      delta::MergedStats::Build(set, MergeOptions(Semantics::kNodeType));
+
+  PathId dead_path = XmlTree::kInvalidPath;
+  for (PathId p = 0; p < stats->path_count(); ++p) {
+    if (stats->path_node_count(p) == 0) {
+      dead_path = p;
+      break;
+    }
+  }
+  ASSERT_NE(dead_path, XmlTree::kInvalidPath)
+      << "the uncounted <addendum> root path should have zero node count";
+
+  ShardOutcome outcome;
+  outcome.kind = ShardOutcomeKind::kOk;
+  outcome.response.status = Status::Ok();
+  outcome.response.generation = kGeneration;
+  PartialCandidate partial;
+  partial.tokens = {TokenId{0}};
+  partial.error_weight = 1.0;
+  partial.sum = 0.5;
+  partial.entity_count = 1;
+  partial.result_type = dead_path;
+  outcome.response.partials.push_back(std::move(partial));
+
+  const CoordinatorResult result = Coordinator::Merge(
+      *stats, MergeOptions(Semantics::kNodeType), MergeCoordinatorOptions(),
+      kGeneration, {outcome});
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  ASSERT_EQ(result.suggestions.size(), 1u);
+  EXPECT_TRUE(std::isfinite(result.suggestions[0].score));
+  EXPECT_EQ(result.suggestions[0].score, 0.0);
+  EXPECT_EQ(result.suggestions[0].entity_count, 1u);
+}
+
+}  // namespace
+}  // namespace xclean::shardtest

@@ -89,8 +89,10 @@ TEST(OverloadControllerTest, P95EstimatorConvergesNearTheQuantile) {
 }
 
 TEST(OverloadControllerTest, ResetLatencySignalZeroesTheEstimate) {
+  ManualClock clock;
   OverloadControllerOptions options;
   options.deadline_ms = 100.0;
+  options.clock = &clock;
   OverloadController controller(options);
   for (int i = 0; i < 2000; ++i) controller.RecordLatency(95.0);
   ASSERT_GT(controller.p95_ms(), 0.0);
@@ -102,14 +104,32 @@ TEST(OverloadControllerTest, ResetLatencySignalZeroesTheEstimate) {
   controller.ResetLatencySignal();
   EXPECT_EQ(controller.p95_ms(), 0.0);
   // With the signal cleared (and no queue pressure), the tier recovers
-  // through the normal hold-period hysteresis instead of being held down
-  // by the dead index's p95.
-  std::this_thread::sleep_for(std::chrono::milliseconds(
-      OverloadControllerOptions().step_down_hold_ms + 50));
+  // through the normal hold-period hysteresis — advanced in virtual time,
+  // so this test never sleeps.
+  clock.Advance(std::chrono::milliseconds(options.step_down_hold_ms + 50));
   EXPECT_EQ(controller.Evaluate(0, 1000), ServiceTier::kReduced);
-  std::this_thread::sleep_for(std::chrono::milliseconds(
-      OverloadControllerOptions().step_down_hold_ms + 50));
+  clock.Advance(std::chrono::milliseconds(options.step_down_hold_ms + 50));
   EXPECT_EQ(controller.Evaluate(0, 1000), ServiceTier::kFull);
+}
+
+TEST(OverloadControllerTest, HoldPeriodElapsesInVirtualTime) {
+  // The hysteresis hold is pure elapsed-time logic; under an injected
+  // clock a multi-second hold costs nothing and is exactly reproducible.
+  ManualClock clock;
+  OverloadControllerOptions options;
+  options.step_down_hold_ms = 5000;
+  options.clock = &clock;
+  OverloadController controller(options);
+  ASSERT_EQ(controller.Evaluate(1000, 1000), ServiceTier::kShed);
+  EXPECT_EQ(controller.Evaluate(0, 1000), ServiceTier::kShed);
+  clock.Advance(std::chrono::milliseconds(4999));
+  EXPECT_EQ(controller.Evaluate(0, 1000), ServiceTier::kShed);
+  clock.Advance(std::chrono::milliseconds(2));
+  EXPECT_EQ(controller.Evaluate(0, 1000), ServiceTier::kCacheOnly);
+  // The step-down restarts the hold clock.
+  EXPECT_EQ(controller.Evaluate(0, 1000), ServiceTier::kCacheOnly);
+  clock.Advance(std::chrono::milliseconds(5001));
+  EXPECT_EQ(controller.Evaluate(0, 1000), ServiceTier::kReduced);
 }
 
 TEST(OverloadControllerTest, ForcedTierPinsTheLadder) {
