@@ -51,7 +51,9 @@ bool CircuitBreaker::WouldAllow(
   }
 }
 
-bool CircuitBreaker::Allow(std::chrono::steady_clock::time_point now) {
+bool CircuitBreaker::Allow(std::chrono::steady_clock::time_point now,
+                           bool* is_probe) {
+  if (is_probe != nullptr) *is_probe = false;
   std::lock_guard<std::mutex> lock(mu_);
   switch (state_) {
     case BreakerState::kClosed:
@@ -60,12 +62,21 @@ bool CircuitBreaker::Allow(std::chrono::steady_clock::time_point now) {
       if (now - opened_at_ < options_.open_cooldown) return false;
       state_ = BreakerState::kHalfOpen;
       probe_in_flight_ = true;
+      if (is_probe != nullptr) *is_probe = true;
       return true;
     default:
       if (probe_in_flight_) return false;
       probe_in_flight_ = true;
+      if (is_probe != nullptr) *is_probe = true;
       return true;
   }
+}
+
+void CircuitBreaker::ReleaseProbe() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // If a late loser's OnFailure already tripped the breaker back open,
+  // TripLocked cleared the probe and there is nothing left to release.
+  if (state_ == BreakerState::kHalfOpen) probe_in_flight_ = false;
 }
 
 void CircuitBreaker::OnSuccess(std::chrono::steady_clock::time_point now,
@@ -238,6 +249,10 @@ ReplicaSet::ReplicaSet(uint32_t shard_id, std::vector<ShardBackend*> replicas,
       clock_(ResolveClock(options.clock)),
       p95_bits_(std::bit_cast<uint64_t>(0.0)) {
   XCLEAN_CHECK(!replicas.empty());
+  // SelectReplica tracks race-loser exclusions in a 64-bit mask; an
+  // oversized configuration is rejected here, at construction, not on the
+  // query-serving path.
+  XCLEAN_CHECK(replicas.size() <= 64);
   replicas_.reserve(replicas.size());
   for (ShardBackend* backend : replicas) {
     XCLEAN_CHECK(backend != nullptr);
@@ -295,7 +310,8 @@ bool ReplicaSet::TryReserveHedge() {
 
 int ReplicaSet::SelectReplica(const std::vector<bool>& tried,
                               bool allow_tried, uint64_t expected_generation,
-                              std::chrono::steady_clock::time_point now) {
+                              std::chrono::steady_clock::time_point now,
+                              bool* probe) {
   // Deterministic ranking: fresh-generation before known-stale, untried
   // before tried, then replica index. Breaker-inadmissible replicas are
   // skipped entirely; a half-open probe ranks like a closed replica, so a
@@ -304,8 +320,8 @@ int ReplicaSet::SelectReplica(const std::vector<bool>& tried,
   // would cause). Allow() races with concurrent legs over the single
   // half-open probe, so the loser of that race rescans without the loser
   // replica.
+  *probe = false;
   uint64_t excluded = 0;
-  XCLEAN_CHECK(replicas_.size() <= 64);
   while (true) {
     int best = -1;
     int best_key = 0;
@@ -328,7 +344,7 @@ int ReplicaSet::SelectReplica(const std::vector<bool>& tried,
       }
     }
     if (best < 0) return -1;
-    if (replicas_[best]->breaker.Allow(now)) return best;
+    if (replicas_[best]->breaker.Allow(now, probe)) return best;
     excluded |= uint64_t{1} << best;
   }
 }
@@ -350,7 +366,8 @@ ShardResponse ReplicaSet::Attempt(size_t replica_index,
 void ReplicaSet::Account(size_t replica_index, const ShardResponse& response,
                          AttemptClass cls,
                          std::chrono::steady_clock::time_point now,
-                         double latency_ms, bool overall_expired) {
+                         double latency_ms, bool overall_expired,
+                         bool probe) {
   Replica& replica = *replicas_[replica_index];
   if (response.status.ok()) {
     replica.last_generation.store(response.generation,
@@ -374,17 +391,28 @@ void ReplicaSet::Account(size_t replica_index, const ShardResponse& response,
       replica.stale.fetch_add(1, std::memory_order_relaxed);
       replica.breaker.OnSuccess(now, latency_ms);
       break;
-    case AttemptClass::kRefused:
+    case AttemptClass::kRefused: {
       replica.refusals.fetch_add(1, std::memory_order_relaxed);
-      // A refusal while the overall deadline still had room means the
-      // replica burned its whole slice — a slow-replica signal. A refusal
-      // of an already-dead request says nothing about the replica.
-      if (!overall_expired) replica.breaker.OnFailure(now);
+      // A deadline refusal while the overall deadline still had room means
+      // the replica burned its whole slice — a slow-replica signal. A
+      // refusal of an already-dead request, or of one cancelled from
+      // outside (a hedge loser whose sibling won, a client gone), says
+      // nothing about the replica.
+      const bool cancelled =
+          response.cancel_cause == CancelCause::kExternal;
+      if (!overall_expired && !cancelled) {
+        replica.breaker.OnFailure(now);
+      } else if (probe) {
+        replica.breaker.ReleaseProbe();
+      }
       break;
+    }
     case AttemptClass::kShed:
       // Load, not fault: tripping the breaker on sheds would amplify an
-      // overload into an outage.
+      // overload into an outage. The shed resolves neither way, so a probe
+      // admission is handed back rather than stranded.
       replica.sheds.fetch_add(1, std::memory_order_relaxed);
+      if (probe) replica.breaker.ReleaseProbe();
       break;
     case AttemptClass::kTransport:
       replica.transport_errors.fetch_add(1, std::memory_order_relaxed);
@@ -428,11 +456,14 @@ ShardResponse ReplicaSet::RunLoop(const ShardRequest& request, SeqState& st) {
     // run, an expired deadline ends the leg.
     if (st.prev != AttemptClass::kNone && now >= request.deadline) break;
 
-    int idx = SelectReplica(st.tried, /*allow_tried=*/false, expected, now);
+    bool probe = false;
+    int idx = SelectReplica(st.tried, /*allow_tried=*/false, expected, now,
+                            &probe);
     if (idx < 0 && st.prev == AttemptClass::kTransport) {
       // Nothing fresh left: a transport retry may re-send to an already-
       // tried replica (the classic single-replica retry).
-      idx = SelectReplica(st.tried, /*allow_tried=*/true, expected, now);
+      idx = SelectReplica(st.tried, /*allow_tried=*/true, expected, now,
+                          &probe);
     }
     if (idx < 0) break;
     st.tried[idx] = true;
@@ -456,7 +487,7 @@ ShardResponse ReplicaSet::RunLoop(const ShardRequest& request, SeqState& st) {
         std::chrono::duration<double, std::milli>(after - now).count();
     const AttemptClass cls = ClassifyAttempt(response, expected);
     Account(idx, response, cls, after, latency_ms,
-            /*overall_expired=*/after >= request.deadline);
+            /*overall_expired=*/after >= request.deadline, probe);
 
     if (cls == AttemptClass::kUsable) return response;
     st.KeepFallback(std::move(response), cls);
@@ -494,14 +525,15 @@ ShardResponse ReplicaSet::EvaluateHedged(const ShardRequest& request,
               options_.seed ^ (leg * 0x9E3779B97F4A7C15ull));
 
   const auto start = clock_->Now();
+  bool primary_probe = false;
   const int primary = SelectReplica(st.tried, /*allow_tried=*/false,
-                                    expected, start);
+                                    expected, start, &primary_probe);
   if (primary < 0) return RunLoop(request, st);
   st.tried[primary] = true;
   --st.attempts_left;
 
   auto state = std::make_shared<LegState>();
-  auto submit = [&](int slot, int replica_index) {
+  auto submit = [&](int slot, int replica_index, bool probe) {
     {
       std::lock_guard<std::mutex> lock(drain_mu_);
       ++inflight_pool_tasks_;
@@ -509,7 +541,7 @@ ShardResponse ReplicaSet::EvaluateHedged(const ShardRequest& request,
     const bool submitted =
         options_.hedge_pool
             ->TrySubmit([this, state, request, slot, replica_index,
-                         expected] {
+                         expected, probe] {
               const auto begin = clock_->Now();
               ShardResponse response =
                   Attempt(static_cast<size_t>(replica_index), request,
@@ -519,7 +551,7 @@ ShardResponse ReplicaSet::EvaluateHedged(const ShardRequest& request,
               Account(static_cast<size_t>(replica_index), response, cls, end,
                       std::chrono::duration<double, std::milli>(end - begin)
                           .count(),
-                      /*overall_expired=*/end >= request.deadline);
+                      /*overall_expired=*/end >= request.deadline, probe);
               {
                 std::lock_guard<std::mutex> lock(state->mu);
                 state->responses[slot] = std::move(response);
@@ -543,10 +575,12 @@ ShardResponse ReplicaSet::EvaluateHedged(const ShardRequest& request,
   };
 
   // Pool saturated: run the whole leg inline instead of hedging. The
-  // attempt slot reserved for the primary is handed back first.
-  if (!submit(0, primary)) {
+  // attempt slot — and the breaker probe, if the admission was one — is
+  // handed back first, so the inline loop can re-select the primary.
+  if (!submit(0, primary, primary_probe)) {
     st.tried[primary] = false;
     ++st.attempts_left;
+    if (primary_probe) replicas_[primary]->breaker.ReleaseProbe();
     return RunLoop(request, st);
   }
 
@@ -570,23 +604,36 @@ ShardResponse ReplicaSet::EvaluateHedged(const ShardRequest& request,
     if (!primary_done && st.failovers_left > 0 && st.attempts_left > 0) {
       const auto now = clock_->Now();
       if (now < request.deadline) {
-        const int sibling =
-            SelectReplica(st.tried, /*allow_tried=*/false, expected, now);
-        if (sibling >= 0) {
-          if (TryReserveHedge()) {
+        // Reserve the hedge-rate slot *before* selecting: selection
+        // consumes a breaker admission, and a cap refusal afterwards
+        // would strand a half-open probe with no attempt to resolve it.
+        if (TryReserveHedge()) {
+          bool sibling_probe = false;
+          const int sibling = SelectReplica(
+              st.tried, /*allow_tried=*/false, expected, now,
+              &sibling_probe);
+          if (sibling >= 0) {
             st.tried[sibling] = true;
             --st.attempts_left;
             --st.failovers_left;
-            if (submit(1, sibling)) {
+            if (submit(1, sibling, sibling_probe)) {
               have_hedge = true;
             } else {
+              // Hand back everything the failed hedge reserved: the
+              // budgets, the rate-cap slot, and the probe admission.
               st.tried[sibling] = false;
               ++st.attempts_left;
               ++st.failovers_left;
+              if (sibling_probe) {
+                replicas_[sibling]->breaker.ReleaseProbe();
+              }
+              hedges_.fetch_sub(1, std::memory_order_relaxed);
             }
           } else {
-            hedge_suppressed_.fetch_add(1, std::memory_order_relaxed);
+            hedges_.fetch_sub(1, std::memory_order_relaxed);
           }
+        } else {
+          hedge_suppressed_.fetch_add(1, std::memory_order_relaxed);
         }
       }
     }

@@ -67,12 +67,23 @@ class CircuitBreaker {
 
   /// Admits or rejects an attempt. An open breaker past its cooldown
   /// transitions to half-open and grants the single probe; a half-open
-  /// breaker with a probe already in flight rejects.
-  bool Allow(std::chrono::steady_clock::time_point now);
+  /// breaker with a probe already in flight rejects. When the admission
+  /// IS the probe, `*is_probe` is set: the caller now owes the breaker a
+  /// resolution — OnSuccess, OnFailure, or ReleaseProbe — or the replica
+  /// stays half-open with a phantom probe forever.
+  bool Allow(std::chrono::steady_clock::time_point now,
+             bool* is_probe = nullptr);
 
   void OnSuccess(std::chrono::steady_clock::time_point now,
                  double latency_ms);
   void OnFailure(std::chrono::steady_clock::time_point now);
+
+  /// Hands back a probe admission that will never resolve through
+  /// OnSuccess/OnFailure: the attempt was not made (hedge cap or pool said
+  /// no), or its outcome says nothing about the replica's health (a shed,
+  /// an expired or externally-cancelled refusal). The breaker returns to
+  /// half-open-with-no-probe, so the next selection may probe again.
+  void ReleaseProbe();
 
   BreakerState state() const;
   double error_rate() const;
@@ -259,10 +270,13 @@ class ReplicaSet final : public ShardBackend {
   /// Picks the most attractive admissible replica (see routing policy),
   /// consuming the breaker admission of the winner. Returns -1 when no
   /// replica is admissible. `allow_tried` re-admits already-tried replicas
-  /// (retry path, once nothing fresh remains).
+  /// (retry path, once nothing fresh remains). `*probe` is set when the
+  /// winner's admission was its breaker's half-open probe — the caller
+  /// must resolve it (Account does, for every attempt that runs) or hand
+  /// it back with ReleaseProbe when the attempt never happens.
   int SelectReplica(const std::vector<bool>& tried, bool allow_tried,
                     uint64_t expected_generation,
-                    std::chrono::steady_clock::time_point now);
+                    std::chrono::steady_clock::time_point now, bool* probe);
 
   /// One backend send (attempt counters only; classification-dependent
   /// accounting happens in Account). `external_cancel` overrides the
@@ -274,9 +288,12 @@ class ReplicaSet final : public ShardBackend {
   /// Breaker + per-replica counter updates for one classified attempt.
   /// `overall_expired` suppresses the breaker failure mark for refusals of
   /// requests that were already dead overall (not the replica's fault).
+  /// `probe` says the attempt ran on a half-open probe admission; classes
+  /// that feed neither OnSuccess nor OnFailure release it here so the
+  /// breaker can probe again.
   void Account(size_t replica_index, const ShardResponse& response,
                AttemptClass cls, std::chrono::steady_clock::time_point now,
-               double latency_ms, bool overall_expired);
+               double latency_ms, bool overall_expired, bool probe);
 
   void RecordUsableLatency(double latency_ms);
   bool TryReserveHedge();

@@ -170,6 +170,40 @@ TEST(CircuitBreakerTest, SuccessesDiluteFailuresBelowTrip) {
   EXPECT_LT(breaker.error_rate(), 0.5);
 }
 
+TEST(CircuitBreakerTest, ReleaseProbeHandsBackAnUnresolvedProbe) {
+  CircuitBreakerOptions options;
+  CircuitBreaker breaker(options);
+  ManualClock clock;
+
+  // Closed admissions are not probes.
+  bool probe = true;
+  EXPECT_TRUE(breaker.Allow(clock.Now(), &probe));
+  EXPECT_FALSE(probe);
+
+  for (int n = 0; n < 4; ++n) breaker.OnFailure(clock.Now());
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+
+  // Cooldown elapsed: the admission is the half-open probe, and while it
+  // is outstanding no second admission exists.
+  clock.Advance(options.open_cooldown + milliseconds(1));
+  ASSERT_TRUE(breaker.Allow(clock.Now(), &probe));
+  EXPECT_TRUE(probe);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.WouldAllow(clock.Now()));
+  EXPECT_FALSE(breaker.Allow(clock.Now()));
+
+  // The attempt never ran (hedge cap or pool refusal) or resolved neither
+  // way (a shed): handing the probe back re-arms half-open instead of
+  // excluding the replica from rotation forever.
+  breaker.ReleaseProbe();
+  EXPECT_TRUE(breaker.WouldAllow(clock.Now()));
+  probe = false;
+  EXPECT_TRUE(breaker.Allow(clock.Now(), &probe));
+  EXPECT_TRUE(probe);
+  breaker.OnSuccess(clock.Now(), /*latency_ms=*/1.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
 TEST(CircuitBreakerTest, LateLoserFailureWhileOpenIsIgnored) {
   CircuitBreakerOptions options;
   CircuitBreaker breaker(options);

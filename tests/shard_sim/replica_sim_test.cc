@@ -412,6 +412,135 @@ TEST_F(ReplicaSimTest, ExpiredReplicaCountsRefusalsAndFailsOver) {
   EXPECT_EQ(skewed.server().stats().requests, 1u);
 }
 
+/// A replica whose behaviour the test flips between legs: down (transport
+/// errors), shedding (alive but refusing under load), or healthy — the
+/// trajectory a real replica follows through an outage and its recovery.
+class ModalReplica : public shard::ShardBackend {
+ public:
+  enum class Mode { kDown, kShed, kHealthy };
+
+  ModalReplica(uint32_t shard_id,
+               std::shared_ptr<const delta::LayeredXClean> engine,
+               uint64_t generation, ManualClock* clock, uint64_t seed)
+      : shard_id_(shard_id),
+        clock_(clock),
+        down_(shard_id, clock),
+        healthy_(shard_id, engine, generation, clock, seed) {}
+
+  Mode mode = Mode::kDown;
+
+  shard::ShardResponse Evaluate(const shard::ShardRequest& request) override {
+    switch (mode) {
+      case Mode::kDown:
+        return down_.Evaluate(request);
+      case Mode::kShed: {
+        clock_->Advance(std::chrono::milliseconds(1));
+        shard::ShardResponse response;
+        response.shard_id = shard_id_;
+        response.status = Status::Unavailable("ladder shed");
+        response.tier = ServiceTier::kShed;
+        return response;
+      }
+      default:
+        return healthy_.Evaluate(request);
+    }
+  }
+
+ private:
+  const uint32_t shard_id_;
+  ManualClock* clock_;
+  DownReplica down_;
+  HealthyReplica healthy_;
+};
+
+/// A shed answered by a half-open probe resolves the breaker neither way
+/// (load, not fault) — the probe must be handed back, not stranded: the
+/// breaker stays half-open, and once the replica recovers a later leg
+/// probes again and closes it. A leaked probe would exclude the replica
+/// from rotation forever.
+TEST_F(ReplicaSimTest, ShedDuringHalfOpenProbeReleasesTheProbe) {
+  CorpusFixture& fx = (*fixtures_)[0];
+  const ShardedCorpus& corpus = fx.sharded.at({2u, Semantics::kNodeType});
+  const Query& query = fx.queries[1];
+
+  ManualClock clock;
+  ModalReplica modal(0, corpus.engine, kGeneration, &clock, ShardBaseSeed());
+  HealthyReplica healthy(0, corpus.engine, kGeneration, &clock,
+                         ShardBaseSeed() + 1);
+  ReplicaSetOptions ropts;
+  ropts.clock = &clock;
+  ReplicaSet set(0, {&modal, &healthy}, ropts);
+
+  auto evaluate = [&] {
+    shard::ShardRequest request;
+    request.query = query;
+    request.expected_generation = kGeneration;
+    request.deadline = clock.Now() + std::chrono::seconds(30);
+    return set.Evaluate(request);
+  };
+
+  // Four legs against the down replica trip its breaker (same trajectory
+  // as AlwaysDownReplicaTripsBreakerDeterministically).
+  for (int leg = 1; leg <= 4; ++leg) {
+    ASSERT_TRUE(evaluate().status.ok()) << "leg " << leg;
+  }
+  ASSERT_EQ(set.breaker_state(0), BreakerState::kOpen);
+
+  // Cooldown elapses; the probe lands on the replica, which now sheds.
+  // The leg fails over to the sibling, and the breaker must be left
+  // half-open with the probe re-armed.
+  modal.mode = ModalReplica::Mode::kShed;
+  clock.Advance(ropts.breaker.open_cooldown + std::chrono::milliseconds(1));
+  const shard::ShardResponse shed_leg = evaluate();
+  ASSERT_TRUE(shed_leg.status.ok());
+  EXPECT_EQ(set.breaker_state(0), BreakerState::kHalfOpen);
+
+  // Recovered: the next leg spends a fresh probe on the replica and the
+  // success closes the breaker — the replica is back in rotation.
+  modal.mode = ModalReplica::Mode::kHealthy;
+  const shard::ShardResponse recovered = evaluate();
+  ASSERT_TRUE(recovered.status.ok());
+  EXPECT_FALSE(recovered.truncated);
+  EXPECT_EQ(set.breaker_state(0), BreakerState::kClosed);
+
+  const ReplicaSetStats stats = set.stats();
+  EXPECT_EQ(stats.replicas[0].sheds, 1u);
+  EXPECT_EQ(stats.replicas[0].breaker_opens, 1u);
+}
+
+/// The 64-replica boundary the selection bitmask imposes is enforced at
+/// construction, not on the serving path — a maximal configuration builds
+/// and serves normally.
+TEST_F(ReplicaSimTest, SixtyFourReplicaConfigurationServes) {
+  CorpusFixture& fx = (*fixtures_)[0];
+  const ShardedCorpus& corpus = fx.sharded.at({2u, Semantics::kNodeType});
+
+  ManualClock clock;
+  HealthyReplica healthy(0, corpus.engine, kGeneration, &clock,
+                         ShardBaseSeed());
+  std::vector<std::unique_ptr<DownReplica>> downs;
+  std::vector<shard::ShardBackend*> raw{&healthy};
+  while (raw.size() < 64) {
+    downs.push_back(std::make_unique<DownReplica>(0, &clock));
+    raw.push_back(downs.back().get());
+  }
+  ReplicaSet set(0, raw, [&] {
+    ReplicaSetOptions ropts;
+    ropts.clock = &clock;
+    return ropts;
+  }());
+  EXPECT_EQ(set.num_replicas(), 64u);
+
+  shard::ShardRequest request;
+  request.query = fx.queries[1];
+  request.expected_generation = kGeneration;
+  request.deadline = clock.Now() + std::chrono::seconds(30);
+  const shard::ShardResponse response = set.Evaluate(request);
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_FALSE(response.truncated);
+  EXPECT_EQ(set.stats().attempts, 1u);  // straight to the healthy primary
+}
+
 // ---------------------------------------------------------------------------
 // Threaded hedging (real clock, real sleeps) — the TSan targets.
 
@@ -488,6 +617,45 @@ TEST_F(ReplicaSimTest, HedgedFanoutWinsOnSiblingAndCancelsLoser) {
   EXPECT_GE(stats.hedge_wins, 1u);
   EXPECT_GE(stats.losers_cancelled, 1u);
   EXPECT_LE(stats.attempts, 3u * set.max_attempts_per_leg());
+}
+
+/// Losing a hedge race is not a failure: the cancelled loser comes back as
+/// an externally-cancelled refusal, and that must never feed the breaker —
+/// otherwise sustained hedging trips a healthy-but-slower replica out of
+/// rotation (min_samples straight "failures" would open it by leg 4).
+TEST_F(ReplicaSimTest, CancelledHedgeLosersDoNotTripTheBreaker) {
+  CorpusFixture& fx = (*fixtures_)[0];
+  const ShardedCorpus& corpus = fx.sharded.at({2u, Semantics::kNodeType});
+
+  DelayBackend slow(0, corpus.engine, kGeneration,
+                    std::chrono::milliseconds(400));
+  ShardServer fast(0, corpus.engine, kGeneration);
+
+  ThreadPoolOptions popts;
+  popts.num_threads = 4;
+  ThreadPool pool(popts);
+  ReplicaSetOptions ropts;
+  ropts.hedge_pool = &pool;
+  ropts.hedge_delay_floor = std::chrono::milliseconds(5);
+  ropts.hedge_delay_cap = std::chrono::milliseconds(10);
+  ropts.hedge_rate_cap = 1.0;
+  ReplicaSet set(0, {&slow, &fast}, ropts);
+
+  for (int leg = 0; leg < 6; ++leg) {
+    shard::ShardRequest request;
+    request.query = fx.queries[1];
+    request.expected_generation = kGeneration;
+    request.deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    const shard::ShardResponse response = set.Evaluate(request);
+    ASSERT_TRUE(response.status.ok()) << "leg " << leg;
+    EXPECT_FALSE(response.truncated) << "leg " << leg;
+  }
+
+  const ReplicaSetStats stats = set.stats();
+  EXPECT_GE(stats.hedge_wins, 4u);  // the slow primary lost nearly every race
+  EXPECT_EQ(stats.replicas[0].breaker_opens, 0u);
+  EXPECT_EQ(set.breaker_state(0), BreakerState::kClosed);
 }
 
 /// hedge_rate_cap = 0 disables hedging outright: the wanted hedge is
