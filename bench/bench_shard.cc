@@ -19,12 +19,21 @@
 // gamma = 0 (unbounded accumulators) so every configuration computes the
 // same exact scores as the unsharded oracle and the comparison is work for
 // work; each run cross-checks the top suggestion against the oracle's.
+//
+// Two wire sections follow the in-process table: the same scatter-gather
+// with every shard behind a real loopback socket (RpcShardServer +
+// RpcShardBackend) prices serialization + framing + syscalls against the
+// in-process fan-out, and the straggler-tail comparison is repeated with
+// both replicas of every shard behind sockets, so the hedged p99 is
+// measured over the wire — cancel frames and all. XCLEAN_BENCH_JSON dumps
+// all three sections.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <numeric>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,6 +45,8 @@
 #include "data/dblp_gen.h"
 #include "data/workload.h"
 #include "index/xml_index.h"
+#include "rpc/rpc_client.h"
+#include "rpc/rpc_shard_server.h"
 #include "shard/coordinator.h"
 #include "shard/replica_set.h"
 #include "shard/shard_server.h"
@@ -101,6 +112,45 @@ ShardFleet MakeFleet(const XmlTree& corpus, size_t num_shards) {
 
 double MeanMs(double total_ms, size_t count) {
   return count == 0 ? 0.0 : total_ms / static_cast<double>(count);
+}
+
+/// The same fleet with every shard behind a real loopback socket: a
+/// ShardServer per shard fronted by an RpcShardServer, an RpcShardBackend
+/// dialing it, and the coordinator fanning out over the clients. The delta
+/// against the in-process scatter is the whole wire tax — exact request/
+/// response serialization, frame checksums, and loopback syscalls.
+struct RpcFleet {
+  std::vector<std::unique_ptr<ShardServer>> backends;
+  std::vector<std::unique_ptr<rpc::RpcShardServer>> servers;
+  std::vector<std::unique_ptr<rpc::RpcShardBackend>> clients;
+  std::vector<ShardBackend*> backend_ptrs;
+  std::unique_ptr<Coordinator> coordinator;
+};
+
+RpcFleet MakeRpcFleet(const ShardedCorpus& sharded) {
+  RpcFleet fleet;
+  for (uint32_t s = 0; s < sharded.num_shards(); ++s) {
+    fleet.backends.push_back(
+        std::make_unique<ShardServer>(s, sharded.engine, kGeneration));
+    rpc::RpcServerOptions sopts;
+    sopts.shard_id = s;
+    fleet.servers.push_back(std::make_unique<rpc::RpcShardServer>(
+        fleet.backends.back().get(), sopts));
+    const Status started = fleet.servers.back()->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "RpcShardServer(%u): %s\n", s,
+                   started.ToString().c_str());
+      std::exit(1);
+    }
+    fleet.clients.push_back(std::make_unique<rpc::RpcShardBackend>(
+        fleet.servers.back()->port(), s));
+    fleet.backend_ptrs.push_back(fleet.clients.back().get());
+  }
+  CoordinatorOptions copts;
+  copts.fanout_timeout = std::chrono::milliseconds(5000);
+  fleet.coordinator = std::make_unique<Coordinator>(
+      fleet.backend_ptrs, sharded.stats, BenchOptions(), copts);
+  return fleet;
 }
 
 double Percentile(std::vector<double> samples, double p) {
@@ -197,6 +247,87 @@ HedgeResult RunHedgeLeg(const ShardedCorpus& sharded,
       samples.push_back(watch.ElapsedSeconds() * 1000.0);
       if (!result.status.ok()) {
         std::fprintf(stderr, "hedge leg failed: %s\n",
+                     result.status.ToString().c_str());
+        std::exit(1);
+      }
+    }
+  }
+  HedgeResult out;
+  out.p50_ms = Percentile(samples, 0.50);
+  out.p99_ms = Percentile(samples, 0.99);
+  for (const auto& set : sets) {
+    const ReplicaSetStats stats = set->stats();
+    out.hedges += stats.hedges;
+    out.hedge_wins += stats.hedge_wins;
+  }
+  return out;
+}
+
+/// The straggler-tail experiment over the wire: both replicas of every
+/// shard sit behind a real RpcShardServer socket and the ReplicaSet races
+/// RpcShardBackend clients. A hedge win now exercises the full cancel
+/// path — the loser's client sends a cancel frame, the server raises the
+/// evaluation's external-cancel flag, the straggler stops stalling and
+/// flushes its truncated response, and the connection stays pooled.
+HedgeResult RunWireHedgeLeg(const ShardedCorpus& sharded,
+                            const std::vector<Query>& queries, int rounds,
+                            bool hedged) {
+  ThreadPoolOptions popts;
+  popts.num_threads = 2 * sharded.num_shards();
+  ThreadPool hedge_pool(popts);
+
+  std::vector<std::unique_ptr<StragglerBackend>> primaries;
+  std::vector<std::unique_ptr<ShardServer>> siblings;
+  std::vector<std::unique_ptr<rpc::RpcShardServer>> wire_servers;
+  std::vector<std::unique_ptr<rpc::RpcShardBackend>> wire_clients;
+  std::vector<std::unique_ptr<ReplicaSet>> sets;
+  std::vector<ShardBackend*> backends;
+  for (uint32_t s = 0; s < sharded.num_shards(); ++s) {
+    primaries.push_back(std::make_unique<StragglerBackend>(
+        s, sharded.engine, std::chrono::milliseconds(25), /*period=*/13));
+    siblings.push_back(
+        std::make_unique<ShardServer>(s, sharded.engine, kGeneration));
+    std::vector<ShardBackend*> replicas;
+    for (ShardBackend* local :
+         {static_cast<ShardBackend*>(primaries.back().get()),
+          static_cast<ShardBackend*>(siblings.back().get())}) {
+      rpc::RpcServerOptions sopts;
+      sopts.shard_id = s;
+      wire_servers.push_back(
+          std::make_unique<rpc::RpcShardServer>(local, sopts));
+      const Status started = wire_servers.back()->Start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "wire hedge RpcShardServer(%u): %s\n", s,
+                     started.ToString().c_str());
+        std::exit(1);
+      }
+      wire_clients.push_back(std::make_unique<rpc::RpcShardBackend>(
+          wire_servers.back()->port(), s));
+      replicas.push_back(wire_clients.back().get());
+    }
+    ReplicaSetOptions ropts;
+    if (hedged) {
+      ropts.hedge_pool = &hedge_pool;
+      ropts.hedge_rate_cap = 1.0;  // price the mechanism, not the budget
+      ropts.hedge_delay_floor = std::chrono::milliseconds(2);
+      ropts.hedge_delay_cap = std::chrono::milliseconds(10);
+    }
+    sets.push_back(std::make_unique<ReplicaSet>(s, replicas, ropts));
+    backends.push_back(sets.back().get());
+  }
+  CoordinatorOptions copts;
+  copts.fanout_timeout = std::chrono::milliseconds(5000);
+  Coordinator coordinator(backends, sharded.stats, BenchOptions(), copts);
+
+  std::vector<double> samples;
+  samples.reserve(queries.size() * static_cast<size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    for (const Query& query : queries) {
+      Stopwatch watch;
+      CoordinatorResult result = coordinator.Suggest(query, kGeneration);
+      samples.push_back(watch.ElapsedSeconds() * 1000.0);
+      if (!result.status.ok()) {
+        std::fprintf(stderr, "wire hedge leg failed: %s\n",
                      result.status.ToString().c_str());
         std::exit(1);
       }
@@ -323,46 +454,145 @@ int main() {
       "renormalise + rank only. scatter/serial gap is the parallel win,\n"
       "merge is the coordination tax.\n");
 
+  const size_t num_shards = 4;
+  ShardFleet fleet = MakeFleet(corpus, num_shards);  // reuses the build
+
+  // Wire tax: the identical scatter-gather, but every per-shard leg now
+  // crosses a real loopback socket — exact request/response serialization,
+  // checksummed frames, connect/read/write syscalls. Each shard's
+  // connection is dialed once and then pooled, so the steady-state delta
+  // vs the in-process fan-out is pure per-request wire cost.
+  double inproc_mean = 0.0, inproc_p50 = 0.0, inproc_p99 = 0.0;
+  double wire_mean = 0.0, wire_p50 = 0.0, wire_p99 = 0.0;
+  unsigned long long wire_dials = 0, wire_reuses = 0;
+  {
+    RpcFleet rpc_fleet = MakeRpcFleet(fleet.corpus);
+    std::vector<double> inproc_samples, wire_samples;
+    inproc_samples.reserve(queries.size() * static_cast<size_t>(rounds));
+    wire_samples.reserve(queries.size() * static_cast<size_t>(rounds));
+    size_t mismatches = 0;
+    for (int r = 0; r < rounds; ++r) {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        Stopwatch inproc_watch;
+        CoordinatorResult local =
+            fleet.coordinator->Suggest(queries[i], kGeneration);
+        inproc_samples.push_back(inproc_watch.ElapsedSeconds() * 1000.0);
+        Stopwatch wire_watch;
+        CoordinatorResult wired =
+            rpc_fleet.coordinator->Suggest(queries[i], kGeneration);
+        wire_samples.push_back(wire_watch.ElapsedSeconds() * 1000.0);
+        const std::vector<Suggestion>& want = oracle_answers[i];
+        for (const CoordinatorResult* result : {&local, &wired}) {
+          const bool top_matches =
+              result->suggestions.empty()
+                  ? want.empty()
+                  : !want.empty() &&
+                        result->suggestions[0].words == want[0].words;
+          if (!result->status.ok() || result->truncated || !top_matches) {
+            ++mismatches;
+          }
+        }
+      }
+    }
+    inproc_mean = MeanMs(
+        std::accumulate(inproc_samples.begin(), inproc_samples.end(), 0.0),
+        inproc_samples.size());
+    inproc_p50 = Percentile(inproc_samples, 0.50);
+    inproc_p99 = Percentile(inproc_samples, 0.99);
+    wire_mean = MeanMs(
+        std::accumulate(wire_samples.begin(), wire_samples.end(), 0.0),
+        wire_samples.size());
+    wire_p50 = Percentile(wire_samples, 0.50);
+    wire_p99 = Percentile(wire_samples, 0.99);
+    for (const auto& client : rpc_fleet.clients) {
+      const rpc::RpcClientStats stats = client->stats();
+      wire_dials += stats.dials;
+      wire_reuses += stats.pooled_reuses;
+    }
+    std::printf("\nwire tax (%zu shards, loopback RPC vs in-process):\n",
+                num_shards);
+    std::printf("%11s %10s %10s %10s\n", "", "mean-ms", "p50-ms", "p99-ms");
+    std::printf("%11s %10.3f %10.3f %10.3f\n", "in-process", inproc_mean,
+                inproc_p50, inproc_p99);
+    std::printf("%11s %10.3f %10.3f %10.3f   (dials=%llu reuses=%llu)%s\n",
+                "loopback", wire_mean, wire_p50, wire_p99, wire_dials,
+                wire_reuses, mismatches ? "  [MISMATCH]" : "");
+    if (mismatches) {
+      std::fprintf(stderr,
+                   "%zu wire-tax answers disagreed with the unsharded "
+                   "oracle's top suggestion\n", mismatches);
+      return 1;
+    }
+  }
+
   // Tail latency with a straggling primary on every shard (1 in 13 calls
   // stalls 25ms): hedging fires a sibling attempt after a small delay and
   // the first usable answer wins, so the p99 collapses toward the healthy
-  // path while the p50 (no straggle, no hedge needed) stays put.
-  {
-    const size_t num_shards = 4;
-    ShardFleet fleet = MakeFleet(corpus, num_shards);  // reuses the build
-    const HedgeResult unhedged =
-        RunHedgeLeg(fleet.corpus, queries, rounds, /*hedged=*/false);
-    const HedgeResult hedged =
-        RunHedgeLeg(fleet.corpus, queries, rounds, /*hedged=*/true);
-    std::printf(
-        "\nstraggler tail (%zu shards, 2 replicas each, 1/13 legs stall "
-        "25ms):\n", num_shards);
-    std::printf("%10s %10s %10s %10s %12s\n", "", "p50-ms", "p99-ms",
-                "hedges", "hedge-wins");
-    std::printf("%10s %10.3f %10.3f %10s %12s\n", "unhedged", unhedged.p50_ms,
-                unhedged.p99_ms, "-", "-");
-    std::printf("%10s %10.3f %10.3f %10llu %12llu\n", "hedged", hedged.p50_ms,
-                hedged.p99_ms,
-                static_cast<unsigned long long>(hedged.hedges),
-                static_cast<unsigned long long>(hedged.hedge_wins));
-    if (const char* json_path = std::getenv("XCLEAN_BENCH_JSON")) {
-      std::FILE* f = std::fopen(json_path, "w");
-      if (f != nullptr) {
-        std::fprintf(
-            f,
-            "[\n  {\"bench\": \"shard_hedge\", "
-            "\"unhedged_p50_ms\": %.6f, \"unhedged_p99_ms\": %.6f, "
-            "\"hedged_p50_ms\": %.6f, \"hedged_p99_ms\": %.6f, "
-            "\"hedges\": %llu, \"hedge_wins\": %llu}\n]\n",
-            unhedged.p50_ms, unhedged.p99_ms, hedged.p50_ms, hedged.p99_ms,
-            static_cast<unsigned long long>(hedged.hedges),
-            static_cast<unsigned long long>(hedged.hedge_wins));
-        std::fclose(f);
-        std::printf("wrote JSON results to %s\n", json_path);
-      } else {
-        std::fprintf(stderr, "XCLEAN_BENCH_JSON: cannot open %s\n",
-                     json_path);
-      }
+  // path while the p50 (no straggle, no hedge needed) stays put. The wire
+  // rows repeat the experiment with both replicas behind real sockets, so
+  // the hedged row prices the full cancel-frame path too.
+  const HedgeResult unhedged =
+      RunHedgeLeg(fleet.corpus, queries, rounds, /*hedged=*/false);
+  const HedgeResult hedged =
+      RunHedgeLeg(fleet.corpus, queries, rounds, /*hedged=*/true);
+  const HedgeResult wire_unhedged =
+      RunWireHedgeLeg(fleet.corpus, queries, rounds, /*hedged=*/false);
+  const HedgeResult wire_hedged =
+      RunWireHedgeLeg(fleet.corpus, queries, rounds, /*hedged=*/true);
+  std::printf(
+      "\nstraggler tail (%zu shards, 2 replicas each, 1/13 legs stall "
+      "25ms):\n", num_shards);
+  std::printf("%15s %10s %10s %10s %12s\n", "", "p50-ms", "p99-ms",
+              "hedges", "hedge-wins");
+  std::printf("%15s %10.3f %10.3f %10s %12s\n", "unhedged", unhedged.p50_ms,
+              unhedged.p99_ms, "-", "-");
+  std::printf("%15s %10.3f %10.3f %10llu %12llu\n", "hedged", hedged.p50_ms,
+              hedged.p99_ms,
+              static_cast<unsigned long long>(hedged.hedges),
+              static_cast<unsigned long long>(hedged.hedge_wins));
+  std::printf("%15s %10.3f %10.3f %10s %12s\n", "wire unhedged",
+              wire_unhedged.p50_ms, wire_unhedged.p99_ms, "-", "-");
+  std::printf("%15s %10.3f %10.3f %10llu %12llu\n", "wire hedged",
+              wire_hedged.p50_ms, wire_hedged.p99_ms,
+              static_cast<unsigned long long>(wire_hedged.hedges),
+              static_cast<unsigned long long>(wire_hedged.hedge_wins));
+
+  if (const char* json_path = std::getenv("XCLEAN_BENCH_JSON")) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f != nullptr) {
+      std::fprintf(
+          f,
+          "[\n  {\"bench\": \"shard_hedge\", "
+          "\"unhedged_p50_ms\": %.6f, \"unhedged_p99_ms\": %.6f, "
+          "\"hedged_p50_ms\": %.6f, \"hedged_p99_ms\": %.6f, "
+          "\"hedges\": %llu, \"hedge_wins\": %llu},\n",
+          unhedged.p50_ms, unhedged.p99_ms, hedged.p50_ms, hedged.p99_ms,
+          static_cast<unsigned long long>(hedged.hedges),
+          static_cast<unsigned long long>(hedged.hedge_wins));
+      std::fprintf(
+          f,
+          "  {\"bench\": \"rpc_wire_tax\", "
+          "\"inproc_mean_ms\": %.6f, \"inproc_p50_ms\": %.6f, "
+          "\"inproc_p99_ms\": %.6f, \"wire_mean_ms\": %.6f, "
+          "\"wire_p50_ms\": %.6f, \"wire_p99_ms\": %.6f, "
+          "\"dials\": %llu, \"pooled_reuses\": %llu},\n",
+          inproc_mean, inproc_p50, inproc_p99, wire_mean, wire_p50,
+          wire_p99, wire_dials, wire_reuses);
+      std::fprintf(
+          f,
+          "  {\"bench\": \"rpc_wire_hedge\", "
+          "\"unhedged_p50_ms\": %.6f, \"unhedged_p99_ms\": %.6f, "
+          "\"hedged_p50_ms\": %.6f, \"hedged_p99_ms\": %.6f, "
+          "\"hedges\": %llu, \"hedge_wins\": %llu}\n]\n",
+          wire_unhedged.p50_ms, wire_unhedged.p99_ms, wire_hedged.p50_ms,
+          wire_hedged.p99_ms,
+          static_cast<unsigned long long>(wire_hedged.hedges),
+          static_cast<unsigned long long>(wire_hedged.hedge_wins));
+      std::fclose(f);
+      std::printf("wrote JSON results to %s\n", json_path);
+    } else {
+      std::fprintf(stderr, "XCLEAN_BENCH_JSON: cannot open %s\n",
+                   json_path);
     }
   }
   return 0;

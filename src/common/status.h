@@ -22,6 +22,11 @@ enum class StatusCode {
   kUnavailable,
   /// The request's deadline expired before it could be served.
   kDeadlineExceeded,
+  /// Bytes were lost or corrupted in flight or at rest: a checksum
+  /// mismatch, torn frame, or undecodable wire payload. Distinct from
+  /// kUnavailable so corrupt-transport events are countable on their own
+  /// in replica stats and breaker accounting.
+  kDataLoss,
 };
 
 /// Lightweight status object. The library does not use exceptions; any
@@ -63,6 +68,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,288 @@
+#include "rpc/fault_proxy.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/random.h"
+
+namespace xclean::rpc {
+
+const char* MangleName(MangleKind kind) {
+  switch (kind) {
+    case MangleKind::kClean:
+      return "clean";
+    case MangleKind::kTruncate:
+      return "truncate";
+    case MangleKind::kBitflip:
+      return "bitflip";
+    case MangleKind::kDisconnect:
+      return "disconnect";
+    case MangleKind::kStall:
+      return "stall";
+    case MangleKind::kDuplicate:
+      return "duplicate";
+    case MangleKind::kGarbage:
+      return "garbage";
+  }
+  return "?";
+}
+
+std::string FaultScript::ToString() const {
+  std::string out = std::string("fault{") + MangleName(kind) +
+                    (server_to_client ? " s->c" : " c->s") +
+                    " at=" + std::to_string(byte_offset);
+  if (kind == MangleKind::kBitflip) out += " bit=" + std::to_string(bit);
+  if (kind == MangleKind::kGarbage) {
+    out += " len=" + std::to_string(garbage_len) +
+           " seed=" + std::to_string(seed);
+  }
+  out += "}";
+  return out;
+}
+
+/// One proxied connection: the two sockets plus a retain-window of the
+/// most recent bytes (for kDuplicate).
+struct FaultProxy::Pipe {
+  Socket client;  // accepted side
+  Socket server;  // dialed side
+  std::atomic<bool> dead{false};
+
+  void KillBoth() {
+    dead.store(true, std::memory_order_release);
+    client.ShutdownBoth();
+    server.ShutdownBoth();
+  }
+};
+
+FaultProxy::FaultProxy(uint16_t target_port) : target_port_(target_port) {}
+
+FaultProxy::~FaultProxy() { Shutdown(); }
+
+Status FaultProxy::Start() {
+  Result<Socket> listener = ListenLoopback(0);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  Result<uint16_t> port = LocalPort(listener_);
+  if (!port.ok()) return port.status();
+  port_ = port.value();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::Ok();
+}
+
+void FaultProxy::Shutdown() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  listener_.ShutdownBoth();
+  {
+    std::lock_guard<std::mutex> lock(pipes_mu_);
+    for (auto& pipe : pipes_) pipe->KillBoth();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> pumps;
+  {
+    std::lock_guard<std::mutex> lock(pipes_mu_);
+    pumps.swap(pump_threads_);
+  }
+  for (std::thread& t : pumps) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(pipes_mu_);
+    pipes_.clear();
+  }
+  listener_.Close();
+  started_ = false;
+}
+
+void FaultProxy::SetScript(const FaultScript& script) {
+  std::lock_guard<std::mutex> lock(script_mu_);
+  script_ = script;
+}
+
+FaultProxyStats FaultProxy::stats() const {
+  FaultProxyStats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.bytes_client_to_server = bytes_c2s_.load(std::memory_order_relaxed);
+  s.bytes_server_to_client = bytes_s2c_.load(std::memory_order_relaxed);
+  s.faults_applied = faults_applied_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void FaultProxy::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Result<Socket> accepted =
+        AcceptWithTimeout(listener_, std::chrono::milliseconds(50));
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kNotFound) continue;
+      break;
+    }
+    Result<Socket> upstream =
+        DialLoopback(target_port_, std::chrono::milliseconds(1000));
+    if (!upstream.ok()) continue;  // accepted socket closes: clean refusal
+
+    auto pipe = std::make_shared<Pipe>();
+    pipe->client = std::move(accepted).value();
+    pipe->server = std::move(upstream).value();
+    connections_.fetch_add(1, std::memory_order_relaxed);
+
+    FaultScript script;
+    {
+      std::lock_guard<std::mutex> lock(script_mu_);
+      script = script_;
+    }
+    std::lock_guard<std::mutex> lock(pipes_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      pipe->KillBoth();
+      break;
+    }
+    pipes_.push_back(pipe);
+    pump_threads_.emplace_back(
+        [this, pipe, script] { Pump(pipe, /*server_to_client=*/false, script); });
+    pump_threads_.emplace_back(
+        [this, pipe, script] { Pump(pipe, /*server_to_client=*/true, script); });
+  }
+}
+
+void FaultProxy::Pump(std::shared_ptr<Pipe> pipe, bool server_to_client,
+                      FaultScript script) {
+  const bool mangled = script.server_to_client == server_to_client &&
+                       script.kind != MangleKind::kClean;
+  Socket& from = server_to_client ? pipe->server : pipe->client;
+  Socket& to = server_to_client ? pipe->client : pipe->server;
+  std::atomic<uint64_t>& byte_counter =
+      server_to_client ? bytes_s2c_ : bytes_c2s_;
+
+  Rng garbage_rng(script.seed * 0x9E3779B97F4A7C15ull + 1);
+  uint64_t forwarded = 0;     // bytes forwarded so far in this direction
+  bool fault_done = false;    // one-shot faults fire once
+  bool fault_counted = false;
+  // Retain window for kDuplicate: the last bytes before the offset.
+  std::string dup_window;
+
+  char buf[4096];
+  for (;;) {
+    if (pipe->dead.load(std::memory_order_acquire) ||
+        stopping_.load(std::memory_order_acquire)) {
+      break;
+    }
+    Result<size_t> got =
+        RecvSome(from, buf, sizeof(buf), std::chrono::milliseconds(20));
+    if (!got.ok()) {
+      if (got.status().code() == StatusCode::kNotFound) continue;  // slice
+      break;
+    }
+    const size_t n = got.value();
+    if (n == 0) {  // EOF from the source: propagate the half-close
+      ::shutdown(to.fd(), SHUT_WR);
+      break;
+    }
+
+    std::string chunk(buf, n);
+    bool close_after = false;
+    bool close_both_after = false;
+
+    if (mangled && !fault_done) {
+      switch (script.kind) {
+        case MangleKind::kClean:
+          break;
+        case MangleKind::kTruncate:
+          if (forwarded + chunk.size() >= script.byte_offset) {
+            chunk.resize(script.byte_offset > forwarded
+                             ? script.byte_offset - forwarded
+                             : 0);
+            close_after = true;
+            fault_done = true;
+          }
+          break;
+        case MangleKind::kBitflip:
+          if (forwarded + chunk.size() > script.byte_offset &&
+              script.byte_offset >= forwarded) {
+            chunk[script.byte_offset - forwarded] ^=
+                static_cast<char>(1u << (script.bit & 7));
+            fault_done = true;
+          }
+          break;
+        case MangleKind::kDisconnect:
+          if (forwarded + chunk.size() >= script.byte_offset) {
+            chunk.resize(script.byte_offset > forwarded
+                             ? script.byte_offset - forwarded
+                             : 0);
+            close_both_after = true;
+            fault_done = true;
+          }
+          break;
+        case MangleKind::kStall:
+          if (forwarded >= script.byte_offset) {
+            // Swallow everything from here on: bytes vanish, the
+            // connection stays open, the peer's deadline must save it.
+            fault_done = false;  // keep swallowing
+            chunk.clear();
+          } else if (forwarded + chunk.size() > script.byte_offset) {
+            chunk.resize(script.byte_offset - forwarded);
+          }
+          break;
+        case MangleKind::kDuplicate:
+          if (forwarded + chunk.size() >= script.byte_offset) {
+            // Replay the retained tail (up to 64 bytes) mid-stream: the
+            // receiver sees a once-valid byte run twice, which can only
+            // parse as garbage.
+            const size_t keep = std::min<size_t>(dup_window.size(), 64);
+            chunk += dup_window.substr(dup_window.size() - keep);
+            fault_done = true;
+          } else {
+            dup_window += chunk;
+            if (dup_window.size() > 64) {
+              dup_window.erase(0, dup_window.size() - 64);
+            }
+          }
+          break;
+        case MangleKind::kGarbage:
+          if (forwarded + chunk.size() >= script.byte_offset) {
+            std::string garbage;
+            for (uint32_t i = 0; i < script.garbage_len; ++i) {
+              garbage.push_back(
+                  static_cast<char>(garbage_rng.Uniform(256)));
+            }
+            const size_t cut =
+                script.byte_offset > forwarded
+                    ? std::min<size_t>(script.byte_offset - forwarded,
+                                       chunk.size())
+                    : 0;
+            chunk.insert(cut, garbage);
+            fault_done = true;
+          }
+          break;
+      }
+      if (!fault_counted &&
+          (fault_done || (script.kind == MangleKind::kStall &&
+                          forwarded >= script.byte_offset))) {
+        fault_counted = true;
+        faults_applied_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    forwarded += n;  // count source bytes, so offsets track the original
+    byte_counter.fetch_add(n, std::memory_order_relaxed);
+
+    if (!chunk.empty()) {
+      Status sent = SendAll(to, chunk.data(), chunk.size(),
+                            std::chrono::steady_clock::now() +
+                                std::chrono::seconds(5),
+                            nullptr);
+      if (!sent.ok()) break;
+    }
+    if (close_after) {
+      ::shutdown(to.fd(), SHUT_WR);
+      break;
+    }
+    if (close_both_after) {
+      pipe->KillBoth();
+      break;
+    }
+  }
+}
+
+}  // namespace xclean::rpc

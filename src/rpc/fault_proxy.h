@@ -1,0 +1,116 @@
+#ifndef XCLEAN_RPC_FAULT_PROXY_H_
+#define XCLEAN_RPC_FAULT_PROXY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "rpc/socket.h"
+
+namespace xclean::rpc {
+
+/// Byte-level mangling behaviours the proxy can apply to one direction of
+/// a proxied connection. Each models a failure a real network produces and
+/// the transport must map to a clean outcome — a correct retried answer or
+/// an honest transport error, never a corrupt-accepted response.
+enum class MangleKind : uint8_t {
+  kClean = 0,   ///< forward faithfully
+  kTruncate,    ///< forward exactly N bytes, then close the write half
+  kBitflip,     ///< flip one bit of byte N, keep forwarding
+  kDisconnect,  ///< forward N bytes, then slam both directions shut
+  kStall,       ///< forward N bytes, then swallow input with the
+                ///< connection held open (slow-loris / wedged peer)
+  kDuplicate,   ///< re-send the 64 bytes before offset N a second time
+  kGarbage,     ///< inject M seeded random bytes after byte N
+};
+
+const char* MangleName(MangleKind kind);
+
+/// One direction's scripted fault. Offsets count bytes *forwarded in that
+/// direction on that connection*, so a script is deterministic over the
+/// byte stream regardless of TCP chunking.
+struct FaultScript {
+  MangleKind kind = MangleKind::kClean;
+  /// Apply to server->client bytes (responses) instead of client->server
+  /// (requests).
+  bool server_to_client = false;
+  uint64_t byte_offset = 0;  ///< where the fault lands
+  uint32_t bit = 0;          ///< kBitflip: bit index 0..7
+  uint32_t garbage_len = 0;  ///< kGarbage: bytes to inject
+  uint64_t seed = 1;         ///< kGarbage: byte-content seed
+
+  std::string ToString() const;
+};
+
+struct FaultProxyStats {
+  uint64_t connections = 0;
+  uint64_t bytes_client_to_server = 0;
+  uint64_t bytes_server_to_client = 0;
+  uint64_t faults_applied = 0;
+};
+
+/// A deterministic man-in-the-middle for loopback RPC connections: listens
+/// on its own ephemeral port, forwards each accepted connection to the
+/// target port, and applies the currently-set FaultScript to the byte
+/// stream. The script applies per connection (offsets reset each accept),
+/// so a retry on a fresh connection replays the same fault — tests that
+/// want the retry to *succeed* switch the script to kClean first, or point
+/// the retried leg at the target directly.
+///
+/// Threading: one accept thread plus two pump threads per live connection,
+/// all joined by Shutdown()/destructor. The mangling itself is pure
+/// function of (script, byte offsets), so the damage done to the stream is
+/// reproducible byte for byte even though TCP chunk boundaries are not.
+class FaultProxy {
+ public:
+  explicit FaultProxy(uint16_t target_port);
+  ~FaultProxy();
+
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  Status Start();
+  void Shutdown();
+
+  uint16_t port() const { return port_; }
+
+  /// Script applied to connections accepted from now on.
+  void SetScript(const FaultScript& script);
+  FaultProxyStats stats() const;
+
+ private:
+  struct Pipe;
+
+  void AcceptLoop();
+  void Pump(std::shared_ptr<Pipe> pipe, bool server_to_client,
+            FaultScript script);
+
+  const uint16_t target_port_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::thread accept_thread_;
+  std::mutex pipes_mu_;
+  std::vector<std::shared_ptr<Pipe>> pipes_;
+  std::vector<std::thread> pump_threads_;  // guarded by pipes_mu_
+
+  mutable std::mutex script_mu_;
+  FaultScript script_;
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> bytes_c2s_{0};
+  std::atomic<uint64_t> bytes_s2c_{0};
+  std::atomic<uint64_t> faults_applied_{0};
+};
+
+}  // namespace xclean::rpc
+
+#endif  // XCLEAN_RPC_FAULT_PROXY_H_

@@ -1,0 +1,155 @@
+#include "rpc/frame.h"
+
+#include <cstring>
+
+#include "common/durable_file.h"
+
+namespace xclean::rpc {
+
+namespace {
+
+constexpr uint16_t kMagic = 0x5258;  // "XR"
+
+void PutFixed16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void PutFixed32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void PutFixed64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+uint16_t GetFixed16(const char* p) {
+  const uint8_t* u = reinterpret_cast<const uint8_t*>(p);
+  return static_cast<uint16_t>(u[0] | (u[1] << 8));
+}
+
+uint32_t GetFixed32(const char* p) {
+  const uint8_t* u = reinterpret_cast<const uint8_t*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+uint64_t GetFixed64(const char* p) {
+  uint64_t v = 0;
+  const uint8_t* u = reinterpret_cast<const uint8_t*>(p);
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(u[i]) << (8 * i);
+  return v;
+}
+
+bool KnownType(uint8_t type) {
+  return type == static_cast<uint8_t>(FrameType::kRequest) ||
+         type == static_cast<uint8_t>(FrameType::kResponse) ||
+         type == static_cast<uint8_t>(FrameType::kCancel);
+}
+
+}  // namespace
+
+void EncodeFrame(FrameType type, uint64_t request_id,
+                 const std::string& payload, std::string& out) {
+  const size_t header_at = out.size();
+  PutFixed16(out, kMagic);
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(type));
+  PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  PutFixed64(out, request_id);
+  PutFixed64(out, Fnv1a(payload.data(), payload.size()));
+  PutFixed64(out, Fnv1a(out.data() + header_at, 24));
+  out.append(payload);
+}
+
+void FrameDecoder::Feed(const char* data, size_t size) {
+  if (fatal_ || size == 0) return;
+  Compact();
+  buffer_.append(data, size);
+}
+
+void FrameDecoder::Compact() {
+  // Drop the consumed prefix once it dominates the buffer, so a long-lived
+  // connection doesn't accrete every frame it ever saw.
+  if (consumed_ > 0 && (consumed_ >= buffer_.size() || consumed_ > 65536)) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+DecodeEvent FrameDecoder::Next() {
+  DecodeEvent event;
+  if (fatal_) {
+    event.outcome = DecodeOutcome::kFatal;
+    event.status = fatal_status_;
+    return event;
+  }
+  const char* base = buffer_.data() + consumed_;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderSize) return event;  // kNeedMore
+
+  // Validate the header before trusting a single derived quantity. Order
+  // matters: the header checksum subsumes the field checks, but checking
+  // magic/version first gives better error messages for honest mismatches
+  // (an old-version peer) than "header checksum mismatch".
+  const uint16_t magic = GetFixed16(base);
+  const uint8_t version = static_cast<uint8_t>(base[2]);
+  const uint8_t raw_type = static_cast<uint8_t>(base[3]);
+  const uint32_t payload_len = GetFixed32(base + 4);
+  const uint64_t request_id = GetFixed64(base + 8);
+  const uint64_t payload_fnv = GetFixed64(base + 16);
+  const uint64_t header_fnv = GetFixed64(base + 24);
+
+  auto fail_fatal = [&](Status status) {
+    fatal_ = true;
+    fatal_status_ = status;
+    buffer_.clear();
+    consumed_ = 0;
+    event.outcome = DecodeOutcome::kFatal;
+    event.status = fatal_status_;
+    return event;
+  };
+
+  if (magic != kMagic) {
+    return fail_fatal(Status::DataLoss("rpc frame: bad magic"));
+  }
+  if (header_fnv != Fnv1a(base, 24)) {
+    return fail_fatal(Status::DataLoss("rpc frame: header checksum mismatch"));
+  }
+  // Past this point the header bytes are authentic (up to a 64-bit hash
+  // collision), so version/type/length express the sender's intent.
+  if (version != kProtocolVersion) {
+    return fail_fatal(Status::InvalidArgument(
+        "rpc frame: protocol version " + std::to_string(version) +
+        " (want " + std::to_string(kProtocolVersion) + ")"));
+  }
+  if (payload_len > max_payload_) {
+    return fail_fatal(Status::DataLoss(
+        "rpc frame: payload length " + std::to_string(payload_len) +
+        " exceeds cap " + std::to_string(max_payload_)));
+  }
+  if (available < kFrameHeaderSize + payload_len) return event;  // kNeedMore
+
+  consumed_ += kFrameHeaderSize + payload_len;
+  event.frame.request_id = request_id;
+  const char* payload = base + kFrameHeaderSize;
+  if (payload_fnv != Fnv1a(payload, payload_len)) {
+    event.outcome = DecodeOutcome::kCorruptFrame;
+    if (KnownType(raw_type)) event.frame.type = static_cast<FrameType>(raw_type);
+    event.status = Status::DataLoss("rpc frame: payload checksum mismatch");
+    return event;
+  }
+  if (!KnownType(raw_type)) {
+    event.outcome = DecodeOutcome::kCorruptFrame;
+    event.status = Status::InvalidArgument(
+        "rpc frame: unknown frame type " + std::to_string(raw_type));
+    return event;
+  }
+  event.outcome = DecodeOutcome::kFrame;
+  event.frame.type = static_cast<FrameType>(raw_type);
+  event.frame.payload.assign(payload, payload_len);
+  return event;
+}
+
+}  // namespace xclean::rpc

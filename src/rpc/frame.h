@@ -1,0 +1,121 @@
+#ifndef XCLEAN_RPC_FRAME_H_
+#define XCLEAN_RPC_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace xclean::rpc {
+
+/// The framing layer of the shard RPC protocol: every message on a
+/// connection is one frame,
+///
+///   offset  size  field
+///   ------  ----  -----------------------------------------------------
+///        0     2  magic 0x5258 ("XR", little-endian)
+///        2     1  protocol version (kProtocolVersion)
+///        3     1  frame type (FrameType)
+///        4     4  payload length in bytes (little-endian uint32)
+///        8     8  request id (little-endian uint64)
+///       16     8  FNV-1a 64 of the payload bytes
+///       24     8  FNV-1a 64 of header bytes [0, 24)
+///   ------  ----  -----------------------------------------------------
+///       32   len  payload
+///
+/// The header checksum makes header corruption (including a mangled
+/// length field) detectable before a single payload byte is trusted; the
+/// payload checksum catches corruption of the body. The two failure modes
+/// deliberately differ in severity: a bad header means the stream can no
+/// longer be framed (there is no resynchronisation marker) and the
+/// connection must die, while a payload-checksum mismatch under a valid
+/// header leaves the stream perfectly framed — the receiver may reject
+/// just that frame (Status::DataLoss) and keep the connection.
+enum class FrameType : uint8_t {
+  kRequest = 1,   ///< payload: wire-encoded ShardRequest
+  kResponse = 2,  ///< payload: wire-encoded ShardResponse
+  /// Cooperative cancellation of an in-flight request (by request id).
+  /// No payload. The server raises the evaluation's external-cancel flag;
+  /// the (truncated) response still arrives, so the stream stays framed.
+  kCancel = 3,
+};
+
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 32;
+/// Default cap on a frame payload. A response carries top-k partial
+/// accumulators, not postings, so single-digit MiB is already generous;
+/// anything larger is a corrupt length field or an abusive peer.
+inline constexpr size_t kDefaultMaxPayload = 8u << 20;
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Appends one encoded frame (header + payload) to `out`.
+void EncodeFrame(FrameType type, uint64_t request_id,
+                 const std::string& payload, std::string& out);
+
+/// How one FrameDecoder::Next() call concluded.
+enum class DecodeOutcome : uint8_t {
+  /// Not enough buffered bytes for a full frame; feed more.
+  kNeedMore,
+  /// `frame` holds a validated frame (both checksums pass, known type).
+  kFrame,
+  /// A well-framed but unusable frame: valid header, payload present, but
+  /// the payload checksum failed or the frame type is unknown. The frame's
+  /// bytes have been consumed and the stream remains framed — the caller
+  /// may reject just this frame (respond DataLoss) and continue.
+  /// `frame.request_id` and `frame.type` carry the header's best-effort
+  /// values; `status` says what was wrong.
+  kCorruptFrame,
+  /// The header itself cannot be trusted (bad magic, version, header
+  /// checksum, or a length above the cap). Framing is lost; the caller
+  /// must close the connection. Sticky: every later Next() repeats it.
+  kFatal,
+};
+
+struct DecodeEvent {
+  DecodeOutcome outcome = DecodeOutcome::kNeedMore;
+  Frame frame;
+  Status status;
+};
+
+/// Incremental frame decoder: feed raw connection bytes, pull validated
+/// frames. Never over-reads (all accesses bounded by the buffered size)
+/// and never sizes an allocation from an unvalidated length field — the
+/// declared payload length is checked against the cap while only the
+/// 32-byte header is buffered.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends raw bytes to the internal buffer. After a kFatal event the
+  /// bytes are discarded (the stream is already lost).
+  void Feed(const char* data, size_t size);
+
+  /// Consumes at most one frame from the buffer.
+  DecodeEvent Next();
+
+  /// Bytes currently buffered (bounded by max_payload + header + the
+  /// largest single Feed the caller performs).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+  bool fatal() const { return fatal_; }
+
+ private:
+  void Compact();
+
+  const size_t max_payload_;
+  std::string buffer_;
+  size_t consumed_ = 0;  ///< prefix of buffer_ already handed out
+  bool fatal_ = false;
+  Status fatal_status_;
+};
+
+}  // namespace xclean::rpc
+
+#endif  // XCLEAN_RPC_FRAME_H_

@@ -1,0 +1,248 @@
+#include "rpc/rpc_client.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "rpc/wire.h"
+
+namespace xclean::rpc {
+
+RpcShardBackend::RpcShardBackend(uint16_t port, uint32_t shard_id,
+                                 RpcClientOptions options)
+    : port_(port),
+      shard_id_(shard_id),
+      options_(options),
+      clock_(ResolveClock(options.clock)) {}
+
+RpcShardBackend::~RpcShardBackend() { CloseIdleConnections(); }
+
+void RpcShardBackend::CloseIdleConnections() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  pooled_.clear();  // Socket destructors close
+}
+
+size_t RpcShardBackend::pooled_connections() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return pooled_.size();
+}
+
+RpcClientStats RpcShardBackend::stats() const {
+  RpcClientStats s;
+  s.dials = dials_.load(std::memory_order_relaxed);
+  s.dial_failures = dial_failures_.load(std::memory_order_relaxed);
+  s.pooled_reuses = pooled_reuses_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.responses = responses_.load(std::memory_order_relaxed);
+  s.data_loss = data_loss_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.cancels_sent = cancels_sent_.load(std::memory_order_relaxed);
+  s.connections_evicted =
+      connections_evicted_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Socket RpcShardBackend::PopPooled() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pooled_.empty()) return Socket();
+  Socket s = std::move(pooled_.back());
+  pooled_.pop_back();
+  return s;
+}
+
+void RpcShardBackend::PoolOrClose(Socket socket) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pooled_.size() < options_.max_pooled_connections) {
+    pooled_.push_back(std::move(socket));
+  }
+  // else: socket destructor closes it
+}
+
+Result<Socket> RpcShardBackend::DialWithRetries(
+    std::chrono::steady_clock::time_point deadline) {
+  Backoff backoff(options_.dial_backoff,
+                  options_.seed ^ next_request_id_.load(std::memory_order_relaxed));
+  Status last = Status::Unavailable("no dial attempted");
+  for (uint32_t attempt = 0; attempt < options_.max_dial_attempts; ++attempt) {
+    if (attempt > 0) {
+      const auto delay = backoff.Next();
+      if (clock_->Now() + delay >= deadline) break;
+      clock_->SleepFor(delay);
+    }
+    if (clock_->Now() >= deadline) break;
+    dials_.fetch_add(1, std::memory_order_relaxed);
+    const auto remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - clock_->Now());
+    Result<Socket> dialed =
+        DialLoopback(port_, std::min(remain, options_.connect_timeout));
+    if (dialed.ok()) return dialed;
+    dial_failures_.fetch_add(1, std::memory_order_relaxed);
+    last = dialed.status();
+  }
+  return last;
+}
+
+shard::ShardResponse RpcShardBackend::TransportError(Status status) {
+  shard::ShardResponse response;
+  response.status = std::move(status);
+  response.shard_id = shard_id_;
+  return response;
+}
+
+shard::ShardResponse RpcShardBackend::Evaluate(
+    const shard::ShardRequest& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const auto now = clock_->Now();
+  // The transport deadline: the request's own budget when it has one, a
+  // default response-wait otherwise (a no-deadline request must still not
+  // park a leg forever on a stalled peer).
+  const auto deadline =
+      request.deadline == std::chrono::steady_clock::time_point::max()
+          ? now + options_.default_read_timeout
+          : request.deadline;
+
+  const uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  std::string payload;
+  EncodeShardRequest(request, now, payload);
+  std::string wire;
+  EncodeFrame(FrameType::kRequest, request_id, payload, wire);
+
+  Socket socket = PopPooled();
+  bool from_pool = socket.valid();
+  if (from_pool) pooled_reuses_.fetch_add(1, std::memory_order_relaxed);
+  if (!socket.valid()) {
+    Result<Socket> dialed = DialWithRetries(deadline);
+    if (!dialed.ok()) return TransportError(dialed.status());
+    socket = std::move(dialed).value();
+  }
+
+  bool retryable = false;
+  shard::ShardResponse response = Exchange(
+      std::move(socket), request, wire, request_id, deadline, &retryable);
+  if (retryable && from_pool) {
+    // The pooled connection was stale (server restarted or closed it while
+    // idle) and nothing of this exchange reached the peer: one fresh dial.
+    Result<Socket> dialed = DialWithRetries(deadline);
+    if (!dialed.ok()) return response;
+    response = Exchange(std::move(dialed).value(), request, wire, request_id,
+                        deadline, &retryable);
+  }
+  return response;
+}
+
+shard::ShardResponse RpcShardBackend::Exchange(
+    Socket socket, const shard::ShardRequest& request, const std::string& wire,
+    uint64_t request_id, std::chrono::steady_clock::time_point deadline,
+    bool* retryable) {
+  *retryable = false;
+  const auto write_deadline =
+      std::min(deadline, clock_->Now() + options_.write_timeout);
+  Status sent = SendAll(socket, wire.data(), wire.size(), write_deadline,
+                        clock_);
+  if (!sent.ok()) {
+    // A send failing outright usually means a dead pooled connection
+    // (RST on first write); nothing was exchanged, so a retry is safe.
+    *retryable = true;
+    connections_evicted_.fetch_add(1, std::memory_order_relaxed);
+    return TransportError(std::move(sent));
+  }
+
+  FrameDecoder decoder(options_.max_payload);
+  char buf[16384];
+  bool got_bytes = false;
+  bool cancel_sent = false;
+  auto effective_deadline = deadline;
+
+  for (;;) {
+    // Propagate cooperative cancellation as a cancel frame exactly once,
+    // then linger briefly for the server's truncated response so the
+    // stream ends in a known state.
+    if (!cancel_sent && request.external_cancel != nullptr &&
+        request.external_cancel->load(std::memory_order_acquire)) {
+      cancel_sent = true;
+      cancels_sent_.fetch_add(1, std::memory_order_relaxed);
+      std::string cancel_wire;
+      EncodeFrame(FrameType::kCancel, request_id, std::string(), cancel_wire);
+      const auto linger_deadline = clock_->Now() + options_.cancel_linger;
+      (void)SendAll(socket, cancel_wire.data(), cancel_wire.size(),
+                    linger_deadline, clock_);
+      effective_deadline = std::min(deadline, linger_deadline);
+    }
+
+    const auto now = clock_->Now();
+    if (now >= effective_deadline) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      connections_evicted_.fetch_add(1, std::memory_order_relaxed);
+      // The connection now owes us a response we will never read; it must
+      // not return to the pool.
+      return TransportError(
+          request.deadline != std::chrono::steady_clock::time_point::max() &&
+                  now >= request.deadline
+              ? Status::DeadlineExceeded("rpc response timeout")
+              : Status::Unavailable("rpc response timeout"));
+    }
+    const auto remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+        effective_deadline - now);
+    Result<size_t> got = RecvSome(
+        socket, buf, sizeof(buf),
+        std::clamp(remain, std::chrono::milliseconds(1),
+                   std::chrono::milliseconds(5)));
+    if (!got.ok()) {
+      if (got.status().code() == StatusCode::kNotFound) continue;  // slice
+      connections_evicted_.fetch_add(1, std::memory_order_relaxed);
+      return TransportError(got.status());
+    }
+    if (got.value() == 0) {  // EOF
+      *retryable = !got_bytes;
+      connections_evicted_.fetch_add(1, std::memory_order_relaxed);
+      return TransportError(
+          Status::Unavailable("rpc connection closed by server"));
+    }
+    got_bytes = true;
+    decoder.Feed(buf, got.value());
+
+    for (;;) {
+      DecodeEvent event = decoder.Next();
+      if (event.outcome == DecodeOutcome::kNeedMore) break;
+      if (event.outcome == DecodeOutcome::kFatal) {
+        data_loss_.fetch_add(1, std::memory_order_relaxed);
+        connections_evicted_.fetch_add(1, std::memory_order_relaxed);
+        return TransportError(event.status);
+      }
+      if (event.outcome == DecodeOutcome::kCorruptFrame) {
+        // The frame meant for us arrived damaged. The stream is still
+        // framed, but the response is unrecoverable: surface DataLoss and
+        // let the routing layer retry on a fresh connection.
+        data_loss_.fetch_add(1, std::memory_order_relaxed);
+        connections_evicted_.fetch_add(1, std::memory_order_relaxed);
+        return TransportError(event.status);
+      }
+      if (event.frame.type != FrameType::kResponse ||
+          event.frame.request_id != request_id) {
+        // A response for a request this connection no longer owns (or a
+        // nonsense type): drop the frame, keep waiting for ours.
+        continue;
+      }
+      shard::ShardResponse response;
+      Status decoded = DecodeShardResponse(event.frame.payload, &response);
+      if (!decoded.ok()) {
+        data_loss_.fetch_add(1, std::memory_order_relaxed);
+        connections_evicted_.fetch_add(1, std::memory_order_relaxed);
+        return TransportError(std::move(decoded));
+      }
+      responses_.fetch_add(1, std::memory_order_relaxed);
+      if (decoder.buffered_bytes() == 0) {
+        PoolOrClose(std::move(socket));
+      } else {
+        // Bytes past our response mean the stream carries something we
+        // did not ask for (trailing garbage, duplicated frames): poisoned
+        // streams never return to the pool.
+        connections_evicted_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return response;
+    }
+  }
+}
+
+}  // namespace xclean::rpc

@@ -1,0 +1,128 @@
+#ifndef XCLEAN_RPC_RPC_CLIENT_H_
+#define XCLEAN_RPC_RPC_CLIENT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "common/backoff.h"
+#include "common/clock.h"
+#include "rpc/frame.h"
+#include "rpc/socket.h"
+#include "shard/shard_server.h"
+
+namespace xclean::rpc {
+
+struct RpcClientOptions {
+  /// Budget for one dial (non-blocking connect + poll).
+  std::chrono::milliseconds connect_timeout{1000};
+  /// Response wait when the request carries no deadline of its own; with a
+  /// deadline, the request's own budget governs.
+  std::chrono::milliseconds default_read_timeout{2000};
+  std::chrono::milliseconds write_timeout{1000};
+  /// After sending a cancel frame, how long to keep waiting for the
+  /// server's (truncated) response before abandoning the connection.
+  std::chrono::milliseconds cancel_linger{100};
+  /// Dials attempted per Evaluate before giving up, with capped jittered
+  /// backoff between attempts (common/backoff.h) — reconnecting through a
+  /// restart without hammering a dead port.
+  uint32_t max_dial_attempts = 3;
+  BackoffOptions dial_backoff;
+  /// Idle connections kept for reuse; beyond this they are closed.
+  size_t max_pooled_connections = 2;
+  size_t max_payload = kDefaultMaxPayload;
+  /// Time source for all deadline math and backoff sleeps. Null = real.
+  Clock* clock = nullptr;
+  /// Jitter seed for the dial backoff.
+  uint64_t seed = 0x7C15F42D4C957F2Dull;
+};
+
+struct RpcClientStats {
+  uint64_t dials = 0;
+  uint64_t dial_failures = 0;
+  uint64_t pooled_reuses = 0;
+  uint64_t requests = 0;
+  uint64_t responses = 0;      ///< decoded, matching responses
+  uint64_t data_loss = 0;      ///< corrupt frames / undecodable payloads
+  uint64_t timeouts = 0;       ///< gave up waiting for a response
+  uint64_t cancels_sent = 0;
+  uint64_t connections_evicted = 0;  ///< closed on error instead of pooled
+};
+
+/// Drop-in ShardBackend that speaks the wire protocol to an RpcShardServer
+/// over loopback TCP: ReplicaSet and Coordinator stack on top unchanged,
+/// and every byte-level failure mode surfaces as a ShardResponse whose
+/// status the existing AttemptClass taxonomy already routes — corrupt
+/// frames as DataLoss, vanished/unreachable peers and timeouts as
+/// Unavailable (all kTransport: retry with backoff at the layer above),
+/// never as a fabricated answer.
+///
+/// Connection lifecycle: one connection carries one request at a time
+/// (concurrent Evaluate calls draw distinct connections), healthy
+/// connections return to a small idle pool, and any connection that saw a
+/// transport anomaly — timeout, EOF, corrupt frame, torn write — is closed
+/// rather than reused, so a poisoned stream can never serve a later leg.
+/// `ShardRequest::external_cancel` is propagated as a cancel frame; the
+/// server answers with the truncated response, which keeps the stream
+/// clean enough to pool.
+///
+/// Thread-safe; stats are monitoring-grade relaxed atomics.
+class RpcShardBackend final : public shard::ShardBackend {
+ public:
+  /// Connects to 127.0.0.1:`port`. `shard_id` stamps client-side transport
+  /// error responses (a server answer carries its own).
+  RpcShardBackend(uint16_t port, uint32_t shard_id,
+                  RpcClientOptions options = RpcClientOptions());
+  ~RpcShardBackend() override;
+
+  shard::ShardResponse Evaluate(const shard::ShardRequest& request) override;
+
+  /// Closes every pooled idle connection (a test hook and a fast way to
+  /// drop sockets to a server being retired).
+  void CloseIdleConnections();
+
+  size_t pooled_connections() const;
+  RpcClientStats stats() const;
+  uint16_t port() const { return port_; }
+
+ private:
+  Socket PopPooled();
+  void PoolOrClose(Socket socket);
+  Result<Socket> DialWithRetries(std::chrono::steady_clock::time_point deadline);
+  shard::ShardResponse TransportError(Status status);
+
+  /// Sends the request and waits for the matching response on `socket`.
+  /// On success, pools the socket. On failure, closes it; *retryable is
+  /// set when the failure happened before any byte of this exchange was
+  /// accepted (stale pooled connection) and a fresh dial may succeed.
+  shard::ShardResponse Exchange(Socket socket,
+                                const shard::ShardRequest& request,
+                                const std::string& wire, uint64_t request_id,
+                                std::chrono::steady_clock::time_point deadline,
+                                bool* retryable);
+
+  const uint16_t port_;
+  const uint32_t shard_id_;
+  const RpcClientOptions options_;
+  Clock* const clock_;
+
+  mutable std::mutex pool_mu_;
+  std::deque<Socket> pooled_;
+
+  std::atomic<uint64_t> next_request_id_{1};
+  std::atomic<uint64_t> dials_{0};
+  std::atomic<uint64_t> dial_failures_{0};
+  std::atomic<uint64_t> pooled_reuses_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> responses_{0};
+  std::atomic<uint64_t> data_loss_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> cancels_sent_{0};
+  std::atomic<uint64_t> connections_evicted_{0};
+};
+
+}  // namespace xclean::rpc
+
+#endif  // XCLEAN_RPC_RPC_CLIENT_H_

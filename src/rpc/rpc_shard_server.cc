@@ -1,0 +1,323 @@
+#include "rpc/rpc_shard_server.h"
+
+#include <sys/socket.h>
+
+#include <utility>
+
+#include "rpc/wire.h"
+
+namespace xclean::rpc {
+
+/// Per-connection state. Shared by the reader task and every evaluation
+/// task spawned for its requests; the last owner closes the socket.
+struct RpcShardServer::Connection {
+  Socket socket;
+  /// Serialises response writes — evaluations complete in any order but a
+  /// frame must hit the stream atomically.
+  std::mutex write_mu;
+  /// In-flight request ids -> their external-cancel flags.
+  std::mutex inflight_mu;
+  std::unordered_map<uint64_t, std::shared_ptr<std::atomic<bool>>> inflight;
+  /// Set when the peer is known gone (reader saw EOF/error outside a
+  /// graceful drain): evaluations skip the doomed write and cancel early.
+  std::atomic<bool> peer_gone{false};
+};
+
+RpcShardServer::RpcShardServer(shard::ShardBackend* backend,
+                               RpcServerOptions options)
+    : backend_(backend),
+      options_(options),
+      clock_(ResolveClock(options.clock)) {}
+
+RpcShardServer::~RpcShardServer() { Shutdown(); }
+
+Status RpcShardServer::Start() {
+  Result<Socket> listener = ListenLoopback(options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  Result<uint16_t> port = LocalPort(listener_);
+  if (!port.ok()) return port.status();
+  port_ = port.value();
+
+  // One long-lived slot for the accept loop, one per connection reader,
+  // plus the evaluation workers — sized so readers can never starve
+  // evaluations out of the pool.
+  ThreadPoolOptions pool_options;
+  pool_options.num_threads =
+      1 + options_.max_connections + options_.eval_threads;
+  pool_options.queue_capacity = options_.max_connections * 8 + 64;
+  pool_ = std::make_unique<ThreadPool>(pool_options);
+
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    ++live_tasks_;
+  }
+  Status submitted = pool_->TrySubmit([this] { AcceptLoop(); });
+  if (!submitted.ok()) {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    --live_tasks_;
+    return submitted;
+  }
+  started_ = true;
+  return Status::Ok();
+}
+
+void RpcShardServer::Shutdown() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  listener_.ShutdownBoth();
+  // Shut the read half of every connection: readers wake with EOF and
+  // exit, while in-flight evaluations keep the write half to flush their
+  // responses (the graceful part of the drain).
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& [ptr, conn] : connections_) {
+      if (conn->socket.valid()) ::shutdown(conn->socket.fd(), SHUT_RD);
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    conn_cv_.wait(lock, [this] { return live_tasks_ == 0; });
+  }
+  // Drains queued evaluations and joins all workers.
+  pool_->Shutdown();
+  listener_.Close();
+  started_ = false;
+}
+
+RpcServerStats RpcShardServer::stats() const {
+  RpcServerStats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_refused = connections_refused_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    s.connections_open = connections_.size();
+  }
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.responses_sent = responses_sent_.load(std::memory_order_relaxed);
+  s.cancels_received = cancels_received_.load(std::memory_order_relaxed);
+  s.cancels_applied = cancels_applied_.load(std::memory_order_relaxed);
+  s.corrupt_frames = corrupt_frames_.load(std::memory_order_relaxed);
+  s.fatal_streams = fatal_streams_.load(std::memory_order_relaxed);
+  s.idle_closes = idle_closes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void RpcShardServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Result<Socket> accepted =
+        AcceptWithTimeout(listener_, std::chrono::milliseconds(100));
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kNotFound) continue;
+      break;  // listener torn down
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->socket = std::move(accepted).value();
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (connections_.size() < options_.max_connections &&
+          !stopping_.load(std::memory_order_acquire)) {
+        connections_.emplace(conn.get(), conn);
+        ++live_tasks_;
+        admitted = true;
+      }
+    }
+    if (!admitted) {
+      connections_refused_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // conn falls out of scope: refusal == immediate close
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    Status submitted =
+        pool_->TrySubmit([this, conn] { ConnectionLoop(conn); });
+    if (!submitted.ok()) {
+      connections_refused_.fetch_add(1, std::memory_order_relaxed);
+      RemoveConnection(conn.get());
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      --live_tasks_;
+      conn_cv_.notify_all();
+    }
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  --live_tasks_;
+  conn_cv_.notify_all();
+}
+
+void RpcShardServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
+  FrameDecoder decoder(options_.max_payload);
+  char buf[16384];
+  auto last_activity = clock_->Now();
+  bool peer_hangup = false;
+
+  for (;;) {
+    // Drain every decodable frame before touching the socket again.
+    bool fatal = false;
+    for (;;) {
+      DecodeEvent event = decoder.Next();
+      if (event.outcome == DecodeOutcome::kNeedMore) break;
+      last_activity = clock_->Now();
+      if (event.outcome == DecodeOutcome::kFrame) {
+        switch (event.frame.type) {
+          case FrameType::kRequest:
+            HandleRequestFrame(conn, std::move(event.frame));
+            break;
+          case FrameType::kCancel:
+            HandleCancelFrame(conn, event.frame.request_id);
+            break;
+          case FrameType::kResponse:
+            // A client has no business sending responses; reject the frame
+            // but keep the (still well-framed) connection.
+            corrupt_frames_.fetch_add(1, std::memory_order_relaxed);
+            WriteErrorResponse(
+                conn, event.frame.request_id,
+                Status::InvalidArgument("rpc: response frame from client"));
+            break;
+        }
+      } else if (event.outcome == DecodeOutcome::kCorruptFrame) {
+        // The stream is still framed: answer this id with DataLoss and
+        // keep serving. Healthy requests on this connection are unharmed.
+        corrupt_frames_.fetch_add(1, std::memory_order_relaxed);
+        WriteErrorResponse(conn, event.frame.request_id, event.status);
+      } else {  // kFatal: framing lost, the connection cannot be saved
+        fatal_streams_.fetch_add(1, std::memory_order_relaxed);
+        fatal = true;
+        break;
+      }
+    }
+    if (fatal) {
+      peer_hangup = true;
+      break;
+    }
+
+    Result<size_t> got =
+        RecvSome(conn->socket, buf, sizeof(buf), std::chrono::milliseconds(50));
+    if (got.ok()) {
+      if (got.value() == 0) {  // EOF: peer done sending (or drain)
+        peer_hangup = !stopping_.load(std::memory_order_acquire);
+        break;
+      }
+      decoder.Feed(buf, got.value());
+      last_activity = clock_->Now();
+      continue;
+    }
+    if (got.status().code() == StatusCode::kNotFound) {  // poll slice idle
+      if (clock_->Now() - last_activity >= options_.idle_timeout) {
+        idle_closes_.fetch_add(1, std::memory_order_relaxed);
+        peer_hangup = true;
+        break;
+      }
+      continue;
+    }
+    peer_hangup = true;  // hard socket error
+    break;
+  }
+
+  if (peer_hangup) {
+    // The peer is gone (or the stream is lost): responses cannot reach it,
+    // so cancel what is still evaluating instead of computing into a void.
+    conn->peer_gone.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(conn->inflight_mu);
+    for (auto& [id, flag] : conn->inflight) {
+      flag->store(true, std::memory_order_release);
+    }
+  }
+  RemoveConnection(conn.get());
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  --live_tasks_;
+  conn_cv_.notify_all();
+}
+
+void RpcShardServer::HandleRequestFrame(
+    const std::shared_ptr<Connection>& conn, Frame frame) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  shard::ShardRequest request;
+  Status decoded = DecodeShardRequest(frame.payload, clock_->Now(), &request);
+  if (!decoded.ok()) {
+    corrupt_frames_.fetch_add(1, std::memory_order_relaxed);
+    WriteErrorResponse(conn, frame.request_id, std::move(decoded));
+    return;
+  }
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
+  {
+    std::lock_guard<std::mutex> lock(conn->inflight_mu);
+    conn->inflight.emplace(frame.request_id, cancel);
+  }
+  const uint64_t request_id = frame.request_id;
+  Status submitted = pool_->TrySubmit(
+      [this, conn, request_id, request = std::move(request), cancel] {
+        EvaluateAndRespond(conn, request_id, request, cancel);
+      });
+  if (!submitted.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(conn->inflight_mu);
+      conn->inflight.erase(request_id);
+    }
+    WriteErrorResponse(conn, request_id,
+                       Status::Unavailable("rpc server saturated"));
+  }
+}
+
+void RpcShardServer::HandleCancelFrame(const std::shared_ptr<Connection>& conn,
+                                       uint64_t request_id) {
+  cancels_received_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(conn->inflight_mu);
+  auto it = conn->inflight.find(request_id);
+  if (it != conn->inflight.end()) {
+    it->second->store(true, std::memory_order_release);
+    cancels_applied_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Unknown id: the response already went out (cancel raced completion) or
+  // the id is garbage. Either way, ignoring is the correct semantics.
+}
+
+void RpcShardServer::EvaluateAndRespond(
+    const std::shared_ptr<Connection>& conn, uint64_t request_id,
+    const shard::ShardRequest& request,
+    std::shared_ptr<std::atomic<bool>> cancel) {
+  shard::ShardRequest effective = request;
+  effective.external_cancel = cancel.get();
+  shard::ShardResponse response = backend_->Evaluate(effective);
+  {
+    std::lock_guard<std::mutex> lock(conn->inflight_mu);
+    conn->inflight.erase(request_id);
+  }
+  if (conn->peer_gone.load(std::memory_order_acquire)) return;
+  WriteResponse(conn, request_id, response);
+}
+
+void RpcShardServer::WriteResponse(const std::shared_ptr<Connection>& conn,
+                                   uint64_t request_id,
+                                   const shard::ShardResponse& response) {
+  std::string payload;
+  EncodeShardResponse(response, payload);
+  std::string wire;
+  EncodeFrame(FrameType::kResponse, request_id, payload, wire);
+  const auto deadline = clock_->Now() + options_.write_timeout;
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  Status sent = SendAll(conn->socket, wire.data(), wire.size(), deadline,
+                        clock_);
+  if (sent.ok()) {
+    responses_sent_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // A peer that stopped draining forfeits the connection; the reader
+    // will observe the shutdown as EOF and tear down.
+    conn->peer_gone.store(true, std::memory_order_release);
+    conn->socket.ShutdownBoth();
+  }
+}
+
+void RpcShardServer::WriteErrorResponse(const std::shared_ptr<Connection>& conn,
+                                        uint64_t request_id, Status status) {
+  shard::ShardResponse response;
+  response.status = std::move(status);
+  response.shard_id = options_.shard_id;
+  WriteResponse(conn, request_id, response);
+}
+
+void RpcShardServer::RemoveConnection(Connection* conn) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  connections_.erase(conn);
+}
+
+}  // namespace xclean::rpc

@@ -1,0 +1,146 @@
+#ifndef XCLEAN_RPC_RPC_SHARD_SERVER_H_
+#define XCLEAN_RPC_RPC_SHARD_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "rpc/frame.h"
+#include "rpc/socket.h"
+#include "shard/shard_server.h"
+
+namespace xclean::rpc {
+
+struct RpcServerOptions {
+  /// Listen port on 127.0.0.1; 0 picks an ephemeral port (read it back via
+  /// port() after Start()).
+  uint16_t port = 0;
+  /// Shard id stamped on transport-level error responses (a decode failure
+  /// never reaches the backend, so the backend cannot stamp it).
+  uint32_t shard_id = 0;
+  /// Connections beyond this are accepted and immediately closed — the
+  /// refusal is visible to the peer as EOF, and an abusive client cannot
+  /// starve the pool for the healthy ones.
+  size_t max_connections = 16;
+  /// Worker threads available for request evaluation, beyond the one the
+  /// accept loop and each connection reader occupy.
+  size_t eval_threads = 4;
+  /// A connection silent this long is closed (half-open peers, slow-loris
+  /// byte drips — a stalled peer costs one poll slot, then nothing).
+  std::chrono::milliseconds idle_timeout{30000};
+  /// Per-response write budget; a peer that stops draining its socket gets
+  /// its connection closed rather than a worker parked forever.
+  std::chrono::milliseconds write_timeout{5000};
+  size_t max_payload = kDefaultMaxPayload;
+  /// Time source for idle/write deadlines. Null = real clock.
+  Clock* clock = nullptr;
+};
+
+/// Monitoring counters (point-in-time copy; connections_open is a gauge).
+struct RpcServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_refused = 0;  ///< over max_connections
+  uint64_t connections_open = 0;
+  uint64_t requests = 0;
+  uint64_t responses_sent = 0;
+  uint64_t cancels_received = 0;
+  uint64_t cancels_applied = 0;  ///< matched an in-flight evaluation
+  uint64_t corrupt_frames = 0;   ///< rejected in-stream (connection kept)
+  uint64_t fatal_streams = 0;    ///< framing lost: connection closed
+  uint64_t idle_closes = 0;
+};
+
+/// Socket front end for one shard backend: accepts loopback connections,
+/// decodes request frames, evaluates them on a worker pool and writes
+/// response frames back. One backend, many connections, many in-flight
+/// requests per connection (responses may complete out of order; the
+/// request id pairs them).
+///
+/// Failure containment is per-frame, then per-connection, never global: a
+/// payload-checksum mismatch answers that one request id with DataLoss and
+/// keeps the connection; a corrupt header (framing lost) or an oversized
+/// length closes that connection; other connections never notice either.
+/// Cancel frames raise the evaluation's external-cancel flag, so a hedged
+/// loser stops burning CPU mid-algorithm and still sends its (truncated)
+/// response — the stream stays strictly one-response-per-request.
+///
+/// Shutdown() drains gracefully: stop accepting, shut the read half of
+/// every connection (readers exit at EOF), let in-flight evaluations
+/// finish and flush their responses, then join the pool.
+class RpcShardServer {
+ public:
+  /// The backend is borrowed and must outlive the server.
+  RpcShardServer(shard::ShardBackend* backend,
+                 RpcServerOptions options = RpcServerOptions());
+  ~RpcShardServer();
+
+  RpcShardServer(const RpcShardServer&) = delete;
+  RpcShardServer& operator=(const RpcShardServer&) = delete;
+
+  /// Binds, listens and starts the accept loop. Call once.
+  Status Start();
+
+  /// Graceful drain; idempotent, also run by the destructor.
+  void Shutdown();
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  RpcServerStats stats() const;
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void ConnectionLoop(std::shared_ptr<Connection> conn);
+  void HandleRequestFrame(const std::shared_ptr<Connection>& conn,
+                          Frame frame);
+  void HandleCancelFrame(const std::shared_ptr<Connection>& conn,
+                         uint64_t request_id);
+  void EvaluateAndRespond(const std::shared_ptr<Connection>& conn,
+                          uint64_t request_id,
+                          const shard::ShardRequest& request,
+                          std::shared_ptr<std::atomic<bool>> cancel);
+  void WriteResponse(const std::shared_ptr<Connection>& conn,
+                     uint64_t request_id,
+                     const shard::ShardResponse& response);
+  void WriteErrorResponse(const std::shared_ptr<Connection>& conn,
+                          uint64_t request_id, Status status);
+  void RemoveConnection(Connection* conn);
+
+  shard::ShardBackend* const backend_;
+  const RpcServerOptions options_;
+  Clock* const clock_;
+
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  mutable std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::unordered_map<Connection*, std::shared_ptr<Connection>> connections_;
+  size_t live_tasks_ = 0;  ///< accept loop + connection readers, not evals
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_refused_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> responses_sent_{0};
+  std::atomic<uint64_t> cancels_received_{0};
+  std::atomic<uint64_t> cancels_applied_{0};
+  std::atomic<uint64_t> corrupt_frames_{0};
+  std::atomic<uint64_t> fatal_streams_{0};
+  std::atomic<uint64_t> idle_closes_{0};
+};
+
+}  // namespace xclean::rpc
+
+#endif  // XCLEAN_RPC_RPC_SHARD_SERVER_H_

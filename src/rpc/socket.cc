@@ -1,0 +1,186 @@
+#include "rpc/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <string>
+
+namespace xclean::rpc {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Unavailable(std::string(what) + ": " +
+                             std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  // Best-effort: latency tuning, not correctness.
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// poll() one fd for `events`, returning >0 ready / 0 timeout / <0 error
+/// with EINTR retried against the remaining budget.
+int PollOne(int fd, short events, std::chrono::milliseconds timeout) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  const int ms = static_cast<int>(
+      std::clamp<int64_t>(timeout.count(), 0, 60 * 60 * 1000));
+  for (;;) {
+    const int rc = poll(&pfd, 1, ms);
+    if (rc < 0 && errno == EINTR) continue;
+    return rc;
+  }
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Result<Socket> ListenLoopback(uint16_t port, int backlog) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return Errno("socket");
+  int one = 1;
+  (void)setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Errno("bind");
+  }
+  if (listen(s.fd(), backlog) < 0) return Errno("listen");
+  if (Status st = SetNonBlocking(s.fd()); !st.ok()) return st;
+  return s;
+}
+
+Result<uint16_t> LocalPort(const Socket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Result<Socket> AcceptWithTimeout(const Socket& listener,
+                                 std::chrono::milliseconds timeout) {
+  const int rc = PollOne(listener.fd(), POLLIN, timeout);
+  if (rc < 0) return Errno("poll(accept)");
+  if (rc == 0) return Status::NotFound("accept timeout");
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::NotFound("accept timeout");
+    }
+    return Errno("accept");
+  }
+  Socket s(fd);
+  if (Status st = SetNonBlocking(fd); !st.ok()) return st;
+  SetNoDelay(fd);
+  return s;
+}
+
+Result<Socket> DialLoopback(uint16_t port, std::chrono::milliseconds timeout) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return Errno("socket");
+  if (Status st = SetNonBlocking(s.fd()); !st.ok()) return st;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) return Errno("connect");
+    const int rc = PollOne(s.fd(), POLLOUT, timeout);
+    if (rc < 0) return Errno("poll(connect)");
+    if (rc == 0) return Status::DeadlineExceeded("connect timeout");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(s.fd(), SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      errno = err != 0 ? err : errno;
+      return Errno("connect");
+    }
+  }
+  SetNoDelay(s.fd());
+  return s;
+}
+
+Status SendAll(const Socket& socket, const char* data, size_t size,
+               std::chrono::steady_clock::time_point deadline, Clock* clock) {
+  clock = ResolveClock(clock);
+  size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a peer that vanished mid-write is a Status, not a
+    // process-wide SIGPIPE.
+    const ssize_t n =
+        ::send(socket.fd(), data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return Errno("send");
+    }
+    const auto now = clock->Now();
+    if (now >= deadline) return Status::DeadlineExceeded("rpc write timeout");
+    const auto remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    const int rc = PollOne(socket.fd(), POLLOUT,
+                           std::min(remain, std::chrono::milliseconds(50)));
+    if (rc < 0) return Errno("poll(send)");
+  }
+  return Status::Ok();
+}
+
+Result<size_t> RecvSome(const Socket& socket, char* buf, size_t size,
+                        std::chrono::milliseconds timeout) {
+  for (;;) {
+    const ssize_t n = ::recv(socket.fd(), buf, size, 0);
+    if (n > 0) return static_cast<size_t>(n);
+    if (n == 0) return static_cast<size_t>(0);  // orderly EOF
+    if (errno == EINTR) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) return Errno("recv");
+    const int rc = PollOne(socket.fd(), POLLIN, timeout);
+    if (rc < 0) return Errno("poll(recv)");
+    if (rc == 0) return Status::NotFound("recv timeout");
+  }
+}
+
+}  // namespace xclean::rpc

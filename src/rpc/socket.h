@@ -1,0 +1,72 @@
+#ifndef XCLEAN_RPC_SOCKET_H_
+#define XCLEAN_RPC_SOCKET_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace xclean::rpc {
+
+/// Thin POSIX socket layer shared by the RPC server, client and fault
+/// proxy: RAII fds, loopback listen/dial with timeouts, and deadline-aware
+/// send/receive built on poll(). Everything is blocking-with-poll rather
+/// than an event loop — connection counts here are per-shard fan-out legs,
+/// not C10K — and every wait is sliced so callers can observe deadlines
+/// and cancellation flags between slices.
+
+/// Move-only owner of a socket fd. Closing is idempotent.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+  /// shutdown(2) both directions: wakes any thread blocked in poll on this
+  /// fd with EOF/err, without racing the fd number reuse that Close risks.
+  void ShutdownBoth();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listens on 127.0.0.1:`port` (0 = kernel-assigned ephemeral port).
+Result<Socket> ListenLoopback(uint16_t port, int backlog = 64);
+
+/// Local port of a bound socket.
+Result<uint16_t> LocalPort(const Socket& socket);
+
+/// Accepts one connection, waiting at most `timeout`. NotFound on timeout
+/// (the caller's poll-loop idiom), Unavailable on listener teardown.
+Result<Socket> AcceptWithTimeout(const Socket& listener,
+                                 std::chrono::milliseconds timeout);
+
+/// Connects to 127.0.0.1:`port` with a connect timeout (non-blocking
+/// connect + poll). The returned socket is non-blocking with TCP_NODELAY.
+Result<Socket> DialLoopback(uint16_t port, std::chrono::milliseconds timeout);
+
+/// Writes all of [data, data+size), polling for writability in slices
+/// until `deadline` (per the injected clock). DeadlineExceeded when time
+/// runs out mid-write; Unavailable when the peer is gone.
+Status SendAll(const Socket& socket, const char* data, size_t size,
+               std::chrono::steady_clock::time_point deadline, Clock* clock);
+
+/// One bounded read. Returns the byte count (> 0), 0 on orderly EOF,
+/// NotFound when `timeout` elapsed with nothing to read, or an error
+/// status for a broken connection. The short timeout is the slice of a
+/// caller's deadline loop, not the overall budget.
+Result<size_t> RecvSome(const Socket& socket, char* buf, size_t size,
+                        std::chrono::milliseconds timeout);
+
+}  // namespace xclean::rpc
+
+#endif  // XCLEAN_RPC_SOCKET_H_

@@ -1,0 +1,266 @@
+#include "rpc/wire.h"
+
+#include <cstring>
+#include <limits>
+
+#include "common/varint.h"
+
+namespace xclean::rpc {
+
+namespace {
+
+/// Sentinel for "no deadline" (ShardRequest defaults to time_point::max(),
+/// which must survive the relative-budget conversion).
+constexpr uint64_t kNoDeadline = std::numeric_limits<uint64_t>::max();
+
+void PutDouble(std::string& out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutString(std::string& out, const std::string& s) {
+  PutVarint64(out, s.size());
+  out.append(s);
+}
+
+/// Bounded cursor over the payload. Every Get* checks the remaining bytes
+/// before touching them, so a truncated or lying payload can never cause
+/// an over-read.
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  bool GetU64(uint64_t* out) {
+    const char* next = GetVarint64(p, end, out);
+    if (next == nullptr) return false;
+    p = next;
+    return true;
+  }
+  bool GetU32(uint32_t* out) {
+    const char* next = GetVarint32(p, end, out);
+    if (next == nullptr) return false;
+    p = next;
+    return true;
+  }
+  bool GetU8(uint8_t* out) {
+    if (p >= end) return false;
+    *out = static_cast<uint8_t>(*p++);
+    return true;
+  }
+  bool GetDouble(double* out) {
+    if (end - p < 8) return false;
+    uint64_t bits = 0;
+    const uint8_t* u = reinterpret_cast<const uint8_t*>(p);
+    for (int i = 0; i < 8; ++i) bits |= static_cast<uint64_t>(u[i]) << (8 * i);
+    std::memcpy(out, &bits, sizeof(*out));
+    p += 8;
+    return true;
+  }
+  bool GetString(std::string* out, size_t max_bytes) {
+    uint64_t len = 0;
+    if (!GetU64(&len)) return false;
+    if (len > max_bytes || static_cast<uint64_t>(end - p) < len) return false;
+    out->assign(p, len);
+    p += len;
+    return true;
+  }
+  bool AtEnd() const { return p == end; }
+};
+
+Status Malformed(const char* what) {
+  return Status::DataLoss(std::string("rpc wire: malformed ") + what);
+}
+
+}  // namespace
+
+void EncodeShardRequest(const shard::ShardRequest& request,
+                        std::chrono::steady_clock::time_point now,
+                        std::string& out) {
+  if (request.deadline == std::chrono::steady_clock::time_point::max()) {
+    PutVarint64(out, kNoDeadline);
+  } else {
+    const auto budget = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        request.deadline - now);
+    // An expired deadline stays expired (budget 0), it does not wrap.
+    uint64_t ns = 0;
+    if (budget.count() > 0) ns = static_cast<uint64_t>(budget.count());
+    // kNoDeadline is unreachable for a finite deadline (it would need a
+    // 584-year budget), but clamp anyway so the sentinel stays unambiguous.
+    if (ns >= kNoDeadline) ns = kNoDeadline - 1;
+    PutVarint64(out, ns);
+  }
+  PutVarint64(out, request.query.keywords.size());
+  for (const std::string& kw : request.query.keywords) PutString(out, kw);
+  PutVarint64(out, request.queue_depth);
+  PutVarint64(out, request.queue_capacity);
+  PutVarint64(out, request.expected_generation);
+}
+
+Status DecodeShardRequest(const std::string& payload,
+                          std::chrono::steady_clock::time_point now,
+                          shard::ShardRequest* request,
+                          const WireLimits& limits) {
+  *request = shard::ShardRequest();
+  Cursor c{payload.data(), payload.data() + payload.size()};
+
+  uint64_t budget_ns = 0;
+  if (!c.GetU64(&budget_ns)) return Malformed("deadline budget");
+  if (budget_ns == kNoDeadline) {
+    request->deadline = std::chrono::steady_clock::time_point::max();
+  } else {
+    // Saturate instead of overflowing time_point arithmetic on a huge
+    // (corrupt) budget.
+    const auto max_budget = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::time_point::max() - now);
+    if (budget_ns >= static_cast<uint64_t>(max_budget.count())) {
+      request->deadline = std::chrono::steady_clock::time_point::max();
+    } else {
+      request->deadline =
+          now + std::chrono::nanoseconds(static_cast<int64_t>(budget_ns));
+    }
+  }
+
+  uint64_t num_keywords = 0;
+  if (!c.GetU64(&num_keywords)) return Malformed("keyword count");
+  if (num_keywords > limits.max_keywords) return Malformed("keyword count");
+  request->query.keywords.reserve(num_keywords);
+  for (uint64_t i = 0; i < num_keywords; ++i) {
+    std::string kw;
+    if (!c.GetString(&kw, limits.max_keyword_bytes)) return Malformed("keyword");
+    request->query.keywords.push_back(std::move(kw));
+  }
+
+  uint64_t queue_depth = 0, queue_capacity = 0;
+  if (!c.GetU64(&queue_depth)) return Malformed("queue depth");
+  if (!c.GetU64(&queue_capacity)) return Malformed("queue capacity");
+  request->queue_depth = queue_depth;
+  request->queue_capacity = queue_capacity;
+  if (!c.GetU64(&request->expected_generation)) {
+    return Malformed("expected generation");
+  }
+  if (!c.AtEnd()) return Malformed("trailing request bytes");
+  return Status::Ok();
+}
+
+void EncodeShardResponse(const shard::ShardResponse& response,
+                         std::string& out) {
+  PutVarint64(out, static_cast<uint64_t>(response.status.code()));
+  PutString(out, response.status.message());
+  PutVarint32(out, response.shard_id);
+  PutVarint64(out, response.generation);
+  out.push_back(static_cast<char>(response.tier));
+  out.push_back(static_cast<char>(response.truncated ? 1 : 0));
+  out.push_back(static_cast<char>(response.cancel_cause));
+  PutVarint64(out, response.partials.size());
+  for (const PartialCandidate& partial : response.partials) {
+    PutVarint64(out, partial.tokens.size());
+    for (TokenId token : partial.tokens) PutVarint32(out, token);
+    PutDouble(out, partial.error_weight);
+    PutDouble(out, partial.sum);
+    PutVarint32(out, partial.entity_count);
+    PutVarint32(out, partial.lca_total);
+    PutVarint32(out, partial.result_type);
+  }
+  const XCleanRunStats& rs = response.run_stats;
+  PutVarint64(out, rs.subtrees_processed);
+  PutVarint64(out, rs.occurrences_collected);
+  PutVarint64(out, rs.candidates_enumerated);
+  PutVarint64(out, rs.entities_scored);
+  PutVarint64(out, rs.result_type_computations);
+  PutVarint64(out, rs.accumulator_evictions);
+  PutVarint64(out, rs.accumulators_final);
+  out.push_back(static_cast<char>(rs.truncated ? 1 : 0));
+  out.push_back(static_cast<char>(rs.cancel_cause));
+}
+
+Status DecodeShardResponse(const std::string& payload,
+                           shard::ShardResponse* response,
+                           const WireLimits& limits) {
+  *response = shard::ShardResponse();
+  Cursor c{payload.data(), payload.data() + payload.size()};
+
+  uint64_t code = 0;
+  std::string message;
+  if (!c.GetU64(&code)) return Malformed("status code");
+  if (code > static_cast<uint64_t>(StatusCode::kDataLoss)) {
+    return Malformed("status code");
+  }
+  if (!c.GetString(&message, limits.max_status_message_bytes)) {
+    return Malformed("status message");
+  }
+  response->status = Status(static_cast<StatusCode>(code), std::move(message));
+
+  if (!c.GetU32(&response->shard_id)) return Malformed("shard id");
+  if (!c.GetU64(&response->generation)) return Malformed("generation");
+  uint8_t tier = 0, truncated = 0, cancel_cause = 0;
+  if (!c.GetU8(&tier) || tier > static_cast<uint8_t>(ServiceTier::kShed)) {
+    return Malformed("tier");
+  }
+  response->tier = static_cast<ServiceTier>(tier);
+  if (!c.GetU8(&truncated) || truncated > 1) return Malformed("truncated flag");
+  response->truncated = truncated != 0;
+  if (!c.GetU8(&cancel_cause) ||
+      cancel_cause > static_cast<uint8_t>(CancelCause::kExternal)) {
+    return Malformed("cancel cause");
+  }
+  response->cancel_cause = static_cast<CancelCause>(cancel_cause);
+
+  uint64_t num_partials = 0;
+  if (!c.GetU64(&num_partials)) return Malformed("partial count");
+  // A partial is at least 20 bytes (1 token-count + 16 double bytes + 3
+  // one-byte varints), so the remaining payload bounds the count long
+  // before any allocation is sized from it.
+  if (num_partials > limits.max_partials ||
+      num_partials > static_cast<uint64_t>(c.end - c.p) / 20) {
+    return Malformed("partial count");
+  }
+  response->partials.reserve(num_partials);
+  for (uint64_t i = 0; i < num_partials; ++i) {
+    PartialCandidate partial;
+    uint64_t num_tokens = 0;
+    if (!c.GetU64(&num_tokens)) return Malformed("token count");
+    if (num_tokens > limits.max_tokens_per_partial) {
+      return Malformed("token count");
+    }
+    partial.tokens.reserve(num_tokens);
+    for (uint64_t t = 0; t < num_tokens; ++t) {
+      uint32_t token = 0;
+      if (!c.GetU32(&token)) return Malformed("token");
+      partial.tokens.push_back(token);
+    }
+    if (!c.GetDouble(&partial.error_weight)) return Malformed("error weight");
+    if (!c.GetDouble(&partial.sum)) return Malformed("partial sum");
+    if (!c.GetU32(&partial.entity_count)) return Malformed("entity count");
+    if (!c.GetU32(&partial.lca_total)) return Malformed("lca total");
+    if (!c.GetU32(&partial.result_type)) return Malformed("result type");
+    response->partials.push_back(std::move(partial));
+  }
+
+  XCleanRunStats& rs = response->run_stats;
+  uint8_t rs_truncated = 0, rs_cause = 0;
+  if (!c.GetU64(&rs.subtrees_processed) ||
+      !c.GetU64(&rs.occurrences_collected) ||
+      !c.GetU64(&rs.candidates_enumerated) || !c.GetU64(&rs.entities_scored) ||
+      !c.GetU64(&rs.result_type_computations) ||
+      !c.GetU64(&rs.accumulator_evictions) ||
+      !c.GetU64(&rs.accumulators_final)) {
+    return Malformed("run stats");
+  }
+  if (!c.GetU8(&rs_truncated) || rs_truncated > 1) {
+    return Malformed("run stats truncated flag");
+  }
+  rs.truncated = rs_truncated != 0;
+  if (!c.GetU8(&rs_cause) ||
+      rs_cause > static_cast<uint8_t>(CancelCause::kExternal)) {
+    return Malformed("run stats cancel cause");
+  }
+  rs.cancel_cause = static_cast<CancelCause>(rs_cause);
+  if (!c.AtEnd()) return Malformed("trailing response bytes");
+  return Status::Ok();
+}
+
+}  // namespace xclean::rpc

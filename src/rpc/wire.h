@@ -1,0 +1,67 @@
+#ifndef XCLEAN_RPC_WIRE_H_
+#define XCLEAN_RPC_WIRE_H_
+
+#include <chrono>
+#include <string>
+
+#include "common/status.h"
+#include "shard/shard_server.h"
+
+namespace xclean::rpc {
+
+/// Wire serialization of the shard RPC payloads. Integers travel as
+/// varints, doubles as their exact 8-byte IEEE-754 bit patterns (so
+/// partial-accumulator sums and error weights round-trip bit-exactly —
+/// the coordinator's differential oracle depends on it), strings as
+/// length-prefixed bytes.
+///
+/// Deadlines cross the wire as *relative* budgets: a steady_clock
+/// time_point is process-local, so the encoder converts the request
+/// deadline into "nanoseconds from now" (clamped at zero — an already
+/// expired deadline stays expired) and the decoder re-anchors it at its
+/// own now. Clock skew between client and server therefore costs at most
+/// the in-flight network latency, never the absolute clock difference.
+/// `ShardRequest::external_cancel` never crosses the wire — cancellation
+/// is a cancel *frame* (see frame.h), re-materialised server-side.
+///
+/// Decoding is defensive: every length and count is validated against the
+/// bytes actually present and against hard caps before any allocation is
+/// sized from it, so a mangled-but-checksum-colliding or malicious payload
+/// yields Status::DataLoss, never a crash or an unbounded allocation.
+
+/// Decode-time caps. Generous multiples of what the engine can produce;
+/// anything beyond is a corrupt or hostile payload.
+struct WireLimits {
+  size_t max_keywords = 64;
+  size_t max_keyword_bytes = 1024;
+  size_t max_status_message_bytes = 4096;
+  size_t max_partials = 1u << 20;
+  size_t max_tokens_per_partial = 64;
+};
+
+/// Appends the wire encoding of `request` to `out`. `now` anchors the
+/// deadline-to-budget conversion (pass the injected clock's Now()).
+void EncodeShardRequest(const shard::ShardRequest& request,
+                        std::chrono::steady_clock::time_point now,
+                        std::string& out);
+
+/// Decodes a request payload. On success `*request` is fully populated
+/// (deadline re-anchored at `now`, external_cancel null); on failure
+/// returns DataLoss and leaves `*request` unspecified.
+Status DecodeShardRequest(const std::string& payload,
+                          std::chrono::steady_clock::time_point now,
+                          shard::ShardRequest* request,
+                          const WireLimits& limits = WireLimits());
+
+/// Appends the wire encoding of `response` to `out`.
+void EncodeShardResponse(const shard::ShardResponse& response,
+                         std::string& out);
+
+/// Decodes a response payload; DataLoss on any structural violation.
+Status DecodeShardResponse(const std::string& payload,
+                           shard::ShardResponse* response,
+                           const WireLimits& limits = WireLimits());
+
+}  // namespace xclean::rpc
+
+#endif  // XCLEAN_RPC_WIRE_H_

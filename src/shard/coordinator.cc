@@ -1,6 +1,7 @@
 #include "shard/coordinator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <condition_variable>
 #include <mutex>
 #include <utility>
@@ -117,9 +118,29 @@ CoordinatorResult Coordinator::Merge(const delta::MergedStats& stats,
   CandidateMap<uint32_t> lca_totals;
   CandidateMap<PathId> result_types;
 
+  // Wire hardening: with a real RPC transport behind ShardBackend, a
+  // response is untrusted bytes until proven otherwise. The frame and
+  // payload checksums catch random corruption, but a buggy or hostile
+  // shard can still emit structurally valid nonsense — non-finite or
+  // negative probability masses would poison every merged score, and an
+  // out-of-range shard id means the response cannot be the shard it
+  // claims. Such responses are dropped wholesale (a partial that lies
+  // once is not trusted twice), counted as failed legs.
+  const auto malformed = [&outcomes](const ShardResponse& response) {
+    if (response.shard_id >= outcomes.size()) return true;
+    for (const PartialCandidate& partial : response.partials) {
+      if (partial.tokens.empty()) return true;
+      if (!std::isfinite(partial.error_weight) || partial.error_weight < 0.0 ||
+          !std::isfinite(partial.sum) || partial.sum < 0.0) {
+        return true;
+      }
+    }
+    return false;
+  };
+
   for (const ShardOutcome& outcome : outcomes) {
     if (outcome.kind != ShardOutcomeKind::kOk ||
-        !outcome.response.status.ok()) {
+        !outcome.response.status.ok() || malformed(outcome.response)) {
       ++result.shards_failed;
       result.truncated = true;
       continue;

@@ -187,6 +187,7 @@ struct ReplicaSet::Replica {
   std::atomic<uint64_t> attempts{0};
   std::atomic<uint64_t> successes{0};
   std::atomic<uint64_t> transport_errors{0};
+  std::atomic<uint64_t> data_loss{0};
   std::atomic<uint64_t> sheds{0};
   std::atomic<uint64_t> stale{0};
   std::atomic<uint64_t> refusals{0};
@@ -416,6 +417,13 @@ void ReplicaSet::Account(size_t replica_index, const ShardResponse& response,
       break;
     case AttemptClass::kTransport:
       replica.transport_errors.fetch_add(1, std::memory_order_relaxed);
+      // Corrupt frames (checksum/decode failures) are transport failures
+      // for retry and breaker purposes, but counted apart: DataLoss means
+      // the replica is reachable and answering garbage, which is a
+      // different operational problem than being unreachable.
+      if (response.status.code() == StatusCode::kDataLoss) {
+        replica.data_loss.fetch_add(1, std::memory_order_relaxed);
+      }
       replica.breaker.OnFailure(now);
       break;
     case AttemptClass::kNone:
@@ -725,6 +733,7 @@ ReplicaSetStats ReplicaSet::stats() const {
     r.successes = replica->successes.load(std::memory_order_relaxed);
     r.transport_errors =
         replica->transport_errors.load(std::memory_order_relaxed);
+    r.data_loss = replica->data_loss.load(std::memory_order_relaxed);
     r.sheds = replica->sheds.load(std::memory_order_relaxed);
     r.stale = replica->stale.load(std::memory_order_relaxed);
     r.refusals = replica->refusals.load(std::memory_order_relaxed);

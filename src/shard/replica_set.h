@@ -110,6 +110,11 @@ struct ReplicaStats {
   uint64_t attempts = 0;
   uint64_t successes = 0;
   uint64_t transport_errors = 0;
+  /// Subset of transport_errors whose status was DataLoss: bytes arrived
+  /// but failed checksum/decode. A rising data_loss with healthy
+  /// transport_errors elsewhere points at corruption (bad NIC, broken
+  /// middlebox), not at an unreachable replica.
+  uint64_t data_loss = 0;
   uint64_t sheds = 0;
   uint64_t stale = 0;     ///< answered at a non-expected generation
   uint64_t refusals = 0;  ///< deadline refusals (expired / timed out empty)

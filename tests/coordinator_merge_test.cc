@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
@@ -161,10 +162,16 @@ TEST(CoordinatorMergeTest, EmptyPartialLegsMergeCleanly) {
   ExpectSameSuggestions(with_empty.suggestions, base.suggestions,
                         /*tolerance=*/0.0, "empty leg appended");
 
-  // All-empty vector: a well-formed nothing, not an error.
+  // All-empty vector: a well-formed nothing, not an error. Shard ids must
+  // be in range of the legs handed in (the wire-hardening check drops
+  // responses claiming a shard the fan-out never asked) — so the two empty
+  // legs are restamped 0 and 1.
+  ShardOutcome empty0 = outcomes.back();
+  empty0.response.shard_id = 0;
+  ShardOutcome empty1 = outcomes.back();
+  empty1.response.shard_id = 1;
   const CoordinatorResult nothing = Coordinator::Merge(
-      *corpus.stats, xclean, copts, kGeneration,
-      {outcomes.back(), outcomes.back()});
+      *corpus.stats, xclean, copts, kGeneration, {empty0, empty1});
   ASSERT_TRUE(nothing.status.ok());
   EXPECT_TRUE(nothing.suggestions.empty());
   EXPECT_EQ(nothing.shards_ok, 2u);
@@ -248,6 +255,111 @@ TEST(CoordinatorMergeTest, ZeroNodeCountTypeRenormalisesToFiniteZero) {
   EXPECT_TRUE(std::isfinite(result.suggestions[0].score));
   EXPECT_EQ(result.suggestions[0].score, 0.0);
   EXPECT_EQ(result.suggestions[0].entity_count, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Wire hardening: with a real RPC transport behind ShardBackend, a
+// response is untrusted bytes. Checksums catch random corruption, but a
+// buggy or hostile shard can emit structurally valid nonsense; Merge must
+// drop such responses wholesale (failed leg), never fold them in.
+// ---------------------------------------------------------------------------
+
+/// Runs Merge over healthy outcomes with one response mutated by `poison`,
+/// and asserts the poisoned leg was dropped while the rest merged.
+template <typename Poison>
+void ExpectPoisonedLegDropped(Poison poison, const char* what) {
+  const ShardedCorpus corpus = BuildCorpus(Semantics::kNodeType, 3);
+  const Query query = CorpusQuery();
+  std::vector<ShardOutcome> outcomes = HealthyOutcomes(corpus, query);
+  ASSERT_GE(outcomes.size(), 2u);
+  ASSERT_FALSE(outcomes[1].response.partials.empty())
+      << "query matched nothing; the poison has no carrier";
+  poison(outcomes[1].response);
+
+  const CoordinatorResult result = Coordinator::Merge(
+      *corpus.stats, MergeOptions(Semantics::kNodeType),
+      MergeCoordinatorOptions(), kGeneration, outcomes);
+  ASSERT_TRUE(result.status.ok()) << what;
+  EXPECT_EQ(result.shards_failed, 1u) << what;
+  EXPECT_EQ(result.shards_ok, outcomes.size() - 1) << what;
+  EXPECT_TRUE(result.truncated) << what;
+  for (const Suggestion& s : result.suggestions) {
+    EXPECT_TRUE(std::isfinite(s.score)) << what << ": " << JoinWords(s.words);
+    EXPECT_GE(s.score, 0.0) << what << ": " << JoinWords(s.words);
+  }
+}
+
+TEST(CoordinatorMergeTest, NanErrorWeightLegIsDropped) {
+  ExpectPoisonedLegDropped(
+      [](shard::ShardResponse& r) {
+        r.partials[0].error_weight = std::nan("");
+      },
+      "NaN error_weight");
+}
+
+TEST(CoordinatorMergeTest, InfiniteSumLegIsDropped) {
+  ExpectPoisonedLegDropped(
+      [](shard::ShardResponse& r) {
+        r.partials[0].sum = std::numeric_limits<double>::infinity();
+      },
+      "infinite sum");
+}
+
+TEST(CoordinatorMergeTest, NegativeMassLegIsDropped) {
+  ExpectPoisonedLegDropped(
+      [](shard::ShardResponse& r) { r.partials[0].error_weight = -0.25; },
+      "negative error_weight");
+  ExpectPoisonedLegDropped(
+      [](shard::ShardResponse& r) { r.partials[0].sum = -1e-9; },
+      "negative sum");
+}
+
+TEST(CoordinatorMergeTest, EmptyTokenKeyLegIsDropped) {
+  ExpectPoisonedLegDropped(
+      [](shard::ShardResponse& r) { r.partials[0].tokens.clear(); },
+      "empty token key");
+}
+
+TEST(CoordinatorMergeTest, OutOfRangeShardIdLegIsDropped) {
+  ExpectPoisonedLegDropped(
+      [](shard::ShardResponse& r) { r.shard_id = 1000; },
+      "out-of-range shard id");
+}
+
+// A malformed response must not poison the merged scores even when every
+// OTHER leg is healthy: the merged ranking over the surviving legs is the
+// same as merging the survivors alone.
+TEST(CoordinatorMergeTest, DroppedPoisonLeavesSurvivorsBitIdentical) {
+  const ShardedCorpus corpus = BuildCorpus(Semantics::kNodeType, 3);
+  const Query query = CorpusQuery();
+  const std::vector<ShardOutcome> healthy = HealthyOutcomes(corpus, query);
+
+  std::vector<ShardOutcome> poisoned = healthy;
+  ASSERT_FALSE(poisoned[0].response.partials.empty());
+  poisoned[0].response.partials[0].sum =
+      -std::numeric_limits<double>::infinity();
+
+  std::vector<ShardOutcome> survivors(healthy.begin() + 1, healthy.end());
+  // Shard ids must stay in range of the outcome vector handed to Merge.
+  std::vector<ShardOutcome> survivors_padded = poisoned;
+
+  const CoordinatorResult with_poison = Coordinator::Merge(
+      *corpus.stats, MergeOptions(Semantics::kNodeType),
+      MergeCoordinatorOptions(), kGeneration, survivors_padded);
+  std::vector<ShardOutcome> only_survivors = healthy;
+  only_survivors[0].kind = ShardOutcomeKind::kError;
+  only_survivors[0].response = shard::ShardResponse{};
+  only_survivors[0].response.status = Status::Unavailable("dropped");
+  const CoordinatorResult without = Coordinator::Merge(
+      *corpus.stats, MergeOptions(Semantics::kNodeType),
+      MergeCoordinatorOptions(), kGeneration, only_survivors);
+
+  ASSERT_EQ(with_poison.suggestions.size(), without.suggestions.size());
+  for (size_t i = 0; i < without.suggestions.size(); ++i) {
+    EXPECT_EQ(with_poison.suggestions[i].words, without.suggestions[i].words);
+    EXPECT_EQ(with_poison.suggestions[i].score, without.suggestions[i].score)
+        << "rank " << i;
+  }
 }
 
 }  // namespace

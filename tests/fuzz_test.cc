@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <string>
 
@@ -12,6 +14,9 @@
 #include "core/xclean.h"
 #include "data/dblp_gen.h"
 #include "index/index_io.h"
+#include "rpc/frame.h"
+#include "rpc/wire.h"
+#include "shard/shard_server.h"
 #include "xml/parser.h"
 #include "xml/writer.h"
 
@@ -346,6 +351,146 @@ TEST(SuggestFuzzTest, RandomBudgetsKeepInvariants) {
         ASSERT_EQ(with_token[i].score, without_token[i].score);
         ASSERT_EQ(with_token[i].entity_count, without_token[i].entity_count);
       }
+    }
+  }
+}
+
+/// Random byte soup against the RPC frame decoder: whatever arrives, the
+/// decoder must never crash, never over-read, and never buffer unbounded
+/// garbage — random bytes almost surely fail the magic/header checks, so
+/// the stream must go fatal with its buffer discarded.
+TEST(RpcFrameFuzzTest, RandomBytesNeverCrashOrAccumulate) {
+  Rng rng(0xFEEDFACE);
+  for (int round = 0; round < 2000; ++round) {
+    rpc::FrameDecoder decoder;
+    const size_t len = rng.Uniform(200);
+    std::string input;
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    // Feed in random chunk sizes: framing must be chunking-independent.
+    size_t fed = 0;
+    while (fed < input.size()) {
+      const size_t chunk =
+          std::min<size_t>(1 + rng.Uniform(64), input.size() - fed);
+      decoder.Feed(input.data() + fed, chunk);
+      fed += chunk;
+      for (int step = 0; step < 8; ++step) {
+        const rpc::DecodeEvent event = decoder.Next();
+        if (event.outcome == rpc::DecodeOutcome::kNeedMore) break;
+        if (event.outcome == rpc::DecodeOutcome::kFatal) {
+          // Fatal is sticky and the buffer is dropped.
+          ASSERT_EQ(decoder.buffered_bytes(), 0u);
+          ASSERT_TRUE(decoder.fatal());
+          break;
+        }
+      }
+    }
+    // Nothing a random stream produces may hold more than one frame cap.
+    ASSERT_LE(decoder.buffered_bytes(),
+              rpc::kDefaultMaxPayload + rpc::kFrameHeaderSize);
+  }
+}
+
+/// Mutations of valid frames: flip bytes of a well-formed stream. Every
+/// event must be one of the four clean outcomes; any frame surfaced as
+/// kFrame must carry an intact payload checksum by construction.
+TEST(RpcFrameFuzzTest, MutatedFramesDecodeCleanly) {
+  Rng rng(0xDEC0DE);
+  std::string base;
+  rpc::EncodeFrame(rpc::FrameType::kRequest, 7, "first payload", base);
+  rpc::EncodeFrame(rpc::FrameType::kResponse, 8,
+                   std::string(300, 'r'), base);
+  rpc::EncodeFrame(rpc::FrameType::kCancel, 9, "", base);
+
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = base;
+    const size_t flips = 1 + rng.Uniform(4);
+    for (size_t f = 0; f < flips; ++f) {
+      mutated[rng.Uniform(mutated.size())] ^=
+          static_cast<char>(1u << rng.Uniform(8));
+    }
+    rpc::FrameDecoder decoder;
+    decoder.Feed(mutated.data(), mutated.size());
+    for (int step = 0; step < 16; ++step) {
+      const rpc::DecodeEvent event = decoder.Next();
+      if (event.outcome == rpc::DecodeOutcome::kNeedMore ||
+          event.outcome == rpc::DecodeOutcome::kFatal) {
+        break;
+      }
+      // kFrame and kCorruptFrame both consume the frame and keep going.
+    }
+  }
+}
+
+/// Random and mutated payloads against the wire decoders: DataLoss or a
+/// fully-populated struct, never a crash and never an unbounded
+/// allocation (the decode caps bound every length field).
+TEST(RpcWireFuzzTest, RandomPayloadsNeverCrash) {
+  Rng rng(0xBEEFCAFE);
+  const auto now = std::chrono::steady_clock::now();
+  for (int round = 0; round < 4000; ++round) {
+    const size_t len = rng.Uniform(300);
+    std::string payload;
+    for (size_t i = 0; i < len; ++i) {
+      payload.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    shard::ShardRequest request;
+    const Status rs = rpc::DecodeShardRequest(payload, now, &request);
+    if (!rs.ok()) ASSERT_EQ(rs.code(), StatusCode::kDataLoss);
+    shard::ShardResponse response;
+    const Status ps = rpc::DecodeShardResponse(payload, &response);
+    if (!ps.ok()) ASSERT_EQ(ps.code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(RpcWireFuzzTest, MutatedResponsePayloadsNeverCrash) {
+  Rng rng(0xFACADE);
+  shard::ShardResponse canned;
+  canned.status = Status::Ok();
+  canned.shard_id = 2;
+  canned.generation = 9;
+  for (uint32_t i = 0; i < 4; ++i) {
+    PartialCandidate p;
+    p.tokens = {i, i + 1};
+    p.error_weight = 0.25 * (i + 1);
+    p.sum = 1.5 * i;
+    p.entity_count = i;
+    p.lca_total = i + 1;
+    p.result_type = i;
+    canned.partials.push_back(p);
+  }
+  std::string base;
+  rpc::EncodeShardResponse(canned, base);
+
+  for (int round = 0; round < 4000; ++round) {
+    std::string mutated = base;
+    const size_t edits = 1 + rng.Uniform(3);
+    for (size_t e = 0; e < edits; ++e) {
+      switch (rng.Uniform(3)) {
+        case 0:  // flip
+          mutated[rng.Uniform(mutated.size())] ^=
+              static_cast<char>(1u << rng.Uniform(8));
+          break;
+        case 1:  // truncate
+          mutated.resize(rng.Uniform(mutated.size() + 1));
+          break;
+        default:  // append garbage
+          mutated.push_back(static_cast<char>(rng.Uniform(256)));
+          break;
+      }
+      if (mutated.empty()) break;
+    }
+    shard::ShardResponse decoded;
+    const Status status = rpc::DecodeShardResponse(mutated, &decoded);
+    if (status.ok()) {
+      // A mutation that still decodes must at least obey the caps.
+      ASSERT_LE(decoded.partials.size(), size_t{1} << 20);
+      for (const PartialCandidate& p : decoded.partials) {
+        ASSERT_LE(p.tokens.size(), 64u);
+      }
+    } else {
+      ASSERT_EQ(status.code(), StatusCode::kDataLoss);
     }
   }
 }

@@ -1,0 +1,404 @@
+/// The RPC extension of the shard simulation harness: the FULL serving
+/// stack — Coordinator fanning out to per-shard ReplicaSets whose replicas
+/// are RpcShardBackend clients speaking the checksummed wire protocol to
+/// real RpcShardServer sockets over loopback — exercised under seeded
+/// byte-level fault schedules injected by the FaultProxy. Replica 0 of
+/// every shard takes the scripted damage (truncate, bitflip, disconnect,
+/// stall, duplicate, garbage, both directions); replica 1 stays clean.
+///
+/// The acceptance bar: every schedule's merged ranking equals the
+/// unsharded oracle exactly — the mangled bytes cost retries and
+/// failovers, never correctness, never truncation, and never a hang. This
+/// is the "any one replica down still matches the oracle over real
+/// sockets" claim of the transport PR, plus two systematic scenarios: a
+/// replica killed mid-workload (process-restart failover) and hedged
+/// requests racing a stalled wire (loser cancelled via cancel frame).
+///
+/// A failing schedule prints its FaultScript and the seed; replay with
+///   XCLEAN_SHARD_SEED=<seed> ctest -R rpc_sim_test
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/xclean.h"
+#include "index/xml_index.h"
+#include "rpc/fault_proxy.h"
+#include "rpc/rpc_client.h"
+#include "rpc/rpc_shard_server.h"
+#include "shard/coordinator.h"
+#include "shard/replica_set.h"
+#include "shard/shard_server.h"
+#include "shard/sharded_corpus.h"
+#include "tests/shard_testutil.h"
+
+namespace xclean::shardtest {
+namespace {
+
+using rpc::FaultProxy;
+using rpc::FaultScript;
+using rpc::MangleKind;
+using rpc::RpcClientOptions;
+using rpc::RpcServerOptions;
+using rpc::RpcShardBackend;
+using rpc::RpcShardServer;
+using shard::BuildShardedCorpus;
+using shard::Coordinator;
+using shard::CoordinatorOptions;
+using shard::CoordinatorResult;
+using shard::ReplicaSet;
+using shard::ReplicaSetOptions;
+using shard::ShardedCorpus;
+using shard::ShardedCorpusOptions;
+using shard::ShardServer;
+
+constexpr uint64_t kGeneration = 31;
+
+size_t SimScheduleCount() {
+  const char* env = std::getenv("XCLEAN_RPC_SIM_SCHEDULES");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 48;
+}
+
+XCleanOptions SimOptions(Semantics semantics) {
+  XCleanOptions options;
+  options.gamma = 0;  // the exactness contract is the unbounded config's
+  options.semantics = semantics;
+  options.top_k = 50;
+  return options;
+}
+
+/// One corpus, its oracles, and the sharded builds the schedules draw.
+struct CorpusFixture {
+  std::unique_ptr<XmlIndex> oracle_index;
+  std::map<Semantics, std::unique_ptr<XClean>> oracles;
+  std::vector<Query> queries;
+  std::map<std::pair<size_t, Semantics>, ShardedCorpus> sharded;
+};
+
+class RpcSimTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = new CorpusFixture();
+    const uint64_t seed = ShardBaseSeed() + 9100;
+    fixture_->oracle_index = XmlIndex::Build(RandomCorpusTree(seed));
+    fixture_->queries = DirtyQueries(*fixture_->oracle_index, seed);
+    static constexpr Semantics kAll[] = {
+        Semantics::kNodeType, Semantics::kSlca, Semantics::kElca};
+    for (Semantics semantics : kAll) {
+      fixture_->oracles[semantics] =
+          std::make_unique<XClean>(*fixture_->oracle_index,
+                                   SimOptions(semantics));
+      for (size_t num_shards : {2u, 3u}) {
+        ShardedCorpusOptions sopts;
+        sopts.num_shards = num_shards;
+        sopts.xclean = SimOptions(semantics);
+        Result<ShardedCorpus> corpus = BuildShardedCorpus(
+            RandomCorpusTree(seed), sopts, kGeneration);
+        ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+        fixture_->sharded.emplace(std::make_pair(num_shards, semantics),
+                                  std::move(corpus.value()));
+      }
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete fixture_;
+    fixture_ = nullptr;
+  }
+
+  static CorpusFixture* fixture_;
+};
+
+CorpusFixture* RpcSimTest::fixture_ = nullptr;
+
+RpcServerOptions SimServerOptions(uint32_t shard_id) {
+  RpcServerOptions options;
+  options.shard_id = shard_id;
+  options.max_connections = 4;
+  options.eval_threads = 2;
+  options.idle_timeout = std::chrono::milliseconds(5000);
+  options.write_timeout = std::chrono::milliseconds(2000);
+  return options;
+}
+
+RpcClientOptions SimClientOptions(uint64_t seed) {
+  RpcClientOptions options;
+  options.connect_timeout = std::chrono::milliseconds(300);
+  options.default_read_timeout = std::chrono::milliseconds(1000);
+  options.max_dial_attempts = 2;
+  options.dial_backoff.initial = std::chrono::milliseconds(2);
+  options.dial_backoff.cap = std::chrono::milliseconds(10);
+  options.seed = seed;
+  return options;
+}
+
+/// Sequential ReplicaSet tuning for the sweep: each non-final attempt is
+/// sliced at the hedge delay, so a stalled wire costs one slice and the
+/// leg fails over to the clean sibling well inside the fan-out budget.
+ReplicaSetOptions SimReplicaOptions(uint64_t seed) {
+  ReplicaSetOptions options;
+  options.max_retries = 2;
+  options.max_failovers = 2;
+  options.backoff.initial = std::chrono::milliseconds(2);
+  options.backoff.cap = std::chrono::milliseconds(10);
+  options.hedge_delay_floor = std::chrono::milliseconds(250);
+  options.hedge_delay_cap = std::chrono::milliseconds(250);
+  options.seed = seed;
+  return options;
+}
+
+CoordinatorOptions SimCoordinatorOptions() {
+  CoordinatorOptions copts;
+  copts.top_k = 50;
+  copts.fanout_timeout = std::chrono::milliseconds(4000);
+  return copts;
+}
+
+/// Everything one shard needs on the wire: two ShardServer replicas over
+/// the shared engine, their socket front ends, the fault proxy shielding
+/// (mangling) replica 0, and the two RPC clients the ReplicaSet routes
+/// over. Teardown order matters and is encoded in the destructor order:
+/// clients die first (sockets close), then proxies, then servers.
+struct WiredShard {
+  std::unique_ptr<ShardServer> replica0;
+  std::unique_ptr<ShardServer> replica1;
+  std::unique_ptr<RpcShardServer> rpc0;
+  std::unique_ptr<RpcShardServer> rpc1;
+  std::unique_ptr<FaultProxy> proxy;
+  std::unique_ptr<RpcShardBackend> client0;  // through the proxy
+  std::unique_ptr<RpcShardBackend> client1;  // direct
+  std::unique_ptr<ReplicaSet> set;
+};
+
+/// Builds the wired fleet for one schedule. `script` applies to replica 0
+/// of every shard (the worst correlated single-replica byte fault).
+std::vector<std::unique_ptr<WiredShard>> WireFleet(
+    const ShardedCorpus& corpus, const FaultScript& script, uint64_t seed) {
+  std::vector<std::unique_ptr<WiredShard>> fleet;
+  for (uint32_t s = 0; s < corpus.num_shards(); ++s) {
+    auto wired = std::make_unique<WiredShard>();
+    wired->replica0 =
+        std::make_unique<ShardServer>(s, corpus.engine, kGeneration);
+    wired->replica1 =
+        std::make_unique<ShardServer>(s, corpus.engine, kGeneration);
+    wired->rpc0 = std::make_unique<RpcShardServer>(wired->replica0.get(),
+                                                   SimServerOptions(s));
+    wired->rpc1 = std::make_unique<RpcShardServer>(wired->replica1.get(),
+                                                   SimServerOptions(s));
+    EXPECT_TRUE(wired->rpc0->Start().ok());
+    EXPECT_TRUE(wired->rpc1->Start().ok());
+    wired->proxy = std::make_unique<FaultProxy>(wired->rpc0->port());
+    EXPECT_TRUE(wired->proxy->Start().ok());
+    wired->proxy->SetScript(script);
+    wired->client0 = std::make_unique<RpcShardBackend>(
+        wired->proxy->port(), s, SimClientOptions(seed + s));
+    wired->client1 = std::make_unique<RpcShardBackend>(
+        wired->rpc1->port(), s, SimClientOptions(seed + s + 1000));
+    wired->set = std::make_unique<ReplicaSet>(
+        s,
+        std::vector<shard::ShardBackend*>{wired->client0.get(),
+                                          wired->client1.get()},
+        SimReplicaOptions(seed + s));
+    fleet.push_back(std::move(wired));
+  }
+  return fleet;
+}
+
+void TearDownFleet(std::vector<std::unique_ptr<WiredShard>>& fleet) {
+  for (auto& wired : fleet) {
+    wired->set.reset();
+    wired->client0.reset();
+    wired->client1.reset();
+    wired->proxy->Shutdown();
+    wired->rpc0->Shutdown();
+    wired->rpc1->Shutdown();
+  }
+}
+
+/// The sweep: seeded byte-fault schedules against the full stack. Replica
+/// 0 of every shard takes the same mangling script; the merged ranking
+/// must still equal the unsharded oracle — untruncated, every shard
+/// healthy, inside the fan-out budget.
+TEST_F(RpcSimTest, MangledWireSweepStillMatchesOracle) {
+  const uint64_t base = ShardBaseSeed();
+  const size_t schedules = SimScheduleCount();
+  static constexpr Semantics kAll[] = {
+      Semantics::kNodeType, Semantics::kSlca, Semantics::kElca};
+
+  for (size_t k = 0; k < schedules; ++k) {
+    const uint64_t seed = base + 9300 + k;
+    Rng rng(seed * 0x9E3779B97F4A7C15ull + 3);
+
+    const size_t num_shards = 2 + rng.Uniform(2);
+    const Semantics semantics = kAll[rng.Uniform(3)];
+    const Query& query =
+        fixture_->queries[rng.Uniform(fixture_->queries.size())];
+
+    FaultScript script;
+    script.kind = static_cast<MangleKind>(1 + rng.Uniform(6));
+    script.server_to_client = rng.Bernoulli(0.5);
+    // Request streams are ~150 bytes, response streams corpus-dependent
+    // (typically a few hundred to a few thousand); the range covers the
+    // frame header, early body, deep body, and occasionally beyond EOF.
+    script.byte_offset = rng.Uniform(script.server_to_client ? 1500 : 180);
+    script.bit = static_cast<uint32_t>(rng.Uniform(8));
+    script.garbage_len = static_cast<uint32_t>(1 + rng.Uniform(64));
+    script.seed = seed;
+
+    const std::string context =
+        "schedule " + std::to_string(k) + " seed " + std::to_string(seed) +
+        " shards " + std::to_string(num_shards) + " " +
+        SemanticsName(semantics) + " query '" + query.ToString() + "' " +
+        script.ToString();
+    SCOPED_TRACE(context);
+
+    const ShardedCorpus& corpus =
+        fixture_->sharded.at({num_shards, semantics});
+    std::vector<std::unique_ptr<WiredShard>> fleet =
+        WireFleet(corpus, script, seed);
+    std::vector<shard::ShardBackend*> backends;
+    for (auto& wired : fleet) backends.push_back(wired->set.get());
+
+    {
+      Coordinator coordinator(backends, corpus.stats, SimOptions(semantics),
+                              SimCoordinatorOptions());
+      const auto t0 = std::chrono::steady_clock::now();
+      const CoordinatorResult result = coordinator.Suggest(query, kGeneration);
+      const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+      ASSERT_TRUE(result.status.ok()) << context << ": "
+                                      << result.status.ToString();
+      EXPECT_FALSE(result.truncated) << context;
+      EXPECT_EQ(result.shards_ok, num_shards) << context;
+      EXPECT_LT(elapsed, std::chrono::milliseconds(6000))
+          << context << ": hung fan-out";
+      ExpectSameSuggestions(result.suggestions,
+                            fixture_->oracles.at(semantics)->Suggest(query),
+                            1e-9, context);
+    }
+    TearDownFleet(fleet);
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+}
+
+/// Process-restart failover: a workload is mid-flight when replica 0's
+/// socket server of every shard is shut down (the "kill one mid-stream"
+/// of the serving demo). Every query before, during and after the kill
+/// must still match the oracle — the clients' EOFs become transport
+/// retries, the ReplicaSets route to the survivor.
+TEST_F(RpcSimTest, ReplicaKilledMidWorkloadFailsOverInvisibly) {
+  const Semantics semantics = Semantics::kNodeType;
+  const size_t num_shards = 2;
+  const ShardedCorpus& corpus = fixture_->sharded.at({num_shards, semantics});
+  const uint64_t seed = ShardBaseSeed() + 9500;
+
+  std::vector<std::unique_ptr<WiredShard>> fleet =
+      WireFleet(corpus, FaultScript{}, seed);  // kClean: no byte mangling
+  std::vector<shard::ShardBackend*> backends;
+  for (auto& wired : fleet) backends.push_back(wired->set.get());
+
+  {
+    Coordinator coordinator(backends, corpus.stats, SimOptions(semantics),
+                            SimCoordinatorOptions());
+    const size_t total = fixture_->queries.size();
+    for (size_t qi = 0; qi < total; ++qi) {
+      if (qi == total / 2) {
+        // The kill: both replica-0 socket servers drain and die while the
+        // workload keeps coming. Pooled client connections go stale; the
+        // next leg that draws one sees EOF and must recover.
+        for (auto& wired : fleet) wired->rpc0->Shutdown();
+      }
+      const Query& query = fixture_->queries[qi];
+      const std::string context =
+          "query " + std::to_string(qi) + " of " + std::to_string(total) +
+          (qi >= total / 2 ? " (after kill)" : " (before kill)");
+      const CoordinatorResult result = coordinator.Suggest(query, kGeneration);
+      ASSERT_TRUE(result.status.ok()) << context << ": "
+                                      << result.status.ToString();
+      EXPECT_FALSE(result.truncated) << context;
+      ExpectSameSuggestions(result.suggestions,
+                            fixture_->oracles.at(semantics)->Suggest(query),
+                            1e-9, context);
+    }
+    // The survivors carried the load: replica 1 answered at least the
+    // post-kill half on every shard.
+    for (auto& wired : fleet) {
+      EXPECT_GE(wired->set->stats().replicas[1].successes, total / 2);
+    }
+  }
+  TearDownFleet(fleet);
+}
+
+/// Hedged requests over real sockets: replica 0's responses stall at byte
+/// zero (the wire goes silent after the request), so every leg's primary
+/// attempt hangs until the hedge fires at the p95-derived delay, the
+/// clean replica wins, and the loser is cancelled through a cancel frame.
+/// Built for the TSan job: real threads, real sockets, real cancellation.
+TEST_F(RpcSimTest, HedgedWireRequestsWinPastStalledReplica) {
+  const Semantics semantics = Semantics::kSlca;
+  const size_t num_shards = 2;
+  const ShardedCorpus& corpus = fixture_->sharded.at({num_shards, semantics});
+  const uint64_t seed = ShardBaseSeed() + 9700;
+
+  FaultScript stall;
+  stall.kind = MangleKind::kStall;
+  stall.server_to_client = true;
+  stall.byte_offset = 0;  // the response never comes back
+  std::vector<std::unique_ptr<WiredShard>> fleet =
+      WireFleet(corpus, stall, seed);
+
+  ThreadPoolOptions popts;
+  popts.num_threads = 8;
+  ThreadPool hedge_pool(popts);
+
+  // Rebuild the sets in hedged mode over the same wired clients.
+  std::vector<shard::ShardBackend*> backends;
+  for (uint32_t s = 0; s < fleet.size(); ++s) {
+    ReplicaSetOptions ropts = SimReplicaOptions(seed + s);
+    ropts.hedge_pool = &hedge_pool;
+    ropts.hedge_delay_floor = std::chrono::milliseconds(30);
+    ropts.hedge_delay_cap = std::chrono::milliseconds(60);
+    ropts.hedge_rate_cap = 1.0;  // every leg may hedge: that is the test
+    fleet[s]->set = std::make_unique<ReplicaSet>(
+        s,
+        std::vector<shard::ShardBackend*>{fleet[s]->client0.get(),
+                                          fleet[s]->client1.get()},
+        ropts);
+    backends.push_back(fleet[s]->set.get());
+  }
+
+  {
+    Coordinator coordinator(backends, corpus.stats, SimOptions(semantics),
+                            SimCoordinatorOptions());
+    for (size_t qi = 0; qi < 6; ++qi) {
+      const Query& query = fixture_->queries[qi];
+      const std::string context = "hedged query " + std::to_string(qi);
+      const CoordinatorResult result = coordinator.Suggest(query, kGeneration);
+      ASSERT_TRUE(result.status.ok()) << context << ": "
+                                      << result.status.ToString();
+      EXPECT_FALSE(result.truncated) << context;
+      ExpectSameSuggestions(result.suggestions,
+                            fixture_->oracles.at(semantics)->Suggest(query),
+                            1e-9, context);
+    }
+    // The stalled wire forced hedges, and the clean replica won them.
+    uint64_t hedges = 0;
+    for (auto& wired : fleet) hedges += wired->set->stats().hedges;
+    EXPECT_GE(hedges, 1u);
+  }
+  TearDownFleet(fleet);
+}
+
+}  // namespace
+}  // namespace xclean::shardtest

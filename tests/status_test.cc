@@ -30,6 +30,13 @@ TEST(StatusTest, FactoryCodes) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
 }
 
+TEST(StatusTest, DataLossCarriesCodeAndRendersName) {
+  const Status s = Status::DataLoss("rpc frame: payload checksum mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.ToString(), "DataLoss: rpc frame: payload checksum mismatch");
+}
+
 TEST(StatusTest, CopyAndMove) {
   Status s = Status::NotFound("gone");
   Status copy = s;
